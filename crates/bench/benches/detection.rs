@@ -1,0 +1,26 @@
+//! Batch detection benchmarks: `Dect` versus `PDect` on the simulated
+//! DBpedia with the paper's rule set (the baseline of every experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_core::paper;
+use ngd_datagen::{generate_knowledge, KnowledgeConfig};
+use ngd_detect::{dect, pdect, DetectorConfig};
+
+fn bench_detection(c: &mut Criterion) {
+    let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(4)).graph;
+    let sigma = paper::paper_rule_set();
+
+    let mut group = c.benchmark_group("batch_detection");
+    group.sample_size(15);
+    group.bench_function("dect_paper_rules", |b| b.iter(|| dect(&sigma, &graph)));
+    for p in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("pdect_paper_rules", p), &p, |b, &p| {
+            let config = DetectorConfig::with_processors(p);
+            b.iter(|| pdect(&sigma, &graph, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Incremental detection benchmarks: `IncDect` / `PIncDect` versus batch
+//! recomputation for small and moderate update sizes — the core claim of
+//! the paper's Exp-1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_core::paper;
+use ngd_datagen::{generate_knowledge, generate_update, KnowledgeConfig, UpdateConfig};
+use ngd_detect::{dect, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
+
+fn bench_incremental(c: &mut Criterion) {
+    let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(4)).graph;
+    let sigma = paper::paper_rule_set();
+
+    let mut group = c.benchmark_group("incremental_detection");
+    group.sample_size(15);
+    for percent in [5u64, 15] {
+        let delta = generate_update(
+            &graph,
+            &UpdateConfig::fraction(percent as f64 / 100.0).with_seed(percent),
+        );
+        let updated = delta.applied_to(&graph).expect("update applies");
+        group.bench_with_input(
+            BenchmarkId::new("inc_dect", format!("{percent}%")),
+            &delta,
+            |b, delta| b.iter(|| inc_dect_prepared(&sigma, &graph, &updated, delta)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pinc_dect_p4", format!("{percent}%")),
+            &delta,
+            |b, delta| {
+                let config = DetectorConfig::with_processors(4);
+                b.iter(|| pinc_dect_prepared(&sigma, &graph, &updated, delta, &config))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dect_recompute", format!("{percent}%")),
+            &updated,
+            |b, updated| b.iter(|| dect(&sigma, updated)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Linear-constraint solver and static-analysis benchmarks: feasibility of
+//! literal systems (the engine behind satisfiability/implication) and the
+//! Section-4 example analyses themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ngd_core::satisfiability::{is_satisfiable, is_strongly_satisfiable, AnalysisConfig};
+use ngd_core::{implies, paper, ConstraintSystem, Expr, Literal, Pattern, RuleSet};
+
+fn feasibility_system() -> ConstraintSystem {
+    // A small but non-trivial system over three variables.
+    let mut q = Pattern::new();
+    let x = q.add_wildcard("x");
+    let mut system = ConstraintSystem::new();
+    let a = Expr::attr(x, "a");
+    let b = Expr::attr(x, "b");
+    let c = Expr::attr(x, "c");
+    for literal in [
+        Literal::le(Expr::add(a.clone(), b.clone()), Expr::constant(10)),
+        Literal::ge(Expr::sub(a.clone(), c.clone()), Expr::constant(-3)),
+        Literal::lt(b.clone(), Expr::scale(2, c.clone())),
+        Literal::ne(a.clone(), Expr::constant(4)),
+        Literal::ge(Expr::add(Expr::add(a, b), c), Expr::constant(1)),
+    ] {
+        system.add_literal(&literal).expect("linear literal");
+    }
+    system
+}
+
+fn bench_linsolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linsolve");
+    let system = feasibility_system();
+    group.bench_function("feasibility_5_constraints", |b| b.iter(|| system.solve()));
+    group.bench_function("rational_relaxation_only", |b| b.iter(|| system.rational_feasible()));
+    group.finish();
+
+    let cfg = AnalysisConfig::default();
+    let mut group = c.benchmark_group("static_analyses");
+    group.sample_size(20);
+    let conflicting = RuleSet::from_rules(vec![paper::phi5(), paper::phi6(None)]);
+    let trio = RuleSet::from_rules(vec![paper::phi7(), paper::phi8(), paper::phi9()]);
+    let paper_rules = paper::paper_rule_set();
+    group.bench_function("satisfiability_phi5_phi6", |b| {
+        b.iter(|| is_satisfiable(&conflicting, &cfg))
+    });
+    group.bench_function("satisfiability_phi7_8_9", |b| {
+        b.iter(|| is_satisfiable(&trio, &cfg))
+    });
+    group.bench_function("strong_satisfiability_paper_rules", |b| {
+        b.iter(|| is_strongly_satisfiable(&paper_rules, &cfg))
+    });
+    group.bench_function("implication_phi5_entails_itself", |b| {
+        let sigma = RuleSet::from_rules(vec![paper::phi5()]);
+        let phi = paper::phi5();
+        b.iter(|| implies(&sigma, &phi, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_linsolve);
+criterion_main!(benches);

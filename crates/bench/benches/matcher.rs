@@ -1,0 +1,37 @@
+//! Matcher micro-benchmarks: homomorphic match/violation enumeration for
+//! the paper's rules on simulated knowledge and social graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_core::paper;
+use ngd_datagen::{generate_knowledge, generate_social, KnowledgeConfig, SocialConfig};
+use ngd_match::{find_matches, find_violations};
+
+fn bench_matcher(c: &mut Criterion) {
+    let knowledge = generate_knowledge(&KnowledgeConfig::dbpedia_like(4)).graph;
+    let social = generate_social(&SocialConfig::pokec_like(1)).graph;
+
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(20);
+
+    for (name, rule) in [
+        ("phi1", paper::phi1(1)),
+        ("phi2", paper::phi2()),
+        ("phi3", paper::phi3()),
+        ("ngd3", paper::ngd3()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("violations_knowledge", name), &rule, |b, rule| {
+            b.iter(|| find_violations(rule, &knowledge))
+        });
+    }
+    let phi4 = paper::phi4(1, 1, 10_000);
+    group.bench_function("violations_social_phi4", |b| {
+        b.iter(|| find_violations(&phi4, &social))
+    });
+    group.bench_function("matches_social_phi4_pattern", |b| {
+        b.iter(|| find_matches(&phi4.pattern, &social))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

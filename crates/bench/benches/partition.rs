@@ -1,0 +1,26 @@
+//! Graph-fragmentation benchmarks: the edge-cut and vertex-cut partitioners
+//! (the METIS substitute) on synthetic graphs of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_datagen::{generate_synthetic, SyntheticConfig};
+use ngd_graph::{EdgeCutPartitioner, VertexCutPartitioner};
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(15);
+    for nodes in [2_000usize, 8_000] {
+        let graph = generate_synthetic(&SyntheticConfig::paper_style(nodes, nodes * 2));
+        group.bench_with_input(BenchmarkId::new("edge_cut_p8", nodes), &graph, |b, g| {
+            let partitioner = EdgeCutPartitioner::new(8);
+            b.iter(|| partitioner.partition(g))
+        });
+        group.bench_with_input(BenchmarkId::new("vertex_cut_p8", nodes), &graph, |b, g| {
+            let partitioner = VertexCutPartitioner::new(8);
+            b.iter(|| partitioner.partition(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # ngd-bench
+//!
+//! The experiment harness of the NGD reproduction.
+//!
+//! * [`datasets`] — named, scaled-down simulations of the paper's datasets
+//!   (DBpedia, YAGO2, Pokec, synthetic) with matched rule sets;
+//! * [`experiments`] — one runner per figure/table of the paper's
+//!   evaluation (Figures 4(a)–4(n), Exp-5, the Section-4 examples, plus two
+//!   ablations called out in DESIGN.md);
+//! * [`table`] — the result tables the runners produce, rendered as text or
+//!   JSON (EXPERIMENTS.md is generated from them).
+//!
+//! The `exp` binary (`cargo run -p ngd-bench --release --bin exp -- <id>`)
+//! drives the runners; the Criterion benches under `benches/` cover the
+//! micro-level claims (matcher throughput, negligible literal-evaluation
+//! overhead, partitioner and solver cost).
+
+pub mod datasets;
+pub mod experiments;
+pub mod table;
+
+pub use datasets::{build_dataset, synthetic_dataset, Dataset, DatasetKind, Scale};
+pub use experiments::{all_experiment_names, run_experiment};
+pub use table::{ExperimentResult, Series};

@@ -1,0 +1,468 @@
+//! Arithmetic expressions over pattern-variable attributes.
+//!
+//! Section 3 of the paper defines a *term* as an integer constant or an
+//! attribute `x.A` of a pattern variable, and a *linear arithmetic
+//! expression* as
+//!
+//! ```text
+//! e ::= t | |e| | e + e | e − e | c × e | e ÷ c
+//! ```
+//!
+//! [`Expr`] represents the *general* grammar (with unrestricted `×` and
+//! `÷`) so that the undecidable non-linear extension of Theorem 3 can also
+//! be represented and rejected; [`Expr::degree`] and [`Expr::is_linear`]
+//! implement the paper's degree measure, and NGD construction enforces
+//! linearity.
+//!
+//! Expressions also know how to lower themselves into a [`LinearForm`]
+//! (`Σ cᵢ·(xᵢ.Aᵢ) + c₀`), which is what the constraint solver in
+//! [`crate::linsolve`] consumes.  Absolute values and non-linear operations
+//! have no linear form.
+
+use crate::pattern::Var;
+use crate::rational::Rational;
+use ngd_graph::{intern, resolve, Sym, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable attribute reference `x.A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrRef {
+    /// The pattern variable `x`.
+    pub var: Var,
+    /// The attribute name `A`.
+    pub attr: Sym,
+}
+
+impl AttrRef {
+    /// Construct an attribute reference.
+    pub fn new(var: Var, attr: Sym) -> Self {
+        AttrRef { var, attr }
+    }
+}
+
+/// An arithmetic expression of a graph pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// An integer constant `c`.
+    Const(i64),
+    /// A non-numeric constant (string / boolean), used by GFD-style
+    /// constant literals such as `z.val = "living people"`.
+    Lit(Value),
+    /// An attribute term `x.A`.
+    Attr(AttrRef),
+    /// Absolute value `|e|`.
+    Abs(Box<Expr>),
+    /// Sum `e + e`.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference `e − e`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product `e × e` (linear only when one side has degree 0).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Quotient `e ÷ e` (linear only when the divisor is a constant).
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The attribute term `x.A`.
+    pub fn attr(var: Var, attr: &str) -> Expr {
+        Expr::Attr(AttrRef::new(var, intern(attr)))
+    }
+
+    /// An integer constant.
+    pub fn constant(c: i64) -> Expr {
+        Expr::Const(c)
+    }
+
+    /// A string constant.
+    pub fn string(s: &str) -> Expr {
+        Expr::Lit(Value::Str(s.to_owned()))
+    }
+
+    /// `c × e` — the scaling form the linear grammar allows.
+    pub fn scale(c: i64, e: Expr) -> Expr {
+        Expr::Mul(Box::new(Expr::Const(c)), Box::new(e))
+    }
+
+    /// `e ÷ c`.
+    pub fn div_const(e: Expr, c: i64) -> Expr {
+        Expr::Div(Box::new(e), Box::new(Expr::Const(c)))
+    }
+
+    /// `|e|`.
+    pub fn abs(e: Expr) -> Expr {
+        Expr::Abs(Box::new(e))
+    }
+
+    /// `e + e`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `e − e`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// The *degree* of the expression: the sum of variable exponents of the
+    /// highest-degree monomial (constants have degree 0, `x.A` degree 1,
+    /// `x.A × y.B` degree 2, …).  `|e|` has the degree of `e`.
+    pub fn degree(&self) -> u32 {
+        match self {
+            Expr::Const(_) | Expr::Lit(_) => 0,
+            Expr::Attr(_) => 1,
+            Expr::Abs(e) => e.degree(),
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.degree().max(b.degree()),
+            Expr::Mul(a, b) => a.degree() + b.degree(),
+            Expr::Div(a, b) => a.degree() + b.degree(),
+        }
+    }
+
+    /// Is the expression linear in the paper's sense (degree ≤ 1, and
+    /// division only by constants)?
+    pub fn is_linear(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Lit(_) | Expr::Attr(_) => true,
+            Expr::Abs(e) => e.is_linear(),
+            Expr::Add(a, b) | Expr::Sub(a, b) => a.is_linear() && b.is_linear(),
+            Expr::Mul(a, b) => {
+                (a.degree() == 0 && b.is_linear()) || (b.degree() == 0 && a.is_linear())
+            }
+            Expr::Div(a, b) => a.is_linear() && b.degree() == 0,
+        }
+    }
+
+    /// All attribute references `x.A` appearing in the expression.
+    pub fn attr_refs(&self) -> Vec<AttrRef> {
+        let mut out = Vec::new();
+        self.collect_attr_refs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_attr_refs(&self, out: &mut Vec<AttrRef>) {
+        match self {
+            Expr::Const(_) | Expr::Lit(_) => {}
+            Expr::Attr(r) => out.push(*r),
+            Expr::Abs(e) => e.collect_attr_refs(out),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_attr_refs(out);
+                b.collect_attr_refs(out);
+            }
+        }
+    }
+
+    /// All pattern variables appearing in the expression.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self.attr_refs().into_iter().map(|r| r.var).collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// The *length* of the expression: the number of terms and operators —
+    /// the metric the paper uses when it reports "arithmetic expressions of
+    /// lengths 1 to 10".
+    pub fn length(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Lit(_) | Expr::Attr(_) => 1,
+            Expr::Abs(e) => 1 + e.length(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.length() + b.length()
+            }
+        }
+    }
+
+    /// Does the expression mention only integer constants and attributes
+    /// (i.e. no string/bool constants), so that it is numeric?
+    pub fn is_numeric_expr(&self) -> bool {
+        match self {
+            Expr::Const(_) | Expr::Attr(_) => true,
+            Expr::Lit(v) => v.is_numeric(),
+            Expr::Abs(e) => e.is_numeric_expr(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.is_numeric_expr() && b.is_numeric_expr()
+            }
+        }
+    }
+
+    /// Lower the expression into an affine linear form
+    /// `Σ cᵢ·(xᵢ.Aᵢ) + c₀` over rationals.
+    ///
+    /// Returns `None` if the expression is non-linear, contains `|·|`, a
+    /// non-numeric constant, or divides by zero — those cases are evaluated
+    /// directly but cannot be fed to the linear-constraint solver.
+    pub fn linear_form(&self) -> Option<LinearForm> {
+        match self {
+            Expr::Const(c) => Some(LinearForm::constant(Rational::from_int(*c))),
+            Expr::Lit(v) => v
+                .as_int()
+                .map(|i| LinearForm::constant(Rational::from_int(i))),
+            Expr::Attr(r) => Some(LinearForm::variable(*r)),
+            Expr::Abs(_) => None,
+            Expr::Add(a, b) => Some(a.linear_form()?.add(&b.linear_form()?)),
+            Expr::Sub(a, b) => Some(a.linear_form()?.sub(&b.linear_form()?)),
+            Expr::Mul(a, b) => {
+                let fa = a.linear_form()?;
+                let fb = b.linear_form()?;
+                if let Some(c) = fa.as_constant() {
+                    Some(fb.scale(c))
+                } else if let Some(c) = fb.as_constant() {
+                    Some(fa.scale(c))
+                } else {
+                    None
+                }
+            }
+            Expr::Div(a, b) => {
+                let fa = a.linear_form()?;
+                let fb = b.linear_form()?;
+                let c = fb.as_constant()?;
+                if c == Rational::ZERO {
+                    None
+                } else {
+                    Some(fa.scale(Rational::ONE / c))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Attr(r) => write!(f, "{}.{}", r.var, resolve(r.attr)),
+            Expr::Abs(e) => write!(f, "|{e}|"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+/// An affine linear form `Σ cᵢ·(xᵢ.Aᵢ) + c₀` with rational coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearForm {
+    /// Coefficients keyed by attribute reference (deterministic order).
+    pub coeffs: BTreeMap<AttrRef, Rational>,
+    /// The constant term `c₀`.
+    pub constant: Rational,
+}
+
+impl LinearForm {
+    /// The zero form.
+    pub fn zero() -> LinearForm {
+        LinearForm {
+            coeffs: BTreeMap::new(),
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// A constant form.
+    pub fn constant(c: Rational) -> LinearForm {
+        LinearForm {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The form `1·(x.A)`.
+    pub fn variable(r: AttrRef) -> LinearForm {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(r, Rational::ONE);
+        LinearForm {
+            coeffs,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// If the form has no variables, its constant value.
+    pub fn as_constant(&self) -> Option<Rational> {
+        if self.coeffs.values().all(|&c| c == Rational::ZERO) {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &LinearForm) -> LinearForm {
+        let mut out = self.clone();
+        for (r, c) in &other.coeffs {
+            let entry = out.coeffs.entry(*r).or_insert(Rational::ZERO);
+            *entry = *entry + *c;
+        }
+        out.constant = out.constant + other.constant;
+        out.prune()
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &LinearForm) -> LinearForm {
+        self.add(&other.scale(Rational::from_int(-1)))
+    }
+
+    /// Scale every coefficient and the constant by `c`.
+    pub fn scale(&self, c: Rational) -> LinearForm {
+        LinearForm {
+            coeffs: self.coeffs.iter().map(|(r, v)| (*r, *v * c)).collect(),
+            constant: self.constant * c,
+        }
+        .prune()
+    }
+
+    fn prune(mut self) -> LinearForm {
+        self.coeffs.retain(|_, c| *c != Rational::ZERO);
+        self
+    }
+
+    /// Coefficient of a given attribute reference (zero if absent).
+    pub fn coeff(&self, r: AttrRef) -> Rational {
+        self.coeffs.get(&r).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// The attribute references with non-zero coefficients.
+    pub fn vars(&self) -> Vec<AttrRef> {
+        self.coeffs.keys().copied().collect()
+    }
+
+    /// Evaluate the form under an assignment of rational values.
+    pub fn eval<F>(&self, mut value_of: F) -> Option<Rational>
+    where
+        F: FnMut(AttrRef) -> Option<Rational>,
+    {
+        let mut acc = self.constant;
+        for (r, c) in &self.coeffs {
+            acc = acc + *c * value_of(*r)?;
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Var;
+
+    fn x() -> Var {
+        Var(0)
+    }
+    fn y() -> Var {
+        Var(1)
+    }
+
+    #[test]
+    fn degrees_follow_the_paper() {
+        let xa = Expr::attr(x(), "A");
+        let yb = Expr::attr(y(), "B");
+        assert_eq!(Expr::constant(3).degree(), 0);
+        assert_eq!(xa.degree(), 1);
+        assert_eq!(Expr::add(xa.clone(), yb.clone()).degree(), 1);
+        assert_eq!(Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone())).degree(), 2);
+        assert_eq!(Expr::scale(5, xa.clone()).degree(), 1);
+        assert_eq!(Expr::abs(Expr::sub(xa, yb)).degree(), 1);
+    }
+
+    #[test]
+    fn linearity_check() {
+        let xa = Expr::attr(x(), "A");
+        let yb = Expr::attr(y(), "B");
+        assert!(Expr::scale(4, xa.clone()).is_linear());
+        assert!(Expr::div_const(xa.clone(), 2).is_linear());
+        assert!(Expr::abs(Expr::sub(xa.clone(), yb.clone())).is_linear());
+        // x.A × y.B is degree 2 — not linear.
+        assert!(!Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone())).is_linear());
+        // dividing by a variable is not linear.
+        assert!(!Expr::Div(Box::new(xa), Box::new(yb)).is_linear());
+    }
+
+    #[test]
+    fn attr_refs_and_vars_dedup() {
+        let e = Expr::add(
+            Expr::attr(x(), "A"),
+            Expr::sub(Expr::attr(x(), "A"), Expr::attr(y(), "B")),
+        );
+        assert_eq!(e.attr_refs().len(), 2);
+        assert_eq!(e.vars(), vec![x(), y()]);
+    }
+
+    #[test]
+    fn length_metric() {
+        // a×(m1 − m2) + b×(n1 − n2): paper-style expression.
+        let e = Expr::add(
+            Expr::scale(2, Expr::sub(Expr::attr(x(), "m1"), Expr::attr(x(), "m2"))),
+            Expr::scale(3, Expr::sub(Expr::attr(x(), "n1"), Expr::attr(x(), "n2"))),
+        );
+        assert!(e.length() >= 9);
+        assert_eq!(Expr::constant(1).length(), 1);
+    }
+
+    #[test]
+    fn linear_form_lowering() {
+        // 2*(x.A - y.B) + 6 ÷ 3  ==  2·x.A − 2·y.B + 2
+        let e = Expr::add(
+            Expr::scale(2, Expr::sub(Expr::attr(x(), "A"), Expr::attr(y(), "B"))),
+            Expr::div_const(Expr::constant(6), 3),
+        );
+        let f = e.linear_form().unwrap();
+        assert_eq!(f.coeff(AttrRef::new(x(), intern("A"))), Rational::from_int(2));
+        assert_eq!(f.coeff(AttrRef::new(y(), intern("B"))), Rational::from_int(-2));
+        assert_eq!(f.constant, Rational::from_int(2));
+    }
+
+    #[test]
+    fn linear_form_rejects_nonlinear_and_abs() {
+        let xa = Expr::attr(x(), "A");
+        let yb = Expr::attr(y(), "B");
+        assert!(Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone())).linear_form().is_none());
+        assert!(Expr::abs(xa.clone()).linear_form().is_none());
+        assert!(Expr::Div(Box::new(xa), Box::new(Expr::constant(0))).linear_form().is_none());
+    }
+
+    #[test]
+    fn linear_form_arithmetic_cancels() {
+        let f1 = Expr::attr(x(), "A").linear_form().unwrap();
+        let f2 = Expr::attr(x(), "A").linear_form().unwrap();
+        let diff = f1.sub(&f2);
+        assert_eq!(diff.as_constant(), Some(Rational::ZERO));
+        assert!(diff.vars().is_empty());
+    }
+
+    #[test]
+    fn linear_form_eval() {
+        let e = Expr::add(Expr::scale(3, Expr::attr(x(), "A")), Expr::constant(1));
+        let f = e.linear_form().unwrap();
+        let v = f
+            .eval(|_| Some(Rational::from_int(4)))
+            .unwrap();
+        assert_eq!(v, Rational::from_int(13));
+        // missing variable propagates None
+        assert_eq!(f.eval(|_| None), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::sub(Expr::attr(x(), "dDate"), Expr::attr(y(), "cDate"));
+        let s = format!("{e}");
+        assert!(s.contains("dDate"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn numeric_expr_check() {
+        assert!(Expr::constant(3).is_numeric_expr());
+        assert!(!Expr::string("living people").is_numeric_expr());
+        assert!(Expr::Lit(Value::Bool(true)).is_numeric_expr());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Expr::abs(Expr::sub(Expr::attr(x(), "A"), Expr::constant(4)));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Expr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

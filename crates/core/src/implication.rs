@@ -1,0 +1,281 @@
+//! Implication analysis `Σ ⊨ φ` (Section 4).
+//!
+//! `Σ` implies `φ = Q[x̄](X → Y)` iff every graph satisfying `Σ` also
+//! satisfies `φ`.  The problem is Π₂ᵖ-complete.  Following the paper's
+//! small-model property, this module searches for a **canonical witness**
+//! of non-implication: a consistent attribution of the canonical
+//! instantiation of `Q_φ` that
+//!
+//! * honours every dependency of `Σ` (for every homomorphic match of every
+//!   pattern of `Σ` into the candidate model), and
+//! * satisfies `X` on the identity match of `Q_φ` while violating `Y`.
+//!
+//! If such an attribution exists, `Σ ⊭ φ` (the witness is a counter-model);
+//! if the search space is exhausted, `Σ ⊨ φ`.  Arithmetic feasibility is
+//! delegated to [`crate::linsolve`]; undecided sub-problems surface as
+//! [`Verdict::Unknown`].
+//!
+//! Implication analysis is what lets a rule engineer prune redundant
+//! data-quality rules before running detection (Section 1 of the paper).
+
+use crate::expr::Expr;
+use crate::literal::Literal;
+use crate::ngd::{Ngd, RuleSet};
+use crate::satisfiability::{
+    canonical_graph, AnalysisConfig, AnalysisError, Verdict,
+};
+use crate::satisfiability::internal::{solve_obligations, Obligation};
+
+/// Does `Σ ⊨ φ` hold?
+pub fn implies(
+    sigma: &RuleSet,
+    phi: &Ngd,
+    config: &AnalysisConfig,
+) -> Result<Verdict, AnalysisError> {
+    for rule in sigma.iter().chain(std::iter::once(phi)) {
+        if !rule.is_linear() {
+            return Err(AnalysisError::NonLinearRule(rule.id.clone()));
+        }
+    }
+    // Candidate counter-model: canonical instantiation of φ's pattern.
+    let (model, identity) = canonical_graph(&phi.pattern, usize::MAX / 2);
+    if identity.is_empty() {
+        // A pattern with no nodes cannot witness anything; treat φ as implied
+        // iff its consequence is a tautology over the empty match, which the
+        // solver below decides with no Σ-obligations.
+        return Ok(Verdict::Yes);
+    }
+
+    let mut obligations = match crate::satisfiability::internal::collect_obligations(
+        sigma, &model, config,
+    ) {
+        Some(o) => o,
+        None => return Ok(Verdict::Unknown),
+    };
+
+    // Assert X_φ on the identity match: encoded as an obligation with an
+    // empty premise (the solver must then satisfy every literal).
+    obligations.push(Obligation::new(
+        vec![],
+        phi.premise
+            .iter()
+            .map(|l| crate::satisfiability::internal::rebase_literal(l, &identity))
+            .collect(),
+    ));
+    // Assert ¬Y_φ on the identity match: encoded as `Y → false`, forcing the
+    // solver to falsify at least one consequence literal of φ.
+    let always_false = Literal::eq(Expr::constant(0), Expr::constant(1));
+    obligations.push(Obligation::new(
+        phi.consequence
+            .iter()
+            .map(|l| crate::satisfiability::internal::rebase_literal(l, &identity))
+            .collect(),
+        vec![always_false],
+    ));
+
+    // A consistent attribution = a counter-model = Σ does NOT imply φ.
+    Ok(match solve_obligations(&obligations, config) {
+        Verdict::Yes => Verdict::No,
+        Verdict::No => Verdict::Yes,
+        Verdict::Unknown => Verdict::Unknown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::literal::Literal;
+    use crate::pattern::{Pattern, Var};
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    fn single(label: &str) -> Pattern {
+        let mut q = Pattern::new();
+        q.add_node("x", label);
+        q
+    }
+
+    fn x() -> Var {
+        Var(0)
+    }
+
+    #[test]
+    fn rule_implies_itself() {
+        let rule = Ngd::new(
+            "r",
+            single("account"),
+            vec![Literal::ge(Expr::attr(x(), "follower"), Expr::constant(10))],
+            vec![Literal::ge(Expr::attr(x(), "following"), Expr::constant(1))],
+        )
+        .unwrap();
+        let sigma = RuleSet::from_rules(vec![rule.clone()]);
+        assert_eq!(implies(&sigma, &rule, &cfg()).unwrap(), Verdict::Yes);
+    }
+
+    #[test]
+    fn weaker_consequence_is_implied() {
+        // Σ: A = 7.  φ: A ≥ 5.  Σ ⊨ φ.
+        let sigma = RuleSet::from_rules(vec![Ngd::new(
+            "strong",
+            single("_"),
+            vec![],
+            vec![Literal::eq(Expr::attr(x(), "A"), Expr::constant(7))],
+        )
+        .unwrap()]);
+        let weaker = Ngd::new(
+            "weak",
+            single("_"),
+            vec![],
+            vec![Literal::ge(Expr::attr(x(), "A"), Expr::constant(5))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &weaker, &cfg()).unwrap(), Verdict::Yes);
+    }
+
+    #[test]
+    fn stronger_consequence_is_not_implied() {
+        // Σ: A ≥ 5.  φ: A = 7.  Σ ⊭ φ (witness: A = 5).
+        let sigma = RuleSet::from_rules(vec![Ngd::new(
+            "weak",
+            single("_"),
+            vec![],
+            vec![Literal::ge(Expr::attr(x(), "A"), Expr::constant(5))],
+        )
+        .unwrap()]);
+        let stronger = Ngd::new(
+            "strong",
+            single("_"),
+            vec![],
+            vec![Literal::eq(Expr::attr(x(), "A"), Expr::constant(7))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &stronger, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn transitive_arithmetic_implication() {
+        // Σ: {A + B = 10, A = 4}.  φ: B = 6.  Σ ⊨ φ.
+        let sigma = RuleSet::from_rules(vec![
+            Ngd::new(
+                "sum",
+                single("_"),
+                vec![],
+                vec![Literal::eq(
+                    Expr::add(Expr::attr(x(), "A"), Expr::attr(x(), "B")),
+                    Expr::constant(10),
+                )],
+            )
+            .unwrap(),
+            Ngd::new(
+                "a4",
+                single("_"),
+                vec![],
+                vec![Literal::eq(Expr::attr(x(), "A"), Expr::constant(4))],
+            )
+            .unwrap(),
+        ]);
+        let phi = Ngd::new(
+            "b6",
+            single("_"),
+            vec![],
+            vec![Literal::eq(Expr::attr(x(), "B"), Expr::constant(6))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &phi, &cfg()).unwrap(), Verdict::Yes);
+        // But B = 7 is not implied.
+        let phi7 = Ngd::new(
+            "b7",
+            single("_"),
+            vec![],
+            vec![Literal::eq(Expr::attr(x(), "B"), Expr::constant(7))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &phi7, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn premise_strengthening_is_implied() {
+        // Σ: (A ≤ 3 → B > 6).  φ: (A ≤ 2 → B > 6).  Σ ⊨ φ.
+        let sigma = RuleSet::from_rules(vec![Ngd::new(
+            "base",
+            single("_"),
+            vec![Literal::le(Expr::attr(x(), "A"), Expr::constant(3))],
+            vec![Literal::gt(Expr::attr(x(), "B"), Expr::constant(6))],
+        )
+        .unwrap()]);
+        let phi = Ngd::new(
+            "narrower",
+            single("_"),
+            vec![Literal::le(Expr::attr(x(), "A"), Expr::constant(2))],
+            vec![Literal::gt(Expr::attr(x(), "B"), Expr::constant(6))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &phi, &cfg()).unwrap(), Verdict::Yes);
+        // The converse direction does not hold.
+        let sigma2 = RuleSet::from_rules(vec![phi]);
+        let base = sigma.rules()[0].clone();
+        assert_eq!(implies(&sigma2, &base, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn unrelated_labels_are_not_implied() {
+        // Σ constrains 'a'-labelled nodes; φ talks about 'b'-labelled nodes.
+        let sigma = RuleSet::from_rules(vec![Ngd::new(
+            "on-a",
+            single("a"),
+            vec![],
+            vec![Literal::eq(Expr::attr(x(), "A"), Expr::constant(1))],
+        )
+        .unwrap()]);
+        let phi = Ngd::new(
+            "on-b",
+            single("b"),
+            vec![],
+            vec![Literal::eq(Expr::attr(x(), "A"), Expr::constant(1))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &phi, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn empty_sigma_implies_only_tautologies() {
+        let sigma = RuleSet::new();
+        let tautology = Ngd::new(
+            "taut",
+            single("_"),
+            vec![Literal::gt(Expr::attr(x(), "A"), Expr::constant(5))],
+            vec![Literal::ge(Expr::attr(x(), "A"), Expr::constant(5))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &tautology, &cfg()).unwrap(), Verdict::Yes);
+        let contingent = Ngd::new(
+            "cont",
+            single("_"),
+            vec![],
+            vec![Literal::ge(Expr::attr(x(), "A"), Expr::constant(5))],
+        )
+        .unwrap();
+        assert_eq!(implies(&sigma, &contingent, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn nonlinear_phi_is_refused() {
+        let sigma = RuleSet::new();
+        let nl = Ngd::new_unchecked(
+            "nl",
+            single("_"),
+            vec![],
+            vec![Literal::eq(
+                Expr::Mul(Box::new(Expr::attr(x(), "A")), Box::new(Expr::attr(x(), "B"))),
+                Expr::constant(1),
+            )],
+        );
+        assert!(matches!(
+            implies(&sigma, &nl, &cfg()),
+            Err(AnalysisError::NonLinearRule(_))
+        ));
+    }
+}

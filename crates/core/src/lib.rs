@@ -1,0 +1,57 @@
+//! # ngd-core
+//!
+//! **Numeric graph dependencies (NGDs)** — the primary contribution of
+//! *"Catching Numeric Inconsistencies in Graphs"* (Fan, Liu, Lu, Tian —
+//! SIGMOD 2018).
+//!
+//! An NGD `φ = Q[x̄](X → Y)` combines
+//!
+//! * a **graph pattern** `Q[x̄]` ([`Pattern`]) matched in a data graph by
+//!   homomorphism, identifying the entities `x̄` the rule talks about, and
+//! * an **attribute dependency** `X → Y` between two sets of
+//!   [`Literal`]s `e₁ ⊗ e₂`, where the `eᵢ` are **linear arithmetic
+//!   expressions** ([`Expr`]) over node attributes and `⊗` is one of
+//!   `=, ≠, <, ≤, >, ≥`.
+//!
+//! NGDs subsume the GFDs of Fan et al. (SIGMOD'16) and relational CFDs, and
+//! additionally catch numeric inconsistencies (population sums, date
+//! ordering, rank/population monotonicity, follower-count based fake-account
+//! rules, …) that are beyond those classes.
+//!
+//! This crate provides:
+//!
+//! * the rule language: [`Pattern`], [`Expr`], [`Literal`], [`Ngd`],
+//!   [`RuleSet`] (with serde round-tripping and a text DSL in [`parser`]);
+//! * exact evaluation of literals and dependencies on matches ([`eval`]);
+//! * the static analyses of Section 4: satisfiability, strong
+//!   satisfiability ([`satisfiability`]) and implication ([`implication`]),
+//!   built on an exact linear-constraint solver over the integers
+//!   ([`linsolve`]);
+//! * the worked examples of the paper ([`paper`]), used throughout the
+//!   tests, examples and benchmarks of this workspace.
+//!
+//! Error *detection* with NGDs (batch, incremental and parallel) lives in
+//! the `ngd-match` and `ngd-detect` crates.
+
+pub mod eval;
+pub mod expr;
+pub mod implication;
+pub mod linsolve;
+pub mod literal;
+pub mod ngd;
+pub mod paper;
+pub mod parser;
+pub mod pattern;
+pub mod rational;
+pub mod satisfiability;
+
+pub use eval::{dependency_holds, is_violation, literal_holds, literals_hold, Evaluated};
+pub use expr::{AttrRef, Expr, LinearForm};
+pub use implication::implies;
+pub use linsolve::{ConstraintSystem, Feasibility};
+pub use literal::{CmpOp, Literal};
+pub use ngd::{Ngd, NgdError, RuleSet};
+pub use parser::{parse_rule, parse_rule_set, ParseError};
+pub use pattern::{Pattern, PatternEdge, PatternNode, Var};
+pub use rational::Rational;
+pub use satisfiability::{is_satisfiable, is_strongly_satisfiable, AnalysisConfig, AnalysisError, Verdict};

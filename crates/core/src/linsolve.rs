@@ -1,0 +1,650 @@
+//! Feasibility of conjunctions of linear constraints over the integers.
+//!
+//! The satisfiability and implication analyses (Section 4 of the paper)
+//! reduce to the question: *does a conjunction of linear (in)equalities and
+//! disequalities over integer-valued attribute variables have a solution?*
+//! The paper notes that linear arithmetic constraints over the integers
+//! have an NP-complete satisfiability problem but admit bounded solutions
+//! (Cook et al.'s sensitivity theorems), which is what powers its
+//! small-model results.
+//!
+//! [`ConstraintSystem`] implements a sound solver:
+//!
+//! 1. disequalities (`≠`) are split into `<` / `>` branches;
+//! 2. the rational relaxation is decided exactly with **Fourier–Motzkin
+//!    elimination** (strict inequalities tracked) — if the relaxation is
+//!    infeasible the integer system is infeasible;
+//! 3. if the relaxation is feasible, a bounded depth-first search over
+//!    integer assignments (with per-variable bounds derived from the
+//!    constraints) looks for an integer witness.
+//!
+//! The solver is *sound* in both directions and complete within its search
+//! budget; when the budget is exhausted it reports [`Feasibility::Unknown`]
+//! rather than guessing — callers (the satisfiability checker) surface
+//! this honestly.
+
+use crate::expr::{AttrRef, LinearForm};
+use crate::literal::{CmpOp, Literal};
+use crate::rational::Rational;
+use std::collections::BTreeMap;
+
+/// Result of a feasibility query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Feasibility {
+    /// A concrete integer witness was found.
+    Feasible(BTreeMap<AttrRef, i64>),
+    /// The system has no solution (not even over the rationals, or no
+    /// integer point within the derived bounds of a bounded region).
+    Infeasible,
+    /// The solver could not decide within its budget.
+    Unknown,
+}
+
+impl Feasibility {
+    /// Is this a definite "has a solution"?
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible(_))
+    }
+
+    /// Is this a definite "has no solution"?
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, Feasibility::Infeasible)
+    }
+}
+
+/// A single normalized inequality `form ≤ 0` (or `form < 0` when `strict`).
+#[derive(Debug, Clone)]
+struct Ineq {
+    form: LinearForm,
+    strict: bool,
+}
+
+impl Ineq {
+    fn is_constant(&self) -> bool {
+        self.form.coeffs.is_empty()
+    }
+
+    /// For a constant constraint, does it hold?
+    fn constant_holds(&self) -> bool {
+        if self.strict {
+            self.form.constant < Rational::ZERO
+        } else {
+            self.form.constant <= Rational::ZERO
+        }
+    }
+}
+
+/// Errors adding a literal to a constraint system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// The literal involves `|·|`, a non-linear product, or a non-numeric
+    /// constant, and cannot be lowered to a linear constraint.
+    NotLinearizable(String),
+}
+
+impl std::fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintError::NotLinearizable(lit) => {
+                write!(f, "literal `{lit}` cannot be lowered to a linear constraint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+/// A conjunction of linear constraints over integer attribute variables.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSystem {
+    /// Normalized inequalities `form ≤ 0` / `form < 0`.
+    inequalities: Vec<Ineq>,
+    /// Equalities `form = 0`.
+    equalities: Vec<LinearForm>,
+    /// Disequalities `form ≠ 0`.
+    disequalities: Vec<LinearForm>,
+    /// Maximum number of search nodes for the integer search.
+    budget: usize,
+}
+
+impl ConstraintSystem {
+    /// An empty (trivially feasible) system.
+    pub fn new() -> Self {
+        ConstraintSystem {
+            budget: 20_000,
+            ..ConstraintSystem::default()
+        }
+    }
+
+    /// Override the integer-search budget (number of explored assignments).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Number of constraints of all kinds.
+    pub fn len(&self) -> usize {
+        self.inequalities.len() + self.equalities.len() + self.disequalities.len()
+    }
+
+    /// Is the system empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Add the constraint `lhs ⊗ rhs` from a literal (both sides must be
+    /// linearizable).
+    pub fn add_literal(&mut self, literal: &Literal) -> Result<(), ConstraintError> {
+        let lhs = literal
+            .lhs
+            .linear_form()
+            .ok_or_else(|| ConstraintError::NotLinearizable(literal.to_string()))?;
+        let rhs = literal
+            .rhs
+            .linear_form()
+            .ok_or_else(|| ConstraintError::NotLinearizable(literal.to_string()))?;
+        let diff = lhs.sub(&rhs); // lhs - rhs ⊗ 0
+        match literal.op {
+            CmpOp::Eq => self.equalities.push(diff),
+            CmpOp::Ne => self.disequalities.push(diff),
+            CmpOp::Lt => self.inequalities.push(Ineq { form: diff, strict: true }),
+            CmpOp::Le => self.inequalities.push(Ineq { form: diff, strict: false }),
+            CmpOp::Gt => self.inequalities.push(Ineq {
+                form: diff.scale(Rational::from_int(-1)),
+                strict: true,
+            }),
+            CmpOp::Ge => self.inequalities.push(Ineq {
+                form: diff.scale(Rational::from_int(-1)),
+                strict: false,
+            }),
+        }
+        Ok(())
+    }
+
+    /// Add the *negation* of a literal (`¬(lhs ⊗ rhs)`).
+    pub fn add_negated_literal(&mut self, literal: &Literal) -> Result<(), ConstraintError> {
+        self.add_literal(&literal.negated())
+    }
+
+    /// All variables mentioned by the system, in deterministic order.
+    pub fn variables(&self) -> Vec<AttrRef> {
+        let mut vars: Vec<AttrRef> = Vec::new();
+        for ineq in &self.inequalities {
+            vars.extend(ineq.form.vars());
+        }
+        for eq in &self.equalities {
+            vars.extend(eq.vars());
+        }
+        for ne in &self.disequalities {
+            vars.extend(ne.vars());
+        }
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Decide feasibility over the **rationals** (exact, via
+    /// Fourier–Motzkin).  Disequalities are ignored here (they exclude a
+    /// measure-zero set and never make a rationally-feasible open system
+    /// infeasible on their own; the integer search accounts for them).
+    pub fn rational_feasible(&self) -> bool {
+        let mut ineqs = self.inequalities.clone();
+        for eq in &self.equalities {
+            ineqs.push(Ineq { form: eq.clone(), strict: false });
+            ineqs.push(Ineq {
+                form: eq.scale(Rational::from_int(-1)),
+                strict: false,
+            });
+        }
+        fourier_motzkin_feasible(ineqs)
+    }
+
+    /// Decide feasibility over the **integers**, returning a witness when
+    /// one is found.
+    pub fn solve(&self) -> Feasibility {
+        // Branch over disequalities first: form ≠ 0  ⇒  form < 0 ∨ form > 0.
+        if let Some(ne) = self.disequalities.first() {
+            let rest: Vec<LinearForm> = self.disequalities[1..].to_vec();
+            for negated in [false, true] {
+                let mut branch = self.clone();
+                branch.disequalities = rest.clone();
+                let form = if negated {
+                    ne.scale(Rational::from_int(-1))
+                } else {
+                    ne.clone()
+                };
+                branch.inequalities.push(Ineq { form, strict: true });
+                match branch.solve() {
+                    Feasibility::Feasible(sol) => return Feasibility::Feasible(sol),
+                    Feasibility::Unknown => return Feasibility::Unknown,
+                    Feasibility::Infeasible => {}
+                }
+            }
+            return Feasibility::Infeasible;
+        }
+
+        if !self.rational_feasible() {
+            return Feasibility::Infeasible;
+        }
+
+        // Rational relaxation is feasible: search for an integer witness.
+        let mut ineqs = self.inequalities.clone();
+        for eq in &self.equalities {
+            ineqs.push(Ineq { form: eq.clone(), strict: false });
+            ineqs.push(Ineq {
+                form: eq.scale(Rational::from_int(-1)),
+                strict: false,
+            });
+        }
+        let vars = self.variables();
+        if vars.is_empty() {
+            // Constant system: rational feasibility already decided it.
+            return Feasibility::Feasible(BTreeMap::new());
+        }
+        let bound = self.fallback_bound();
+        let mut budget = self.budget;
+        let mut assignment = BTreeMap::new();
+        let mut used_fallback = false;
+        match search_integers(
+            &ineqs,
+            &vars,
+            0,
+            bound,
+            &mut assignment,
+            &mut budget,
+            &mut used_fallback,
+        ) {
+            Some(true) => Feasibility::Feasible(assignment),
+            // If any variable had to fall back to the heuristic search box,
+            // exhausting that box does not prove integer infeasibility.
+            Some(false) if used_fallback => Feasibility::Unknown,
+            Some(false) => Feasibility::Infeasible,
+            None => Feasibility::Unknown,
+        }
+    }
+
+    /// A crude but sufficient bound for the integer search box when a
+    /// variable is unbounded by the constraints: proportional to the
+    /// largest constant and coefficient magnitudes (mirroring the
+    /// bounded-solution property of integer linear systems).
+    fn fallback_bound(&self) -> i64 {
+        let mut max_mag: i128 = 1;
+        let mut consider = |form: &LinearForm| {
+            max_mag = max_mag.max(form.constant.numer().abs());
+            max_mag = max_mag.max(form.constant.denom());
+            for c in form.coeffs.values() {
+                max_mag = max_mag.max(c.numer().abs()).max(c.denom());
+            }
+        };
+        for ineq in &self.inequalities {
+            consider(&ineq.form);
+        }
+        for eq in &self.equalities {
+            consider(eq);
+        }
+        for ne in &self.disequalities {
+            consider(ne);
+        }
+        let vars = self.variables().len() as i128 + 1;
+        (max_mag.saturating_mul(vars).saturating_add(8)).min(1_000_000) as i64
+    }
+}
+
+/// Substitute a value for a variable in an inequality.
+fn substitute(ineq: &Ineq, var: AttrRef, value: Rational) -> Ineq {
+    let coeff = ineq.form.coeff(var);
+    if coeff == Rational::ZERO {
+        return ineq.clone();
+    }
+    let mut form = ineq.form.clone();
+    form.coeffs.remove(&var);
+    form.constant = form.constant + coeff * value;
+    Ineq {
+        form,
+        strict: ineq.strict,
+    }
+}
+
+/// Fourier–Motzkin elimination: is the conjunction of `form ≤/< 0`
+/// constraints feasible over the rationals?
+fn fourier_motzkin_feasible(mut ineqs: Vec<Ineq>) -> bool {
+    loop {
+        // Check constant constraints and drop them.
+        for ineq in &ineqs {
+            if ineq.is_constant() && !ineq.constant_holds() {
+                return false;
+            }
+        }
+        ineqs.retain(|i| !i.is_constant());
+        // Pick a variable to eliminate.
+        let var = match ineqs.iter().flat_map(|i| i.form.vars()).next() {
+            Some(v) => v,
+            None => return true,
+        };
+        let mut lowers: Vec<Ineq> = Vec::new(); // coeff < 0: var ≥ …
+        let mut uppers: Vec<Ineq> = Vec::new(); // coeff > 0: var ≤ …
+        let mut rest: Vec<Ineq> = Vec::new();
+        for ineq in ineqs {
+            let c = ineq.form.coeff(var);
+            if c == Rational::ZERO {
+                rest.push(ineq);
+            } else if c > Rational::ZERO {
+                uppers.push(ineq);
+            } else {
+                lowers.push(ineq);
+            }
+        }
+        // Combine every (lower, upper) pair.
+        for lo in &lowers {
+            for up in &uppers {
+                let cl = lo.form.coeff(var); // negative
+                let cu = up.form.coeff(var); // positive
+                // Normalize both to coefficient ±1 on `var` and add:
+                //   up/cu  +  lo/(-cl)   has zero coefficient on var.
+                let combined = up
+                    .form
+                    .scale(Rational::ONE / cu)
+                    .add(&lo.form.scale(Rational::ONE / (-cl)));
+                rest.push(Ineq {
+                    form: combined,
+                    strict: lo.strict || up.strict,
+                });
+            }
+        }
+        ineqs = rest;
+        // Bounded only on one side (or not at all): those constraints are
+        // always satisfiable for that variable and have been dropped.
+        if ineqs.is_empty() {
+            return true;
+        }
+    }
+}
+
+/// Depth-first search for an integer assignment satisfying all
+/// inequalities.  Returns `Some(true)` on success (filling `assignment`),
+/// `Some(false)` if the finite search space is exhausted, `None` if the
+/// budget ran out.
+#[allow(clippy::too_many_arguments)]
+fn search_integers(
+    ineqs: &[Ineq],
+    vars: &[AttrRef],
+    index: usize,
+    fallback_bound: i64,
+    assignment: &mut BTreeMap<AttrRef, i64>,
+    budget: &mut usize,
+    used_fallback: &mut bool,
+) -> Option<bool> {
+    if *budget == 0 {
+        return None;
+    }
+    *budget -= 1;
+    if index == vars.len() {
+        let ok = ineqs.iter().all(|i| i.is_constant() && i.constant_holds());
+        return Some(ok);
+    }
+    let var = vars[index];
+    // Derive bounds on `var` from constraints whose only remaining variable
+    // is `var` (all earlier variables have been substituted away).
+    let mut lower: Option<Rational> = None;
+    let mut upper: Option<Rational> = None;
+    let mut contradiction = false;
+    for ineq in ineqs {
+        if ineq.is_constant() {
+            if !ineq.constant_holds() {
+                contradiction = true;
+            }
+            continue;
+        }
+        let c = ineq.form.coeff(var);
+        if c == Rational::ZERO || ineq.form.coeffs.len() > 1 {
+            continue;
+        }
+        // c·var + k ≤ 0  ⇒  var ≤ −k/c (c > 0)  or  var ≥ −k/c (c < 0).
+        let bound = (-ineq.form.constant) / c;
+        if c > Rational::ZERO {
+            let adjusted = if ineq.strict {
+                // var < bound ⇒ integer var ≤ ceil(bound) − 1
+                Rational::from_int(bound.ceil() as i64 - 1)
+            } else {
+                Rational::from_int(bound.floor() as i64)
+            };
+            upper = Some(upper.map_or(adjusted, |u: Rational| u.min(adjusted)));
+        } else {
+            let adjusted = if ineq.strict {
+                Rational::from_int(bound.floor() as i64 + 1)
+            } else {
+                Rational::from_int(bound.ceil() as i64)
+            };
+            lower = Some(lower.map_or(adjusted, |l: Rational| l.max(adjusted)));
+        }
+    }
+    if contradiction {
+        return Some(false);
+    }
+    if lower.is_none() || upper.is_none() {
+        *used_fallback = true;
+    }
+    let lo = lower
+        .map(|r| r.floor() as i64)
+        .unwrap_or(-fallback_bound)
+        .max(-fallback_bound);
+    let hi = upper
+        .map(|r| r.ceil() as i64)
+        .unwrap_or(fallback_bound)
+        .min(fallback_bound);
+    if lo > hi {
+        return Some(false);
+    }
+    // Enumerate candidate values, preferring small magnitudes (solutions in
+    // practice cluster near the constants of the constraints).
+    let mut candidates: Vec<i64> = (lo..=hi).collect();
+    candidates.sort_by_key(|v| (v.abs(), *v));
+    let mut exhausted = true;
+    for value in candidates {
+        let substituted: Vec<Ineq> = ineqs
+            .iter()
+            .map(|i| substitute(i, var, Rational::from_int(value)))
+            .collect();
+        if substituted
+            .iter()
+            .any(|i| i.is_constant() && !i.constant_holds())
+        {
+            continue;
+        }
+        assignment.insert(var, value);
+        match search_integers(
+            &substituted,
+            vars,
+            index + 1,
+            fallback_bound,
+            assignment,
+            budget,
+            used_fallback,
+        ) {
+            Some(true) => return Some(true),
+            Some(false) => {
+                assignment.remove(&var);
+            }
+            None => {
+                assignment.remove(&var);
+                exhausted = false;
+                break;
+            }
+        }
+    }
+    if exhausted {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::pattern::Var;
+
+    fn xa() -> Expr {
+        Expr::attr(Var(0), "A")
+    }
+    fn xb() -> Expr {
+        Expr::attr(Var(0), "B")
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let sys = ConstraintSystem::new();
+        assert!(sys.rational_feasible());
+        assert!(sys.solve().is_feasible());
+    }
+
+    #[test]
+    fn paper_example5_phi5_phi6_conflict() {
+        // x.A = 7, x.B = 7, x.A + x.B = 11 — infeasible.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::eq(xa(), Expr::constant(7))).unwrap();
+        sys.add_literal(&Literal::eq(xb(), Expr::constant(7))).unwrap();
+        sys.add_literal(&Literal::eq(Expr::add(xa(), xb()), Expr::constant(11)))
+            .unwrap();
+        assert!(!sys.rational_feasible());
+        assert_eq!(sys.solve(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn consistent_equalities_produce_witness() {
+        // A = 7, B = 4, A + B = 11 — feasible with exactly that witness.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::eq(xa(), Expr::constant(7))).unwrap();
+        sys.add_literal(&Literal::eq(xb(), Expr::constant(4))).unwrap();
+        sys.add_literal(&Literal::eq(Expr::add(xa(), xb()), Expr::constant(11)))
+            .unwrap();
+        match sys.solve() {
+            Feasibility::Feasible(sol) => {
+                assert_eq!(sol.len(), 2);
+                assert!(sol.values().any(|&v| v == 7));
+                assert!(sol.values().any(|&v| v == 4));
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_example5_phi7_phi8_phi9_conflict() {
+        // φ9 forces B < 6 and A ≠ 0 (so A, B exist);
+        // φ7 (A ≤ 3 → B > 6) forces ¬(A ≤ 3), i.e. A > 3;
+        // φ8 (A > 3 → B > 6) forces ¬(A > 3): contradiction.
+        // Here we check the arithmetic core: {B < 6, A > 3, A ≤ 3} infeasible.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::lt(xb(), Expr::constant(6))).unwrap();
+        sys.add_literal(&Literal::gt(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::le(xa(), Expr::constant(3))).unwrap();
+        assert_eq!(sys.solve(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn strict_inequalities_over_integers() {
+        // 3 < A < 5 has the single integer solution A = 4.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::gt(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::lt(xa(), Expr::constant(5))).unwrap();
+        match sys.solve() {
+            Feasibility::Feasible(sol) => assert_eq!(sol.values().next(), Some(&4)),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+        // 3 < A < 4 has no integer solution even though rationals exist.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::gt(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::lt(xa(), Expr::constant(4))).unwrap();
+        assert!(sys.rational_feasible());
+        assert_eq!(sys.solve(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn disequalities_branch() {
+        // A = 3 ∧ A ≠ 3 — infeasible.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::eq(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::ne(xa(), Expr::constant(3))).unwrap();
+        assert_eq!(sys.solve(), Feasibility::Infeasible);
+        // A ≠ 0 alone — feasible.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::ne(xa(), Expr::constant(0))).unwrap();
+        assert!(sys.solve().is_feasible());
+    }
+
+    #[test]
+    fn scaled_and_divided_coefficients() {
+        // 2·A − B ≤ 0, B ≤ 4, A ≥ 1 → A ∈ {1, 2}, e.g. A=1, B≥2.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::le(Expr::scale(2, xa()), xb())).unwrap();
+        sys.add_literal(&Literal::le(xb(), Expr::constant(4))).unwrap();
+        sys.add_literal(&Literal::ge(xa(), Expr::constant(1))).unwrap();
+        match sys.solve() {
+            Feasibility::Feasible(sol) => {
+                let a = sol[&AttrRef::new(Var(0), ngd_graph::intern("A"))];
+                let b = sol[&AttrRef::new(Var(0), ngd_graph::intern("B"))];
+                assert!(2 * a <= b && b <= 4 && a >= 1);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+        // A ÷ 2 ≥ 3 ∧ A ≤ 5 — infeasible.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::ge(Expr::div_const(xa(), 2), Expr::constant(3)))
+            .unwrap();
+        sys.add_literal(&Literal::le(xa(), Expr::constant(5))).unwrap();
+        assert_eq!(sys.solve(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn negated_literal_adds_complement() {
+        let mut sys = ConstraintSystem::new();
+        // ¬(A ≤ 3) ⇒ A > 3; combined with A < 4 over integers: infeasible.
+        sys.add_negated_literal(&Literal::le(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::lt(xa(), Expr::constant(4))).unwrap();
+        assert_eq!(sys.solve(), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn absolute_value_is_rejected() {
+        let mut sys = ConstraintSystem::new();
+        let err = sys
+            .add_literal(&Literal::le(Expr::abs(xa()), Expr::constant(3)))
+            .unwrap_err();
+        assert!(matches!(err, ConstraintError::NotLinearizable(_)));
+    }
+
+    #[test]
+    fn unbounded_feasible_systems_find_small_witnesses() {
+        // A ≥ 10 (no upper bound): witness should be found quickly.
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::ge(xa(), Expr::constant(10))).unwrap();
+        match sys.solve() {
+            Feasibility::Feasible(sol) => assert!(*sol.values().next().unwrap() >= 10),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let mut sys = ConstraintSystem::new().with_budget(1);
+        sys.add_literal(&Literal::ge(xa(), Expr::constant(0))).unwrap();
+        sys.add_literal(&Literal::ge(xb(), Expr::constant(0))).unwrap();
+        sys.add_literal(&Literal::le(Expr::add(xa(), xb()), Expr::constant(100)))
+            .unwrap();
+        assert_eq!(sys.solve(), Feasibility::Unknown);
+    }
+
+    #[test]
+    fn fraction_constraints_are_exact() {
+        // A ÷ 3 > 1 ∧ A ≤ 4 ⇒ A = 4 (exact rational comparison required).
+        let mut sys = ConstraintSystem::new();
+        sys.add_literal(&Literal::gt(Expr::div_const(xa(), 3), Expr::constant(1)))
+            .unwrap();
+        sys.add_literal(&Literal::le(xa(), Expr::constant(4))).unwrap();
+        match sys.solve() {
+            Feasibility::Feasible(sol) => assert_eq!(*sol.values().next().unwrap(), 4),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+}

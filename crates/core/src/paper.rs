@@ -1,0 +1,462 @@
+//! The paper's worked examples: rules φ1–φ9, NGD1–NGD3 and the Figure-1
+//! graphs G1–G4.
+//!
+//! These are used pervasively by the unit tests, the integration tests, the
+//! runnable examples and the effectiveness experiment (Exp-5), so they live
+//! in the core crate next to the rule language itself.
+//!
+//! | Item | Source in the paper | What it captures |
+//! |------|---------------------|-------------------|
+//! | `phi1` | Example 3 (1), Yago | an entity cannot be destroyed within `c` days of its creation |
+//! | `phi2` | Example 3 (2), Yago | female + male population = total population |
+//! | `phi3` | Example 3 (3), DBpedia | smaller population ⇒ larger (numerically) population rank |
+//! | `phi4` | Example 3 (4), Twitter | follower/following gap exposes fake accounts |
+//! | `phi5`–`phi9` | Example 5 | (un)satisfiability demonstrations |
+//! | `ngd1`–`ngd3` | Exp-5 / Fig 4(o) | real-life rules found effective on DBpedia |
+//! | `figure1_g1`–`figure1_g4` | Figure 1 | the four inconsistent subgraphs |
+
+use crate::expr::Expr;
+use crate::literal::Literal;
+use crate::ngd::{Ngd, RuleSet};
+use crate::pattern::Pattern;
+use ngd_graph::{Graph, GraphBuilder, NodeId, Value};
+
+/// φ1 — `Q1[x,y,z](∅ → z.val − y.val ≥ c)`: an entity cannot be destroyed
+/// within `c` days of its creation (Yago).
+pub fn phi1(c: i64) -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_wildcard("x");
+    let y = q.add_node("y", "date");
+    let z = q.add_node("z", "date");
+    q.add_edge(x, y, "wasCreatedOnDate");
+    q.add_edge(x, z, "wasDestroyedOnDate");
+    Ngd::new(
+        "phi1",
+        q,
+        vec![],
+        vec![Literal::ge(
+            Expr::sub(Expr::attr(z, "val"), Expr::attr(y, "val")),
+            Expr::constant(c),
+        )],
+    )
+    .expect("phi1 is a valid NGD")
+}
+
+/// φ2 — `Q2[w,x,y,z](∅ → y.val + z.val = w.val)`: female population plus
+/// male population equals total population (Yago).
+pub fn phi2() -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_node("x", "area");
+    let y = q.add_node("y", "integer");
+    let z = q.add_node("z", "integer");
+    let w = q.add_node("w", "integer");
+    q.add_edge(x, y, "femalePopulation");
+    q.add_edge(x, z, "malePopulation");
+    q.add_edge(x, w, "populationTotal");
+    Ngd::new(
+        "phi2",
+        q,
+        vec![],
+        vec![Literal::eq(
+            Expr::add(Expr::attr(y, "val"), Expr::attr(z, "val")),
+            Expr::attr(w, "val"),
+        )],
+    )
+    .expect("phi2 is a valid NGD")
+}
+
+/// φ3 — `Q3[x̄](m1.val < m2.val → n1.val > n2.val)`: within the same
+/// census, a place with a smaller population must have a numerically larger
+/// population rank (DBpedia).
+pub fn phi3() -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_node("x", "place");
+    let y = q.add_node("y", "place");
+    let z = q.add_node("z", "place");
+    let w = q.add_node("w", "date");
+    let m1 = q.add_node("m1", "integer");
+    let m2 = q.add_node("m2", "integer");
+    let n1 = q.add_node("n1", "integer");
+    let n2 = q.add_node("n2", "integer");
+    q.add_edge(x, z, "partOf");
+    q.add_edge(y, z, "partOf");
+    q.add_edge(x, m1, "population");
+    q.add_edge(y, m2, "population");
+    q.add_edge(x, n1, "populationRank");
+    q.add_edge(y, n2, "populationRank");
+    q.add_edge(m1, w, "date");
+    q.add_edge(m2, w, "date");
+    Ngd::new(
+        "phi3",
+        q,
+        vec![Literal::lt(Expr::attr(m1, "val"), Expr::attr(m2, "val"))],
+        vec![Literal::gt(Expr::attr(n1, "val"), Expr::attr(n2, "val"))],
+    )
+    .expect("phi3 is a valid NGD")
+}
+
+/// φ4 — the Twitter fake-account rule: if account `x` is real
+/// (`s1.val = 1`) and the weighted follower/following gap between `x` and
+/// `y` (two accounts referring to the same company) exceeds `c`, then `y`
+/// is fake (`s2.val = 0`).
+pub fn phi4(a: i64, b: i64, c: i64) -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_node("x", "account");
+    let y = q.add_node("y", "account");
+    let w = q.add_node("w", "company");
+    let m1 = q.add_node("m1", "integer");
+    let m2 = q.add_node("m2", "integer");
+    let n1 = q.add_node("n1", "integer");
+    let n2 = q.add_node("n2", "integer");
+    let s1 = q.add_node("s1", "boolean");
+    let s2 = q.add_node("s2", "boolean");
+    q.add_edge(x, w, "keys");
+    q.add_edge(y, w, "keys");
+    q.add_edge(x, m1, "following");
+    q.add_edge(y, m2, "following");
+    q.add_edge(x, n1, "follower");
+    q.add_edge(y, n2, "follower");
+    q.add_edge(x, s1, "status");
+    q.add_edge(y, s2, "status");
+    Ngd::new(
+        "phi4",
+        q,
+        vec![
+            Literal::eq(Expr::attr(s1, "val"), Expr::constant(1)),
+            Literal::gt(
+                Expr::add(
+                    Expr::scale(a, Expr::sub(Expr::attr(m1, "val"), Expr::attr(m2, "val"))),
+                    Expr::scale(b, Expr::sub(Expr::attr(n1, "val"), Expr::attr(n2, "val"))),
+                ),
+                Expr::constant(c),
+            ),
+        ],
+        vec![Literal::eq(Expr::attr(s2, "val"), Expr::constant(0))],
+    )
+    .expect("phi4 is a valid NGD")
+}
+
+fn single_wildcard() -> Pattern {
+    let mut q = Pattern::new();
+    q.add_wildcard("x");
+    q
+}
+
+fn single_labelled(label: &str) -> Pattern {
+    let mut q = Pattern::new();
+    q.add_node("x", label);
+    q
+}
+
+/// φ5 — `Q[x](∅ → x.A = 7 ∧ x.B = 7)` over a single wildcard node.
+pub fn phi5() -> Ngd {
+    let q = single_wildcard();
+    let x = q.var_by_name("x").unwrap();
+    Ngd::new(
+        "phi5",
+        q,
+        vec![],
+        vec![
+            Literal::eq(Expr::attr(x, "A"), Expr::constant(7)),
+            Literal::eq(Expr::attr(x, "B"), Expr::constant(7)),
+        ],
+    )
+    .unwrap()
+}
+
+/// φ6 — `Q[x](∅ → x.A + x.B = 11)` over a single wildcard node; pass a
+/// label (e.g. `"a"`) for the variant used in Example 5.
+pub fn phi6(label: Option<&str>) -> Ngd {
+    let q = match label {
+        Some(l) => single_labelled(l),
+        None => single_wildcard(),
+    };
+    let x = q.var_by_name("x").unwrap();
+    Ngd::new(
+        "phi6",
+        q,
+        vec![],
+        vec![Literal::eq(
+            Expr::add(Expr::attr(x, "A"), Expr::attr(x, "B")),
+            Expr::constant(11),
+        )],
+    )
+    .unwrap()
+}
+
+/// φ7 — `Q[x](x.A ≤ 3 → x.B > 6)`.
+pub fn phi7() -> Ngd {
+    let q = single_wildcard();
+    let x = q.var_by_name("x").unwrap();
+    Ngd::new(
+        "phi7",
+        q,
+        vec![Literal::le(Expr::attr(x, "A"), Expr::constant(3))],
+        vec![Literal::gt(Expr::attr(x, "B"), Expr::constant(6))],
+    )
+    .unwrap()
+}
+
+/// φ8 — `Q[x](x.A > 3 → x.B > 6)`.
+pub fn phi8() -> Ngd {
+    let q = single_wildcard();
+    let x = q.var_by_name("x").unwrap();
+    Ngd::new(
+        "phi8",
+        q,
+        vec![Literal::gt(Expr::attr(x, "A"), Expr::constant(3))],
+        vec![Literal::gt(Expr::attr(x, "B"), Expr::constant(6))],
+    )
+    .unwrap()
+}
+
+/// φ9 — `Q[x](∅ → x.B < 6 ∧ x.A ≠ 0)`.
+pub fn phi9() -> Ngd {
+    let q = single_wildcard();
+    let x = q.var_by_name("x").unwrap();
+    Ngd::new(
+        "phi9",
+        q,
+        vec![],
+        vec![
+            Literal::lt(Expr::attr(x, "B"), Expr::constant(6)),
+            Literal::ne(Expr::attr(x, "A"), Expr::constant(0)),
+        ],
+    )
+    .unwrap()
+}
+
+/// NGD1 — `Q5[x̄](y.val < 1800 → z.val ≠ "living people")`: a person born
+/// before 1800 cannot be categorised as living (DBpedia, Exp-5).
+pub fn ngd1() -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_node("x", "person");
+    let y = q.add_node("y", "integer");
+    let z = q.add_node("z", "string");
+    q.add_edge(x, y, "birthYear");
+    q.add_edge(x, z, "category");
+    Ngd::new(
+        "ngd1",
+        q,
+        vec![Literal::lt(Expr::attr(y, "val"), Expr::constant(1800))],
+        vec![Literal::ne(Expr::attr(z, "val"), Expr::string("living people"))],
+    )
+    .unwrap()
+}
+
+/// NGD2 — `Q6[x̄](w.type = "Olympic" → z.val ≤ y.val)`: an Olympic
+/// competition cannot have more participating nations than competitors
+/// (DBpedia, Exp-5).  `y` is the competitor count, `z` the nation count.
+pub fn ngd2() -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_node("x", "competition");
+    let w = q.add_node("w", "event");
+    let y = q.add_node("y", "integer");
+    let z = q.add_node("z", "integer");
+    q.add_edge(x, w, "includes");
+    q.add_edge(x, y, "competitors");
+    q.add_edge(x, z, "nations");
+    Ngd::new(
+        "ngd2",
+        q,
+        vec![Literal::eq(Expr::attr(w, "type"), Expr::string("Olympic"))],
+        vec![Literal::le(Expr::attr(z, "val"), Expr::attr(y, "val"))],
+    )
+    .unwrap()
+}
+
+/// NGD3 — `Q7[x̄](∅ → x.numberOfWins ≥ w1.numberOfWins + w2.numberOfWins)`:
+/// a Formula-One team's season wins cannot be fewer than the combined wins
+/// of two of its drivers in the same year (DBpedia, Exp-5).
+pub fn ngd3() -> Ngd {
+    let mut q = Pattern::new();
+    let x = q.add_node("x", "team");
+    let w1 = q.add_node("w1", "driver");
+    let w2 = q.add_node("w2", "driver");
+    let y = q.add_node("y", "year");
+    q.add_edge(w1, x, "team");
+    q.add_edge(w2, x, "team");
+    q.add_edge(x, y, "year");
+    q.add_edge(w1, y, "year");
+    q.add_edge(w2, y, "year");
+    Ngd::new(
+        "ngd3",
+        q,
+        vec![],
+        vec![Literal::ge(
+            Expr::attr(x, "numberOfWins"),
+            Expr::add(Expr::attr(w1, "numberOfWins"), Expr::attr(w2, "numberOfWins")),
+        )],
+    )
+    .unwrap()
+}
+
+/// All rules from Example 3 and Exp-5 with the constants used throughout
+/// this workspace's tests (`phi1` with c = 1 day; `phi4` with a = b = 1 and
+/// c = 10 000).
+pub fn paper_rule_set() -> RuleSet {
+    RuleSet::from_rules(vec![
+        phi1(1),
+        phi2(),
+        phi3(),
+        phi4(1, 1, 10_000),
+        ngd1(),
+        ngd2(),
+        ngd3(),
+    ])
+}
+
+/// G1 of Figure 1: BBC Trust, created 2007 but destroyed 1946 — violates φ1.
+/// Returns the graph and the id of the institution node.
+pub fn figure1_g1() -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new();
+    b.node("bbc_trust", "institution");
+    b.node_with_attrs(
+        "created",
+        "date",
+        [("val", Value::from_date(2007, 1, 1))],
+    );
+    b.node_with_attrs(
+        "destroyed",
+        "date",
+        [("val", Value::from_date(1946, 8, 28))],
+    );
+    b.edge("bbc_trust", "created", "wasCreatedOnDate");
+    b.edge("bbc_trust", "destroyed", "wasDestroyedOnDate");
+    let (graph, names) = b.build_with_names();
+    let id = names["bbc_trust"];
+    (graph, id)
+}
+
+/// G2 of Figure 1: the village Bhonpur with 600 + 722 ≠ 1572 — violates φ2.
+pub fn figure1_g2() -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new();
+    b.node("bhonpur", "area");
+    b.node_with_attrs("female", "integer", [("val", Value::Int(600))]);
+    b.node_with_attrs("male", "integer", [("val", Value::Int(722))]);
+    b.node_with_attrs("total", "integer", [("val", Value::Int(1572))]);
+    b.edge("bhonpur", "female", "femalePopulation");
+    b.edge("bhonpur", "male", "malePopulation");
+    b.edge("bhonpur", "total", "populationTotal");
+    let (graph, names) = b.build_with_names();
+    let id = names["bhonpur"];
+    (graph, id)
+}
+
+/// G3 of Figure 1: Corona and Downey in California; Corona has the larger
+/// population but is ranked behind Downey — violates φ3.  Returns the graph
+/// and the id of the Downey node (the `x` of the violating match: the place
+/// with the smaller population whose rank is nevertheless ahead).
+pub fn figure1_g3() -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new();
+    b.node("corona", "place");
+    b.node("downey", "place");
+    b.node("california", "place");
+    b.node_with_attrs("census", "date", [("val", Value::from_date(2014, 4, 1))]);
+    b.node_with_attrs("corona_pop", "integer", [("val", Value::Int(160000))]);
+    b.node_with_attrs("downey_pop", "integer", [("val", Value::Int(111772))]);
+    b.node_with_attrs("corona_rank", "integer", [("val", Value::Int(33))]);
+    b.node_with_attrs("downey_rank", "integer", [("val", Value::Int(11))]);
+    b.edge("corona", "california", "partOf");
+    b.edge("downey", "california", "partOf");
+    b.edge("corona", "corona_pop", "population");
+    b.edge("downey", "downey_pop", "population");
+    b.edge("corona", "corona_rank", "populationRank");
+    b.edge("downey", "downey_rank", "populationRank");
+    b.edge("corona_pop", "census", "date");
+    b.edge("downey_pop", "census", "date");
+    let (graph, names) = b.build_with_names();
+    let id = names["downey"];
+    (graph, id)
+}
+
+/// G4 of Figure 1: the real NatWest Help account and the fake NatWest_Help
+/// account, both keyed to the NatWest company — violates φ4 (the fake
+/// account has status 1 but a huge follower/following deficit).
+pub fn figure1_g4() -> (Graph, NodeId) {
+    let mut b = GraphBuilder::new();
+    b.node("natwest_help_real", "account");
+    b.node("natwest_help_fake", "account");
+    b.node("natwest", "company");
+    b.node_with_attrs("real_following", "integer", [("val", Value::Int(22_000))]);
+    b.node_with_attrs("real_follower", "integer", [("val", Value::Int(75_900))]);
+    b.node_with_attrs("real_status", "boolean", [("val", Value::Bool(true))]);
+    b.node_with_attrs("fake_following", "integer", [("val", Value::Int(1))]);
+    b.node_with_attrs("fake_follower", "integer", [("val", Value::Int(2))]);
+    b.node_with_attrs("fake_status", "boolean", [("val", Value::Bool(true))]);
+    b.edge("natwest_help_real", "natwest", "keys");
+    b.edge("natwest_help_fake", "natwest", "keys");
+    b.edge("natwest_help_real", "real_following", "following");
+    b.edge("natwest_help_real", "real_follower", "follower");
+    b.edge("natwest_help_real", "real_status", "status");
+    b.edge("natwest_help_fake", "fake_following", "following");
+    b.edge("natwest_help_fake", "fake_follower", "follower");
+    b.edge("natwest_help_fake", "fake_status", "status");
+    let (graph, names) = b.build_with_names();
+    let id = names["natwest_help_fake"];
+    (graph, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfiability::{is_satisfiable, is_strongly_satisfiable, AnalysisConfig, Verdict};
+
+    #[test]
+    fn paper_rules_are_linear_and_mostly_beyond_gfds() {
+        let sigma = paper_rule_set();
+        assert_eq!(sigma.len(), 7);
+        for rule in sigma.iter() {
+            assert!(rule.is_linear(), "{} must be linear", rule.id);
+        }
+        // φ1–φ4 and NGD2/NGD3 need arithmetic or order predicates; only
+        // rules built purely from term equalities count as GFDs.
+        assert!(sigma.ngd_only_fraction() > 0.8);
+    }
+
+    #[test]
+    fn pattern_shapes_match_the_paper() {
+        assert_eq!(phi1(1).pattern.node_count(), 3);
+        assert_eq!(phi2().pattern.node_count(), 4);
+        assert_eq!(phi3().pattern.node_count(), 8);
+        assert_eq!(phi4(1, 1, 10).pattern.node_count(), 9);
+        assert_eq!(phi3().diameter(), 4);
+        assert!(phi4(1, 1, 10).diameter() >= 2);
+    }
+
+    #[test]
+    fn figure1_graphs_have_expected_shapes() {
+        let (g1, _) = figure1_g1();
+        assert_eq!(g1.node_count(), 3);
+        assert_eq!(g1.edge_count(), 2);
+        let (g2, _) = figure1_g2();
+        assert_eq!(g2.node_count(), 4);
+        let (g3, _) = figure1_g3();
+        assert_eq!(g3.edge_count(), 8);
+        let (g4, _) = figure1_g4();
+        assert_eq!(g4.node_count(), 9);
+        assert_eq!(g4.edge_count(), 8);
+    }
+
+    #[test]
+    fn example5_satisfiability_matrix() {
+        let cfg = AnalysisConfig::default();
+        let conflicting = RuleSet::from_rules(vec![phi5(), phi6(None)]);
+        assert_eq!(is_satisfiable(&conflicting, &cfg).unwrap(), Verdict::No);
+
+        let separated = RuleSet::from_rules(vec![phi5(), phi6(Some("a"))]);
+        assert_eq!(is_satisfiable(&separated, &cfg).unwrap(), Verdict::Yes);
+        assert_eq!(is_strongly_satisfiable(&separated, &cfg).unwrap(), Verdict::No);
+
+        let trio = RuleSet::from_rules(vec![phi7(), phi8(), phi9()]);
+        assert_eq!(is_satisfiable(&trio, &cfg).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn paper_rules_are_strongly_satisfiable_as_a_set() {
+        // The real data-quality rules do not conflict with each other.
+        let cfg = AnalysisConfig::default();
+        let sigma = paper_rule_set();
+        assert_eq!(is_strongly_satisfiable(&sigma, &cfg).unwrap(), Verdict::Yes);
+    }
+}

@@ -1,0 +1,641 @@
+//! A small text DSL for writing NGDs in rule files.
+//!
+//! The grammar mirrors how the paper presents its rules:
+//!
+//! ```text
+//! # Yago: an entity cannot be destroyed within 100 days of its creation.
+//! rule phi1 {
+//!   match (x:_), (y:date), (z:date);
+//!   edge x -[wasCreatedOnDate]-> y;
+//!   edge x -[wasDestroyedOnDate]-> z;
+//!   then z.val - y.val >= 100;
+//! }
+//!
+//! rule phi3 {
+//!   match (x:place), (y:place), (z:place), (w:date),
+//!         (m1:integer), (m2:integer), (n1:integer), (n2:integer);
+//!   edge x -[partOf]-> z;   edge y -[partOf]-> z;
+//!   edge x -[population]-> m1;  edge y -[population]-> m2;
+//!   edge x -[populationRank]-> n1; edge y -[populationRank]-> n2;
+//!   edge m1 -[date]-> w;    edge m2 -[date]-> w;
+//!   when m1.val < m2.val;
+//!   then n1.val > n2.val;
+//! }
+//! ```
+//!
+//! * `match` declares the pattern variables with their label constraints
+//!   (`_` is the wildcard);
+//! * `edge a -[label]-> b` declares a pattern edge;
+//! * `when` lists the premise literals `X` (comma-separated; omit the whole
+//!   clause for `X = ∅`);
+//! * `then` lists the consequence literals `Y`.
+//!
+//! Expressions support `+`, `-`, `*`, `/`, `|e|`, parentheses, integer and
+//! string constants, and `var.attr` terms; comparison operators are
+//! `=, !=, <, <=, >, >=`.  Comments run from `#` or `//` to end of line.
+
+use crate::expr::Expr;
+use crate::literal::{CmpOp, Literal};
+use crate::ngd::{Ngd, RuleSet};
+use crate::pattern::Pattern;
+use std::fmt;
+
+/// A parse error with a line number and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Symbol(String),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    line: usize,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut tokens = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                '#' => self.skip_line(),
+                '/' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'/') {
+                        self.skip_line();
+                    } else {
+                        tokens.push(Spanned {
+                            token: Token::Symbol("/".into()),
+                            line: self.line,
+                        });
+                    }
+                }
+                '"' => {
+                    self.chars.next();
+                    let mut s = String::new();
+                    loop {
+                        match self.chars.next() {
+                            Some('"') => break,
+                            Some('\n') | None => {
+                                return Err(self.error("unterminated string literal"))
+                            }
+                            Some(ch) => s.push(ch),
+                        }
+                    }
+                    tokens.push(Spanned {
+                        token: Token::Str(s),
+                        line: self.line,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    let mut value: i64 = 0;
+                    while let Some(&d) = self.chars.peek() {
+                        if let Some(digit) = d.to_digit(10) {
+                            value = value
+                                .checked_mul(10)
+                                .and_then(|v| v.checked_add(i64::from(digit)))
+                                .ok_or_else(|| self.error("integer literal overflows i64"))?;
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Spanned {
+                        token: Token::Int(value),
+                        line: self.line,
+                    });
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut ident = String::new();
+                    while let Some(&d) = self.chars.peek() {
+                        if d.is_alphanumeric() || d == '_' {
+                            ident.push(d);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push(Spanned {
+                        token: Token::Ident(ident),
+                        line: self.line,
+                    });
+                }
+                '-' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'[') {
+                        self.chars.next();
+                        tokens.push(Spanned {
+                            token: Token::Symbol("-[".into()),
+                            line: self.line,
+                        });
+                    } else {
+                        tokens.push(Spanned {
+                            token: Token::Symbol("-".into()),
+                            line: self.line,
+                        });
+                    }
+                }
+                ']' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'-') {
+                        self.chars.next();
+                        if self.chars.peek() == Some(&'>') {
+                            self.chars.next();
+                            tokens.push(Spanned {
+                                token: Token::Symbol("]->".into()),
+                                line: self.line,
+                            });
+                            continue;
+                        }
+                        return Err(self.error("expected `]->` after edge label"));
+                    }
+                    tokens.push(Spanned {
+                        token: Token::Symbol("]".into()),
+                        line: self.line,
+                    });
+                }
+                '<' | '>' | '!' | '=' => {
+                    self.chars.next();
+                    let mut op = c.to_string();
+                    if self.chars.peek() == Some(&'=') {
+                        self.chars.next();
+                        op.push('=');
+                    }
+                    tokens.push(Spanned {
+                        token: Token::Symbol(op),
+                        line: self.line,
+                    });
+                }
+                '(' | ')' | '{' | '}' | ',' | ';' | ':' | '.' | '+' | '*' | '|' | '[' => {
+                    self.chars.next();
+                    tokens.push(Spanned {
+                        token: Token::Symbol(c.to_string()),
+                        line: self.line,
+                    });
+                }
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            }
+        }
+        Ok(tokens)
+    }
+
+    fn skip_line(&mut self) {
+        for c in self.chars.by_ref() {
+            if c == '\n' {
+                self.line += 1;
+                break;
+            }
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    pattern: Pattern,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            pattern: Pattern::new(),
+        }
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_symbol(&mut self, symbol: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == symbol => Ok(()),
+            other => Err(self.error(format!("expected `{symbol}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn eat_symbol(&mut self, symbol: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == symbol) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == keyword) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// rules := rule*
+    fn parse_rules(&mut self) -> Result<Vec<Ngd>, ParseError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.parse_rule()?);
+        }
+        Ok(rules)
+    }
+
+    /// rule := "rule" IDENT "{" clause* "}"
+    fn parse_rule(&mut self) -> Result<Ngd, ParseError> {
+        if !self.eat_keyword("rule") {
+            return Err(self.error("expected `rule`"));
+        }
+        let id = self.expect_ident()?;
+        self.expect_symbol("{")?;
+        self.pattern = Pattern::new();
+        let mut premise = Vec::new();
+        let mut consequence = Vec::new();
+        loop {
+            if self.eat_symbol("}") {
+                break;
+            }
+            if self.eat_keyword("match") {
+                self.parse_match_clause()?;
+            } else if self.eat_keyword("edge") {
+                self.parse_edge_clause()?;
+            } else if self.eat_keyword("when") {
+                premise.extend(self.parse_literal_clause()?);
+            } else if self.eat_keyword("then") {
+                consequence.extend(self.parse_literal_clause()?);
+            } else {
+                return Err(self.error(format!(
+                    "expected `match`, `edge`, `when`, `then` or `}}`, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        let pattern = std::mem::take(&mut self.pattern);
+        Ngd::new(id, pattern, premise, consequence)
+            .map_err(|e| self.error(format!("invalid rule: {e}")))
+    }
+
+    /// match-clause := "(" IDENT ":" IDENT ")" ("," "(" IDENT ":" IDENT ")")* ";"
+    fn parse_match_clause(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.expect_symbol("(")?;
+            let name = self.expect_ident()?;
+            self.expect_symbol(":")?;
+            let label = self.expect_ident()?;
+            self.expect_symbol(")")?;
+            self.pattern.add_node(&name, &label);
+            if self.eat_symbol(",") {
+                continue;
+            }
+            self.expect_symbol(";")?;
+            return Ok(());
+        }
+    }
+
+    /// edge-clause := IDENT "-[" IDENT "]->" IDENT ";"
+    fn parse_edge_clause(&mut self) -> Result<(), ParseError> {
+        let src = self.expect_ident()?;
+        self.expect_symbol("-[")?;
+        let label = self.expect_ident()?;
+        self.expect_symbol("]->")?;
+        let dst = self.expect_ident()?;
+        self.expect_symbol(";")?;
+        let src_var = self
+            .pattern
+            .var_by_name(&src)
+            .ok_or_else(|| self.error(format!("edge references undeclared variable `{src}`")))?;
+        let dst_var = self
+            .pattern
+            .var_by_name(&dst)
+            .ok_or_else(|| self.error(format!("edge references undeclared variable `{dst}`")))?;
+        self.pattern.add_edge(src_var, dst_var, &label);
+        Ok(())
+    }
+
+    /// literal-clause := (literal ("," literal)*)? ";"
+    fn parse_literal_clause(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut literals = Vec::new();
+        if self.eat_symbol(";") {
+            return Ok(literals);
+        }
+        loop {
+            literals.push(self.parse_literal()?);
+            if self.eat_symbol(",") {
+                continue;
+            }
+            self.expect_symbol(";")?;
+            return Ok(literals);
+        }
+    }
+
+    /// literal := expr CMP expr
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        let lhs = self.parse_expr()?;
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => CmpOp::parse(&s)
+                .ok_or_else(|| self.error(format!("expected comparison operator, found `{s}`")))?,
+            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+        };
+        let rhs = self.parse_expr()?;
+        Ok(Literal::new(lhs, op, rhs))
+    }
+
+    /// expr := term (("+" | "-") term)*
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            if self.eat_symbol("+") {
+                let rhs = self.parse_term()?;
+                lhs = Expr::add(lhs, rhs);
+            } else if self.eat_symbol("-") {
+                let rhs = self.parse_term()?;
+                lhs = Expr::sub(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// term := factor (("*" | "/") factor)*
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            if self.eat_symbol("*") {
+                let rhs = self.parse_factor()?;
+                lhs = Expr::Mul(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_symbol("/") {
+                let rhs = self.parse_factor()?;
+                lhs = Expr::Div(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// factor := INT | "-" factor | STRING | "|" expr "|" | "(" expr ")" | IDENT "." IDENT
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Const(i)),
+            Some(Token::Str(s)) => Ok(Expr::string(&s)),
+            Some(Token::Symbol(s)) if s == "-" => {
+                let inner = self.parse_factor()?;
+                Ok(Expr::sub(Expr::Const(0), inner))
+            }
+            Some(Token::Symbol(s)) if s == "|" => {
+                let inner = self.parse_expr()?;
+                self.expect_symbol("|")?;
+                Ok(Expr::abs(inner))
+            }
+            Some(Token::Symbol(s)) if s == "(" => {
+                let inner = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                if name == "true" {
+                    return Ok(Expr::Const(1));
+                }
+                if name == "false" {
+                    return Ok(Expr::Const(0));
+                }
+                self.expect_symbol(".")?;
+                let attr = self.expect_ident()?;
+                let var = self.pattern.var_by_name(&name).ok_or_else(|| {
+                    self.error(format!("expression references undeclared variable `{name}`"))
+                })?;
+                Ok(Expr::attr(var, &attr))
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse a single rule from its textual form.
+pub fn parse_rule(input: &str) -> Result<Ngd, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let rule = parser.parse_rule()?;
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+/// Parse a rule file containing any number of rules.
+pub fn parse_rule_set(input: &str) -> Result<RuleSet, ParseError> {
+    let tokens = Lexer::new(input).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    Ok(RuleSet::from_rules(parser.parse_rules()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::CmpOp;
+
+    const PHI1: &str = r#"
+        # an entity cannot be destroyed within 100 days of its creation
+        rule phi1 {
+          match (x:_), (y:date), (z:date);
+          edge x -[wasCreatedOnDate]-> y;
+          edge x -[wasDestroyedOnDate]-> z;
+          then z.val - y.val >= 100;
+        }
+    "#;
+
+    #[test]
+    fn parses_phi1() {
+        let rule = parse_rule(PHI1).unwrap();
+        assert_eq!(rule.id, "phi1");
+        assert_eq!(rule.pattern.node_count(), 3);
+        assert_eq!(rule.pattern.edge_count(), 2);
+        assert!(rule.premise.is_empty());
+        assert_eq!(rule.consequence.len(), 1);
+        assert_eq!(rule.consequence[0].op, CmpOp::Ge);
+        assert!(rule.pattern.is_wildcard(rule.pattern.var_by_name("x").unwrap()));
+    }
+
+    #[test]
+    fn parses_when_and_multiple_literals() {
+        let text = r#"
+            rule phi4 {
+              match (x:account), (y:account), (w:company),
+                    (m1:integer), (m2:integer), (n1:integer), (n2:integer),
+                    (s1:boolean), (s2:boolean);
+              edge x -[keys]-> w;
+              edge y -[keys]-> w;
+              edge x -[following]-> m1;
+              edge y -[following]-> m2;
+              edge x -[follower]-> n1;
+              edge y -[follower]-> n2;
+              edge x -[status]-> s1;
+              edge y -[status]-> s2;
+              when s1.val = 1, 2 * (m1.val - m2.val) + 3 * (n1.val - n2.val) > 100000;
+              then s2.val = 0;
+            }
+        "#;
+        let rule = parse_rule(text).unwrap();
+        assert_eq!(rule.pattern.node_count(), 9);
+        assert_eq!(rule.pattern.edge_count(), 8);
+        assert_eq!(rule.premise.len(), 2);
+        assert_eq!(rule.consequence.len(), 1);
+        assert!(rule.is_linear());
+        assert!(rule.uses_arithmetic());
+    }
+
+    #[test]
+    fn parses_strings_abs_parens_and_division() {
+        let text = r#"
+            rule misc {
+              match (p:person);
+              when p.category = "living people";
+              then | p.birthYear - 1900 | <= (200 + 10) / 2;
+            }
+        "#;
+        let rule = parse_rule(text).unwrap();
+        assert_eq!(rule.premise.len(), 1);
+        assert_eq!(rule.consequence.len(), 1);
+        assert!(rule.consequence[0].is_linear());
+    }
+
+    #[test]
+    fn parses_negative_constants_and_booleans() {
+        let text = r#"
+            rule neg {
+              match (a:thing);
+              then a.delta >= -5, a.flag = true;
+            }
+        "#;
+        let rule = parse_rule(text).unwrap();
+        assert_eq!(rule.consequence.len(), 2);
+    }
+
+    #[test]
+    fn parse_rule_set_with_multiple_rules_and_comments() {
+        let text = format!("{PHI1}\n// second rule\nrule r2 {{ match (a:place); then a.population >= 0; }}");
+        let set = parse_rule_set(&text).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.by_id("phi1").is_some());
+        assert!(set.by_id("r2").is_some());
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty_set() {
+        let set = parse_rule_set("  # only a comment\n").unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn undeclared_variable_in_edge_is_an_error() {
+        let text = "rule bad { match (a:place); edge a -[partOf]-> b; then a.x = 1; }";
+        let err = parse_rule(text).unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn undeclared_variable_in_expression_is_an_error() {
+        let text = "rule bad { match (a:place); then q.x = 1; }";
+        let err = parse_rule(text).unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn nonlinear_rule_is_rejected_at_parse_time() {
+        let text = "rule bad { match (a:place); then a.x * a.y = 4; }";
+        let err = parse_rule(text).unwrap_err();
+        assert!(err.message.contains("invalid rule"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let text = "rule broken {\n  match (a:place);\n  edge a -[x> a;\n}";
+        let err = parse_rule(text).unwrap_err();
+        assert!(err.line >= 3, "line was {}", err.line);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let text = "rule bad { match (a:place); then a.x = \"oops; }";
+        assert!(parse_rule(text).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_json_after_parsing() {
+        let rule = parse_rule(PHI1).unwrap();
+        let set = RuleSet::from_rules(vec![rule]);
+        let back = RuleSet::from_json(&set.to_json()).unwrap();
+        assert_eq!(back, set);
+    }
+}

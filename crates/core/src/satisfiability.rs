@@ -1,0 +1,679 @@
+//! Satisfiability and strong satisfiability of NGD sets (Section 4).
+//!
+//! * `Σ` is **satisfiable** iff some graph `G` satisfies `Σ` *and* at least
+//!   one pattern of `Σ` has a match in `G` (so the rules are not vacuous).
+//! * `Σ` is **strongly satisfiable** iff some `G` satisfies `Σ` and *every*
+//!   pattern of `Σ` has a match in `G` (so the rules do not conflict).
+//!
+//! Both problems are Σ₂ᵖ-complete.  This module implements the chase-style
+//! decision procedure suggested by the paper's small-model property:
+//!
+//! 1. build a **canonical candidate model** — for plain satisfiability, the
+//!    canonical instantiation of one pattern `Q ∈ Σ` (each pattern node
+//!    becomes a graph node with the same label; wildcard nodes receive
+//!    fresh labels so they do not accidentally enable other patterns); for
+//!    strong satisfiability, the disjoint union of the canonical
+//!    instantiations of *all* patterns;
+//! 2. enumerate every homomorphic match of every pattern of `Σ` into the
+//!    candidate model (there are finitely many);
+//! 3. decide whether attribute values (and attribute *presence* — a model
+//!    may simply omit an attribute, in which case literals over it are
+//!    unsatisfied) can be chosen so that every matched dependency holds.
+//!    Step 3 branches over the ways each `X → Y` instance can be honoured
+//!    (violate some premise literal, or satisfy every consequence literal)
+//!    and delegates arithmetic feasibility to [`crate::linsolve`].
+//!
+//! The procedure is exponential in `|Σ|`, as the Σ₂ᵖ lower bound demands,
+//! and is intended for rule-set auditing (tens of rules), not for data
+//! graphs.  When the arithmetic solver cannot decide within budget the
+//! verdict is [`Verdict::Unknown`] rather than a guess.
+
+use crate::eval::VarLookup;
+use crate::expr::AttrRef;
+use crate::linsolve::{ConstraintSystem, Feasibility};
+use crate::literal::Literal;
+use crate::ngd::RuleSet;
+use crate::pattern::{Pattern, Var};
+use ngd_graph::{intern, AttrMap, Graph, NodeId};
+use std::collections::HashMap;
+
+/// The answer of a static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds (satisfiable / strongly satisfiable / implied).
+    Yes,
+    /// The property does not hold.
+    No,
+    /// The solver could not decide within its budget.
+    Unknown,
+}
+
+impl Verdict {
+    /// Convenience: is the verdict a definite yes?
+    pub fn is_yes(&self) -> bool {
+        *self == Verdict::Yes
+    }
+
+    /// Convenience: is the verdict a definite no?
+    pub fn is_no(&self) -> bool {
+        *self == Verdict::No
+    }
+}
+
+/// Configuration for the static analyses.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisConfig {
+    /// Budget forwarded to the integer constraint search.
+    pub solver_budget: usize,
+    /// Maximum number of (rule, match) constraint instances before the
+    /// analysis gives up with [`Verdict::Unknown`] (guards against
+    /// exponential blow-up on adversarial inputs).
+    pub max_instances: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            solver_budget: 20_000,
+            max_instances: 4_096,
+        }
+    }
+}
+
+/// Rules that cannot be analysed (non-linear; Theorem 3 territory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The rule set contains a non-linear rule; the analyses are undecidable
+    /// for that extension, so we refuse rather than loop.
+    NonLinearRule(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::NonLinearRule(id) => {
+                write!(f, "rule `{id}` uses non-linear arithmetic; satisfiability/implication are undecidable for that extension (Theorem 3)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Build the canonical instantiation of a pattern: one graph node per
+/// pattern variable, wildcard labels replaced by a fresh label unique to
+/// the (pattern, variable) pair.  Returns the graph and the identity match.
+pub(crate) fn canonical_graph(pattern: &Pattern, tag: usize) -> (Graph, Vec<NodeId>) {
+    let mut graph = Graph::new();
+    let mut nodes = Vec::with_capacity(pattern.node_count());
+    for var in pattern.vars() {
+        let label = if pattern.is_wildcard(var) {
+            intern(&format!("__fresh_{tag}_{}", var.0))
+        } else {
+            pattern.label(var)
+        };
+        nodes.push(graph.add_node(label, AttrMap::new()));
+    }
+    for edge in pattern.edges() {
+        // The canonical graph may need parallel edges collapsed; duplicates
+        // (same src/dst/label) are simply ignored.
+        let _ = graph.add_edge(nodes[edge.src.index()], nodes[edge.dst.index()], edge.label);
+    }
+    (graph, nodes)
+}
+
+/// Enumerate all homomorphic matches of `pattern` into `graph`.
+///
+/// This is a small self-contained backtracking matcher used only on
+/// canonical candidate models (which have at most `|Σ|` nodes); the
+/// production matcher lives in the `ngd-match` crate.
+pub(crate) fn enumerate_matches(pattern: &Pattern, graph: &Graph) -> Vec<Vec<NodeId>> {
+    let mut results = Vec::new();
+    let nvars = pattern.node_count();
+    if nvars == 0 {
+        return results;
+    }
+    let mut assignment: Vec<Option<NodeId>> = vec![None; nvars];
+    backtrack(pattern, graph, 0, &mut assignment, &mut results);
+    results
+}
+
+fn label_matches(pattern: &Pattern, var: Var, graph: &Graph, node: NodeId) -> bool {
+    pattern.is_wildcard(var) || pattern.label(var) == graph.label(node)
+}
+
+fn edges_consistent(
+    pattern: &Pattern,
+    graph: &Graph,
+    assignment: &[Option<NodeId>],
+) -> bool {
+    for edge in pattern.edges() {
+        if let (Some(src), Some(dst)) = (
+            assignment[edge.src.index()],
+            assignment[edge.dst.index()],
+        ) {
+            if !graph.has_edge(src, dst, edge.label) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn backtrack(
+    pattern: &Pattern,
+    graph: &Graph,
+    index: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    results: &mut Vec<Vec<NodeId>>,
+) {
+    if index == pattern.node_count() {
+        results.push(assignment.iter().map(|n| n.unwrap()).collect());
+        return;
+    }
+    let var = Var(index as u32);
+    for node in graph.node_ids() {
+        if !label_matches(pattern, var, graph, node) {
+            continue;
+        }
+        assignment[index] = Some(node);
+        if edges_consistent(pattern, graph, assignment) {
+            backtrack(pattern, graph, index + 1, assignment, results);
+        }
+        assignment[index] = None;
+    }
+}
+
+/// One `X → Y` obligation instantiated on a concrete match: the literals
+/// are rewritten so that their attribute references point at *graph nodes*
+/// of the candidate model rather than pattern variables (node `n` becomes
+/// `Var(n.0)`).
+#[derive(Debug, Clone)]
+pub(crate) struct Obligation {
+    premise: Vec<Literal>,
+    consequence: Vec<Literal>,
+}
+
+impl Obligation {
+    /// Build an obligation from already-rebased literal sets.
+    pub(crate) fn new(premise: Vec<Literal>, consequence: Vec<Literal>) -> Self {
+        Obligation { premise, consequence }
+    }
+}
+
+pub(crate) fn rebase_literal(literal: &Literal, assignment: &[NodeId]) -> Literal {
+    use crate::expr::Expr;
+    fn rebase(expr: &Expr, assignment: &[NodeId]) -> Expr {
+        match expr {
+            Expr::Const(_) | Expr::Lit(_) => expr.clone(),
+            Expr::Attr(r) => Expr::Attr(AttrRef::new(
+                Var(assignment.node_of(r.var).expect("total match").0),
+                r.attr,
+            )),
+            Expr::Abs(e) => Expr::Abs(Box::new(rebase(e, assignment))),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(rebase(a, assignment)),
+                Box::new(rebase(b, assignment)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(rebase(a, assignment)),
+                Box::new(rebase(b, assignment)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(rebase(a, assignment)),
+                Box::new(rebase(b, assignment)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(rebase(a, assignment)),
+                Box::new(rebase(b, assignment)),
+            ),
+        }
+    }
+    Literal {
+        lhs: rebase(&literal.lhs, assignment),
+        op: literal.op,
+        rhs: rebase(&literal.rhs, assignment),
+    }
+}
+
+/// Attribute-presence bookkeeping for the branching solver.
+#[derive(Debug, Clone, Default)]
+struct PresenceState {
+    /// `true` = the attribute must exist; `false` = it must be absent.
+    presence: HashMap<AttrRef, bool>,
+}
+
+impl PresenceState {
+    fn require_present(&mut self, r: AttrRef) -> bool {
+        match self.presence.get(&r) {
+            Some(false) => false,
+            _ => {
+                self.presence.insert(r, true);
+                true
+            }
+        }
+    }
+
+    fn require_absent(&mut self, r: AttrRef) -> bool {
+        match self.presence.get(&r) {
+            Some(true) => false,
+            _ => {
+                self.presence.insert(r, false);
+                true
+            }
+        }
+    }
+}
+
+/// The branching solver: decide whether all obligations can be honoured by
+/// some choice of attribute presence and integer values.
+struct ObligationSolver<'a> {
+    obligations: &'a [Obligation],
+    config: AnalysisConfig,
+    /// Literals asserted true along the current branch.
+    asserted: Vec<Literal>,
+    saw_unknown: bool,
+}
+
+impl<'a> ObligationSolver<'a> {
+    fn new(obligations: &'a [Obligation], config: AnalysisConfig) -> Self {
+        ObligationSolver {
+            obligations,
+            config,
+            asserted: Vec::new(),
+            saw_unknown: false,
+        }
+    }
+
+    fn solve(&mut self) -> Verdict {
+        let mut presence = PresenceState::default();
+        let found = self.branch(0, &mut presence);
+        match (found, self.saw_unknown) {
+            (true, _) => Verdict::Yes,
+            (false, true) => Verdict::Unknown,
+            (false, false) => Verdict::No,
+        }
+    }
+
+    /// Check arithmetic consistency of the literals asserted so far.
+    fn arithmetic_consistent(&mut self, presence: &PresenceState) -> Option<bool> {
+        let mut system = ConstraintSystem::new().with_budget(self.config.solver_budget);
+        for literal in &self.asserted {
+            // Literals whose attributes must be absent are unsatisfiable on
+            // this branch (they were asserted true): contradiction.
+            if literal
+                .attr_refs()
+                .iter()
+                .any(|r| presence.presence.get(r) == Some(&false))
+            {
+                return Some(false);
+            }
+            if system.add_literal(literal).is_err() {
+                // Absolute values / non-numeric constants: fall back to a
+                // conservative "cannot decide".
+                self.saw_unknown = true;
+                return Some(true);
+            }
+        }
+        match system.solve() {
+            Feasibility::Feasible(_) => Some(true),
+            Feasibility::Infeasible => Some(false),
+            Feasibility::Unknown => {
+                self.saw_unknown = true;
+                None
+            }
+        }
+    }
+
+    /// Branch over how obligation `index` is honoured.
+    fn branch(&mut self, index: usize, presence: &mut PresenceState) -> bool {
+        match self.arithmetic_consistent(presence) {
+            Some(false) => return false,
+            Some(true) | None => {}
+        }
+        let Some(obligation) = self.obligations.get(index) else {
+            // All obligations honoured; final consistency check.  An
+            // `Unknown` here must not be reported as success — `saw_unknown`
+            // is already set, so returning `false` will surface it.
+            return matches!(self.arithmetic_consistent(presence), Some(true));
+        };
+
+        // Option A: satisfy every consequence literal (then `X → Y` holds
+        // regardless of whether the premise fires).
+        {
+            let mut p = presence.clone();
+            let asserted_before = self.asserted.len();
+            let mut ok = true;
+            for literal in &obligation.consequence {
+                for r in literal.attr_refs() {
+                    if !p.require_present(r) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    break;
+                }
+                self.asserted.push(literal.clone());
+            }
+            if ok && self.branch(index + 1, &mut p) {
+                return true;
+            }
+            self.asserted.truncate(asserted_before);
+        }
+
+        // Option B: falsify some premise literal, either by dropping one of
+        // its attributes from the model or by asserting the complementary
+        // comparison.
+        for literal in &obligation.premise {
+            // B1: drop an attribute.
+            for r in literal.attr_refs() {
+                let mut p = presence.clone();
+                if p.require_absent(r) && self.branch(index + 1, &mut p) {
+                    return true;
+                }
+            }
+            // B2: assert the complement (requires the attributes present).
+            let mut p = presence.clone();
+            let mut ok = true;
+            for r in literal.attr_refs() {
+                if !p.require_present(r) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let asserted_before = self.asserted.len();
+                self.asserted.push(literal.negated());
+                if self.branch(index + 1, &mut p) {
+                    return true;
+                }
+                self.asserted.truncate(asserted_before);
+            }
+        }
+        false
+    }
+}
+
+pub(crate) fn collect_obligations(
+    sigma: &RuleSet,
+    model: &Graph,
+    config: &AnalysisConfig,
+) -> Option<Vec<Obligation>> {
+    let mut obligations = Vec::new();
+    for rule in sigma.iter() {
+        for matched in enumerate_matches(&rule.pattern, model) {
+            obligations.push(Obligation {
+                premise: rule.premise.iter().map(|l| rebase_literal(l, &matched)).collect(),
+                consequence: rule
+                    .consequence
+                    .iter()
+                    .map(|l| rebase_literal(l, &matched))
+                    .collect(),
+            });
+            if obligations.len() > config.max_instances {
+                return None;
+            }
+        }
+    }
+    Some(obligations)
+}
+
+fn check_linear(sigma: &RuleSet) -> Result<(), AnalysisError> {
+    for rule in sigma.iter() {
+        if !rule.is_linear() {
+            return Err(AnalysisError::NonLinearRule(rule.id.clone()));
+        }
+    }
+    Ok(())
+}
+
+fn decide_with_model(sigma: &RuleSet, model: &Graph, config: &AnalysisConfig) -> Verdict {
+    let Some(obligations) = collect_obligations(sigma, model, config) else {
+        return Verdict::Unknown;
+    };
+    ObligationSolver::new(&obligations, *config).solve()
+}
+
+/// Is the rule set satisfiable?
+pub fn is_satisfiable(sigma: &RuleSet, config: &AnalysisConfig) -> Result<Verdict, AnalysisError> {
+    check_linear(sigma)?;
+    if sigma.is_empty() {
+        return Ok(Verdict::Yes);
+    }
+    // Try the canonical model of each pattern: Σ is satisfiable iff some
+    // pattern's canonical instantiation can be attributed consistently.
+    let mut saw_unknown = false;
+    for (idx, rule) in sigma.iter().enumerate() {
+        if rule.pattern.node_count() == 0 {
+            continue;
+        }
+        let (model, _) = canonical_graph(&rule.pattern, idx);
+        match decide_with_model(sigma, &model, config) {
+            Verdict::Yes => return Ok(Verdict::Yes),
+            Verdict::Unknown => saw_unknown = true,
+            Verdict::No => {}
+        }
+    }
+    Ok(if saw_unknown { Verdict::Unknown } else { Verdict::No })
+}
+
+/// Is the rule set strongly satisfiable?
+pub fn is_strongly_satisfiable(
+    sigma: &RuleSet,
+    config: &AnalysisConfig,
+) -> Result<Verdict, AnalysisError> {
+    check_linear(sigma)?;
+    if sigma.is_empty() {
+        return Ok(Verdict::Yes);
+    }
+    // Disjoint union of all canonical instantiations: every pattern finds a
+    // match in it by construction.
+    let mut model = Graph::new();
+    for (idx, rule) in sigma.iter().enumerate() {
+        let (part, nodes) = canonical_graph(&rule.pattern, idx);
+        let offset = model.node_count();
+        for node in nodes.iter() {
+            let data = part.node(*node);
+            model.add_node(data.label, data.attrs.clone());
+        }
+        for edge in part.edges() {
+            let _ = model.add_edge(
+                NodeId(edge.src.0 + offset as u32),
+                NodeId(edge.dst.0 + offset as u32),
+                edge.label,
+            );
+        }
+    }
+    Ok(decide_with_model(sigma, &model, config))
+}
+
+/// Internal plumbing shared with the implication analysis.
+pub(crate) mod internal {
+    pub(crate) use super::{collect_obligations, rebase_literal, Obligation};
+    use super::{AnalysisConfig, ObligationSolver, Verdict};
+
+    /// Run the branching obligation solver directly (used by the
+    /// implication analysis, which adds its own witness obligations).
+    pub(crate) fn solve_obligations(
+        obligations: &[Obligation],
+        config: &AnalysisConfig,
+    ) -> Verdict {
+        ObligationSolver::new(obligations, *config).solve()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::literal::Literal;
+    use crate::ngd::Ngd;
+
+    fn single_node_pattern(label: &str) -> Pattern {
+        let mut q = Pattern::new();
+        q.add_node("x", label);
+        q
+    }
+
+    fn x() -> Var {
+        Var(0)
+    }
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    /// φ5 = Q[x](∅ → x.A = 7 ∧ x.B = 7)
+    fn phi5(label: &str) -> Ngd {
+        Ngd::new(
+            "phi5",
+            single_node_pattern(label),
+            vec![],
+            vec![
+                Literal::eq(Expr::attr(x(), "A"), Expr::constant(7)),
+                Literal::eq(Expr::attr(x(), "B"), Expr::constant(7)),
+            ],
+        )
+        .unwrap()
+    }
+
+    /// φ6 = Q[x](∅ → x.A + x.B = 11)
+    fn phi6(label: &str) -> Ngd {
+        Ngd::new(
+            "phi6",
+            single_node_pattern(label),
+            vec![],
+            vec![Literal::eq(
+                Expr::add(Expr::attr(x(), "A"), Expr::attr(x(), "B")),
+                Expr::constant(11),
+            )],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example5_same_pattern_unsatisfiable() {
+        // φ5 and φ6 over the same wildcard pattern: unsatisfiable.
+        let sigma = RuleSet::from_rules(vec![phi5("_"), phi6("_")]);
+        assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn example5_different_labels_satisfiable_but_not_strongly() {
+        // φ5 over wildcard, φ6 over label 'a': satisfiable (model with a
+        // 'b'-labelled node), but not strongly satisfiable (any model
+        // containing an 'a' node re-creates the conflict).
+        let sigma = RuleSet::from_rules(vec![phi5("_"), phi6("a")]);
+        assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn example5_phi7_phi8_phi9_unsatisfiable() {
+        let q = || single_node_pattern("_");
+        let phi7 = Ngd::new(
+            "phi7",
+            q(),
+            vec![Literal::le(Expr::attr(x(), "A"), Expr::constant(3))],
+            vec![Literal::gt(Expr::attr(x(), "B"), Expr::constant(6))],
+        )
+        .unwrap();
+        let phi8 = Ngd::new(
+            "phi8",
+            q(),
+            vec![Literal::gt(Expr::attr(x(), "A"), Expr::constant(3))],
+            vec![Literal::gt(Expr::attr(x(), "B"), Expr::constant(6))],
+        )
+        .unwrap();
+        let phi9 = Ngd::new(
+            "phi9",
+            q(),
+            vec![],
+            vec![
+                Literal::lt(Expr::attr(x(), "B"), Expr::constant(6)),
+                Literal::ne(Expr::attr(x(), "A"), Expr::constant(0)),
+            ],
+        )
+        .unwrap();
+        let sigma = RuleSet::from_rules(vec![phi7, phi8, phi9]);
+        assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+    }
+
+    #[test]
+    fn single_consistent_rule_is_satisfiable() {
+        let sigma = RuleSet::from_rules(vec![phi5("_")]);
+        assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+    }
+
+    #[test]
+    fn premise_can_be_escaped_by_dropping_attribute() {
+        // X non-empty: Q[x](x.A ≤ 3 → x.B > 6) alone is satisfiable — a
+        // model can simply not carry attribute A.
+        let rule = Ngd::new(
+            "phi7",
+            single_node_pattern("_"),
+            vec![Literal::le(Expr::attr(x(), "A"), Expr::constant(3))],
+            vec![Literal::gt(Expr::attr(x(), "B"), Expr::constant(6))],
+        )
+        .unwrap();
+        let sigma = RuleSet::from_rules(vec![rule]);
+        assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+    }
+
+    #[test]
+    fn empty_rule_set_is_satisfiable() {
+        let sigma = RuleSet::new();
+        assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+    }
+
+    #[test]
+    fn nonlinear_rules_are_refused() {
+        let q = single_node_pattern("_");
+        let nonlinear = Ngd::new_unchecked(
+            "nl",
+            q,
+            vec![],
+            vec![Literal::eq(
+                Expr::Mul(Box::new(Expr::attr(x(), "A")), Box::new(Expr::attr(x(), "B"))),
+                Expr::constant(4),
+            )],
+        );
+        let sigma = RuleSet::from_rules(vec![nonlinear]);
+        assert!(matches!(
+            is_satisfiable(&sigma, &cfg()),
+            Err(AnalysisError::NonLinearRule(_))
+        ));
+    }
+
+    #[test]
+    fn canonical_graph_replaces_wildcards_with_fresh_labels() {
+        let mut q = Pattern::new();
+        let a = q.add_wildcard("x");
+        let b = q.add_node("y", "date");
+        q.add_edge(a, b, "created");
+        let (g, nodes) = canonical_graph(&q, 0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_ne!(g.label(nodes[0]), intern("_"));
+        assert_eq!(g.label(nodes[1]), intern("date"));
+    }
+
+    #[test]
+    fn enumerate_matches_on_small_graph() {
+        // Pattern: one 'a' node; graph: two 'a' nodes and a 'b' node.
+        let q = single_node_pattern("a");
+        let mut g = Graph::new();
+        g.add_node_named("a", AttrMap::new());
+        g.add_node_named("a", AttrMap::new());
+        g.add_node_named("b", AttrMap::new());
+        assert_eq!(enumerate_matches(&q, &g).len(), 2);
+        // Wildcard pattern matches all three.
+        let qw = single_node_pattern("_");
+        assert_eq!(enumerate_matches(&qw, &g).len(), 3);
+    }
+}

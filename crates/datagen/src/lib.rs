@@ -1,0 +1,43 @@
+//! # ngd-datagen
+//!
+//! Dataset simulators, update generators and rule generators for the NGD
+//! reproduction.
+//!
+//! The paper evaluates on DBpedia, YAGO2, Pokec and synthetic graphs, with
+//! 100 mined NGDs per dataset and randomly generated batch updates
+//! (Section 7).  None of the real dumps is available offline, so this crate
+//! provides simulators that reproduce the schema fragments the paper's
+//! rules touch and the structural statistics the experiments depend on
+//! (label diversity, density, skewed degrees), plus controlled error
+//! seeding so the effectiveness study has a ground truth:
+//!
+//! * [`knowledge`] — DBpedia-like and YAGO2-like knowledge graphs
+//!   (institutions/dates, villages/populations, places/ranks, persons,
+//!   Olympic competitions, Formula-One teams);
+//! * [`social`] — Pokec-like profiles plus the Twitter company/account
+//!   structure of Figure 1 G4 (fake-account seeding);
+//! * [`synthetic`] — the paper's synthetic recipe (|V|, |E|, 500 labels,
+//!   2 000 integer values);
+//! * [`rules`] — "discovery-lite" rule-set generation with controlled
+//!   pattern diameter, literal count and expression length;
+//! * [`updates`] — batch updates of a given size `|ΔG|` and insert/delete
+//!   ratio γ;
+//! * [`dataset`] — the [`GeneratedGraph`] wrapper carrying the seeded-error
+//!   ground truth.
+//!
+//! Everything is deterministic given the configuration (seeds included), so
+//! experiments and tests are reproducible.
+
+pub mod dataset;
+pub mod knowledge;
+pub mod rules;
+pub mod social;
+pub mod synthetic;
+pub mod updates;
+
+pub use dataset::GeneratedGraph;
+pub use knowledge::{generate_knowledge, KnowledgeConfig};
+pub use rules::{generate_rules, RuleGenConfig};
+pub use social::{generate_social, SocialConfig};
+pub use synthetic::{generate_synthetic, SyntheticConfig};
+pub use updates::{generate_update, UpdateConfig};

@@ -1,0 +1,402 @@
+//! NGD rule-set generator ("discovery-lite").
+//!
+//! The paper mines 100 NGDs per dataset with the discovery algorithm of
+//! Fan et al. (SIGMOD'18, "Discovering graph functional dependencies"); the
+//! mined rules have patterns of diameter 1–6, 1–4 literals and arithmetic
+//! expressions of length 1–10, mixing trees, DAGs and cyclic shapes, and
+//! are strongly satisfied by subgraphs of the dataset (Section 7, "NGDs").
+//!
+//! This module synthesises structurally comparable rule sets directly from
+//! a data graph.  Each rule is built by
+//!
+//! 1. sampling a connected subgraph with a biased random walk (so that the
+//!    pattern provably has at least one match — the sample itself);
+//! 2. turning the sampled nodes into pattern variables (label-preserving,
+//!    with a configurable wildcard probability) and the walked edges into
+//!    pattern edges;
+//! 3. attaching literals over the numeric attributes of the sampled nodes:
+//!    premise literals are constructed to *hold* on the sample, and each
+//!    consequence literal is constructed to hold or fail on the sample
+//!    according to `violation_prob`, so the generated rule set produces a
+//!    controllable number of violations in the graph it was mined from.
+//!
+//! Mining versus generating does not change detector behaviour — detectors
+//! only see the rule set — which is why this substitution is sound for the
+//! paper's experiments (DESIGN.md §5).
+
+use ngd_core::eval::{eval_expr, Evaluated};
+use ngd_core::{CmpOp, Expr, Literal, Ngd, Pattern, RuleSet, Var};
+use ngd_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Configuration of the rule generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuleGenConfig {
+    /// Number of rules to generate.
+    pub count: usize,
+    /// Minimum pattern size (nodes).
+    pub min_nodes: usize,
+    /// Maximum pattern size (nodes).
+    pub max_nodes: usize,
+    /// Maximum pattern diameter `dQ`; patterns exceeding it are rejected.
+    pub max_diameter: usize,
+    /// Maximum number of literals per rule (premise + consequence), 1–4 in
+    /// the paper.
+    pub max_literals: usize,
+    /// Maximum number of attribute terms per arithmetic expression
+    /// (expression "length", 1–10 in the paper).
+    pub max_expr_terms: usize,
+    /// Probability that a pattern node keeps the wildcard label `_`.
+    pub wildcard_prob: f64,
+    /// Probability that a consequence literal is constructed to *fail* on
+    /// the sampled match (i.e. the sample becomes a violation).
+    pub violation_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RuleGenConfig {
+    /// A paper-style configuration producing `count` rules with diameters
+    /// up to `max_diameter`.
+    pub fn paper_style(count: usize, max_diameter: usize) -> Self {
+        RuleGenConfig {
+            count,
+            min_nodes: 2,
+            max_nodes: (max_diameter + 2).min(7),
+            max_diameter,
+            max_literals: 4,
+            max_expr_terms: 4,
+            wildcard_prob: 0.15,
+            violation_prob: 0.3,
+            seed: 0x601D,
+        }
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the violation probability.
+    pub fn with_violation_prob(mut self, p: f64) -> Self {
+        self.violation_prob = p;
+        self
+    }
+}
+
+impl Default for RuleGenConfig {
+    fn default() -> Self {
+        RuleGenConfig::paper_style(20, 4)
+    }
+}
+
+/// A sampled connected subgraph: nodes in discovery order and the directed
+/// edges walked between them.
+struct Sample {
+    nodes: Vec<NodeId>,
+    edges: Vec<(usize, usize, ngd_graph::Sym)>,
+}
+
+/// Sample a connected subgraph of `size` nodes by a random walk that
+/// prefers extending the frontier (so larger samples tend to be longer,
+/// i.e. of larger diameter).
+fn sample_subgraph(graph: &Graph, size: usize, rng: &mut StdRng) -> Option<Sample> {
+    if graph.node_count() == 0 {
+        return None;
+    }
+    let start = NodeId(rng.gen_range(0..graph.node_count()) as u32);
+    let mut nodes = vec![start];
+    let mut index: BTreeMap<NodeId, usize> = BTreeMap::new();
+    index.insert(start, 0);
+    let mut edges = Vec::new();
+    let mut frontier = start;
+    let mut attempts = 0usize;
+    while nodes.len() < size && attempts < size * 20 {
+        attempts += 1;
+        // Prefer growing from the most recent node; occasionally branch
+        // from a random earlier one so DAG/tree shapes also appear.
+        let anchor = if rng.gen_bool(0.7) {
+            frontier
+        } else {
+            nodes[rng.gen_range(0..nodes.len())]
+        };
+        let neighbors: Vec<(NodeId, ngd_graph::EdgeRef)> =
+            graph.undirected_neighbors(anchor).collect();
+        if neighbors.is_empty() {
+            break;
+        }
+        let (next, edge) = neighbors[rng.gen_range(0..neighbors.len())];
+        let src_idx = match index.get(&edge.src) {
+            Some(&i) => i,
+            None => {
+                index.insert(edge.src, nodes.len());
+                nodes.push(edge.src);
+                nodes.len() - 1
+            }
+        };
+        let dst_idx = match index.get(&edge.dst) {
+            Some(&i) => i,
+            None => {
+                index.insert(edge.dst, nodes.len());
+                nodes.push(edge.dst);
+                nodes.len() - 1
+            }
+        };
+        if !edges.contains(&(src_idx, dst_idx, edge.label)) {
+            edges.push((src_idx, dst_idx, edge.label));
+        }
+        frontier = next;
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    Some(Sample { nodes, edges })
+}
+
+/// Numeric attributes available on the sampled nodes, as `(variable index,
+/// attribute name)` pairs.
+fn numeric_attrs(graph: &Graph, sample: &Sample) -> Vec<(usize, ngd_graph::Sym)> {
+    let mut out = Vec::new();
+    for (idx, &node) in sample.nodes.iter().enumerate() {
+        for (name, value) in graph.attrs(node).iter() {
+            if value.is_numeric() {
+                out.push((idx, name));
+            }
+        }
+    }
+    out
+}
+
+/// Build a random linear expression over up to `max_terms` of the available
+/// attribute terms.
+fn random_expr(
+    attrs: &[(usize, ngd_graph::Sym)],
+    vars: &[Var],
+    max_terms: usize,
+    rng: &mut StdRng,
+) -> Expr {
+    let terms = rng.gen_range(1..=max_terms.max(1)).min(attrs.len().max(1));
+    let mut expr: Option<Expr> = None;
+    for _ in 0..terms {
+        let &(node_idx, attr) = &attrs[rng.gen_range(0..attrs.len())];
+        let mut term = Expr::Attr(ngd_core::AttrRef::new(vars[node_idx], attr));
+        let coeff = rng.gen_range(1..=3);
+        if coeff > 1 {
+            term = Expr::scale(coeff, term);
+        }
+        expr = Some(match expr {
+            None => term,
+            Some(acc) => {
+                if rng.gen_bool(0.3) {
+                    Expr::sub(acc, term)
+                } else {
+                    Expr::add(acc, term)
+                }
+            }
+        });
+    }
+    expr.expect("at least one term is always generated")
+}
+
+/// Evaluate an expression on the sampled match, returning its integer floor
+/// (the generator only needs a pivot constant, not the exact rational).
+fn eval_on_sample(expr: &Expr, graph: &Graph, assignment: &[NodeId]) -> Option<i64> {
+    match eval_expr(expr, graph, assignment) {
+        Ok(Evaluated::Num(r)) => i64::try_from(r.floor()).ok(),
+        _ => None,
+    }
+}
+
+/// Build a literal `expr ⊗ c` that holds (or fails) on the sampled match.
+fn pivot_literal(
+    expr: Expr,
+    value: i64,
+    hold: bool,
+    rng: &mut StdRng,
+) -> Literal {
+    // `expr` evaluates to at least `value` (its floor) on the sample, and
+    // to at most `value + 1`.
+    let op_holds: &[(CmpOp, i64)] = &[
+        (CmpOp::Ge, value),
+        (CmpOp::Le, value + 1),
+        (CmpOp::Gt, value - 1),
+        (CmpOp::Lt, value + 2),
+        (CmpOp::Ne, value + 7),
+    ];
+    let op_fails: &[(CmpOp, i64)] = &[
+        (CmpOp::Lt, value),
+        (CmpOp::Gt, value + 1),
+        (CmpOp::Le, value - 1),
+        (CmpOp::Ge, value + 2),
+        (CmpOp::Eq, value + 7),
+    ];
+    let table = if hold { op_holds } else { op_fails };
+    let (op, constant) = table[rng.gen_range(0..table.len())];
+    Literal::new(expr, op, Expr::constant(constant))
+}
+
+/// Generate a rule set of `config.count` rules over `graph`.
+///
+/// Every generated rule's pattern has at least one match in `graph` (the
+/// sample it was built from), so the set exercises the detectors rather
+/// than dying at candidate selection.  Rules whose pattern exceeds
+/// `config.max_diameter` are rejected and re-sampled.
+pub fn generate_rules(graph: &Graph, config: &RuleGenConfig) -> RuleSet {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rules = Vec::with_capacity(config.count);
+    let mut attempts = 0usize;
+    let max_attempts = config.count * 50 + 100;
+    while rules.len() < config.count && attempts < max_attempts {
+        attempts += 1;
+        let size = rng.gen_range(config.min_nodes.max(2)..=config.max_nodes.max(2));
+        let Some(sample) = sample_subgraph(graph, size, &mut rng) else {
+            continue;
+        };
+        // Pattern construction.
+        let mut pattern = Pattern::new();
+        let vars: Vec<Var> = sample
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, &node)| {
+                let name = format!("x{idx}");
+                if rng.gen_bool(config.wildcard_prob.clamp(0.0, 1.0)) {
+                    pattern.add_wildcard(&name)
+                } else {
+                    pattern.add_node(&name, ngd_graph::resolve(graph.label(node)))
+                }
+            })
+            .collect();
+        for &(src, dst, label) in &sample.edges {
+            pattern.add_edge(vars[src], vars[dst], ngd_graph::resolve(label));
+        }
+        if pattern.diameter() > config.max_diameter {
+            continue;
+        }
+        // Literal construction.
+        let attrs = numeric_attrs(graph, &sample);
+        if attrs.is_empty() {
+            continue;
+        }
+        let literal_count = rng.gen_range(1..=config.max_literals.max(1));
+        let mut premise = Vec::new();
+        let mut consequence = Vec::new();
+        for i in 0..literal_count {
+            let expr = random_expr(&attrs, &vars, config.max_expr_terms, &mut rng);
+            let Some(value) = eval_on_sample(&expr, graph, &sample.nodes) else {
+                continue;
+            };
+            // The last literal always lands in the consequence so that the
+            // dependency is never trivially `X → ∅`.
+            let to_consequence = i + 1 == literal_count || rng.gen_bool(0.5);
+            if to_consequence {
+                let hold = !rng.gen_bool(config.violation_prob.clamp(0.0, 1.0));
+                consequence.push(pivot_literal(expr, value, hold, &mut rng));
+            } else {
+                premise.push(pivot_literal(expr, value, true, &mut rng));
+            }
+        }
+        if consequence.is_empty() {
+            continue;
+        }
+        let id = format!("gen{}", rules.len());
+        match Ngd::new(id, pattern, premise, consequence) {
+            Ok(rule) => rules.push(rule),
+            Err(_) => continue,
+        }
+    }
+    RuleSet::from_rules(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::{generate_knowledge, KnowledgeConfig};
+    use crate::synthetic::{generate_synthetic, SyntheticConfig};
+    use ngd_match::find_matches;
+
+    fn sample_graph() -> Graph {
+        generate_knowledge(&KnowledgeConfig::dbpedia_like(2)).graph
+    }
+
+    #[test]
+    fn generates_the_requested_number_of_rules() {
+        let graph = sample_graph();
+        let sigma = generate_rules(&graph, &RuleGenConfig::paper_style(25, 4));
+        assert_eq!(sigma.len(), 25);
+    }
+
+    #[test]
+    fn every_generated_pattern_has_a_match_in_the_source_graph() {
+        let graph = sample_graph();
+        let sigma = generate_rules(&graph, &RuleGenConfig::paper_style(10, 4).with_seed(2));
+        for rule in sigma.iter() {
+            let matches = find_matches(&rule.pattern, &graph);
+            assert!(
+                !matches.is_empty(),
+                "pattern of {} has no match in its source graph",
+                rule.id
+            );
+        }
+    }
+
+    #[test]
+    fn diameters_and_literal_counts_respect_the_config() {
+        let graph = sample_graph();
+        let config = RuleGenConfig {
+            max_diameter: 3,
+            max_literals: 2,
+            ..RuleGenConfig::paper_style(15, 3)
+        };
+        let sigma = generate_rules(&graph, &config);
+        assert!(sigma.diameter() <= 3);
+        for rule in sigma.iter() {
+            assert!(rule.literal_count() <= 2);
+            assert!(rule.is_linear());
+        }
+    }
+
+    #[test]
+    fn violation_probability_one_makes_every_rule_violated() {
+        // With violation_prob = 1 every consequence literal is constructed
+        // to fail on the sampled match, so each rule has at least one
+        // violation in the graph it was generated from — this is what the
+        // experiment harness relies on to produce non-trivial workloads.
+        let graph = sample_graph();
+        let all = generate_rules(
+            &graph,
+            &RuleGenConfig::paper_style(10, 4).with_violation_prob(1.0).with_seed(3),
+        );
+        assert_eq!(all.len(), 10);
+        for rule in all.iter() {
+            assert!(
+                !ngd_match::find_violations(rule, &graph).is_empty(),
+                "rule {} should have at least its sampled violation",
+                rule.id
+            );
+        }
+    }
+
+    #[test]
+    fn rules_are_deterministic_per_seed() {
+        let graph = sample_graph();
+        let a = generate_rules(&graph, &RuleGenConfig::paper_style(8, 4).with_seed(9));
+        let b = generate_rules(&graph, &RuleGenConfig::paper_style(8, 4).with_seed(9));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn works_on_synthetic_graphs_too() {
+        let graph = generate_synthetic(&SyntheticConfig::paper_style(1_000, 3_000));
+        let sigma = generate_rules(&graph, &RuleGenConfig::paper_style(12, 5));
+        assert_eq!(sigma.len(), 12);
+        // Patterns are mostly distinct (the paper reports ≥ 90 %).
+        let mut shapes: Vec<String> = sigma.iter().map(|r| r.pattern.describe()).collect();
+        shapes.sort();
+        shapes.dedup();
+        assert!(shapes.len() * 10 >= sigma.len() * 8, "too many duplicate patterns");
+    }
+}

@@ -1,0 +1,175 @@
+//! Batch-update generator.
+//!
+//! The experiments vary the update size `|ΔG|` (as a fraction of `|E|`) and
+//! the insert/delete ratio `γ` (Section 7, "ΔG").  [`generate_update`]
+//! reproduces that: deletions are sampled uniformly from the existing
+//! edges, and insertions re-wire sampled edges to a different
+//! same-labelled endpoint, so that inserted edges are label-compatible
+//! with the graph's schema (and therefore actually trigger update pivots,
+//! as real-world insertions would).
+
+use ngd_graph::{BatchUpdate, EdgeRef, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration of the update generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateConfig {
+    /// Size of the batch update as a fraction of `|E|` (`0.05` = 5 %).
+    pub fraction: f64,
+    /// Ratio γ of edge insertions to deletions (1.0 keeps `|G|` unchanged).
+    pub gamma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UpdateConfig {
+    /// An update of the given fraction with γ = 1 (the paper's default).
+    pub fn fraction(fraction: f64) -> Self {
+        UpdateConfig {
+            fraction,
+            gamma: 1.0,
+            seed: 0xDE17A,
+        }
+    }
+
+    /// Builder-style setter for γ.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generate a batch update over `graph` according to `config`.
+///
+/// The update never deletes the same edge twice and never inserts an edge
+/// that already exists, so it applies cleanly with
+/// [`BatchUpdate::applied_to`].
+pub fn generate_update(graph: &Graph, config: &UpdateConfig) -> BatchUpdate {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut update = BatchUpdate::new();
+    let edges: Vec<EdgeRef> = graph.edge_vec();
+    if edges.is_empty() {
+        return update;
+    }
+    let total = ((edges.len() as f64) * config.fraction.max(0.0)).round() as usize;
+    if total == 0 {
+        return update;
+    }
+    let gamma = config.gamma.max(0.0);
+    // total = inserts + deletes, inserts = γ · deletes.
+    let deletes = ((total as f64) / (1.0 + gamma)).round() as usize;
+    let inserts = total.saturating_sub(deletes);
+
+    // Deletions: sample distinct existing edges.
+    let mut deleted: HashSet<EdgeRef> = HashSet::new();
+    let mut attempts = 0usize;
+    while deleted.len() < deletes.min(edges.len()) && attempts < edges.len() * 10 {
+        attempts += 1;
+        let e = edges[rng.gen_range(0..edges.len())];
+        if deleted.insert(e) {
+            update.delete_edge(e.src, e.dst, e.label);
+        }
+    }
+
+    // Insertions: re-wire a sampled edge `(src → dst)` to another node with
+    // the same label as `dst`, keeping the edge label.
+    let mut inserted: HashSet<EdgeRef> = HashSet::new();
+    attempts = 0;
+    while inserted.len() < inserts && attempts < inserts * 20 + 100 {
+        attempts += 1;
+        let template = edges[rng.gen_range(0..edges.len())];
+        let dst_label = graph.label(template.dst);
+        let candidates = graph.nodes_with_label(dst_label);
+        if candidates.is_empty() {
+            continue;
+        }
+        let new_dst: NodeId = candidates[rng.gen_range(0..candidates.len())];
+        let e = EdgeRef::new(template.src, new_dst, template.label);
+        if graph.has_edge(e.src, e.dst, e.label) || deleted.contains(&e) || !inserted.insert(e) {
+            continue;
+        }
+        update.insert_edge(e.src, e.dst, e.label);
+    }
+    update
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knowledge::{generate_knowledge, KnowledgeConfig};
+
+    fn sample_graph() -> Graph {
+        generate_knowledge(&KnowledgeConfig::dbpedia_like(2)).graph
+    }
+
+    #[test]
+    fn update_size_tracks_the_requested_fraction() {
+        let graph = sample_graph();
+        for fraction in [0.05, 0.15, 0.30] {
+            let update = generate_update(&graph, &UpdateConfig::fraction(fraction));
+            let expected = (graph.edge_count() as f64 * fraction).round() as usize;
+            let len = update.len();
+            assert!(
+                (len as i64 - expected as i64).unsigned_abs() as usize <= expected / 5 + 2,
+                "|ΔG| = {len}, expected ≈ {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_controls_the_insert_delete_ratio() {
+        let graph = sample_graph();
+        let balanced = generate_update(&graph, &UpdateConfig::fraction(0.2).with_gamma(1.0));
+        let ins = balanced.insertions().count();
+        let del = balanced.deletions().count();
+        assert!((ins as i64 - del as i64).abs() <= 2, "γ=1 must balance ({ins} vs {del})");
+
+        let insert_heavy = generate_update(&graph, &UpdateConfig::fraction(0.2).with_gamma(3.0));
+        assert!(insert_heavy.insertions().count() > 2 * insert_heavy.deletions().count());
+
+        let delete_only = generate_update(&graph, &UpdateConfig::fraction(0.2).with_gamma(0.0));
+        assert_eq!(delete_only.insertions().count(), 0);
+        assert!(delete_only.deletions().count() > 0);
+    }
+
+    #[test]
+    fn update_applies_cleanly() {
+        let graph = sample_graph();
+        let update = generate_update(&graph, &UpdateConfig::fraction(0.25));
+        let updated = update.applied_to(&graph).expect("generated update must apply");
+        // γ = 1: the edge count stays roughly unchanged.
+        let diff = (updated.edge_count() as i64 - graph.edge_count() as i64).abs();
+        assert!(diff <= 2, "edge count drifted by {diff}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let graph = sample_graph();
+        let a = generate_update(&graph, &UpdateConfig::fraction(0.1).with_seed(5));
+        let b = generate_update(&graph, &UpdateConfig::fraction(0.1).with_seed(5));
+        let c = generate_update(&graph, &UpdateConfig::fraction(0.1).with_seed(6));
+        let key = |u: &BatchUpdate| {
+            (
+                u.insertions().collect::<Vec<_>>(),
+                u.deletions().collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_ne!(key(&a), key(&c));
+    }
+
+    #[test]
+    fn empty_graph_or_zero_fraction_yields_empty_update() {
+        let graph = sample_graph();
+        assert!(generate_update(&graph, &UpdateConfig::fraction(0.0)).is_empty());
+        assert!(generate_update(&Graph::new(), &UpdateConfig::fraction(0.5)).is_empty());
+    }
+}

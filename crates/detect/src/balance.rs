@@ -1,0 +1,169 @@
+//! Workload-balancing policy (Section 6.3, "Workload balancing").
+//!
+//! The parallel incremental detector keeps one work-unit queue `BVio_i` per
+//! worker.  Even when update pivots are distributed evenly, expansion fans
+//! out very unevenly — some pivots touch high-degree hubs and spawn
+//! thousands of children while others die immediately — so the coordinator
+//! periodically measures the **skewness** of every worker,
+//!
+//! ```text
+//! skew_i = ‖BVio_i‖ / avg_t ‖BVio_t‖
+//! ```
+//!
+//! and moves work units from workers whose skewness exceeds `η` (3 in the
+//! paper's experiments) to workers whose skewness is below `η'` (0.7),
+//! splitting the surplus evenly among the receivers.  This module contains
+//! the pure policy — measuring skewness and planning migrations — so it can
+//! be tested without threads; the runtime in [`crate::pincdect`] applies the
+//! plan to the live queues.
+
+use serde::{Deserialize, Serialize};
+
+/// A planned movement of `units` work units from one worker queue to
+/// another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Index of the over-loaded worker to take units from.
+    pub from: usize,
+    /// Index of the under-loaded worker to give units to.
+    pub to: usize,
+    /// Number of work units to move.
+    pub units: usize,
+}
+
+/// Skewness of every worker: queue length divided by the mean queue length.
+/// All-zero queues yield all-zero skewness (no work left to balance).
+pub fn skewness(queue_lens: &[usize]) -> Vec<f64> {
+    if queue_lens.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = queue_lens.iter().sum();
+    if total == 0 {
+        return vec![0.0; queue_lens.len()];
+    }
+    let avg = total as f64 / queue_lens.len() as f64;
+    queue_lens.iter().map(|&l| l as f64 / avg).collect()
+}
+
+/// Plan migrations from workers above the `high` skewness threshold (η) to
+/// workers below the `low` threshold (η').
+///
+/// Each over-loaded worker keeps roughly the average load and distributes
+/// its surplus evenly over the under-loaded workers.  The plan never moves
+/// more units than a queue holds and produces no migration when there is no
+/// receiver (the paper's strategy degenerates gracefully when every worker
+/// is busy).
+pub fn plan_migrations(queue_lens: &[usize], high: f64, low: f64) -> Vec<Migration> {
+    let skews = skewness(queue_lens);
+    if skews.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = queue_lens.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let avg = total as f64 / queue_lens.len() as f64;
+    let receivers: Vec<usize> = skews
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s < low)
+        .map(|(i, _)| i)
+        .collect();
+    if receivers.is_empty() {
+        return Vec::new();
+    }
+    let mut plan = Vec::new();
+    for (from, &skew) in skews.iter().enumerate() {
+        if skew <= high {
+            continue;
+        }
+        // Surplus above the average load, split evenly across receivers.
+        let surplus = queue_lens[from].saturating_sub(avg.ceil() as usize);
+        if surplus == 0 {
+            continue;
+        }
+        let share = surplus / receivers.len();
+        let mut remainder = surplus % receivers.len();
+        for &to in &receivers {
+            let extra = if remainder > 0 {
+                remainder -= 1;
+                1
+            } else {
+                0
+            };
+            let units = share + extra;
+            if units > 0 {
+                plan.push(Migration { from, to, units });
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skewness_of_uniform_queues_is_one() {
+        let s = skewness(&[10, 10, 10, 10]);
+        assert!(s.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn skewness_of_empty_and_zero_queues() {
+        assert!(skewness(&[]).is_empty());
+        assert_eq!(skewness(&[0, 0, 0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn skewed_worker_is_detected() {
+        // Paper example thresholds: η = 3, η' = 0.7.
+        let lens = [90, 5, 3, 2];
+        let s = skewness(&lens);
+        assert!(s[0] > 3.0);
+        assert!(s[1] < 0.7 && s[2] < 0.7 && s[3] < 0.7);
+    }
+
+    #[test]
+    fn plan_moves_surplus_from_busy_to_idle() {
+        let lens = [100, 0, 0, 0];
+        let plan = plan_migrations(&lens, 3.0, 0.7);
+        assert!(!plan.is_empty());
+        let moved: usize = plan.iter().map(|m| m.units).sum();
+        // The busy worker keeps about the average (25) and ships the rest.
+        assert_eq!(moved, 100 - 25);
+        assert!(plan.iter().all(|m| m.from == 0 && m.to != 0));
+        // Receivers get an even share.
+        let max = plan.iter().map(|m| m.units).max().unwrap();
+        let min = plan.iter().map(|m| m.units).min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn no_plan_when_balanced_or_no_receiver() {
+        assert!(plan_migrations(&[10, 10, 10], 3.0, 0.7).is_empty());
+        // One worker is loaded but the others are not idle enough (< η').
+        assert!(plan_migrations(&[40, 9, 9, 9], 3.0, 0.7).is_empty());
+        // No work at all.
+        assert!(plan_migrations(&[0, 0], 3.0, 0.7).is_empty());
+    }
+
+    #[test]
+    fn plan_never_overdrains_a_queue() {
+        for lens in [[7usize, 0, 0, 0], [3, 0, 0, 0], [1, 0, 0, 0]] {
+            let plan = plan_migrations(&lens, 3.0, 0.7);
+            let moved: usize = plan.iter().filter(|m| m.from == 0).map(|m| m.units).sum();
+            assert!(moved <= lens[0]);
+        }
+    }
+
+    #[test]
+    fn two_busy_workers_both_shed_load() {
+        let lens = [60, 60, 1, 1, 1, 1];
+        let plan = plan_migrations(&lens, 2.0, 0.7);
+        let senders: std::collections::BTreeSet<usize> = plan.iter().map(|m| m.from).collect();
+        assert_eq!(senders.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(plan.iter().all(|m| m.to >= 2));
+    }
+}

@@ -1,0 +1,634 @@
+//! `PIncDect` — the parallel incremental detector (Section 6.3).
+//!
+//! The algorithm runs `p` workers over the update pivots of `ΔG`:
+//!
+//! 1. **Pivot generation** — for every unit update and every compatible
+//!    pattern edge, an update pivot (a two-variable partial solution) is
+//!    created exactly as in `IncDect`; the pivots are distributed evenly
+//!    over the `p` worker queues (`BVio_i`).
+//! 2. **Parallel expansion** — each worker repeatedly pops a partial
+//!    solution from its own queue, generates the candidates of the next
+//!    pattern variable from the adjacency list of an already-matched node,
+//!    and either
+//!    * **splits** the candidate list across all workers when the paper's
+//!      cost model says the parallel route is cheaper
+//!      (`C·(k+1) + |adj|/p < |adj|`), or
+//!    * extends the partial solution locally, pushing the viable children
+//!      back onto its own queue.
+//!    Complete assignments are checked for violation and against the
+//!    "other side" graph so that the result is exactly
+//!    `ΔVio = (ΔVio⁺, ΔVio⁻)`.
+//! 3. **Workload balancing** — a coordinator thread wakes up every `intvl`
+//!    milliseconds, measures queue skewness and migrates work units from
+//!    workers above `η` to workers below `η'` ([`crate::balance`]).
+//!
+//! The two hybrid-strategy ingredients can be disabled independently,
+//! giving the paper's ablation variants `PIncDect_ns`, `PIncDect_nb` and
+//! `PIncDect_NO`.
+//!
+//! The runtime is a shared-memory simulation of the paper's cluster: the
+//! `p` "processors" are OS threads, replication of the candidate
+//! neighbourhood is free, and communication latency is *accounted* (in the
+//! [`CostLedger`]) rather than suffered, so that the latency/interval
+//! sweeps of Figures 4(m)/4(n) can be reproduced from the modelled cost.
+
+use crate::balance::plan_migrations;
+use crate::config::{AlgorithmKind, DetectorConfig};
+use crate::cost::{should_split, CostLedger};
+use crate::report::{DeltaReport, SearchStats};
+use ngd_core::{is_violation, Ngd, RuleSet, Var};
+use ngd_graph::{d_neighbors_many, BatchUpdate, EdgeRef, Graph, NodeId};
+use ngd_match::{edge_ranks, pattern_matches, update_pivots, DeltaViolations, Matcher, Violation};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which half of the delta a work unit contributes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Searching `G ⊕ ΔG` from inserted edges — contributes to `ΔVio⁺`.
+    Added,
+    /// Searching `G` from deleted edges — contributes to `ΔVio⁻`.
+    Removed,
+}
+
+/// A partial solution waiting to be expanded — one entry of a worker's
+/// `BVio_i` queue.
+#[derive(Debug, Clone)]
+struct WorkUnit {
+    /// Index of the rule in `Σ`.
+    rule_idx: usize,
+    /// Added (insertion-driven) or Removed (deletion-driven).
+    phase: Phase,
+    /// The matching order fixed when the pivot was created.
+    order: Arc<Vec<Var>>,
+    /// Position in `order` of the next variable to match.
+    depth: usize,
+    /// The partial assignment (indexed by pattern variable).
+    assignment: Vec<Option<NodeId>>,
+    /// Candidates for `order[depth]` pre-computed by a split, if any.
+    presplit: Option<Vec<NodeId>>,
+    /// Rank of the update pivot this unit descends from; updated edges of a
+    /// lower rank are forbidden during its expansion (pivot de-duplication,
+    /// Section 6.2).
+    pivot_rank: usize,
+}
+
+/// Per-worker accumulator merged into the final report.
+#[derive(Debug, Default)]
+struct WorkerOutput {
+    delta: DeltaViolations,
+    stats: SearchStats,
+    cost: CostLedger,
+}
+
+/// Shared runtime state of one `PIncDect` invocation.
+struct Runtime<'a> {
+    sigma: &'a RuleSet,
+    old_graph: &'a Graph,
+    new_graph: &'a Graph,
+    /// Rank of each inserted edge in `ΔG⁺` (pivot de-duplication).
+    inserted_ranks: HashMap<ngd_graph::EdgeRef, usize>,
+    /// Rank of each deleted edge in `ΔG⁻`.
+    deleted_ranks: HashMap<ngd_graph::EdgeRef, usize>,
+    config: DetectorConfig,
+    queues: Vec<Mutex<VecDeque<WorkUnit>>>,
+    /// Work units currently queued (all workers).
+    pending: AtomicUsize,
+    /// Workers currently expanding a unit.
+    active: AtomicUsize,
+    /// Set once every queue is drained and no worker is mid-expansion.
+    done: AtomicBool,
+}
+
+impl<'a> Runtime<'a> {
+    fn graphs_for(&self, phase: Phase) -> (&'a Graph, &'a Graph) {
+        match phase {
+            Phase::Added => (self.new_graph, self.old_graph),
+            Phase::Removed => (self.old_graph, self.new_graph),
+        }
+    }
+
+    fn ranks_for(&self, phase: Phase) -> &HashMap<ngd_graph::EdgeRef, usize> {
+        match phase {
+            Phase::Added => &self.inserted_ranks,
+            Phase::Removed => &self.deleted_ranks,
+        }
+    }
+
+    /// Enqueue a unit on a specific worker queue.
+    fn push(&self, worker: usize, unit: WorkUnit) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queues[worker].lock().push_back(unit);
+    }
+
+    /// Pop the next unit for a worker (LIFO on its own queue, so expansion
+    /// is depth-first and queue memory stays bounded; the balancer moves
+    /// the oldest — shallowest, hence largest — units from the front).
+    fn pop(&self, worker: usize) -> Option<WorkUnit> {
+        let unit = self.queues[worker].lock().pop_back();
+        if unit.is_some() {
+            // Order matters for termination detection: mark the worker
+            // active *before* discounting the queued unit, so `pending` and
+            // `active` are never both zero while work is in flight.
+            self.active.fetch_add(1, Ordering::SeqCst);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        unit
+    }
+
+    fn finish_unit(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn maybe_finish(&self) -> bool {
+        if self.pending.load(Ordering::SeqCst) == 0 && self.active.load(Ordering::SeqCst) == 0 {
+            self.done.store(true, Ordering::SeqCst);
+        }
+        self.done.load(Ordering::SeqCst)
+    }
+
+    fn queue_lengths(&self) -> Vec<usize> {
+        self.queues.iter().map(|q| q.lock().len()).collect()
+    }
+
+    /// Expand one work unit on behalf of `worker`, writing results into
+    /// `out` and pushing children / split chunks onto the queues.
+    fn expand(&self, worker: usize, unit: WorkUnit, out: &mut WorkerOutput) {
+        let rule = &self.sigma.rules()[unit.rule_idx];
+        let (search_graph, other_graph) = self.graphs_for(unit.phase);
+        let matcher = Matcher::new(&rule.pattern, search_graph)
+            .with_forbidden(self.ranks_for(unit.phase), unit.pivot_rank);
+        out.stats.expanded += 1;
+
+        // Skip over variables the pivot already assigned.
+        let mut depth = unit.depth;
+        while depth < unit.order.len() && unit.assignment[unit.order[depth].index()].is_some() {
+            depth += 1;
+        }
+        if depth == unit.order.len() {
+            let complete: Vec<NodeId> = unit.assignment.iter().map(|n| n.expect("complete")).collect();
+            out.stats.matches_found += 1;
+            if is_violation(rule, search_graph, &complete)
+                && !pattern_matches(rule, other_graph, &complete)
+            {
+                let violation = Violation::new(rule.id.clone(), complete);
+                match unit.phase {
+                    Phase::Added => out.delta.added.insert(violation),
+                    Phase::Removed => out.delta.removed.insert(violation),
+                };
+            }
+            return;
+        }
+
+        let var = unit.order[depth];
+        let (candidates, anchor_degree) = match unit.presplit {
+            Some(ref pre) => (pre.clone(), pre.len()),
+            None => matcher.candidate_step(var, &unit.assignment),
+        };
+        out.stats.candidates_inspected += candidates.len();
+        out.cost.record_scan(candidates.len());
+
+        // Work-unit splitting (hybrid strategy, ingredient (a)): if the cost
+        // model prefers the parallel route, scatter the candidate list over
+        // all workers and stop here.
+        let p = self.config.processors;
+        let already_split = unit.presplit.is_some();
+        if self.config.work_splitting
+            && !already_split
+            && p > 1
+            && candidates.len() >= p
+            && should_split(self.config.latency_c, depth, anchor_degree, p)
+        {
+            out.cost.record_split(self.config.latency_c, depth);
+            let chunk = candidates.len().div_ceil(p);
+            for (offset, slice) in candidates.chunks(chunk).enumerate() {
+                let target = (worker + offset) % p;
+                self.push(
+                    target,
+                    WorkUnit {
+                        presplit: Some(slice.to_vec()),
+                        depth,
+                        ..unit.clone()
+                    },
+                );
+            }
+            return;
+        }
+        out.cost.record_local();
+
+        for candidate in candidates {
+            let mut child_assignment = unit.assignment.clone();
+            child_assignment[var.index()] = Some(candidate);
+            if !matcher.partial_viable(Some(rule), &child_assignment) {
+                continue;
+            }
+            self.push(
+                worker,
+                WorkUnit {
+                    rule_idx: unit.rule_idx,
+                    phase: unit.phase,
+                    order: Arc::clone(&unit.order),
+                    depth: depth + 1,
+                    assignment: child_assignment,
+                    presplit: None,
+                    pivot_rank: unit.pivot_rank,
+                },
+            );
+        }
+    }
+
+    /// Worker main loop.
+    fn worker_loop(&self, worker: usize) -> WorkerOutput {
+        let mut out = WorkerOutput::default();
+        loop {
+            match self.pop(worker) {
+                Some(unit) => {
+                    self.expand(worker, unit, &mut out);
+                    self.finish_unit();
+                }
+                None => {
+                    if self.maybe_finish() {
+                        break;
+                    }
+                    // Brief sleep rather than a spin: on machines with fewer
+                    // hardware threads than workers an idle spin would steal
+                    // cycles from the workers that do hold work.
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+        out
+    }
+
+    /// Coordinator loop: periodic workload balancing until completion.
+    /// Returns the cost attributed to balancing (migrations and their
+    /// modelled communication latency).
+    fn coordinator_loop(&self) -> CostLedger {
+        let mut ledger = CostLedger::default();
+        let interval = Duration::from_millis(self.config.balance_interval_ms.max(1));
+        let tick = Duration::from_micros(200);
+        let mut since_balance = Duration::ZERO;
+        while !self.done.load(Ordering::SeqCst) {
+            std::thread::sleep(tick);
+            since_balance += tick;
+            if since_balance < interval {
+                continue;
+            }
+            since_balance = Duration::ZERO;
+            if !self.config.workload_balancing {
+                continue;
+            }
+            let lens = self.queue_lengths();
+            let plan = plan_migrations(&lens, self.config.skew_high, self.config.skew_low);
+            for migration in plan {
+                let mut moved = Vec::with_capacity(migration.units);
+                {
+                    let mut from = self.queues[migration.from].lock();
+                    for _ in 0..migration.units {
+                        // Take the oldest (shallowest) units: they carry the
+                        // most remaining work.
+                        match from.pop_front() {
+                            Some(unit) => moved.push(unit),
+                            None => break,
+                        }
+                    }
+                }
+                if moved.is_empty() {
+                    continue;
+                }
+                ledger.record_migration(moved.len());
+                // Moving a unit between processors is a message: account its
+                // latency so the `intvl` sweep exposes the paper's trade-off.
+                ledger.latency_units += self.config.latency_c * moved.len() as f64;
+                self.queues[migration.to].lock().extend(moved);
+            }
+        }
+        ledger
+    }
+}
+
+/// Create the initial work units (update pivots) of one rule for one phase.
+/// The `ranks` map drives the pivot de-duplication: the unit created for
+/// the `rank`-th updated edge never expands into an earlier updated edge.
+fn pivot_units(
+    rule_idx: usize,
+    rule: &Ngd,
+    phase: Phase,
+    search_graph: &Graph,
+    edges: &[EdgeRef],
+    ranks: &HashMap<EdgeRef, usize>,
+) -> Vec<WorkUnit> {
+    let mut units = Vec::new();
+    for (rank, edge) in edges.iter().enumerate() {
+        let matcher = Matcher::new(&rule.pattern, search_graph).with_forbidden(ranks, rank);
+        for pivot in update_pivots(rule, search_graph, std::iter::once(*edge)) {
+            let pe = rule.pattern.edges()[pivot.pattern_edge];
+            let seeds = [(pe.src, pivot.edge.src), (pe.dst, pivot.edge.dst)];
+            // Install the seeds, rejecting label clashes and self-loop
+            // pattern edges seeded with two different nodes.
+            let mut assignment = vec![None; rule.pattern.node_count()];
+            let mut ok = true;
+            for &(var, node) in &seeds {
+                if !matcher.node_matches_var(var, node) {
+                    ok = false;
+                    break;
+                }
+                match assignment[var.index()] {
+                    Some(existing) if existing != node => {
+                        ok = false;
+                        break;
+                    }
+                    _ => assignment[var.index()] = Some(node),
+                }
+            }
+            if !ok || !matcher.partial_viable(Some(rule), &assignment) {
+                continue;
+            }
+            let order = Arc::new(matcher.order_with_seeds(&[pe.src, pe.dst]));
+            units.push(WorkUnit {
+                rule_idx,
+                phase,
+                order,
+                depth: 0,
+                assignment,
+                presplit: None,
+                pivot_rank: rank,
+            });
+        }
+    }
+    units
+}
+
+/// Run `PIncDect` (or one of its ablation variants, depending on
+/// `config.work_splitting` / `config.workload_balancing`) on a graph and a
+/// batch update.
+pub fn pinc_dect(
+    sigma: &RuleSet,
+    graph: &Graph,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+) -> DeltaReport {
+    let updated = delta
+        .applied_to(graph)
+        .expect("batch update must apply cleanly to the graph");
+    pinc_dect_prepared(sigma, graph, &updated, delta, config)
+}
+
+/// Run `PIncDect` when both `G` and `G ⊕ ΔG` are already materialised.
+pub fn pinc_dect_prepared(
+    sigma: &RuleSet,
+    old_graph: &Graph,
+    new_graph: &Graph,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+) -> DeltaReport {
+    let start = Instant::now();
+    let p = config.processors.max(1);
+    let inserted: Vec<EdgeRef> = delta.insertions().collect();
+    let deleted: Vec<EdgeRef> = delta.deletions().collect();
+
+    // Phase 1: update pivots for every rule, both phases.
+    let inserted_ranks = edge_ranks(&inserted);
+    let deleted_ranks = edge_ranks(&deleted);
+    let mut pivots: Vec<WorkUnit> = Vec::new();
+    for (rule_idx, rule) in sigma.iter().enumerate() {
+        pivots.extend(pivot_units(
+            rule_idx,
+            rule,
+            Phase::Added,
+            new_graph,
+            &inserted,
+            &inserted_ranks,
+        ));
+        pivots.extend(pivot_units(
+            rule_idx,
+            rule,
+            Phase::Removed,
+            old_graph,
+            &deleted,
+            &deleted_ranks,
+        ));
+    }
+
+    let runtime = Runtime {
+        sigma,
+        old_graph,
+        new_graph,
+        inserted_ranks,
+        deleted_ranks,
+        config: *config,
+        queues: (0..p).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+    };
+
+    // Phase 1 (continued): distribute the pivots evenly across workers.
+    for (idx, unit) in pivots.into_iter().enumerate() {
+        runtime.push(idx % p, unit);
+    }
+
+    // Phase 2 + 3: workers expand, the coordinator balances.
+    let runtime_ref = &runtime;
+    let (outputs, balance_cost) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|worker| scope.spawn(move || runtime_ref.worker_loop(worker)))
+            .collect();
+        let balance_cost = runtime_ref.coordinator_loop();
+        let outputs: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread must not panic"))
+            .collect();
+        (outputs, balance_cost)
+    });
+
+    let mut delta_vio = DeltaViolations::new();
+    let mut stats = SearchStats::default();
+    let mut cost = balance_cost;
+    for out in outputs {
+        delta_vio.extend(out.delta);
+        stats.merge(&out.stats);
+        cost.merge(&out.cost);
+    }
+
+    let elapsed = start.elapsed();
+    let neighborhood =
+        d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
+    let algorithm = match (config.work_splitting, config.workload_balancing) {
+        (true, true) => AlgorithmKind::PIncDect,
+        (false, true) => AlgorithmKind::PIncDectNs,
+        (true, false) => AlgorithmKind::PIncDectNb,
+        (false, false) => AlgorithmKind::PIncDectNo,
+    };
+    DeltaReport {
+        algorithm,
+        delta: delta_vio,
+        elapsed,
+        stats,
+        cost,
+        processors: p,
+        neighborhood_nodes: neighborhood,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incdect::inc_dect;
+    use ngd_core::paper;
+    use ngd_graph::{intern, AttrMap, Value};
+
+    /// Example 7 of the paper: G4 plus 98 small helper accounts, then the
+    /// *real* account's status edge — which every violation shares as the
+    /// `s1` match — is deleted, removing 99 violations at once.
+    fn example7() -> (Graph, BatchUpdate, RuleSet) {
+        let (mut g, fake) = paper::figure1_g4();
+        let company = g.nodes_with_label(intern("company"))[0];
+        let real = g
+            .nodes_with_label(intern("account"))
+            .iter()
+            .copied()
+            .find(|&n| n != fake)
+            .expect("figure 1 G4 has a real account besides the fake one");
+        for i in 0..98 {
+            let acct = g.add_node_named("account", AttrMap::new());
+            let following = g.add_node_named(
+                "integer",
+                AttrMap::from_pairs([("val", Value::Int(1))]),
+            );
+            let follower = g.add_node_named(
+                "integer",
+                AttrMap::from_pairs([("val", Value::Int(2))]),
+            );
+            let status = g.add_node_named(
+                "boolean",
+                AttrMap::from_pairs([("val", Value::Bool(true))]),
+            );
+            g.add_edge_named(acct, company, "keys").unwrap();
+            g.add_edge_named(acct, following, "following").unwrap();
+            g.add_edge_named(acct, follower, "follower").unwrap();
+            g.add_edge_named(acct, status, "status").unwrap();
+            let _ = i;
+        }
+        let status_node = g
+            .out_neighbors(real)
+            .iter()
+            .find(|&&(_, l)| l == intern("status"))
+            .map(|&(n, _)| n)
+            .unwrap();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(real, status_node, intern("status"));
+        let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+        (g, delta, sigma)
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_incremental() {
+        let (g, delta, sigma) = example7();
+        let sequential = inc_dect(&sigma, &g, &delta);
+        for p in [1, 2, 4, 8] {
+            for config in [
+                DetectorConfig::with_processors(p).hybrid(),
+                DetectorConfig::with_processors(p).no_splitting(),
+                DetectorConfig::with_processors(p).no_balancing(),
+                DetectorConfig::with_processors(p).no_hybrid(),
+            ] {
+                let parallel = pinc_dect(&sigma, &g, &delta, &config);
+                assert_eq!(
+                    parallel.delta, sequential.delta,
+                    "{:?} with p={p} must agree with IncDect",
+                    parallel.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn example7_finds_99_removed_violations() {
+        // Deleting the status edge of NatWest Help removes the violation in
+        // which it was the real account paired with NatWest_Help — and the
+        // 98 helper accounts pair with the fake account the same way, so the
+        // paper reports a total of 99 removed violations.
+        let (g, delta, sigma) = example7();
+        let report = pinc_dect(&sigma, &g, &delta, &DetectorConfig::with_processors(4));
+        assert_eq!(report.delta.removed.len(), 99);
+        assert!(report.delta.added.is_empty());
+        assert_eq!(report.algorithm, AlgorithmKind::PIncDect);
+    }
+
+    #[test]
+    fn splitting_is_recorded_in_the_ledger() {
+        let (g, delta, sigma) = example7();
+        // A tiny latency constant makes every sizable adjacency list split.
+        let config = DetectorConfig::with_processors(4).latency(0.5);
+        let report = pinc_dect(&sigma, &g, &delta, &config);
+        assert!(report.cost.splits > 0, "expected at least one split");
+        // The ablation without splitting performs none.
+        let ns = pinc_dect(&sigma, &g, &delta, &config.no_splitting());
+        assert_eq!(ns.cost.splits, 0);
+        assert_eq!(ns.algorithm, AlgorithmKind::PIncDectNs);
+        assert_eq!(ns.delta, report.delta);
+    }
+
+    #[test]
+    fn empty_update_terminates_immediately() {
+        let (g, _) = paper::figure1_g2();
+        let sigma = paper::paper_rule_set();
+        let report = pinc_dect(
+            &sigma,
+            &g,
+            &BatchUpdate::new(),
+            &DetectorConfig::with_processors(3),
+        );
+        assert!(report.delta.is_empty());
+        assert_eq!(report.stats.expanded, 0);
+    }
+
+    #[test]
+    fn insertions_and_deletions_in_one_batch() {
+        let (g_old, fake) = paper::figure1_g4();
+        let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+        let company = g_old.nodes_with_label(intern("company"))[0];
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(fake, company, intern("keys"));
+        let base = g_old.node_count();
+        let acct = delta.add_node(base, intern("account"), AttrMap::new());
+        let following = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(1_000_000))]),
+        );
+        let follower = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(2_000_000))]),
+        );
+        let status = delta.add_node(
+            base,
+            intern("boolean"),
+            AttrMap::from_pairs([("val", Value::Bool(true))]),
+        );
+        delta.insert_edge(acct, company, intern("keys"));
+        delta.insert_edge(acct, following, intern("following"));
+        delta.insert_edge(acct, follower, intern("follower"));
+        delta.insert_edge(acct, status, intern("status"));
+
+        let sequential = inc_dect(&sigma, &g_old, &delta);
+        let parallel = pinc_dect(&sigma, &g_old, &delta, &DetectorConfig::with_processors(4));
+        assert_eq!(parallel.delta, sequential.delta);
+        assert!(!parallel.delta.added.is_empty());
+        assert!(!parallel.delta.removed.is_empty());
+    }
+
+    #[test]
+    fn frequent_balancing_does_not_change_the_result() {
+        let (g, delta, sigma) = example7();
+        let reference = inc_dect(&sigma, &g, &delta);
+        let config = DetectorConfig::with_processors(4).interval_ms(1);
+        let report = pinc_dect(&sigma, &g, &delta, &config);
+        assert_eq!(report.delta, reference.delta);
+    }
+}

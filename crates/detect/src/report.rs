@@ -1,0 +1,149 @@
+//! Detection reports.
+//!
+//! Every detector returns a report carrying the violations (or the
+//! violation delta), wall-clock timing, matcher statistics and the cost
+//! ledger of the parallel runtime, so that the experiment harness can print
+//! the series the paper plots without re-instrumenting the algorithms.
+
+use crate::config::AlgorithmKind;
+use crate::cost::CostLedger;
+use ngd_match::{DeltaViolations, MatchStats, ViolationSet};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Matcher statistics in serializable form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Search-tree nodes expanded.
+    pub expanded: usize,
+    /// Candidate nodes inspected.
+    pub candidates_inspected: usize,
+    /// Complete pattern matches enumerated (before violation filtering).
+    pub matches_found: usize,
+}
+
+impl From<MatchStats> for SearchStats {
+    fn from(s: MatchStats) -> Self {
+        SearchStats {
+            expanded: s.expanded,
+            candidates_inspected: s.candidates_inspected,
+            matches_found: s.matches_found,
+        }
+    }
+}
+
+impl SearchStats {
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.expanded += other.expanded;
+        self.candidates_inspected += other.candidates_inspected;
+        self.matches_found += other.matches_found;
+    }
+}
+
+/// Report of a batch detection run (`Vio(Σ, G)`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionReport {
+    /// Which algorithm produced the report.
+    pub algorithm: AlgorithmKind,
+    /// The violations found.
+    pub violations: ViolationSet,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Matcher statistics.
+    pub stats: SearchStats,
+    /// Parallel-runtime cost ledger (zero for sequential runs).
+    pub cost: CostLedger,
+    /// Number of workers used.
+    pub processors: usize,
+}
+
+impl DetectionReport {
+    /// Number of violations found.
+    pub fn violation_count(&self) -> usize {
+        self.violations.len()
+    }
+}
+
+/// Report of an incremental detection run (`ΔVio(Σ, G, ΔG)`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeltaReport {
+    /// Which algorithm produced the report.
+    pub algorithm: AlgorithmKind,
+    /// The violation delta.
+    pub delta: DeltaViolations,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Matcher statistics.
+    pub stats: SearchStats,
+    /// Parallel-runtime cost ledger (zero for sequential runs).
+    pub cost: CostLedger,
+    /// Number of workers used.
+    pub processors: usize,
+    /// Size of the `dΣ`-neighbourhood of the update (nodes) — the quantity
+    /// the localizability guarantee bounds the work by.
+    pub neighborhood_nodes: usize,
+}
+
+impl DeltaReport {
+    /// Total number of changed violations.
+    pub fn change_count(&self) -> usize {
+        self.delta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngd_graph::NodeId;
+    use ngd_match::Violation;
+
+    #[test]
+    fn search_stats_merge() {
+        let mut a = SearchStats {
+            expanded: 1,
+            candidates_inspected: 10,
+            matches_found: 2,
+        };
+        a.merge(&SearchStats {
+            expanded: 4,
+            candidates_inspected: 5,
+            matches_found: 1,
+        });
+        assert_eq!(a.expanded, 5);
+        assert_eq!(a.candidates_inspected, 15);
+        assert_eq!(a.matches_found, 3);
+    }
+
+    #[test]
+    fn reports_serialize() {
+        let mut violations = ViolationSet::new();
+        violations.insert(Violation::new("r", vec![NodeId(1)]));
+        let report = DetectionReport {
+            algorithm: AlgorithmKind::Dect,
+            violations,
+            elapsed: Duration::from_millis(5),
+            stats: SearchStats::default(),
+            cost: CostLedger::default(),
+            processors: 1,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.violation_count(), 1);
+        assert_eq!(back.algorithm, AlgorithmKind::Dect);
+    }
+
+    #[test]
+    fn delta_report_change_count() {
+        let report = DeltaReport {
+            algorithm: AlgorithmKind::IncDect,
+            delta: DeltaViolations::default(),
+            elapsed: Duration::ZERO,
+            stats: SearchStats::default(),
+            cost: CostLedger::default(),
+            processors: 1,
+            neighborhood_nodes: 0,
+        };
+        assert_eq!(report.change_count(), 0);
+    }
+}

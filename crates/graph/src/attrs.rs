@@ -1,0 +1,182 @@
+//! Per-node attribute tuples `F_A(v) = (A_1 = a_1, …, A_n = a_n)`.
+//!
+//! The paper requires attribute names within a tuple to be pairwise
+//! distinct; [`AttrMap`] enforces that.  Tuples are small (a handful of
+//! attributes per node), so they are stored as a sorted vector — cheaper
+//! than a hash map at these sizes and deterministic to iterate, which keeps
+//! detection output stable across runs.
+
+use crate::interner::{intern, Sym};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// An attribute tuple: a set of `(name, value)` pairs with distinct names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrMap {
+    /// Sorted by attribute symbol for deterministic iteration and O(log n)
+    /// lookup.
+    entries: Vec<(Sym, Value)>,
+}
+
+impl AttrMap {
+    /// An empty attribute tuple.
+    pub fn new() -> Self {
+        AttrMap::default()
+    }
+
+    /// Build an attribute map from `(name, value)` pairs.
+    ///
+    /// Later duplicates overwrite earlier ones (builder convenience).
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: AsRef<str>,
+    {
+        let mut map = AttrMap::new();
+        for (name, value) in pairs {
+            map.set(intern(name.as_ref()), value);
+        }
+        map
+    }
+
+    /// Number of attributes in the tuple.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tuple carries no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Set (insert or overwrite) an attribute.
+    pub fn set(&mut self, name: Sym, value: Value) {
+        match self.entries.binary_search_by_key(&name, |(n, _)| *n) {
+            Ok(idx) => self.entries[idx].1 = value,
+            Err(idx) => self.entries.insert(idx, (name, value)),
+        }
+    }
+
+    /// Set an attribute by name (interning it).
+    pub fn set_named(&mut self, name: &str, value: Value) {
+        self.set(intern(name), value);
+    }
+
+    /// Look up an attribute by symbol.
+    pub fn get(&self, name: Sym) -> Option<&Value> {
+        self.entries
+            .binary_search_by_key(&name, |(n, _)| *n)
+            .ok()
+            .map(|idx| &self.entries[idx].1)
+    }
+
+    /// Look up an attribute by name.
+    pub fn get_named(&self, name: &str) -> Option<&Value> {
+        self.get(intern(name))
+    }
+
+    /// Does the tuple carry attribute `name`?
+    pub fn contains(&self, name: Sym) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Remove an attribute, returning its previous value if present.
+    pub fn remove(&mut self, name: Sym) -> Option<Value> {
+        match self.entries.binary_search_by_key(&name, |(n, _)| *n) {
+            Ok(idx) => Some(self.entries.remove(idx).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Iterate over `(name, value)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &Value)> + '_ {
+        self.entries.iter().map(|(n, v)| (*n, v))
+    }
+
+    /// Total serialized "size" of the tuple (used by cost estimation):
+    /// number of attributes plus string payload lengths.
+    pub fn weight(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, v)| match v {
+                Value::Str(s) => 1 + s.len() / 8,
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+impl<S: AsRef<str>> FromIterator<(S, Value)> for AttrMap {
+    fn from_iter<I: IntoIterator<Item = (S, Value)>>(iter: I) -> Self {
+        AttrMap::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut attrs = AttrMap::new();
+        attrs.set_named("population", Value::Int(1572));
+        attrs.set_named("name", Value::Str("Bhonpur".into()));
+        assert_eq!(attrs.get_named("population"), Some(&Value::Int(1572)));
+        assert_eq!(attrs.get_named("name"), Some(&Value::Str("Bhonpur".into())));
+        assert_eq!(attrs.get_named("missing"), None);
+        assert_eq!(attrs.len(), 2);
+    }
+
+    #[test]
+    fn names_are_distinct_overwrite_semantics() {
+        let mut attrs = AttrMap::new();
+        attrs.set_named("val", Value::Int(1));
+        attrs.set_named("val", Value::Int(2));
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs.get_named("val"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_deterministic() {
+        let attrs = AttrMap::from_pairs([
+            ("zeta", Value::Int(1)),
+            ("alpha", Value::Int(2)),
+            ("mid", Value::Int(3)),
+        ]);
+        let names: Vec<Sym> = attrs.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut attrs = AttrMap::from_pairs([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        assert!(attrs.contains(intern("a")));
+        assert_eq!(attrs.remove(intern("a")), Some(Value::Int(1)));
+        assert!(!attrs.contains(intern("a")));
+        assert_eq!(attrs.remove(intern("a")), None);
+        assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn weight_counts_string_payload() {
+        let small = AttrMap::from_pairs([("a", Value::Int(1))]);
+        let big = AttrMap::from_pairs([("a", Value::Str("x".repeat(100)))]);
+        assert!(big.weight() > small.weight());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let attrs: AttrMap = [("x", Value::Int(5))].into_iter().collect();
+        assert_eq!(attrs.get_named("x"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let attrs = AttrMap::from_pairs([("pop", Value::Int(10)), ("nm", Value::from("v"))]);
+        let json = serde_json::to_string(&attrs).unwrap();
+        let back: AttrMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, attrs);
+    }
+}

@@ -1,0 +1,161 @@
+//! Ergonomic graph construction.
+//!
+//! [`GraphBuilder`] lets examples, tests and data generators build graphs by
+//! *name* — nodes are keyed by a caller-chosen string — without having to
+//! track [`NodeId`]s manually.
+
+use crate::attrs::AttrMap;
+use crate::graph::{Graph, NodeId};
+use crate::interner::intern;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A by-name builder over [`Graph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    names: HashMap<String, NodeId>,
+}
+
+impl GraphBuilder {
+    /// Start building an empty graph.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Add (or fetch) a node keyed by `name`, with the given label.
+    ///
+    /// If the node already exists its label is left unchanged and the
+    /// existing id is returned.
+    pub fn node(&mut self, name: &str, label: &str) -> NodeId {
+        if let Some(&id) = self.names.get(name) {
+            return id;
+        }
+        let id = self.graph.add_node(intern(label), AttrMap::new());
+        self.names.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Add (or fetch) a node and set attributes on it.
+    pub fn node_with_attrs<I, S>(&mut self, name: &str, label: &str, attrs: I) -> NodeId
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: AsRef<str>,
+    {
+        let id = self.node(name, label);
+        for (attr, value) in attrs {
+            self.graph.set_attr(id, intern(attr.as_ref()), value);
+        }
+        id
+    }
+
+    /// Set a single attribute on a node previously added by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node name is unknown (builder misuse).
+    pub fn set_attr(&mut self, name: &str, attr: &str, value: Value) -> &mut Self {
+        let id = *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown node name {name:?}"));
+        self.graph.set_attr(id, intern(attr), value);
+        self
+    }
+
+    /// Add a labelled edge between two named nodes (creating them with the
+    /// wildcard-ish label `entity` if they do not exist yet).
+    pub fn edge(&mut self, src: &str, dst: &str, label: &str) -> &mut Self {
+        let s = self
+            .names
+            .get(src)
+            .copied()
+            .unwrap_or_else(|| self.node(src, "entity"));
+        let d = self
+            .names
+            .get(dst)
+            .copied()
+            .unwrap_or_else(|| self.node(dst, "entity"));
+        // Ignore duplicate-edge errors: builders are used declaratively and
+        // re-stating an edge is harmless.
+        let _ = self.graph.add_edge(s, d, intern(label));
+        self
+    }
+
+    /// Look up the id of a named node.
+    pub fn id(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Finish building and return the graph.
+    pub fn build(self) -> Graph {
+        self.graph
+    }
+
+    /// Finish building and return both the graph and the name → id map.
+    pub fn build_with_names(self) -> (Graph, HashMap<String, NodeId>) {
+        (self.graph, self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_named_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        b.node_with_attrs("bhonpur", "village", [("femalePopulation", Value::Int(600))]);
+        b.node("india", "country");
+        b.edge("bhonpur", "india", "locatedIn");
+        let (g, names) = b.build_with_names();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let v = names["bhonpur"];
+        assert_eq!(
+            g.attr(v, intern("femalePopulation")),
+            Some(&Value::Int(600))
+        );
+    }
+
+    #[test]
+    fn repeated_node_name_returns_same_id() {
+        let mut b = GraphBuilder::new();
+        let a1 = b.node("x", "account");
+        let a2 = b.node("x", "account");
+        assert_eq!(a1, a2);
+        assert_eq!(b.build().node_count(), 1);
+    }
+
+    #[test]
+    fn edge_creates_missing_endpoints() {
+        let mut b = GraphBuilder::new();
+        b.edge("p", "q", "knows");
+        let g = b.build();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut b = GraphBuilder::new();
+        b.edge("p", "q", "knows").edge("p", "q", "knows");
+        assert_eq!(b.build().edge_count(), 1);
+    }
+
+    #[test]
+    fn set_attr_after_creation() {
+        let mut b = GraphBuilder::new();
+        b.node("v", "place");
+        b.set_attr("v", "population", Value::Int(42));
+        let (g, names) = b.build_with_names();
+        assert_eq!(g.attr(names["v"], intern("population")), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node name")]
+    fn set_attr_unknown_node_panics() {
+        let mut b = GraphBuilder::new();
+        b.set_attr("ghost", "x", Value::Int(1));
+    }
+}

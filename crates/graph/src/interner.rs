@@ -1,0 +1,183 @@
+//! Process-wide string interning for labels and attribute names.
+//!
+//! Labels from the alphabet `Γ` and attribute names from `Θ` appear in
+//! graphs, patterns, rules and generators alike.  Interning them once into
+//! compact [`Sym`] handles makes label comparisons during matching a single
+//! `u32` compare and keeps per-node storage small.
+//!
+//! The interner is a global table guarded by a [`parking_lot::RwLock`];
+//! interned strings are leaked (they live for the process lifetime), which
+//! is the usual compiler-style trade-off: the label alphabet is tiny
+//! (hundreds of symbols) compared to the graphs (millions of nodes).
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An interned string handle.
+///
+/// Two `Sym`s are equal iff the strings they intern are equal, so symbol
+/// comparison never needs to touch the underlying bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Resolve the symbol back to its string form.
+    pub fn as_str(self) -> &'static str {
+        resolve(self)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({}:{:?})", self.0, resolve(*self))
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+impl Serialize for Sym {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(resolve(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for Sym {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(intern(&s))
+    }
+}
+
+struct Interner {
+    map: HashMap<&'static str, Sym>,
+    strings: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        let mut interner = Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        };
+        // Slot 0 is reserved for the wildcard label `_` so that `WILDCARD`
+        // is a constant rather than a lazily-initialised symbol.
+        interner.intern_str("_");
+        interner
+    }
+
+    fn intern_str(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let sym = Sym(self.strings.len() as u32);
+        self.strings.push(leaked);
+        self.map.insert(leaked, sym);
+        sym
+    }
+}
+
+static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn interner() -> &'static RwLock<Interner> {
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+/// The wildcard label `_` (matches any label during pattern matching).
+pub const WILDCARD: Sym = Sym(0);
+
+/// Intern a string, returning its symbol.
+///
+/// Calling `intern` with the same string always returns the same [`Sym`].
+pub fn intern(s: &str) -> Sym {
+    {
+        let guard = interner().read();
+        if let Some(&sym) = guard.map.get(s) {
+            return sym;
+        }
+    }
+    interner().write().intern_str(s)
+}
+
+/// Resolve a symbol back to its string.
+///
+/// # Panics
+///
+/// Panics if the symbol was not produced by [`intern`] in this process.
+pub fn resolve(sym: Sym) -> &'static str {
+    let guard = interner().read();
+    guard
+        .strings
+        .get(sym.0 as usize)
+        .copied()
+        .expect("symbol not interned in this process")
+}
+
+/// Number of distinct interned symbols (useful in tests and stats).
+pub fn interned_count() -> usize {
+    interner().read().strings.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("place");
+        let b = intern("place");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "place");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("alpha-label");
+        let b = intern("beta-label");
+        assert_ne!(a, b);
+        assert_eq!(resolve(a), "alpha-label");
+        assert_eq!(resolve(b), "beta-label");
+    }
+
+    #[test]
+    fn wildcard_is_slot_zero() {
+        assert_eq!(intern("_"), WILDCARD);
+        assert_eq!(resolve(WILDCARD), "_");
+    }
+
+    #[test]
+    fn symbols_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        for name in ["a", "b", "c", "a"] {
+            set.insert(intern(name));
+        }
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_string() {
+        let sym = intern("follower");
+        let json = serde_json::to_string(&sym).unwrap();
+        assert_eq!(json, "\"follower\"");
+        let back: Sym = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sym);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern("concurrent-label")))
+            .collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,251 @@
+//! Plain-text and JSON graph (de)serialization.
+//!
+//! Two formats are supported:
+//!
+//! * **JSON** — the full [`Graph`] structure via serde (`to_json` /
+//!   `from_json`), used for round-tripping exact graphs in tests and for
+//!   persisting experiment inputs;
+//! * **text edge-list** — a simple line-oriented format close to what
+//!   public graph dumps (SNAP, DBpedia extracts) look like:
+//!
+//!   ```text
+//!   # comment
+//!   N <id> <label> [attr=value]...
+//!   E <src> <dst> <label>
+//!   ```
+//!
+//!   Attribute values parse as integers when possible, as `true`/`false`
+//!   for booleans, and as strings otherwise.
+
+use crate::attrs::AttrMap;
+use crate::graph::{Graph, NodeId};
+use crate::interner::intern;
+use crate::value::Value;
+use crate::{GraphError, Result};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serialize the graph to JSON.
+pub fn to_json(graph: &Graph) -> String {
+    serde_json::to_string(graph).expect("graph serialization cannot fail")
+}
+
+/// Deserialize a graph from JSON.
+pub fn from_json(json: &str) -> Result<Graph> {
+    serde_json::from_str(json).map_err(|e| GraphError::Parse(e.to_string()))
+}
+
+/// Render the graph in the text edge-list format.
+pub fn to_text(graph: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# ngd-graph text format: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    for id in graph.node_ids() {
+        let data = graph.node(id);
+        let _ = write!(out, "N {} {}", id.0, data.label);
+        for (name, value) in data.attrs.iter() {
+            match value {
+                Value::Int(i) => {
+                    let _ = write!(out, " {}={}", name, i);
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, " {}={}", name, b);
+                }
+                Value::Str(s) => {
+                    let _ = write!(out, " {}={:?}", name, s);
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    for edge in graph.edges() {
+        let _ = writeln!(out, "E {} {} {}", edge.src.0, edge.dst.0, edge.label);
+    }
+    out
+}
+
+fn parse_value(raw: &str) -> Value {
+    if raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2 {
+        return Value::Str(raw[1..raw.len() - 1].to_owned());
+    }
+    if raw == "true" {
+        return Value::Bool(true);
+    }
+    if raw == "false" {
+        return Value::Bool(false);
+    }
+    match raw.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(raw.to_owned()),
+    }
+}
+
+/// Parse a graph from the text edge-list format.
+///
+/// Node ids in the file may be arbitrary non-negative integers; they are
+/// remapped to dense ids in declaration order.
+pub fn from_text(text: &str) -> Result<Graph> {
+    let mut graph = Graph::new();
+    let mut id_map: HashMap<u64, NodeId> = HashMap::new();
+    for (lineno, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap_or_default();
+        match tag {
+            "N" => {
+                let id: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: bad node id", lineno + 1)))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing label", lineno + 1)))?;
+                let mut attrs = AttrMap::new();
+                // Re-join tokens that belong to a quoted string value (string
+                // attributes such as `category="living people"` contain
+                // whitespace), then split each assembled pair on `=`.
+                let mut pending: Option<String> = None;
+                let mut pairs: Vec<String> = Vec::new();
+                for token in parts {
+                    match pending.take() {
+                        Some(mut open) => {
+                            open.push(' ');
+                            open.push_str(token);
+                            if open.ends_with('"') {
+                                pairs.push(open);
+                            } else {
+                                pending = Some(open);
+                            }
+                        }
+                        None => {
+                            let opens_quote = token
+                                .split_once('=')
+                                .map(|(_, v)| v.starts_with('"') && !(v.len() >= 2 && v.ends_with('"')))
+                                .unwrap_or(false);
+                            if opens_quote {
+                                pending = Some(token.to_owned());
+                            } else {
+                                pairs.push(token.to_owned());
+                            }
+                        }
+                    }
+                }
+                if let Some(unterminated) = pending {
+                    return Err(GraphError::Parse(format!(
+                        "line {}: unterminated string in `{unterminated}`",
+                        lineno + 1
+                    )));
+                }
+                for attr in &pairs {
+                    let (name, value) = attr.split_once('=').ok_or_else(|| {
+                        GraphError::Parse(format!("line {}: bad attribute `{attr}`", lineno + 1))
+                    })?;
+                    attrs.set(intern(name), parse_value(value));
+                }
+                let node = graph.add_node(intern(label), attrs);
+                id_map.insert(id, node);
+            }
+            "E" => {
+                let src: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: bad src", lineno + 1)))?;
+                let dst: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: bad dst", lineno + 1)))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge label", lineno + 1)))?;
+                let s = *id_map.get(&src).ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: unknown node {src}", lineno + 1))
+                })?;
+                let d = *id_map.get(&dst).ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: unknown node {dst}", lineno + 1))
+                })?;
+                graph.add_edge(s, d, intern(label))?;
+            }
+            other => {
+                return Err(GraphError::Parse(format!(
+                    "line {}: unknown record tag `{other}`",
+                    lineno + 1
+                )))
+            }
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node_named(
+            "village",
+            AttrMap::from_pairs([
+                ("femalePopulation", Value::Int(600)),
+                ("name", Value::Str("Bhonpur".into())),
+            ]),
+        );
+        let b = g.add_node_named("country", AttrMap::new());
+        g.add_edge_named(a, b, "locatedIn").unwrap();
+        g
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = sample();
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_structure_and_attrs() {
+        let g = sample();
+        let text = to_text(&g);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.node_count(), 2);
+        assert_eq!(back.edge_count(), 1);
+        assert_eq!(
+            back.attr(NodeId(0), intern("femalePopulation")),
+            Some(&Value::Int(600))
+        );
+        assert_eq!(
+            back.attr(NodeId(0), intern("name")),
+            Some(&Value::Str("Bhonpur".into()))
+        );
+    }
+
+    #[test]
+    fn text_parser_accepts_comments_blanks_and_sparse_ids() {
+        let text = "# header\n\nN 10 account follower=75900 status=true\nN 20 company\nE 10 20 refersTo\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.attr(NodeId(0), intern("follower")), Some(&Value::Int(75900)));
+        assert_eq!(g.attr(NodeId(0), intern("status")), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn text_parser_rejects_malformed_lines() {
+        assert!(from_text("X 1 2").is_err());
+        assert!(from_text("N notanid label").is_err());
+        assert!(from_text("N 1 a\nE 1 99 e").is_err());
+        assert!(from_text("N 1 a attrwithoutvalue").is_err());
+        assert!(from_text("E 1 2").is_err());
+    }
+
+    #[test]
+    fn value_parsing_rules() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("-3"), Value::Int(-3));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("\"quoted\""), Value::Str("quoted".into()));
+        assert_eq!(parse_value("plain"), Value::Str("plain".into()));
+    }
+}

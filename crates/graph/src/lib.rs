@@ -1,0 +1,99 @@
+//! # ngd-graph
+//!
+//! Directed property-graph substrate used by the NGD (numeric graph
+//! dependency) inconsistency-detection stack.
+//!
+//! The data model follows Section 2 of *"Catching Numeric Inconsistencies in
+//! Graphs"* (SIGMOD 2018): a graph `G = (V, E, L, F_A)` where
+//!
+//! * `V` is a finite set of nodes,
+//! * `E ⊆ V × V` is a set of labelled directed edges,
+//! * every node and edge carries a label `L(·)` drawn from an alphabet `Γ`,
+//! * every node `v` carries an attribute tuple `F_A(v) = (A_1 = a_1, …)`
+//!   with constant values (integers, strings, booleans).
+//!
+//! On top of the core [`Graph`] type this crate provides:
+//!
+//! * [`neighborhood`] — `d`-hop neighbourhoods (`G_d(v)`), the locality
+//!   primitive behind the paper's *localizable* incremental algorithm;
+//! * [`update`] — batch edge insertions/deletions (`ΔG`) and their
+//!   application `G ⊕ ΔG`;
+//! * [`partition`] — edge-cut and vertex-cut fragmentation of a graph over
+//!   `p` workers (the METIS substitute used by the parallel detectors);
+//! * [`io`] — a plain-text edge-list/attribute format plus JSON
+//!   (de)serialization for graphs;
+//! * [`stats`] — density, degree and component statistics used to check
+//!   that simulated datasets match the paper's reported characteristics.
+//!
+//! Strings (labels and attribute names) are interned process-wide through
+//! [`interner`], so symbols created by data generators, rule parsers and
+//! detectors are always comparable.
+
+pub mod attrs;
+pub mod builder;
+pub mod graph;
+pub mod interner;
+pub mod io;
+pub mod neighborhood;
+pub mod partition;
+pub mod stats;
+pub mod update;
+pub mod value;
+
+pub use attrs::AttrMap;
+pub use builder::GraphBuilder;
+pub use graph::{EdgeRef, Graph, NodeData, NodeId};
+pub use interner::{intern, resolve, Sym, WILDCARD};
+pub use neighborhood::{d_neighbors, d_neighbors_many, induced_subgraph, Neighborhood};
+pub use partition::{EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner};
+pub use stats::GraphStats;
+pub use update::{BatchUpdate, EdgeOp, NewNode, UpdateError};
+pub use value::Value;
+
+/// A convenience `Result` alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised by graph mutation and lookup operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced an out-of-bounds slot.
+    NodeNotFound(NodeId),
+    /// The referenced edge does not exist.
+    EdgeNotFound {
+        /// Source node of the missing edge.
+        src: NodeId,
+        /// Destination node of the missing edge.
+        dst: NodeId,
+    },
+    /// An edge with the same endpoints and label already exists.
+    DuplicateEdge {
+        /// Source node of the duplicate edge.
+        src: NodeId,
+        /// Destination node of the duplicate edge.
+        dst: NodeId,
+    },
+    /// An attribute was re-declared with a conflicting value.
+    DuplicateAttribute(String),
+    /// A parse error while reading a serialized graph.
+    Parse(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeNotFound(id) => write!(f, "node {:?} not found", id),
+            GraphError::EdgeNotFound { src, dst } => {
+                write!(f, "edge {:?} -> {:?} not found", src, dst)
+            }
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "edge {:?} -> {:?} already exists", src, dst)
+            }
+            GraphError::DuplicateAttribute(name) => {
+                write!(f, "attribute `{name}` declared twice")
+            }
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

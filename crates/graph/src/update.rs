@@ -1,0 +1,319 @@
+//! Batch updates `ΔG`.
+//!
+//! Section 5.2 of the paper defines a *unit update* as an edge insertion or
+//! deletion; insertions may introduce new nodes (with labels and attribute
+//! values), deletions only remove links and leave nodes in place.  A *batch
+//! update* `ΔG = (ΔG⁺, ΔG⁻)` is a set of unit updates, and `G ⊕ ΔG` is the
+//! graph obtained by applying them.
+//!
+//! A [`BatchUpdate`] first materialises its [`NewNode`]s (whose ids are
+//! assigned densely after the existing nodes of the target graph, so the
+//! update can reference them before application), then applies edge
+//! insertions and deletions.
+
+use crate::attrs::AttrMap;
+use crate::graph::{EdgeRef, Graph, NodeId};
+use crate::interner::Sym;
+use serde::{Deserialize, Serialize};
+
+/// A node introduced by a batch update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NewNode {
+    /// Label of the new node.
+    pub label: Sym,
+    /// Attribute tuple of the new node.
+    pub attrs: AttrMap,
+}
+
+/// A single edge operation within a batch update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeOp {
+    /// `insert (v, v')` with label — the edge must not exist in `G`.
+    Insert(EdgeRef),
+    /// `delete (v, v')` with label — the edge must exist in `G`.
+    Delete(EdgeRef),
+}
+
+impl EdgeOp {
+    /// The edge this operation touches.
+    pub fn edge(&self) -> EdgeRef {
+        match self {
+            EdgeOp::Insert(e) | EdgeOp::Delete(e) => *e,
+        }
+    }
+
+    /// Is this an insertion?
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeOp::Insert(_))
+    }
+}
+
+/// Errors raised when applying a batch update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An inserted edge references a node that exists in neither `G` nor the
+    /// update's new-node list.
+    UnknownNode(NodeId),
+    /// An inserted edge already exists in the (partially updated) graph.
+    InsertExisting(EdgeRef),
+    /// A deleted edge does not exist in the (partially updated) graph.
+    DeleteMissing(EdgeRef),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnknownNode(id) => write!(f, "update references unknown node {id}"),
+            UpdateError::InsertExisting(e) => {
+                write!(f, "insert of existing edge {:?} -> {:?}", e.src, e.dst)
+            }
+            UpdateError::DeleteMissing(e) => {
+                write!(f, "delete of missing edge {:?} -> {:?}", e.src, e.dst)
+            }
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// A batch update `ΔG`: new nodes plus a sequence of edge operations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchUpdate {
+    /// Nodes introduced by the update; the `i`-th new node receives id
+    /// `base + i`, where `base` is the node count of the target graph.
+    pub new_nodes: Vec<NewNode>,
+    /// Edge insertions and deletions, in application order.
+    pub ops: Vec<EdgeOp>,
+}
+
+impl BatchUpdate {
+    /// An empty update.
+    pub fn new() -> Self {
+        BatchUpdate::default()
+    }
+
+    /// Number of unit (edge) updates — the `|ΔG|` of the paper.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the update contains no edge operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Declare a node that will be introduced by this update, given the
+    /// target graph's current node count. Returns the id the node will have
+    /// once the update is applied.
+    pub fn add_node(&mut self, base_node_count: usize, label: Sym, attrs: AttrMap) -> NodeId {
+        let id = NodeId((base_node_count + self.new_nodes.len()) as u32);
+        self.new_nodes.push(NewNode { label, attrs });
+        id
+    }
+
+    /// Queue an edge insertion.
+    pub fn insert_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) {
+        self.ops.push(EdgeOp::Insert(EdgeRef::new(src, dst, label)));
+    }
+
+    /// Queue an edge deletion.
+    pub fn delete_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) {
+        self.ops.push(EdgeOp::Delete(EdgeRef::new(src, dst, label)));
+    }
+
+    /// Edges inserted by this update (`ΔG⁺`).
+    pub fn insertions(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            EdgeOp::Insert(e) => Some(*e),
+            EdgeOp::Delete(_) => None,
+        })
+    }
+
+    /// Edges deleted by this update (`ΔG⁻`).
+    pub fn deletions(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.ops.iter().filter_map(|op| match op {
+            EdgeOp::Delete(e) => Some(*e),
+            EdgeOp::Insert(_) => None,
+        })
+    }
+
+    /// The nodes touched by any unit update — the BFS sources for the
+    /// `G_{dΣ}(ΔG)` neighbourhood.
+    pub fn touched_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .ops
+            .iter()
+            .flat_map(|op| {
+                let e = op.edge();
+                [e.src, e.dst]
+            })
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Ratio of insertions to deletions (the experiment parameter `γ`);
+    /// `None` when there are no deletions.
+    pub fn insert_delete_ratio(&self) -> Option<f64> {
+        let ins = self.insertions().count();
+        let del = self.deletions().count();
+        if del == 0 {
+            None
+        } else {
+            Some(ins as f64 / del as f64)
+        }
+    }
+
+    /// Apply the update to `graph` in place, producing `G ⊕ ΔG`.
+    ///
+    /// New nodes are appended first, then edge operations are applied in
+    /// order.  The method validates every operation and fails fast without
+    /// attempting to roll back (callers that need atomicity apply updates to
+    /// a clone, which is also what the detectors do).
+    pub fn apply(&self, graph: &mut Graph) -> Result<(), UpdateError> {
+        for node in &self.new_nodes {
+            graph.add_node(node.label, node.attrs.clone());
+        }
+        for op in &self.ops {
+            let e = op.edge();
+            if !graph.contains_node(e.src) {
+                return Err(UpdateError::UnknownNode(e.src));
+            }
+            if !graph.contains_node(e.dst) {
+                return Err(UpdateError::UnknownNode(e.dst));
+            }
+            match op {
+                EdgeOp::Insert(e) => graph
+                    .add_edge(e.src, e.dst, e.label)
+                    .map_err(|_| UpdateError::InsertExisting(*e))?,
+                EdgeOp::Delete(e) => graph
+                    .remove_edge(e.src, e.dst, e.label)
+                    .map_err(|_| UpdateError::DeleteMissing(*e))?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Return `G ⊕ ΔG` as a new graph, leaving `graph` untouched.
+    pub fn applied_to(&self, graph: &Graph) -> Result<Graph, UpdateError> {
+        let mut updated = graph.clone();
+        self.apply(&mut updated)?;
+        Ok(updated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::intern;
+    use crate::value::Value;
+
+    fn small_graph() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node_named("a", AttrMap::new());
+        let b = g.add_node_named("b", AttrMap::new());
+        let c = g.add_node_named("c", AttrMap::new());
+        g.add_edge_named(a, b, "e").unwrap();
+        g.add_edge_named(b, c, "e").unwrap();
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn insert_and_delete_edges() {
+        let (g, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[2], n[0], intern("e"));
+        delta.delete_edge(n[0], n[1], intern("e"));
+        let updated = delta.applied_to(&g).unwrap();
+        assert!(updated.has_edge(n[2], n[0], intern("e")));
+        assert!(!updated.has_edge(n[0], n[1], intern("e")));
+        assert_eq!(updated.edge_count(), 2);
+        // original untouched
+        assert!(g.has_edge(n[0], n[1], intern("e")));
+    }
+
+    #[test]
+    fn insertions_may_add_new_nodes() {
+        let (g, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        let new = delta.add_node(
+            g.node_count(),
+            intern("account"),
+            AttrMap::from_pairs([("follower", Value::Int(2))]),
+        );
+        delta.insert_edge(n[0], new, intern("refersTo"));
+        let updated = delta.applied_to(&g).unwrap();
+        assert_eq!(updated.node_count(), 4);
+        assert!(updated.has_edge(n[0], new, intern("refersTo")));
+        assert_eq!(
+            updated.attr(new, intern("follower")),
+            Some(&Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn deleting_missing_edge_fails() {
+        let (g, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[0], n[2], intern("e"));
+        assert_eq!(
+            delta.applied_to(&g).unwrap_err(),
+            UpdateError::DeleteMissing(EdgeRef::new(n[0], n[2], intern("e")))
+        );
+    }
+
+    #[test]
+    fn inserting_existing_edge_fails() {
+        let (g, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[0], n[1], intern("e"));
+        assert_eq!(
+            delta.applied_to(&g).unwrap_err(),
+            UpdateError::InsertExisting(EdgeRef::new(n[0], n[1], intern("e")))
+        );
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (g, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[0], NodeId(42), intern("e"));
+        assert_eq!(
+            delta.applied_to(&g).unwrap_err(),
+            UpdateError::UnknownNode(NodeId(42))
+        );
+    }
+
+    #[test]
+    fn touched_nodes_dedups_and_sorts() {
+        let (_, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[2], n[0], intern("x"));
+        delta.delete_edge(n[0], n[1], intern("e"));
+        assert_eq!(delta.touched_nodes(), vec![n[0], n[1], n[2]]);
+    }
+
+    #[test]
+    fn split_views_and_ratio() {
+        let (_, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[2], n[0], intern("x"));
+        delta.insert_edge(n[1], n[0], intern("y"));
+        delta.delete_edge(n[0], n[1], intern("e"));
+        assert_eq!(delta.insertions().count(), 2);
+        assert_eq!(delta.deletions().count(), 1);
+        assert_eq!(delta.len(), 3);
+        assert_eq!(delta.insert_delete_ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (_, n) = small_graph();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[2], n[0], intern("x"));
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: BatchUpdate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, delta);
+    }
+}

@@ -1,0 +1,212 @@
+//! Attribute values.
+//!
+//! Node attributes carry constant values drawn from the universe `U` of the
+//! paper: integers (the numeric values NGD arithmetic operates on), strings
+//! (used by equality literals such as `z.val ≠ "living people"`), booleans
+//! (e.g. account `status` flags) and dates, which are normalised to an
+//! integer day count so that date arithmetic (`wasDestroyedOnDate −
+//! wasCreatedOnDate ≥ c`) is plain integer arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A constant attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A 64-bit signed integer (also the representation of dates, in days).
+    Int(i64),
+    /// An owned string constant.
+    Str(String),
+    /// A boolean flag. Participates in arithmetic as 0/1.
+    Bool(bool),
+}
+
+impl Value {
+    /// Interpret the value as an integer, if it has a numeric reading.
+    ///
+    /// Booleans read as `0`/`1`; strings that parse as integers (a common
+    /// situation in scraped knowledge bases) read as their parsed value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Str(s) => s.trim().parse::<i64>().ok(),
+        }
+    }
+
+    /// Is this value numeric (i.e. usable inside arithmetic expressions)?
+    pub fn is_numeric(&self) -> bool {
+        self.as_int().is_some()
+    }
+
+    /// Interpret the value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Total comparison used by built-in predicates when the two sides are
+    /// not both numeric: values of the same variant compare naturally,
+    /// values of different variants are incomparable (returns `None`).
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            // Mixed numeric readings (e.g. Int vs Bool) still compare.
+            _ => match (self.as_int(), other.as_int()) {
+                (Some(a), Some(b)) => Some(a.cmp(&b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Convert a calendar date into the day-count integer representation.
+    ///
+    /// Uses a proleptic-Gregorian day number; only ordering and differences
+    /// matter for NGD evaluation, so any consistent epoch works.
+    pub fn from_date(year: i64, month: i64, day: i64) -> Value {
+        Value::Int(days_from_civil(year, month, day))
+    }
+}
+
+/// Days since 1970-01-01 (civil), per Howard Hinnant's `days_from_civil`.
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // [0, 11]
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_reading_of_each_variant() {
+        assert_eq!(Value::Int(42).as_int(), Some(42));
+        assert_eq!(Value::Bool(true).as_int(), Some(1));
+        assert_eq!(Value::Bool(false).as_int(), Some(0));
+        assert_eq!(Value::Str("  17 ".into()).as_int(), Some(17));
+        assert_eq!(Value::Str("seventeen".into()).as_int(), None);
+    }
+
+    #[test]
+    fn numeric_check() {
+        assert!(Value::Int(0).is_numeric());
+        assert!(Value::Bool(false).is_numeric());
+        assert!(Value::Str("12".into()).is_numeric());
+        assert!(!Value::Str("BBC Trust".into()).is_numeric());
+    }
+
+    #[test]
+    fn comparisons_within_variant() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_value(&Value::Int(5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Bool(true).partial_cmp_value(&Value::Bool(false)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn comparisons_across_variants() {
+        // numeric readings still compare
+        assert_eq!(
+            Value::Bool(true).partial_cmp_value(&Value::Int(1)),
+            Some(Ordering::Equal)
+        );
+        // string vs int is incomparable
+        assert_eq!(
+            Value::Str("abc".into()).partial_cmp_value(&Value::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn date_encoding_orders_correctly() {
+        let created = Value::from_date(2007, 1, 1);
+        let destroyed = Value::from_date(1946, 8, 28);
+        // BBC Trust example from the paper: destroyed before created.
+        assert!(destroyed.as_int().unwrap() < created.as_int().unwrap());
+        // epoch sanity
+        assert_eq!(Value::from_date(1970, 1, 1), Value::Int(0));
+        assert_eq!(Value::from_date(1970, 1, 2), Value::Int(1));
+    }
+
+    #[test]
+    fn date_difference_in_days() {
+        let a = Value::from_date(2000, 3, 1).as_int().unwrap();
+        let b = Value::from_date(2000, 2, 28).as_int().unwrap();
+        assert_eq!(a - b, 2); // 2000 is a leap year
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for v in [Value::Int(-9), Value::Str("hey".into()), Value::Bool(true)] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+}

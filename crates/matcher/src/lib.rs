@@ -1,0 +1,22 @@
+//! # ngd-match
+//!
+//! Subgraph-homomorphism matching for NGD patterns:
+//!
+//! * [`matchn`] — the generic backtracking matcher (`Matchn`/`SubMatchn` of
+//!   the paper), with label-indexed candidate selection, connectivity-driven
+//!   matching orders and literal-based pruning for violation search;
+//! * [`inc`] — the update-driven incremental matcher (`IncMatch`): expands
+//!   update pivots triggered by edge insertions/deletions and returns the
+//!   exact violation delta `(ΔVio⁺, ΔVio⁻)`;
+//! * [`violation`] — violation records, violation sets and deltas.
+//!
+//! The detectors in `ngd-detect` are thin orchestration layers (sequential,
+//! incremental, parallel) over these primitives.
+
+pub mod inc;
+pub mod matchn;
+pub mod violation;
+
+pub use inc::{delta_violations, delta_violations_for_rule, edge_ranks, pattern_matches, update_driven_violations, update_pivots, UpdatePivot};
+pub use matchn::{find_matches, find_violations, ForbiddenEdges, MatchLimits, MatchStats, Matcher};
+pub use violation::{DeltaViolations, Violation, ViolationSet};

@@ -1,0 +1,747 @@
+//! The generic backtracking subgraph-homomorphism matcher (`Matchn` /
+//! `SubMatchn` of Section 6.2).
+//!
+//! Given a pattern `Q` and a graph `G`, [`Matcher`] enumerates homomorphic
+//! matches by recursively extending a partial solution one pattern node at
+//! a time:
+//!
+//! * **matching order** — variables are ordered so that, after the first
+//!   (most selective) variable, every subsequent variable is connected to
+//!   an already-matched one; this lets candidates be drawn from adjacency
+//!   lists instead of the whole graph (the data-locality the paper exploits);
+//! * **candidate filtering** — candidates for the next variable are the
+//!   correctly-labelled neighbours of an already-matched node along a
+//!   connecting pattern edge, further filtered by every other pattern edge
+//!   into the partial solution;
+//! * **literal pruning** — when searching for *violations* of an NGD, a
+//!   partial solution is abandoned as soon as a premise literal is decided
+//!   false, or all consequence literals are decided true (Section 6.2,
+//!   step (3)).
+//!
+//! The same engine expands *update pivots* for the incremental matcher in
+//! [`crate::inc`], via [`Matcher::expand_seeded`].
+
+use crate::violation::{Violation, ViolationSet};
+use ngd_core::eval::eval_literal_partial;
+use ngd_core::{Ngd, Pattern, Var};
+use ngd_graph::{EdgeRef, Graph, NodeId, WILDCARD};
+use std::collections::HashMap;
+
+/// Update-pivot de-duplication (Section 6.2, "optimization strategy").
+///
+/// When the incremental matcher expands the pivots of a batch update in
+/// order, a match whose image contains several updated edges would be
+/// enumerated once per pivot.  To enumerate it exactly once — from its
+/// *lowest-ranked* updated edge — the expansion of pivot `rank` treats
+/// every updated edge of rank `< below` as **forbidden**: a partial
+/// solution that maps a pattern edge onto a forbidden edge is pruned, since
+/// the earlier pivot already covers that match.
+#[derive(Debug, Clone, Copy)]
+pub struct ForbiddenEdges<'a> {
+    /// Rank of every updated edge within the batch.
+    pub rank: &'a HashMap<EdgeRef, usize>,
+    /// Edges with a rank strictly below this value are forbidden.
+    pub below: usize,
+}
+
+impl<'a> ForbiddenEdges<'a> {
+    /// Is the given graph edge forbidden for this expansion?
+    pub fn is_forbidden(&self, edge: &EdgeRef) -> bool {
+        self.rank.get(edge).is_some_and(|&r| r < self.below)
+    }
+}
+
+/// Safety limits for a matching run.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchLimits {
+    /// Stop after this many complete results (None = unbounded).
+    pub max_results: Option<usize>,
+    /// Stop after this many search-tree nodes (None = unbounded).
+    pub max_steps: Option<usize>,
+}
+
+impl Default for MatchLimits {
+    fn default() -> Self {
+        MatchLimits {
+            max_results: None,
+            max_steps: None,
+        }
+    }
+}
+
+/// Statistics of a matching run (used by tests that assert locality and by
+/// the workload cost model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Number of partial solutions expanded (search-tree nodes).
+    pub expanded: usize,
+    /// Number of candidate nodes inspected.
+    pub candidates_inspected: usize,
+    /// Number of complete matches emitted (before violation filtering).
+    pub matches_found: usize,
+}
+
+/// A subgraph-homomorphism matcher for one pattern over one graph.
+pub struct Matcher<'g> {
+    pattern: &'g Pattern,
+    graph: &'g Graph,
+    limits: MatchLimits,
+    forbidden: Option<ForbiddenEdges<'g>>,
+}
+
+impl<'g> Matcher<'g> {
+    /// Create a matcher for `pattern` over `graph`.
+    pub fn new(pattern: &'g Pattern, graph: &'g Graph) -> Self {
+        Matcher {
+            pattern,
+            graph,
+            limits: MatchLimits::default(),
+            forbidden: None,
+        }
+    }
+
+    /// Set safety limits.
+    pub fn with_limits(mut self, limits: MatchLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Prune any partial solution that maps a pattern edge onto an updated
+    /// edge of rank `< below` (the incremental matchers' pivot
+    /// de-duplication; see [`ForbiddenEdges`]).
+    pub fn with_forbidden(mut self, rank: &'g HashMap<EdgeRef, usize>, below: usize) -> Self {
+        self.forbidden = Some(ForbiddenEdges { rank, below });
+        self
+    }
+
+    fn label_ok(&self, var: Var, node: NodeId) -> bool {
+        let want = self.pattern.label(var);
+        want == WILDCARD || want == self.graph.label(node)
+    }
+
+    /// Number of label-compatible candidates for a variable (selectivity).
+    fn candidate_count(&self, var: Var) -> usize {
+        let label = self.pattern.label(var);
+        if label == WILDCARD {
+            self.graph.node_count()
+        } else {
+            self.graph.nodes_with_label(label).len()
+        }
+    }
+
+    /// Compute a matching order: seeds first, then a connectivity-driven
+    /// expansion preferring selective variables, then any remaining
+    /// (disconnected) variables.
+    fn matching_order(&self, seeds: &[Var]) -> Vec<Var> {
+        let n = self.pattern.node_count();
+        let mut order: Vec<Var> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        for &s in seeds {
+            if !placed[s.index()] {
+                placed[s.index()] = true;
+                order.push(s);
+            }
+        }
+        if order.is_empty() {
+            // Pick the most selective variable to start.
+            if let Some(first) = self
+                .pattern
+                .vars()
+                .min_by_key(|&v| self.candidate_count(v))
+            {
+                placed[first.index()] = true;
+                order.push(first);
+            }
+        }
+        while order.len() < n {
+            // Prefer an unplaced variable adjacent to a placed one, breaking
+            // ties by selectivity; fall back to any unplaced variable.
+            let next = self
+                .pattern
+                .vars()
+                .filter(|v| !placed[v.index()])
+                .filter(|v| {
+                    self.pattern
+                        .neighbors(*v)
+                        .iter()
+                        .any(|n| placed[n.index()])
+                })
+                .min_by_key(|&v| self.candidate_count(v))
+                .or_else(|| {
+                    self.pattern
+                        .vars()
+                        .filter(|v| !placed[v.index()])
+                        .min_by_key(|&v| self.candidate_count(v))
+                });
+            match next {
+                Some(v) => {
+                    placed[v.index()] = true;
+                    order.push(v);
+                }
+                None => break,
+            }
+        }
+        order
+    }
+
+    /// Are all pattern edges whose endpoints are both assigned present in
+    /// the graph with the right label (and not forbidden by the pivot
+    /// de-duplication, if configured)?
+    fn edges_consistent(&self, assignment: &[Option<NodeId>]) -> bool {
+        for edge in self.pattern.edges() {
+            if let (Some(src), Some(dst)) = (
+                assignment[edge.src.index()],
+                assignment[edge.dst.index()],
+            ) {
+                if !self.graph.has_edge(src, dst, edge.label) {
+                    return false;
+                }
+                if let Some(forbidden) = &self.forbidden {
+                    if forbidden.is_forbidden(&EdgeRef::new(src, dst, edge.label)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Candidate nodes for `var` given the current partial assignment:
+    /// neighbours of an already-matched variable when possible, otherwise
+    /// the label index.
+    fn candidates(
+        &self,
+        var: Var,
+        assignment: &[Option<NodeId>],
+        stats: &mut MatchStats,
+    ) -> Vec<NodeId> {
+        // Find a pattern edge connecting `var` to an assigned variable and
+        // use the corresponding adjacency list, picking the smallest one.
+        let mut best: Option<Vec<NodeId>> = None;
+        for edge in self.pattern.edges() {
+            let candidate_list: Option<Vec<NodeId>> = if edge.src == var {
+                assignment[edge.dst.index()].map(|dst| {
+                    self.graph
+                        .in_neighbors(dst)
+                        .iter()
+                        .filter(|&&(_, l)| l == edge.label)
+                        .map(|&(n, _)| n)
+                        .collect()
+                })
+            } else if edge.dst == var {
+                assignment[edge.src.index()].map(|src| {
+                    self.graph
+                        .out_neighbors(src)
+                        .iter()
+                        .filter(|&&(_, l)| l == edge.label)
+                        .map(|&(n, _)| n)
+                        .collect()
+                })
+            } else {
+                None
+            };
+            if let Some(list) = candidate_list {
+                if best.as_ref().map_or(true, |b| list.len() < b.len()) {
+                    best = Some(list);
+                }
+            }
+        }
+        let raw = match best {
+            Some(list) => list,
+            None => {
+                let label = self.pattern.label(var);
+                if label == WILDCARD {
+                    self.graph.node_ids().collect()
+                } else {
+                    self.graph.nodes_with_label(label).to_vec()
+                }
+            }
+        };
+        stats.candidates_inspected += raw.len();
+        raw.into_iter()
+            .filter(|&n| self.label_ok(var, n))
+            .collect()
+    }
+
+    /// Enumerate every homomorphic match of the pattern.
+    pub fn find_all(&self) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        let mut stats = MatchStats::default();
+        self.run(&[], None, &mut |m| out.push(m), &mut stats);
+        out
+    }
+
+    /// Enumerate every match that violates the rule (`h ⊨ X`, `h ⊭ Y`),
+    /// with literal-based pruning.  The rule's pattern must be the matcher's
+    /// pattern.
+    pub fn find_violations(&self, rule: &Ngd) -> ViolationSet {
+        self.find_violations_with_stats(rule).0
+    }
+
+    /// As [`Matcher::find_violations`], additionally returning the search
+    /// statistics of the run.
+    pub fn find_violations_with_stats(&self, rule: &Ngd) -> (ViolationSet, MatchStats) {
+        let mut out = ViolationSet::new();
+        let mut stats = MatchStats::default();
+        self.run(
+            &[],
+            Some(rule),
+            &mut |m| {
+                out.insert(Violation::new(rule.id.clone(), m));
+            },
+            &mut stats,
+        );
+        (out, stats)
+    }
+
+    /// Enumerate matches (or violations, if `rule` is given) that extend the
+    /// given seed assignment — the update-pivot expansion of `IncMatch`.
+    /// Returns the matches and the search statistics.
+    pub fn expand_seeded(
+        &self,
+        seeds: &[(Var, NodeId)],
+        rule: Option<&Ngd>,
+    ) -> (Vec<Vec<NodeId>>, MatchStats) {
+        let mut out = Vec::new();
+        let mut stats = MatchStats::default();
+        self.run(seeds, rule, &mut |m| out.push(m), &mut stats);
+        (out, stats)
+    }
+
+    /// The matching order the search would use for the given seed variables
+    /// (seeds first, then connectivity-driven expansion).  Exposed so that
+    /// stepwise engines — the parallel incremental detector expands partial
+    /// solutions one variable at a time across workers — follow exactly the
+    /// same order as the recursive search.
+    pub fn order_with_seeds(&self, seeds: &[Var]) -> Vec<Var> {
+        self.matching_order(seeds)
+    }
+
+    /// One candidate-generation step for a stepwise expansion: the candidate
+    /// nodes for `var` under the partial `assignment`, together with the
+    /// adjacency-list length of the anchor node they were drawn from (the
+    /// `|h(u_r).adj|` quantity of the paper's work-splitting cost model).
+    /// When no assigned neighbour anchors the step, the anchor degree is the
+    /// size of the label index consulted instead.
+    pub fn candidate_step(
+        &self,
+        var: Var,
+        assignment: &[Option<NodeId>],
+    ) -> (Vec<NodeId>, usize) {
+        let anchor_degree = self
+            .pattern
+            .edges()
+            .iter()
+            .filter_map(|edge| {
+                if edge.src == var {
+                    assignment[edge.dst.index()].map(|dst| self.graph.degree(dst))
+                } else if edge.dst == var {
+                    assignment[edge.src.index()].map(|src| self.graph.degree(src))
+                } else {
+                    None
+                }
+            })
+            .min()
+            .unwrap_or_else(|| self.candidate_count(var));
+        let mut stats = MatchStats::default();
+        let candidates = self.candidates(var, assignment, &mut stats);
+        (candidates, anchor_degree)
+    }
+
+    /// Is the partial assignment still viable: all decided pattern edges
+    /// present, and (when searching for violations of `rule`) not pruned by
+    /// the literal checks?  Mirrors the test applied after every assignment
+    /// inside the recursive search.
+    pub fn partial_viable(&self, rule: Option<&Ngd>, assignment: &[Option<NodeId>]) -> bool {
+        self.edges_consistent(assignment) && rule.map_or(true, |r| !self.pruned(r, assignment))
+    }
+
+    /// Does a node satisfy the label constraint of a pattern variable?
+    pub fn node_matches_var(&self, var: Var, node: NodeId) -> bool {
+        self.graph.contains_node(node) && self.label_ok(var, node)
+    }
+
+    /// Core search driver.
+    fn run(
+        &self,
+        seeds: &[(Var, NodeId)],
+        rule: Option<&Ngd>,
+        emit: &mut dyn FnMut(Vec<NodeId>),
+        stats: &mut MatchStats,
+    ) {
+        let n = self.pattern.node_count();
+        if n == 0 {
+            return;
+        }
+        let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+        // Install and validate seeds.
+        for &(var, node) in seeds {
+            if !self.graph.contains_node(node) || !self.label_ok(var, node) {
+                return;
+            }
+            if let Some(existing) = assignment[var.index()] {
+                if existing != node {
+                    return;
+                }
+            }
+            assignment[var.index()] = Some(node);
+        }
+        if !self.edges_consistent(&assignment) {
+            return;
+        }
+        if let Some(rule) = rule {
+            if self.pruned(rule, &assignment) {
+                return;
+            }
+        }
+        let seed_vars: Vec<Var> = seeds.iter().map(|&(v, _)| v).collect();
+        let order = self.matching_order(&seed_vars);
+        let mut emitted = 0usize;
+        // Start at depth 0: already-seeded variables are skipped inside the
+        // search (this also handles duplicate seed variables safely).
+        self.search(&order, 0, &mut assignment, rule, emit, stats, &mut emitted);
+    }
+
+    /// Should the partial solution be pruned based on the rule's literals?
+    fn pruned(&self, rule: &Ngd, assignment: &[Option<NodeId>]) -> bool {
+        // A premise literal decided false ⇒ the match cannot satisfy X.
+        for literal in &rule.premise {
+            if eval_literal_partial(literal, self.graph, assignment) == Ok(false) {
+                return true;
+            }
+        }
+        // Every consequence literal decided true ⇒ the match satisfies Y.
+        if !rule.consequence.is_empty()
+            && rule
+                .consequence
+                .iter()
+                .all(|l| eval_literal_partial(l, self.graph, assignment) == Ok(true))
+        {
+            return true;
+        }
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        order: &[Var],
+        depth: usize,
+        assignment: &mut Vec<Option<NodeId>>,
+        rule: Option<&Ngd>,
+        emit: &mut dyn FnMut(Vec<NodeId>),
+        stats: &mut MatchStats,
+        emitted: &mut usize,
+    ) -> bool {
+        if let Some(max) = self.limits.max_steps {
+            if stats.expanded >= max {
+                return false;
+            }
+        }
+        stats.expanded += 1;
+        if depth == order.len() {
+            let complete: Vec<NodeId> = assignment.iter().map(|n| n.unwrap()).collect();
+            stats.matches_found += 1;
+            match rule {
+                Some(rule) => {
+                    if ngd_core::is_violation(rule, self.graph, &complete) {
+                        emit(complete);
+                        *emitted += 1;
+                    }
+                }
+                None => {
+                    emit(complete);
+                    *emitted += 1;
+                }
+            }
+            if let Some(max) = self.limits.max_results {
+                if *emitted >= max {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let var = order[depth];
+        if assignment[var.index()].is_some() {
+            // Seed variable already assigned (can happen when seeds overlap
+            // the natural order); just descend.
+            return self.search(order, depth + 1, assignment, rule, emit, stats, emitted);
+        }
+        let candidates = self.candidates(var, assignment, stats);
+        for node in candidates {
+            assignment[var.index()] = Some(node);
+            let consistent = self.edges_consistent(assignment)
+                && rule.map_or(true, |r| !self.pruned(r, assignment));
+            if consistent
+                && !self.search(order, depth + 1, assignment, rule, emit, stats, emitted)
+            {
+                assignment[var.index()] = None;
+                return false;
+            }
+            assignment[var.index()] = None;
+        }
+        true
+    }
+}
+
+/// Convenience: all matches of `pattern` in `graph`.
+pub fn find_matches(pattern: &Pattern, graph: &Graph) -> Vec<Vec<NodeId>> {
+    Matcher::new(pattern, graph).find_all()
+}
+
+/// Convenience: all violations of `rule` in `graph`.
+pub fn find_violations(rule: &Ngd, graph: &Graph) -> ViolationSet {
+    Matcher::new(&rule.pattern, graph).find_violations(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngd_core::paper;
+    use ngd_graph::{AttrMap, GraphBuilder, Value};
+
+    #[test]
+    fn matches_figure1_g1_with_q1() {
+        let (g, bbc) = paper::figure1_g1();
+        let rule = paper::phi1(1);
+        let matches = find_matches(&rule.pattern, &g);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0][0], bbc);
+    }
+
+    #[test]
+    fn homomorphism_is_not_injective() {
+        // Pattern: x -[knows]-> y with both wildcards; graph: single node
+        // with a self-loop.  Homomorphism allows x and y to map to the same
+        // node.
+        let mut b = GraphBuilder::new();
+        b.node("a", "person");
+        b.edge("a", "a", "knows");
+        let g = b.build();
+        let mut q = ngd_core::Pattern::new();
+        let x = q.add_wildcard("x");
+        let y = q.add_wildcard("y");
+        q.add_edge(x, y, "knows");
+        let matches = find_matches(&q, &g);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0][0], matches[0][1]);
+    }
+
+    #[test]
+    fn label_and_edge_label_constraints_are_enforced() {
+        let mut b = GraphBuilder::new();
+        b.node("p1", "person");
+        b.node("c1", "city");
+        b.edge("p1", "c1", "livesIn");
+        b.edge("p1", "c1", "worksIn");
+        let g = b.build();
+
+        let mut q = ngd_core::Pattern::new();
+        let p = q.add_node("p", "person");
+        let c = q.add_node("c", "city");
+        q.add_edge(p, c, "livesIn");
+        assert_eq!(find_matches(&q, &g).len(), 1);
+
+        let mut q2 = ngd_core::Pattern::new();
+        let p = q2.add_node("p", "person");
+        let c = q2.add_node("c", "country");
+        q2.add_edge(p, c, "livesIn");
+        assert!(find_matches(&q2, &g).is_empty());
+
+        let mut q3 = ngd_core::Pattern::new();
+        let p = q3.add_node("p", "person");
+        let c = q3.add_node("c", "city");
+        q3.add_edge(p, c, "bornIn");
+        assert!(find_matches(&q3, &g).is_empty());
+    }
+
+    #[test]
+    fn edge_direction_matters() {
+        let mut b = GraphBuilder::new();
+        b.node("a", "t");
+        b.node("b", "t");
+        b.edge("a", "b", "e");
+        let g = b.build();
+        let mut q = ngd_core::Pattern::new();
+        let x = q.add_node("x", "t");
+        let y = q.add_node("y", "t");
+        q.add_edge(y, x, "e"); // reversed
+        let matches = find_matches(&q, &g);
+        assert_eq!(matches.len(), 1);
+        // y must map to a, x to b.
+        assert_eq!(matches[0][x.index()], ngd_graph::NodeId(1));
+        assert_eq!(matches[0][y.index()], ngd_graph::NodeId(0));
+    }
+
+    #[test]
+    fn all_paper_figure1_violations_are_found() {
+        let (g1, _) = paper::figure1_g1();
+        assert_eq!(find_violations(&paper::phi1(1), &g1).len(), 1);
+        let (g2, _) = paper::figure1_g2();
+        assert_eq!(find_violations(&paper::phi2(), &g2).len(), 1);
+        let (g3, _) = paper::figure1_g3();
+        assert_eq!(find_violations(&paper::phi3(), &g3).len(), 1);
+        let (g4, fake) = paper::figure1_g4();
+        let vio = find_violations(&paper::phi4(1, 1, 10_000), &g4);
+        assert_eq!(vio.len(), 1);
+        // The fake account is the `y` variable (index 1) of φ4.
+        let v = vio.iter().next().unwrap();
+        assert_eq!(v.nodes[1], fake);
+    }
+
+    #[test]
+    fn satisfied_graph_has_no_violations() {
+        // Fix Bhonpur's total population: no more violation of φ2.
+        let (mut g2, village) = paper::figure1_g2();
+        // total node is the one reached via populationTotal.
+        let total_node = g2
+            .out_neighbors(village)
+            .iter()
+            .find(|&&(_, l)| l == ngd_graph::intern("populationTotal"))
+            .map(|&(n, _)| n)
+            .unwrap();
+        g2.set_attr(total_node, ngd_graph::intern("val"), Value::Int(1322));
+        assert!(find_violations(&paper::phi2(), &g2).is_empty());
+    }
+
+    #[test]
+    fn premise_pruning_does_not_lose_violations() {
+        // φ3 on G3 has a violation only in the (x=Downey, y=Corona)
+        // orientation (Downey has the smaller population, so its rank must
+        // be numerically larger); the pruned search must still find it.
+        let (g3, downey) = paper::figure1_g3();
+        let vio = find_violations(&paper::phi3(), &g3);
+        assert_eq!(vio.len(), 1);
+        assert_eq!(vio.iter().next().unwrap().nodes[0], downey);
+    }
+
+    #[test]
+    fn multiple_matches_of_the_same_pattern() {
+        // Two villages, both violating φ2.
+        let mut b = GraphBuilder::new();
+        for (idx, total) in [(0, 100), (1, 999)] {
+            let area = format!("area{idx}");
+            b.node(&area, "area");
+            b.node_with_attrs(&format!("f{idx}"), "integer", [("val", Value::Int(40))]);
+            b.node_with_attrs(&format!("m{idx}"), "integer", [("val", Value::Int(50))]);
+            b.node_with_attrs(&format!("t{idx}"), "integer", [("val", Value::Int(total))]);
+            b.edge(&area, &format!("f{idx}"), "femalePopulation");
+            b.edge(&area, &format!("m{idx}"), "malePopulation");
+            b.edge(&area, &format!("t{idx}"), "populationTotal");
+        }
+        let g = b.build();
+        let vio = find_violations(&paper::phi2(), &g);
+        assert_eq!(vio.len(), 2);
+    }
+
+    #[test]
+    fn expand_seeded_respects_seeds() {
+        let (g4, fake) = paper::figure1_g4();
+        let rule = paper::phi4(1, 1, 10_000);
+        let y = rule.pattern.var_by_name("y").unwrap();
+        let matcher = Matcher::new(&rule.pattern, &g4);
+        // Seeding y with the fake account finds the violation; seeding y
+        // with the real account finds nothing.
+        let (with_fake, stats) = matcher.expand_seeded(&[(y, fake)], Some(&rule));
+        assert_eq!(with_fake.len(), 1);
+        assert!(stats.expanded > 0);
+        let real = g4.nodes_with_label(ngd_graph::intern("account"))
+            .iter()
+            .copied()
+            .find(|&n| n != fake)
+            .unwrap();
+        let (with_real, _) = matcher.expand_seeded(&[(y, real)], Some(&rule));
+        assert!(with_real.is_empty());
+    }
+
+    #[test]
+    fn seeds_with_wrong_label_yield_nothing() {
+        let (g1, bbc) = paper::figure1_g1();
+        let rule = paper::phi1(1);
+        let y = rule.pattern.var_by_name("y").unwrap();
+        let matcher = Matcher::new(&rule.pattern, &g1);
+        // Seeding the date variable with the institution node fails the
+        // label check.
+        let (res, _) = matcher.expand_seeded(&[(y, bbc)], Some(&rule));
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn max_results_limit_stops_early() {
+        let mut g = ngd_graph::Graph::new();
+        for _ in 0..50 {
+            g.add_node_named("thing", AttrMap::new());
+        }
+        let mut q = ngd_core::Pattern::new();
+        q.add_node("x", "thing");
+        let matcher = Matcher::new(&q, &g).with_limits(MatchLimits {
+            max_results: Some(5),
+            max_steps: None,
+        });
+        assert_eq!(matcher.find_all().len(), 5);
+    }
+
+    #[test]
+    fn stepwise_api_mirrors_recursive_search() {
+        // Drive a full expansion by hand using the stepwise API and check it
+        // reaches the same violation the recursive search finds.
+        let (g2, village) = paper::figure1_g2();
+        let rule = paper::phi2();
+        let matcher = Matcher::new(&rule.pattern, &g2);
+        let x = rule.pattern.var_by_name("x").unwrap();
+        assert!(matcher.node_matches_var(x, village));
+        let order = matcher.order_with_seeds(&[x]);
+        assert_eq!(order[0], x);
+        assert_eq!(order.len(), rule.pattern.node_count());
+
+        let mut frontier: Vec<Vec<Option<NodeId>>> =
+            vec![{
+                let mut a = vec![None; rule.pattern.node_count()];
+                a[x.index()] = Some(village);
+                a
+            }];
+        for &var in &order[1..] {
+            let mut next = Vec::new();
+            for partial in &frontier {
+                let (candidates, anchor) = matcher.candidate_step(var, partial);
+                assert!(anchor > 0);
+                for c in candidates {
+                    let mut extended = partial.clone();
+                    extended[var.index()] = Some(c);
+                    if matcher.partial_viable(Some(&rule), &extended) {
+                        next.push(extended);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let complete: Vec<Vec<NodeId>> = frontier
+            .into_iter()
+            .map(|a| a.into_iter().map(Option::unwrap).collect())
+            .filter(|a: &Vec<NodeId>| ngd_core::is_violation(&rule, &g2, a))
+            .collect();
+        let recursive = find_violations(&rule, &g2);
+        assert_eq!(complete.len(), recursive.len());
+        assert_eq!(complete.len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_has_no_matches() {
+        let (g1, _) = paper::figure1_g1();
+        let q = ngd_core::Pattern::new();
+        assert!(find_matches(&q, &g1).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pattern_is_supported_by_batch_matcher() {
+        // Two independent wildcard nodes: matches are the cross product.
+        let mut b = GraphBuilder::new();
+        b.node("a", "t");
+        b.node("b", "t");
+        let g = b.build();
+        let mut q = ngd_core::Pattern::new();
+        q.add_node("x", "t");
+        q.add_node("y", "t");
+        assert_eq!(find_matches(&q, &g).len(), 4);
+    }
+}

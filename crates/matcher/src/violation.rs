@@ -1,0 +1,269 @@
+//! Violations and violation sets.
+//!
+//! A violation of `φ = Q[x̄](X → Y)` in `G` is a match `h(x̄)` of `Q` whose
+//! induced subgraph does not satisfy `X → Y` (Section 5.1).  `Vio(Σ, G)` is
+//! the set of violations of all rules of `Σ`; incremental detection
+//! computes the change `ΔVio = (ΔVio⁺, ΔVio⁻)` of that set under a batch
+//! update.
+
+use ngd_graph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single violation: the rule it violates and the matched entity vector
+/// `h(x̄)` (graph node ids in pattern-variable order).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Violation {
+    /// Identifier of the violated rule.
+    pub rule_id: String,
+    /// The matched nodes, indexed by pattern variable.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Violation {
+    /// Construct a violation record.
+    pub fn new(rule_id: impl Into<String>, nodes: Vec<NodeId>) -> Self {
+        Violation {
+            rule_id: rule_id.into(),
+            nodes,
+        }
+    }
+
+    /// Does the violation involve the given graph node?
+    pub fn involves(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rule_id)?;
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{node}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A set of violations (`Vio(Σ, G)` or one of the `ΔVio` components).
+///
+/// Backed by a `BTreeSet` so that iteration order — and therefore detector
+/// output and test expectations — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViolationSet {
+    set: BTreeSet<Violation>,
+}
+
+impl ViolationSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        ViolationSet::default()
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Insert a violation; returns `true` if it was not already present.
+    pub fn insert(&mut self, violation: Violation) -> bool {
+        self.set.insert(violation)
+    }
+
+    /// Does the set contain the violation?
+    pub fn contains(&self, violation: &Violation) -> bool {
+        self.set.contains(violation)
+    }
+
+    /// Remove a violation; returns `true` if it was present.
+    pub fn remove(&mut self, violation: &Violation) -> bool {
+        self.set.remove(violation)
+    }
+
+    /// Iterate in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> {
+        self.set.iter()
+    }
+
+    /// Violations of a specific rule.
+    pub fn of_rule<'a>(&'a self, rule_id: &'a str) -> impl Iterator<Item = &'a Violation> + 'a {
+        self.set.iter().filter(move |v| v.rule_id == rule_id)
+    }
+
+    /// Set union (`self ∪ other`).
+    pub fn union(&self, other: &ViolationSet) -> ViolationSet {
+        ViolationSet {
+            set: self.set.union(&other.set).cloned().collect(),
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(&self, other: &ViolationSet) -> ViolationSet {
+        ViolationSet {
+            set: self.set.difference(&other.set).cloned().collect(),
+        }
+    }
+
+    /// Apply a delta: `(self ∪ added) \ removed` — the `Vio ⊕ ΔVio`
+    /// operation of Section 1.
+    pub fn apply_delta(&self, delta: &DeltaViolations) -> ViolationSet {
+        self.union(&delta.added).difference(&delta.removed)
+    }
+
+    /// Merge another set into this one.
+    pub fn extend(&mut self, other: ViolationSet) {
+        self.set.extend(other.set);
+    }
+}
+
+impl FromIterator<Violation> for ViolationSet {
+    fn from_iter<T: IntoIterator<Item = Violation>>(iter: T) -> Self {
+        ViolationSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for ViolationSet {
+    type Item = Violation;
+    type IntoIter = std::collections::btree_set::IntoIter<Violation>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.set.into_iter()
+    }
+}
+
+/// The change to a violation set under a batch update:
+/// `ΔVio = (ΔVio⁺, ΔVio⁻)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaViolations {
+    /// Violations introduced by the update (`ΔVio⁺`).
+    pub added: ViolationSet,
+    /// Violations removed by the update (`ΔVio⁻`).
+    pub removed: ViolationSet,
+}
+
+impl DeltaViolations {
+    /// An empty delta.
+    pub fn new() -> Self {
+        DeltaViolations::default()
+    }
+
+    /// Is the delta empty (the decision problem of Theorem 5)?
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed violations.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Merge another delta into this one.
+    pub fn extend(&mut self, other: DeltaViolations) {
+        self.added.extend(other.added);
+        self.removed.extend(other.removed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &str, nodes: &[u32]) -> Violation {
+        Violation::new(rule, nodes.iter().map(|&n| NodeId(n)).collect())
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut set = ViolationSet::new();
+        assert!(set.insert(v("r1", &[1, 2])));
+        assert!(!set.insert(v("r1", &[1, 2])), "duplicate insert is a no-op");
+        assert!(set.contains(&v("r1", &[1, 2])));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(&v("r1", &[1, 2])));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn same_nodes_different_rules_are_distinct() {
+        let mut set = ViolationSet::new();
+        set.insert(v("r1", &[1, 2]));
+        set.insert(v("r2", &[1, 2]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.of_rule("r1").count(), 1);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a: ViolationSet = [v("r", &[1]), v("r", &[2])].into_iter().collect();
+        let b: ViolationSet = [v("r", &[2]), v("r", &[3])].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 3);
+        let diff = a.difference(&b);
+        assert_eq!(diff.len(), 1);
+        assert!(diff.contains(&v("r", &[1])));
+    }
+
+    #[test]
+    fn apply_delta_matches_set_algebra() {
+        let base: ViolationSet = [v("r", &[1]), v("r", &[2])].into_iter().collect();
+        let delta = DeltaViolations {
+            added: [v("r", &[3])].into_iter().collect(),
+            removed: [v("r", &[1])].into_iter().collect(),
+        };
+        let updated = base.apply_delta(&delta);
+        assert_eq!(updated.len(), 2);
+        assert!(updated.contains(&v("r", &[2])));
+        assert!(updated.contains(&v("r", &[3])));
+        assert!(!updated.contains(&v("r", &[1])));
+    }
+
+    #[test]
+    fn delta_emptiness_and_merge() {
+        let mut delta = DeltaViolations::new();
+        assert!(delta.is_empty());
+        delta.extend(DeltaViolations {
+            added: [v("r", &[7])].into_iter().collect(),
+            removed: ViolationSet::new(),
+        });
+        assert!(!delta.is_empty());
+        assert_eq!(delta.len(), 1);
+    }
+
+    #[test]
+    fn involves_and_display() {
+        let violation = v("phi2", &[4, 5]);
+        assert!(violation.involves(NodeId(5)));
+        assert!(!violation.involves(NodeId(6)));
+        let text = violation.to_string();
+        assert!(text.contains("phi2"));
+        assert!(text.contains("n5"));
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let set: ViolationSet = [v("b", &[2]), v("a", &[9]), v("a", &[1])]
+            .into_iter()
+            .collect();
+        let order: Vec<String> = set.iter().map(|x| x.to_string()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let set: ViolationSet = [v("r", &[1, 2, 3])].into_iter().collect();
+        let json = serde_json::to_string(&set).unwrap();
+        let back: ViolationSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, set);
+    }
+}

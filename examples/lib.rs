@@ -1,0 +1,88 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a small, self-contained program exercising the public
+//! API of the workspace crates (`ngd-core`, `ngd-graph`, `ngd-match`,
+//! `ngd-detect`, `ngd-datagen`); this library only contains the
+//! presentation helpers they share, so the examples stay focused on the
+//! API they demonstrate.
+
+use ngd_core::RuleSet;
+use ngd_graph::{Graph, NodeId};
+use ngd_match::{Violation, ViolationSet};
+use std::collections::BTreeMap;
+
+/// Render a node as `label(n17){attr=val, …}` for human-readable output.
+pub fn describe_node(graph: &Graph, node: NodeId) -> String {
+    let label = ngd_graph::resolve(graph.label(node));
+    let attrs: Vec<String> = graph
+        .attrs(node)
+        .iter()
+        .map(|(name, value)| format!("{}={}", ngd_graph::resolve(name), value))
+        .collect();
+    if attrs.is_empty() {
+        format!("{label}({node})")
+    } else {
+        format!("{label}({node}){{{}}}", attrs.join(", "))
+    }
+}
+
+/// Render one violation as `rule: node, node, …` using the rule's variable
+/// names when available.
+pub fn describe_violation(graph: &Graph, sigma: &RuleSet, violation: &Violation) -> String {
+    let vars: Vec<String> = match sigma.by_id(&violation.rule_id) {
+        Some(rule) => rule
+            .pattern
+            .vars()
+            .map(|v| rule.pattern.name(v).to_string())
+            .collect(),
+        None => (0..violation.nodes.len()).map(|i| format!("x{i}")).collect(),
+    };
+    let bindings: Vec<String> = vars
+        .iter()
+        .zip(&violation.nodes)
+        .map(|(name, &node)| format!("{name} -> {}", describe_node(graph, node)))
+        .collect();
+    format!("{}: {}", violation.rule_id, bindings.join(", "))
+}
+
+/// Group a violation set by rule id, returning per-rule counts in a stable
+/// order.
+pub fn violations_per_rule(violations: &ViolationSet) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for violation in violations.iter() {
+        *counts.entry(violation.rule_id.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngd_core::paper;
+    use ngd_match::find_violations;
+
+    #[test]
+    fn descriptions_mention_labels_and_rule_ids() {
+        let (g2, village) = paper::figure1_g2();
+        let text = describe_node(&g2, village);
+        assert!(text.contains("area"));
+        let sigma = RuleSet::from_rules(vec![paper::phi2()]);
+        let vio = find_violations(&paper::phi2(), &g2);
+        let line = describe_violation(&g2, &sigma, vio.iter().next().unwrap());
+        assert!(line.starts_with("phi2:"));
+        assert!(line.contains("->"));
+    }
+
+    #[test]
+    fn per_rule_grouping_counts_violations() {
+        let (g2, _) = paper::figure1_g2();
+        let vio = find_violations(&paper::phi2(), &g2);
+        let counts = violations_per_rule(&vio);
+        assert_eq!(counts.get("phi2"), Some(&1));
+    }
+}

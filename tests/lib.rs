@@ -1,0 +1,80 @@
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! The integration tests exercise the full pipeline — dataset generation →
+//! rule generation → batch detection → updates → incremental detection →
+//! parallel detection — so they all need the same kind of "small but
+//! non-trivial" workloads.  This library builds them deterministically.
+
+use ngd_core::{paper, RuleSet};
+use ngd_datagen::{
+    generate_knowledge, generate_rules, generate_social, generate_update, KnowledgeConfig,
+    RuleGenConfig, SocialConfig, UpdateConfig,
+};
+use ngd_graph::{BatchUpdate, Graph};
+use ngd_match::ViolationSet;
+
+/// A small DBpedia-like knowledge graph with seeded errors plus the paper's
+/// knowledge rules and a few generated ones.
+pub fn knowledge_workload(seed: u64) -> (Graph, RuleSet) {
+    let generated = generate_knowledge(&KnowledgeConfig::dbpedia_like(3).with_seed(seed));
+    let mut rules = vec![
+        paper::phi1(1),
+        paper::phi2(),
+        paper::phi3(),
+        paper::ngd1(),
+        paper::ngd2(),
+        paper::ngd3(),
+    ];
+    rules.extend(
+        generate_rules(
+            &generated.graph,
+            &RuleGenConfig::paper_style(4, 3).with_seed(seed),
+        )
+        .rules()
+        .iter()
+        .cloned(),
+    );
+    (generated.graph, RuleSet::from_rules(rules))
+}
+
+/// A small social graph with seeded fake accounts plus φ4.
+pub fn social_workload(seed: u64) -> (Graph, RuleSet) {
+    let generated = generate_social(&SocialConfig::pokec_like(1).with_seed(seed));
+    (
+        generated.graph,
+        RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]),
+    )
+}
+
+/// A batch update of the given fraction over `graph`, deterministic in
+/// `seed`.
+pub fn update_for(graph: &Graph, fraction: f64, seed: u64) -> BatchUpdate {
+    generate_update(graph, &UpdateConfig::fraction(fraction).with_seed(seed))
+}
+
+/// The incremental-detection oracle: recompute the violation sets of both
+/// graph versions in batch and diff them.
+pub fn oracle_delta(
+    sigma: &RuleSet,
+    old_graph: &Graph,
+    new_graph: &Graph,
+) -> (ViolationSet, ViolationSet) {
+    let old = ngd_detect::dect(sigma, old_graph).violations;
+    let new = ngd_detect::dect(sigma, new_graph).violations;
+    (new.difference(&old), old.difference(&new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let (g1, s1) = knowledge_workload(1);
+        let (g2, s2) = knowledge_workload(1);
+        assert_eq!(g1.edge_vec(), g2.edge_vec());
+        assert_eq!(s1.len(), s2.len());
+        let (g3, _) = knowledge_workload(2);
+        assert_ne!(g1.edge_vec(), g3.edge_vec());
+    }
+}

@@ -1,0 +1,100 @@
+//! The parallel detectors must return exactly the same answers as their
+//! sequential yardsticks, for every processor count and every ablation
+//! variant — parallelism and workload balancing may never change results.
+
+use ngd_detect::{dect, inc_dect, pdect, pinc_dect, AlgorithmKind, DetectorConfig};
+use ngd_integration_tests::{knowledge_workload, social_workload, update_for};
+
+#[test]
+fn pdect_matches_dect_for_every_processor_count() {
+    let (graph, sigma) = knowledge_workload(61);
+    let reference = dect(&sigma, &graph);
+    for p in [1, 2, 3, 5, 8] {
+        let parallel = pdect(&sigma, &graph, &DetectorConfig::with_processors(p));
+        assert_eq!(parallel.violations, reference.violations, "PDect(p={p}) diverged");
+        assert_eq!(parallel.processors, p);
+    }
+}
+
+#[test]
+fn pincdect_matches_incdect_for_every_variant_and_processor_count() {
+    let (graph, sigma) = knowledge_workload(67);
+    let delta = update_for(&graph, 0.12, 67);
+    let reference = inc_dect(&sigma, &graph, &delta);
+    for p in [1, 2, 4, 6] {
+        let base = DetectorConfig::with_processors(p);
+        for (config, expected) in [
+            (base.hybrid(), AlgorithmKind::PIncDect),
+            (base.no_splitting(), AlgorithmKind::PIncDectNs),
+            (base.no_balancing(), AlgorithmKind::PIncDectNb),
+            (base.no_hybrid(), AlgorithmKind::PIncDectNo),
+        ] {
+            let report = pinc_dect(&sigma, &graph, &delta, &config);
+            assert_eq!(report.algorithm, expected);
+            assert_eq!(
+                report.delta, reference.delta,
+                "{expected:?} with p={p} diverged from IncDect"
+            );
+        }
+    }
+}
+
+#[test]
+fn social_workload_parallel_consistency() {
+    let (graph, sigma) = social_workload(71);
+    let delta = update_for(&graph, 0.15, 71);
+    let reference = inc_dect(&sigma, &graph, &delta);
+    for p in [2, 4] {
+        let report = pinc_dect(&sigma, &graph, &delta, &DetectorConfig::with_processors(p));
+        assert_eq!(report.delta, reference.delta);
+    }
+}
+
+#[test]
+fn aggressive_splitting_and_balancing_settings_do_not_change_results() {
+    let (graph, sigma) = knowledge_workload(73);
+    let delta = update_for(&graph, 0.10, 73);
+    let reference = inc_dect(&sigma, &graph, &delta);
+    // Tiny latency constant → split as often as possible; 1 ms interval →
+    // balance as often as possible; extreme thresholds in both directions.
+    let config = DetectorConfig {
+        processors: 5,
+        latency_c: 0.1,
+        balance_interval_ms: 1,
+        skew_high: 1.1,
+        skew_low: 0.95,
+        work_splitting: true,
+        workload_balancing: true,
+    };
+    let report = pinc_dect(&sigma, &graph, &delta, &config);
+    assert_eq!(report.delta, reference.delta);
+    // With such a small latency constant at least some unit must have split
+    // (the knowledge graph has hub nodes with sizable adjacency lists).
+    assert!(report.cost.splits + report.cost.local_expansions > 0);
+}
+
+#[test]
+fn parallel_runs_are_deterministic_in_their_results() {
+    // Scheduling is nondeterministic; results must not be.
+    let (graph, sigma) = knowledge_workload(79);
+    let delta = update_for(&graph, 0.10, 79);
+    let config = DetectorConfig::with_processors(4);
+    let first = pinc_dect(&sigma, &graph, &delta, &config);
+    for _ in 0..3 {
+        let again = pinc_dect(&sigma, &graph, &delta, &config);
+        assert_eq!(again.delta, first.delta);
+    }
+}
+
+#[test]
+fn work_and_violations_are_reported_in_the_ledger() {
+    let (graph, sigma) = knowledge_workload(83);
+    let delta = update_for(&graph, 0.10, 83);
+    let report = pinc_dect(&sigma, &graph, &delta, &DetectorConfig::with_processors(4));
+    if !report.delta.is_empty() {
+        assert!(report.stats.expanded > 0);
+        assert!(report.stats.candidates_inspected > 0);
+    }
+    // The modelled cost is monotone in the processor count's inverse.
+    assert!(report.cost.modelled_cost(1) >= report.cost.modelled_cost(8));
+}

@@ -1,0 +1,234 @@
+//! Property-based tests of the core invariants, driven by random graphs,
+//! random updates and random processor counts:
+//!
+//! * incremental detection equals the batch-recomputation oracle,
+//! * `Vio(Σ, G) ⊕ ΔVio(Σ, G, ΔG) = Vio(Σ, G ⊕ ΔG)` (Section 1),
+//! * the parallel incremental detector agrees with the sequential one,
+//! * `d`-neighbourhoods are monotone in `d` and bounded by the graph,
+//! * generated updates always apply cleanly.
+
+use ngd_core::{Expr, Literal, Ngd, Pattern, RuleSet};
+use ngd_detect::{dect, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
+use ngd_graph::{d_neighbors, AttrMap, BatchUpdate, Graph, NodeId, Value};
+use proptest::prelude::*;
+
+/// Node labels used by the random graphs (kept tiny so patterns match often).
+const NODE_LABELS: [&str; 3] = ["A", "B", "C"];
+/// Edge labels used by the random graphs.
+const EDGE_LABELS: [&str; 2] = ["e1", "e2"];
+
+/// A compact description of a random graph, turned into a `Graph` by
+/// [`build_graph`].
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    /// `(label index, val attribute)` per node.
+    nodes: Vec<(usize, i64)>,
+    /// `(src index, dst index, label index)` per edge (may contain
+    /// duplicates, which are skipped on insertion).
+    edges: Vec<(usize, usize, usize)>,
+}
+
+fn build_graph(spec: &RandomGraph) -> Graph {
+    let mut graph = Graph::new();
+    for &(label, val) in &spec.nodes {
+        let mut attrs = AttrMap::new();
+        attrs.set_named("val", Value::Int(val));
+        graph.add_node_named(NODE_LABELS[label % NODE_LABELS.len()], attrs);
+    }
+    for &(src, dst, label) in &spec.edges {
+        if spec.nodes.is_empty() {
+            continue;
+        }
+        let src = NodeId((src % spec.nodes.len()) as u32);
+        let dst = NodeId((dst % spec.nodes.len()) as u32);
+        // Duplicate edges are rejected by the graph; that is fine here.
+        let _ = graph.add_edge_named(src, dst, EDGE_LABELS[label % EDGE_LABELS.len()]);
+    }
+    graph
+}
+
+fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    (
+        prop::collection::vec((0usize..3, 0i64..20), 2..12),
+        prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..30),
+    )
+        .prop_map(|(nodes, edges)| RandomGraph { nodes, edges })
+}
+
+/// Two fixed rules over the random schema: one comparison rule and one rule
+/// with arithmetic in premise and consequence.
+fn rules() -> RuleSet {
+    let mut q1 = Pattern::new();
+    let x = q1.add_node("x", "A");
+    let y = q1.add_node("y", "B");
+    q1.add_edge(x, y, "e1");
+    let r1 = Ngd::new(
+        "r1",
+        q1,
+        vec![],
+        vec![Literal::ge(Expr::attr(y, "val"), Expr::attr(x, "val"))],
+    )
+    .unwrap();
+
+    let mut q2 = Pattern::new();
+    let x = q2.add_node("x", "A");
+    let y = q2.add_node("y", "B");
+    let z = q2.add_wildcard("z");
+    q2.add_edge(x, y, "e1");
+    q2.add_edge(x, z, "e2");
+    let r2 = Ngd::new(
+        "r2",
+        q2,
+        vec![Literal::le(Expr::attr(x, "val"), Expr::constant(10))],
+        vec![Literal::le(
+            Expr::add(Expr::attr(y, "val"), Expr::attr(z, "val")),
+            Expr::constant(30),
+        )],
+    )
+    .unwrap();
+    RuleSet::from_rules(vec![r1, r2])
+}
+
+/// A random batch update over `graph`: delete a selection of existing edges
+/// and insert a few new label-compatible ones.
+fn random_update(graph: &Graph, picks: &[(usize, usize, usize)], deletions: &[usize]) -> BatchUpdate {
+    let mut update = BatchUpdate::new();
+    let existing = graph.edge_vec();
+    for &idx in deletions {
+        if existing.is_empty() {
+            break;
+        }
+        let e = existing[idx % existing.len()];
+        // Duplicated deletions of the same edge are skipped to keep the
+        // batch applicable.
+        if update.deletions().all(|d| d != e) {
+            update.delete_edge(e.src, e.dst, e.label);
+        }
+    }
+    for &(src, dst, label) in picks {
+        if graph.node_count() == 0 {
+            break;
+        }
+        let src = NodeId((src % graph.node_count()) as u32);
+        let dst = NodeId((dst % graph.node_count()) as u32);
+        let label = ngd_graph::intern(EDGE_LABELS[label % EDGE_LABELS.len()]);
+        let edge = ngd_graph::EdgeRef::new(src, dst, label);
+        if !graph.has_edge(src, dst, label)
+            && update.insertions().all(|i| i != edge)
+            && update.deletions().all(|d| d != edge)
+        {
+            update.insert_edge(src, dst, label);
+        }
+    }
+    update
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_matches_batch_oracle(
+        spec in random_graph(),
+        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..8),
+        deletions in prop::collection::vec(0usize..64, 0..8),
+    ) {
+        let graph = build_graph(&spec);
+        let sigma = rules();
+        let delta = random_update(&graph, &inserts, &deletions);
+        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+
+        let old = dect(&sigma, &graph).violations;
+        let new = dect(&sigma, &updated).violations;
+        let report = inc_dect_prepared(&sigma, &graph, &updated, &delta);
+
+        prop_assert_eq!(&report.delta.added, &new.difference(&old), "ΔVio⁺ mismatch");
+        prop_assert_eq!(&report.delta.removed, &old.difference(&new), "ΔVio⁻ mismatch");
+        // Vio(G) ⊕ ΔVio = Vio(G ⊕ ΔG).
+        prop_assert_eq!(old.apply_delta(&report.delta), new);
+    }
+
+    #[test]
+    fn parallel_incremental_agrees_with_sequential(
+        spec in random_graph(),
+        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..6),
+        deletions in prop::collection::vec(0usize..64, 0..6),
+        processors in 1usize..4,
+    ) {
+        let graph = build_graph(&spec);
+        let sigma = rules();
+        let delta = random_update(&graph, &inserts, &deletions);
+        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let sequential = inc_dect_prepared(&sigma, &graph, &updated, &delta);
+        let parallel = pinc_dect_prepared(
+            &sigma,
+            &graph,
+            &updated,
+            &delta,
+            &DetectorConfig::with_processors(processors),
+        );
+        prop_assert_eq!(parallel.delta, sequential.delta);
+    }
+
+    #[test]
+    fn violation_sets_and_deltas_obey_set_algebra(
+        spec in random_graph(),
+        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..6),
+        deletions in prop::collection::vec(0usize..64, 0..6),
+    ) {
+        let graph = build_graph(&spec);
+        let sigma = rules();
+        let delta = random_update(&graph, &inserts, &deletions);
+        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let old = dect(&sigma, &graph).violations;
+        let new = dect(&sigma, &updated).violations;
+        // Difference and union are consistent with each other.
+        let added = new.difference(&old);
+        let removed = old.difference(&new);
+        prop_assert_eq!(old.union(&added).difference(&removed), new);
+        // Added and removed are disjoint.
+        for violation in added.iter() {
+            prop_assert!(!removed.contains(violation));
+        }
+    }
+
+    #[test]
+    fn d_neighborhoods_are_monotone_and_bounded(
+        spec in random_graph(),
+        start in 0usize..12,
+        d in 0usize..5,
+    ) {
+        let graph = build_graph(&spec);
+        prop_assume!(graph.node_count() > 0);
+        let v = NodeId((start % graph.node_count()) as u32);
+        let smaller = d_neighbors(&graph, v, d);
+        let larger = d_neighbors(&graph, v, d + 1);
+        prop_assert!(smaller.len() <= larger.len());
+        for node in smaller.nodes() {
+            prop_assert!(larger.contains(node));
+        }
+        prop_assert!(larger.len() <= graph.node_count());
+        prop_assert!(smaller.contains(v), "a node is always in its own neighbourhood");
+    }
+
+    #[test]
+    fn updates_change_edge_counts_consistently(
+        spec in random_graph(),
+        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..8),
+        deletions in prop::collection::vec(0usize..64, 0..8),
+    ) {
+        let graph = build_graph(&spec);
+        let delta = random_update(&graph, &inserts, &deletions);
+        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let expected = graph.edge_count() + delta.insertions().count() - delta.deletions().count();
+        prop_assert_eq!(updated.edge_count(), expected);
+        // Deleted edges are gone, inserted edges are present.
+        for e in delta.deletions() {
+            if delta.insertions().all(|i| i != e) {
+                prop_assert!(!updated.has_edge(e.src, e.dst, e.label));
+            }
+        }
+        for e in delta.insertions() {
+            prop_assert!(updated.has_edge(e.src, e.dst, e.label));
+        }
+    }
+}
