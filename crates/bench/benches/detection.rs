@@ -1,26 +1,32 @@
 //! Batch detection benchmarks: `Dect` versus `PDect` on the simulated
-//! DBpedia with the paper's rule set (the baseline of every experiment).
+//! DBpedia with the paper's rule set, on both graph representations —
+//! the CSR-snapshot default path against the adjacency-list path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_bench::harness::{black_box, Harness};
 use ngd_core::paper;
 use ngd_datagen::{generate_knowledge, KnowledgeConfig};
-use ngd_detect::{dect, pdect, DetectorConfig};
+use ngd_detect::{dect_on, pdect_on, DetectorConfig};
 
-fn bench_detection(c: &mut Criterion) {
+fn main() {
     let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(4)).graph;
+    let snapshot = graph.freeze();
     let sigma = paper::paper_rule_set();
 
-    let mut group = c.benchmark_group("batch_detection");
-    group.sample_size(15);
-    group.bench_function("dect_paper_rules", |b| b.iter(|| dect(&sigma, &graph)));
+    let mut h = Harness::new();
+    println!("# batch detection: paper rules on simulated DBpedia");
+    h.bench("dect_paper_rules/csr", || {
+        black_box(dect_on(&sigma, &snapshot));
+    });
+    h.bench("dect_paper_rules/adjacency", || {
+        black_box(dect_on(&sigma, &graph));
+    });
+    h.bench("freeze/dbpedia_like_4", || {
+        black_box(graph.freeze());
+    });
     for p in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("pdect_paper_rules", p), &p, |b, &p| {
-            let config = DetectorConfig::with_processors(p);
-            b.iter(|| pdect(&sigma, &graph, &config))
+        let config = DetectorConfig::with_processors(p);
+        h.bench(&format!("pdect_paper_rules_csr/p{p}"), || {
+            black_box(pdect_on(&sigma, &snapshot, &config));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);

@@ -1,45 +1,53 @@
 //! Incremental detection benchmarks: `IncDect` / `PIncDect` versus batch
 //! recomputation for small and moderate update sizes — the core claim of
-//! the paper's Exp-1.
+//! the paper's Exp-1 — with the incremental runs on the snapshot+overlay
+//! default path and, for comparison, on materialised adjacency-list graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_bench::harness::{black_box, Harness};
 use ngd_core::paper;
 use ngd_datagen::{generate_knowledge, generate_update, KnowledgeConfig, UpdateConfig};
-use ngd_detect::{dect, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
+use ngd_detect::{
+    dect_on, inc_dect_prepared, inc_dect_snapshot, pinc_dect_prepared, DetectorConfig,
+};
+use ngd_graph::DeltaOverlay;
 
-fn bench_incremental(c: &mut Criterion) {
+fn main() {
     let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(4)).graph;
+    let snapshot = graph.freeze();
     let sigma = paper::paper_rule_set();
 
-    let mut group = c.benchmark_group("incremental_detection");
-    group.sample_size(15);
+    let mut h = Harness::new();
     for percent in [5u64, 15] {
         let delta = generate_update(
             &graph,
             &UpdateConfig::fraction(percent as f64 / 100.0).with_seed(percent),
         );
         let updated = delta.applied_to(&graph).expect("update applies");
-        group.bench_with_input(
-            BenchmarkId::new("inc_dect", format!("{percent}%")),
-            &delta,
-            |b, delta| b.iter(|| inc_dect_prepared(&sigma, &graph, &updated, delta)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("pinc_dect_p4", format!("{percent}%")),
-            &delta,
-            |b, delta| {
-                let config = DetectorConfig::with_processors(4);
-                b.iter(|| pinc_dect_prepared(&sigma, &graph, &updated, delta, &config))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("dect_recompute", format!("{percent}%")),
-            &updated,
-            |b, updated| b.iter(|| dect(&sigma, updated)),
-        );
+        let updated_snap = updated.freeze();
+        println!("# |ΔG| = {percent}% of |E|");
+        h.bench(&format!("inc_dect_csr_overlay/{percent}%"), || {
+            black_box(inc_dect_snapshot(&sigma, &snapshot, &delta));
+        });
+        h.bench(&format!("inc_dect_adjacency_prepared/{percent}%"), || {
+            black_box(inc_dect_prepared(&sigma, &graph, &updated, &delta));
+        });
+        // The overlay path above pays its (O(|ΔG|)) view construction per
+        // iteration; the matching end-to-end adjacency cost includes the
+        // O(|G|) materialisation of G ⊕ ΔG it needs first.
+        h.bench(&format!("inc_dect_adjacency_with_apply/{percent}%"), || {
+            let applied = delta.applied_to(&graph).expect("update applies");
+            black_box(inc_dect_prepared(&sigma, &graph, &applied, &delta));
+        });
+        let config = DetectorConfig::with_processors(4);
+        h.bench(&format!("pinc_dect_p4_csr_overlay/{percent}%"), || {
+            let old_view = snapshot.as_overlay();
+            let new_view = DeltaOverlay::new(&snapshot, &delta);
+            black_box(pinc_dect_prepared(
+                &sigma, &old_view, &new_view, &delta, &config,
+            ));
+        });
+        h.bench(&format!("dect_recompute_csr/{percent}%"), || {
+            black_box(dect_on(&sigma, &updated_snap));
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_incremental);
-criterion_main!(benches);

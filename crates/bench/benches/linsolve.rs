@@ -2,7 +2,7 @@
 //! literal systems (the engine behind satisfiability/implication) and the
 //! Section-4 example analyses themselves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ngd_bench::harness::{black_box, Harness};
 use ngd_core::satisfiability::{is_satisfiable, is_strongly_satisfiable, AnalysisConfig};
 use ngd_core::{implies, paper, ConstraintSystem, Expr, Literal, Pattern, RuleSet};
 
@@ -26,35 +26,34 @@ fn feasibility_system() -> ConstraintSystem {
     system
 }
 
-fn bench_linsolve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linsolve");
+fn main() {
+    let mut h = Harness::new();
     let system = feasibility_system();
-    group.bench_function("feasibility_5_constraints", |b| b.iter(|| system.solve()));
-    group.bench_function("rational_relaxation_only", |b| b.iter(|| system.rational_feasible()));
-    group.finish();
+    println!("# linear-constraint solver");
+    h.bench("feasibility_5_constraints", || {
+        black_box(system.solve());
+    });
+    h.bench("rational_relaxation_only", || {
+        black_box(system.rational_feasible());
+    });
 
     let cfg = AnalysisConfig::default();
-    let mut group = c.benchmark_group("static_analyses");
-    group.sample_size(20);
     let conflicting = RuleSet::from_rules(vec![paper::phi5(), paper::phi6(None)]);
     let trio = RuleSet::from_rules(vec![paper::phi7(), paper::phi8(), paper::phi9()]);
     let paper_rules = paper::paper_rule_set();
-    group.bench_function("satisfiability_phi5_phi6", |b| {
-        b.iter(|| is_satisfiable(&conflicting, &cfg))
+    println!("# static analyses (Section 4)");
+    h.bench("satisfiability_phi5_phi6", || {
+        black_box(is_satisfiable(&conflicting, &cfg).ok());
     });
-    group.bench_function("satisfiability_phi7_8_9", |b| {
-        b.iter(|| is_satisfiable(&trio, &cfg))
+    h.bench("satisfiability_phi7_8_9", || {
+        black_box(is_satisfiable(&trio, &cfg).ok());
     });
-    group.bench_function("strong_satisfiability_paper_rules", |b| {
-        b.iter(|| is_strongly_satisfiable(&paper_rules, &cfg))
+    h.bench("strong_satisfiability_paper_rules", || {
+        black_box(is_strongly_satisfiable(&paper_rules, &cfg).ok());
     });
-    group.bench_function("implication_phi5_entails_itself", |b| {
-        let sigma = RuleSet::from_rules(vec![paper::phi5()]);
-        let phi = paper::phi5();
-        b.iter(|| implies(&sigma, &phi, &cfg))
+    let sigma = RuleSet::from_rules(vec![paper::phi5()]);
+    let phi = paper::phi5();
+    h.bench("implication_phi5_entails_itself", || {
+        black_box(implies(&sigma, &phi, &cfg).ok());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_linsolve);
-criterion_main!(benches);

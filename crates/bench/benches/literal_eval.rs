@@ -4,13 +4,13 @@
 //! literals against arithmetic NGD literals on the same match, and a full
 //! violation search with and without arithmetic.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ngd_bench::harness::{black_box, Harness};
 use ngd_core::{literal_holds, paper, Expr, Literal, Ngd, RuleSet};
 use ngd_detect::dect;
 use ngd_graph::NodeId;
 use ngd_match::find_matches;
 
-fn bench_literal_eval(c: &mut Criterion) {
+fn main() {
     let (g2, _) = paper::figure1_g2();
     let phi2 = paper::phi2();
     let matches = find_matches(&phi2.pattern, &g2);
@@ -26,23 +26,26 @@ fn bench_literal_eval(c: &mut Criterion) {
             Expr::add(Expr::attr(vars[1], "val"), Expr::attr(vars[2], "val")),
             Expr::add(
                 Expr::scale(3, Expr::attr(vars[3], "val")),
-                Expr::abs(Expr::sub(Expr::attr(vars[1], "val"), Expr::attr(vars[2], "val"))),
+                Expr::abs(Expr::sub(
+                    Expr::attr(vars[1], "val"),
+                    Expr::attr(vars[2], "val"),
+                )),
             ),
         ),
         Expr::constant(100_000),
     );
 
-    let mut group = c.benchmark_group("literal_eval");
-    group.bench_function("gfd_equality_literal", |b| {
-        b.iter(|| literal_holds(&gfd_literal, &g2, &assignment))
+    let mut h = Harness::new();
+    println!("# literal evaluation on a fixed match");
+    h.bench("gfd_equality_literal", || {
+        black_box(literal_holds(&gfd_literal, &g2, &assignment));
     });
-    group.bench_function("ngd_arithmetic_literal", |b| {
-        b.iter(|| literal_holds(&ngd_literal, &g2, &assignment))
+    h.bench("ngd_arithmetic_literal", || {
+        black_box(literal_holds(&ngd_literal, &g2, &assignment));
     });
-    group.bench_function("ngd_long_expression_literal", |b| {
-        b.iter(|| literal_holds(&long_expression, &g2, &assignment))
+    h.bench("ngd_long_expression_literal", || {
+        black_box(literal_holds(&long_expression, &g2, &assignment));
     });
-    group.finish();
 
     // Whole-detector comparison: the same pattern checked with a constant
     // (GFD-style) consequence versus the arithmetic consequence.
@@ -51,21 +54,19 @@ fn bench_literal_eval(c: &mut Criterion) {
         "phi2_gfd",
         phi2.pattern.clone(),
         vec![],
-        vec![Literal::eq(Expr::attr(vars[3], "val"), Expr::constant(1322))],
+        vec![Literal::eq(
+            Expr::attr(vars[3], "val"),
+            Expr::constant(1322),
+        )],
     )
     .unwrap();
     let arithmetic = RuleSet::from_rules(vec![phi2.clone()]);
     let equality_only = RuleSet::from_rules(vec![gfd_variant]);
-    let mut group = c.benchmark_group("detection_with_and_without_arithmetic");
-    group.sample_size(20);
-    group.bench_function("arithmetic_consequence", |b| {
-        b.iter(|| dect(&arithmetic, &generated.graph))
+    println!("# full detection with and without arithmetic");
+    h.bench("arithmetic_consequence", || {
+        black_box(dect(&arithmetic, &generated.graph));
     });
-    group.bench_function("equality_consequence", |b| {
-        b.iter(|| dect(&equality_only, &generated.graph))
+    h.bench("equality_consequence", || {
+        black_box(dect(&equality_only, &generated.graph));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_literal_eval);
-criterion_main!(benches);

@@ -1,37 +1,117 @@
 //! Matcher micro-benchmarks: homomorphic match/violation enumeration for
-//! the paper's rules on simulated knowledge and social graphs.
+//! the paper's rules, plus the CSR-snapshot versus adjacency-list
+//! candidate-selection comparison.  Running this bench records the CSR
+//! performance baseline in `BENCH_csr.json` at the repository root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_bench::harness::{black_box, Harness};
 use ngd_core::paper;
-use ngd_datagen::{generate_knowledge, generate_social, KnowledgeConfig, SocialConfig};
+use ngd_datagen::{generate_knowledge, generate_social, KnowledgeConfig, SocialConfig, StdRng};
+use ngd_graph::{intern, AttrMap, Graph};
 use ngd_match::{find_matches, find_violations};
 
-fn bench_matcher(c: &mut Criterion) {
+/// A label-skewed workload: `n` satellites spread over 8 node labels and
+/// 25 edge labels, all attached to a handful of hub nodes.  Candidate
+/// selection for a concrete `(label) -[label]-> (hub)` pattern must pick a
+/// rare run out of very long hub adjacency lists — a scan per candidate on
+/// the adjacency-list path, a binary search on the CSR path.
+fn label_skew_graph(satellites: usize) -> Graph {
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(0xC5A);
+    let hubs: Vec<_> = (0..10)
+        .map(|_| g.add_node_named("hub", AttrMap::new()))
+        .collect();
+    for _ in 0..satellites {
+        let s = g.add_node_named(&format!("L{}", rng.gen_range(0..8usize)), AttrMap::new());
+        let hub = hubs[rng.gen_range(0..hubs.len())];
+        let label = format!("e{}", rng.gen_range(0..25usize));
+        let _ = g.add_edge(s, hub, intern(&label));
+    }
+    g
+}
+
+fn skewed_pattern() -> ngd_core::Pattern {
+    let mut q = ngd_core::Pattern::new();
+    let x = q.add_node("x", "L3");
+    let y = q.add_node("y", "hub");
+    q.add_edge(x, y, "e7");
+    q
+}
+
+fn main() {
     let knowledge = generate_knowledge(&KnowledgeConfig::dbpedia_like(4)).graph;
     let social = generate_social(&SocialConfig::pokec_like(1)).graph;
+    let knowledge_snap = knowledge.freeze();
+    let social_snap = social.freeze();
 
-    let mut group = c.benchmark_group("matcher");
-    group.sample_size(20);
+    let mut h = Harness::new();
 
+    println!("# matcher: violation search, paper rules (CSR snapshot path)");
     for (name, rule) in [
         ("phi1", paper::phi1(1)),
         ("phi2", paper::phi2()),
         ("phi3", paper::phi3()),
         ("ngd3", paper::ngd3()),
     ] {
-        group.bench_with_input(BenchmarkId::new("violations_knowledge", name), &rule, |b, rule| {
-            b.iter(|| find_violations(rule, &knowledge))
+        h.bench(&format!("violations_knowledge_csr/{name}"), || {
+            black_box(find_violations(&rule, &knowledge_snap));
+        });
+        h.bench(&format!("violations_knowledge_adj/{name}"), || {
+            black_box(find_violations(&rule, &knowledge));
         });
     }
     let phi4 = paper::phi4(1, 1, 10_000);
-    group.bench_function("violations_social_phi4", |b| {
-        b.iter(|| find_violations(&phi4, &social))
+    h.bench("violations_social_phi4/csr", || {
+        black_box(find_violations(&phi4, &social_snap));
     });
-    group.bench_function("matches_social_phi4_pattern", |b| {
-        b.iter(|| find_matches(&phi4.pattern, &social))
+    h.bench("violations_social_phi4/adj", || {
+        black_box(find_violations(&phi4, &social));
     });
-    group.finish();
-}
+    h.bench("matches_social_phi4_pattern/csr", || {
+        black_box(find_matches(&phi4.pattern, &social_snap));
+    });
 
-criterion_group!(benches, bench_matcher);
-criterion_main!(benches);
+    println!("# matcher: label-skewed candidate selection (the CSR case)");
+    let skew = label_skew_graph(120_000);
+    let skew_snap = skew.freeze();
+    let pattern = skewed_pattern();
+    let adj = h.bench("candidate_selection_skewed/adjacency", || {
+        black_box(find_matches(&pattern, &skew));
+    });
+    let csr = h.bench("candidate_selection_skewed/csr", || {
+        black_box(find_matches(&pattern, &skew_snap));
+    });
+    let speedup = adj.ns_per_iter / csr.ns_per_iter;
+    println!("candidate-selection speedup (adjacency / csr): {speedup:.2}x");
+
+    h.bench("freeze/label_skew_120k_nodes", || {
+        black_box(skew.freeze());
+    });
+
+    // Record the baseline only when the acceptance bar is met, so a noisy
+    // or loaded machine cannot clobber a good committed baseline with
+    // sub-threshold numbers on its way to failing.
+    if speedup >= 1.5 {
+        let json = h.to_json(&[
+            ("bench".to_string(), "matcher".to_string()),
+            (
+                "skewed_candidate_selection_speedup".to_string(),
+                format!("{speedup:.2}"),
+            ),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_csr.json");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    } else {
+        eprintln!(
+            "NOT updating BENCH_csr.json: measured speedup {speedup:.2}x is below the 1.5x bar"
+        );
+    }
+    assert!(
+        speedup >= 1.5,
+        "CSR candidate selection must beat the adjacency path by >= 1.5x on \
+         label-skewed workloads (measured {speedup:.2}x)"
+    );
+}

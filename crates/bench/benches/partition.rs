@@ -1,26 +1,30 @@
 //! Graph-fragmentation benchmarks: the edge-cut and vertex-cut partitioners
-//! (the METIS substitute) on synthetic graphs of increasing size.
+//! (the METIS substitute) on synthetic graphs of increasing size, over both
+//! the adjacency-list graph and its CSR snapshot.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ngd_bench::harness::{black_box, Harness};
 use ngd_datagen::{generate_synthetic, SyntheticConfig};
 use ngd_graph::{EdgeCutPartitioner, VertexCutPartitioner};
 
-fn bench_partition(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partition");
-    group.sample_size(15);
+fn main() {
+    let mut h = Harness::new();
     for nodes in [2_000usize, 8_000] {
         let graph = generate_synthetic(&SyntheticConfig::paper_style(nodes, nodes * 2));
-        group.bench_with_input(BenchmarkId::new("edge_cut_p8", nodes), &graph, |b, g| {
-            let partitioner = EdgeCutPartitioner::new(8);
-            b.iter(|| partitioner.partition(g))
+        let snapshot = graph.freeze();
+        let edge_cut = EdgeCutPartitioner::new(8);
+        let vertex_cut = VertexCutPartitioner::new(8);
+        println!("# partition, |V| = {nodes}");
+        h.bench(&format!("edge_cut_p8_adj/{nodes}"), || {
+            black_box(edge_cut.partition(&graph));
         });
-        group.bench_with_input(BenchmarkId::new("vertex_cut_p8", nodes), &graph, |b, g| {
-            let partitioner = VertexCutPartitioner::new(8);
-            b.iter(|| partitioner.partition(g))
+        h.bench(&format!("edge_cut_p8_csr/{nodes}"), || {
+            black_box(edge_cut.partition(&snapshot));
+        });
+        h.bench(&format!("vertex_cut_p8_adj/{nodes}"), || {
+            black_box(vertex_cut.partition(&graph));
+        });
+        h.bench(&format!("vertex_cut_p8_csr/{nodes}"), || {
+            black_box(vertex_cut.partition(&snapshot));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_partition);
-criterion_main!(benches);

@@ -69,9 +69,9 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("results serialize");
-        let mut file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+        let json = ngd_json::to_string_pretty(&results);
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
         file.write_all(json.as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");

@@ -67,10 +67,18 @@ fn run_all_algorithms(
 }
 
 fn exp1_series() -> Vec<Series> {
-    ["Dect", "PDect", "IncDect", "PIncDect", "PIncDect_ns", "PIncDect_nb", "PIncDect_NO"]
-        .into_iter()
-        .map(Series::new)
-        .collect()
+    [
+        "Dect",
+        "PDect",
+        "IncDect",
+        "PIncDect",
+        "PIncDect_ns",
+        "PIncDect_nb",
+        "PIncDect_NO",
+    ]
+    .into_iter()
+    .map(Series::new)
+    .collect()
 }
 
 /// Figures 4(a)–4(d): varying `|ΔG|` on one dataset.
@@ -141,12 +149,8 @@ fn annotate_speedups(result: &mut ExperimentResult) {
 
 /// Figure 4(e): varying `|G|` on synthetic graphs, `|ΔG| = 15 %`.
 pub fn fig4e_graph_scaling(scale: Scale) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
-        "fig4e",
-        "Synthetic: varying |G|",
-        "(|V|,|E|)",
-        "time (ms)",
-    );
+    let mut result =
+        ExperimentResult::new("fig4e", "Synthetic: varying |G|", "(|V|,|E|)", "time (ms)");
     let f = scale.factor();
     let sizes: Vec<(usize, usize)> = vec![
         (2_000 * f, 4_000 * f),
@@ -202,12 +206,7 @@ pub fn fig4_sigma_sweep(id: &str, kind: DatasetKind, scale: Scale) -> Experiment
 
 /// Figure 4(h): varying the rule-set diameter `dΣ` on DBpedia.
 pub fn fig4h_diameter_sweep(scale: Scale) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
-        "fig4h",
-        "DBpedia: varying dΣ",
-        "dΣ",
-        "time (ms)",
-    );
+    let mut result = ExperimentResult::new("fig4h", "DBpedia: varying dΣ", "dΣ", "time (ms)");
     let sigma_size = match scale {
         Scale::Quick => 10,
         Scale::Full => 50,
@@ -228,12 +227,8 @@ pub fn fig4h_diameter_sweep(scale: Scale) -> ExperimentResult {
 
 /// Figures 4(i)–4(l): varying the number of processors `p`.
 pub fn fig4_processor_sweep(id: &str, kind: DatasetKind, scale: Scale) -> ExperimentResult {
-    let mut result = ExperimentResult::new(
-        id,
-        format!("{}: varying p", kind.label()),
-        "p",
-        "time (ms)",
-    );
+    let mut result =
+        ExperimentResult::new(id, format!("{}: varying p", kind.label()), "p", "time (ms)");
     let sigma_size = match scale {
         Scale::Quick => 10,
         Scale::Full => 50,
@@ -262,8 +257,18 @@ pub fn fig4_processor_sweep(id: &str, kind: DatasetKind, scale: Scale) -> Experi
         let x = p.to_string();
         let batch = pdect(&dataset.sigma, &updated, &config);
         let hybrid = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config);
-        let ns = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config.no_splitting());
-        let nb = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config.no_balancing());
+        let ns = pinc_dect(
+            &dataset.sigma,
+            dataset.graph(),
+            &delta,
+            &config.no_splitting(),
+        );
+        let nb = pinc_dect(
+            &dataset.sigma,
+            dataset.graph(),
+            &delta,
+            &config.no_balancing(),
+        );
         let no = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config.no_hybrid());
         let values = [
             // The batch detector's work is embarrassingly parallel over its
@@ -318,7 +323,12 @@ pub fn fig4m_latency_sweep(scale: Scale) -> ExperimentResult {
     for c in [20.0, 40.0, 60.0, 80.0, 100.0] {
         let config = DetectorConfig::with_processors(DEFAULT_P).latency(c);
         let report = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config);
-        let nb = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config.no_balancing());
+        let nb = pinc_dect(
+            &dataset.sigma,
+            dataset.graph(),
+            &delta,
+            &config.no_balancing(),
+        );
         let x = format!("{c:.0}");
         measured.push(&x, ms(report.elapsed));
         measured_nb.push(&x, ms(nb.elapsed));
@@ -353,7 +363,12 @@ pub fn fig4n_interval_sweep(scale: Scale) -> ExperimentResult {
     for intvl in [15u64, 30, 45, 50, 65] {
         let config = DetectorConfig::with_processors(DEFAULT_P).interval_ms(intvl);
         let report = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config);
-        let ns = pinc_dect(&dataset.sigma, dataset.graph(), &delta, &config.no_splitting());
+        let ns = pinc_dect(
+            &dataset.sigma,
+            dataset.graph(),
+            &delta,
+            &config.no_splitting(),
+        );
         let x = intvl.to_string();
         measured.push(&x, ms(report.elapsed));
         measured_ns.push(&x, ms(ns.elapsed));
@@ -398,7 +413,7 @@ pub fn exp5_effectiveness(scale: Scale) -> ExperimentResult {
         let beyond_gfd = report
             .violations
             .iter()
-            .filter(|v| sigma.by_id(&v.rule_id).map_or(false, |r| !r.is_gfd()))
+            .filter(|v| sigma.by_id(&v.rule_id).is_some_and(|r| !r.is_gfd()))
             .count() as f64;
         ngd_only.push(x, 100.0 * beyond_gfd / total);
     }
@@ -422,7 +437,10 @@ pub fn fundamentals() -> ExperimentResult {
     let mut sat = Series::new("satisfiable");
     let mut strong = Series::new("strongly satisfiable");
     let cases: Vec<(&str, RuleSet)> = vec![
-        ("{phi5, phi6}", RuleSet::from_rules(vec![paper::phi5(), paper::phi6(None)])),
+        (
+            "{phi5, phi6}",
+            RuleSet::from_rules(vec![paper::phi5(), paper::phi6(None)]),
+        ),
         (
             "{phi5, phi6@a}",
             RuleSet::from_rules(vec![paper::phi5(), paper::phi6(Some("a"))]),
@@ -436,7 +454,11 @@ pub fn fundamentals() -> ExperimentResult {
     for (name, sigma) in &cases {
         sat.push(
             *name,
-            as_num(is_satisfiable(sigma, &cfg).map(|v| v.is_yes()).unwrap_or(false)),
+            as_num(
+                is_satisfiable(sigma, &cfg)
+                    .map(|v| v.is_yes())
+                    .unwrap_or(false),
+            ),
         );
         strong.push(
             *name,
@@ -479,7 +501,11 @@ pub fn fundamentals() -> ExperimentResult {
     );
     implication.push(
         "{phi5} |= A+B=14",
-        as_num(implies(&phi5_set, &phi_sum14, &cfg).map(|v| v.is_yes()).unwrap_or(false)),
+        as_num(
+            implies(&phi5_set, &phi_sum14, &cfg)
+                .map(|v| v.is_yes())
+                .unwrap_or(false),
+        ),
     );
     implication.push(
         "{phi5} |= phi6",
@@ -566,9 +592,24 @@ pub fn ablation_skew(scale: Scale) -> ExperimentResult {
 /// All experiment identifiers in paper order.
 pub fn all_experiment_names() -> Vec<&'static str> {
     vec![
-        "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "fig4g", "fig4h", "fig4i",
-        "fig4j", "fig4k", "fig4l", "fig4m", "fig4n", "exp5", "fundamentals",
-        "ablation-local", "ablation-skew",
+        "fig4a",
+        "fig4b",
+        "fig4c",
+        "fig4d",
+        "fig4e",
+        "fig4f",
+        "fig4g",
+        "fig4h",
+        "fig4i",
+        "fig4j",
+        "fig4k",
+        "fig4l",
+        "fig4m",
+        "fig4n",
+        "exp5",
+        "fundamentals",
+        "ablation-local",
+        "ablation-skew",
     ]
 }
 

@@ -11,14 +11,19 @@
 //!   JSON (EXPERIMENTS.md is generated from them).
 //!
 //! The `exp` binary (`cargo run -p ngd-bench --release --bin exp -- <id>`)
-//! drives the runners; the Criterion benches under `benches/` cover the
-//! micro-level claims (matcher throughput, negligible literal-evaluation
-//! overhead, partitioner and solver cost).
+//! drives the runners; the benches under `benches/` (built on the local
+//! [`harness`], since Criterion is unavailable offline) cover the
+//! micro-level claims: matcher throughput — including the CSR-snapshot
+//! versus adjacency-list candidate-selection comparison recorded in
+//! `BENCH_csr.json` — literal-evaluation overhead, partitioner and solver
+//! cost.
 
 pub mod datasets;
 pub mod experiments;
+pub mod harness;
 pub mod table;
 
 pub use datasets::{build_dataset, synthetic_dataset, Dataset, DatasetKind, Scale};
 pub use experiments::{all_experiment_names, run_experiment};
+pub use harness::{black_box, Harness, Measurement};
 pub use table::{ExperimentResult, Series};

@@ -5,10 +5,8 @@
 //! x-axis point), rendered either as an aligned text table or as JSON.
 //! EXPERIMENTS.md is written from these tables.
 
-use serde::{Deserialize, Serialize};
-
 /// One plotted series (one line of a paper figure).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label, e.g. `"IncDect"`.
     pub name: String,
@@ -38,8 +36,10 @@ impl Series {
     }
 }
 
+ngd_json::impl_json_struct!(Series { name, points });
+
 /// The result of one experiment (one paper figure or table).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Experiment identifier, e.g. `"fig4a"`.
     pub id: String,
@@ -54,6 +54,15 @@ pub struct ExperimentResult {
     /// Free-form notes (scale factors, substitutions, observed ratios).
     pub notes: Vec<String>,
 }
+
+ngd_json::impl_json_struct!(ExperimentResult {
+    id,
+    title,
+    x_label,
+    y_label,
+    series,
+    notes
+});
 
 impl ExperimentResult {
     /// A new, empty result.
@@ -113,7 +122,13 @@ impl ExperimentResult {
         }
         let columns = rows.iter().map(Vec::len).max().unwrap_or(0);
         let widths: Vec<usize> = (0..columns)
-            .map(|c| rows.iter().filter_map(|r| r.get(c)).map(String::len).max().unwrap_or(0))
+            .map(|c| {
+                rows.iter()
+                    .filter_map(|r| r.get(c))
+                    .map(String::len)
+                    .max()
+                    .unwrap_or(0)
+            })
             .collect();
         for row in &rows {
             let line: Vec<String> = row
@@ -133,7 +148,7 @@ impl ExperimentResult {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiment results always serialize")
+        ngd_json::to_string_pretty(self)
     }
 }
 
@@ -168,7 +183,10 @@ mod tests {
     #[test]
     fn series_lookup() {
         let result = sample();
-        assert_eq!(result.series_named("IncDect").unwrap().at("10%"), Some(22.0));
+        assert_eq!(
+            result.series_named("IncDect").unwrap().at("10%"),
+            Some(22.0)
+        );
         assert!(result.series_named("missing").is_none());
         assert_eq!(result.x_values(), vec!["5%", "10%"]);
     }
@@ -177,7 +195,7 @@ mod tests {
     fn json_roundtrip() {
         let result = sample();
         let json = result.to_json();
-        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        let back: ExperimentResult = ngd_json::from_str(&json).unwrap();
         assert_eq!(back.id, "fig4x");
         assert_eq!(back.series.len(), 2);
     }

@@ -20,7 +20,7 @@ use crate::literal::Literal;
 use crate::ngd::Ngd;
 use crate::pattern::Var;
 use crate::rational::Rational;
-use ngd_graph::{Graph, NodeId, Value};
+use ngd_graph::{GraphView, NodeId, Value};
 use std::cmp::Ordering;
 
 /// The result of evaluating an expression on a match.
@@ -40,12 +40,12 @@ impl Evaluated {
         match (self, other) {
             (Evaluated::Num(a), Evaluated::Num(b)) => Some(a.cmp(b)),
             (Evaluated::Val(a), Evaluated::Val(b)) => a.partial_cmp_value(b),
-            (Evaluated::Num(a), Evaluated::Val(b)) => b
-                .as_int()
-                .map(|i| a.cmp(&Rational::from_int(i))),
-            (Evaluated::Val(a), Evaluated::Num(b)) => a
-                .as_int()
-                .map(|i| Rational::from_int(i).cmp(b)),
+            (Evaluated::Num(a), Evaluated::Val(b)) => {
+                b.as_int().map(|i| a.cmp(&Rational::from_int(i)))
+            }
+            (Evaluated::Val(a), Evaluated::Num(b)) => {
+                a.as_int().map(|i| Rational::from_int(i).cmp(b))
+            }
         }
     }
 }
@@ -105,9 +105,9 @@ pub enum EvalFailure {
 }
 
 /// Evaluate an expression on a (possibly partial) match.
-pub fn eval_expr<L: VarLookup + ?Sized>(
+pub fn eval_expr<G: GraphView + ?Sized, L: VarLookup + ?Sized>(
     expr: &Expr,
-    graph: &Graph,
+    graph: &G,
     lookup: &L,
 ) -> Result<Evaluated, EvalFailure> {
     match expr {
@@ -117,7 +117,9 @@ pub fn eval_expr<L: VarLookup + ?Sized>(
             let node = lookup
                 .node_of(r.var)
                 .ok_or(EvalFailure::UnboundVariable(r.var))?;
-            let value = graph.attr(node, r.attr).ok_or(EvalFailure::MissingAttribute)?;
+            let value = graph
+                .attr(node, r.attr)
+                .ok_or(EvalFailure::MissingAttribute)?;
             match value {
                 Value::Int(i) => Ok(Evaluated::Num(Rational::from_int(*i))),
                 Value::Bool(b) => Ok(Evaluated::Num(Rational::from_int(i64::from(*b)))),
@@ -141,16 +143,18 @@ pub fn eval_expr<L: VarLookup + ?Sized>(
     }
 }
 
-fn numeric_binop<L: VarLookup + ?Sized>(
+fn numeric_binop<G: GraphView + ?Sized, L: VarLookup + ?Sized>(
     a: &Expr,
     b: &Expr,
-    graph: &Graph,
+    graph: &G,
     lookup: &L,
     op: impl Fn(Rational, Rational) -> Option<Rational>,
 ) -> Result<Evaluated, EvalFailure> {
     let left = as_number(eval_expr(a, graph, lookup)?)?;
     let right = as_number(eval_expr(b, graph, lookup)?)?;
-    op(left, right).map(Evaluated::Num).ok_or(EvalFailure::TypeError)
+    op(left, right)
+        .map(Evaluated::Num)
+        .ok_or(EvalFailure::TypeError)
 }
 
 fn as_number(value: Evaluated) -> Result<Rational, EvalFailure> {
@@ -170,9 +174,9 @@ fn as_number(value: Evaluated) -> Result<Rational, EvalFailure> {
 ///
 /// Missing attributes and type errors decide the literal to `false`, per
 /// the paper's satisfaction semantics.
-pub fn eval_literal_partial<L: VarLookup + ?Sized>(
+pub fn eval_literal_partial<G: GraphView + ?Sized, L: VarLookup + ?Sized>(
     literal: &Literal,
-    graph: &Graph,
+    graph: &G,
     lookup: &L,
 ) -> Result<bool, Var> {
     let lhs = match eval_expr(&literal.lhs, graph, lookup) {
@@ -196,23 +200,35 @@ pub fn eval_literal_partial<L: VarLookup + ?Sized>(
 
 /// Does the match satisfy the literal? (Total-match convenience wrapper;
 /// unbound variables count as unsatisfied.)
-pub fn literal_holds(literal: &Literal, graph: &Graph, assignment: &[NodeId]) -> bool {
+pub fn literal_holds<G: GraphView + ?Sized>(
+    literal: &Literal,
+    graph: &G,
+    assignment: &[NodeId],
+) -> bool {
     eval_literal_partial(literal, graph, assignment).unwrap_or(false)
 }
 
 /// Does the match satisfy every literal in the set (`h(x̄) ⊨ Z`)?
-pub fn literals_hold(literals: &[Literal], graph: &Graph, assignment: &[NodeId]) -> bool {
+pub fn literals_hold<G: GraphView + ?Sized>(
+    literals: &[Literal],
+    graph: &G,
+    assignment: &[NodeId],
+) -> bool {
     literals.iter().all(|l| literal_holds(l, graph, assignment))
 }
 
 /// Does the match satisfy the dependency `X → Y`?
-pub fn dependency_holds(rule: &Ngd, graph: &Graph, assignment: &[NodeId]) -> bool {
+pub fn dependency_holds<G: GraphView + ?Sized>(
+    rule: &Ngd,
+    graph: &G,
+    assignment: &[NodeId],
+) -> bool {
     !literals_hold(&rule.premise, graph, assignment)
         || literals_hold(&rule.consequence, graph, assignment)
 }
 
 /// Is the match a violation of the rule (`h ⊨ X` and `h ⊭ Y`)?
-pub fn is_violation(rule: &Ngd, graph: &Graph, assignment: &[NodeId]) -> bool {
+pub fn is_violation<G: GraphView + ?Sized>(rule: &Ngd, graph: &G, assignment: &[NodeId]) -> bool {
     literals_hold(&rule.premise, graph, assignment)
         && !literals_hold(&rule.consequence, graph, assignment)
 }
@@ -222,7 +238,7 @@ mod tests {
     use super::*;
     use crate::literal::Literal;
     use crate::pattern::Pattern;
-    use ngd_graph::AttrMap;
+    use ngd_graph::{AttrMap, Graph};
 
     /// Graph: a village node with population attributes, plus a node with a
     /// string category.
@@ -262,7 +278,10 @@ mod tests {
             Evaluated::Num(Rational::from_int(1322))
         );
         // |female - male| = 122
-        let e = Expr::abs(Expr::sub(Expr::attr(v(0), "female"), Expr::attr(v(0), "male")));
+        let e = Expr::abs(Expr::sub(
+            Expr::attr(v(0), "female"),
+            Expr::attr(v(0), "male"),
+        ));
         assert_eq!(
             eval_expr(&e, &g, &asg).unwrap(),
             Evaluated::Num(Rational::from_int(122))
@@ -337,7 +356,10 @@ mod tests {
         let rule = Ngd::new(
             "ngd1",
             q,
-            vec![Literal::lt(Expr::attr(v(0), "birthYear"), Expr::constant(1800))],
+            vec![Literal::lt(
+                Expr::attr(v(0), "birthYear"),
+                Expr::constant(1800),
+            )],
             vec![Literal::ne(
                 Expr::attr(v(0), "category"),
                 Expr::string("living people"),
@@ -375,7 +397,10 @@ mod tests {
         let (g, village, _) = graph();
         let asg = vec![village];
         let lit = Literal::eq(
-            Expr::Div(Box::new(Expr::attr(v(0), "female")), Box::new(Expr::constant(0))),
+            Expr::Div(
+                Box::new(Expr::attr(v(0), "female")),
+                Box::new(Expr::constant(0)),
+            ),
             Expr::constant(1),
         );
         assert!(!literal_holds(&lit, &g, &asg));

@@ -22,12 +22,12 @@
 use crate::pattern::Var;
 use crate::rational::Rational;
 use ngd_graph::{intern, resolve, Sym, Value};
-use serde::{Deserialize, Serialize};
+use ngd_json::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A variable attribute reference `x.A`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrRef {
     /// The pattern variable `x`.
     pub var: Var,
@@ -42,8 +42,10 @@ impl AttrRef {
     }
 }
 
+ngd_json::impl_json_struct!(AttrRef { var, attr });
+
 /// An arithmetic expression of a graph pattern.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// An integer constant `c`.
     Const(i64),
@@ -96,11 +98,13 @@ impl Expr {
     }
 
     /// `e + e`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(Box::new(a), Box::new(b))
     }
 
     /// `e − e`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Sub(Box::new(a), Box::new(b))
     }
@@ -209,10 +213,8 @@ impl Expr {
                 let fb = b.linear_form()?;
                 if let Some(c) = fa.as_constant() {
                     Some(fb.scale(c))
-                } else if let Some(c) = fb.as_constant() {
-                    Some(fa.scale(c))
                 } else {
-                    None
+                    fb.as_constant().map(|c| fa.scale(c))
                 }
             }
             Expr::Div(a, b) => {
@@ -240,6 +242,51 @@ impl fmt::Display for Expr {
             Expr::Sub(a, b) => write!(f, "({a} - {b})"),
             Expr::Mul(a, b) => write!(f, "({a} * {b})"),
             Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+impl ToJson for Expr {
+    fn to_json(&self) -> Json {
+        let (tag, inner) = match self {
+            Expr::Const(c) => ("Const", Json::Int(*c)),
+            Expr::Lit(v) => ("Lit", v.to_json()),
+            Expr::Attr(r) => ("Attr", r.to_json()),
+            Expr::Abs(e) => ("Abs", e.to_json()),
+            Expr::Add(a, b) => ("Add", Json::Arr(vec![a.to_json(), b.to_json()])),
+            Expr::Sub(a, b) => ("Sub", Json::Arr(vec![a.to_json(), b.to_json()])),
+            Expr::Mul(a, b) => ("Mul", Json::Arr(vec![a.to_json(), b.to_json()])),
+            Expr::Div(a, b) => ("Div", Json::Arr(vec![a.to_json(), b.to_json()])),
+        };
+        Json::Obj(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl FromJson for Expr {
+    fn from_json(value: &Json) -> ngd_json::Result<Self> {
+        fn pair(inner: &Json) -> ngd_json::Result<(Box<Expr>, Box<Expr>)> {
+            let items = inner.as_arr()?;
+            if items.len() != 2 {
+                return Err(JsonError::new("binary Expr needs a 2-element array"));
+            }
+            Ok((
+                Box::new(Expr::from_json(&items[0])?),
+                Box::new(Expr::from_json(&items[1])?),
+            ))
+        }
+        match value.as_obj()? {
+            [(tag, inner)] => match tag.as_str() {
+                "Const" => Ok(Expr::Const(inner.as_i64()?)),
+                "Lit" => Ok(Expr::Lit(Value::from_json(inner)?)),
+                "Attr" => Ok(Expr::Attr(AttrRef::from_json(inner)?)),
+                "Abs" => Ok(Expr::Abs(Box::new(Expr::from_json(inner)?))),
+                "Add" => pair(inner).map(|(a, b)| Expr::Add(a, b)),
+                "Sub" => pair(inner).map(|(a, b)| Expr::Sub(a, b)),
+                "Mul" => pair(inner).map(|(a, b)| Expr::Mul(a, b)),
+                "Div" => pair(inner).map(|(a, b)| Expr::Div(a, b)),
+                other => Err(JsonError::new(format!("unknown Expr variant `{other}`"))),
+            },
+            _ => Err(JsonError::new("Expr must be a single-field object")),
         }
     }
 }
@@ -361,7 +408,10 @@ mod tests {
         assert_eq!(Expr::constant(3).degree(), 0);
         assert_eq!(xa.degree(), 1);
         assert_eq!(Expr::add(xa.clone(), yb.clone()).degree(), 1);
-        assert_eq!(Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone())).degree(), 2);
+        assert_eq!(
+            Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone())).degree(),
+            2
+        );
         assert_eq!(Expr::scale(5, xa.clone()).degree(), 1);
         assert_eq!(Expr::abs(Expr::sub(xa, yb)).degree(), 1);
     }
@@ -408,8 +458,14 @@ mod tests {
             Expr::div_const(Expr::constant(6), 3),
         );
         let f = e.linear_form().unwrap();
-        assert_eq!(f.coeff(AttrRef::new(x(), intern("A"))), Rational::from_int(2));
-        assert_eq!(f.coeff(AttrRef::new(y(), intern("B"))), Rational::from_int(-2));
+        assert_eq!(
+            f.coeff(AttrRef::new(x(), intern("A"))),
+            Rational::from_int(2)
+        );
+        assert_eq!(
+            f.coeff(AttrRef::new(y(), intern("B"))),
+            Rational::from_int(-2)
+        );
         assert_eq!(f.constant, Rational::from_int(2));
     }
 
@@ -417,9 +473,13 @@ mod tests {
     fn linear_form_rejects_nonlinear_and_abs() {
         let xa = Expr::attr(x(), "A");
         let yb = Expr::attr(y(), "B");
-        assert!(Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone())).linear_form().is_none());
+        assert!(Expr::Mul(Box::new(xa.clone()), Box::new(yb.clone()))
+            .linear_form()
+            .is_none());
         assert!(Expr::abs(xa.clone()).linear_form().is_none());
-        assert!(Expr::Div(Box::new(xa), Box::new(Expr::constant(0))).linear_form().is_none());
+        assert!(Expr::Div(Box::new(xa), Box::new(Expr::constant(0)))
+            .linear_form()
+            .is_none());
     }
 
     #[test]
@@ -435,9 +495,7 @@ mod tests {
     fn linear_form_eval() {
         let e = Expr::add(Expr::scale(3, Expr::attr(x(), "A")), Expr::constant(1));
         let f = e.linear_form().unwrap();
-        let v = f
-            .eval(|_| Some(Rational::from_int(4)))
-            .unwrap();
+        let v = f.eval(|_| Some(Rational::from_int(4))).unwrap();
         assert_eq!(v, Rational::from_int(13));
         // missing variable propagates None
         assert_eq!(f.eval(|_| None), None);
@@ -459,10 +517,16 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let e = Expr::abs(Expr::sub(Expr::attr(x(), "A"), Expr::constant(4)));
-        let json = serde_json::to_string(&e).unwrap();
-        let back: Expr = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, e);
+    fn json_roundtrip() {
+        let exprs = [
+            Expr::abs(Expr::sub(Expr::attr(x(), "A"), Expr::constant(4))),
+            Expr::string("living people"),
+            Expr::div_const(Expr::scale(3, Expr::attr(y(), "B")), 5),
+        ];
+        for e in exprs {
+            let json = ngd_json::to_string(&e);
+            let back: Expr = ngd_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
     }
 }

@@ -21,10 +21,8 @@
 use crate::expr::Expr;
 use crate::literal::Literal;
 use crate::ngd::{Ngd, RuleSet};
-use crate::satisfiability::{
-    canonical_graph, AnalysisConfig, AnalysisError, Verdict,
-};
 use crate::satisfiability::internal::{solve_obligations, Obligation};
+use crate::satisfiability::{canonical_graph, AnalysisConfig, AnalysisError, Verdict};
 
 /// Does `Σ ⊨ φ` hold?
 pub fn implies(
@@ -46,12 +44,11 @@ pub fn implies(
         return Ok(Verdict::Yes);
     }
 
-    let mut obligations = match crate::satisfiability::internal::collect_obligations(
-        sigma, &model, config,
-    ) {
-        Some(o) => o,
-        None => return Ok(Verdict::Unknown),
-    };
+    let mut obligations =
+        match crate::satisfiability::internal::collect_obligations(sigma, &model, config) {
+            Some(o) => o,
+            None => return Ok(Verdict::Unknown),
+        };
 
     // Assert X_φ on the identity match: encoded as an obligation with an
     // empty premise (the solver must then satisfy every literal).
@@ -269,7 +266,10 @@ mod tests {
             single("_"),
             vec![],
             vec![Literal::eq(
-                Expr::Mul(Box::new(Expr::attr(x(), "A")), Box::new(Expr::attr(x(), "B"))),
+                Expr::Mul(
+                    Box::new(Expr::attr(x(), "A")),
+                    Box::new(Expr::attr(x(), "B")),
+                ),
                 Expr::constant(1),
             )],
         );

@@ -54,4 +54,6 @@ pub use ngd::{Ngd, NgdError, RuleSet};
 pub use parser::{parse_rule, parse_rule_set, ParseError};
 pub use pattern::{Pattern, PatternEdge, PatternNode, Var};
 pub use rational::Rational;
-pub use satisfiability::{is_satisfiable, is_strongly_satisfiable, AnalysisConfig, AnalysisError, Verdict};
+pub use satisfiability::{
+    is_satisfiable, is_strongly_satisfiable, AnalysisConfig, AnalysisError, Verdict,
+};

@@ -86,7 +86,10 @@ impl std::fmt::Display for ConstraintError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConstraintError::NotLinearizable(lit) => {
-                write!(f, "literal `{lit}` cannot be lowered to a linear constraint")
+                write!(
+                    f,
+                    "literal `{lit}` cannot be lowered to a linear constraint"
+                )
             }
         }
     }
@@ -147,8 +150,14 @@ impl ConstraintSystem {
         match literal.op {
             CmpOp::Eq => self.equalities.push(diff),
             CmpOp::Ne => self.disequalities.push(diff),
-            CmpOp::Lt => self.inequalities.push(Ineq { form: diff, strict: true }),
-            CmpOp::Le => self.inequalities.push(Ineq { form: diff, strict: false }),
+            CmpOp::Lt => self.inequalities.push(Ineq {
+                form: diff,
+                strict: true,
+            }),
+            CmpOp::Le => self.inequalities.push(Ineq {
+                form: diff,
+                strict: false,
+            }),
             CmpOp::Gt => self.inequalities.push(Ineq {
                 form: diff.scale(Rational::from_int(-1)),
                 strict: true,
@@ -190,7 +199,10 @@ impl ConstraintSystem {
     pub fn rational_feasible(&self) -> bool {
         let mut ineqs = self.inequalities.clone();
         for eq in &self.equalities {
-            ineqs.push(Ineq { form: eq.clone(), strict: false });
+            ineqs.push(Ineq {
+                form: eq.clone(),
+                strict: false,
+            });
             ineqs.push(Ineq {
                 form: eq.scale(Rational::from_int(-1)),
                 strict: false,
@@ -230,7 +242,10 @@ impl ConstraintSystem {
         // Rational relaxation is feasible: search for an integer witness.
         let mut ineqs = self.inequalities.clone();
         for eq in &self.equalities {
-            ineqs.push(Ineq { form: eq.clone(), strict: false });
+            ineqs.push(Ineq {
+                form: eq.clone(),
+                strict: false,
+            });
             ineqs.push(Ineq {
                 form: eq.scale(Rational::from_int(-1)),
                 strict: false,
@@ -339,8 +354,8 @@ fn fourier_motzkin_feasible(mut ineqs: Vec<Ineq>) -> bool {
             for up in &uppers {
                 let cl = lo.form.coeff(var); // negative
                 let cu = up.form.coeff(var); // positive
-                // Normalize both to coefficient ±1 on `var` and add:
-                //   up/cu  +  lo/(-cl)   has zero coefficient on var.
+                                             // Normalize both to coefficient ±1 on `var` and add:
+                                             //   up/cu  +  lo/(-cl)   has zero coefficient on var.
                 let combined = up
                     .form
                     .scale(Rational::ONE / cu)
@@ -503,8 +518,10 @@ mod tests {
     fn paper_example5_phi5_phi6_conflict() {
         // x.A = 7, x.B = 7, x.A + x.B = 11 — infeasible.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::eq(xa(), Expr::constant(7))).unwrap();
-        sys.add_literal(&Literal::eq(xb(), Expr::constant(7))).unwrap();
+        sys.add_literal(&Literal::eq(xa(), Expr::constant(7)))
+            .unwrap();
+        sys.add_literal(&Literal::eq(xb(), Expr::constant(7)))
+            .unwrap();
         sys.add_literal(&Literal::eq(Expr::add(xa(), xb()), Expr::constant(11)))
             .unwrap();
         assert!(!sys.rational_feasible());
@@ -515,8 +532,10 @@ mod tests {
     fn consistent_equalities_produce_witness() {
         // A = 7, B = 4, A + B = 11 — feasible with exactly that witness.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::eq(xa(), Expr::constant(7))).unwrap();
-        sys.add_literal(&Literal::eq(xb(), Expr::constant(4))).unwrap();
+        sys.add_literal(&Literal::eq(xa(), Expr::constant(7)))
+            .unwrap();
+        sys.add_literal(&Literal::eq(xb(), Expr::constant(4)))
+            .unwrap();
         sys.add_literal(&Literal::eq(Expr::add(xa(), xb()), Expr::constant(11)))
             .unwrap();
         match sys.solve() {
@@ -536,9 +555,12 @@ mod tests {
         // φ8 (A > 3 → B > 6) forces ¬(A > 3): contradiction.
         // Here we check the arithmetic core: {B < 6, A > 3, A ≤ 3} infeasible.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::lt(xb(), Expr::constant(6))).unwrap();
-        sys.add_literal(&Literal::gt(xa(), Expr::constant(3))).unwrap();
-        sys.add_literal(&Literal::le(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::lt(xb(), Expr::constant(6)))
+            .unwrap();
+        sys.add_literal(&Literal::gt(xa(), Expr::constant(3)))
+            .unwrap();
+        sys.add_literal(&Literal::le(xa(), Expr::constant(3)))
+            .unwrap();
         assert_eq!(sys.solve(), Feasibility::Infeasible);
     }
 
@@ -546,16 +568,20 @@ mod tests {
     fn strict_inequalities_over_integers() {
         // 3 < A < 5 has the single integer solution A = 4.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::gt(xa(), Expr::constant(3))).unwrap();
-        sys.add_literal(&Literal::lt(xa(), Expr::constant(5))).unwrap();
+        sys.add_literal(&Literal::gt(xa(), Expr::constant(3)))
+            .unwrap();
+        sys.add_literal(&Literal::lt(xa(), Expr::constant(5)))
+            .unwrap();
         match sys.solve() {
             Feasibility::Feasible(sol) => assert_eq!(sol.values().next(), Some(&4)),
             other => panic!("expected feasible, got {other:?}"),
         }
         // 3 < A < 4 has no integer solution even though rationals exist.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::gt(xa(), Expr::constant(3))).unwrap();
-        sys.add_literal(&Literal::lt(xa(), Expr::constant(4))).unwrap();
+        sys.add_literal(&Literal::gt(xa(), Expr::constant(3)))
+            .unwrap();
+        sys.add_literal(&Literal::lt(xa(), Expr::constant(4)))
+            .unwrap();
         assert!(sys.rational_feasible());
         assert_eq!(sys.solve(), Feasibility::Infeasible);
     }
@@ -564,12 +590,15 @@ mod tests {
     fn disequalities_branch() {
         // A = 3 ∧ A ≠ 3 — infeasible.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::eq(xa(), Expr::constant(3))).unwrap();
-        sys.add_literal(&Literal::ne(xa(), Expr::constant(3))).unwrap();
+        sys.add_literal(&Literal::eq(xa(), Expr::constant(3)))
+            .unwrap();
+        sys.add_literal(&Literal::ne(xa(), Expr::constant(3)))
+            .unwrap();
         assert_eq!(sys.solve(), Feasibility::Infeasible);
         // A ≠ 0 alone — feasible.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::ne(xa(), Expr::constant(0))).unwrap();
+        sys.add_literal(&Literal::ne(xa(), Expr::constant(0)))
+            .unwrap();
         assert!(sys.solve().is_feasible());
     }
 
@@ -577,9 +606,12 @@ mod tests {
     fn scaled_and_divided_coefficients() {
         // 2·A − B ≤ 0, B ≤ 4, A ≥ 1 → A ∈ {1, 2}, e.g. A=1, B≥2.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::le(Expr::scale(2, xa()), xb())).unwrap();
-        sys.add_literal(&Literal::le(xb(), Expr::constant(4))).unwrap();
-        sys.add_literal(&Literal::ge(xa(), Expr::constant(1))).unwrap();
+        sys.add_literal(&Literal::le(Expr::scale(2, xa()), xb()))
+            .unwrap();
+        sys.add_literal(&Literal::le(xb(), Expr::constant(4)))
+            .unwrap();
+        sys.add_literal(&Literal::ge(xa(), Expr::constant(1)))
+            .unwrap();
         match sys.solve() {
             Feasibility::Feasible(sol) => {
                 let a = sol[&AttrRef::new(Var(0), ngd_graph::intern("A"))];
@@ -592,7 +624,8 @@ mod tests {
         let mut sys = ConstraintSystem::new();
         sys.add_literal(&Literal::ge(Expr::div_const(xa(), 2), Expr::constant(3)))
             .unwrap();
-        sys.add_literal(&Literal::le(xa(), Expr::constant(5))).unwrap();
+        sys.add_literal(&Literal::le(xa(), Expr::constant(5)))
+            .unwrap();
         assert_eq!(sys.solve(), Feasibility::Infeasible);
     }
 
@@ -600,8 +633,10 @@ mod tests {
     fn negated_literal_adds_complement() {
         let mut sys = ConstraintSystem::new();
         // ¬(A ≤ 3) ⇒ A > 3; combined with A < 4 over integers: infeasible.
-        sys.add_negated_literal(&Literal::le(xa(), Expr::constant(3))).unwrap();
-        sys.add_literal(&Literal::lt(xa(), Expr::constant(4))).unwrap();
+        sys.add_negated_literal(&Literal::le(xa(), Expr::constant(3)))
+            .unwrap();
+        sys.add_literal(&Literal::lt(xa(), Expr::constant(4)))
+            .unwrap();
         assert_eq!(sys.solve(), Feasibility::Infeasible);
     }
 
@@ -618,7 +653,8 @@ mod tests {
     fn unbounded_feasible_systems_find_small_witnesses() {
         // A ≥ 10 (no upper bound): witness should be found quickly.
         let mut sys = ConstraintSystem::new();
-        sys.add_literal(&Literal::ge(xa(), Expr::constant(10))).unwrap();
+        sys.add_literal(&Literal::ge(xa(), Expr::constant(10)))
+            .unwrap();
         match sys.solve() {
             Feasibility::Feasible(sol) => assert!(*sol.values().next().unwrap() >= 10),
             other => panic!("expected feasible, got {other:?}"),
@@ -628,8 +664,10 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_unknown() {
         let mut sys = ConstraintSystem::new().with_budget(1);
-        sys.add_literal(&Literal::ge(xa(), Expr::constant(0))).unwrap();
-        sys.add_literal(&Literal::ge(xb(), Expr::constant(0))).unwrap();
+        sys.add_literal(&Literal::ge(xa(), Expr::constant(0)))
+            .unwrap();
+        sys.add_literal(&Literal::ge(xb(), Expr::constant(0)))
+            .unwrap();
         sys.add_literal(&Literal::le(Expr::add(xa(), xb()), Expr::constant(100)))
             .unwrap();
         assert_eq!(sys.solve(), Feasibility::Unknown);
@@ -641,7 +679,8 @@ mod tests {
         let mut sys = ConstraintSystem::new();
         sys.add_literal(&Literal::gt(Expr::div_const(xa(), 3), Expr::constant(1)))
             .unwrap();
-        sys.add_literal(&Literal::le(xa(), Expr::constant(4))).unwrap();
+        sys.add_literal(&Literal::le(xa(), Expr::constant(4)))
+            .unwrap();
         match sys.solve() {
             Feasibility::Feasible(sol) => assert_eq!(*sol.values().next().unwrap(), 4),
             other => panic!("expected feasible, got {other:?}"),

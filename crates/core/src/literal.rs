@@ -7,12 +7,11 @@
 
 use crate::expr::{AttrRef, Expr};
 use crate::pattern::Var;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A built-in comparison predicate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -99,8 +98,17 @@ impl fmt::Display for CmpOp {
     }
 }
 
+ngd_json::impl_json_unit_enum!(CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge
+});
+
 /// A literal `lhs ⊗ rhs`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Literal {
     /// Left-hand expression.
     pub lhs: Expr,
@@ -109,6 +117,8 @@ pub struct Literal {
     /// Right-hand expression.
     pub rhs: Expr,
 }
+
+ngd_json::impl_json_struct!(Literal { lhs, op, rhs });
 
 impl Literal {
     /// Construct a literal.
@@ -231,7 +241,14 @@ mod tests {
 
     #[test]
     fn complement_is_involutive_and_correct() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.complement().complement(), op);
             for ord in [Less, Equal, Greater] {
                 assert_eq!(op.holds(ord), !op.complement().holds(ord));
@@ -241,7 +258,14 @@ mod tests {
 
     #[test]
     fn swap_mirrors_orderings() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             for ord in [Less, Equal, Greater] {
                 assert_eq!(op.holds(ord), op.swap().holds(ord.reverse()));
             }
@@ -265,7 +289,10 @@ mod tests {
         let y = Var(1);
         // a×(x.f − y.f) > c : the Twitter rule shape.
         let lit = Literal::gt(
-            Expr::scale(2, Expr::sub(Expr::attr(x, "follower"), Expr::attr(y, "follower"))),
+            Expr::scale(
+                2,
+                Expr::sub(Expr::attr(x, "follower"), Expr::attr(y, "follower")),
+            ),
             Expr::constant(1000),
         );
         assert!(lit.is_linear());
@@ -313,8 +340,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let lit = Literal::ge(Expr::attr(Var(0), "val"), Expr::constant(0));
-        let json = serde_json::to_string(&lit).unwrap();
-        let back: Literal = serde_json::from_str(&json).unwrap();
+        let json = ngd_json::to_string(&lit);
+        let back: Literal = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, lit);
     }
 }

@@ -12,7 +12,6 @@
 
 use crate::literal::Literal;
 use crate::pattern::{Pattern, Var};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised when constructing an NGD.
@@ -41,7 +40,7 @@ impl fmt::Display for NgdError {
 impl std::error::Error for NgdError {}
 
 /// A numeric graph dependency `Q[x̄](X → Y)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ngd {
     /// A human-readable rule identifier (e.g. `"phi1"`).
     pub id: String,
@@ -171,11 +170,20 @@ impl fmt::Display for Ngd {
     }
 }
 
+ngd_json::impl_json_struct!(Ngd {
+    id,
+    pattern,
+    premise,
+    consequence
+});
+
 /// A set `Σ` of NGDs used as data-quality rules.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuleSet {
     rules: Vec<Ngd>,
 }
+
+ngd_json::impl_json_struct!(RuleSet { rules });
 
 impl RuleSet {
     /// An empty rule set.
@@ -252,12 +260,12 @@ impl RuleSet {
 
     /// Serialize the rule set to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("rule set serialization cannot fail")
+        ngd_json::to_string_pretty(self)
     }
 
     /// Parse a rule set from JSON.
-    pub fn from_json(json: &str) -> Result<RuleSet, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<RuleSet, ngd_json::JsonError> {
+        ngd_json::from_str(json)
     }
 }
 

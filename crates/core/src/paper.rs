@@ -239,7 +239,10 @@ pub fn ngd1() -> Ngd {
         "ngd1",
         q,
         vec![Literal::lt(Expr::attr(y, "val"), Expr::constant(1800))],
-        vec![Literal::ne(Expr::attr(z, "val"), Expr::string("living people"))],
+        vec![Literal::ne(
+            Expr::attr(z, "val"),
+            Expr::string("living people"),
+        )],
     )
     .unwrap()
 }
@@ -285,7 +288,10 @@ pub fn ngd3() -> Ngd {
         vec![],
         vec![Literal::ge(
             Expr::attr(x, "numberOfWins"),
-            Expr::add(Expr::attr(w1, "numberOfWins"), Expr::attr(w2, "numberOfWins")),
+            Expr::add(
+                Expr::attr(w1, "numberOfWins"),
+                Expr::attr(w2, "numberOfWins"),
+            ),
         )],
     )
     .unwrap()
@@ -311,11 +317,7 @@ pub fn paper_rule_set() -> RuleSet {
 pub fn figure1_g1() -> (Graph, NodeId) {
     let mut b = GraphBuilder::new();
     b.node("bbc_trust", "institution");
-    b.node_with_attrs(
-        "created",
-        "date",
-        [("val", Value::from_date(2007, 1, 1))],
-    );
+    b.node_with_attrs("created", "date", [("val", Value::from_date(2007, 1, 1))]);
     b.node_with_attrs(
         "destroyed",
         "date",
@@ -446,7 +448,10 @@ mod tests {
 
         let separated = RuleSet::from_rules(vec![phi5(), phi6(Some("a"))]);
         assert_eq!(is_satisfiable(&separated, &cfg).unwrap(), Verdict::Yes);
-        assert_eq!(is_strongly_satisfiable(&separated, &cfg).unwrap(), Verdict::No);
+        assert_eq!(
+            is_strongly_satisfiable(&separated, &cfg).unwrap(),
+            Verdict::No
+        );
 
         let trio = RuleSet::from_rules(vec![phi7(), phi8(), phi9()]);
         assert_eq!(is_satisfiable(&trio, &cfg).unwrap(), Verdict::No);

@@ -406,7 +406,9 @@ impl Parser {
         let op = match self.next() {
             Some(Token::Symbol(s)) => CmpOp::parse(&s)
                 .ok_or_else(|| self.error(format!("expected comparison operator, found `{s}`")))?,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         let rhs = self.parse_expr()?;
         Ok(Literal::new(lhs, op, rhs))
@@ -473,7 +475,9 @@ impl Parser {
                 self.expect_symbol(".")?;
                 let attr = self.expect_ident()?;
                 let var = self.pattern.var_by_name(&name).ok_or_else(|| {
-                    self.error(format!("expression references undeclared variable `{name}`"))
+                    self.error(format!(
+                        "expression references undeclared variable `{name}`"
+                    ))
                 })?;
                 Ok(Expr::attr(var, &attr))
             }
@@ -524,7 +528,9 @@ mod tests {
         assert!(rule.premise.is_empty());
         assert_eq!(rule.consequence.len(), 1);
         assert_eq!(rule.consequence[0].op, CmpOp::Ge);
-        assert!(rule.pattern.is_wildcard(rule.pattern.var_by_name("x").unwrap()));
+        assert!(rule
+            .pattern
+            .is_wildcard(rule.pattern.var_by_name("x").unwrap()));
     }
 
     #[test]
@@ -584,7 +590,9 @@ mod tests {
 
     #[test]
     fn parse_rule_set_with_multiple_rules_and_comments() {
-        let text = format!("{PHI1}\n// second rule\nrule r2 {{ match (a:place); then a.population >= 0; }}");
+        let text = format!(
+            "{PHI1}\n// second rule\nrule r2 {{ match (a:place); then a.population >= 0; }}"
+        );
         let set = parse_rule_set(&text).unwrap();
         assert_eq!(set.len(), 2);
         assert!(set.by_id("phi1").is_some());

@@ -9,13 +9,25 @@
 //! edge onto a graph edge with the same label.
 
 use ngd_graph::{intern, resolve, Sym, WILDCARD};
-use serde::{Deserialize, Serialize};
+use ngd_json::{FromJson, Json, ToJson};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// A pattern variable (an index into the pattern's node list).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub u32);
+
+impl ToJson for Var {
+    fn to_json(&self) -> Json {
+        Json::Int(i64::from(self.0))
+    }
+}
+
+impl FromJson for Var {
+    fn from_json(value: &Json) -> ngd_json::Result<Self> {
+        u32::from_json(value).map(Var)
+    }
+}
 
 impl Var {
     /// Index of the variable in the pattern's variable list `x̄`.
@@ -31,7 +43,7 @@ impl fmt::Display for Var {
 }
 
 /// A pattern node: a named variable with a label constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PatternNode {
     /// The variable's name as written in the rule (e.g. `x`, `m1`).
     pub name: String,
@@ -40,7 +52,7 @@ pub struct PatternNode {
 }
 
 /// A pattern edge between two variables, with an edge-label constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PatternEdge {
     /// Source variable.
     pub src: Var,
@@ -50,12 +62,17 @@ pub struct PatternEdge {
     pub label: Sym,
 }
 
+ngd_json::impl_json_struct!(PatternNode { name, label });
+ngd_json::impl_json_struct!(PatternEdge { src, dst, label });
+
 /// A graph pattern `Q[x̄]`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Pattern {
     nodes: Vec<PatternNode>,
     edges: Vec<PatternEdge>,
 }
+
+ngd_json::impl_json_struct!(Pattern { nodes, edges });
 
 impl Pattern {
     /// An empty pattern.
@@ -174,8 +191,8 @@ impl Pattern {
         while let Some(v) = queue.pop_front() {
             let d = dist[&v];
             for n in self.neighbors(v) {
-                if !dist.contains_key(&n) {
-                    dist.insert(n, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                    e.insert(d + 1);
                     queue.push_back(n);
                 }
             }
@@ -346,10 +363,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let q = q1();
-        let json = serde_json::to_string(&q).unwrap();
-        let back: Pattern = serde_json::from_str(&json).unwrap();
+        let json = ngd_json::to_string(&q);
+        let back: Pattern = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, q);
     }
 }

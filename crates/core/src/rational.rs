@@ -8,16 +8,34 @@
 //! ample headroom for i64 attribute values flowing through the linear
 //! expressions the paper allows (lengths ≤ 10 in the experiments).
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
 
 /// An exact rational number `num / den` with `den > 0`, in lowest terms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
+}
+
+// i128 exceeds Json's integer range in principle; every value the
+// workspace evaluates fits i64 (attribute values are i64 flowing through
+// short linear expressions), so the JSON form is `[num, den]` as i64.
+impl ngd_json::ToJson for Rational {
+    fn to_json(&self) -> ngd_json::Json {
+        ngd_json::Json::Arr(vec![
+            ngd_json::Json::Int(self.num as i64),
+            ngd_json::Json::Int(self.den as i64),
+        ])
+    }
+}
+
+impl ngd_json::FromJson for Rational {
+    fn from_json(value: &ngd_json::Json) -> ngd_json::Result<Self> {
+        let (num, den): (i64, i64) = ngd_json::FromJson::from_json(value)?;
+        Ok(Rational::new(i128::from(num), i128::from(den)))
+    }
 }
 
 fn gcd(mut a: i128, mut b: i128) -> i128 {

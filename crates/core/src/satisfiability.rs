@@ -142,16 +142,10 @@ fn label_matches(pattern: &Pattern, var: Var, graph: &Graph, node: NodeId) -> bo
     pattern.is_wildcard(var) || pattern.label(var) == graph.label(node)
 }
 
-fn edges_consistent(
-    pattern: &Pattern,
-    graph: &Graph,
-    assignment: &[Option<NodeId>],
-) -> bool {
+fn edges_consistent(pattern: &Pattern, graph: &Graph, assignment: &[Option<NodeId>]) -> bool {
     for edge in pattern.edges() {
-        if let (Some(src), Some(dst)) = (
-            assignment[edge.src.index()],
-            assignment[edge.dst.index()],
-        ) {
+        if let (Some(src), Some(dst)) = (assignment[edge.src.index()], assignment[edge.dst.index()])
+        {
             if !graph.has_edge(src, dst, edge.label) {
                 return false;
             }
@@ -197,7 +191,10 @@ pub(crate) struct Obligation {
 impl Obligation {
     /// Build an obligation from already-rebased literal sets.
     pub(crate) fn new(premise: Vec<Literal>, consequence: Vec<Literal>) -> Self {
-        Obligation { premise, consequence }
+        Obligation {
+            premise,
+            consequence,
+        }
     }
 }
 
@@ -327,9 +324,8 @@ impl<'a> ObligationSolver<'a> {
 
     /// Branch over how obligation `index` is honoured.
     fn branch(&mut self, index: usize, presence: &mut PresenceState) -> bool {
-        match self.arithmetic_consistent(presence) {
-            Some(false) => return false,
-            Some(true) | None => {}
+        if let Some(false) = self.arithmetic_consistent(presence) {
+            return false;
         }
         let Some(obligation) = self.obligations.get(index) else {
             // All obligations honoured; final consistency check.  An
@@ -404,7 +400,11 @@ pub(crate) fn collect_obligations(
     for rule in sigma.iter() {
         for matched in enumerate_matches(&rule.pattern, model) {
             obligations.push(Obligation {
-                premise: rule.premise.iter().map(|l| rebase_literal(l, &matched)).collect(),
+                premise: rule
+                    .premise
+                    .iter()
+                    .map(|l| rebase_literal(l, &matched))
+                    .collect(),
                 consequence: rule
                     .consequence
                     .iter()
@@ -455,7 +455,11 @@ pub fn is_satisfiable(sigma: &RuleSet, config: &AnalysisConfig) -> Result<Verdic
             Verdict::No => {}
         }
     }
-    Ok(if saw_unknown { Verdict::Unknown } else { Verdict::No })
+    Ok(if saw_unknown {
+        Verdict::Unknown
+    } else {
+        Verdict::No
+    })
 }
 
 /// Is the rule set strongly satisfiable?
@@ -557,7 +561,10 @@ mod tests {
         // φ5 and φ6 over the same wildcard pattern: unsatisfiable.
         let sigma = RuleSet::from_rules(vec![phi5("_"), phi6("_")]);
         assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
-        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+        assert_eq!(
+            is_strongly_satisfiable(&sigma, &cfg()).unwrap(),
+            Verdict::No
+        );
     }
 
     #[test]
@@ -567,7 +574,10 @@ mod tests {
         // containing an 'a' node re-creates the conflict).
         let sigma = RuleSet::from_rules(vec![phi5("_"), phi6("a")]);
         assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
-        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+        assert_eq!(
+            is_strongly_satisfiable(&sigma, &cfg()).unwrap(),
+            Verdict::No
+        );
     }
 
     #[test]
@@ -599,14 +609,20 @@ mod tests {
         .unwrap();
         let sigma = RuleSet::from_rules(vec![phi7, phi8, phi9]);
         assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
-        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::No);
+        assert_eq!(
+            is_strongly_satisfiable(&sigma, &cfg()).unwrap(),
+            Verdict::No
+        );
     }
 
     #[test]
     fn single_consistent_rule_is_satisfiable() {
         let sigma = RuleSet::from_rules(vec![phi5("_")]);
         assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
-        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+        assert_eq!(
+            is_strongly_satisfiable(&sigma, &cfg()).unwrap(),
+            Verdict::Yes
+        );
     }
 
     #[test]
@@ -628,7 +644,10 @@ mod tests {
     fn empty_rule_set_is_satisfiable() {
         let sigma = RuleSet::new();
         assert_eq!(is_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
-        assert_eq!(is_strongly_satisfiable(&sigma, &cfg()).unwrap(), Verdict::Yes);
+        assert_eq!(
+            is_strongly_satisfiable(&sigma, &cfg()).unwrap(),
+            Verdict::Yes
+        );
     }
 
     #[test]
@@ -639,7 +658,10 @@ mod tests {
             q,
             vec![],
             vec![Literal::eq(
-                Expr::Mul(Box::new(Expr::attr(x(), "A")), Box::new(Expr::attr(x(), "B"))),
+                Expr::Mul(
+                    Box::new(Expr::attr(x(), "A")),
+                    Box::new(Expr::attr(x(), "B")),
+                ),
                 Expr::constant(4),
             )],
         );

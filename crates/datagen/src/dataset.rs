@@ -23,7 +23,10 @@ pub struct GeneratedGraph {
 impl GeneratedGraph {
     /// Record that `node` was seeded with an error against `rule_id`.
     pub fn record_seed(&mut self, rule_id: &str, node: NodeId) {
-        self.seeded.entry(rule_id.to_string()).or_default().push(node);
+        self.seeded
+            .entry(rule_id.to_string())
+            .or_default()
+            .push(node);
     }
 
     /// Total number of seeded error entities across all rules.

@@ -21,9 +21,8 @@
 //! ground truth.  Detection never reads the ground truth — only the graph.
 
 use crate::dataset::GeneratedGraph;
+use crate::rng::StdRng;
 use ngd_graph::{AttrMap, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the knowledge-base simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -138,10 +137,21 @@ pub fn generate_knowledge(config: &KnowledgeConfig) -> GeneratedGraph {
 /// knowledge base).  Only entity-labelled nodes are linked, so the filler
 /// never changes the truth value of any paper rule.
 fn generate_filler_links(config: &KnowledgeConfig, rng: &mut StdRng, out: &mut GeneratedGraph) {
-    let entities: Vec<_> = ["institution", "area", "place", "person", "competition", "team"]
-        .iter()
-        .flat_map(|label| out.graph.nodes_with_label(ngd_graph::intern(label)).to_vec())
-        .collect();
+    let entities: Vec<_> = [
+        "institution",
+        "area",
+        "place",
+        "person",
+        "competition",
+        "team",
+    ]
+    .iter()
+    .flat_map(|label| {
+        out.graph
+            .nodes_with_label(ngd_graph::intern(label))
+            .to_vec()
+    })
+    .collect();
     if entities.len() < 2 {
         return;
     }
@@ -187,7 +197,9 @@ fn generate_institutions(
             "date",
             AttrMap::from_pairs([("val", Value::from_date(destroyed_year, 6, 15))]),
         );
-        out.graph.add_edge_named(inst, created, "wasCreatedOnDate").unwrap();
+        out.graph
+            .add_edge_named(inst, created, "wasCreatedOnDate")
+            .unwrap();
         out.graph
             .add_edge_named(inst, destroyed, "wasDestroyedOnDate")
             .unwrap();
@@ -218,9 +230,13 @@ fn generate_areas(
         let f = out.graph.add_node_named("integer", int_attrs(female));
         let m = out.graph.add_node_named("integer", int_attrs(male));
         let t = out.graph.add_node_named("integer", int_attrs(total));
-        out.graph.add_edge_named(area, f, "femalePopulation").unwrap();
+        out.graph
+            .add_edge_named(area, f, "femalePopulation")
+            .unwrap();
         out.graph.add_edge_named(area, m, "malePopulation").unwrap();
-        out.graph.add_edge_named(area, t, "populationTotal").unwrap();
+        out.graph
+            .add_edge_named(area, t, "populationTotal")
+            .unwrap();
         if bad {
             out.record_seed("phi2", area);
         }
@@ -263,7 +279,9 @@ fn generate_regions(config: &KnowledgeConfig, rng: &mut StdRng, out: &mut Genera
             let rk = out.graph.add_node_named("integer", int_attrs(rank));
             out.graph.add_edge_named(place, region, "partOf").unwrap();
             out.graph.add_edge_named(place, pop, "population").unwrap();
-            out.graph.add_edge_named(place, rk, "populationRank").unwrap();
+            out.graph
+                .add_edge_named(place, rk, "populationRank")
+                .unwrap();
             out.graph.add_edge_named(pop, census, "date").unwrap();
             if idx >= 1 && swapped_at == Some(idx - 1) {
                 // The less-populous place of the swapped pair (index i+1 of
@@ -423,9 +441,15 @@ mod tests {
     #[test]
     fn yago_like_omits_dbpedia_specific_families() {
         let generated = generate_knowledge(&KnowledgeConfig::yago_like(2));
-        assert!(generated.graph.nodes_with_label(intern("competition")).is_empty());
+        assert!(generated
+            .graph
+            .nodes_with_label(intern("competition"))
+            .is_empty());
         assert!(generated.graph.nodes_with_label(intern("team")).is_empty());
-        assert!(!generated.graph.nodes_with_label(intern("institution")).is_empty());
+        assert!(!generated
+            .graph
+            .nodes_with_label(intern("institution"))
+            .is_empty());
         assert!(!generated.graph.nodes_with_label(intern("area")).is_empty());
     }
 

@@ -30,6 +30,7 @@
 
 pub mod dataset;
 pub mod knowledge;
+pub mod rng;
 pub mod rules;
 pub mod social;
 pub mod synthetic;
@@ -37,6 +38,7 @@ pub mod updates;
 
 pub use dataset::GeneratedGraph;
 pub use knowledge::{generate_knowledge, KnowledgeConfig};
+pub use rng::StdRng;
 pub use rules::{generate_rules, RuleGenConfig};
 pub use social::{generate_social, SocialConfig};
 pub use synthetic::{generate_synthetic, SyntheticConfig};

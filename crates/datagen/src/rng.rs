@@ -1,0 +1,165 @@
+//! A small deterministic RNG for the data simulators.
+//!
+//! The generators only need reproducible uniform draws, not cryptographic
+//! quality, so this is a self-contained SplitMix64 (the stream used to seed
+//! xoshiro-family generators: excellent equidistribution for 64-bit
+//! outputs, trivially seedable, no external dependency).  The API mirrors
+//! the subset of `rand::rngs::StdRng` the generators use — `seed_from_u64`,
+//! `gen_range` over integer ranges, `gen_bool` — so generator code reads
+//! the same as it would against `rand`.
+//!
+//! Determinism contract: a given seed produces the same stream on every
+//! platform and in every release of this workspace.  Changing the stream
+//! invalidates recorded experiment baselines, so don't.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching `rand`'s contract.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits, the conventional u64 → f64 reduction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Widening-multiply range reduction (Lemire); the slight bias
+        // without the rejection step is irrelevant for simulation and
+        // keeps the stream a pure function of the draw count.
+        ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+}
+
+/// Integer ranges [`StdRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+/// Integer element types usable with [`StdRng::gen_range`].  Generic (like
+/// `rand`'s `SampleUniform`) so that integer-literal ranges unify with the
+/// surrounding expression's type instead of defaulting to `i32`.
+pub trait SampleUniform: Copy {
+    /// Widen to a common signed type.
+    fn to_i128(self) -> i128;
+    /// Narrow back (the value is always within the sampled range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),+) => {
+        $(
+            impl SampleUniform for $ty {
+                fn to_i128(self) -> i128 {
+                    self as i128
+                }
+                fn from_i128(v: i128) -> Self {
+                    v as $ty
+                }
+            }
+        )+
+    };
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(lo + rng.below((hi - lo) as u64) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(lo + rng.below((hi - lo + 1) as u64) as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+        // Single-point inclusive range is valid.
+        assert_eq!(rng.gen_range(9..=9), 9);
+    }
+
+    #[test]
+    fn range_draws_cover_the_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

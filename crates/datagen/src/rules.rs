@@ -24,11 +24,10 @@
 //! only see the rule set — which is why this substitution is sound for the
 //! paper's experiments (DESIGN.md §5).
 
+use crate::rng::StdRng;
 use ngd_core::eval::{eval_expr, Evaluated};
 use ngd_core::{CmpOp, Expr, Literal, Ngd, Pattern, RuleSet, Var};
 use ngd_graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// Configuration of the rule generator.
@@ -211,12 +210,7 @@ fn eval_on_sample(expr: &Expr, graph: &Graph, assignment: &[NodeId]) -> Option<i
 }
 
 /// Build a literal `expr ⊗ c` that holds (or fails) on the sampled match.
-fn pivot_literal(
-    expr: Expr,
-    value: i64,
-    hold: bool,
-    rng: &mut StdRng,
-) -> Literal {
+fn pivot_literal(expr: Expr, value: i64, hold: bool, rng: &mut StdRng) -> Literal {
     // `expr` evaluates to at least `value` (its floor) on the sample, and
     // to at most `value + 1`.
     let op_holds: &[(CmpOp, i64)] = &[
@@ -368,7 +362,9 @@ mod tests {
         let graph = sample_graph();
         let all = generate_rules(
             &graph,
-            &RuleGenConfig::paper_style(10, 4).with_violation_prob(1.0).with_seed(3),
+            &RuleGenConfig::paper_style(10, 4)
+                .with_violation_prob(1.0)
+                .with_seed(3),
         );
         assert_eq!(all.len(), 10);
         for rule in all.iter() {
@@ -397,6 +393,9 @@ mod tests {
         let mut shapes: Vec<String> = sigma.iter().map(|r| r.pattern.describe()).collect();
         shapes.sort();
         shapes.dedup();
-        assert!(shapes.len() * 10 >= sigma.len() * 8, "too many duplicate patterns");
+        assert!(
+            shapes.len() * 10 >= sigma.len() * 8,
+            "too many duplicate patterns"
+        );
     }
 }

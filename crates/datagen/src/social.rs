@@ -16,9 +16,8 @@
 //!   work with.
 
 use crate::dataset::GeneratedGraph;
+use crate::rng::StdRng;
 use ngd_graph::{AttrMap, NodeId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the social-network simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,10 +87,9 @@ fn add_account(
     let account = out.graph.add_node_named("account", AttrMap::new());
     let m = int_node(out, following);
     let n = int_node(out, follower);
-    let status = out.graph.add_node_named(
-        "boolean",
-        AttrMap::from_pairs([("val", Value::Bool(real))]),
-    );
+    let status = out
+        .graph
+        .add_node_named("boolean", AttrMap::from_pairs([("val", Value::Bool(real))]));
     out.graph.add_edge_named(account, company, "keys").unwrap();
     out.graph.add_edge_named(account, m, "following").unwrap();
     out.graph.add_edge_named(account, n, "follower").unwrap();
@@ -112,7 +110,13 @@ pub fn generate_social(config: &SocialConfig) -> GeneratedGraph {
         let company = out.graph.add_node_named("company", AttrMap::new());
         let verified_following = rng.gen_range(5_000..50_000);
         let verified_follower = rng.gen_range(50_000..500_000);
-        add_account(&mut out, company, verified_following, verified_follower, true);
+        add_account(
+            &mut out,
+            company,
+            verified_following,
+            verified_follower,
+            true,
+        );
         for _ in 1..config.accounts_per_company.max(1) {
             let fake = rng.gen_bool(config.fake_rate.clamp(0.0, 1.0));
             if fake {
@@ -222,7 +226,10 @@ mod tests {
         let generated = generate_social(&SocialConfig::pokec_like(4));
         let stats = generated.stats();
         let profiles = generated.graph.nodes_with_label(intern("profile")).len();
-        assert!(profiles * 2 > stats.nodes, "profiles must dominate the node count");
+        assert!(
+            profiles * 2 > stats.nodes,
+            "profiles must dominate the node count"
+        );
         // Pokec is an order of magnitude denser than DBpedia/YAGO2; the
         // simulation preserves that relationship (checked end-to-end in the
         // integration tests), here we just require a healthy average degree.

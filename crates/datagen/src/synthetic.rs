@@ -9,9 +9,8 @@
 //! distribution is skewed like real graphs (which is what stresses the
 //! parallel detector's work-splitting).
 
+use crate::rng::StdRng;
 use ngd_graph::{intern, AttrMap, Graph, NodeId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration of the synthetic generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +74,10 @@ pub fn generate_synthetic(config: &SyntheticConfig) -> Graph {
     for _ in 0..config.nodes {
         let label = intern(&format!("L{}", rng.gen_range(0..config.node_labels.max(1))));
         let mut attrs = AttrMap::new();
-        attrs.set_named("val", Value::Int(rng.gen_range(0..config.value_range.max(1))));
+        attrs.set_named(
+            "val",
+            Value::Int(rng.gen_range(0..config.value_range.max(1))),
+        );
         graph.add_node(label, attrs);
     }
     if config.nodes == 0 {
@@ -117,7 +119,11 @@ mod tests {
         assert_eq!(g.node_count(), 2_000);
         // Duplicate skipping can shave a few edges off, never add any.
         assert!(g.edge_count() <= 6_000);
-        assert!(g.edge_count() > 5_500, "edge count {} too low", g.edge_count());
+        assert!(
+            g.edge_count() > 5_500,
+            "edge count {} too low",
+            g.edge_count()
+        );
     }
 
     #[test]

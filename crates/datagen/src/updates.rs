@@ -8,9 +8,8 @@
 //! with the graph's schema (and therefore actually trigger update pivots,
 //! as real-world insertions would).
 
+use crate::rng::StdRng;
 use ngd_graph::{BatchUpdate, EdgeRef, Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Configuration of the update generator.
@@ -130,7 +129,10 @@ mod tests {
         let balanced = generate_update(&graph, &UpdateConfig::fraction(0.2).with_gamma(1.0));
         let ins = balanced.insertions().count();
         let del = balanced.deletions().count();
-        assert!((ins as i64 - del as i64).abs() <= 2, "γ=1 must balance ({ins} vs {del})");
+        assert!(
+            (ins as i64 - del as i64).abs() <= 2,
+            "γ=1 must balance ({ins} vs {del})"
+        );
 
         let insert_heavy = generate_update(&graph, &UpdateConfig::fraction(0.2).with_gamma(3.0));
         assert!(insert_heavy.insertions().count() > 2 * insert_heavy.deletions().count());
@@ -144,7 +146,9 @@ mod tests {
     fn update_applies_cleanly() {
         let graph = sample_graph();
         let update = generate_update(&graph, &UpdateConfig::fraction(0.25));
-        let updated = update.applied_to(&graph).expect("generated update must apply");
+        let updated = update
+            .applied_to(&graph)
+            .expect("generated update must apply");
         // γ = 1: the edge count stays roughly unchanged.
         let diff = (updated.edge_count() as i64 - graph.edge_count() as i64).abs();
         assert!(diff <= 2, "edge count drifted by {diff}");

@@ -17,11 +17,9 @@
 //! be tested without threads; the runtime in [`crate::pincdect`] applies the
 //! plan to the live queues.
 
-use serde::{Deserialize, Serialize};
-
 /// A planned movement of `units` work units from one worker queue to
 /// another.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Migration {
     /// Index of the over-loaded worker to take units from.
     pub from: usize,
@@ -30,6 +28,8 @@ pub struct Migration {
     /// Number of work units to move.
     pub units: usize,
 }
+
+ngd_json::impl_json_struct!(Migration { from, to, units });
 
 /// Skewness of every worker: queue length divided by the mean queue length.
 /// All-zero queues yield all-zero skewness (no work left to balance).

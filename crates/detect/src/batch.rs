@@ -6,22 +6,32 @@
 //! `PDect` is the parallel batch baseline (the paper extends the GFD
 //! detection algorithms of SIGMOD'16 to NGDs): the match space of every
 //! rule is partitioned by the candidate nodes of the rule's most selective
-//! pattern variable, and the resulting work units are processed by a
-//! work-stealing pool (`rayon`).  Each unit expands the seeded partial
-//! solution exactly like the sequential matcher, so `PDect` returns the
-//! same violation set as `Dect`.
+//! pattern variable, and the resulting work units are processed by a fixed
+//! pool of OS threads.  Each unit expands the seeded partial solution
+//! exactly like the sequential matcher, so `PDect` returns the same
+//! violation set as `Dect`.
+//!
+//! Both detectors run over any [`GraphView`] via [`dect_on`] /
+//! [`pdect_on`]; the [`Graph`]-taking entry points freeze the graph into a
+//! [`CsrSnapshot`] first, making the label-partitioned CSR representation
+//! the default hot path.
 
 use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::CostLedger;
 use crate::report::{DetectionReport, SearchStats};
 use ngd_core::{Ngd, RuleSet, Var};
-use ngd_graph::{Graph, NodeId, WILDCARD};
+use ngd_graph::{Graph, GraphView, NodeId, WILDCARD};
 use ngd_match::{Matcher, Violation, ViolationSet};
-use rayon::prelude::*;
 use std::time::Instant;
 
-/// Sequential batch detection: compute `Vio(Σ, G)`.
+/// Sequential batch detection on the default (CSR snapshot) path.
 pub fn dect(sigma: &RuleSet, graph: &Graph) -> DetectionReport {
+    let snapshot = graph.freeze();
+    dect_on(sigma, &snapshot)
+}
+
+/// Sequential batch detection over any graph view: compute `Vio(Σ, G)`.
+pub fn dect_on<G: GraphView>(sigma: &RuleSet, graph: &G) -> DetectionReport {
     let start = Instant::now();
     let mut violations = ViolationSet::new();
     let mut stats = SearchStats::default();
@@ -43,30 +53,40 @@ pub fn dect(sigma: &RuleSet, graph: &Graph) -> DetectionReport {
 
 /// The most selective pattern variable of a rule: the one with the fewest
 /// label-compatible candidates in `graph`.
-fn root_variable(rule: &Ngd, graph: &Graph) -> Option<Var> {
+fn root_variable<G: GraphView>(rule: &Ngd, graph: &G) -> Option<Var> {
     rule.pattern.vars().min_by_key(|&v| {
         let label = rule.pattern.label(v);
         if label == WILDCARD {
             graph.node_count()
         } else {
-            graph.nodes_with_label(label).len()
+            graph.label_count(label)
         }
     })
 }
 
 /// Candidate nodes for a pattern variable.
-fn candidates_for(rule: &Ngd, graph: &Graph, var: Var) -> Vec<NodeId> {
+fn candidates_for<G: GraphView>(rule: &Ngd, graph: &G, var: Var) -> Vec<NodeId> {
     let label = rule.pattern.label(var);
     if label == WILDCARD {
-        graph.node_ids().collect()
+        graph.node_ids_vec()
     } else {
-        graph.nodes_with_label(label).to_vec()
+        graph.nodes_with_label_vec(label)
     }
 }
 
-/// Parallel batch detection: compute `Vio(Σ, G)` with a pool of
-/// `config.processors` workers.
+/// Parallel batch detection on the default (CSR snapshot) path.
 pub fn pdect(sigma: &RuleSet, graph: &Graph, config: &DetectorConfig) -> DetectionReport {
+    let snapshot = graph.freeze();
+    pdect_on(sigma, &snapshot, config)
+}
+
+/// Parallel batch detection over any graph view with `config.processors`
+/// worker threads.
+pub fn pdect_on<G: GraphView + Sync>(
+    sigma: &RuleSet,
+    graph: &G,
+    config: &DetectorConfig,
+) -> DetectionReport {
     let start = Instant::now();
     // One work unit per (rule, candidate of the rule's root variable).
     let mut units: Vec<(usize, Var, NodeId)> = Vec::new();
@@ -78,33 +98,38 @@ pub fn pdect(sigma: &RuleSet, graph: &Graph, config: &DetectorConfig) -> Detecti
         }
     }
 
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(config.processors.max(1))
-        .build()
-        .expect("building a rayon pool cannot fail for reasonable thread counts");
-
-    let (violations, stats) = pool.install(|| {
-        units
-            .par_iter()
-            .map(|&(rule_idx, root, candidate)| {
-                let rule = &sigma.rules()[rule_idx];
-                let matcher = Matcher::new(&rule.pattern, graph);
-                let (matches, run_stats) =
-                    matcher.expand_seeded(&[(root, candidate)], Some(rule));
-                let set: ViolationSet = matches
-                    .into_iter()
-                    .map(|m| Violation::new(rule.id.clone(), m))
-                    .collect();
-                (set, SearchStats::from(run_stats))
+    let p = config.processors.max(1);
+    let units_ref = &units;
+    let (violations, stats) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let mut set = ViolationSet::new();
+                    let mut stats = SearchStats::default();
+                    // Strided assignment keeps the per-thread load even when
+                    // consecutive units (same rule) have similar cost.
+                    for &(rule_idx, root, candidate) in units_ref.iter().skip(worker).step_by(p) {
+                        let rule = &sigma.rules()[rule_idx];
+                        let matcher = Matcher::new(&rule.pattern, graph);
+                        let (matches, run_stats) =
+                            matcher.expand_seeded(&[(root, candidate)], Some(rule));
+                        for m in matches {
+                            set.insert(Violation::new(rule.id.clone(), m));
+                        }
+                        stats.merge(&SearchStats::from(run_stats));
+                    }
+                    (set, stats)
+                })
             })
-            .reduce(
-                || (ViolationSet::new(), SearchStats::default()),
-                |(mut va, mut sa), (vb, sb)| {
-                    va.extend(vb);
-                    sa.merge(&sb);
-                    (va, sa)
-                },
-            )
+            .collect();
+        let mut violations = ViolationSet::new();
+        let mut stats = SearchStats::default();
+        for handle in handles {
+            let (set, s) = handle.join().expect("PDect worker must not panic");
+            violations.extend(set);
+            stats.merge(&s);
+        }
+        (violations, stats)
     });
 
     DetectionReport {
@@ -138,11 +163,7 @@ mod tests {
             }
             for e in g.edges() {
                 combined
-                    .add_edge(
-                        NodeId(e.src.0 + offset),
-                        NodeId(e.dst.0 + offset),
-                        e.label,
-                    )
+                    .add_edge(NodeId(e.src.0 + offset), NodeId(e.dst.0 + offset), e.label)
                     .unwrap();
             }
         }
@@ -159,6 +180,18 @@ mod tests {
         assert_eq!(report.violation_count(), 4);
         assert!(report.stats.expanded > 0);
         assert_eq!(report.algorithm, AlgorithmKind::Dect);
+    }
+
+    #[test]
+    fn csr_and_adjacency_paths_agree() {
+        let graph = paper_graph();
+        let sigma = paper::paper_rule_set();
+        let adjacency = dect_on(&sigma, &graph);
+        let snapshot = graph.freeze();
+        let csr = dect_on(&sigma, &snapshot);
+        assert_eq!(adjacency.violations, csr.violations);
+        // The Graph entry point routes through the snapshot.
+        assert_eq!(dect(&sigma, &graph).violations, csr.violations);
     }
 
     #[test]

@@ -8,10 +8,8 @@
 //! `workload_balancing`) produce the paper's `PIncDect_ns`, `PIncDect_nb`
 //! and `PIncDect_NO` variants.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration shared by the parallel detectors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectorConfig {
     /// Number of worker "processors" `p`.
     pub processors: usize,
@@ -108,9 +106,19 @@ impl DetectorConfig {
     }
 }
 
+ngd_json::impl_json_struct!(DetectorConfig {
+    processors,
+    latency_c,
+    balance_interval_ms,
+    skew_high,
+    skew_low,
+    work_splitting,
+    workload_balancing,
+});
+
 /// Which algorithm variant a report came from (used by the experiment
 /// harness to label series like the paper's figures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// Sequential batch detection.
     Dect,
@@ -127,6 +135,16 @@ pub enum AlgorithmKind {
     /// Parallel incremental, neither splitting nor balancing.
     PIncDectNo,
 }
+
+ngd_json::impl_json_unit_enum!(AlgorithmKind {
+    Dect,
+    PDect,
+    IncDect,
+    PIncDect,
+    PIncDectNs,
+    PIncDectNb,
+    PIncDectNo,
+});
 
 impl AlgorithmKind {
     /// Display name matching the paper's figure legends.

@@ -15,8 +15,6 @@
 //! of paid latency units lets the experiment harness reproduce the shape of
 //! Figure 4(m) (performance as a function of `C`).
 
-use serde::{Deserialize, Serialize};
-
 /// Sequential cost of expanding against an adjacency list of length
 /// `adj_len`.
 pub fn sequential_cost(adj_len: usize) -> f64 {
@@ -39,7 +37,7 @@ pub fn should_split(c: f64, k: usize, adj_len: usize, p: usize) -> bool {
 /// Communication cost ledger: counts the latency units paid for splitting
 /// and the adjacency entries scanned, so that modelled runtimes (e.g. for
 /// the `C`-sweep experiment) can be derived from a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostLedger {
     /// Total `C·(k+1)`-style latency units paid for broadcasts/splits.
     pub latency_units: f64,
@@ -52,6 +50,14 @@ pub struct CostLedger {
     /// Number of work units migrated by the workload balancer.
     pub migrations: u64,
 }
+
+ngd_json::impl_json_struct!(CostLedger {
+    latency_units,
+    scanned,
+    splits,
+    local_expansions,
+    migrations,
+});
 
 impl CostLedger {
     /// Record a split of a partial solution of size `k + 1`.

@@ -15,25 +15,44 @@ use crate::config::AlgorithmKind;
 use crate::cost::CostLedger;
 use crate::report::{DeltaReport, SearchStats};
 use ngd_core::RuleSet;
-use ngd_graph::{d_neighbors_many, BatchUpdate, EdgeRef, Graph};
+use ngd_graph::{
+    d_neighbors_many, BatchUpdate, CsrSnapshot, DeltaOverlay, EdgeRef, Graph, GraphView,
+};
 use ngd_match::{delta_violations, MatchStats};
 use std::time::Instant;
 
-/// Run `IncDect` on a graph and a batch update.  The updated graph
-/// `G ⊕ ΔG` is materialised internally; use [`inc_dect_prepared`] when the
-/// caller already has it.
+/// Run `IncDect` on a graph and a batch update.
+///
+/// Default path: the graph is frozen into a [`CsrSnapshot`] (an `O(|G|)`
+/// cost paid by *this* convenience entry point, once per call) and the
+/// updated side is a [`DeltaOverlay`], so `G ⊕ ΔG` is never materialised.
+/// Callers streaming many batches should freeze once and use
+/// [`inc_dect_snapshot`], whose per-batch cost is the `O(|ΔG|)`-local one
+/// the paper's localizability result promises; [`inc_dect_prepared`]
+/// accepts both sides as arbitrary [`GraphView`]s.
 pub fn inc_dect(sigma: &RuleSet, graph: &Graph, delta: &BatchUpdate) -> DeltaReport {
-    let updated = delta
-        .applied_to(graph)
-        .expect("batch update must apply cleanly to the graph");
-    inc_dect_prepared(sigma, graph, &updated, delta)
+    let snapshot = graph.freeze();
+    inc_dect_snapshot(sigma, &snapshot, delta)
 }
 
-/// Run `IncDect` when both `G` and `G ⊕ ΔG` are already materialised.
-pub fn inc_dect_prepared(
+/// Run `IncDect` over a reusable frozen snapshot: `G` is the snapshot
+/// itself, `G ⊕ ΔG` is an overlay built in `O(|ΔG|)`.
+pub fn inc_dect_snapshot(
     sigma: &RuleSet,
-    old_graph: &Graph,
-    new_graph: &Graph,
+    snapshot: &CsrSnapshot,
+    delta: &BatchUpdate,
+) -> DeltaReport {
+    let old_view = snapshot.as_overlay();
+    let new_view = DeltaOverlay::new(snapshot, delta);
+    inc_dect_prepared(sigma, &old_view, &new_view, delta)
+}
+
+/// Run `IncDect` when both `G` and `G ⊕ ΔG` are already available as
+/// graph views.
+pub fn inc_dect_prepared<GOld: GraphView, GNew: GraphView>(
+    sigma: &RuleSet,
+    old_graph: &GOld,
+    new_graph: &GNew,
     delta: &BatchUpdate,
 ) -> DeltaReport {
     let start = Instant::now();
@@ -41,8 +60,7 @@ pub fn inc_dect_prepared(
     let deleted: Vec<EdgeRef> = delta.deletions().collect();
     let (delta_vio, stats) = delta_violations(sigma, old_graph, new_graph, &inserted, &deleted);
     let elapsed = start.elapsed();
-    let neighborhood =
-        d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
+    let neighborhood = d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
     DeltaReport {
         algorithm: AlgorithmKind::IncDect,
         delta: delta_vio,
@@ -143,7 +161,11 @@ mod tests {
         // No pivots are triggered, so no candidates are inspected at all.
         assert_eq!(report.stats.candidates_inspected, 0);
         // The dΣ-neighbourhood is a small slice of the chain, not the graph.
-        assert!(report.neighborhood_nodes < 20, "{}", report.neighborhood_nodes);
+        assert!(
+            report.neighborhood_nodes < 20,
+            "{}",
+            report.neighborhood_nodes
+        );
     }
 
     #[test]

@@ -62,9 +62,9 @@ pub mod pincdect;
 pub mod report;
 
 pub use balance::{plan_migrations, skewness, Migration};
-pub use batch::{dect, pdect};
+pub use batch::{dect, dect_on, pdect, pdect_on};
 pub use config::{AlgorithmKind, DetectorConfig};
 pub use cost::{parallel_cost, sequential_cost, should_split, CostLedger};
-pub use incdect::{inc_dect, inc_dect_prepared};
+pub use incdect::{inc_dect, inc_dect_prepared, inc_dect_snapshot};
 pub use pincdect::{pinc_dect, pinc_dect_prepared};
 pub use report::{DeltaReport, DetectionReport, SearchStats};

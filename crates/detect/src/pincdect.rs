@@ -10,11 +10,12 @@
 //!    solution from its own queue, generates the candidates of the next
 //!    pattern variable from the adjacency list of an already-matched node,
 //!    and either
-//!    * **splits** the candidate list across all workers when the paper's
-//!      cost model says the parallel route is cheaper
-//!      (`C·(k+1) + |adj|/p < |adj|`), or
-//!    * extends the partial solution locally, pushing the viable children
-//!      back onto its own queue.
+//!      * **splits** the candidate list across all workers when the paper's
+//!        cost model says the parallel route is cheaper
+//!        (`C·(k+1) + |adj|/p < |adj|`), or
+//!      * extends the partial solution locally, pushing the viable children
+//!        back onto its own queue.
+//!
 //!    Complete assignments are checked for violation and against the
 //!    "other side" graph so that the result is exactly
 //!    `ΔVio = (ΔVio⁺, ΔVio⁻)`.
@@ -37,12 +38,12 @@ use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::{should_split, CostLedger};
 use crate::report::{DeltaReport, SearchStats};
 use ngd_core::{is_violation, Ngd, RuleSet, Var};
-use ngd_graph::{d_neighbors_many, BatchUpdate, EdgeRef, Graph, NodeId};
+use ngd_graph::{d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView, NodeId};
 use ngd_match::{edge_ranks, pattern_matches, update_pivots, DeltaViolations, Matcher, Violation};
-use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Which half of the delta a work unit contributes to.
@@ -85,10 +86,10 @@ struct WorkerOutput {
 }
 
 /// Shared runtime state of one `PIncDect` invocation.
-struct Runtime<'a> {
+struct Runtime<'a, V: GraphView> {
     sigma: &'a RuleSet,
-    old_graph: &'a Graph,
-    new_graph: &'a Graph,
+    old_graph: &'a V,
+    new_graph: &'a V,
     /// Rank of each inserted edge in `ΔG⁺` (pivot de-duplication).
     inserted_ranks: HashMap<ngd_graph::EdgeRef, usize>,
     /// Rank of each deleted edge in `ΔG⁻`.
@@ -103,8 +104,8 @@ struct Runtime<'a> {
     done: AtomicBool,
 }
 
-impl<'a> Runtime<'a> {
-    fn graphs_for(&self, phase: Phase) -> (&'a Graph, &'a Graph) {
+impl<'a, V: GraphView> Runtime<'a, V> {
+    fn graphs_for(&self, phase: Phase) -> (&'a V, &'a V) {
         match phase {
             Phase::Added => (self.new_graph, self.old_graph),
             Phase::Removed => (self.old_graph, self.new_graph),
@@ -121,14 +122,20 @@ impl<'a> Runtime<'a> {
     /// Enqueue a unit on a specific worker queue.
     fn push(&self, worker: usize, unit: WorkUnit) {
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.queues[worker].lock().push_back(unit);
+        self.queues[worker]
+            .lock()
+            .expect("queue lock poisoned")
+            .push_back(unit);
     }
 
     /// Pop the next unit for a worker (LIFO on its own queue, so expansion
     /// is depth-first and queue memory stays bounded; the balancer moves
     /// the oldest — shallowest, hence largest — units from the front).
     fn pop(&self, worker: usize) -> Option<WorkUnit> {
-        let unit = self.queues[worker].lock().pop_back();
+        let unit = self.queues[worker]
+            .lock()
+            .expect("queue lock poisoned")
+            .pop_back();
         if unit.is_some() {
             // Order matters for termination detection: mark the worker
             // active *before* discounting the queued unit, so `pending` and
@@ -151,7 +158,10 @@ impl<'a> Runtime<'a> {
     }
 
     fn queue_lengths(&self) -> Vec<usize> {
-        self.queues.iter().map(|q| q.lock().len()).collect()
+        self.queues
+            .iter()
+            .map(|q| q.lock().expect("queue lock poisoned").len())
+            .collect()
     }
 
     /// Expand one work unit on behalf of `worker`, writing results into
@@ -169,7 +179,11 @@ impl<'a> Runtime<'a> {
             depth += 1;
         }
         if depth == unit.order.len() {
-            let complete: Vec<NodeId> = unit.assignment.iter().map(|n| n.expect("complete")).collect();
+            let complete: Vec<NodeId> = unit
+                .assignment
+                .iter()
+                .map(|n| n.expect("complete"))
+                .collect();
             out.stats.matches_found += 1;
             if is_violation(rule, search_graph, &complete)
                 && !pattern_matches(rule, other_graph, &complete)
@@ -286,7 +300,9 @@ impl<'a> Runtime<'a> {
             for migration in plan {
                 let mut moved = Vec::with_capacity(migration.units);
                 {
-                    let mut from = self.queues[migration.from].lock();
+                    let mut from = self.queues[migration.from]
+                        .lock()
+                        .expect("queue lock poisoned");
                     for _ in 0..migration.units {
                         // Take the oldest (shallowest) units: they carry the
                         // most remaining work.
@@ -303,7 +319,10 @@ impl<'a> Runtime<'a> {
                 // Moving a unit between processors is a message: account its
                 // latency so the `intvl` sweep exposes the paper's trade-off.
                 ledger.latency_units += self.config.latency_c * moved.len() as f64;
-                self.queues[migration.to].lock().extend(moved);
+                self.queues[migration.to]
+                    .lock()
+                    .expect("queue lock poisoned")
+                    .extend(moved);
             }
         }
         ledger
@@ -313,11 +332,11 @@ impl<'a> Runtime<'a> {
 /// Create the initial work units (update pivots) of one rule for one phase.
 /// The `ranks` map drives the pivot de-duplication: the unit created for
 /// the `rank`-th updated edge never expands into an earlier updated edge.
-fn pivot_units(
+fn pivot_units<G: GraphView>(
     rule_idx: usize,
     rule: &Ngd,
     phase: Phase,
-    search_graph: &Graph,
+    search_graph: &G,
     edges: &[EdgeRef],
     ranks: &HashMap<EdgeRef, usize>,
 ) -> Vec<WorkUnit> {
@@ -365,23 +384,28 @@ fn pivot_units(
 /// Run `PIncDect` (or one of its ablation variants, depending on
 /// `config.work_splitting` / `config.workload_balancing`) on a graph and a
 /// batch update.
+///
+/// Default path: the graph is frozen once and both sides of the run are
+/// [`DeltaOverlay`]s over the snapshot (the old side with no pending
+/// update), so `G ⊕ ΔG` is never materialised.
 pub fn pinc_dect(
     sigma: &RuleSet,
     graph: &Graph,
     delta: &BatchUpdate,
     config: &DetectorConfig,
 ) -> DeltaReport {
-    let updated = delta
-        .applied_to(graph)
-        .expect("batch update must apply cleanly to the graph");
-    pinc_dect_prepared(sigma, graph, &updated, delta, config)
+    let snapshot = graph.freeze();
+    let old_view = snapshot.as_overlay();
+    let new_view = DeltaOverlay::new(&snapshot, delta);
+    pinc_dect_prepared(sigma, &old_view, &new_view, delta, config)
 }
 
-/// Run `PIncDect` when both `G` and `G ⊕ ΔG` are already materialised.
-pub fn pinc_dect_prepared(
+/// Run `PIncDect` when both `G` and `G ⊕ ΔG` are already available as
+/// graph views (of the same representation).
+pub fn pinc_dect_prepared<V: GraphView + Sync>(
     sigma: &RuleSet,
-    old_graph: &Graph,
-    new_graph: &Graph,
+    old_graph: &V,
+    new_graph: &V,
     delta: &BatchUpdate,
     config: &DetectorConfig,
 ) -> DeltaReport {
@@ -455,8 +479,7 @@ pub fn pinc_dect_prepared(
     }
 
     let elapsed = start.elapsed();
-    let neighborhood =
-        d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
+    let neighborhood = d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
     let algorithm = match (config.work_splitting, config.workload_balancing) {
         (true, true) => AlgorithmKind::PIncDect,
         (false, true) => AlgorithmKind::PIncDectNs,
@@ -495,18 +518,12 @@ mod tests {
             .expect("figure 1 G4 has a real account besides the fake one");
         for i in 0..98 {
             let acct = g.add_node_named("account", AttrMap::new());
-            let following = g.add_node_named(
-                "integer",
-                AttrMap::from_pairs([("val", Value::Int(1))]),
-            );
-            let follower = g.add_node_named(
-                "integer",
-                AttrMap::from_pairs([("val", Value::Int(2))]),
-            );
-            let status = g.add_node_named(
-                "boolean",
-                AttrMap::from_pairs([("val", Value::Bool(true))]),
-            );
+            let following =
+                g.add_node_named("integer", AttrMap::from_pairs([("val", Value::Int(1))]));
+            let follower =
+                g.add_node_named("integer", AttrMap::from_pairs([("val", Value::Int(2))]));
+            let status =
+                g.add_node_named("boolean", AttrMap::from_pairs([("val", Value::Bool(true))]));
             g.add_edge_named(acct, company, "keys").unwrap();
             g.add_edge_named(acct, following, "following").unwrap();
             g.add_edge_named(acct, follower, "follower").unwrap();

@@ -8,11 +8,10 @@
 use crate::config::AlgorithmKind;
 use crate::cost::CostLedger;
 use ngd_match::{DeltaViolations, MatchStats, ViolationSet};
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Matcher statistics in serializable form.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Search-tree nodes expanded.
     pub expanded: usize,
@@ -41,8 +40,14 @@ impl SearchStats {
     }
 }
 
+ngd_json::impl_json_struct!(SearchStats {
+    expanded,
+    candidates_inspected,
+    matches_found
+});
+
 /// Report of a batch detection run (`Vio(Σ, G)`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DetectionReport {
     /// Which algorithm produced the report.
     pub algorithm: AlgorithmKind,
@@ -65,8 +70,17 @@ impl DetectionReport {
     }
 }
 
+ngd_json::impl_json_struct!(DetectionReport {
+    algorithm,
+    violations,
+    elapsed,
+    stats,
+    cost,
+    processors,
+});
+
 /// Report of an incremental detection run (`ΔVio(Σ, G, ΔG)`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeltaReport {
     /// Which algorithm produced the report.
     pub algorithm: AlgorithmKind,
@@ -84,6 +98,16 @@ pub struct DeltaReport {
     /// the localizability guarantee bounds the work by.
     pub neighborhood_nodes: usize,
 }
+
+ngd_json::impl_json_struct!(DeltaReport {
+    algorithm,
+    delta,
+    elapsed,
+    stats,
+    cost,
+    processors,
+    neighborhood_nodes,
+});
 
 impl DeltaReport {
     /// Total number of changed violations.
@@ -127,8 +151,8 @@ mod tests {
             cost: CostLedger::default(),
             processors: 1,
         };
-        let json = serde_json::to_string(&report).unwrap();
-        let back: DetectionReport = serde_json::from_str(&json).unwrap();
+        let json = ngd_json::to_string(&report);
+        let back: DetectionReport = ngd_json::from_str(&json).unwrap();
         assert_eq!(back.violation_count(), 1);
         assert_eq!(back.algorithm, AlgorithmKind::Dect);
     }

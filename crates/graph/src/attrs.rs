@@ -8,10 +8,9 @@
 
 use crate::interner::{intern, Sym};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// An attribute tuple: a set of `(name, value)` pairs with distinct names.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AttrMap {
     /// Sorted by attribute symbol for deterministic iteration and O(log n)
     /// lookup.
@@ -106,6 +105,8 @@ impl AttrMap {
     }
 }
 
+ngd_json::impl_json_struct!(AttrMap { entries });
+
 impl<S: AsRef<str>> FromIterator<(S, Value)> for AttrMap {
     fn from_iter<I: IntoIterator<Item = (S, Value)>>(iter: I) -> Self {
         AttrMap::from_pairs(iter)
@@ -173,10 +174,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let attrs = AttrMap::from_pairs([("pop", Value::Int(10)), ("nm", Value::from("v"))]);
-        let json = serde_json::to_string(&attrs).unwrap();
-        let back: AttrMap = serde_json::from_str(&json).unwrap();
+        let json = ngd_json::to_string(&attrs);
+        let back: AttrMap = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, attrs);
     }
 }

@@ -105,7 +105,11 @@ mod tests {
     #[test]
     fn builds_named_nodes_and_edges() {
         let mut b = GraphBuilder::new();
-        b.node_with_attrs("bhonpur", "village", [("femalePopulation", Value::Int(600))]);
+        b.node_with_attrs(
+            "bhonpur",
+            "village",
+            [("femalePopulation", Value::Int(600))],
+        );
         b.node("india", "country");
         b.edge("bhonpur", "india", "locatedIn");
         let (g, names) = b.build_with_names();
@@ -149,7 +153,10 @@ mod tests {
         b.node("v", "place");
         b.set_attr("v", "population", Value::Int(42));
         let (g, names) = b.build_with_names();
-        assert_eq!(g.attr(names["v"], intern("population")), Some(&Value::Int(42)));
+        assert_eq!(
+            g.attr(names["v"], intern("population")),
+            Some(&Value::Int(42))
+        );
     }
 
     #[test]

@@ -1,0 +1,492 @@
+//! Frozen, label-partitioned CSR graph snapshots.
+//!
+//! [`CsrSnapshot`] is the read-optimised twin of [`Graph`]: an immutable
+//! compressed-sparse-row representation whose per-node neighbour runs are
+//! sorted by `(edge label, neighbour)`, so that
+//!
+//! * the matcher's candidate-selection step — "neighbours of `v` along
+//!   edges labelled `l`" — is a binary search yielding a **contiguous
+//!   slice** instead of a filter-scan over a heap-allocated list;
+//! * `has_edge` is two binary searches over cache-resident arrays instead
+//!   of a hash lookup;
+//! * the node set is label-partitioned (a permutation array grouped by
+//!   label), so "all nodes labelled `l`" is a contiguous range; and
+//! * a `(source label, edge label, destination label)` **triple index**
+//!   maps every label triple to the contiguous run of its edges, which the
+//!   matcher uses to seed its first variable on label-skewed workloads.
+//!
+//! Freezing is a single `O(|V| + |E| log |E|)` pass ([`Graph::freeze`]);
+//! updates keep flowing through the mutable [`Graph`] / `BatchUpdate`
+//! machinery, and the incremental detectors search a snapshot plus an
+//! unapplied update through [`crate::DeltaOverlay`].
+
+use crate::graph::{EdgeRef, Graph, NodeData, NodeId};
+use crate::interner::Sym;
+use crate::value::Value;
+use crate::view::GraphView;
+use std::collections::HashMap;
+
+/// One direction (out or in) of the CSR adjacency.
+#[derive(Debug, Clone, Default)]
+struct CsrSide {
+    /// `offsets[v]..offsets[v + 1]` indexes the run of node `v`.
+    offsets: Vec<u32>,
+    /// Edge label of each entry; runs are sorted by `(label, neighbour)`.
+    labels: Vec<Sym>,
+    /// Neighbour of each entry.
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrSide {
+    fn build(lists: Vec<Vec<(Sym, NodeId)>>) -> CsrSide {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut side = CsrSide {
+            offsets: Vec::with_capacity(lists.len() + 1),
+            labels: Vec::with_capacity(total),
+            neighbors: Vec::with_capacity(total),
+        };
+        side.offsets.push(0);
+        for mut list in lists {
+            list.sort_unstable();
+            for (label, neighbor) in list {
+                side.labels.push(label);
+                side.neighbors.push(neighbor);
+            }
+            side.offsets.push(side.labels.len() as u32);
+        }
+        side
+    }
+
+    #[inline]
+    fn node_range(&self, id: NodeId) -> std::ops::Range<usize> {
+        self.offsets[id.index()] as usize..self.offsets[id.index() + 1] as usize
+    }
+
+    #[inline]
+    fn degree(&self, id: NodeId) -> usize {
+        let r = self.node_range(id);
+        r.end - r.start
+    }
+
+    /// The contiguous sub-range of `id`'s run whose entries carry `label`.
+    fn labeled_range(&self, id: NodeId, label: Sym) -> std::ops::Range<usize> {
+        let range = self.node_range(id);
+        let run = &self.labels[range.clone()];
+        let start = run.partition_point(|&l| l < label);
+        let end = run.partition_point(|&l| l <= label);
+        range.start + start..range.start + end
+    }
+
+    fn labeled_slice(&self, id: NodeId, label: Sym) -> &[NodeId] {
+        &self.neighbors[self.labeled_range(id, label)]
+    }
+
+    /// Binary-search for `neighbor` inside the `(id, label)` run.
+    fn contains(&self, id: NodeId, label: Sym, neighbor: NodeId) -> bool {
+        self.labeled_slice(id, label)
+            .binary_search(&neighbor)
+            .is_ok()
+    }
+}
+
+/// An immutable, label-partitioned CSR snapshot of a [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrSnapshot {
+    nodes: Vec<NodeData>,
+    out: CsrSide,
+    inn: CsrSide,
+    /// Node ids permuted so that equal labels are contiguous.
+    label_order: Vec<NodeId>,
+    /// `label → range` into [`CsrSnapshot::label_order`].
+    label_ranges: HashMap<Sym, (u32, u32)>,
+    /// `(src label, edge label, dst label) → range` into the triple arrays.
+    triple_ranges: HashMap<(Sym, Sym, Sym), (u32, u32)>,
+    /// Edge sources, grouped by label triple, each group sorted + deduped
+    /// per endpoint role on demand (stored sorted by `(src, dst)`).
+    triple_src: Vec<NodeId>,
+    /// Edge destinations, aligned with [`CsrSnapshot::triple_src`].
+    triple_dst: Vec<NodeId>,
+    edge_count: usize,
+}
+
+impl CsrSnapshot {
+    /// The nodes labelled `label`, as a contiguous slice of the
+    /// label-partitioned permutation.
+    pub fn nodes_with_label(&self, label: Sym) -> &[NodeId] {
+        match self.label_ranges.get(&label) {
+            Some(&(start, end)) => &self.label_order[start as usize..end as usize],
+            None => &[],
+        }
+    }
+
+    /// Out-neighbours of `id` along `label`, as a contiguous sorted slice.
+    pub fn out_neighbors_labeled(&self, id: NodeId, label: Sym) -> &[NodeId] {
+        self.out.labeled_slice(id, label)
+    }
+
+    /// In-neighbours of `id` along `label`, as a contiguous sorted slice.
+    pub fn in_neighbors_labeled(&self, id: NodeId, label: Sym) -> &[NodeId] {
+        self.inn.labeled_slice(id, label)
+    }
+
+    /// The `(src, dst)` pairs of every edge matching the label triple.
+    pub fn triple_edges(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Vec<(NodeId, NodeId)> {
+        match self.triple_ranges.get(&(src_label, edge_label, dst_label)) {
+            Some(&(start, end)) => (start as usize..end as usize)
+                .map(|i| (self.triple_src[i], self.triple_dst[i]))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of edges matching the label triple.
+    pub fn triple_count(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> usize {
+        match self.triple_ranges.get(&(src_label, edge_label, dst_label)) {
+            Some(&(start, end)) => (end - start) as usize,
+            None => 0,
+        }
+    }
+
+    /// A [`DeltaOverlay`](crate::DeltaOverlay) of this snapshot with no
+    /// pending update — a zero-cost "identity" view, useful where an
+    /// overlay type is required for both sides of an incremental run.
+    pub fn as_overlay(&self) -> crate::overlay::DeltaOverlay<'_> {
+        crate::overlay::DeltaOverlay::empty(self)
+    }
+}
+
+impl Graph {
+    /// Freeze the graph into an immutable [`CsrSnapshot`].
+    ///
+    /// Node ids are preserved (the snapshot keeps the arena order), so
+    /// matches, violations and reports computed over the snapshot are
+    /// directly comparable with those computed over the adjacency-list
+    /// representation.
+    pub fn freeze(&self) -> CsrSnapshot {
+        let n = self.node_count();
+        let nodes: Vec<NodeData> = self.node_ids().map(|id| self.node(id).clone()).collect();
+
+        let mut out_lists: Vec<Vec<(Sym, NodeId)>> = vec![Vec::new(); n];
+        let mut in_lists: Vec<Vec<(Sym, NodeId)>> = vec![Vec::new(); n];
+        let mut triples: Vec<((Sym, Sym, Sym), NodeId, NodeId)> =
+            Vec::with_capacity(self.edge_count());
+        for edge in self.edges() {
+            out_lists[edge.src.index()].push((edge.label, edge.dst));
+            in_lists[edge.dst.index()].push((edge.label, edge.src));
+            triples.push((
+                (self.label(edge.src), edge.label, self.label(edge.dst)),
+                edge.src,
+                edge.dst,
+            ));
+        }
+
+        // Label partition: node ids permuted so equal labels are contiguous.
+        let mut label_order: Vec<NodeId> = self.node_ids().collect();
+        label_order.sort_by_key(|&id| (self.label(id), id));
+        let mut label_ranges: HashMap<Sym, (u32, u32)> = HashMap::new();
+        let mut start = 0usize;
+        while start < label_order.len() {
+            let label = self.label(label_order[start]);
+            let mut end = start + 1;
+            while end < label_order.len() && self.label(label_order[end]) == label {
+                end += 1;
+            }
+            label_ranges.insert(label, (start as u32, end as u32));
+            start = end;
+        }
+
+        // Triple index: edges grouped by (src label, edge label, dst label).
+        triples.sort_unstable();
+        let mut triple_ranges: HashMap<(Sym, Sym, Sym), (u32, u32)> = HashMap::new();
+        let mut triple_src = Vec::with_capacity(triples.len());
+        let mut triple_dst = Vec::with_capacity(triples.len());
+        let mut idx = 0usize;
+        while idx < triples.len() {
+            let key = triples[idx].0;
+            let run_start = idx;
+            while idx < triples.len() && triples[idx].0 == key {
+                triple_src.push(triples[idx].1);
+                triple_dst.push(triples[idx].2);
+                idx += 1;
+            }
+            triple_ranges.insert(key, (run_start as u32, idx as u32));
+        }
+
+        CsrSnapshot {
+            nodes,
+            out: CsrSide::build(out_lists),
+            inn: CsrSide::build(in_lists),
+            label_order,
+            label_ranges,
+            triple_ranges,
+            triple_src,
+            triple_dst,
+            edge_count: self.edge_count(),
+        }
+    }
+}
+
+impl GraphView for CsrSnapshot {
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    fn label(&self, id: NodeId) -> Sym {
+        self.nodes[id.index()].label
+    }
+
+    fn attr(&self, id: NodeId, name: Sym) -> Option<&Value> {
+        self.nodes[id.index()].attrs.get(name)
+    }
+
+    fn attrs_of(&self, id: NodeId) -> &crate::attrs::AttrMap {
+        &self.nodes[id.index()].attrs
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        if !self.contains_node(src) || !self.contains_node(dst) {
+            return false;
+        }
+        // Search whichever side has the smaller run.
+        if self.out.degree(src) <= self.inn.degree(dst) {
+            self.out.contains(src, label, dst)
+        } else {
+            self.inn.contains(dst, label, src)
+        }
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        self.out.degree(id)
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        self.inn.degree(id)
+    }
+
+    fn label_count(&self, label: Sym) -> usize {
+        self.nodes_with_label(label).len()
+    }
+
+    fn nodes_with_label_vec(&self, label: Sym) -> Vec<NodeId> {
+        self.nodes_with_label(label).to_vec()
+    }
+
+    fn out_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        self.out.labeled_range(id, label).len()
+    }
+
+    fn in_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        self.inn.labeled_range(id, label).len()
+    }
+
+    fn out_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        Some(self.out.labeled_slice(id, label))
+    }
+
+    fn in_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        Some(self.inn.labeled_slice(id, label))
+    }
+
+    fn for_each_out_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        for &n in self.out.labeled_slice(id, label) {
+            f(n);
+        }
+    }
+
+    fn for_each_in_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        for &n in self.inn.labeled_slice(id, label) {
+            f(n);
+        }
+    }
+
+    fn for_each_undirected(&self, id: NodeId, f: &mut dyn FnMut(NodeId, EdgeRef)) {
+        let range = self.out.node_range(id);
+        for i in range {
+            f(
+                self.out.neighbors[i],
+                EdgeRef::new(id, self.out.neighbors[i], self.out.labels[i]),
+            );
+        }
+        let range = self.inn.node_range(id);
+        for i in range {
+            f(
+                self.inn.neighbors[i],
+                EdgeRef::new(self.inn.neighbors[i], id, self.inn.labels[i]),
+            );
+        }
+    }
+
+    fn for_each_out(&self, id: NodeId, f: &mut dyn FnMut(NodeId, Sym)) {
+        for i in self.out.node_range(id) {
+            f(self.out.neighbors[i], self.out.labels[i]);
+        }
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(EdgeRef)) {
+        for id in 0..self.nodes.len() {
+            let src = NodeId(id as u32);
+            for i in self.out.node_range(src) {
+                f(EdgeRef::new(src, self.out.neighbors[i], self.out.labels[i]));
+            }
+        }
+    }
+
+    fn triple_run_len(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> Option<usize> {
+        Some(self.triple_count(src_label, edge_label, dst_label))
+    }
+
+    fn triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        let &(start, end) = self
+            .triple_ranges
+            .get(&(src_label, edge_label, dst_label))
+            .unwrap_or(&(0, 0));
+        let side = if want_src {
+            &self.triple_src
+        } else {
+            &self.triple_dst
+        };
+        let mut out: Vec<NodeId> = side[start as usize..end as usize].to_vec();
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrMap;
+    use crate::interner::intern;
+
+    fn sample() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node_named("account", AttrMap::new());
+        let b = g.add_node_named("account", AttrMap::new());
+        let c = g.add_node_named("company", AttrMap::new());
+        let d = g.add_node_named("integer", AttrMap::from_pairs([("val", Value::Int(7))]));
+        g.add_edge_named(a, c, "keys").unwrap();
+        g.add_edge_named(b, c, "keys").unwrap();
+        g.add_edge_named(a, d, "follower").unwrap();
+        g.add_edge_named(a, b, "knows").unwrap();
+        (g, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn freeze_preserves_counts_labels_and_attrs() {
+        let (g, n) = sample();
+        let snap = g.freeze();
+        assert_eq!(GraphView::node_count(&snap), 4);
+        assert_eq!(GraphView::edge_count(&snap), 4);
+        for &id in &n {
+            assert_eq!(GraphView::label(&snap, id), g.label(id));
+        }
+        assert_eq!(
+            GraphView::attr(&snap, n[3], intern("val")),
+            Some(&Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn has_edge_agrees_with_the_adjacency_path() {
+        let (g, n) = sample();
+        let snap = g.freeze();
+        for src in &n {
+            for dst in &n {
+                for label in ["keys", "follower", "knows", "missing"] {
+                    assert_eq!(
+                        GraphView::has_edge(&snap, *src, *dst, intern(label)),
+                        g.has_edge(*src, *dst, intern(label)),
+                        "{src:?} -[{label}]-> {dst:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn label_partition_is_contiguous_and_complete() {
+        let (g, _) = sample();
+        let snap = g.freeze();
+        let accounts = snap.nodes_with_label(intern("account"));
+        assert_eq!(accounts.len(), 2);
+        // The permutation covers every node exactly once.
+        let mut all: Vec<NodeId> = ["account", "company", "integer"]
+            .iter()
+            .flat_map(|l| snap.nodes_with_label(intern(l)).to_vec())
+            .collect();
+        all.sort();
+        assert_eq!(all, g.node_ids().collect::<Vec<_>>());
+        assert!(snap.nodes_with_label(intern("ghost")).is_empty());
+    }
+
+    #[test]
+    fn labeled_neighbor_slices_are_sorted_and_exact() {
+        let (g, n) = sample();
+        let snap = g.freeze();
+        let keys_in = snap.in_neighbors_labeled(n[2], intern("keys"));
+        assert_eq!(keys_in, &[n[0], n[1]]);
+        assert!(keys_in.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(snap.out_neighbors_labeled(n[0], intern("keys")), &[n[2]]);
+        assert!(snap.out_neighbors_labeled(n[0], intern("ghost")).is_empty());
+        assert_eq!(GraphView::out_labeled_count(&snap, n[0], intern("keys")), 1);
+        assert_eq!(GraphView::out_degree(&snap, n[0]), 3);
+        assert_eq!(GraphView::in_degree(&snap, n[2]), 2);
+    }
+
+    #[test]
+    fn triple_index_matches_edge_labels() {
+        let (g, n) = sample();
+        let snap = g.freeze();
+        let key = (intern("account"), intern("keys"), intern("company"));
+        assert_eq!(snap.triple_count(key.0, key.1, key.2), 2);
+        let srcs = GraphView::triple_endpoints(&snap, key.0, key.1, key.2, true).unwrap();
+        assert_eq!(srcs, vec![n[0], n[1]]);
+        let dsts = GraphView::triple_endpoints(&snap, key.0, key.1, key.2, false).unwrap();
+        assert_eq!(dsts, vec![n[2]]);
+        assert_eq!(
+            snap.triple_count(intern("company"), intern("keys"), intern("account")),
+            0
+        );
+    }
+
+    #[test]
+    fn undirected_and_edge_iteration_cover_everything() {
+        let (g, n) = sample();
+        let snap = g.freeze();
+        let mut edges = Vec::new();
+        GraphView::for_each_edge(&snap, &mut |e| edges.push(e));
+        let mut expected = g.edge_vec();
+        edges.sort();
+        expected.sort();
+        assert_eq!(edges, expected);
+        let mut degree = 0;
+        GraphView::for_each_undirected(&snap, n[0], &mut |_, _| degree += 1);
+        assert_eq!(degree, g.degree(n[0]));
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let snap = Graph::new().freeze();
+        assert_eq!(GraphView::node_count(&snap), 0);
+        assert_eq!(GraphView::edge_count(&snap), 0);
+    }
+}

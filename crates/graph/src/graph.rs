@@ -11,13 +11,25 @@ use crate::attrs::AttrMap;
 use crate::interner::{intern, Sym};
 use crate::value::Value;
 use crate::{GraphError, Result};
-use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use ngd_json::{FromJson, Json, ToJson};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A dense node identifier (index into the node arena).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
+
+impl ToJson for NodeId {
+    fn to_json(&self) -> Json {
+        Json::Int(i64::from(self.0))
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(value: &Json) -> ngd_json::Result<Self> {
+        u32::from_json(value).map(NodeId)
+    }
+}
 
 impl NodeId {
     /// The arena index of this node.
@@ -40,7 +52,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Label and attribute payload of a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeData {
     /// The node label `L(v)` from the alphabet `Γ`.
     pub label: Sym,
@@ -48,8 +60,10 @@ pub struct NodeData {
     pub attrs: AttrMap,
 }
 
+ngd_json::impl_json_struct!(NodeData { label, attrs });
+
 /// A fully-specified directed labelled edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeRef {
     /// Source node.
     pub src: NodeId,
@@ -66,8 +80,11 @@ impl EdgeRef {
     }
 }
 
-/// A directed property graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+ngd_json::impl_json_struct!(EdgeRef { src, dst, label });
+
+/// A directed property graph (the mutable build/update representation;
+/// freeze read-mostly graphs into a [`crate::CsrSnapshot`] for hot paths).
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     nodes: Vec<NodeData>,
     /// Outgoing adjacency: `out[v] = [(w, label), …]` for edges `v → w`.
@@ -76,6 +93,10 @@ pub struct Graph {
     inn: Vec<Vec<(NodeId, Sym)>>,
     /// Node ids grouped by label, for candidate selection.
     label_index: HashMap<Sym, Vec<NodeId>>,
+    /// Every edge as a set, for O(1) `has_edge` / duplicate checks —
+    /// without it, bulk loads pay an O(deg) adjacency scan per insertion,
+    /// which is quadratic on hub-heavy graphs.
+    edge_set: HashSet<EdgeRef>,
     edge_count: usize,
 }
 
@@ -92,6 +113,7 @@ impl Graph {
             out: Vec::with_capacity(nodes),
             inn: Vec::with_capacity(nodes),
             label_index: HashMap::new(),
+            edge_set: HashSet::new(),
             edge_count: 0,
         }
     }
@@ -184,7 +206,7 @@ impl Graph {
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) -> Result<()> {
         self.check_node(src)?;
         self.check_node(dst)?;
-        if self.has_edge(src, dst, label) {
+        if !self.edge_set.insert(EdgeRef::new(src, dst, label)) {
             return Err(GraphError::DuplicateEdge { src, dst });
         }
         self.out[src.index()].push((dst, label));
@@ -202,12 +224,10 @@ impl Graph {
     pub fn remove_edge(&mut self, src: NodeId, dst: NodeId, label: Sym) -> Result<()> {
         self.check_node(src)?;
         self.check_node(dst)?;
-        let out = &mut self.out[src.index()];
-        let before = out.len();
-        out.retain(|&(d, l)| !(d == dst && l == label));
-        if out.len() == before {
+        if !self.edge_set.remove(&EdgeRef::new(src, dst, label)) {
             return Err(GraphError::EdgeNotFound { src, dst });
         }
+        self.out[src.index()].retain(|&(d, l)| !(d == dst && l == label));
         self.inn[dst.index()].retain(|&(s, l)| !(s == src && l == label));
         self.edge_count -= 1;
         Ok(())
@@ -215,17 +235,7 @@ impl Graph {
 
     /// Does the exact edge `(src, dst, label)` exist?
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
-        if !self.contains_node(src) || !self.contains_node(dst) {
-            return false;
-        }
-        // Scan the smaller of the two adjacency lists.
-        let out = &self.out[src.index()];
-        let inn = &self.inn[dst.index()];
-        if out.len() <= inn.len() {
-            out.iter().any(|&(d, l)| d == dst && l == label)
-        } else {
-            inn.iter().any(|&(s, l)| s == src && l == label)
-        }
+        self.edge_set.contains(&EdgeRef::new(src, dst, label))
     }
 
     /// Does any edge from `src` to `dst` exist, regardless of label?
@@ -308,6 +318,35 @@ impl Graph {
     /// Collect every edge into a vector (handy for tests and serialization).
     pub fn edge_vec(&self) -> Vec<EdgeRef> {
         self.edges().collect()
+    }
+}
+
+impl ToJson for Graph {
+    fn to_json(&self) -> Json {
+        // Canonical encoding: node payloads in arena order plus the edge
+        // list; adjacency, the label index and the edge set are derived
+        // state and are rebuilt on decode.
+        Json::Obj(vec![
+            ("nodes".to_string(), self.nodes.to_json()),
+            ("edges".to_string(), self.edge_vec().to_json()),
+        ])
+    }
+}
+
+impl FromJson for Graph {
+    fn from_json(value: &Json) -> ngd_json::Result<Self> {
+        let nodes: Vec<NodeData> = FromJson::from_json(value.field("nodes")?)?;
+        let edges: Vec<EdgeRef> = FromJson::from_json(value.field("edges")?)?;
+        let mut graph = Graph::with_capacity(nodes.len());
+        for node in nodes {
+            graph.add_node(node.label, node.attrs);
+        }
+        for edge in edges {
+            graph
+                .add_edge(edge.src, edge.dst, edge.label)
+                .map_err(|e| ngd_json::JsonError::new(format!("invalid graph edge: {e}")))?;
+        }
+        Ok(graph)
     }
 }
 
@@ -438,16 +477,38 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_structure() {
+    fn json_roundtrip_preserves_structure() {
         let mut g = Graph::new();
         let a = g.add_node_named("a", attrs(&[("v", 1)]));
         let b = g.add_node_named("b", attrs(&[("v", 2)]));
         g.add_edge_named(a, b, "e").unwrap();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&json).unwrap();
+        let json = ngd_json::to_string(&g);
+        let back: Graph = ngd_json::from_str(&json).unwrap();
         assert_eq!(back.node_count(), 2);
         assert_eq!(back.edge_count(), 1);
         assert!(back.has_edge(a, b, intern("e")));
         assert_eq!(back.attr(a, intern("v")), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn bulk_insertion_of_hub_edges_is_not_quadratic() {
+        // 50k edges into a single hub: with the edge-set check this is
+        // effectively linear; the old per-insert adjacency scan would make
+        // this test take minutes.
+        let mut g = Graph::new();
+        let hub = g.add_node_named("hub", AttrMap::new());
+        let spokes: Vec<NodeId> = (0..50_000)
+            .map(|_| g.add_node_named("spoke", AttrMap::new()))
+            .collect();
+        let start = std::time::Instant::now();
+        for &s in &spokes {
+            g.add_edge_named(hub, s, "to").unwrap();
+        }
+        assert_eq!(g.edge_count(), 50_000);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "hub insertion took {:?}",
+            start.elapsed()
+        );
     }
 }

@@ -5,17 +5,14 @@
 //! compact [`Sym`] handles makes label comparisons during matching a single
 //! `u32` compare and keeps per-node storage small.
 //!
-//! The interner is a global table guarded by a [`parking_lot::RwLock`];
+//! The interner is a global table guarded by a [`std::sync::RwLock`];
 //! interned strings are leaked (they live for the process lifetime), which
 //! is the usual compiler-style trade-off: the label alphabet is tiny
 //! (hundreds of symbols) compared to the graphs (millions of nodes).
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
-
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string handle.
 ///
@@ -43,16 +40,15 @@ impl fmt::Display for Sym {
     }
 }
 
-impl Serialize for Sym {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(resolve(*self))
+impl ngd_json::ToJson for Sym {
+    fn to_json(&self) -> ngd_json::Json {
+        ngd_json::Json::Str(resolve(*self).to_owned())
     }
 }
 
-impl<'de> Deserialize<'de> for Sym {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(intern(&s))
+impl ngd_json::FromJson for Sym {
+    fn from_json(value: &ngd_json::Json) -> ngd_json::Result<Self> {
+        value.as_str().map(intern)
     }
 }
 
@@ -99,12 +95,15 @@ pub const WILDCARD: Sym = Sym(0);
 /// Calling `intern` with the same string always returns the same [`Sym`].
 pub fn intern(s: &str) -> Sym {
     {
-        let guard = interner().read();
+        let guard = interner().read().expect("interner lock poisoned");
         if let Some(&sym) = guard.map.get(s) {
             return sym;
         }
     }
-    interner().write().intern_str(s)
+    interner()
+        .write()
+        .expect("interner lock poisoned")
+        .intern_str(s)
 }
 
 /// Resolve a symbol back to its string.
@@ -113,7 +112,7 @@ pub fn intern(s: &str) -> Sym {
 ///
 /// Panics if the symbol was not produced by [`intern`] in this process.
 pub fn resolve(sym: Sym) -> &'static str {
-    let guard = interner().read();
+    let guard = interner().read().expect("interner lock poisoned");
     guard
         .strings
         .get(sym.0 as usize)
@@ -123,7 +122,11 @@ pub fn resolve(sym: Sym) -> &'static str {
 
 /// Number of distinct interned symbols (useful in tests and stats).
 pub fn interned_count() -> usize {
-    interner().read().strings.len()
+    interner()
+        .read()
+        .expect("interner lock poisoned")
+        .strings
+        .len()
 }
 
 #[cfg(test)]
@@ -164,11 +167,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_preserves_string() {
+    fn json_roundtrip_preserves_string() {
         let sym = intern("follower");
-        let json = serde_json::to_string(&sym).unwrap();
+        let json = ngd_json::to_string(&sym);
         assert_eq!(json, "\"follower\"");
-        let back: Sym = serde_json::from_str(&json).unwrap();
+        let back: Sym = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, sym);
     }
 

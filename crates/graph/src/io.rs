@@ -2,7 +2,7 @@
 //!
 //! Two formats are supported:
 //!
-//! * **JSON** — the full [`Graph`] structure via serde (`to_json` /
+//! * **JSON** — the full [`Graph`] structure via `ngd-json` (`to_json` /
 //!   `from_json`), used for round-tripping exact graphs in tests and for
 //!   persisting experiment inputs;
 //! * **text edge-list** — a simple line-oriented format close to what
@@ -27,18 +27,23 @@ use std::fmt::Write as _;
 
 /// Serialize the graph to JSON.
 pub fn to_json(graph: &Graph) -> String {
-    serde_json::to_string(graph).expect("graph serialization cannot fail")
+    ngd_json::to_string(graph)
 }
 
 /// Deserialize a graph from JSON.
 pub fn from_json(json: &str) -> Result<Graph> {
-    serde_json::from_str(json).map_err(|e| GraphError::Parse(e.to_string()))
+    ngd_json::from_str(json).map_err(|e| GraphError::Parse(e.to_string()))
 }
 
 /// Render the graph in the text edge-list format.
 pub fn to_text(graph: &Graph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# ngd-graph text format: {} nodes, {} edges", graph.node_count(), graph.edge_count());
+    let _ = writeln!(
+        out,
+        "# ngd-graph text format: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
     for id in graph.node_ids() {
         let data = graph.node(id);
         let _ = write!(out, "N {} {}", id.0, data.label);
@@ -95,13 +100,12 @@ pub fn from_text(text: &str) -> Result<Graph> {
         let tag = parts.next().unwrap_or_default();
         match tag {
             "N" => {
-                let id: u64 = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: bad node id", lineno + 1)))?;
-                let label = parts
-                    .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing label", lineno + 1)))?;
+                let id: u64 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: bad node id", lineno + 1))
+                })?;
+                let label = parts.next().ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: missing label", lineno + 1))
+                })?;
                 let mut attrs = AttrMap::new();
                 // Re-join tokens that belong to a quoted string value (string
                 // attributes such as `category="living people"` contain
@@ -122,7 +126,9 @@ pub fn from_text(text: &str) -> Result<Graph> {
                         None => {
                             let opens_quote = token
                                 .split_once('=')
-                                .map(|(_, v)| v.starts_with('"') && !(v.len() >= 2 && v.ends_with('"')))
+                                .map(|(_, v)| {
+                                    v.starts_with('"') && !(v.len() >= 2 && v.ends_with('"'))
+                                })
                                 .unwrap_or(false);
                             if opens_quote {
                                 pending = Some(token.to_owned());
@@ -156,9 +162,9 @@ pub fn from_text(text: &str) -> Result<Graph> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| GraphError::Parse(format!("line {}: bad dst", lineno + 1)))?;
-                let label = parts
-                    .next()
-                    .ok_or_else(|| GraphError::Parse(format!("line {}: missing edge label", lineno + 1)))?;
+                let label = parts.next().ok_or_else(|| {
+                    GraphError::Parse(format!("line {}: missing edge label", lineno + 1))
+                })?;
                 let s = *id_map.get(&src).ok_or_else(|| {
                     GraphError::Parse(format!("line {}: unknown node {src}", lineno + 1))
                 })?;
@@ -223,12 +229,19 @@ mod tests {
 
     #[test]
     fn text_parser_accepts_comments_blanks_and_sparse_ids() {
-        let text = "# header\n\nN 10 account follower=75900 status=true\nN 20 company\nE 10 20 refersTo\n";
+        let text =
+            "# header\n\nN 10 account follower=75900 status=true\nN 20 company\nE 10 20 refersTo\n";
         let g = from_text(text).unwrap();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 1);
-        assert_eq!(g.attr(NodeId(0), intern("follower")), Some(&Value::Int(75900)));
-        assert_eq!(g.attr(NodeId(0), intern("status")), Some(&Value::Bool(true)));
+        assert_eq!(
+            g.attr(NodeId(0), intern("follower")),
+            Some(&Value::Int(75900))
+        );
+        assert_eq!(
+            g.attr(NodeId(0), intern("status")),
+            Some(&Value::Bool(true))
+        );
     }
 
     #[test]

@@ -12,14 +12,36 @@
 //! * every node `v` carries an attribute tuple `F_A(v) = (A_1 = a_1, …)`
 //!   with constant values (integers, strings, booleans).
 //!
-//! On top of the core [`Graph`] type this crate provides:
+//! The crate keeps **two graph representations** behind one read interface:
 //!
+//! * [`Graph`] — the mutable adjacency-list representation used while
+//!   *building* and *updating* a graph (`add_node` / `add_edge` /
+//!   [`BatchUpdate`]);
+//! * [`CsrSnapshot`] — an immutable, label-partitioned compressed-sparse-row
+//!   snapshot produced by [`Graph::freeze`], whose label-sorted contiguous
+//!   neighbour runs and `(node label, edge label, node label)` triple index
+//!   make matcher candidate selection a binary search over a slice instead
+//!   of a scan over heap-allocated lists.
+//!
+//! Both (plus [`DeltaOverlay`], a snapshot composed with an *unapplied*
+//! `ΔG`) implement the read-only [`GraphView`] trait that the matcher and
+//! detectors consume generically.  Freeze once per loaded graph; keep
+//! updating through `Graph`/`BatchUpdate`; hand snapshots (or overlays) to
+//! the hot paths.
+//!
+//! On top of the representations this crate provides:
+//!
+//! * [`view`] — the [`GraphView`] read abstraction;
+//! * [`csr`] — the frozen snapshot and [`Graph::freeze`];
+//! * [`overlay`] — [`DeltaOverlay`], `snapshot ⊕ ΔG` without
+//!   materialisation (what keeps incremental detection `O(|ΔG|)`-local);
 //! * [`neighborhood`] — `d`-hop neighbourhoods (`G_d(v)`), the locality
 //!   primitive behind the paper's *localizable* incremental algorithm;
 //! * [`update`] — batch edge insertions/deletions (`ΔG`) and their
 //!   application `G ⊕ ΔG`;
-//! * [`partition`] — edge-cut and vertex-cut fragmentation of a graph over
-//!   `p` workers (the METIS substitute used by the parallel detectors);
+//! * [`partition`] — edge-cut and vertex-cut fragmentation of any
+//!   [`GraphView`] over `p` workers (the METIS substitute used by the
+//!   parallel detectors);
 //! * [`io`] — a plain-text edge-list/attribute format plus JSON
 //!   (de)serialization for graphs;
 //! * [`stats`] — density, degree and component statistics used to check
@@ -31,24 +53,32 @@
 
 pub mod attrs;
 pub mod builder;
+pub mod csr;
 pub mod graph;
 pub mod interner;
 pub mod io;
 pub mod neighborhood;
+pub mod overlay;
 pub mod partition;
 pub mod stats;
 pub mod update;
 pub mod value;
+pub mod view;
 
 pub use attrs::AttrMap;
 pub use builder::GraphBuilder;
+pub use csr::CsrSnapshot;
 pub use graph::{EdgeRef, Graph, NodeData, NodeId};
 pub use interner::{intern, resolve, Sym, WILDCARD};
 pub use neighborhood::{d_neighbors, d_neighbors_many, induced_subgraph, Neighborhood};
-pub use partition::{EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner};
+pub use overlay::DeltaOverlay;
+pub use partition::{
+    EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner,
+};
 pub use stats::GraphStats;
 pub use update::{BatchUpdate, EdgeOp, NewNode, UpdateError};
 pub use value::Value;
+pub use view::GraphView;
 
 /// A convenience `Result` alias for fallible graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -7,6 +7,7 @@
 //! the cost of `IncDect` must be a function of `|G_{dΣ}(ΔG)|` only.
 
 use crate::graph::{Graph, NodeId};
+use crate::view::GraphView;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The result of a bounded BFS from one or more sources: every reached node
@@ -46,15 +47,16 @@ impl Neighborhood {
 
 /// Compute `V_d(v)`: every node within `d` undirected hops of `v`
 /// (including `v` itself at distance 0).
-pub fn d_neighbors(graph: &Graph, v: NodeId, d: usize) -> Neighborhood {
+pub fn d_neighbors<G: GraphView + ?Sized>(graph: &G, v: NodeId, d: usize) -> Neighborhood {
     d_neighbors_many(graph, std::iter::once(v), d)
 }
 
 /// Compute the union of `V_d(v)` over several sources — the
 /// `G_{dΣ}(ΔG)` construction used by the incremental detectors, where the
 /// sources are the endpoints of updated edges.
-pub fn d_neighbors_many<I>(graph: &Graph, sources: I, d: usize) -> Neighborhood
+pub fn d_neighbors_many<G, I>(graph: &G, sources: I, d: usize) -> Neighborhood
 where
+    G: GraphView + ?Sized,
     I: IntoIterator<Item = NodeId>,
 {
     let mut distance: HashMap<NodeId, usize> = HashMap::new();
@@ -63,8 +65,8 @@ where
         if !graph.contains_node(src) {
             continue;
         }
-        if !distance.contains_key(&src) {
-            distance.insert(src, 0);
+        if let std::collections::hash_map::Entry::Vacant(e) = distance.entry(src) {
+            e.insert(0);
             queue.push_back(src);
         }
     }
@@ -73,12 +75,12 @@ where
         if dist == d {
             continue;
         }
-        for (next, _edge) in graph.undirected_neighbors(node) {
-            if !distance.contains_key(&next) {
-                distance.insert(next, dist + 1);
+        graph.for_each_undirected(node, &mut |next, _edge| {
+            if let std::collections::hash_map::Entry::Vacant(e) = distance.entry(next) {
+                e.insert(dist + 1);
                 queue.push_back(next);
             }
-        }
+        });
     }
     Neighborhood { distance }
 }
@@ -87,8 +89,8 @@ where
 /// paper): it keeps every edge of `graph` whose both endpoints are in
 /// `nodes`.  Returns the induced graph together with the mapping from old
 /// node ids to new node ids.
-pub fn induced_subgraph(
-    graph: &Graph,
+pub fn induced_subgraph<G: GraphView + ?Sized>(
+    graph: &G,
     nodes: &HashSet<NodeId>,
 ) -> (Graph, HashMap<NodeId, NodeId>) {
     let mut sub = Graph::with_capacity(nodes.len());
@@ -100,26 +102,31 @@ pub fn induced_subgraph(
         if !graph.contains_node(old) {
             continue;
         }
-        let data = graph.node(old);
-        let new = sub.add_node(data.label, data.attrs.clone());
+        let new = sub.add_node(graph.label(old), graph.attrs_of(old).clone());
         mapping.insert(old, new);
     }
     for &old in &sorted {
         if !graph.contains_node(old) {
             continue;
         }
-        for &(dst, label) in graph.out_neighbors(old) {
+        // Outgoing edges only, so each edge — including self-loops, which an
+        // undirected walk would visit twice — is added exactly once.
+        graph.for_each_out(old, &mut |dst, label| {
             if let (Some(&ns), Some(&nd)) = (mapping.get(&old), mapping.get(&dst)) {
                 // Duplicate-free by construction since the source graph is.
                 sub.add_edge(ns, nd, label).expect("induced edge unique");
             }
-        }
+        });
     }
     (sub, mapping)
 }
 
 /// Shortest undirected distance between two nodes, if connected.
-pub fn undirected_distance(graph: &Graph, from: NodeId, to: NodeId) -> Option<usize> {
+pub fn undirected_distance<G: GraphView + ?Sized>(
+    graph: &G,
+    from: NodeId,
+    to: NodeId,
+) -> Option<usize> {
     if from == to {
         return Some(0);
     }
@@ -128,13 +135,16 @@ pub fn undirected_distance(graph: &Graph, from: NodeId, to: NodeId) -> Option<us
     visited.insert(from);
     queue.push_back((from, 0));
     while let Some((node, dist)) = queue.pop_front() {
-        for (next, _) in graph.undirected_neighbors(node) {
+        let mut found = false;
+        graph.for_each_undirected(node, &mut |next, _| {
             if next == to {
-                return Some(dist + 1);
-            }
-            if visited.insert(next) {
+                found = true;
+            } else if visited.insert(next) {
                 queue.push_back((next, dist + 1));
             }
+        });
+        if found {
+            return Some(dist + 1);
         }
     }
     None
@@ -225,6 +235,23 @@ mod tests {
             sub.attr(mapping[&v], crate::interner::intern("pop")),
             Some(&crate::value::Value::Int(7))
         );
+    }
+
+    #[test]
+    fn induced_subgraph_handles_self_loops() {
+        let mut g = Graph::new();
+        let a = g.add_node_named("a", AttrMap::new());
+        let b = g.add_node_named("b", AttrMap::new());
+        g.add_edge_named(a, a, "self").unwrap();
+        g.add_edge_named(a, b, "e").unwrap();
+        let keep: HashSet<NodeId> = [a, b].into_iter().collect();
+        let (sub, mapping) = induced_subgraph(&g, &keep);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(mapping[&a], mapping[&a], crate::interner::intern("self")));
+        // Same via the CSR view.
+        let snap = g.freeze();
+        let (sub2, _) = induced_subgraph(&snap, &keep);
+        assert_eq!(sub2.edge_count(), 2);
     }
 
     #[test]

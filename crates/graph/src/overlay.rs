@@ -1,0 +1,582 @@
+//! A [`CsrSnapshot`] composed with an *unapplied* batch update.
+//!
+//! The incremental detectors need to search both `G` and `G ⊕ ΔG`.  With
+//! frozen snapshots, materialising `G ⊕ ΔG` would cost `O(|G|)` per batch —
+//! exactly the dependence on `|G|` the paper's localizability result rules
+//! out.  [`DeltaOverlay`] instead layers the *net* effect of a
+//! [`BatchUpdate`] over a borrowed snapshot in `O(|ΔG|)`:
+//!
+//! * nodes introduced by the update get ids after the snapshot's nodes,
+//!   exactly as [`BatchUpdate::apply`] would assign them;
+//! * edge membership consults the update's net insert/delete sets first and
+//!   falls back to the snapshot;
+//! * neighbour iteration walks the snapshot's contiguous runs, skipping
+//!   net-deleted edges, then appends net-inserted ones;
+//! * nodes untouched by the update keep the snapshot's zero-copy
+//!   slice fast path, so matcher work outside the update neighbourhood is
+//!   as fast as on the frozen graph.
+//!
+//! An overlay with an empty update ([`DeltaOverlay::empty`] /
+//! [`CsrSnapshot::as_overlay`](crate::CsrSnapshot::as_overlay)) behaves
+//! exactly like the snapshot, which lets an incremental run use the *same*
+//! view type for the old and new sides.
+
+use crate::csr::CsrSnapshot;
+use crate::graph::{EdgeRef, NodeData, NodeId};
+use crate::interner::Sym;
+use crate::update::{BatchUpdate, EdgeOp};
+use crate::value::Value;
+use crate::view::GraphView;
+use std::collections::{HashMap, HashSet};
+
+/// A read-only view of `snapshot ⊕ delta` without materialisation.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay<'a> {
+    base: &'a CsrSnapshot,
+    /// Nodes introduced by the update; node `base_count + i` is `added_nodes[i]`.
+    added_nodes: Vec<NodeData>,
+    /// Net-inserted edges, grouped by source (sorted by `(label, dst)`).
+    added_out: HashMap<NodeId, Vec<(Sym, NodeId)>>,
+    /// Net-inserted edges, grouped by destination (sorted by `(label, src)`).
+    added_in: HashMap<NodeId, Vec<(Sym, NodeId)>>,
+    /// Net-deleted edges.
+    removed: HashSet<EdgeRef>,
+    /// Per-node count of net-deleted out-edges (for degrees).
+    removed_out: HashMap<NodeId, usize>,
+    /// Per-node count of net-deleted in-edges.
+    removed_in: HashMap<NodeId, usize>,
+    /// New nodes per label (extends the snapshot's label partition).
+    added_label_index: HashMap<Sym, Vec<NodeId>>,
+    /// Nodes whose adjacency differs from the snapshot's.
+    touched: HashSet<NodeId>,
+    added_edge_count: usize,
+}
+
+impl<'a> DeltaOverlay<'a> {
+    /// An overlay with no pending update (behaves exactly like `base`).
+    pub fn empty(base: &'a CsrSnapshot) -> Self {
+        DeltaOverlay {
+            base,
+            added_nodes: Vec::new(),
+            added_out: HashMap::new(),
+            added_in: HashMap::new(),
+            removed: HashSet::new(),
+            removed_out: HashMap::new(),
+            removed_in: HashMap::new(),
+            added_label_index: HashMap::new(),
+            touched: HashSet::new(),
+            added_edge_count: 0,
+        }
+    }
+
+    /// Lay `delta` over `base`.
+    ///
+    /// The overlay reflects the *net* effect of the update's operation
+    /// sequence (an edge deleted and re-inserted within the batch is
+    /// present; inserted and re-deleted is absent), matching what
+    /// [`BatchUpdate::apply`] produces on a mutable graph.
+    pub fn new(base: &'a CsrSnapshot, delta: &BatchUpdate) -> Self {
+        let mut overlay = DeltaOverlay::empty(base);
+        let base_count = GraphView::node_count(base);
+        for (idx, node) in delta.new_nodes.iter().enumerate() {
+            let id = NodeId((base_count + idx) as u32);
+            overlay.added_nodes.push(NodeData {
+                label: node.label,
+                attrs: node.attrs.clone(),
+            });
+            overlay
+                .added_label_index
+                .entry(node.label)
+                .or_default()
+                .push(id);
+        }
+        // Net insert/delete sets from the op sequence, validated with the
+        // same rules `BatchUpdate::apply` enforces on a mutable graph (a
+        // silently-accepted invalid op would corrupt degrees and edge
+        // counts instead of failing loudly).  Both sets are hash sets so
+        // construction stays O(|ΔG|); insertion order is irrelevant because
+        // the per-node adjacency lists are sorted below.
+        let total_nodes = base_count + overlay.added_nodes.len();
+        let mut added: HashSet<EdgeRef> = HashSet::new();
+        for op in &delta.ops {
+            let e = op.edge();
+            assert!(
+                e.src.index() < total_nodes && e.dst.index() < total_nodes,
+                "batch update must apply cleanly: unknown node in {e:?}"
+            );
+            let currently_present = added.contains(&e)
+                || (GraphView::has_edge(base, e.src, e.dst, e.label)
+                    && !overlay.removed.contains(&e));
+            match op {
+                EdgeOp::Insert(_) => {
+                    assert!(
+                        !currently_present,
+                        "batch update must apply cleanly: insert of existing edge {e:?}"
+                    );
+                    if !overlay.removed.remove(&e) {
+                        added.insert(e);
+                    }
+                }
+                EdgeOp::Delete(_) => {
+                    assert!(
+                        currently_present,
+                        "batch update must apply cleanly: delete of missing edge {e:?}"
+                    );
+                    if !added.remove(&e) {
+                        overlay.removed.insert(e);
+                    }
+                }
+            }
+        }
+        for e in &added {
+            overlay
+                .added_out
+                .entry(e.src)
+                .or_default()
+                .push((e.label, e.dst));
+            overlay
+                .added_in
+                .entry(e.dst)
+                .or_default()
+                .push((e.label, e.src));
+            overlay.touched.insert(e.src);
+            overlay.touched.insert(e.dst);
+        }
+        overlay.added_edge_count = added.len();
+        for e in &overlay.removed {
+            *overlay.removed_out.entry(e.src).or_default() += 1;
+            *overlay.removed_in.entry(e.dst).or_default() += 1;
+            overlay.touched.insert(e.src);
+            overlay.touched.insert(e.dst);
+        }
+        for list in overlay.added_out.values_mut() {
+            list.sort_unstable();
+        }
+        for list in overlay.added_in.values_mut() {
+            list.sort_unstable();
+        }
+        overlay
+    }
+
+    /// Does the overlay carry any pending change?
+    pub fn is_identity(&self) -> bool {
+        self.added_nodes.is_empty() && self.added_edge_count == 0 && self.removed.is_empty()
+    }
+
+    /// The underlying snapshot.
+    pub fn base(&self) -> &'a CsrSnapshot {
+        self.base
+    }
+
+    #[inline]
+    fn base_count(&self) -> usize {
+        GraphView::node_count(self.base)
+    }
+
+    #[inline]
+    fn is_base_node(&self, id: NodeId) -> bool {
+        id.index() < self.base_count()
+    }
+
+    fn node_data(&self, id: NodeId) -> &NodeData {
+        if self.is_base_node(id) {
+            panic!("node_data is only for added nodes");
+        }
+        &self.added_nodes[id.index() - self.base_count()]
+    }
+}
+
+impl<'a> GraphView for DeltaOverlay<'a> {
+    fn node_count(&self) -> usize {
+        self.base_count() + self.added_nodes.len()
+    }
+
+    fn edge_count(&self) -> usize {
+        GraphView::edge_count(self.base) + self.added_edge_count - self.removed.len()
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        id.index() < self.node_count()
+    }
+
+    fn label(&self, id: NodeId) -> Sym {
+        if self.is_base_node(id) {
+            GraphView::label(self.base, id)
+        } else {
+            self.node_data(id).label
+        }
+    }
+
+    fn attr(&self, id: NodeId, name: Sym) -> Option<&Value> {
+        if self.is_base_node(id) {
+            GraphView::attr(self.base, id, name)
+        } else {
+            self.node_data(id).attrs.get(name)
+        }
+    }
+
+    fn attrs_of(&self, id: NodeId) -> &crate::attrs::AttrMap {
+        if self.is_base_node(id) {
+            GraphView::attrs_of(self.base, id)
+        } else {
+            &self.node_data(id).attrs
+        }
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        let edge = EdgeRef::new(src, dst, label);
+        if self.removed.contains(&edge) {
+            return false;
+        }
+        if let Some(list) = self.added_out.get(&src) {
+            if list.binary_search(&(label, dst)).is_ok() {
+                return true;
+            }
+        }
+        self.is_base_node(src)
+            && self.is_base_node(dst)
+            && GraphView::has_edge(self.base, src, dst, label)
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        let base = if self.is_base_node(id) {
+            GraphView::out_degree(self.base, id)
+        } else {
+            0
+        };
+        base + self.added_out.get(&id).map_or(0, Vec::len)
+            - self.removed_out.get(&id).copied().unwrap_or(0)
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        let base = if self.is_base_node(id) {
+            GraphView::in_degree(self.base, id)
+        } else {
+            0
+        };
+        base + self.added_in.get(&id).map_or(0, Vec::len)
+            - self.removed_in.get(&id).copied().unwrap_or(0)
+    }
+
+    fn label_count(&self, label: Sym) -> usize {
+        GraphView::label_count(self.base, label)
+            + self.added_label_index.get(&label).map_or(0, Vec::len)
+    }
+
+    fn nodes_with_label_vec(&self, label: Sym) -> Vec<NodeId> {
+        let mut out = self.base.nodes_with_label(label).to_vec();
+        if let Some(extra) = self.added_label_index.get(&label) {
+            out.extend_from_slice(extra);
+        }
+        out
+    }
+
+    fn out_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        if !self.touched.contains(&id) {
+            return if self.is_base_node(id) {
+                GraphView::out_labeled_count(self.base, id, label)
+            } else {
+                0
+            };
+        }
+        let mut count = 0usize;
+        self.for_each_out_labeled(id, label, &mut |_| count += 1);
+        count
+    }
+
+    fn in_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        if !self.touched.contains(&id) {
+            return if self.is_base_node(id) {
+                GraphView::in_labeled_count(self.base, id, label)
+            } else {
+                0
+            };
+        }
+        let mut count = 0usize;
+        self.for_each_in_labeled(id, label, &mut |_| count += 1);
+        count
+    }
+
+    fn out_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        if self.is_base_node(id) && !self.touched.contains(&id) {
+            GraphView::out_labeled_slice(self.base, id, label)
+        } else {
+            None
+        }
+    }
+
+    fn in_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        if self.is_base_node(id) && !self.touched.contains(&id) {
+            GraphView::in_labeled_slice(self.base, id, label)
+        } else {
+            None
+        }
+    }
+
+    fn for_each_out_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        if self.is_base_node(id) {
+            let has_removals = self.removed_out.get(&id).copied().unwrap_or(0) > 0;
+            for &n in self.base.out_neighbors_labeled(id, label) {
+                if has_removals && self.removed.contains(&EdgeRef::new(id, n, label)) {
+                    continue;
+                }
+                f(n);
+            }
+        }
+        if let Some(list) = self.added_out.get(&id) {
+            for &(l, n) in list {
+                if l == label {
+                    f(n);
+                }
+            }
+        }
+    }
+
+    fn for_each_in_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        if self.is_base_node(id) {
+            let has_removals = self.removed_in.get(&id).copied().unwrap_or(0) > 0;
+            for &n in self.base.in_neighbors_labeled(id, label) {
+                if has_removals && self.removed.contains(&EdgeRef::new(n, id, label)) {
+                    continue;
+                }
+                f(n);
+            }
+        }
+        if let Some(list) = self.added_in.get(&id) {
+            for &(l, n) in list {
+                if l == label {
+                    f(n);
+                }
+            }
+        }
+    }
+
+    fn for_each_undirected(&self, id: NodeId, f: &mut dyn FnMut(NodeId, EdgeRef)) {
+        if self.is_base_node(id) {
+            let skip_out = self.removed_out.get(&id).copied().unwrap_or(0) > 0;
+            let skip_in = self.removed_in.get(&id).copied().unwrap_or(0) > 0;
+            GraphView::for_each_undirected(self.base, id, &mut |n, e| {
+                if (skip_out || skip_in) && self.removed.contains(&e) {
+                    return;
+                }
+                f(n, e);
+            });
+        }
+        if let Some(list) = self.added_out.get(&id) {
+            for &(l, n) in list {
+                f(n, EdgeRef::new(id, n, l));
+            }
+        }
+        if let Some(list) = self.added_in.get(&id) {
+            for &(l, n) in list {
+                f(n, EdgeRef::new(n, id, l));
+            }
+        }
+    }
+
+    fn for_each_out(&self, id: NodeId, f: &mut dyn FnMut(NodeId, Sym)) {
+        if self.is_base_node(id) {
+            let has_removals = self.removed_out.get(&id).copied().unwrap_or(0) > 0;
+            GraphView::for_each_out(self.base, id, &mut |n, l| {
+                if has_removals && self.removed.contains(&EdgeRef::new(id, n, l)) {
+                    return;
+                }
+                f(n, l);
+            });
+        }
+        if let Some(list) = self.added_out.get(&id) {
+            for &(l, n) in list {
+                f(n, l);
+            }
+        }
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(EdgeRef)) {
+        GraphView::for_each_edge(self.base, &mut |e| {
+            if !self.removed.contains(&e) {
+                f(e);
+            }
+        });
+        let mut added: Vec<EdgeRef> = self
+            .added_out
+            .iter()
+            .flat_map(|(&src, list)| list.iter().map(move |&(l, dst)| EdgeRef::new(src, dst, l)))
+            .collect();
+        added.sort_unstable();
+        for e in added {
+            f(e);
+        }
+    }
+
+    fn triple_run_len(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> Option<usize> {
+        if self.is_identity() {
+            GraphView::triple_run_len(self.base, src_label, edge_label, dst_label)
+        } else {
+            None
+        }
+    }
+
+    fn triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        if self.is_identity() {
+            GraphView::triple_endpoints(self.base, src_label, edge_label, dst_label, want_src)
+        } else {
+            // The triple index does not reflect the pending update; fall
+            // back to label-index candidate selection.
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrMap;
+    use crate::graph::Graph;
+    use crate::interner::intern;
+
+    fn base_graph() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node_named("x", AttrMap::new());
+        let b = g.add_node_named("y", AttrMap::new());
+        let c = g.add_node_named("y", AttrMap::new());
+        g.add_edge_named(a, b, "e").unwrap();
+        g.add_edge_named(a, c, "e").unwrap();
+        g.add_edge_named(b, c, "f").unwrap();
+        (g, vec![a, b, c])
+    }
+
+    /// Every view observation on the overlay must agree with the same
+    /// observation on the materialised `G ⊕ ΔG`.
+    fn assert_matches_materialised(overlay: &DeltaOverlay<'_>, materialised: &Graph) {
+        assert_eq!(overlay.node_count(), materialised.node_count());
+        assert_eq!(GraphView::edge_count(overlay), materialised.edge_count());
+        let labels: Vec<Sym> = materialised
+            .node_ids()
+            .map(|v| materialised.label(v))
+            .collect();
+        for (idx, &label) in labels.iter().enumerate() {
+            let id = NodeId(idx as u32);
+            assert_eq!(GraphView::label(overlay, id), label);
+            assert_eq!(overlay.out_degree(id), materialised.out_degree(id), "{id}");
+            assert_eq!(overlay.in_degree(id), materialised.in_degree(id), "{id}");
+            let mut got: Vec<(NodeId, EdgeRef)> = Vec::new();
+            overlay.for_each_undirected(id, &mut |n, e| got.push((n, e)));
+            let mut want: Vec<(NodeId, EdgeRef)> = materialised.undirected_neighbors(id).collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "undirected neighbours of {id}");
+        }
+        for e in materialised.edges() {
+            assert!(GraphView::has_edge(overlay, e.src, e.dst, e.label), "{e:?}");
+        }
+        let mut overlay_edges = Vec::new();
+        overlay.for_each_edge(&mut |e| overlay_edges.push(e));
+        let mut want = materialised.edge_vec();
+        overlay_edges.sort();
+        want.sort();
+        assert_eq!(overlay_edges, want);
+    }
+
+    #[test]
+    fn empty_overlay_is_the_snapshot() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let overlay = snap.as_overlay();
+        assert!(overlay.is_identity());
+        assert_matches_materialised(&overlay, &g);
+        // Fast path stays available on untouched nodes.
+        assert!(overlay.out_labeled_slice(n[0], intern("e")).is_some());
+    }
+
+    #[test]
+    fn insertions_deletions_and_new_nodes() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        let d = delta.add_node(
+            g.node_count(),
+            intern("y"),
+            AttrMap::from_pairs([("v", Value::Int(3))]),
+        );
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[1], d, intern("e"));
+        delta.insert_edge(d, n[0], intern("g"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+        let materialised = delta.applied_to(&g).unwrap();
+        assert_matches_materialised(&overlay, &materialised);
+        assert_eq!(
+            GraphView::attr(&overlay, d, intern("v")),
+            Some(&Value::Int(3))
+        );
+        assert_eq!(GraphView::label_count(&overlay, intern("y")), 3);
+        // Touched nodes lose the zero-copy slice; untouched keep it.
+        assert!(overlay.out_labeled_slice(n[0], intern("e")).is_none());
+        assert!(overlay.out_labeled_slice(n[2], intern("f")).is_some());
+        assert!(
+            GraphView::triple_endpoints(&overlay, intern("x"), intern("e"), intern("y"), true)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn delete_then_reinsert_is_net_present() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[0], n[1], intern("e"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+        let materialised = delta.applied_to(&g).unwrap();
+        assert_matches_materialised(&overlay, &materialised);
+        assert!(GraphView::has_edge(&overlay, n[0], n[1], intern("e")));
+    }
+
+    #[test]
+    #[should_panic(expected = "delete of missing edge")]
+    fn deleting_a_missing_edge_panics_like_apply() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[2], n[0], intern("ghost"));
+        let _ = DeltaOverlay::new(&snap, &delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert of existing edge")]
+    fn inserting_an_existing_edge_panics_like_apply() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[0], n[1], intern("e"));
+        let _ = DeltaOverlay::new(&snap, &delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_endpoint_panics_like_apply() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[0], NodeId(99), intern("e"));
+        let _ = DeltaOverlay::new(&snap, &delta);
+    }
+
+    #[test]
+    fn insert_then_delete_is_net_absent() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.insert_edge(n[2], n[0], intern("z"));
+        delta.delete_edge(n[2], n[0], intern("z"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+        let materialised = delta.applied_to(&g).unwrap();
+        assert_matches_materialised(&overlay, &materialised);
+        assert!(!GraphView::has_edge(&overlay, n[2], n[0], intern("z")));
+    }
+}

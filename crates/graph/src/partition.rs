@@ -17,12 +17,12 @@
 //! greedy partitioner preserves the experimental behaviour that matters
 //! (balanced work, bounded cut fraction); see DESIGN.md §5.
 
-use crate::graph::{EdgeRef, Graph, NodeId};
-use serde::{Deserialize, Serialize};
+use crate::graph::{EdgeRef, NodeId};
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Which partitioning strategy to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PartitionStrategy {
     /// Balanced BFS-grown edge-cut (METIS substitute).
     EdgeCut,
@@ -30,8 +30,10 @@ pub enum PartitionStrategy {
     VertexCut,
 }
 
+ngd_json::impl_json_unit_enum!(PartitionStrategy { EdgeCut, VertexCut });
+
 /// One fragment of a partitioned graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Fragment {
     /// Fragment index in `0..p`.
     pub id: usize,
@@ -57,8 +59,15 @@ impl Fragment {
     }
 }
 
+ngd_json::impl_json_struct!(Fragment {
+    id,
+    nodes,
+    internal_edges,
+    border_nodes
+});
+
 /// A partition of a graph into `p` fragments.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Partition {
     /// The strategy that produced this partition.
     pub strategy: PartitionStrategy,
@@ -83,7 +92,7 @@ impl Partition {
     }
 
     /// Fraction of edges that cross fragments (the "cut ratio").
-    pub fn cut_ratio(&self, graph: &Graph) -> f64 {
+    pub fn cut_ratio<G: GraphView + ?Sized>(&self, graph: &G) -> f64 {
         if graph.edge_count() == 0 {
             return 0.0;
         }
@@ -123,8 +132,10 @@ impl EdgeCutPartitioner {
         }
     }
 
-    /// Partition `graph`.
-    pub fn partition(&self, graph: &Graph) -> Partition {
+    /// Partition any [`GraphView`] — the detectors hand it a frozen
+    /// [`crate::CsrSnapshot`], whose contiguous adjacency runs this BFS
+    /// walks without touching per-node heap allocations.
+    pub fn partition<G: GraphView + ?Sized>(&self, graph: &G) -> Partition {
         let n = graph.node_count();
         let p = self.parts.min(n.max(1));
         let cap = n.div_ceil(p.max(1)).max(1);
@@ -147,7 +158,8 @@ impl EdgeCutPartitioner {
             let seed = if let Some(node) = queue.pop_front() {
                 node
             } else {
-                while (next_unassigned as usize) < n && owner[next_unassigned as usize] != usize::MAX
+                while (next_unassigned as usize) < n
+                    && owner[next_unassigned as usize] != usize::MAX
                 {
                     next_unassigned += 1;
                 }
@@ -164,24 +176,24 @@ impl EdgeCutPartitioner {
             owner[seed.index()] = current;
             fragments[current].nodes.push(seed);
             assigned += 1;
-            for (next, _) in graph.undirected_neighbors(seed) {
+            graph.for_each_undirected(seed, &mut |next, _| {
                 if owner[next.index()] == usize::MAX {
                     queue.push_back(next);
                 }
-            }
+            });
         }
 
         Self::finish_edge_cut(graph, owner, fragments)
     }
 
-    fn finish_edge_cut(
-        graph: &Graph,
+    fn finish_edge_cut<G: GraphView + ?Sized>(
+        graph: &G,
         owner: Vec<usize>,
         mut fragments: Vec<Fragment>,
     ) -> Partition {
         let mut crossing = Vec::new();
         let mut is_border = vec![false; graph.node_count()];
-        for edge in graph.edges() {
+        graph.for_each_edge(&mut |edge| {
             let so = owner[edge.src.index()];
             let do_ = owner[edge.dst.index()];
             if so == do_ {
@@ -191,7 +203,7 @@ impl EdgeCutPartitioner {
                 is_border[edge.src.index()] = true;
                 is_border[edge.dst.index()] = true;
             }
-        }
+        });
         for (idx, &border) in is_border.iter().enumerate() {
             if border {
                 let node = NodeId(idx as u32);
@@ -232,8 +244,8 @@ impl VertexCutPartitioner {
         (h % self.parts as u64) as usize
     }
 
-    /// Partition `graph`.
-    pub fn partition(&self, graph: &Graph) -> Partition {
+    /// Partition any [`GraphView`].
+    pub fn partition<G: GraphView + ?Sized>(&self, graph: &G) -> Partition {
         let n = graph.node_count();
         let p = self.parts;
         let mut fragments: Vec<Fragment> = (0..p)
@@ -244,12 +256,12 @@ impl VertexCutPartitioner {
             .collect();
         // membership[v] = bitmask (as Vec<bool>) of fragments touching v.
         let mut membership = vec![vec![false; p]; n];
-        for edge in graph.edges() {
+        graph.for_each_edge(&mut |edge| {
             let f = self.edge_fragment(&edge);
             fragments[f].internal_edges.push(edge);
             membership[edge.src.index()][f] = true;
             membership[edge.dst.index()][f] = true;
-        }
+        });
         let mut owner = vec![0usize; n];
         let mut crossing = Vec::new();
         for (idx, frags) in membership.iter().enumerate() {
@@ -272,13 +284,13 @@ impl VertexCutPartitioner {
         }
         // Crossing edges under vertex-cut: edges incident to a replicated
         // endpoint (they require entry/exit-node messages).
-        for edge in graph.edges() {
+        graph.for_each_edge(&mut |edge| {
             let src_rep = membership[edge.src.index()].iter().filter(|&&t| t).count() > 1;
             let dst_rep = membership[edge.dst.index()].iter().filter(|&&t| t).count() > 1;
             if src_rep || dst_rep {
                 crossing.push(edge);
             }
-        }
+        });
         Partition {
             strategy: PartitionStrategy::VertexCut,
             fragments,
@@ -288,8 +300,19 @@ impl VertexCutPartitioner {
     }
 }
 
+ngd_json::impl_json_struct!(Partition {
+    strategy,
+    fragments,
+    owner,
+    crossing_edges
+});
+
 /// Partition a graph with the given strategy.
-pub fn partition(graph: &Graph, parts: usize, strategy: PartitionStrategy) -> Partition {
+pub fn partition<G: GraphView + ?Sized>(
+    graph: &G,
+    parts: usize,
+    strategy: PartitionStrategy,
+) -> Partition {
     match strategy {
         PartitionStrategy::EdgeCut => EdgeCutPartitioner::new(parts).partition(graph),
         PartitionStrategy::VertexCut => VertexCutPartitioner::new(parts).partition(graph),
@@ -300,6 +323,7 @@ pub fn partition(graph: &Graph, parts: usize, strategy: PartitionStrategy) -> Pa
 mod tests {
     use super::*;
     use crate::attrs::AttrMap;
+    use crate::graph::Graph;
 
     fn ring(n: usize) -> Graph {
         let mut g = Graph::new();
@@ -307,7 +331,8 @@ mod tests {
             .map(|_| g.add_node_named("node", AttrMap::new()))
             .collect();
         for i in 0..n {
-            g.add_edge_named(nodes[i], nodes[(i + 1) % n], "next").unwrap();
+            g.add_edge_named(nodes[i], nodes[(i + 1) % n], "next")
+                .unwrap();
         }
         g
     }
@@ -339,7 +364,11 @@ mod tests {
         let g = ring(80);
         let part = EdgeCutPartitioner::new(4).partition(&g);
         // A ring split into 4 contiguous arcs has exactly 4 crossing edges.
-        assert!(part.crossing_edges.len() <= 8, "{}", part.crossing_edges.len());
+        assert!(
+            part.crossing_edges.len() <= 8,
+            "{}",
+            part.crossing_edges.len()
+        );
         assert!(part.cut_ratio(&g) < 0.15);
     }
 
@@ -366,7 +395,10 @@ mod tests {
         let g = ring(3);
         let part = EdgeCutPartitioner::new(10).partition(&g);
         assert_eq!(
-            part.fragments.iter().map(Fragment::node_count).sum::<usize>(),
+            part.fragments
+                .iter()
+                .map(Fragment::node_count)
+                .sum::<usize>(),
             3
         );
     }
@@ -406,6 +438,30 @@ mod tests {
         let b = partition(&g, 3, PartitionStrategy::VertexCut);
         assert_eq!(a.strategy, PartitionStrategy::EdgeCut);
         assert_eq!(b.strategy, PartitionStrategy::VertexCut);
+    }
+
+    #[test]
+    fn csr_snapshot_partitions_like_the_adjacency_list() {
+        let g = ring(60);
+        let snap = g.freeze();
+        let a = EdgeCutPartitioner::new(4).partition(&g);
+        let b = EdgeCutPartitioner::new(4).partition(&snap);
+        assert_eq!(a.owner, b.owner);
+        assert_eq!(a.crossing_edges.len(), b.crossing_edges.len());
+        let v = VertexCutPartitioner::new(4).partition(&snap);
+        let assigned: usize = v.fragments.iter().map(Fragment::edge_count).sum();
+        assert_eq!(assigned, g.edge_count());
+    }
+
+    #[test]
+    fn partition_json_roundtrip() {
+        let g = ring(12);
+        let part = EdgeCutPartitioner::new(3).partition(&g);
+        let json = ngd_json::to_string(&part);
+        let back: Partition = ngd_json::from_str(&json).unwrap();
+        assert_eq!(back.owner, part.owner);
+        assert_eq!(back.strategy, part.strategy);
+        assert_eq!(back.crossing_edges, part.crossing_edges);
     }
 
     #[test]

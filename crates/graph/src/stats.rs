@@ -6,12 +6,12 @@
 //! computes these so the dataset simulators can be checked against the
 //! paper's reported characteristics (see `ngd-datagen` tests).
 
-use crate::graph::{Graph, NodeId};
-use serde::{Deserialize, Serialize};
+use crate::graph::NodeId;
+use crate::view::GraphView;
 use std::collections::{HashSet, VecDeque};
 
 /// Summary statistics of a graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// Number of nodes `|V|`.
     pub nodes: usize,
@@ -35,22 +35,33 @@ pub struct GraphStats {
 }
 
 impl GraphStats {
-    /// Compute statistics for `graph`.
+    /// Compute statistics for any [`GraphView`].
     ///
     /// Component diameters are estimated with a double-sweep BFS (exact on
     /// trees, a lower bound in general), which matches how such numbers are
     /// usually reported for large graphs.
-    pub fn compute(graph: &Graph) -> GraphStats {
+    pub fn compute<G: GraphView + ?Sized>(graph: &G) -> GraphStats {
         let n = graph.node_count();
         let m = graph.edge_count();
-        let node_labels: HashSet<_> = graph.node_ids().map(|v| graph.label(v)).collect();
-        let edge_labels: HashSet<_> = graph.edges().map(|e| e.label).collect();
+        let node_labels: HashSet<_> = graph
+            .node_ids_vec()
+            .into_iter()
+            .map(|v| graph.label(v))
+            .collect();
+        let mut edge_labels = HashSet::new();
+        graph.for_each_edge(&mut |e| {
+            edge_labels.insert(e.label);
+        });
         let density = if n > 1 {
             m as f64 / (n as f64 * (n as f64 - 1.0))
         } else {
             0.0
         };
-        let degrees: Vec<usize> = graph.node_ids().map(|v| graph.degree(v)).collect();
+        let degrees: Vec<usize> = graph
+            .node_ids_vec()
+            .into_iter()
+            .map(|v| graph.degree(v))
+            .collect();
         let avg_degree = if n > 0 {
             degrees.iter().sum::<usize>() as f64 / n as f64
         } else {
@@ -82,7 +93,7 @@ impl GraphStats {
 
 /// BFS from `start` over the undirected graph, returning the farthest node
 /// and its distance, plus the set of visited nodes.
-fn bfs_farthest(graph: &Graph, start: NodeId) -> (NodeId, usize, Vec<NodeId>) {
+fn bfs_farthest<G: GraphView + ?Sized>(graph: &G, start: NodeId) -> (NodeId, usize, Vec<NodeId>) {
     let mut visited: HashSet<NodeId> = HashSet::new();
     let mut order: Vec<NodeId> = Vec::new();
     let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
@@ -94,22 +105,22 @@ fn bfs_farthest(graph: &Graph, start: NodeId) -> (NodeId, usize, Vec<NodeId>) {
         if dist > farthest.1 {
             farthest = (node, dist);
         }
-        for (next, _) in graph.undirected_neighbors(node) {
+        graph.for_each_undirected(node, &mut |next, _| {
             if visited.insert(next) {
                 queue.push_back((next, dist + 1));
             }
-        }
+        });
     }
     (farthest.0, farthest.1, order)
 }
 
 /// Count connected components and estimate each component's diameter by a
 /// double-sweep BFS.
-fn component_diameters(graph: &Graph) -> (usize, Vec<usize>) {
+fn component_diameters<G: GraphView + ?Sized>(graph: &G) -> (usize, Vec<usize>) {
     let mut seen: HashSet<NodeId> = HashSet::new();
     let mut diameters = Vec::new();
     let mut components = 0usize;
-    for node in graph.node_ids() {
+    for node in graph.node_ids_vec() {
         if seen.contains(&node) {
             continue;
         }
@@ -124,10 +135,23 @@ fn component_diameters(graph: &Graph) -> (usize, Vec<usize>) {
     (components, diameters)
 }
 
+ngd_json::impl_json_struct!(GraphStats {
+    nodes,
+    edges,
+    node_label_count,
+    edge_label_count,
+    density,
+    avg_degree,
+    max_degree,
+    components,
+    avg_component_diameter,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attrs::AttrMap;
+    use crate::graph::Graph;
 
     fn path(n: usize) -> Graph {
         let mut g = Graph::new();
@@ -191,10 +215,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let s = GraphStats::compute(&path(6));
-        let json = serde_json::to_string(&s).unwrap();
-        let back: GraphStats = serde_json::from_str(&json).unwrap();
+        let json = ngd_json::to_string(&s);
+        let back: GraphStats = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn csr_snapshot_yields_identical_stats() {
+        let g = path(10);
+        let snap = g.freeze();
+        assert_eq!(GraphStats::compute(&snap), GraphStats::compute(&g));
     }
 }

@@ -14,10 +14,10 @@
 use crate::attrs::AttrMap;
 use crate::graph::{EdgeRef, Graph, NodeId};
 use crate::interner::Sym;
-use serde::{Deserialize, Serialize};
+use ngd_json::{FromJson, Json, JsonError, ToJson};
 
 /// A node introduced by a batch update.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NewNode {
     /// Label of the new node.
     pub label: Sym,
@@ -25,8 +25,10 @@ pub struct NewNode {
     pub attrs: AttrMap,
 }
 
+ngd_json::impl_json_struct!(NewNode { label, attrs });
+
 /// A single edge operation within a batch update.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeOp {
     /// `insert (v, v')` with label — the edge must not exist in `G`.
     Insert(EdgeRef),
@@ -45,6 +47,29 @@ impl EdgeOp {
     /// Is this an insertion?
     pub fn is_insert(&self) -> bool {
         matches!(self, EdgeOp::Insert(_))
+    }
+}
+
+impl ToJson for EdgeOp {
+    fn to_json(&self) -> Json {
+        let (tag, edge) = match self {
+            EdgeOp::Insert(e) => ("Insert", e),
+            EdgeOp::Delete(e) => ("Delete", e),
+        };
+        Json::Obj(vec![(tag.to_string(), edge.to_json())])
+    }
+}
+
+impl FromJson for EdgeOp {
+    fn from_json(value: &Json) -> ngd_json::Result<Self> {
+        match value.as_obj()? {
+            [(tag, inner)] => match tag.as_str() {
+                "Insert" => Ok(EdgeOp::Insert(EdgeRef::from_json(inner)?)),
+                "Delete" => Ok(EdgeOp::Delete(EdgeRef::from_json(inner)?)),
+                other => Err(JsonError::new(format!("unknown EdgeOp variant `{other}`"))),
+            },
+            _ => Err(JsonError::new("EdgeOp must be a single-field object")),
+        }
     }
 }
 
@@ -77,7 +102,7 @@ impl std::fmt::Display for UpdateError {
 impl std::error::Error for UpdateError {}
 
 /// A batch update `ΔG`: new nodes plus a sequence of edge operations.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchUpdate {
     /// Nodes introduced by the update; the `i`-th new node receives id
     /// `base + i`, where `base` is the node count of the target graph.
@@ -203,6 +228,8 @@ impl BatchUpdate {
     }
 }
 
+ngd_json::impl_json_struct!(BatchUpdate { new_nodes, ops });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,10 +273,7 @@ mod tests {
         let updated = delta.applied_to(&g).unwrap();
         assert_eq!(updated.node_count(), 4);
         assert!(updated.has_edge(n[0], new, intern("refersTo")));
-        assert_eq!(
-            updated.attr(new, intern("follower")),
-            Some(&Value::Int(2))
-        );
+        assert_eq!(updated.attr(new, intern("follower")), Some(&Value::Int(2)));
     }
 
     #[test]
@@ -308,12 +332,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let (_, n) = small_graph();
         let mut delta = BatchUpdate::new();
         delta.insert_edge(n[2], n[0], intern("x"));
-        let json = serde_json::to_string(&delta).unwrap();
-        let back: BatchUpdate = serde_json::from_str(&json).unwrap();
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.add_node(
+            3,
+            intern("account"),
+            AttrMap::from_pairs([("v", Value::Int(1))]),
+        );
+        let json = ngd_json::to_string(&delta);
+        let back: BatchUpdate = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, delta);
     }
 }

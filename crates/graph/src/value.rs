@@ -7,12 +7,12 @@
 //! integer day count so that date arithmetic (`wasDestroyedOnDate −
 //! wasCreatedOnDate ≥ c`) is plain integer arithmetic.
 
-use serde::{Deserialize, Serialize};
+use ngd_json::{FromJson, Json, JsonError, ToJson};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A constant attribute value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// A 64-bit signed integer (also the representation of dates, in days).
     Int(i64),
@@ -82,6 +82,33 @@ fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
     let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
     era * 146097 + doe - 719468
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        // Externally-tagged encoding: {"Int": 5} / {"Str": "x"} / {"Bool": true}.
+        let (tag, inner) = match self {
+            Value::Int(i) => ("Int", Json::Int(*i)),
+            Value::Str(s) => ("Str", Json::Str(s.clone())),
+            Value::Bool(b) => ("Bool", Json::Bool(*b)),
+        };
+        Json::Obj(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(value: &Json) -> ngd_json::Result<Self> {
+        let fields = value.as_obj()?;
+        match fields {
+            [(tag, inner)] => match tag.as_str() {
+                "Int" => Ok(Value::Int(inner.as_i64()?)),
+                "Str" => Ok(Value::Str(inner.as_str()?.to_owned())),
+                "Bool" => Ok(Value::Bool(inner.as_bool()?)),
+                other => Err(JsonError::new(format!("unknown Value variant `{other}`"))),
+            },
+            _ => Err(JsonError::new("Value must be a single-field object")),
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -202,10 +229,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         for v in [Value::Int(-9), Value::Str("hey".into()), Value::Bool(true)] {
-            let json = serde_json::to_string(&v).unwrap();
-            let back: Value = serde_json::from_str(&json).unwrap();
+            let json = ngd_json::to_string(&v);
+            let back: Value = ngd_json::from_str(&json).unwrap();
             assert_eq!(back, v);
         }
     }

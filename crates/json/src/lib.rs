@@ -1,0 +1,1003 @@
+//! # ngd-json
+//!
+//! A minimal, self-contained JSON layer for the NGD workspace.
+//!
+//! The workspace is built in fully-offline environments where crates.io is
+//! unreachable, so it cannot depend on `serde`/`serde_json`.  This crate
+//! provides the small slice of that functionality the workspace actually
+//! needs:
+//!
+//! * a [`Json`] value tree with a strict parser and compact/pretty printers;
+//! * [`ToJson`] / [`FromJson`] conversion traits with implementations for
+//!   the primitives and std containers used across the workspace;
+//! * the [`impl_json_struct!`] macro generating both trait impls for a
+//!   struct from its field list (the moral equivalent of
+//!   `#[derive(Serialize, Deserialize)]` without a proc macro);
+//! * [`to_string`] / [`to_string_pretty`] / [`from_str`] entry points.
+//!
+//! Object encodings produced by the macro list fields in declaration order,
+//! and decoding is order-independent, so round-trips are stable and
+//! hand-written JSON remains readable.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Duration;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer number (JSON numbers without fraction/exponent).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors raised while parsing or decoding JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl JsonError {
+    /// Construct an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Result alias for JSON operations.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup that errors when the field is missing.
+    pub fn field(&self, key: &str) -> Result<&Json> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The value as an `i64`, accepting integer-valued floats.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Json::Int(i) => Ok(*i),
+            Json::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Ok(*f as i64),
+            other => Err(JsonError::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as an `f64` (integers coerce).
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Int(i) => Ok(*i as f64),
+            Json::Float(f) => Ok(*f),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// The value as object fields.
+    pub fn as_obj(&self) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(JsonError::new(format!("expected object, got {other:?}"))),
+        }
+    }
+
+    /// Render compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips through `f64::from_str`.
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    // JSON has no Inf/NaN; encode as null like serde_json.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (idx, item) in items.iter().enumerate() {
+                    if idx > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (idx, (key, value)) in fields.iter().enumerate() {
+                    if idx > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Maximum container nesting the parser accepts (serde_json's default);
+/// deeper input returns an error instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> JsonError {
+        JsonError::new(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Json::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("unexpected character")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        Ok(())
+    }
+
+    fn parse_array(&mut self) -> Result<Json> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                self.pos += 1; // step past the last hex digit
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                self.pos -= 1; // parse_hex4 expects the cursor on `u`
+                                let low = self.parse_hex4()?;
+                                let combined = 0x10000
+                                    + ((code - 0xD800) << 10)
+                                    + (low
+                                        .checked_sub(0xDC00)
+                                        .ok_or_else(|| self.error("invalid low surrogate"))?);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid utf-8"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the 4 hex digits after a `\u` (cursor on the `u`).
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos = end - 1; // caller advances past the last digit
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_rfc8259_number(text) {
+            return Err(self.error("invalid number"));
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+/// RFC 8259 `number` grammar: `-? (0 | [1-9][0-9]*) (\. [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+/// Rust's `f64::from_str` is more permissive (leading zeros, `1.`, `.5`),
+/// so the token is validated before conversion to keep the parser strict.
+fn is_rfc8259_number(text: &str) -> bool {
+    let b = text.as_bytes();
+    let mut i = 0;
+    if b.first() == Some(&b'-') {
+        i += 1;
+    }
+    // Integer part: `0` alone or a non-zero digit followed by digits.
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while b.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    if matches!(b.get(i), Some(b'e') | Some(b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+') | Some(b'-')) {
+            i += 1;
+        }
+        if !b.get(i).is_some_and(u8::is_ascii_digit) {
+            return false;
+        }
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+    }
+    i == b.len()
+}
+
+/// Parse a JSON document.
+pub fn parse(text: &str) -> Result<Json> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be decoded from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Decode from a JSON value.
+    fn from_json(value: &Json) -> Result<Self>;
+}
+
+/// Serialize a value compactly.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render()
+}
+
+/// Serialize a value with indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().render_pretty()
+}
+
+/// Parse and decode a value.
+pub fn from_str<T: FromJson>(text: &str) -> Result<T> {
+    T::from_json(&parse(text)?)
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Json {
+                    Json::Int(*self as i64)
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json(value: &Json) -> Result<Self> {
+                    let i = value.as_i64()?;
+                    <$ty>::try_from(i)
+                        .map_err(|_| JsonError::new(format!("{i} out of range for {}", stringify!($ty))))
+                }
+            }
+        )+
+    };
+}
+
+impl_json_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_bool()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_f64()
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_f64().map(|f| f as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(value: &Json) -> Result<Self> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Box<T> {
+    fn to_json(&self) -> Json {
+        self.as_ref().to_json()
+    }
+}
+
+impl<T: FromJson> FromJson for Box<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(value: &Json) -> Result<Self> {
+        let items = value.as_arr()?;
+        if items.len() != 2 {
+            return Err(JsonError::new("expected a 2-element array"));
+        }
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(value: &Json) -> Result<Self> {
+        let items = value.as_arr()?;
+        if items.len() != 3 {
+            return Err(JsonError::new("expected a 3-element array"));
+        }
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
+    }
+}
+
+impl<T: ToJson + Ord> ToJson for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Ord> FromJson for BTreeSet<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+impl<T: ToJson + Eq + Hash> ToJson for HashSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Eq + Hash> FromJson for HashSet<T> {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_arr()?.iter().map(T::from_json).collect()
+    }
+}
+
+// Maps encode as arrays of `[key, value]` pairs so non-string keys (interned
+// symbols, node ids) round-trip without a string coercion convention.
+impl<K: ToJson, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|(k, v)| (k, v).to_json()).collect())
+    }
+}
+
+impl<K: FromJson + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_arr()?.iter().map(<(K, V)>::from_json).collect()
+    }
+}
+
+impl<K: ToJson, V: ToJson> ToJson for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|(k, v)| (k, v).to_json()).collect())
+    }
+}
+
+impl<K: FromJson + Eq + Hash, V: FromJson> FromJson for HashMap<K, V> {
+    fn from_json(value: &Json) -> Result<Self> {
+        value.as_arr()?.iter().map(<(K, V)>::from_json).collect()
+    }
+}
+
+impl ToJson for Duration {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("secs".to_string(), Json::Int(self.as_secs() as i64)),
+            (
+                "nanos".to_string(),
+                Json::Int(i64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Duration {
+    fn from_json(value: &Json) -> Result<Self> {
+        let secs = u64::from_json(value.field("secs")?)?;
+        let nanos = u32::from_json(value.field("nanos")?)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a struct from its field list.
+///
+/// ```
+/// struct Point { x: i64, y: i64 }
+/// ngd_json::impl_json_struct!(Point { x, y });
+/// let p = Point { x: 1, y: 2 };
+/// assert_eq!(ngd_json::to_string(&p), r#"{"x":1,"y":2}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Obj(vec![
+                    $( (stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)) ),+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> $crate::Result<Self> {
+                Ok(Self {
+                    $( $field: $crate::FromJson::from_json(value.field(stringify!($field))?)? ),+
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`] and [`FromJson`] for a field-less (unit-variant)
+/// enum, encoding each variant as its name string.
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                let name = match self {
+                    $( <$ty>::$variant => stringify!($variant) ),+
+                };
+                $crate::Json::Str(name.to_string())
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(value: &$crate::Json) -> $crate::Result<Self> {
+                match value.as_str()? {
+                    $( stringify!($variant) => Ok(<$ty>::$variant), )+
+                    other => Err($crate::JsonError::new(format!(
+                        "unknown {} variant `{other}`", stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hey\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.render()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(parse(&v.render()).unwrap(), v);
+        assert_eq!(parse(&v.render_pretty()).unwrap(), v);
+        assert_eq!(v.field("c").unwrap().as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let original = "line\nbreak \"quoted\" back\\slash\ttab ünïcode \u{1F600}";
+        let v = Json::Str(original.to_string());
+        let back = parse(&v.render()).unwrap();
+        assert_eq!(back.as_str().unwrap(), original);
+        // Escaped-form parsing, including surrogate pairs.
+        let parsed = parse(r#""aéb😀c""#).unwrap();
+        assert_eq!(parsed.as_str().unwrap(), "aéb\u{1F600}c");
+    }
+
+    #[test]
+    fn float_precision_roundtrips() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456.789, -2.5e17] {
+            let v = Json::Float(f);
+            assert_eq!(parse(&v.render()).unwrap().as_f64().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for text in ["{", "[1,", "tru", "\"unterminated", "1 2", "{\"a\":}", ""] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn non_rfc_numbers_rejected() {
+        for text in [
+            "01", "-01", "1.", ".5", "1e", "1e+", "+1", "0x10", "1.2.3", "--1", "-",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+        for text in ["0", "-0", "10", "0.5", "1e5", "1E-3", "-2.5e17", "1.25e+9"] {
+            assert!(parse(text).is_ok(), "{text:?} should parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("recursion limit"), "{err}");
+        // Nesting at the limit still parses.
+        let ok = format!("{}{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(129), "]".repeat(129));
+        assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn derive_macro_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        struct Sample {
+            name: String,
+            count: usize,
+            ratio: f64,
+            tags: Vec<String>,
+            maybe: Option<i64>,
+        }
+        impl_json_struct!(Sample {
+            name,
+            count,
+            ratio,
+            tags,
+            maybe
+        });
+        let sample = Sample {
+            name: "x".into(),
+            count: 3,
+            ratio: 0.25,
+            tags: vec!["a".into(), "b".into()],
+            maybe: None,
+        };
+        let text = to_string(&sample);
+        let back: Sample = from_str(&text).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn unit_enum_macro_roundtrip() {
+        #[derive(Debug, PartialEq)]
+        enum Kind {
+            A,
+            B,
+        }
+        impl_json_unit_enum!(Kind { A, B });
+        assert_eq!(to_string(&Kind::B), "\"B\"");
+        assert_eq!(from_str::<Kind>("\"A\"").unwrap(), Kind::A);
+        assert!(from_str::<Kind>("\"C\"").is_err());
+    }
+
+    #[test]
+    fn maps_and_sets_roundtrip() {
+        let mut map: BTreeMap<i64, String> = BTreeMap::new();
+        map.insert(1, "one".into());
+        map.insert(2, "two".into());
+        let back: BTreeMap<i64, String> = from_str(&to_string(&map)).unwrap();
+        assert_eq!(back, map);
+        let set: BTreeSet<i64> = [3, 1, 2].into_iter().collect();
+        let back: BTreeSet<i64> = from_str(&to_string(&set)).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(5, 123_456_789);
+        let back: Duration = from_str(&to_string(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -23,7 +23,7 @@
 use crate::matchn::{MatchStats, Matcher};
 use crate::violation::{DeltaViolations, Violation, ViolationSet};
 use ngd_core::{Ngd, RuleSet};
-use ngd_graph::{EdgeRef, Graph, NodeId, WILDCARD};
+use ngd_graph::{EdgeRef, GraphView, NodeId, WILDCARD};
 
 /// An update pivot: a pattern edge together with the updated graph edge it
 /// may be matched onto.
@@ -38,9 +38,9 @@ pub struct UpdatePivot {
 /// Enumerate the update pivots of a rule triggered by the given unit
 /// updates: pairs of (pattern edge, updated edge) whose edge label and
 /// endpoint labels are compatible.
-pub fn update_pivots<'a>(
+pub fn update_pivots<'a, G: GraphView>(
     rule: &'a Ngd,
-    graph: &'a Graph,
+    graph: &'a G,
     edges: impl Iterator<Item = EdgeRef> + 'a,
 ) -> impl Iterator<Item = UpdatePivot> + 'a {
     edges.flat_map(move |edge| {
@@ -74,7 +74,7 @@ pub fn update_pivots<'a>(
 /// `G ⊕ ΔG` only belongs to `ΔVio⁺` if it is *not* a match in `G` (and
 /// symmetrically for `ΔVio⁻`).  The parallel incremental detector applies
 /// the same filter, hence the function is public.
-pub fn pattern_matches(rule: &Ngd, graph: &Graph, assignment: &[NodeId]) -> bool {
+pub fn pattern_matches<G: GraphView>(rule: &Ngd, graph: &G, assignment: &[NodeId]) -> bool {
     for (var, &node) in rule.pattern.vars().zip(assignment.iter()) {
         if !graph.contains_node(node) {
             return false;
@@ -113,10 +113,10 @@ pub fn edge_ranks(edges: &[EdgeRef]) -> std::collections::HashMap<EdgeRef, usize
 /// Pivots are expanded in batch order; the expansion of the `i`-th unit
 /// update prunes any partial solution that uses an earlier updated edge, so
 /// no match is enumerated twice even when it spans several updated edges.
-pub fn update_driven_violations(
+pub fn update_driven_violations<S: GraphView, O: GraphView>(
     rule: &Ngd,
-    search_graph: &Graph,
-    other_graph: &Graph,
+    search_graph: &S,
+    other_graph: &O,
     edges: &[EdgeRef],
     stats: &mut MatchStats,
 ) -> ViolationSet {
@@ -142,10 +142,10 @@ pub fn update_driven_violations(
 }
 
 /// Compute `ΔVio` for a single rule.
-pub fn delta_violations_for_rule(
+pub fn delta_violations_for_rule<GOld: GraphView, GNew: GraphView>(
     rule: &Ngd,
-    old_graph: &Graph,
-    new_graph: &Graph,
+    old_graph: &GOld,
+    new_graph: &GNew,
     inserted: &[EdgeRef],
     deleted: &[EdgeRef],
     stats: &mut MatchStats,
@@ -157,10 +157,10 @@ pub fn delta_violations_for_rule(
 }
 
 /// Compute `ΔVio(Σ, G, ΔG)` for a whole rule set (sequentially).
-pub fn delta_violations(
+pub fn delta_violations<GOld: GraphView, GNew: GraphView>(
     sigma: &RuleSet,
-    old_graph: &Graph,
-    new_graph: &Graph,
+    old_graph: &GOld,
+    new_graph: &GNew,
     inserted: &[EdgeRef],
     deleted: &[EdgeRef],
 ) -> (DeltaViolations, MatchStats) {
@@ -179,7 +179,7 @@ mod tests {
     use super::*;
     use crate::matchn::find_violations;
     use ngd_core::paper;
-    use ngd_graph::{intern, AttrMap, BatchUpdate, Value};
+    use ngd_graph::{intern, AttrMap, BatchUpdate, Graph, Value};
 
     /// Recompute ΔVio from scratch (batch on both graphs) — the oracle the
     /// incremental computation must agree with.
@@ -197,10 +197,7 @@ mod tests {
         let (g4, _) = paper::figure1_g4();
         let rule = paper::phi4(1, 1, 10_000);
         // A `keys` edge triggers pivots only for the two `keys` pattern edges.
-        let keys_edge = g4
-            .edges()
-            .find(|e| e.label == intern("keys"))
-            .unwrap();
+        let keys_edge = g4.edges().find(|e| e.label == intern("keys")).unwrap();
         let pivots: Vec<_> = update_pivots(&rule, &g4, std::iter::once(keys_edge)).collect();
         assert_eq!(pivots.len(), 2);
         // A bogus edge label triggers nothing.
@@ -225,14 +222,8 @@ mod tests {
         let g_new = delta.applied_to(&g_old).unwrap();
 
         let mut stats = MatchStats::default();
-        let result = delta_violations_for_rule(
-            &rule,
-            &g_old,
-            &g_new,
-            &[],
-            &[status_edge],
-            &mut stats,
-        );
+        let result =
+            delta_violations_for_rule(&rule, &g_old, &g_new, &[], &[status_edge], &mut stats);
         assert_eq!(result.removed.len(), 1);
         assert!(result.added.is_empty());
         assert_eq!(result, oracle_delta(&rule, &g_old, &g_new));
@@ -279,9 +270,21 @@ mod tests {
         let mut delta = BatchUpdate::new();
         let base = g_old.node_count();
         let acct = delta.add_node(base, intern("account"), AttrMap::new());
-        let following = delta.add_node(base, intern("integer"), AttrMap::from_pairs([("val", Value::Int(21_000))]));
-        let follower = delta.add_node(base, intern("integer"), AttrMap::from_pairs([("val", Value::Int(70_000))]));
-        let status = delta.add_node(base, intern("boolean"), AttrMap::from_pairs([("val", Value::Bool(true))]));
+        let following = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(21_000))]),
+        );
+        let follower = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(70_000))]),
+        );
+        let status = delta.add_node(
+            base,
+            intern("boolean"),
+            AttrMap::from_pairs([("val", Value::Bool(true))]),
+        );
         delta.insert_edge(acct, company, intern("keys"));
         delta.insert_edge(acct, following, intern("following"));
         delta.insert_edge(acct, follower, intern("follower"));
@@ -290,12 +293,16 @@ mod tests {
 
         let inserted: Vec<EdgeRef> = delta.insertions().collect();
         let mut stats = MatchStats::default();
-        let result =
-            delta_violations_for_rule(&rule, &g_old, &g_new, &inserted, &[], &mut stats);
+        let result = delta_violations_for_rule(&rule, &g_old, &g_new, &inserted, &[], &mut stats);
         // The pre-existing fake-account violation is NOT reported (it does
         // not involve an inserted edge and was already in Vio(Σ, G)).
-        assert!(result.added.iter().all(|v| v.nodes.contains(&acct) || v.nodes.contains(&follower)),
-            "only update-driven violations may appear: {result:?}");
+        assert!(
+            result
+                .added
+                .iter()
+                .all(|v| v.nodes.contains(&acct) || v.nodes.contains(&follower)),
+            "only update-driven violations may appear: {result:?}"
+        );
         assert_eq!(result, oracle_delta(&rule, &g_old, &g_new));
     }
 
@@ -311,9 +318,21 @@ mod tests {
         delta.delete_edge(fake, company, intern("keys"));
         let base = g_old.node_count();
         let acct = delta.add_node(base, intern("account"), AttrMap::new());
-        let following = delta.add_node(base, intern("integer"), AttrMap::from_pairs([("val", Value::Int(1_000_000))]));
-        let follower = delta.add_node(base, intern("integer"), AttrMap::from_pairs([("val", Value::Int(2_000_000))]));
-        let status = delta.add_node(base, intern("boolean"), AttrMap::from_pairs([("val", Value::Bool(true))]));
+        let following = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(1_000_000))]),
+        );
+        let follower = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(2_000_000))]),
+        );
+        let status = delta.add_node(
+            base,
+            intern("boolean"),
+            AttrMap::from_pairs([("val", Value::Bool(true))]),
+        );
         delta.insert_edge(acct, company, intern("keys"));
         delta.insert_edge(acct, following, intern("following"));
         delta.insert_edge(acct, follower, intern("follower"));
@@ -323,12 +342,17 @@ mod tests {
         let inserted: Vec<EdgeRef> = delta.insertions().collect();
         let deleted: Vec<EdgeRef> = delta.deletions().collect();
         let mut stats = MatchStats::default();
-        let result = delta_violations_for_rule(
-            &rule, &g_old, &g_new, &inserted, &deleted, &mut stats,
-        );
+        let result =
+            delta_violations_for_rule(&rule, &g_old, &g_new, &inserted, &deleted, &mut stats);
         assert_eq!(result, oracle_delta(&rule, &g_old, &g_new));
-        assert!(!result.removed.is_empty(), "fake-account violation is removed");
-        assert!(!result.added.is_empty(), "new popular account exposes the real one");
+        assert!(
+            !result.removed.is_empty(),
+            "fake-account violation is removed"
+        );
+        assert!(
+            !result.added.is_empty(),
+            "new popular account exposes the real one"
+        );
     }
 
     #[test]

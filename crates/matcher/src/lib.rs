@@ -3,12 +3,22 @@
 //! Subgraph-homomorphism matching for NGD patterns:
 //!
 //! * [`matchn`] — the generic backtracking matcher (`Matchn`/`SubMatchn` of
-//!   the paper), with label-indexed candidate selection, connectivity-driven
-//!   matching orders and literal-based pruning for violation search;
+//!   the paper), with connectivity-driven matching orders and literal-based
+//!   pruning for violation search;
 //! * [`inc`] — the update-driven incremental matcher (`IncMatch`): expands
 //!   update pivots triggered by edge insertions/deletions and returns the
 //!   exact violation delta `(ΔVio⁺, ΔVio⁻)`;
 //! * [`violation`] — violation records, violation sets and deltas.
+//!
+//! Everything is generic over `ngd_graph::GraphView`, so the same search
+//! runs over the mutable adjacency-list `Graph`, a frozen
+//! `CsrSnapshot` — where candidate selection sizes each applicable
+//! neighbour run in `O(log deg)` and materialises only the smallest as a
+//! contiguous label-sorted slice, and the first variable seeds from the
+//! `(node label, edge label, node label)` triple index — or a
+//! `DeltaOverlay` (snapshot ⊕ unapplied `ΔG`, the incremental default).
+//! The representations are result-equivalent by construction; the CSR
+//! path is the faster one on read-mostly graphs (see `BENCH_csr.json`).
 //!
 //! The detectors in `ngd-detect` are thin orchestration layers (sequential,
 //! incremental, parallel) over these primitives.
@@ -17,6 +27,9 @@ pub mod inc;
 pub mod matchn;
 pub mod violation;
 
-pub use inc::{delta_violations, delta_violations_for_rule, edge_ranks, pattern_matches, update_driven_violations, update_pivots, UpdatePivot};
+pub use inc::{
+    delta_violations, delta_violations_for_rule, edge_ranks, pattern_matches,
+    update_driven_violations, update_pivots, UpdatePivot,
+};
 pub use matchn::{find_matches, find_violations, ForbiddenEdges, MatchLimits, MatchStats, Matcher};
 pub use violation::{DeltaViolations, Violation, ViolationSet};

@@ -24,7 +24,7 @@
 use crate::violation::{Violation, ViolationSet};
 use ngd_core::eval::eval_literal_partial;
 use ngd_core::{Ngd, Pattern, Var};
-use ngd_graph::{EdgeRef, Graph, NodeId, WILDCARD};
+use ngd_graph::{EdgeRef, Graph, GraphView, NodeId, WILDCARD};
 use std::collections::HashMap;
 
 /// Update-pivot de-duplication (Section 6.2, "optimization strategy").
@@ -52,21 +52,12 @@ impl<'a> ForbiddenEdges<'a> {
 }
 
 /// Safety limits for a matching run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MatchLimits {
     /// Stop after this many complete results (None = unbounded).
     pub max_results: Option<usize>,
     /// Stop after this many search-tree nodes (None = unbounded).
     pub max_steps: Option<usize>,
-}
-
-impl Default for MatchLimits {
-    fn default() -> Self {
-        MatchLimits {
-            max_results: None,
-            max_steps: None,
-        }
-    }
 }
 
 /// Statistics of a matching run (used by tests that assert locality and by
@@ -81,17 +72,24 @@ pub struct MatchStats {
     pub matches_found: usize,
 }
 
-/// A subgraph-homomorphism matcher for one pattern over one graph.
-pub struct Matcher<'g> {
+/// A subgraph-homomorphism matcher for one pattern over one graph view.
+///
+/// The matcher is generic over [`GraphView`], so the same search runs over
+/// the mutable adjacency-list [`Graph`], a frozen
+/// [`CsrSnapshot`](ngd_graph::CsrSnapshot) (where candidate selection is a
+/// binary search yielding a contiguous slice, and the first variable can be
+/// seeded from the label-triple index) or a
+/// [`DeltaOverlay`](ngd_graph::DeltaOverlay).
+pub struct Matcher<'g, G: GraphView = Graph> {
     pattern: &'g Pattern,
-    graph: &'g Graph,
+    graph: &'g G,
     limits: MatchLimits,
     forbidden: Option<ForbiddenEdges<'g>>,
 }
 
-impl<'g> Matcher<'g> {
+impl<'g, G: GraphView> Matcher<'g, G> {
     /// Create a matcher for `pattern` over `graph`.
-    pub fn new(pattern: &'g Pattern, graph: &'g Graph) -> Self {
+    pub fn new(pattern: &'g Pattern, graph: &'g G) -> Self {
         Matcher {
             pattern,
             graph,
@@ -125,7 +123,7 @@ impl<'g> Matcher<'g> {
         if label == WILDCARD {
             self.graph.node_count()
         } else {
-            self.graph.nodes_with_label(label).len()
+            self.graph.label_count(label)
         }
     }
 
@@ -144,11 +142,7 @@ impl<'g> Matcher<'g> {
         }
         if order.is_empty() {
             // Pick the most selective variable to start.
-            if let Some(first) = self
-                .pattern
-                .vars()
-                .min_by_key(|&v| self.candidate_count(v))
-            {
+            if let Some(first) = self.pattern.vars().min_by_key(|&v| self.candidate_count(v)) {
                 placed[first.index()] = true;
                 order.push(first);
             }
@@ -160,12 +154,7 @@ impl<'g> Matcher<'g> {
                 .pattern
                 .vars()
                 .filter(|v| !placed[v.index()])
-                .filter(|v| {
-                    self.pattern
-                        .neighbors(*v)
-                        .iter()
-                        .any(|n| placed[n.index()])
-                })
+                .filter(|v| self.pattern.neighbors(*v).iter().any(|n| placed[n.index()]))
                 .min_by_key(|&v| self.candidate_count(v))
                 .or_else(|| {
                     self.pattern
@@ -189,10 +178,9 @@ impl<'g> Matcher<'g> {
     /// de-duplication, if configured)?
     fn edges_consistent(&self, assignment: &[Option<NodeId>]) -> bool {
         for edge in self.pattern.edges() {
-            if let (Some(src), Some(dst)) = (
-                assignment[edge.src.index()],
-                assignment[edge.dst.index()],
-            ) {
+            if let (Some(src), Some(dst)) =
+                (assignment[edge.src.index()], assignment[edge.dst.index()])
+            {
                 if !self.graph.has_edge(src, dst, edge.label) {
                     return false;
                 }
@@ -208,59 +196,111 @@ impl<'g> Matcher<'g> {
 
     /// Candidate nodes for `var` given the current partial assignment:
     /// neighbours of an already-matched variable when possible, otherwise
-    /// the label index.
+    /// a seed set from the triple index (CSR) or the label index.
+    ///
+    /// Anchored selection first *sizes* every applicable adjacency run
+    /// (`O(log deg)` per run on a CSR snapshot) and materialises only the
+    /// smallest — on CSR a contiguous, label-sorted slice copy rather than
+    /// a filter over a heap list.
     fn candidates(
         &self,
         var: Var,
         assignment: &[Option<NodeId>],
         stats: &mut MatchStats,
     ) -> Vec<NodeId> {
-        // Find a pattern edge connecting `var` to an assigned variable and
-        // use the corresponding adjacency list, picking the smallest one.
-        let mut best: Option<Vec<NodeId>> = None;
+        // (walk anchor's out-edges?, anchor, edge label, run length)
+        let mut best: Option<(bool, NodeId, ngd_graph::Sym, usize)> = None;
         for edge in self.pattern.edges() {
-            let candidate_list: Option<Vec<NodeId>> = if edge.src == var {
+            let found = if edge.src == var {
                 assignment[edge.dst.index()].map(|dst| {
-                    self.graph
-                        .in_neighbors(dst)
-                        .iter()
-                        .filter(|&&(_, l)| l == edge.label)
-                        .map(|&(n, _)| n)
-                        .collect()
+                    (
+                        false,
+                        dst,
+                        edge.label,
+                        self.graph.in_labeled_count(dst, edge.label),
+                    )
                 })
             } else if edge.dst == var {
                 assignment[edge.src.index()].map(|src| {
-                    self.graph
-                        .out_neighbors(src)
-                        .iter()
-                        .filter(|&&(_, l)| l == edge.label)
-                        .map(|&(n, _)| n)
-                        .collect()
+                    (
+                        true,
+                        src,
+                        edge.label,
+                        self.graph.out_labeled_count(src, edge.label),
+                    )
                 })
             } else {
                 None
             };
-            if let Some(list) = candidate_list {
-                if best.as_ref().map_or(true, |b| list.len() < b.len()) {
-                    best = Some(list);
+            if let Some(candidate) = found {
+                if best.is_none_or(|(_, _, _, len)| candidate.3 < len) {
+                    best = Some(candidate);
                 }
             }
         }
         let raw = match best {
-            Some(list) => list,
-            None => {
-                let label = self.pattern.label(var);
-                if label == WILDCARD {
-                    self.graph.node_ids().collect()
-                } else {
-                    self.graph.nodes_with_label(label).to_vec()
-                }
-            }
+            Some((true, anchor, label, _)) => self.graph.out_labeled_vec(anchor, label),
+            Some((false, anchor, label, _)) => self.graph.in_labeled_vec(anchor, label),
+            None => self.seed_candidates(var),
         };
         stats.candidates_inspected += raw.len();
-        raw.into_iter()
-            .filter(|&n| self.label_ok(var, n))
-            .collect()
+        raw.into_iter().filter(|&n| self.label_ok(var, n)).collect()
+    }
+
+    /// Candidates for an unanchored variable (the search's first variable,
+    /// or a variable in a disconnected pattern component).
+    ///
+    /// On representations with a `(node label, edge label, node label)`
+    /// triple index, any incident pattern edge whose endpoint labels are
+    /// both concrete narrows the seed set to nodes that actually carry a
+    /// matching edge — a sound restriction, since every homomorphic image
+    /// of `var` must satisfy that pattern edge.  Otherwise the label index
+    /// (or the full node set, for a wildcard) is used, exactly as on the
+    /// adjacency-list path.
+    fn seed_candidates(&self, var: Var) -> Vec<NodeId> {
+        let var_label = self.pattern.label(var);
+        // (src label, edge label, dst label, want_src), smallest run first.
+        let mut best: Option<(ngd_graph::Sym, ngd_graph::Sym, ngd_graph::Sym, bool, usize)> = None;
+        if var_label != WILDCARD {
+            for edge in self.pattern.edges() {
+                let (want_src, other) = if edge.src == var {
+                    (true, edge.dst)
+                } else if edge.dst == var {
+                    (false, edge.src)
+                } else {
+                    continue;
+                };
+                let other_label = self.pattern.label(other);
+                if other_label == WILDCARD {
+                    continue;
+                }
+                let (src_label, dst_label) = if want_src {
+                    (var_label, other_label)
+                } else {
+                    (other_label, var_label)
+                };
+                // Size the run in O(1) first; only the winner is
+                // materialised (sorted + deduped) below.
+                if let Some(len) = self.graph.triple_run_len(src_label, edge.label, dst_label) {
+                    if best.is_none_or(|(.., l)| len < l) {
+                        best = Some((src_label, edge.label, dst_label, want_src, len));
+                    }
+                }
+            }
+        }
+        if let Some((src_label, edge_label, dst_label, want_src, _)) = best {
+            if let Some(list) = self
+                .graph
+                .triple_endpoints(src_label, edge_label, dst_label, want_src)
+            {
+                return list;
+            }
+        }
+        if var_label == WILDCARD {
+            self.graph.node_ids_vec()
+        } else {
+            self.graph.nodes_with_label_vec(var_label)
+        }
     }
 
     /// Enumerate every homomorphic match of the pattern.
@@ -323,11 +363,7 @@ impl<'g> Matcher<'g> {
     /// `|h(u_r).adj|` quantity of the paper's work-splitting cost model).
     /// When no assigned neighbour anchors the step, the anchor degree is the
     /// size of the label index consulted instead.
-    pub fn candidate_step(
-        &self,
-        var: Var,
-        assignment: &[Option<NodeId>],
-    ) -> (Vec<NodeId>, usize) {
+    pub fn candidate_step(&self, var: Var, assignment: &[Option<NodeId>]) -> (Vec<NodeId>, usize) {
         let anchor_degree = self
             .pattern
             .edges()
@@ -353,7 +389,7 @@ impl<'g> Matcher<'g> {
     /// the literal checks?  Mirrors the test applied after every assignment
     /// inside the recursive search.
     pub fn partial_viable(&self, rule: Option<&Ngd>, assignment: &[Option<NodeId>]) -> bool {
-        self.edges_consistent(assignment) && rule.map_or(true, |r| !self.pruned(r, assignment))
+        self.edges_consistent(assignment) && rule.is_none_or(|r| !self.pruned(r, assignment))
     }
 
     /// Does a node satisfy the label constraint of a pattern variable?
@@ -471,9 +507,8 @@ impl<'g> Matcher<'g> {
         for node in candidates {
             assignment[var.index()] = Some(node);
             let consistent = self.edges_consistent(assignment)
-                && rule.map_or(true, |r| !self.pruned(r, assignment));
-            if consistent
-                && !self.search(order, depth + 1, assignment, rule, emit, stats, emitted)
+                && rule.is_none_or(|r| !self.pruned(r, assignment));
+            if consistent && !self.search(order, depth + 1, assignment, rule, emit, stats, emitted)
             {
                 assignment[var.index()] = None;
                 return false;
@@ -484,13 +519,13 @@ impl<'g> Matcher<'g> {
     }
 }
 
-/// Convenience: all matches of `pattern` in `graph`.
-pub fn find_matches(pattern: &Pattern, graph: &Graph) -> Vec<Vec<NodeId>> {
+/// Convenience: all matches of `pattern` in any graph view.
+pub fn find_matches<G: GraphView>(pattern: &Pattern, graph: &G) -> Vec<Vec<NodeId>> {
     Matcher::new(pattern, graph).find_all()
 }
 
-/// Convenience: all violations of `rule` in `graph`.
-pub fn find_violations(rule: &Ngd, graph: &Graph) -> ViolationSet {
+/// Convenience: all violations of `rule` in any graph view.
+pub fn find_violations<G: GraphView>(rule: &Ngd, graph: &G) -> ViolationSet {
     Matcher::new(&rule.pattern, graph).find_violations(rule)
 }
 
@@ -645,7 +680,8 @@ mod tests {
         let (with_fake, stats) = matcher.expand_seeded(&[(y, fake)], Some(&rule));
         assert_eq!(with_fake.len(), 1);
         assert!(stats.expanded > 0);
-        let real = g4.nodes_with_label(ngd_graph::intern("account"))
+        let real = g4
+            .nodes_with_label(ngd_graph::intern("account"))
             .iter()
             .copied()
             .find(|&n| n != fake)
@@ -694,12 +730,11 @@ mod tests {
         assert_eq!(order[0], x);
         assert_eq!(order.len(), rule.pattern.node_count());
 
-        let mut frontier: Vec<Vec<Option<NodeId>>> =
-            vec![{
-                let mut a = vec![None; rule.pattern.node_count()];
-                a[x.index()] = Some(village);
-                a
-            }];
+        let mut frontier: Vec<Vec<Option<NodeId>>> = vec![{
+            let mut a = vec![None; rule.pattern.node_count()];
+            a[x.index()] = Some(village);
+            a
+        }];
         for &var in &order[1..] {
             let mut next = Vec::new();
             for partial in &frontier {

@@ -7,13 +7,12 @@
 //! update.
 
 use ngd_graph::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A single violation: the rule it violates and the matched entity vector
 /// `h(x̄)` (graph node ids in pattern-variable order).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Violation {
     /// Identifier of the violated rule.
     pub rule_id: String,
@@ -49,14 +48,18 @@ impl fmt::Display for Violation {
     }
 }
 
+ngd_json::impl_json_struct!(Violation { rule_id, nodes });
+
 /// A set of violations (`Vio(Σ, G)` or one of the `ΔVio` components).
 ///
 /// Backed by a `BTreeSet` so that iteration order — and therefore detector
 /// output and test expectations — is deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ViolationSet {
     set: BTreeSet<Violation>,
 }
+
+ngd_json::impl_json_struct!(ViolationSet { set });
 
 impl ViolationSet {
     /// An empty set.
@@ -143,13 +146,15 @@ impl IntoIterator for ViolationSet {
 
 /// The change to a violation set under a batch update:
 /// `ΔVio = (ΔVio⁺, ΔVio⁻)`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeltaViolations {
     /// Violations introduced by the update (`ΔVio⁺`).
     pub added: ViolationSet,
     /// Violations removed by the update (`ΔVio⁻`).
     pub removed: ViolationSet,
 }
+
+ngd_json::impl_json_struct!(DeltaViolations { added, removed });
 
 impl DeltaViolations {
     /// An empty delta.
@@ -260,10 +265,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let set: ViolationSet = [v("r", &[1, 2, 3])].into_iter().collect();
-        let json = serde_json::to_string(&set).unwrap();
-        let back: ViolationSet = serde_json::from_str(&json).unwrap();
+    fn json_roundtrip() {
+        let set: ViolationSet = [v("r", &[1, 2, 3]), v("q", &[4])].into_iter().collect();
+        let json = ngd_json::to_string(&set);
+        let back: ViolationSet = ngd_json::from_str(&json).unwrap();
         assert_eq!(back, set);
     }
 }

@@ -14,16 +14,18 @@
 //! Run with `cargo run -p ngd-examples --example fake_account_detection`.
 
 use ngd_core::{paper, RuleSet};
+use ngd_datagen::{generate_social, SocialConfig};
 use ngd_detect::{dect, inc_dect};
 use ngd_examples::{describe_node, section};
 use ngd_graph::{intern, AttrMap, BatchUpdate, Value};
-use ngd_datagen::{generate_social, SocialConfig};
 use std::collections::BTreeSet;
 
 fn main() {
     // (1) A social graph: companies, verified accounts, satellites — 10 %
     // of the satellites are fake.
-    let config = SocialConfig::pokec_like(2).with_fake_rate(0.1).with_seed(42);
+    let config = SocialConfig::pokec_like(2)
+        .with_fake_rate(0.1)
+        .with_seed(42);
     let generated = generate_social(&config);
     let graph = &generated.graph;
     let stats = generated.stats();

@@ -12,9 +12,9 @@
 //! Run with `cargo run -p ngd-examples --example incremental_monitoring --release`.
 
 use ngd_core::paper;
+use ngd_datagen::{generate_knowledge, generate_update, KnowledgeConfig, UpdateConfig};
 use ngd_detect::{dect, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
 use ngd_examples::section;
-use ngd_datagen::{generate_knowledge, generate_update, KnowledgeConfig, UpdateConfig};
 
 fn main() {
     // (1) The monitored graph and its data-quality rules.
@@ -38,12 +38,20 @@ fn main() {
     println!("round  |ΔG|  ΔVio+  ΔVio-  IncDect   PIncDect  Dect(recheck)  consistent");
     let config = DetectorConfig::with_processors(4);
     for round in 0..5u64 {
-        let delta = generate_update(&graph, &UpdateConfig::fraction(0.03).with_seed(1000 + round));
-        let updated = delta.applied_to(&graph).expect("generated updates apply cleanly");
+        let delta = generate_update(
+            &graph,
+            &UpdateConfig::fraction(0.03).with_seed(1000 + round),
+        );
+        let updated = delta
+            .applied_to(&graph)
+            .expect("generated updates apply cleanly");
 
         let inc = inc_dect_prepared(&sigma, &graph, &updated, &delta);
         let pinc = pinc_dect_prepared(&sigma, &graph, &updated, &delta, &config);
-        assert_eq!(inc.delta, pinc.delta, "sequential and parallel deltas agree");
+        assert_eq!(
+            inc.delta, pinc.delta,
+            "sequential and parallel deltas agree"
+        );
 
         // Maintain the violation set incrementally …
         maintained = maintained.apply_delta(&inc.delta);

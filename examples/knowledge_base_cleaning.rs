@@ -13,19 +13,24 @@
 //! Run with `cargo run -p ngd-examples --example knowledge_base_cleaning`.
 
 use ngd_core::paper;
+use ngd_datagen::{generate_knowledge, KnowledgeConfig};
 use ngd_detect::{dect, pdect, DetectorConfig};
 use ngd_examples::{describe_violation, section, violations_per_rule};
-use ngd_datagen::{generate_knowledge, KnowledgeConfig};
 
 fn main() {
     // (1) The simulated DBpedia with seeded inconsistencies.
-    let config = KnowledgeConfig::dbpedia_like(10).with_error_rate(0.05).with_seed(7);
+    let config = KnowledgeConfig::dbpedia_like(10)
+        .with_error_rate(0.05)
+        .with_seed(7);
     let generated = generate_knowledge(&config);
     let graph = &generated.graph;
     let stats = generated.stats();
     println!(
         "knowledge graph: {} nodes, {} edges, {} node types, {} edge types, {} seeded errors",
-        stats.nodes, stats.edges, stats.node_label_count, stats.edge_label_count,
+        stats.nodes,
+        stats.edges,
+        stats.node_label_count,
+        stats.edge_label_count,
         generated.seeded_count()
     );
 
@@ -37,7 +42,11 @@ fn main() {
     for (rule, count) in violations_per_rule(&report.violations) {
         println!("  {rule}: {count}");
     }
-    println!("  total: {} (in {:?})", report.violation_count(), report.elapsed);
+    println!(
+        "  total: {} (in {:?})",
+        report.violation_count(),
+        report.elapsed
+    );
 
     // (3) Recall against the seeded ground truth: every deliberately
     // corrupted entity must show up in at least one violation.
@@ -51,7 +60,11 @@ fn main() {
         caught += hit;
         println!("  {rule}: {hit}/{} seeded entities caught", entities.len());
     }
-    assert_eq!(caught, generated.seeded_count(), "no seeded error may escape");
+    assert_eq!(
+        caught,
+        generated.seeded_count(),
+        "no seeded error may escape"
+    );
 
     // (4) How many errors need NGDs (arithmetic / order comparisons) rather
     // than plain GFD equality?  The paper reports 92 %.
@@ -75,5 +88,8 @@ fn main() {
     }
     let parallel = pdect(&sigma, graph, &DetectorConfig::with_processors(4));
     assert_eq!(parallel.violations, report.violations);
-    println!("\nPDect (p = 4) agrees with Dect on all {} violations", report.violation_count());
+    println!(
+        "\nPDect (p = 4) agrees with Dect on all {} violations",
+        report.violation_count()
+    );
 }

@@ -35,7 +35,9 @@ pub fn describe_violation(graph: &Graph, sigma: &RuleSet, violation: &Violation)
             .vars()
             .map(|v| rule.pattern.name(v).to_string())
             .collect(),
-        None => (0..violation.nodes.len()).map(|i| format!("x{i}")).collect(),
+        None => (0..violation.nodes.len())
+            .map(|i| format!("x{i}"))
+            .collect(),
     };
     let bindings: Vec<String> = vars
         .iter()

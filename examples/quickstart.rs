@@ -46,7 +46,11 @@ fn main() {
     for violation in report.violations.iter() {
         println!("{}", describe_violation(&graph, &sigma, violation));
     }
-    assert_eq!(report.violation_count(), 1, "the seeded error must be caught");
+    assert_eq!(
+        report.violation_count(),
+        1,
+        "the seeded error must be caught"
+    );
 
     // (4) Repair the total and re-check: the graph now satisfies Σ.
     section("after repairing populationTotal to 1322");

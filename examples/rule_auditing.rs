@@ -61,10 +61,8 @@ fn audit(sigma: &RuleSet) {
     section("pairwise conflict localisation");
     for i in 0..sigma.len() {
         for j in (i + 1)..sigma.len() {
-            let pair = RuleSet::from_rules(vec![
-                sigma.rules()[i].clone(),
-                sigma.rules()[j].clone(),
-            ]);
+            let pair =
+                RuleSet::from_rules(vec![sigma.rules()[i].clone(), sigma.rules()[j].clone()]);
             if let Ok(verdict) = is_satisfiable(&pair, &cfg) {
                 if verdict.is_no() {
                     println!(
@@ -90,7 +88,10 @@ fn audit(sigma: &RuleSet) {
         let rest = RuleSet::from_rules(rest);
         match implies(&rest, candidate, &cfg) {
             Ok(verdict) if verdict.is_yes() => {
-                println!("  {} is implied by the remaining rules (redundant)", candidate.id)
+                println!(
+                    "  {} is implied by the remaining rules (redundant)",
+                    candidate.id
+                )
             }
             Ok(_) => println!("  {} is not redundant", candidate.id),
             Err(err) => println!("  {}: analysis refused: {err}", candidate.id),

@@ -2,7 +2,7 @@
 //! detect in batch → update → detect incrementally → maintain the
 //! violation set — everything a downstream user of the workspace would do.
 
-use ngd_core::{parse_rule_set, paper, RuleSet};
+use ngd_core::{paper, parse_rule_set, RuleSet};
 use ngd_detect::{dect, inc_dect, pdect, pinc_dect, DetectorConfig};
 use ngd_graph::GraphStats;
 use ngd_integration_tests::{knowledge_workload, oracle_delta, social_workload, update_for};
@@ -22,13 +22,18 @@ fn knowledge_graph_pipeline_detects_and_maintains_violations() {
     let report = inc_dect(&sigma, &graph, &delta);
     let maintained = base.violations.apply_delta(&report.delta);
     let recomputed = dect(&sigma, &updated).violations;
-    assert_eq!(maintained, recomputed, "Vio(G) ⊕ ΔVio must equal Vio(G ⊕ ΔG)");
+    assert_eq!(
+        maintained, recomputed,
+        "Vio(G) ⊕ ΔVio must equal Vio(G ⊕ ΔG)"
+    );
 }
 
 #[test]
 fn social_graph_pipeline_flags_every_seeded_fake_account() {
     let generated = ngd_datagen::generate_social(
-        &ngd_datagen::SocialConfig::pokec_like(2).with_fake_rate(0.2).with_seed(5),
+        &ngd_datagen::SocialConfig::pokec_like(2)
+            .with_fake_rate(0.2)
+            .with_seed(5),
     );
     let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
     let report = dect(&sigma, &generated.graph);
@@ -40,7 +45,9 @@ fn social_graph_pipeline_flags_every_seeded_fake_account() {
     }
     // An error-free generation is violation-free.
     let clean = ngd_datagen::generate_social(
-        &ngd_datagen::SocialConfig::pokec_like(2).with_fake_rate(0.0).with_seed(5),
+        &ngd_datagen::SocialConfig::pokec_like(2)
+            .with_fake_rate(0.0)
+            .with_seed(5),
     );
     assert_eq!(dect(&sigma, &clean.graph).violation_count(), 0);
 }
@@ -132,7 +139,10 @@ fn dataset_statistics_are_reported() {
     let stats = GraphStats::compute(&graph);
     assert_eq!(stats.nodes, graph.node_count());
     assert_eq!(stats.edges, graph.edge_count());
-    assert!(stats.node_label_count >= 5, "knowledge graphs carry many node types");
+    assert!(
+        stats.node_label_count >= 5,
+        "knowledge graphs carry many node types"
+    );
     assert!(stats.density > 0.0 && stats.density < 0.05);
     assert!(stats.avg_component_diameter >= 1.0);
 }

@@ -17,13 +17,19 @@ fn example5_verdicts() {
     // φ5 and φ6 conflict on every node: A = B = 7 but A + B = 11.
     let conflict = RuleSet::from_rules(vec![paper::phi5(), paper::phi6(None)]);
     assert_eq!(is_satisfiable(&conflict, &cfg()).unwrap(), Verdict::No);
-    assert_eq!(is_strongly_satisfiable(&conflict, &cfg()).unwrap(), Verdict::No);
+    assert_eq!(
+        is_strongly_satisfiable(&conflict, &cfg()).unwrap(),
+        Verdict::No
+    );
 
     // Restricting φ6 to label `a` makes the set satisfiable (use only
     // `b`-labelled nodes) but not strongly satisfiable.
     let separated = RuleSet::from_rules(vec![paper::phi5(), paper::phi6(Some("a"))]);
     assert_eq!(is_satisfiable(&separated, &cfg()).unwrap(), Verdict::Yes);
-    assert_eq!(is_strongly_satisfiable(&separated, &cfg()).unwrap(), Verdict::No);
+    assert_eq!(
+        is_strongly_satisfiable(&separated, &cfg()).unwrap(),
+        Verdict::No
+    );
 
     // φ7, φ8, φ9 cannot hold together: whatever x.A is, x.B must exceed 6
     // (by φ7 or φ8), but φ9 forces x.B < 6.
@@ -78,7 +84,9 @@ fn implication_is_reflexive_and_respects_strengthening() {
     .unwrap();
     assert!(implies(&phi5_set, &sum14, &cfg()).unwrap().is_yes());
     // … but not A + B = 11.
-    assert!(!implies(&phi5_set, &paper::phi6(None), &cfg()).unwrap().is_yes());
+    assert!(!implies(&phi5_set, &paper::phi6(None), &cfg())
+        .unwrap()
+        .is_yes());
     // And a weaker inequality is implied as well: A + B ≥ 10.
     let sum_ge_10 = Ngd::new(
         "sum_ge_10",
@@ -113,8 +121,13 @@ fn gfd_special_case_keeps_its_classical_behaviour() {
     assert_eq!(is_satisfiable(&conflicting, &cfg()).unwrap(), Verdict::No);
 
     let agreeing = RuleSet::from_rules(vec![single("g1", 3), single("g3", 3)]);
-    assert_eq!(is_strongly_satisfiable(&agreeing, &cfg()).unwrap(), Verdict::Yes);
-    assert!(implies(&agreeing, &single("g4", 3), &cfg()).unwrap().is_yes());
+    assert_eq!(
+        is_strongly_satisfiable(&agreeing, &cfg()).unwrap(),
+        Verdict::Yes
+    );
+    assert!(implies(&agreeing, &single("g4", 3), &cfg())
+        .unwrap()
+        .is_yes());
 }
 
 #[test]
@@ -128,10 +141,7 @@ fn nonlinear_rules_are_refused_not_misanalysed() {
         q,
         vec![],
         vec![Literal::eq(
-            Expr::Mul(
-                Box::new(Expr::attr(x, "A")),
-                Box::new(Expr::attr(x, "A")),
-            ),
+            Expr::Mul(Box::new(Expr::attr(x, "A")), Box::new(Expr::attr(x, "A"))),
             Expr::constant(4),
         )],
     );
@@ -205,5 +215,8 @@ fn analysis_budget_is_respected_on_larger_sets() {
     let sigma = paper::paper_rule_set();
     // With a tiny budget the answer may be Unknown but must come back.
     let verdict = is_strongly_satisfiable(&sigma, &tight).unwrap();
-    assert!(matches!(verdict, Verdict::Yes | Verdict::No | Verdict::Unknown));
+    assert!(matches!(
+        verdict,
+        Verdict::Yes | Verdict::No | Verdict::Unknown
+    ));
 }

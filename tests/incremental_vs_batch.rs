@@ -40,14 +40,18 @@ fn insert_only_and_delete_only_batches() {
     let (graph, sigma) = knowledge_workload(47);
     let inserts = ngd_datagen::generate_update(
         &graph,
-        &ngd_datagen::UpdateConfig::fraction(0.1).with_gamma(f64::INFINITY).with_seed(9),
+        &ngd_datagen::UpdateConfig::fraction(0.1)
+            .with_gamma(f64::INFINITY)
+            .with_seed(9),
     );
     assert_eq!(inserts.deletions().count(), 0);
     assert_matches_oracle(&graph, &sigma, &inserts);
 
     let deletes = ngd_datagen::generate_update(
         &graph,
-        &ngd_datagen::UpdateConfig::fraction(0.1).with_gamma(0.0).with_seed(9),
+        &ngd_datagen::UpdateConfig::fraction(0.1)
+            .with_gamma(0.0)
+            .with_seed(9),
     );
     assert_eq!(deletes.insertions().count(), 0);
     assert_matches_oracle(&graph, &sigma, &deletes);
@@ -129,7 +133,10 @@ fn incremental_work_tracks_the_update_not_the_graph() {
     // Batch detection, in contrast, does grow with the graph.
     let batch_small = dect(&sigma, &small).stats.candidates_inspected as f64;
     let batch_large = dect(&sigma, &large).stats.candidates_inspected as f64;
-    assert!(batch_large / batch_small > 4.0, "batch work should scale with |G|");
+    assert!(
+        batch_large / batch_small > 4.0,
+        "batch work should scale with |G|"
+    );
 }
 
 #[test]
@@ -139,8 +146,13 @@ fn gamma_zero_updates_only_remove_violations_on_clean_graphs() {
     let (graph, sigma) = knowledge_workload(53);
     let deletes = ngd_datagen::generate_update(
         &graph,
-        &ngd_datagen::UpdateConfig::fraction(0.15).with_gamma(0.0).with_seed(3),
+        &ngd_datagen::UpdateConfig::fraction(0.15)
+            .with_gamma(0.0)
+            .with_seed(3),
     );
     let report = inc_dect(&sigma, &graph, &deletes);
-    assert!(report.delta.added.is_empty(), "deletions cannot introduce violations");
+    assert!(
+        report.delta.added.is_empty(),
+        "deletions cannot introduce violations"
+    );
 }

@@ -113,11 +113,10 @@ fn example6_consistent_insertions_add_no_violations() {
     // The new account is large enough that neither direction of the pair
     // exceeds the threshold against the existing real account, and the
     // pre-existing fake-account violation is not re-reported.
-    assert!(report
-        .delta
-        .added
-        .iter()
-        .all(|v| v.involves(acct)), "only update-driven matches may appear");
+    assert!(
+        report.delta.added.iter().all(|v| v.involves(acct)),
+        "only update-driven matches may appear"
+    );
 }
 
 #[test]
@@ -164,7 +163,11 @@ fn exp5_rules_catch_their_textbook_errors() {
     let mut b = GraphBuilder::new();
     b.node("macpherson", "person");
     b.node_with_attrs("birth", "integer", [("val", Value::Int(1713))]);
-    b.node_with_attrs("cat", "string", [("val", Value::Str("living people".into()))]);
+    b.node_with_attrs(
+        "cat",
+        "string",
+        [("val", Value::Str("living people".into()))],
+    );
     b.edge("macpherson", "birth", "birthYear");
     b.edge("macpherson", "cat", "category");
     assert_eq!(find_violations(&paper::ngd1(), &b.build()).len(), 1);
@@ -172,7 +175,11 @@ fn exp5_rules_catch_their_textbook_errors() {
     // NGD2: 24 athletes representing 34 countries at an Olympic event.
     let mut b = GraphBuilder::new();
     b.node("sailboard", "competition");
-    b.node_with_attrs("olympics92", "event", [("type", Value::Str("Olympic".into()))]);
+    b.node_with_attrs(
+        "olympics92",
+        "event",
+        [("type", Value::Str("Olympic".into()))],
+    );
     b.node_with_attrs("competitors", "integer", [("val", Value::Int(24))]);
     b.node_with_attrs("nations", "integer", [("val", Value::Int(34))]);
     b.edge("sailboard", "olympics92", "includes");
@@ -204,5 +211,8 @@ fn phi4_weights_and_threshold_change_what_counts_as_fake() {
     // With an absurdly high threshold nothing is fake.
     assert!(find_violations(&paper::phi4(1, 1, 10_000_000), &graph).is_empty());
     // Weighting followers much higher than followings still catches it.
-    assert_eq!(find_violations(&paper::phi4(0, 5, 100_000), &graph).len(), 1);
+    assert_eq!(
+        find_violations(&paper::phi4(0, 5, 100_000), &graph).len(),
+        1
+    );
 }

@@ -11,7 +11,10 @@ fn pdect_matches_dect_for_every_processor_count() {
     let reference = dect(&sigma, &graph);
     for p in [1, 2, 3, 5, 8] {
         let parallel = pdect(&sigma, &graph, &DetectorConfig::with_processors(p));
-        assert_eq!(parallel.violations, reference.violations, "PDect(p={p}) diverged");
+        assert_eq!(
+            parallel.violations, reference.violations,
+            "PDect(p={p}) diverged"
+        );
         assert_eq!(parallel.processors, p);
     }
 }

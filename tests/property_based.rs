@@ -1,5 +1,7 @@
-//! Property-based tests of the core invariants, driven by random graphs,
-//! random updates and random processor counts:
+//! Property-based tests of the core invariants, driven by seeded random
+//! graphs, random updates and random processor counts (generated with the
+//! workspace's deterministic RNG — proptest is unavailable offline, so the
+//! cases are enumerated from seeds and every failure reproduces exactly):
 //!
 //! * incremental detection equals the batch-recomputation oracle,
 //! * `Vio(Σ, G) ⊕ ΔVio(Σ, G, ΔG) = Vio(Σ, G ⊕ ΔG)` (Section 1),
@@ -8,9 +10,12 @@
 //! * generated updates always apply cleanly.
 
 use ngd_core::{Expr, Literal, Ngd, Pattern, RuleSet};
+use ngd_datagen::StdRng;
 use ngd_detect::{dect, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
 use ngd_graph::{d_neighbors, AttrMap, BatchUpdate, Graph, NodeId, Value};
-use proptest::prelude::*;
+
+/// Number of random cases per property.
+const CASES: u64 = 48;
 
 /// Node labels used by the random graphs (kept tiny so patterns match often).
 const NODE_LABELS: [&str; 3] = ["A", "B", "C"];
@@ -47,12 +52,42 @@ fn build_graph(spec: &RandomGraph) -> Graph {
     graph
 }
 
-fn random_graph() -> impl Strategy<Value = RandomGraph> {
-    (
-        prop::collection::vec((0usize..3, 0i64..20), 2..12),
-        prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..30),
-    )
-        .prop_map(|(nodes, edges)| RandomGraph { nodes, edges })
+fn random_graph(rng: &mut StdRng) -> RandomGraph {
+    let node_count = rng.gen_range(2..12usize);
+    let nodes = (0..node_count)
+        .map(|_| (rng.gen_range(0..3usize), rng.gen_range(0..20i64)))
+        .collect();
+    let edge_count = rng.gen_range(0..30usize);
+    let edges = (0..edge_count)
+        .map(|_| {
+            (
+                rng.gen_range(0..12usize),
+                rng.gen_range(0..12usize),
+                rng.gen_range(0..2usize),
+            )
+        })
+        .collect();
+    RandomGraph { nodes, edges }
+}
+
+/// Random insert picks, as `(src, dst, label)` index triples.
+fn random_picks(rng: &mut StdRng, max: usize) -> Vec<(usize, usize, usize)> {
+    let count = rng.gen_range(0..max);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..12usize),
+                rng.gen_range(0..12usize),
+                rng.gen_range(0..2usize),
+            )
+        })
+        .collect()
+}
+
+/// Random deletion indices.
+fn random_deletions(rng: &mut StdRng, max: usize) -> Vec<usize> {
+    let count = rng.gen_range(0..max);
+    (0..count).map(|_| rng.gen_range(0..64usize)).collect()
 }
 
 /// Two fixed rules over the random schema: one comparison rule and one rule
@@ -91,7 +126,11 @@ fn rules() -> RuleSet {
 
 /// A random batch update over `graph`: delete a selection of existing edges
 /// and insert a few new label-compatible ones.
-fn random_update(graph: &Graph, picks: &[(usize, usize, usize)], deletions: &[usize]) -> BatchUpdate {
+fn random_update(
+    graph: &Graph,
+    picks: &[(usize, usize, usize)],
+    deletions: &[usize],
+) -> BatchUpdate {
     let mut update = BatchUpdate::new();
     let existing = graph.edge_vec();
     for &idx in deletions {
@@ -123,41 +162,51 @@ fn random_update(graph: &Graph, picks: &[(usize, usize, usize)], deletions: &[us
     update
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn incremental_matches_batch_oracle(
-        spec in random_graph(),
-        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..8),
-        deletions in prop::collection::vec(0usize..64, 0..8),
-    ) {
-        let graph = build_graph(&spec);
-        let sigma = rules();
+#[test]
+fn incremental_matches_batch_oracle() {
+    let sigma = rules();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let graph = build_graph(&random_graph(&mut rng));
+        let inserts = random_picks(&mut rng, 8);
+        let deletions = random_deletions(&mut rng, 8);
         let delta = random_update(&graph, &inserts, &deletions);
-        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let updated = delta
+            .applied_to(&graph)
+            .expect("random updates apply cleanly");
 
         let old = dect(&sigma, &graph).violations;
         let new = dect(&sigma, &updated).violations;
         let report = inc_dect_prepared(&sigma, &graph, &updated, &delta);
 
-        prop_assert_eq!(&report.delta.added, &new.difference(&old), "ΔVio⁺ mismatch");
-        prop_assert_eq!(&report.delta.removed, &old.difference(&new), "ΔVio⁻ mismatch");
+        assert_eq!(
+            &report.delta.added,
+            &new.difference(&old),
+            "ΔVio⁺ mismatch (case {case})"
+        );
+        assert_eq!(
+            &report.delta.removed,
+            &old.difference(&new),
+            "ΔVio⁻ mismatch (case {case})"
+        );
         // Vio(G) ⊕ ΔVio = Vio(G ⊕ ΔG).
-        prop_assert_eq!(old.apply_delta(&report.delta), new);
+        assert_eq!(old.apply_delta(&report.delta), new, "case {case}");
     }
+}
 
-    #[test]
-    fn parallel_incremental_agrees_with_sequential(
-        spec in random_graph(),
-        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..6),
-        deletions in prop::collection::vec(0usize..64, 0..6),
-        processors in 1usize..4,
-    ) {
-        let graph = build_graph(&spec);
-        let sigma = rules();
+#[test]
+fn parallel_incremental_agrees_with_sequential() {
+    let sigma = rules();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let graph = build_graph(&random_graph(&mut rng));
+        let inserts = random_picks(&mut rng, 6);
+        let deletions = random_deletions(&mut rng, 6);
+        let processors = rng.gen_range(1..4usize);
         let delta = random_update(&graph, &inserts, &deletions);
-        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let updated = delta
+            .applied_to(&graph)
+            .expect("random updates apply cleanly");
         let sequential = inc_dect_prepared(&sigma, &graph, &updated, &delta);
         let parallel = pinc_dect_prepared(
             &sigma,
@@ -166,69 +215,83 @@ proptest! {
             &delta,
             &DetectorConfig::with_processors(processors),
         );
-        prop_assert_eq!(parallel.delta, sequential.delta);
+        assert_eq!(
+            parallel.delta, sequential.delta,
+            "case {case}, p = {processors}"
+        );
     }
+}
 
-    #[test]
-    fn violation_sets_and_deltas_obey_set_algebra(
-        spec in random_graph(),
-        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..6),
-        deletions in prop::collection::vec(0usize..64, 0..6),
-    ) {
-        let graph = build_graph(&spec);
-        let sigma = rules();
+#[test]
+fn violation_sets_and_deltas_obey_set_algebra() {
+    let sigma = rules();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let graph = build_graph(&random_graph(&mut rng));
+        let inserts = random_picks(&mut rng, 6);
+        let deletions = random_deletions(&mut rng, 6);
         let delta = random_update(&graph, &inserts, &deletions);
-        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let updated = delta
+            .applied_to(&graph)
+            .expect("random updates apply cleanly");
         let old = dect(&sigma, &graph).violations;
         let new = dect(&sigma, &updated).violations;
         // Difference and union are consistent with each other.
         let added = new.difference(&old);
         let removed = old.difference(&new);
-        prop_assert_eq!(old.union(&added).difference(&removed), new);
+        assert_eq!(old.union(&added).difference(&removed), new, "case {case}");
         // Added and removed are disjoint.
         for violation in added.iter() {
-            prop_assert!(!removed.contains(violation));
+            assert!(!removed.contains(violation), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn d_neighborhoods_are_monotone_and_bounded(
-        spec in random_graph(),
-        start in 0usize..12,
-        d in 0usize..5,
-    ) {
-        let graph = build_graph(&spec);
-        prop_assume!(graph.node_count() > 0);
-        let v = NodeId((start % graph.node_count()) as u32);
+#[test]
+fn d_neighborhoods_are_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let graph = build_graph(&random_graph(&mut rng));
+        if graph.node_count() == 0 {
+            continue;
+        }
+        let v = NodeId(rng.gen_range(0..graph.node_count()) as u32);
+        let d = rng.gen_range(0..5usize);
         let smaller = d_neighbors(&graph, v, d);
         let larger = d_neighbors(&graph, v, d + 1);
-        prop_assert!(smaller.len() <= larger.len());
+        assert!(smaller.len() <= larger.len(), "case {case}");
         for node in smaller.nodes() {
-            prop_assert!(larger.contains(node));
+            assert!(larger.contains(node), "case {case}");
         }
-        prop_assert!(larger.len() <= graph.node_count());
-        prop_assert!(smaller.contains(v), "a node is always in its own neighbourhood");
+        assert!(larger.len() <= graph.node_count(), "case {case}");
+        assert!(
+            smaller.contains(v),
+            "a node is always in its own neighbourhood (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn updates_change_edge_counts_consistently(
-        spec in random_graph(),
-        inserts in prop::collection::vec((0usize..12, 0usize..12, 0usize..2), 0..8),
-        deletions in prop::collection::vec(0usize..64, 0..8),
-    ) {
-        let graph = build_graph(&spec);
+#[test]
+fn updates_change_edge_counts_consistently() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let graph = build_graph(&random_graph(&mut rng));
+        let inserts = random_picks(&mut rng, 8);
+        let deletions = random_deletions(&mut rng, 8);
         let delta = random_update(&graph, &inserts, &deletions);
-        let updated = delta.applied_to(&graph).expect("random updates apply cleanly");
+        let updated = delta
+            .applied_to(&graph)
+            .expect("random updates apply cleanly");
         let expected = graph.edge_count() + delta.insertions().count() - delta.deletions().count();
-        prop_assert_eq!(updated.edge_count(), expected);
+        assert_eq!(updated.edge_count(), expected, "case {case}");
         // Deleted edges are gone, inserted edges are present.
         for e in delta.deletions() {
             if delta.insertions().all(|i| i != e) {
-                prop_assert!(!updated.has_edge(e.src, e.dst, e.label));
+                assert!(!updated.has_edge(e.src, e.dst, e.label), "case {case}");
             }
         }
         for e in delta.insertions() {
-            prop_assert!(updated.has_edge(e.src, e.dst, e.label));
+            assert!(updated.has_edge(e.src, e.dst, e.label), "case {case}");
         }
     }
 }
