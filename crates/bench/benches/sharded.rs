@@ -1,0 +1,138 @@
+//! Sharded-versus-shared snapshot benchmarks for the parallel detectors.
+//!
+//! Measures `PDect`/`PIncDect` against one shared global `CsrSnapshot`
+//! versus per-fragment `ShardedSnapshot`s (edge-cut, with and without the
+//! `dΣ`-deep halo), on a deliberately small synthetic knowledge workload so
+//! the whole run finishes in seconds — this is the workload CI's
+//! `bench-smoke` job runs on every PR.  Running it records the sharded
+//! baseline in `BENCH_sharded.json` at the repository root: per-variant
+//! timings plus the communication side of the trade-off (cross-fragment
+//! candidate fetches, replicated-node factor).
+
+use ngd_bench::harness::{black_box, Harness};
+use ngd_core::{paper, RuleSet};
+use ngd_datagen::{
+    generate_knowledge, generate_rules, generate_update, KnowledgeConfig, RuleGenConfig,
+    UpdateConfig,
+};
+use ngd_detect::{dect_on, pdect_on, pdect_sharded, pinc_dect, pinc_dect_sharded, DetectorConfig};
+
+const FRAGMENTS: usize = 4;
+
+fn main() {
+    let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(6).with_seed(0x5AAD)).graph;
+    let mut rules = vec![paper::phi1(1), paper::phi2(), paper::phi3(), paper::ngd3()];
+    rules.extend(
+        generate_rules(&graph, &RuleGenConfig::paper_style(4, 3).with_seed(11))
+            .rules()
+            .iter()
+            .cloned(),
+    );
+    let sigma = RuleSet::from_rules(rules);
+    let delta = generate_update(&graph, &UpdateConfig::fraction(0.10).with_seed(13));
+    let config = DetectorConfig::with_processors(FRAGMENTS);
+
+    let snapshot = graph.freeze();
+    let strategy = ngd_graph::PartitionStrategy::EdgeCut;
+    let sharded_haloed = graph.freeze_sharded(FRAGMENTS, strategy, sigma.diameter());
+    let sharded_bare = graph.freeze_sharded(FRAGMENTS, strategy, 0);
+
+    // Sanity before timing anything: the sharded paths must return the
+    // byte-identical answers their speed is compared at.
+    let reference = dect_on(&sigma, &snapshot);
+    let sharded_batch = pdect_sharded(&sigma, &sharded_haloed, &config);
+    assert_eq!(reference.violations, sharded_batch.violations);
+    let inc_reference = pinc_dect(&sigma, &graph, &delta, &config);
+    let sharded_inc = pinc_dect_sharded(&sigma, &sharded_haloed, &delta, &config);
+    assert_eq!(inc_reference.delta, sharded_inc.delta);
+
+    let mut h = Harness::new();
+
+    println!(
+        "# sharded vs shared: |V| = {}, |E| = {}, ‖Σ‖ = {}, p = {FRAGMENTS}, dΣ = {}",
+        graph.node_count(),
+        graph.edge_count(),
+        sigma.len(),
+        sigma.diameter()
+    );
+    h.bench("freeze/shared_snapshot", || {
+        black_box(graph.freeze());
+    });
+    h.bench("freeze/sharded_halo_dsigma", || {
+        black_box(graph.freeze_sharded(FRAGMENTS, strategy, sigma.diameter()));
+    });
+
+    let shared = h.bench("pdect/shared_snapshot", || {
+        black_box(pdect_on(&sigma, &snapshot, &config));
+    });
+    let haloed = h.bench("pdect/sharded_halo_dsigma", || {
+        black_box(pdect_sharded(&sigma, &sharded_haloed, &config));
+    });
+    h.bench("pdect/sharded_halo_0", || {
+        black_box(pdect_sharded(&sigma, &sharded_bare, &config));
+    });
+
+    let inc_shared = h.bench("pincdect/shared_snapshot", || {
+        black_box(pinc_dect(&sigma, &graph, &delta, &config));
+    });
+    let inc_sharded = h.bench("pincdect/sharded_halo_dsigma", || {
+        black_box(pinc_dect_sharded(&sigma, &sharded_haloed, &delta, &config));
+    });
+
+    let batch_ratio = shared.ns_per_iter / haloed.ns_per_iter;
+    let inc_ratio = inc_shared.ns_per_iter / inc_sharded.ns_per_iter;
+    let bare_batch = pdect_sharded(&sigma, &sharded_bare, &config);
+    println!("pdect sharded/shared throughput ratio: {batch_ratio:.2}x");
+    println!("pincdect sharded/shared throughput ratio: {inc_ratio:.2}x");
+    println!(
+        "remote fetches: halo=dΣ batch {}, halo=0 batch {}, halo=dΣ incremental {}",
+        sharded_batch.cost.remote_fetches,
+        bare_batch.cost.remote_fetches,
+        sharded_inc.cost.remote_fetches
+    );
+
+    let json = h.to_json(&[
+        ("bench".to_string(), "sharded".to_string()),
+        ("fragments".to_string(), FRAGMENTS.to_string()),
+        ("strategy".to_string(), "EdgeCut".to_string()),
+        ("halo_depth".to_string(), sigma.diameter().to_string()),
+        (
+            "pdect_sharded_vs_shared_speedup".to_string(),
+            format!("{batch_ratio:.2}"),
+        ),
+        (
+            "pincdect_sharded_vs_shared_speedup".to_string(),
+            format!("{inc_ratio:.2}"),
+        ),
+        (
+            "remote_fetches_halo_dsigma".to_string(),
+            sharded_batch.cost.remote_fetches.to_string(),
+        ),
+        (
+            "remote_fetches_halo_0".to_string(),
+            bare_batch.cost.remote_fetches.to_string(),
+        ),
+        (
+            "replication_factor_halo_dsigma".to_string(),
+            format!("{:.3}", sharded_haloed.replication_factor()),
+        ),
+        (
+            "violations".to_string(),
+            reference.violation_count().to_string(),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sharded.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    // The dΣ-halo makes owned-seed batch matching fully fragment-local;
+    // losing that property would silently reintroduce the communication
+    // cost this subsystem exists to avoid.
+    assert_eq!(
+        sharded_batch.cost.remote_fetches, 0,
+        "batch matching with a dΣ halo must not fetch across fragments"
+    );
+}

@@ -13,14 +13,15 @@
 //!
 //! Both detectors run over any [`GraphView`] via [`dect_on`] /
 //! [`pdect_on`]; the [`Graph`]-taking entry points freeze the graph into a
-//! [`CsrSnapshot`] first, making the label-partitioned CSR representation
+//! [`CsrSnapshot`](ngd_graph::CsrSnapshot) first, making the
+//! label-partitioned CSR representation
 //! the default hot path.
 
 use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::CostLedger;
 use crate::report::{DetectionReport, SearchStats};
 use ngd_core::{Ngd, RuleSet, Var};
-use ngd_graph::{Graph, GraphView, NodeId, WILDCARD};
+use ngd_graph::{Graph, GraphView, NodeId, ShardedSnapshot, WILDCARD};
 use ngd_match::{Matcher, Violation, ViolationSet};
 use std::time::Instant;
 
@@ -132,13 +133,95 @@ pub fn pdect_on<G: GraphView + Sync>(
         (violations, stats)
     });
 
+    // Record scanned work the same way the sharded variant does, so
+    // modelled-cost comparisons between PDect and PDectSharded line up.
+    let mut cost = CostLedger::default();
+    cost.record_scan(stats.candidates_inspected);
     DetectionReport {
         algorithm: AlgorithmKind::PDect,
         violations,
         elapsed: start.elapsed(),
         stats,
-        cost: CostLedger::default(),
+        cost,
         processors: config.processors,
+    }
+}
+
+/// Parallel batch detection over per-fragment sharded snapshots: one
+/// worker per fragment, each matching only the root candidates its
+/// fragment **owns** against its own [`ngd_graph::FragmentView`].
+///
+/// Root variables and their candidate sets are computed on the global
+/// snapshot (the replicated label dictionary), so the search explores
+/// exactly the shared-snapshot search tree and the merged violation set is
+/// byte-identical to [`pdect_on`] / [`dect`].  Adjacency reads a fragment
+/// cannot serve locally fall back to the global snapshot and are accounted
+/// in the report's [`CostLedger`] as cross-fragment candidate fetches,
+/// each paying `config.latency_c` modelled latency units.
+pub fn pdect_sharded(
+    sigma: &RuleSet,
+    sharded: &ShardedSnapshot,
+    config: &DetectorConfig,
+) -> DetectionReport {
+    let start = Instant::now();
+    let global = sharded.global();
+    let p = sharded.fragment_count().max(1);
+    // Route every (rule, root candidate) work unit to the candidate's
+    // owning fragment; ownership covers each node exactly once, so the
+    // fragments' result sets partition the full violation set.
+    let mut units: Vec<Vec<(usize, Var, NodeId)>> = vec![Vec::new(); p];
+    for (rule_idx, rule) in sigma.iter().enumerate() {
+        if let Some(root) = root_variable(rule, global) {
+            for candidate in candidates_for(rule, global, root) {
+                units[sharded.route_of(candidate)].push((rule_idx, root, candidate));
+            }
+        }
+    }
+
+    let units_ref = &units;
+    let (violations, stats, cost) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..p)
+            .map(|worker| {
+                scope.spawn(move || {
+                    let view = sharded.fragment_view(worker);
+                    let mut set = ViolationSet::new();
+                    let mut stats = SearchStats::default();
+                    for &(rule_idx, root, candidate) in &units_ref[worker] {
+                        let rule = &sigma.rules()[rule_idx];
+                        let matcher = Matcher::new(&rule.pattern, &view);
+                        let (matches, run_stats) =
+                            matcher.expand_seeded(&[(root, candidate)], Some(rule));
+                        for m in matches {
+                            set.insert(Violation::new(rule.id.clone(), m));
+                        }
+                        stats.merge(&SearchStats::from(run_stats));
+                    }
+                    let mut cost = CostLedger::default();
+                    cost.record_scan(stats.candidates_inspected);
+                    cost.record_remote(view.remote_fetches(), config.latency_c);
+                    (set, stats, cost)
+                })
+            })
+            .collect();
+        let mut violations = ViolationSet::new();
+        let mut stats = SearchStats::default();
+        let mut cost = CostLedger::default();
+        for handle in handles {
+            let (set, s, c) = handle.join().expect("sharded PDect worker must not panic");
+            violations.extend(set);
+            stats.merge(&s);
+            cost.merge(&c);
+        }
+        (violations, stats, cost)
+    });
+
+    DetectionReport {
+        algorithm: AlgorithmKind::PDectSharded,
+        violations,
+        elapsed: start.elapsed(),
+        stats,
+        cost,
+        processors: p,
     }
 }
 
@@ -207,6 +290,44 @@ mod tests {
             );
             assert_eq!(parallel.processors, p);
         }
+    }
+
+    #[test]
+    fn pdect_sharded_agrees_with_dect_for_every_strategy_and_halo() {
+        use ngd_graph::PartitionStrategy;
+        let graph = paper_graph();
+        let sigma = paper::paper_rule_set();
+        let sequential = dect(&sigma, &graph);
+        for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
+            for p in [1, 2, 4] {
+                for halo in [0, sigma.diameter()] {
+                    let sharded = graph.freeze_sharded(p, strategy, halo);
+                    let report = pdect_sharded(&sigma, &sharded, &DetectorConfig::default());
+                    assert_eq!(
+                        report.violations, sequential.violations,
+                        "{strategy:?} p={p} halo={halo}"
+                    );
+                    assert_eq!(report.algorithm, AlgorithmKind::PDectSharded);
+                    assert_eq!(report.processors, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_remote_fetches_shrink_with_a_full_halo() {
+        use ngd_graph::PartitionStrategy;
+        let graph = paper_graph();
+        let sigma = paper::paper_rule_set();
+        let config = DetectorConfig::default();
+        let bare = graph.freeze_sharded(4, PartitionStrategy::EdgeCut, 0);
+        let haloed = graph.freeze_sharded(4, PartitionStrategy::EdgeCut, sigma.diameter());
+        let bare_report = pdect_sharded(&sigma, &bare, &config);
+        let haloed_report = pdect_sharded(&sigma, &haloed, &config);
+        assert_eq!(bare_report.violations, haloed_report.violations);
+        // A dΣ-deep halo makes owned-seed expansion fully local.
+        assert_eq!(haloed_report.cost.remote_fetches, 0);
+        assert!(bare_report.cost.remote_fetches >= haloed_report.cost.remote_fetches);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //!   parallel scalable relative to `IncDect`, with the paper's hybrid
 //!   workload strategy (cost-model work-unit splitting + periodic
 //!   balancing) and its ablation variants;
+//! * sharded execution — [`pdect_sharded`] and [`pinc_dect_sharded`] run
+//!   the parallel detectors against a
+//!   [`ShardedSnapshot`](ngd_graph::ShardedSnapshot): one worker per
+//!   fragment, work routed by node ownership, cross-fragment candidate
+//!   fetches accounted in the [`CostLedger`] as the paper's communication
+//!   cost — results stay byte-identical to the shared-snapshot path;
 //! * [`cost`] and [`balance`] — the work-splitting cost model and the
 //!   skewness-based balancing policy;
 //! * [`config`] and [`report`] — run configuration and the reports every
@@ -62,9 +68,9 @@ pub mod pincdect;
 pub mod report;
 
 pub use balance::{plan_migrations, skewness, Migration};
-pub use batch::{dect, dect_on, pdect, pdect_on};
+pub use batch::{dect, dect_on, pdect, pdect_on, pdect_sharded};
 pub use config::{AlgorithmKind, DetectorConfig};
 pub use cost::{parallel_cost, sequential_cost, should_split, CostLedger};
 pub use incdect::{inc_dect, inc_dect_prepared, inc_dect_snapshot};
-pub use pincdect::{pinc_dect, pinc_dect_prepared};
+pub use pincdect::{pinc_dect, pinc_dect_prepared, pinc_dect_sharded};
 pub use report::{DeltaReport, DetectionReport, SearchStats};

@@ -38,7 +38,10 @@ use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::{should_split, CostLedger};
 use crate::report::{DeltaReport, SearchStats};
 use ngd_core::{is_violation, Ngd, RuleSet, Var};
-use ngd_graph::{d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView, NodeId};
+use ngd_graph::{
+    d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, FragmentView, Graph, GraphView, NodeId,
+    Partition, ShardedSnapshot,
+};
 use ngd_match::{edge_ranks, pattern_matches, update_pivots, DeltaViolations, Matcher, Violation};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -86,10 +89,17 @@ struct WorkerOutput {
 }
 
 /// Shared runtime state of one `PIncDect` invocation.
+///
+/// Each worker reads the graphs through its *own* `(old, new)` view pair:
+/// on the shared-snapshot path every pair aliases the same two views, on
+/// the sharded path worker `i` holds overlays over fragment `i`'s
+/// [`FragmentView`].  All views observe the same logical graph, so a work
+/// unit may be expanded by any worker (splitting and balancing move units
+/// freely) — a foreign worker merely pays remote candidate fetches.
 struct Runtime<'a, V: GraphView> {
     sigma: &'a RuleSet,
-    old_graph: &'a V,
-    new_graph: &'a V,
+    /// Per-worker `(old graph, new graph)` view pairs.
+    views: &'a [(&'a V, &'a V)],
     /// Rank of each inserted edge in `ΔG⁺` (pivot de-duplication).
     inserted_ranks: HashMap<ngd_graph::EdgeRef, usize>,
     /// Rank of each deleted edge in `ΔG⁻`.
@@ -105,10 +115,11 @@ struct Runtime<'a, V: GraphView> {
 }
 
 impl<'a, V: GraphView> Runtime<'a, V> {
-    fn graphs_for(&self, phase: Phase) -> (&'a V, &'a V) {
+    fn graphs_for(&self, phase: Phase, worker: usize) -> (&'a V, &'a V) {
+        let (old_graph, new_graph) = self.views[worker];
         match phase {
-            Phase::Added => (self.new_graph, self.old_graph),
-            Phase::Removed => (self.old_graph, self.new_graph),
+            Phase::Added => (new_graph, old_graph),
+            Phase::Removed => (old_graph, new_graph),
         }
     }
 
@@ -168,7 +179,7 @@ impl<'a, V: GraphView> Runtime<'a, V> {
     /// `out` and pushing children / split chunks onto the queues.
     fn expand(&self, worker: usize, unit: WorkUnit, out: &mut WorkerOutput) {
         let rule = &self.sigma.rules()[unit.rule_idx];
-        let (search_graph, other_graph) = self.graphs_for(unit.phase);
+        let (search_graph, other_graph) = self.graphs_for(unit.phase, worker);
         let matcher = Matcher::new(&rule.pattern, search_graph)
             .with_forbidden(self.ranks_for(unit.phase), unit.pivot_rank);
         out.stats.expanded += 1;
@@ -207,8 +218,10 @@ impl<'a, V: GraphView> Runtime<'a, V> {
 
         // Work-unit splitting (hybrid strategy, ingredient (a)): if the cost
         // model prefers the parallel route, scatter the candidate list over
-        // all workers and stop here.
-        let p = self.config.processors;
+        // all workers and stop here.  The worker count is the number of
+        // views/queues, NOT `config.processors` — on the sharded path the
+        // fragment count wins.
+        let p = self.views.len();
         let already_split = unit.presplit.is_some();
         if self.config.work_splitting
             && !already_split
@@ -329,56 +342,65 @@ impl<'a, V: GraphView> Runtime<'a, V> {
     }
 }
 
-/// Create the initial work units (update pivots) of one rule for one phase.
-/// The `ranks` map drives the pivot de-duplication: the unit created for
-/// the `rank`-th updated edge never expands into an earlier updated edge.
-fn pivot_units<G: GraphView>(
+/// Create the initial work units (update pivots) of one rule for one
+/// updated edge.  The `ranks` map drives the pivot de-duplication: the
+/// unit created for the `rank`-th updated edge never expands into an
+/// earlier updated edge.
+fn edge_pivot_units<G: GraphView>(
     rule_idx: usize,
     rule: &Ngd,
     phase: Phase,
     search_graph: &G,
-    edges: &[EdgeRef],
+    edge: EdgeRef,
+    rank: usize,
     ranks: &HashMap<EdgeRef, usize>,
 ) -> Vec<WorkUnit> {
     let mut units = Vec::new();
-    for (rank, edge) in edges.iter().enumerate() {
-        let matcher = Matcher::new(&rule.pattern, search_graph).with_forbidden(ranks, rank);
-        for pivot in update_pivots(rule, search_graph, std::iter::once(*edge)) {
-            let pe = rule.pattern.edges()[pivot.pattern_edge];
-            let seeds = [(pe.src, pivot.edge.src), (pe.dst, pivot.edge.dst)];
-            // Install the seeds, rejecting label clashes and self-loop
-            // pattern edges seeded with two different nodes.
-            let mut assignment = vec![None; rule.pattern.node_count()];
-            let mut ok = true;
-            for &(var, node) in &seeds {
-                if !matcher.node_matches_var(var, node) {
+    let matcher = Matcher::new(&rule.pattern, search_graph).with_forbidden(ranks, rank);
+    for pivot in update_pivots(rule, search_graph, std::iter::once(edge)) {
+        let pe = rule.pattern.edges()[pivot.pattern_edge];
+        let seeds = [(pe.src, pivot.edge.src), (pe.dst, pivot.edge.dst)];
+        // Install the seeds, rejecting label clashes and self-loop
+        // pattern edges seeded with two different nodes.
+        let mut assignment = vec![None; rule.pattern.node_count()];
+        let mut ok = true;
+        for &(var, node) in &seeds {
+            if !matcher.node_matches_var(var, node) {
+                ok = false;
+                break;
+            }
+            match assignment[var.index()] {
+                Some(existing) if existing != node => {
                     ok = false;
                     break;
                 }
-                match assignment[var.index()] {
-                    Some(existing) if existing != node => {
-                        ok = false;
-                        break;
-                    }
-                    _ => assignment[var.index()] = Some(node),
-                }
+                _ => assignment[var.index()] = Some(node),
             }
-            if !ok || !matcher.partial_viable(Some(rule), &assignment) {
-                continue;
-            }
-            let order = Arc::new(matcher.order_with_seeds(&[pe.src, pe.dst]));
-            units.push(WorkUnit {
-                rule_idx,
-                phase,
-                order,
-                depth: 0,
-                assignment,
-                presplit: None,
-                pivot_rank: rank,
-            });
         }
+        if !ok || !matcher.partial_viable(Some(rule), &assignment) {
+            continue;
+        }
+        let order = Arc::new(matcher.order_with_seeds(&[pe.src, pe.dst]));
+        units.push(WorkUnit {
+            rule_idx,
+            phase,
+            order,
+            depth: 0,
+            assignment,
+            presplit: None,
+            pivot_rank: rank,
+        });
     }
     units
+}
+
+/// How update pivots are assigned to worker queues.
+enum PivotRouting<'a> {
+    /// Deal the pivots out evenly (shared-snapshot path).
+    RoundRobin,
+    /// Send each pivot to the fragment owning the updated edge's source
+    /// node (sharded path).
+    Owner(&'a Partition),
 }
 
 /// Run `PIncDect` (or one of its ablation variants, depending on
@@ -409,38 +431,138 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
     delta: &BatchUpdate,
     config: &DetectorConfig,
 ) -> DeltaReport {
-    let start = Instant::now();
     let p = config.processors.max(1);
+    // Every worker shares the same two views.
+    let views: Vec<(&V, &V)> = vec![(old_graph, new_graph); p];
+    pinc_dect_core(
+        sigma,
+        &views,
+        PivotRouting::RoundRobin,
+        delta,
+        config,
+        None,
+        None,
+    )
+}
+
+/// Run `PIncDect` over per-fragment sharded snapshots: one worker per
+/// fragment, each holding [`DeltaOverlay`]s of its own fragment's
+/// [`FragmentView`] as the old/new sides.
+///
+/// Update pivots are routed to the fragment owning the updated edge's
+/// source node ([`Partition::route_of`]); work-unit splitting and workload
+/// balancing still move units across workers, and a worker expanding a
+/// unit whose nodes live outside its fragment pays cross-fragment
+/// candidate fetches — counted, together with the fetches incurred while
+/// laying `ΔG` over each fragment, in the report's [`CostLedger`]
+/// (`config.latency_c` modelled latency units per fetch).
+///
+/// `config.processors` is ignored: the worker count is the fragment count.
+/// The resulting `ΔVio` is byte-identical to [`pinc_dect`] /
+/// [`crate::inc_dect`].
+pub fn pinc_dect_sharded(
+    sigma: &RuleSet,
+    sharded: &ShardedSnapshot,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+) -> DeltaReport {
+    let p = sharded.fragment_count().max(1);
+    let frag_views: Vec<FragmentView<'_>> = (0..p).map(|f| sharded.fragment_view(f)).collect();
+    let old_views: Vec<DeltaOverlay<'_, FragmentView<'_>>> =
+        frag_views.iter().map(DeltaOverlay::empty).collect();
+    let new_views: Vec<DeltaOverlay<'_, FragmentView<'_>>> = frag_views
+        .iter()
+        .map(|view| DeltaOverlay::new(view, delta))
+        .collect();
+    let views: Vec<(
+        &DeltaOverlay<'_, FragmentView<'_>>,
+        &DeltaOverlay<'_, FragmentView<'_>>,
+    )> = old_views.iter().zip(new_views.iter()).collect();
+    // The dΣ-neighbourhood statistic is pure reporting: walk it on the
+    // global snapshot so it does not pollute fragment 0's remote-fetch
+    // counter (and with it the modelled communication cost).
+    let global_new = DeltaOverlay::new(sharded.global(), delta);
+    let neighborhood = d_neighbors_many(&global_new, delta.touched_nodes(), sigma.diameter()).len();
+    let mut report = pinc_dect_core(
+        sigma,
+        &views,
+        PivotRouting::Owner(sharded.partition()),
+        delta,
+        config,
+        Some(AlgorithmKind::PIncDectSharded),
+        Some(neighborhood),
+    );
+    let fetches: u64 = frag_views.iter().map(FragmentView::remote_fetches).sum();
+    report.cost.record_remote(fetches, config.latency_c);
+    report
+}
+
+/// The shared worker runtime behind [`pinc_dect_prepared`] and
+/// [`pinc_dect_sharded`]: `views.len()` workers, each reading through its
+/// own `(old, new)` view pair, with pivots placed by `routing`.
+#[allow(clippy::too_many_arguments)]
+fn pinc_dect_core<V: GraphView + Sync>(
+    sigma: &RuleSet,
+    views: &[(&V, &V)],
+    routing: PivotRouting<'_>,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    algorithm_override: Option<AlgorithmKind>,
+    neighborhood_override: Option<usize>,
+) -> DeltaReport {
+    let start = Instant::now();
+    let p = views.len().max(1);
     let inserted: Vec<EdgeRef> = delta.insertions().collect();
     let deleted: Vec<EdgeRef> = delta.deletions().collect();
 
-    // Phase 1: update pivots for every rule, both phases.
+    // Phase 1: update pivots for every rule, both phases.  Each pivot is
+    // created against the view of the worker that will own it, so on the
+    // sharded path pivot generation itself runs on the owner's fragment.
     let inserted_ranks = edge_ranks(&inserted);
     let deleted_ranks = edge_ranks(&deleted);
-    let mut pivots: Vec<WorkUnit> = Vec::new();
+    let route = |edge: &EdgeRef, seq: usize| match routing {
+        PivotRouting::RoundRobin => seq % p,
+        PivotRouting::Owner(partition) => partition.route_of(edge.src).min(p - 1),
+    };
+    let mut pivots: Vec<(usize, WorkUnit)> = Vec::new();
     for (rule_idx, rule) in sigma.iter().enumerate() {
-        pivots.extend(pivot_units(
-            rule_idx,
-            rule,
-            Phase::Added,
-            new_graph,
-            &inserted,
-            &inserted_ranks,
-        ));
-        pivots.extend(pivot_units(
-            rule_idx,
-            rule,
-            Phase::Removed,
-            old_graph,
-            &deleted,
-            &deleted_ranks,
-        ));
+        for (rank, edge) in inserted.iter().enumerate() {
+            let worker = route(edge, pivots.len());
+            pivots.extend(
+                edge_pivot_units(
+                    rule_idx,
+                    rule,
+                    Phase::Added,
+                    views[worker].1,
+                    *edge,
+                    rank,
+                    &inserted_ranks,
+                )
+                .into_iter()
+                .map(|unit| (worker, unit)),
+            );
+        }
+        for (rank, edge) in deleted.iter().enumerate() {
+            let worker = route(edge, pivots.len());
+            pivots.extend(
+                edge_pivot_units(
+                    rule_idx,
+                    rule,
+                    Phase::Removed,
+                    views[worker].0,
+                    *edge,
+                    rank,
+                    &deleted_ranks,
+                )
+                .into_iter()
+                .map(|unit| (worker, unit)),
+            );
+        }
     }
 
     let runtime = Runtime {
         sigma,
-        old_graph,
-        new_graph,
+        views,
         inserted_ranks,
         deleted_ranks,
         config: *config,
@@ -450,9 +572,9 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
         done: AtomicBool::new(false),
     };
 
-    // Phase 1 (continued): distribute the pivots evenly across workers.
-    for (idx, unit) in pivots.into_iter().enumerate() {
-        runtime.push(idx % p, unit);
+    // Phase 1 (continued): enqueue the pivots on their workers.
+    for (worker, unit) in pivots {
+        runtime.push(worker, unit);
     }
 
     // Phase 2 + 3: workers expand, the coordinator balances.
@@ -479,13 +601,16 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
     }
 
     let elapsed = start.elapsed();
-    let neighborhood = d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
-    let algorithm = match (config.work_splitting, config.workload_balancing) {
-        (true, true) => AlgorithmKind::PIncDect,
-        (false, true) => AlgorithmKind::PIncDectNs,
-        (true, false) => AlgorithmKind::PIncDectNb,
-        (false, false) => AlgorithmKind::PIncDectNo,
-    };
+    let neighborhood = neighborhood_override.unwrap_or_else(|| {
+        d_neighbors_many(views[0].1, delta.touched_nodes(), sigma.diameter()).len()
+    });
+    let algorithm =
+        algorithm_override.unwrap_or(match (config.work_splitting, config.workload_balancing) {
+            (true, true) => AlgorithmKind::PIncDect,
+            (false, true) => AlgorithmKind::PIncDectNs,
+            (true, false) => AlgorithmKind::PIncDectNb,
+            (false, false) => AlgorithmKind::PIncDectNo,
+        });
     DeltaReport {
         algorithm,
         delta: delta_vio,
@@ -588,6 +713,87 @@ mod tests {
         assert_eq!(ns.cost.splits, 0);
         assert_eq!(ns.algorithm, AlgorithmKind::PIncDectNs);
         assert_eq!(ns.delta, report.delta);
+    }
+
+    #[test]
+    fn sharded_agrees_with_sequential_incremental() {
+        use ngd_graph::PartitionStrategy;
+        let (g, delta, sigma) = example7();
+        let sequential = inc_dect(&sigma, &g, &delta);
+        for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
+            for p in [1, 2, 4] {
+                for halo in [0, sigma.diameter()] {
+                    let sharded = g.freeze_sharded(p, strategy, halo);
+                    let report =
+                        pinc_dect_sharded(&sigma, &sharded, &delta, &DetectorConfig::default());
+                    assert_eq!(
+                        report.delta, sequential.delta,
+                        "{strategy:?} p={p} halo={halo}"
+                    );
+                    assert_eq!(report.algorithm, AlgorithmKind::PIncDectSharded);
+                    assert_eq!(report.processors, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_splitting_targets_fragment_queues_not_config_processors() {
+        use ngd_graph::PartitionStrategy;
+        // Fewer fragments than `config.processors`, with a latency constant
+        // tiny enough to force work-unit splitting: split targets must be
+        // chosen modulo the fragment/queue count (regression — this used to
+        // index past the queue vector and hang the run).
+        let (g, delta, sigma) = example7();
+        let reference = inc_dect(&sigma, &g, &delta);
+        let config = DetectorConfig::with_processors(8).latency(0.001);
+        for p in [1, 2, 3] {
+            let sharded = g.freeze_sharded(p, PartitionStrategy::EdgeCut, sigma.diameter());
+            let report = pinc_dect_sharded(&sigma, &sharded, &delta, &config);
+            assert_eq!(report.delta, reference.delta, "p={p}");
+            assert_eq!(report.processors, p);
+            if p > 1 {
+                assert!(report.cost.splits > 0, "p={p}: expected forced splits");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_handles_insertions_of_new_nodes() {
+        use ngd_graph::PartitionStrategy;
+        let (g_old, fake) = paper::figure1_g4();
+        let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+        let company = g_old.nodes_with_label(intern("company"))[0];
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(fake, company, intern("keys"));
+        let base = g_old.node_count();
+        let acct = delta.add_node(base, intern("account"), AttrMap::new());
+        let following = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(1_000_000))]),
+        );
+        let follower = delta.add_node(
+            base,
+            intern("integer"),
+            AttrMap::from_pairs([("val", Value::Int(2_000_000))]),
+        );
+        let status = delta.add_node(
+            base,
+            intern("boolean"),
+            AttrMap::from_pairs([("val", Value::Bool(true))]),
+        );
+        delta.insert_edge(acct, company, intern("keys"));
+        delta.insert_edge(acct, following, intern("following"));
+        delta.insert_edge(acct, follower, intern("follower"));
+        delta.insert_edge(acct, status, intern("status"));
+
+        let sequential = inc_dect(&sigma, &g_old, &delta);
+        let sharded = g_old.freeze_sharded(3, PartitionStrategy::EdgeCut, sigma.diameter());
+        let report = pinc_dect_sharded(&sigma, &sharded, &delta, &DetectorConfig::default());
+        assert_eq!(report.delta, sequential.delta);
+        assert!(!report.delta.added.is_empty());
+        assert!(!report.delta.removed.is_empty());
     }
 
     #[test]

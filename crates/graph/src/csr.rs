@@ -27,8 +27,11 @@ use crate::view::GraphView;
 use std::collections::HashMap;
 
 /// One direction (out or in) of the CSR adjacency.
+///
+/// Shared between the global [`CsrSnapshot`] and the per-fragment
+/// snapshots of [`crate::shard`], which index rows by *local* node id.
 #[derive(Debug, Clone, Default)]
-struct CsrSide {
+pub(crate) struct CsrSide {
     /// `offsets[v]..offsets[v + 1]` indexes the run of node `v`.
     offsets: Vec<u32>,
     /// Edge label of each entry; runs are sorted by `(label, neighbour)`.
@@ -38,7 +41,7 @@ struct CsrSide {
 }
 
 impl CsrSide {
-    fn build(lists: Vec<Vec<(Sym, NodeId)>>) -> CsrSide {
+    pub(crate) fn build(lists: Vec<Vec<(Sym, NodeId)>>) -> CsrSide {
         let total: usize = lists.iter().map(Vec::len).sum();
         let mut side = CsrSide {
             offsets: Vec::with_capacity(lists.len() + 1),
@@ -58,18 +61,18 @@ impl CsrSide {
     }
 
     #[inline]
-    fn node_range(&self, id: NodeId) -> std::ops::Range<usize> {
+    pub(crate) fn node_range(&self, id: NodeId) -> std::ops::Range<usize> {
         self.offsets[id.index()] as usize..self.offsets[id.index() + 1] as usize
     }
 
     #[inline]
-    fn degree(&self, id: NodeId) -> usize {
+    pub(crate) fn degree(&self, id: NodeId) -> usize {
         let r = self.node_range(id);
         r.end - r.start
     }
 
     /// The contiguous sub-range of `id`'s run whose entries carry `label`.
-    fn labeled_range(&self, id: NodeId, label: Sym) -> std::ops::Range<usize> {
+    pub(crate) fn labeled_range(&self, id: NodeId, label: Sym) -> std::ops::Range<usize> {
         let range = self.node_range(id);
         let run = &self.labels[range.clone()];
         let start = run.partition_point(|&l| l < label);
@@ -77,15 +80,21 @@ impl CsrSide {
         range.start + start..range.start + end
     }
 
-    fn labeled_slice(&self, id: NodeId, label: Sym) -> &[NodeId] {
+    pub(crate) fn labeled_slice(&self, id: NodeId, label: Sym) -> &[NodeId] {
         &self.neighbors[self.labeled_range(id, label)]
     }
 
     /// Binary-search for `neighbor` inside the `(id, label)` run.
-    fn contains(&self, id: NodeId, label: Sym, neighbor: NodeId) -> bool {
+    pub(crate) fn contains(&self, id: NodeId, label: Sym, neighbor: NodeId) -> bool {
         self.labeled_slice(id, label)
             .binary_search(&neighbor)
             .is_ok()
+    }
+
+    /// The `(label, neighbour)` entries of `id`'s run, in CSR order.
+    pub(crate) fn entries(&self, id: NodeId) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
+        self.node_range(id)
+            .map(move |i| (self.labels[i], self.neighbors[i]))
     }
 }
 
@@ -157,6 +166,22 @@ impl CsrSnapshot {
     /// overlay type is required for both sides of an incremental run.
     pub fn as_overlay(&self) -> crate::overlay::DeltaOverlay<'_> {
         crate::overlay::DeltaOverlay::empty(self)
+    }
+
+    /// The full out-run of `id` as `(edge label, neighbour)` entries in CSR
+    /// order — used by [`crate::shard`] to replicate runs into fragments.
+    pub(crate) fn out_entries(&self, id: NodeId) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
+        self.out.entries(id)
+    }
+
+    /// The full in-run of `id` as `(edge label, neighbour)` entries.
+    pub(crate) fn in_entries(&self, id: NodeId) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
+        self.inn.entries(id)
+    }
+
+    /// The label/attribute payload of a node.
+    pub(crate) fn node_data(&self, id: NodeId) -> &NodeData {
+        &self.nodes[id.index()]
     }
 }
 

@@ -42,6 +42,13 @@
 //! * [`partition`] — edge-cut and vertex-cut fragmentation of any
 //!   [`GraphView`] over `p` workers (the METIS substitute used by the
 //!   parallel detectors);
+//! * [`shard`] — [`ShardedSnapshot`]: per-fragment frozen CSRs built from a
+//!   [`Partition`] ([`Graph::freeze_sharded`] / `CsrSnapshot::shard`), each
+//!   fragment owning its nodes' complete label-sorted runs plus a
+//!   replicated `d`-hop halo around its border nodes; workers read through
+//!   a [`FragmentView`] whose rare non-local adjacency reads fall back to
+//!   the global snapshot and are counted as cross-fragment candidate
+//!   fetches (the modelled communication cost of the parallel detectors);
 //! * [`io`] — a plain-text edge-list/attribute format plus JSON
 //!   (de)serialization for graphs;
 //! * [`stats`] — density, degree and component statistics used to check
@@ -60,6 +67,7 @@ pub mod io;
 pub mod neighborhood;
 pub mod overlay;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 pub mod update;
 pub mod value;
@@ -75,6 +83,7 @@ pub use overlay::DeltaOverlay;
 pub use partition::{
     EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner,
 };
+pub use shard::{FragmentSnapshot, FragmentView, ShardedSnapshot};
 pub use stats::GraphStats;
 pub use update::{BatchUpdate, EdgeOp, NewNode, UpdateError};
 pub use value::Value;

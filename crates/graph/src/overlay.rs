@@ -29,10 +29,14 @@ use crate::value::Value;
 use crate::view::GraphView;
 use std::collections::{HashMap, HashSet};
 
-/// A read-only view of `snapshot ⊕ delta` without materialisation.
+/// A read-only view of `base ⊕ delta` without materialisation.
+///
+/// The base defaults to a [`CsrSnapshot`] (the detectors' shared-snapshot
+/// hot path) but can be any [`GraphView`] — the sharded detectors lay the
+/// same overlay over each worker's [`crate::FragmentView`].
 #[derive(Debug, Clone)]
-pub struct DeltaOverlay<'a> {
-    base: &'a CsrSnapshot,
+pub struct DeltaOverlay<'a, B: GraphView = CsrSnapshot> {
+    base: &'a B,
     /// Nodes introduced by the update; node `base_count + i` is `added_nodes[i]`.
     added_nodes: Vec<NodeData>,
     /// Net-inserted edges, grouped by source (sorted by `(label, dst)`).
@@ -52,9 +56,9 @@ pub struct DeltaOverlay<'a> {
     added_edge_count: usize,
 }
 
-impl<'a> DeltaOverlay<'a> {
+impl<'a, B: GraphView> DeltaOverlay<'a, B> {
     /// An overlay with no pending update (behaves exactly like `base`).
-    pub fn empty(base: &'a CsrSnapshot) -> Self {
+    pub fn empty(base: &'a B) -> Self {
         DeltaOverlay {
             base,
             added_nodes: Vec::new(),
@@ -75,7 +79,7 @@ impl<'a> DeltaOverlay<'a> {
     /// sequence (an edge deleted and re-inserted within the batch is
     /// present; inserted and re-deleted is absent), matching what
     /// [`BatchUpdate::apply`] produces on a mutable graph.
-    pub fn new(base: &'a CsrSnapshot, delta: &BatchUpdate) -> Self {
+    pub fn new(base: &'a B, delta: &BatchUpdate) -> Self {
         let mut overlay = DeltaOverlay::empty(base);
         let base_count = GraphView::node_count(base);
         for (idx, node) in delta.new_nodes.iter().enumerate() {
@@ -163,8 +167,8 @@ impl<'a> DeltaOverlay<'a> {
         self.added_nodes.is_empty() && self.added_edge_count == 0 && self.removed.is_empty()
     }
 
-    /// The underlying snapshot.
-    pub fn base(&self) -> &'a CsrSnapshot {
+    /// The underlying base view.
+    pub fn base(&self) -> &'a B {
         self.base
     }
 
@@ -186,7 +190,7 @@ impl<'a> DeltaOverlay<'a> {
     }
 }
 
-impl<'a> GraphView for DeltaOverlay<'a> {
+impl<'a, B: GraphView> GraphView for DeltaOverlay<'a, B> {
     fn node_count(&self) -> usize {
         self.base_count() + self.added_nodes.len()
     }
@@ -264,7 +268,7 @@ impl<'a> GraphView for DeltaOverlay<'a> {
     }
 
     fn nodes_with_label_vec(&self, label: Sym) -> Vec<NodeId> {
-        let mut out = self.base.nodes_with_label(label).to_vec();
+        let mut out = GraphView::nodes_with_label_vec(self.base, label);
         if let Some(extra) = self.added_label_index.get(&label) {
             out.extend_from_slice(extra);
         }
@@ -316,12 +320,12 @@ impl<'a> GraphView for DeltaOverlay<'a> {
     fn for_each_out_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
         if self.is_base_node(id) {
             let has_removals = self.removed_out.get(&id).copied().unwrap_or(0) > 0;
-            for &n in self.base.out_neighbors_labeled(id, label) {
+            GraphView::for_each_out_labeled(self.base, id, label, &mut |n| {
                 if has_removals && self.removed.contains(&EdgeRef::new(id, n, label)) {
-                    continue;
+                    return;
                 }
                 f(n);
-            }
+            });
         }
         if let Some(list) = self.added_out.get(&id) {
             for &(l, n) in list {
@@ -335,12 +339,12 @@ impl<'a> GraphView for DeltaOverlay<'a> {
     fn for_each_in_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
         if self.is_base_node(id) {
             let has_removals = self.removed_in.get(&id).copied().unwrap_or(0) > 0;
-            for &n in self.base.in_neighbors_labeled(id, label) {
+            GraphView::for_each_in_labeled(self.base, id, label, &mut |n| {
                 if has_removals && self.removed.contains(&EdgeRef::new(n, id, label)) {
-                    continue;
+                    return;
                 }
                 f(n);
-            }
+            });
         }
         if let Some(list) = self.added_in.get(&id) {
             for &(l, n) in list {

@@ -87,8 +87,23 @@ impl Partition {
     }
 
     /// Owning fragment of a node.
+    ///
+    /// Panics if `node` was not part of the partitioned graph; use
+    /// [`Partition::route_of`] when the node may be unknown (e.g. a node
+    /// introduced by a pending [`crate::BatchUpdate`]).
     pub fn owner_of(&self, node: NodeId) -> usize {
         self.owner[node.index()]
+    }
+
+    /// Fragment a work item anchored at `node` should be routed to: the
+    /// owner when the node was partitioned, a deterministic hash-spread
+    /// fragment otherwise (nodes introduced after partitioning, e.g. by a
+    /// batch update, have no owner yet).
+    pub fn route_of(&self, node: NodeId) -> usize {
+        self.owner
+            .get(node.index())
+            .copied()
+            .unwrap_or_else(|| node.index() % self.fragments.len().max(1))
     }
 
     /// Fraction of edges that cross fragments (the "cut ratio").
@@ -125,7 +140,8 @@ pub struct EdgeCutPartitioner {
 }
 
 impl EdgeCutPartitioner {
-    /// Create a partitioner producing `parts` fragments.
+    /// Create a partitioner producing `parts` fragments.  `parts = 0` is
+    /// treated as 1 (a partition must have at least one fragment).
     pub fn new(parts: usize) -> Self {
         EdgeCutPartitioner {
             parts: parts.max(1),
@@ -135,10 +151,15 @@ impl EdgeCutPartitioner {
     /// Partition any [`GraphView`] — the detectors hand it a frozen
     /// [`crate::CsrSnapshot`], whose contiguous adjacency runs this BFS
     /// walks without touching per-node heap allocations.
+    ///
+    /// Degenerate inputs are well-defined: `parts = 0` behaves like 1, and
+    /// `parts > |V|` yields exactly `parts` fragments of which the trailing
+    /// ones are empty (so `p` workers can always be spawned 1:1 against the
+    /// fragments).
     pub fn partition<G: GraphView + ?Sized>(&self, graph: &G) -> Partition {
         let n = graph.node_count();
-        let p = self.parts.min(n.max(1));
-        let cap = n.div_ceil(p.max(1)).max(1);
+        let p = self.parts.max(1);
+        let cap = n.div_ceil(p).max(1);
         let mut owner = vec![usize::MAX; n];
         let mut fragments: Vec<Fragment> = (0..p)
             .map(|id| Fragment {
@@ -228,7 +249,8 @@ pub struct VertexCutPartitioner {
 }
 
 impl VertexCutPartitioner {
-    /// Create a partitioner producing `parts` fragments.
+    /// Create a partitioner producing `parts` fragments.  `parts = 0` is
+    /// treated as 1 (a partition must have at least one fragment).
     pub fn new(parts: usize) -> Self {
         VertexCutPartitioner {
             parts: parts.max(1),
@@ -241,13 +263,14 @@ impl VertexCutPartitioner {
         let mut h = (edge.src.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         h ^= (edge.dst.0 as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
         h ^= h >> 29;
-        (h % self.parts as u64) as usize
+        (h % self.parts.max(1) as u64) as usize
     }
 
-    /// Partition any [`GraphView`].
+    /// Partition any [`GraphView`].  Like the edge-cut partitioner, `parts
+    /// = 0` behaves like 1 and `parts > |V|` leaves some fragments empty.
     pub fn partition<G: GraphView + ?Sized>(&self, graph: &G) -> Partition {
         let n = graph.node_count();
-        let p = self.parts;
+        let p = self.parts.max(1);
         let mut fragments: Vec<Fragment> = (0..p)
             .map(|id| Fragment {
                 id,
@@ -391,9 +414,11 @@ mod tests {
     }
 
     #[test]
-    fn more_parts_than_nodes_is_clamped() {
+    fn more_parts_than_nodes_yields_empty_fragments() {
         let g = ring(3);
         let part = EdgeCutPartitioner::new(10).partition(&g);
+        // Exactly the requested fragment count, trailing fragments empty.
+        assert_eq!(part.fragment_count(), 10);
         assert_eq!(
             part.fragments
                 .iter()
@@ -401,6 +426,43 @@ mod tests {
                 .sum::<usize>(),
             3
         );
+        assert!(part.fragments.iter().all(|f| f.node_count() <= 1));
+        assert!(part.balance().is_finite());
+        assert!(part.cut_ratio(&g).is_finite());
+        let v = VertexCutPartitioner::new(10).partition(&g);
+        assert_eq!(v.fragment_count(), 10);
+        assert_eq!(
+            v.fragments.iter().map(Fragment::edge_count).sum::<usize>(),
+            g.edge_count()
+        );
+    }
+
+    #[test]
+    fn zero_parts_behaves_like_one() {
+        let g = ring(6);
+        for part in [
+            EdgeCutPartitioner { parts: 0 }.partition(&g),
+            VertexCutPartitioner { parts: 0 }.partition(&g),
+        ] {
+            assert_eq!(part.fragment_count(), 1);
+            assert_eq!(part.fragments[0].node_count(), 6);
+            assert!(part.crossing_edges.is_empty());
+            assert_eq!(part.balance(), 1.0);
+            assert!(part.cut_ratio(&g).is_finite());
+        }
+    }
+
+    #[test]
+    fn route_of_handles_unknown_nodes() {
+        let g = ring(8);
+        let part = EdgeCutPartitioner::new(3).partition(&g);
+        for id in g.node_ids() {
+            assert_eq!(part.route_of(id), part.owner_of(id));
+        }
+        // Nodes beyond the partitioned graph spread deterministically.
+        let routed = part.route_of(NodeId(100));
+        assert!(routed < part.fragment_count());
+        assert_eq!(part.route_of(NodeId(100)), routed);
     }
 
     #[test]

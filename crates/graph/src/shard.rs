@@ -1,0 +1,710 @@
+//! Sharded per-fragment CSR snapshots for the parallel detectors.
+//!
+//! The paper's parallel detectors (Section 6.3) fragment `G` over `p`
+//! processors.  [`ShardedSnapshot`] realises that fragmentation on top of
+//! the frozen CSR representation: [`Graph::freeze_sharded`] (or
+//! [`CsrSnapshot::shard`]) combines a [`Partition`] from
+//! [`crate::partition`] with the global snapshot and builds one
+//! **fragment snapshot** per fragment, each holding
+//!
+//! * the fragment's **owned nodes** (every node is owned by exactly one
+//!   fragment) and their complete label-sorted adjacency runs, copied out
+//!   of the global CSR into fragment-local arrays, plus
+//! * a replicated **halo**: every node within `halo_depth` undirected hops
+//!   of the fragment's border nodes, so that `d`-hop candidate generation
+//!   near cut edges stays inside the fragment's own memory (the paper
+//!   replicates the `dΣ`-neighbourhood of border nodes the same way).
+//!
+//! Node ids stay **global** everywhere a caller can observe them: a
+//! fragment keeps a `local row ↔ global id` permutation (the same
+//! machinery the label partition of [`CsrSnapshot`] uses), rows are
+//! indexed locally, but neighbour entries store global ids.  Matches,
+//! violations and deltas computed against a fragment are therefore
+//! byte-identical to those computed against the shared snapshot.
+//!
+//! A [`FragmentView`] is the [`GraphView`] a detector worker holds.  Reads
+//! of materialised (owned + halo) nodes are served from the fragment's own
+//! arrays; adjacency reads of any other node fall back to the global
+//! snapshot and are **counted** as cross-fragment candidate fetches — on a
+//! real cluster each such read is a message to the owner, so the counter
+//! is exactly the crossing-edge traffic the paper's communication cost
+//! models (the detectors fold it into their `CostLedger`).  Label, triple
+//! and node-count indexes are served globally without accounting: they are
+//! the read-only dictionaries every processor replicates.
+
+use crate::csr::{CsrSide, CsrSnapshot};
+use crate::graph::{EdgeRef, Graph, NodeData, NodeId};
+use crate::interner::Sym;
+use crate::neighborhood::d_neighbors_many;
+use crate::partition::{partition, Partition, PartitionStrategy};
+use crate::value::Value;
+use crate::view::GraphView;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One fragment's frozen CSR: owned nodes plus the replicated halo, with
+/// complete adjacency runs in fragment-local arrays.
+#[derive(Debug, Clone)]
+pub struct FragmentSnapshot {
+    /// Fragment index in `0..p`.
+    id: usize,
+    /// Global ids of the materialised nodes, owned first, halo after
+    /// (each segment sorted by id).
+    local_to_global: Vec<NodeId>,
+    /// Number of owned nodes (`local_to_global[..owned_count]`).
+    owned_count: usize,
+    /// Dense global id → local row translation table (`u32::MAX` = not
+    /// materialised here); one O(1) array read on every adjacency access.
+    /// Dense beats a hash map on the hot path but costs 4·|V| bytes per
+    /// fragment (O(p·|V|) across the snapshot) — swap for a paged or
+    /// hashed table when fragments move out-of-process.
+    global_to_local: Vec<u32>,
+    /// Node payloads, indexed by local row.
+    nodes: Vec<NodeData>,
+    /// Out-adjacency, rows local, neighbour entries global.
+    out: CsrSide,
+    /// In-adjacency, rows local, neighbour entries global.
+    inn: CsrSide,
+    /// Number of directed edges whose source row is materialised.
+    edge_entries: usize,
+}
+
+impl FragmentSnapshot {
+    /// Fragment index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Global ids of the owned nodes.
+    pub fn owned_nodes(&self) -> &[NodeId] {
+        &self.local_to_global[..self.owned_count]
+    }
+
+    /// Global ids of the replicated halo nodes.
+    pub fn halo_nodes(&self) -> &[NodeId] {
+        &self.local_to_global[self.owned_count..]
+    }
+
+    /// Number of materialised (owned + halo) nodes.
+    pub fn materialized_count(&self) -> usize {
+        self.local_to_global.len()
+    }
+
+    /// Is the node's adjacency materialised in this fragment?
+    pub fn is_local(&self, id: NodeId) -> bool {
+        self.row(id).is_some()
+    }
+
+    /// Does this fragment own the node?
+    pub fn owns(&self, id: NodeId) -> bool {
+        self.row(id)
+            .is_some_and(|row| row.index() < self.owned_count)
+    }
+
+    /// Number of out-edge entries replicated into this fragment.
+    pub fn edge_entries(&self) -> usize {
+        self.edge_entries
+    }
+
+    #[inline]
+    fn row(&self, id: NodeId) -> Option<NodeId> {
+        match self.global_to_local.get(id.index()) {
+            Some(&row) if row != u32::MAX => Some(NodeId(row)),
+            _ => None,
+        }
+    }
+}
+
+/// A partitioned set of frozen fragment snapshots over one global
+/// [`CsrSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    global: CsrSnapshot,
+    partition: Partition,
+    halo_depth: usize,
+    fragments: Vec<FragmentSnapshot>,
+}
+
+impl ShardedSnapshot {
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// The partition the shards were built from.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The global snapshot backing remote reads.
+    pub fn global(&self) -> &CsrSnapshot {
+        &self.global
+    }
+
+    /// The halo replication depth the shards were built with.
+    pub fn halo_depth(&self) -> usize {
+        self.halo_depth
+    }
+
+    /// One fragment's snapshot.
+    pub fn fragment(&self, idx: usize) -> &FragmentSnapshot {
+        &self.fragments[idx]
+    }
+
+    /// A worker's [`GraphView`] over fragment `idx`.
+    pub fn fragment_view(&self, idx: usize) -> FragmentView<'_> {
+        FragmentView {
+            fragment: &self.fragments[idx],
+            global: &self.global,
+            remote_fetches: AtomicU64::new(0),
+        }
+    }
+
+    /// Fragment a work item anchored at `node` routes to (see
+    /// [`Partition::route_of`]).
+    pub fn route_of(&self, node: NodeId) -> usize {
+        self.partition.route_of(node)
+    }
+
+    /// Total materialised nodes across fragments divided by `|V|`: 1.0
+    /// means no replication, larger values measure the memory paid for the
+    /// halo (0.0 on an empty graph).
+    pub fn replication_factor(&self) -> f64 {
+        let total: usize = self
+            .fragments
+            .iter()
+            .map(FragmentSnapshot::materialized_count)
+            .sum();
+        let n = GraphView::node_count(&self.global);
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+}
+
+/// Build the per-fragment snapshots of `partition` over `global`.
+fn build_fragments(
+    global: &CsrSnapshot,
+    partition: &Partition,
+    halo_depth: usize,
+) -> Vec<FragmentSnapshot> {
+    partition
+        .fragments
+        .iter()
+        .map(|frag| {
+            // Local node set: owned nodes, then every non-owned node
+            // within `halo_depth` hops of the fragment's border nodes.
+            // Any search path that leaves owned territory crosses the
+            // cut at a border node, so N_d(owned) ⊆ owned ∪ N_d(border).
+            let mut owned: Vec<NodeId> = frag.nodes.clone();
+            owned.sort_unstable();
+            let reach = d_neighbors_many(global, frag.border_nodes.iter().copied(), halo_depth);
+            let mut halo: Vec<NodeId> = reach
+                .nodes()
+                .filter(|n| owned.binary_search(n).is_err())
+                .collect();
+            halo.sort_unstable();
+
+            let owned_count = owned.len();
+            let mut local_to_global = owned;
+            local_to_global.extend_from_slice(&halo);
+            let mut global_to_local = vec![u32::MAX; GraphView::node_count(global)];
+            for (row, &id) in local_to_global.iter().enumerate() {
+                global_to_local[id.index()] = row as u32;
+            }
+            let nodes: Vec<NodeData> = local_to_global
+                .iter()
+                .map(|&id| global.node_data(id).clone())
+                .collect();
+            // Complete runs per materialised node, copied in CSR order
+            // (already sorted by (label, neighbour)), neighbour entries
+            // kept global.
+            let out_lists: Vec<Vec<(Sym, NodeId)>> = local_to_global
+                .iter()
+                .map(|&id| global.out_entries(id).collect())
+                .collect();
+            let in_lists: Vec<Vec<(Sym, NodeId)>> = local_to_global
+                .iter()
+                .map(|&id| global.in_entries(id).collect())
+                .collect();
+            let edge_entries = out_lists.iter().map(Vec::len).sum();
+            FragmentSnapshot {
+                id: frag.id,
+                local_to_global,
+                owned_count,
+                global_to_local,
+                nodes,
+                out: CsrSide::build(out_lists),
+                inn: CsrSide::build(in_lists),
+                edge_entries,
+            }
+        })
+        .collect()
+}
+
+impl CsrSnapshot {
+    /// Shard this snapshot along `partition`, replicating a halo of
+    /// `halo_depth` undirected hops around every fragment's border nodes.
+    ///
+    /// Pass the rule-set diameter `dΣ` as `halo_depth` to make the
+    /// detectors' candidate generation local for every match anchored at
+    /// an owned node; smaller depths trade replicated memory for remote
+    /// fetches (all still answered correctly via the global fallback).
+    ///
+    /// Clones the snapshot and the partition into the result; when the
+    /// caller is done with both, [`CsrSnapshot::into_sharded`] avoids the
+    /// copies.
+    pub fn shard(&self, partition: &Partition, halo_depth: usize) -> ShardedSnapshot {
+        self.clone().into_sharded(partition.clone(), halo_depth)
+    }
+
+    /// As [`CsrSnapshot::shard`], consuming the snapshot and partition so
+    /// no second copy of the global arrays is ever held.
+    pub fn into_sharded(self, partition: Partition, halo_depth: usize) -> ShardedSnapshot {
+        let fragments = build_fragments(&self, &partition, halo_depth);
+        ShardedSnapshot {
+            global: self,
+            partition,
+            halo_depth,
+            fragments,
+        }
+    }
+}
+
+impl Graph {
+    /// Freeze the graph and shard it into `parts` fragments with the given
+    /// partitioning strategy and halo depth — the one-call entry point the
+    /// sharded detectors use.
+    pub fn freeze_sharded(
+        &self,
+        parts: usize,
+        strategy: PartitionStrategy,
+        halo_depth: usize,
+    ) -> ShardedSnapshot {
+        let snapshot = self.freeze();
+        let part = partition(&snapshot, parts, strategy);
+        snapshot.into_sharded(part, halo_depth)
+    }
+}
+
+/// A detector worker's read view of one fragment: local CSR arrays for
+/// materialised nodes, an *accounted* global fallback for everything else.
+#[derive(Debug)]
+pub struct FragmentView<'a> {
+    fragment: &'a FragmentSnapshot,
+    global: &'a CsrSnapshot,
+    /// Adjacency reads served by the global fallback — each one models a
+    /// candidate fetch from the owning fragment.
+    remote_fetches: AtomicU64,
+}
+
+impl<'a> FragmentView<'a> {
+    /// The fragment this view reads.
+    pub fn fragment(&self) -> &'a FragmentSnapshot {
+        self.fragment
+    }
+
+    /// Cross-fragment candidate fetches performed through this view so far.
+    pub fn remote_fetches(&self) -> u64 {
+        self.remote_fetches.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn local_row(&self, id: NodeId) -> Option<NodeId> {
+        self.fragment.row(id)
+    }
+
+    /// Record one remote adjacency fetch.
+    #[inline]
+    fn count_remote(&self) {
+        self.remote_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<'a> GraphView for FragmentView<'a> {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self.global)
+    }
+
+    fn edge_count(&self) -> usize {
+        GraphView::edge_count(self.global)
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        GraphView::contains_node(self.global, id)
+    }
+
+    fn label(&self, id: NodeId) -> Sym {
+        match self.local_row(id) {
+            Some(row) => self.fragment.nodes[row.index()].label,
+            None => GraphView::label(self.global, id),
+        }
+    }
+
+    fn attr(&self, id: NodeId, name: Sym) -> Option<&Value> {
+        match self.local_row(id) {
+            Some(row) => self.fragment.nodes[row.index()].attrs.get(name),
+            None => GraphView::attr(self.global, id, name),
+        }
+    }
+
+    fn attrs_of(&self, id: NodeId) -> &crate::attrs::AttrMap {
+        match self.local_row(id) {
+            Some(row) => &self.fragment.nodes[row.index()].attrs,
+            None => GraphView::attrs_of(self.global, id),
+        }
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        // Prefer whichever endpoint is materialised; runs are complete, so
+        // one local endpoint suffices.
+        if let Some(row) = self.local_row(src) {
+            return self.fragment.out.contains(row, label, dst);
+        }
+        if let Some(row) = self.local_row(dst) {
+            return self.fragment.inn.contains(row, label, src);
+        }
+        if !GraphView::contains_node(self.global, src)
+            || !GraphView::contains_node(self.global, dst)
+        {
+            return false;
+        }
+        self.count_remote();
+        GraphView::has_edge(self.global, src, dst, label)
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        match self.local_row(id) {
+            Some(row) => self.fragment.out.degree(row),
+            None => {
+                self.count_remote();
+                GraphView::out_degree(self.global, id)
+            }
+        }
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        match self.local_row(id) {
+            Some(row) => self.fragment.inn.degree(row),
+            None => {
+                self.count_remote();
+                GraphView::in_degree(self.global, id)
+            }
+        }
+    }
+
+    fn label_count(&self, label: Sym) -> usize {
+        // Replicated dictionary — global, unaccounted.
+        GraphView::label_count(self.global, label)
+    }
+
+    fn nodes_with_label_vec(&self, label: Sym) -> Vec<NodeId> {
+        GraphView::nodes_with_label_vec(self.global, label)
+    }
+
+    fn out_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        match self.local_row(id) {
+            Some(row) => self.fragment.out.labeled_range(row, label).len(),
+            None => {
+                self.count_remote();
+                GraphView::out_labeled_count(self.global, id, label)
+            }
+        }
+    }
+
+    fn in_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        match self.local_row(id) {
+            Some(row) => self.fragment.inn.labeled_range(row, label).len(),
+            None => {
+                self.count_remote();
+                GraphView::in_labeled_count(self.global, id, label)
+            }
+        }
+    }
+
+    fn out_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        match self.local_row(id) {
+            Some(row) => Some(self.fragment.out.labeled_slice(row, label)),
+            None => {
+                self.count_remote();
+                GraphView::out_labeled_slice(self.global, id, label)
+            }
+        }
+    }
+
+    fn in_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        match self.local_row(id) {
+            Some(row) => Some(self.fragment.inn.labeled_slice(row, label)),
+            None => {
+                self.count_remote();
+                GraphView::in_labeled_slice(self.global, id, label)
+            }
+        }
+    }
+
+    fn for_each_out_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        match self.local_row(id) {
+            Some(row) => {
+                for &n in self.fragment.out.labeled_slice(row, label) {
+                    f(n);
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_out_labeled(self.global, id, label, f);
+            }
+        }
+    }
+
+    fn for_each_in_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        match self.local_row(id) {
+            Some(row) => {
+                for &n in self.fragment.inn.labeled_slice(row, label) {
+                    f(n);
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_in_labeled(self.global, id, label, f);
+            }
+        }
+    }
+
+    fn for_each_undirected(&self, id: NodeId, f: &mut dyn FnMut(NodeId, EdgeRef)) {
+        match self.local_row(id) {
+            Some(row) => {
+                for (label, n) in self.fragment.out.entries(row) {
+                    f(n, EdgeRef::new(id, n, label));
+                }
+                for (label, n) in self.fragment.inn.entries(row) {
+                    f(n, EdgeRef::new(n, id, label));
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_undirected(self.global, id, f);
+            }
+        }
+    }
+
+    fn for_each_out(&self, id: NodeId, f: &mut dyn FnMut(NodeId, Sym)) {
+        match self.local_row(id) {
+            Some(row) => {
+                for (label, n) in self.fragment.out.entries(row) {
+                    f(n, label);
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_out(self.global, id, f);
+            }
+        }
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(EdgeRef)) {
+        // Whole-graph iteration is a global scan by definition.
+        GraphView::for_each_edge(self.global, f)
+    }
+
+    fn triple_run_len(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> Option<usize> {
+        GraphView::triple_run_len(self.global, src_label, edge_label, dst_label)
+    }
+
+    fn triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        GraphView::triple_endpoints(self.global, src_label, edge_label, dst_label, want_src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrMap;
+    use crate::interner::intern;
+
+    fn two_communities() -> Graph {
+        // Two dense 6-cliques bridged by a single edge: an edge-cut
+        // partitioner separates the communities cleanly.
+        let mut g = Graph::new();
+        let mut nodes = Vec::new();
+        for c in 0..2 {
+            let members: Vec<NodeId> = (0..6)
+                .map(|i| {
+                    g.add_node_named(
+                        if i % 2 == 0 { "even" } else { "odd" },
+                        AttrMap::from_pairs([("val", Value::Int(c * 10 + i))]),
+                    )
+                })
+                .collect();
+            for i in 0..members.len() {
+                for j in (i + 1)..members.len() {
+                    g.add_edge_named(members[i], members[j], "intra").unwrap();
+                }
+            }
+            nodes.push(members);
+        }
+        g.add_edge_named(nodes[0][5], nodes[1][0], "bridge")
+            .unwrap();
+        g
+    }
+
+    fn assert_view_matches_global(view: &FragmentView<'_>, global: &CsrSnapshot) {
+        assert_eq!(GraphView::node_count(view), GraphView::node_count(global));
+        assert_eq!(GraphView::edge_count(view), GraphView::edge_count(global));
+        for idx in 0..GraphView::node_count(global) {
+            let id = NodeId(idx as u32);
+            assert_eq!(GraphView::label(view, id), GraphView::label(global, id));
+            assert_eq!(
+                GraphView::attr(view, id, intern("val")),
+                GraphView::attr(global, id, intern("val"))
+            );
+            assert_eq!(view.out_degree(id), GraphView::out_degree(global, id));
+            assert_eq!(view.in_degree(id), GraphView::in_degree(global, id));
+            for label in ["intra", "bridge", "ghost"] {
+                let l = intern(label);
+                assert_eq!(
+                    view.out_labeled_slice(id, l).unwrap(),
+                    global.out_neighbors_labeled(id, l),
+                    "out run of {id} along {label}"
+                );
+                assert_eq!(
+                    view.in_labeled_slice(id, l).unwrap(),
+                    global.in_neighbors_labeled(id, l),
+                    "in run of {id} along {label}"
+                );
+            }
+            let mut got = Vec::new();
+            view.for_each_undirected(id, &mut |n, e| got.push((n, e)));
+            let mut want = Vec::new();
+            GraphView::for_each_undirected(global, id, &mut |n, e| want.push((n, e)));
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "undirected neighbours of {id}");
+        }
+        let mut edges = Vec::new();
+        view.for_each_edge(&mut |e| edges.push(e));
+        assert_eq!(edges.len(), GraphView::edge_count(global));
+    }
+
+    #[test]
+    fn every_node_is_owned_by_exactly_one_fragment() {
+        let g = two_communities();
+        for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
+            let sharded = g.freeze_sharded(3, strategy, 1);
+            let mut owners = vec![0usize; g.node_count()];
+            for f in 0..sharded.fragment_count() {
+                for &n in sharded.fragment(f).owned_nodes() {
+                    owners[n.index()] += 1;
+                    assert!(sharded.fragment(f).owns(n));
+                }
+            }
+            assert!(owners.iter().all(|&c| c == 1), "{strategy:?}: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn fragment_views_are_indistinguishable_from_the_global_snapshot() {
+        let g = two_communities();
+        let global = g.freeze();
+        for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
+            for halo in [0, 1, 2] {
+                let part = partition(&global, 2, strategy);
+                let sharded = global.shard(&part, halo);
+                for f in 0..sharded.fragment_count() {
+                    let view = sharded.fragment_view(f);
+                    assert_view_matches_global(&view, &global);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_reads_of_owned_nodes_do_not_touch_the_global_fallback() {
+        let g = two_communities();
+        let sharded = g.freeze_sharded(2, PartitionStrategy::EdgeCut, 1);
+        for f in 0..sharded.fragment_count() {
+            let view = sharded.fragment_view(f);
+            for &n in sharded.fragment(f).owned_nodes() {
+                let _ = view.out_labeled_slice(n, intern("intra"));
+                let _ = view.in_degree(n);
+                view.for_each_undirected(n, &mut |_, _| {});
+            }
+            assert_eq!(view.remote_fetches(), 0, "fragment {f}");
+        }
+    }
+
+    #[test]
+    fn remote_reads_are_counted() {
+        let g = two_communities();
+        let sharded = g.freeze_sharded(2, PartitionStrategy::EdgeCut, 0);
+        // With a zero-depth halo, a fragment materialises only its owned
+        // nodes; reading the other community's adjacency must count.
+        let view = sharded.fragment_view(0);
+        let foreign: Vec<NodeId> = (0..g.node_count() as u32)
+            .map(NodeId)
+            .filter(|n| !sharded.fragment(0).is_local(*n))
+            .collect();
+        assert!(!foreign.is_empty());
+        for &n in &foreign {
+            view.for_each_out_labeled(n, intern("intra"), &mut |_| {});
+        }
+        assert_eq!(view.remote_fetches(), foreign.len() as u64);
+    }
+
+    #[test]
+    fn halo_covers_the_d_neighborhood_of_owned_nodes() {
+        let g = two_communities();
+        let global = g.freeze();
+        for d in [1, 2] {
+            let part = partition(&global, 2, PartitionStrategy::EdgeCut);
+            let sharded = global.shard(&part, d);
+            for f in 0..sharded.fragment_count() {
+                let frag = sharded.fragment(f);
+                let reach = d_neighbors_many(&global, frag.owned_nodes().iter().copied(), d);
+                for n in reach.nodes() {
+                    assert!(
+                        frag.is_local(n),
+                        "fragment {f}: {n} within {d} hops of owned nodes but not local"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_factor_grows_with_halo_depth() {
+        let g = two_communities();
+        let global = g.freeze();
+        let part = partition(&global, 2, PartitionStrategy::EdgeCut);
+        let r0 = global.shard(&part, 0).replication_factor();
+        let r2 = global.shard(&part, 2).replication_factor();
+        assert!((r0 - 1.0).abs() < 1e-9, "no halo means no replication");
+        assert!(r2 > r0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_graphs_shard_cleanly() {
+        let empty = Graph::new().freeze_sharded(4, PartitionStrategy::EdgeCut, 2);
+        assert_eq!(empty.fragment_count(), 4);
+        assert_eq!(empty.replication_factor(), 0.0);
+
+        let mut single = Graph::new();
+        single.add_node_named("only", AttrMap::new());
+        let sharded = single.freeze_sharded(3, PartitionStrategy::VertexCut, 1);
+        let owned: usize = (0..sharded.fragment_count())
+            .map(|f| sharded.fragment(f).owned_nodes().len())
+            .sum();
+        assert_eq!(owned, 1);
+        assert_eq!(
+            sharded.route_of(NodeId(0)),
+            sharded.partition().owner_of(NodeId(0))
+        );
+        assert!(sharded.route_of(NodeId(17)) < sharded.fragment_count());
+    }
+}

@@ -14,9 +14,10 @@ use ngd_datagen::{
     UpdateConfig,
 };
 use ngd_detect::{
-    dect_on, inc_dect_prepared, inc_dect_snapshot, pdect_on, pinc_dect_prepared, DetectorConfig,
+    dect_on, inc_dect_prepared, inc_dect_snapshot, pdect_on, pdect_sharded, pinc_dect_prepared,
+    pinc_dect_sharded, DetectorConfig,
 };
-use ngd_graph::{BatchUpdate, DeltaOverlay, Graph};
+use ngd_graph::{BatchUpdate, DeltaOverlay, Graph, PartitionStrategy};
 use ngd_match::{DeltaViolations, ViolationSet};
 
 /// Byte-identical: equal as structures and as serialized bytes.
@@ -38,7 +39,8 @@ fn assert_identical_deltas(adjacency: &DeltaViolations, csr: &DeltaViolations, c
     );
 }
 
-/// Batch equivalence on one (graph, rules) scenario, including PDect.
+/// Batch equivalence on one (graph, rules) scenario, including PDect and
+/// sharded PDect (both partitioning strategies, with and without a halo).
 fn check_batch(graph: &Graph, sigma: &RuleSet, context: &str) {
     let adjacency = dect_on(sigma, graph);
     let snapshot = graph.freeze();
@@ -46,6 +48,17 @@ fn check_batch(graph: &Graph, sigma: &RuleSet, context: &str) {
     assert_identical_sets(&adjacency.violations, &csr.violations, context);
     let parallel = pdect_on(sigma, &snapshot, &DetectorConfig::with_processors(3));
     assert_identical_sets(&adjacency.violations, &parallel.violations, context);
+    for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
+        for halo in [0, sigma.diameter()] {
+            let sharded = graph.freeze_sharded(3, strategy, halo);
+            let report = pdect_sharded(sigma, &sharded, &DetectorConfig::default());
+            assert_identical_sets(
+                &adjacency.violations,
+                &report.violations,
+                &format!("{context} (sharded {strategy:?} halo={halo})"),
+            );
+        }
+    }
 }
 
 /// Incremental equivalence on one (graph, rules, update) scenario:
@@ -77,6 +90,18 @@ fn check_incremental(graph: &Graph, sigma: &RuleSet, delta: &BatchUpdate, contex
             &parallel.delta,
             &format!("{context} ({:?})", parallel.algorithm),
         );
+    }
+
+    for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
+        for halo in [0, sigma.diameter()] {
+            let sharded = graph.freeze_sharded(3, strategy, halo);
+            let report = pinc_dect_sharded(sigma, &sharded, delta, &DetectorConfig::default());
+            assert_identical_deltas(
+                &adjacency.delta,
+                &report.delta,
+                &format!("{context} (sharded {strategy:?} halo={halo})"),
+            );
+        }
     }
 }
 
