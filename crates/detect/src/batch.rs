@@ -21,7 +21,7 @@ use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::CostLedger;
 use crate::report::{DetectionReport, SearchStats};
 use ngd_core::{Ngd, RuleSet, Var};
-use ngd_graph::{Graph, GraphView, NodeId, ShardedSnapshot, WILDCARD};
+use ngd_graph::{Graph, GraphView, NodeId, RemoteAccounting, ShardedRead, WILDCARD};
 use ngd_match::{Matcher, Violation, ViolationSet};
 use std::time::Instant;
 
@@ -149,7 +149,13 @@ pub fn pdect_on<G: GraphView + Sync>(
 
 /// Parallel batch detection over per-fragment sharded snapshots: one
 /// worker per fragment, each matching only the root candidates its
-/// fragment **owns** against its own [`ngd_graph::FragmentView`].
+/// fragment **owns** against its own fragment view.
+///
+/// Generic over [`ShardedRead`], so the same worker loop serves the
+/// in-memory [`ngd_graph::ShardedSnapshot`] (workers read
+/// [`ngd_graph::FragmentView`]s) and the memory-mapped
+/// [`ngd_graph::MmapShardedSnapshot`] (workers read
+/// [`ngd_graph::MmapFragmentView`]s straight off the snapshot file).
 ///
 /// Root variables and their candidate sets are computed on the global
 /// snapshot (the replicated label dictionary), so the search explores
@@ -158,14 +164,14 @@ pub fn pdect_on<G: GraphView + Sync>(
 /// cannot serve locally fall back to the global snapshot and are accounted
 /// in the report's [`CostLedger`] as cross-fragment candidate fetches,
 /// each paying `config.latency_c` modelled latency units.
-pub fn pdect_sharded(
+pub fn pdect_sharded<S: ShardedRead>(
     sigma: &RuleSet,
-    sharded: &ShardedSnapshot,
+    sharded: &S,
     config: &DetectorConfig,
 ) -> DetectionReport {
     let start = Instant::now();
-    let global = sharded.global();
-    let p = sharded.fragment_count().max(1);
+    let global = sharded.global_view();
+    let p = sharded.shard_count().max(1);
     // Route every (rule, root candidate) work unit to the candidate's
     // owning fragment; ownership covers each node exactly once, so the
     // fragments' result sets partition the full violation set.
@@ -173,7 +179,7 @@ pub fn pdect_sharded(
     for (rule_idx, rule) in sigma.iter().enumerate() {
         if let Some(root) = root_variable(rule, global) {
             for candidate in candidates_for(rule, global, root) {
-                units[sharded.route_of(candidate)].push((rule_idx, root, candidate));
+                units[sharded.route_to(candidate)].push((rule_idx, root, candidate));
             }
         }
     }
@@ -183,7 +189,7 @@ pub fn pdect_sharded(
         let handles: Vec<_> = (0..p)
             .map(|worker| {
                 scope.spawn(move || {
-                    let view = sharded.fragment_view(worker);
+                    let view = sharded.worker_view(worker);
                     let mut set = ViolationSet::new();
                     let mut stats = SearchStats::default();
                     for &(rule_idx, root, candidate) in &units_ref[worker] {

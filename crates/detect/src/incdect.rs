@@ -15,15 +15,14 @@ use crate::config::AlgorithmKind;
 use crate::cost::CostLedger;
 use crate::report::{DeltaReport, SearchStats};
 use ngd_core::RuleSet;
-use ngd_graph::{
-    d_neighbors_many, BatchUpdate, CsrSnapshot, DeltaOverlay, EdgeRef, Graph, GraphView,
-};
+use ngd_graph::{d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView};
 use ngd_match::{delta_violations, MatchStats};
 use std::time::Instant;
 
 /// Run `IncDect` on a graph and a batch update.
 ///
-/// Default path: the graph is frozen into a [`CsrSnapshot`] (an `O(|G|)`
+/// Default path: the graph is frozen into a
+/// [`CsrSnapshot`](ngd_graph::CsrSnapshot) (an `O(|G|)`
 /// cost paid by *this* convenience entry point, once per call) and the
 /// updated side is a [`DeltaOverlay`], so `G ⊕ ΔG` is never materialised.
 /// Callers streaming many batches should freeze once and use
@@ -37,12 +36,16 @@ pub fn inc_dect(sigma: &RuleSet, graph: &Graph, delta: &BatchUpdate) -> DeltaRep
 
 /// Run `IncDect` over a reusable frozen snapshot: `G` is the snapshot
 /// itself, `G ⊕ ΔG` is an overlay built in `O(|ΔG|)`.
-pub fn inc_dect_snapshot(
+///
+/// Generic over the snapshot representation, so the same entry point
+/// serves an in-memory [`CsrSnapshot`](ngd_graph::CsrSnapshot) and a
+/// memory-mapped [`ngd_graph::MmapSnapshot`] loaded from a snapshot file.
+pub fn inc_dect_snapshot<S: GraphView>(
     sigma: &RuleSet,
-    snapshot: &CsrSnapshot,
+    snapshot: &S,
     delta: &BatchUpdate,
 ) -> DeltaReport {
-    let old_view = snapshot.as_overlay();
+    let old_view = DeltaOverlay::empty(snapshot);
     let new_view = DeltaOverlay::new(snapshot, delta);
     inc_dect_prepared(sigma, &old_view, &new_view, delta)
 }

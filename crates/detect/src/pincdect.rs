@@ -39,8 +39,8 @@ use crate::cost::{should_split, CostLedger};
 use crate::report::{DeltaReport, SearchStats};
 use ngd_core::{is_violation, Ngd, RuleSet, Var};
 use ngd_graph::{
-    d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, FragmentView, Graph, GraphView, NodeId,
-    Partition, ShardedSnapshot,
+    d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView, NodeId, Partition,
+    RemoteAccounting, ShardedRead,
 };
 use ngd_match::{edge_ranks, pattern_matches, update_pivots, DeltaViolations, Matcher, Violation};
 use std::collections::{HashMap, VecDeque};
@@ -93,7 +93,8 @@ struct WorkerOutput {
 /// Each worker reads the graphs through its *own* `(old, new)` view pair:
 /// on the shared-snapshot path every pair aliases the same two views, on
 /// the sharded path worker `i` holds overlays over fragment `i`'s
-/// [`FragmentView`].  All views observe the same logical graph, so a work
+/// [`FragmentView`](ngd_graph::FragmentView) (or its mmap twin).  All
+/// views observe the same logical graph, so a work
 /// unit may be expanded by any worker (splitting and balancing move units
 /// freely) — a foreign worker merely pays remote candidate fetches.
 struct Runtime<'a, V: GraphView> {
@@ -446,8 +447,14 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
 }
 
 /// Run `PIncDect` over per-fragment sharded snapshots: one worker per
-/// fragment, each holding [`DeltaOverlay`]s of its own fragment's
-/// [`FragmentView`] as the old/new sides.
+/// fragment, each holding [`DeltaOverlay`]s of its own fragment's view as
+/// the old/new sides.
+///
+/// Generic over [`ShardedRead`], so the same runtime serves the in-memory
+/// [`ngd_graph::ShardedSnapshot`] (workers overlay
+/// [`ngd_graph::FragmentView`]s) and the memory-mapped
+/// [`ngd_graph::MmapShardedSnapshot`] (workers overlay
+/// [`ngd_graph::MmapFragmentView`]s read straight off the snapshot file).
 ///
 /// Update pivots are routed to the fragment owning the updated edge's
 /// source node ([`Partition::route_of`]); work-unit splitting and workload
@@ -460,39 +467,46 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
 /// `config.processors` is ignored: the worker count is the fragment count.
 /// The resulting `ΔVio` is byte-identical to [`pinc_dect`] /
 /// [`crate::inc_dect`].
-pub fn pinc_dect_sharded(
+pub fn pinc_dect_sharded<S: ShardedRead>(
     sigma: &RuleSet,
-    sharded: &ShardedSnapshot,
+    sharded: &S,
     delta: &BatchUpdate,
     config: &DetectorConfig,
 ) -> DeltaReport {
-    let p = sharded.fragment_count().max(1);
-    let frag_views: Vec<FragmentView<'_>> = (0..p).map(|f| sharded.fragment_view(f)).collect();
-    let old_views: Vec<DeltaOverlay<'_, FragmentView<'_>>> =
+    let p = sharded.shard_count().max(1);
+    let frag_views: Vec<S::Worker<'_>> = (0..p).map(|f| sharded.worker_view(f)).collect();
+    let old_views: Vec<DeltaOverlay<'_, S::Worker<'_>>> =
         frag_views.iter().map(DeltaOverlay::empty).collect();
-    let new_views: Vec<DeltaOverlay<'_, FragmentView<'_>>> = frag_views
+    let new_views: Vec<DeltaOverlay<'_, S::Worker<'_>>> = frag_views
         .iter()
         .map(|view| DeltaOverlay::new(view, delta))
         .collect();
+    // Each worker's (old, new) overlay pair; the four lifetimes involved
+    // (sharded borrow, fragment views, overlays, pair refs) defeat a type
+    // alias, so spell the tuple out.
+    #[allow(clippy::type_complexity)]
     let views: Vec<(
-        &DeltaOverlay<'_, FragmentView<'_>>,
-        &DeltaOverlay<'_, FragmentView<'_>>,
+        &DeltaOverlay<'_, S::Worker<'_>>,
+        &DeltaOverlay<'_, S::Worker<'_>>,
     )> = old_views.iter().zip(new_views.iter()).collect();
     // The dΣ-neighbourhood statistic is pure reporting: walk it on the
     // global snapshot so it does not pollute fragment 0's remote-fetch
     // counter (and with it the modelled communication cost).
-    let global_new = DeltaOverlay::new(sharded.global(), delta);
+    let global_new = DeltaOverlay::new(sharded.global_view(), delta);
     let neighborhood = d_neighbors_many(&global_new, delta.touched_nodes(), sigma.diameter()).len();
     let mut report = pinc_dect_core(
         sigma,
         &views,
-        PivotRouting::Owner(sharded.partition()),
+        PivotRouting::Owner(sharded.shard_partition()),
         delta,
         config,
         Some(AlgorithmKind::PIncDectSharded),
         Some(neighborhood),
     );
-    let fetches: u64 = frag_views.iter().map(FragmentView::remote_fetches).sum();
+    let fetches: u64 = frag_views
+        .iter()
+        .map(RemoteAccounting::remote_fetches)
+        .sum();
     report.cost.record_remote(fetches, config.latency_c);
     report
 }

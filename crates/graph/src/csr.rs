@@ -96,6 +96,12 @@ impl CsrSide {
         self.node_range(id)
             .map(move |i| (self.labels[i], self.neighbors[i]))
     }
+
+    /// The raw `(offsets, labels, neighbors)` arrays — the exact layout the
+    /// on-disk snapshot format ([`crate::persist`]) serialises.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[Sym], &[NodeId]) {
+        (&self.offsets, &self.labels, &self.neighbors)
+    }
 }
 
 /// An immutable, label-partitioned CSR snapshot of a [`Graph`].
@@ -182,6 +188,39 @@ impl CsrSnapshot {
     /// The label/attribute payload of a node.
     pub(crate) fn node_data(&self, id: NodeId) -> &NodeData {
         &self.nodes[id.index()]
+    }
+
+    // Raw-array accessors for the on-disk snapshot writer
+    // ([`crate::persist`]): every flat array of the snapshot, exactly as
+    // stored.  Kept crate-private so the layout stays an implementation
+    // detail of the graph crate.
+
+    pub(crate) fn raw_nodes(&self) -> &[NodeData] {
+        &self.nodes
+    }
+
+    pub(crate) fn raw_out(&self) -> &CsrSide {
+        &self.out
+    }
+
+    pub(crate) fn raw_in(&self) -> &CsrSide {
+        &self.inn
+    }
+
+    pub(crate) fn raw_label_order(&self) -> &[NodeId] {
+        &self.label_order
+    }
+
+    pub(crate) fn raw_label_ranges(&self) -> &HashMap<Sym, (u32, u32)> {
+        &self.label_ranges
+    }
+
+    pub(crate) fn raw_triple_ranges(&self) -> &HashMap<(Sym, Sym, Sym), (u32, u32)> {
+        &self.triple_ranges
+    }
+
+    pub(crate) fn raw_triples(&self) -> (&[NodeId], &[NodeId]) {
+        (&self.triple_src, &self.triple_dst)
     }
 }
 

@@ -16,7 +16,12 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// A dense node identifier (index into the node arena).
+///
+/// `repr(transparent)` over `u32` is part of the public contract: the
+/// on-disk snapshot format ([`crate::persist`]) reinterprets memory-mapped
+/// `u32` arrays as `&[NodeId]` without copying.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl ToJson for NodeId {

@@ -18,7 +18,14 @@ use std::sync::{OnceLock, RwLock};
 ///
 /// Two `Sym`s are equal iff the strings they intern are equal, so symbol
 /// comparison never needs to touch the underlying bytes.
+///
+/// Symbols are **process-local**: the id depends on interning order, so a
+/// `Sym` must never be persisted raw.  The snapshot format
+/// ([`crate::persist`]) stores a string table and file-local symbol ids
+/// instead, translating at the boundary.  `repr(transparent)` over `u32`
+/// is relied upon when the in-memory CSR arrays are serialized.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Sym(pub u32);
 
 impl Sym {

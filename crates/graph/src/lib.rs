@@ -49,6 +49,11 @@
 //!   a [`FragmentView`] whose rare non-local adjacency reads fall back to
 //!   the global snapshot and are counted as cross-fragment candidate
 //!   fetches (the modelled communication cost of the parallel detectors);
+//! * [`persist`] — zero-copy on-disk snapshots: a versioned, checksummed
+//!   binary writer ([`SnapshotWriter`]) and memory-mapped loaders
+//!   ([`MmapSnapshot`], [`MmapShardedSnapshot`]) that serve the frozen
+//!   arrays straight from the file through [`GraphView`], so a graph is
+//!   frozen once on disk and read by many detector processes;
 //! * [`io`] — a plain-text edge-list/attribute format plus JSON
 //!   (de)serialization for graphs;
 //! * [`stats`] — density, degree and component statistics used to check
@@ -67,6 +72,7 @@ pub mod io;
 pub mod neighborhood;
 pub mod overlay;
 pub mod partition;
+pub mod persist;
 pub mod shard;
 pub mod stats;
 pub mod update;
@@ -83,7 +89,10 @@ pub use overlay::DeltaOverlay;
 pub use partition::{
     EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner,
 };
-pub use shard::{FragmentSnapshot, FragmentView, ShardedSnapshot};
+pub use persist::{
+    MmapFragmentView, MmapShardedSnapshot, MmapSnapshot, PersistError, SnapshotWriter,
+};
+pub use shard::{FragmentSnapshot, FragmentView, RemoteAccounting, ShardedRead, ShardedSnapshot};
 pub use stats::GraphStats;
 pub use update::{BatchUpdate, EdgeOp, NewNode, UpdateError};
 pub use value::Value;

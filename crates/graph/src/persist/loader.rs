@@ -1,0 +1,1692 @@
+//! Zero-copy loading: [`MmapSnapshot`], [`MmapShardedSnapshot`] and the
+//! per-worker [`MmapFragmentView`].
+//!
+//! A loaded snapshot keeps the file mapped and serves every array read —
+//! CSR offsets, labels, neighbours, label partition, triple arrays —
+//! directly from the mapping by reinterpreting validated byte ranges as
+//! `&[u32]` / `&[NodeId]` slices.  Only the variable-length payloads that
+//! cannot be viewed in place are materialised at load time: the string
+//! table (bridged into the process interner), the per-node attribute
+//! tuples, the small range dictionaries, and (for sharded files) the
+//! partition metadata.
+//!
+//! **Safety discipline.**  All `unsafe` in this module is the slice
+//! reinterpretation, and it is sound because `load` validates, before any
+//! view is handed out, that every section lies inside the mapping, is
+//! aligned, has a consistent element count, and satisfies the structural
+//! invariants the readers rely on (monotone offsets, in-bounds neighbour
+//! ids and symbol ids, sorted runs, permutation label order).  Corrupt
+//! input therefore fails with a typed [`PersistError`] at load — never
+//! with UB, a panic, or a silently wrong answer at read time.
+//!
+//! **Symbol spaces.**  File symbol ids are lexicographic by string and
+//! process [`Sym`]s are interning-ordered, so the two orders differ; the
+//! loader never rewrites the mapped arrays.  Instead each query symbol is
+//! translated into file space (one hash lookup on a tiny dictionary), the
+//! binary search runs over the file-ordered run, and results translate
+//! back through a dense `file id → Sym` table.  A symbol the file never
+//! saw simply yields an empty run, mirroring the in-memory snapshot.
+
+use super::format::{
+    file_checksum, file_kind, kind, read_section_table, BlobReader, FileHeader, SectionEntry,
+    HEADER_LEN, SECTION_ALIGN,
+};
+use super::mmap::MmapFile;
+use super::PersistError;
+use crate::attrs::AttrMap;
+use crate::graph::{EdgeRef, NodeId};
+use crate::interner::{intern, Sym};
+use crate::partition::{Fragment, Partition, PartitionStrategy};
+use crate::shard::{RemoteAccounting, ShardedRead};
+use crate::value::Value;
+use crate::view::GraphView;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A validated `u32`-array section: byte offset + element count.
+#[derive(Debug, Clone, Copy)]
+struct Sect {
+    off: usize,
+    len: usize,
+}
+
+/// One CSR side's three array sections.
+#[derive(Debug, Clone, Copy)]
+struct SideSect {
+    offsets: Sect,
+    labels: Sect,
+    neighbors: Sect,
+}
+
+/// Reinterpret a mapped byte range as `&[u32]`.
+///
+/// Soundness: the range was bounds-checked against the mapping and starts
+/// at a [`SECTION_ALIGN`]-multiple offset of an (at least) 8-byte-aligned
+/// base, so the pointer is 4-byte aligned; `u32` has no invalid bit
+/// patterns; the mapping is immutable and outlives the borrow.
+#[inline]
+fn u32s(map: &MmapFile, s: Sect) -> &[u32] {
+    let bytes = &map.bytes()[s.off..s.off + s.len * 4];
+    debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), s.len) }
+}
+
+/// Reinterpret a `u32` slice as node ids (`NodeId` is
+/// `repr(transparent)` over `u32`).
+#[inline]
+fn as_node_ids(xs: &[u32]) -> &[NodeId] {
+    unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<NodeId>(), xs.len()) }
+}
+
+/// Borrowed view of one CSR side's raw arrays, rows and labels in file
+/// space — the mmap twin of [`crate::csr::CsrSide`].
+#[derive(Clone, Copy)]
+struct RawSide<'a> {
+    offsets: &'a [u32],
+    labels: &'a [u32],
+    neighbors: &'a [u32],
+}
+
+impl<'a> RawSide<'a> {
+    #[inline]
+    fn node_range(&self, row: usize) -> std::ops::Range<usize> {
+        self.offsets[row] as usize..self.offsets[row + 1] as usize
+    }
+
+    #[inline]
+    fn degree(&self, row: usize) -> usize {
+        let r = self.node_range(row);
+        r.end - r.start
+    }
+
+    fn labeled_range(&self, row: usize, file_label: u32) -> std::ops::Range<usize> {
+        let range = self.node_range(row);
+        let run = &self.labels[range.clone()];
+        let start = run.partition_point(|&l| l < file_label);
+        let end = run.partition_point(|&l| l <= file_label);
+        range.start + start..range.start + end
+    }
+
+    fn labeled_slice(&self, row: usize, file_label: u32) -> &'a [NodeId] {
+        as_node_ids(&self.neighbors[self.labeled_range(row, file_label)])
+    }
+
+    fn contains(&self, row: usize, file_label: u32, neighbor: NodeId) -> bool {
+        self.labeled_slice(row, file_label)
+            .binary_search(&neighbor)
+            .is_ok()
+    }
+}
+
+/// The file ↔ process symbol translation built from the string table.
+#[derive(Debug)]
+struct SymBridge {
+    file_to_proc: Vec<Sym>,
+    proc_to_file: HashMap<Sym, u32>,
+}
+
+impl SymBridge {
+    #[inline]
+    fn to_proc(&self, fid: u32) -> Sym {
+        self.file_to_proc[fid as usize]
+    }
+
+    fn to_proc_checked(&self, fid: u32) -> Result<Sym, PersistError> {
+        self.file_to_proc.get(fid as usize).copied().ok_or_else(|| {
+            PersistError::Corrupt(format!(
+                "symbol id {fid} out of range ({} strings)",
+                self.file_to_proc.len()
+            ))
+        })
+    }
+
+    #[inline]
+    fn to_file(&self, sym: Sym) -> Option<u32> {
+        self.proc_to_file.get(&sym).copied()
+    }
+
+    fn len(&self) -> usize {
+        self.file_to_proc.len()
+    }
+}
+
+/// A parsed, checksum-verified file: mapping + header + section directory.
+struct FileData {
+    map: Arc<MmapFile>,
+    header: FileHeader,
+    sections: HashMap<(u32, u32), SectionEntry>,
+}
+
+impl FileData {
+    fn open(path: &Path) -> Result<FileData, PersistError> {
+        if cfg!(target_endian = "big") {
+            return Err(PersistError::UnsupportedHost(
+                "snapshot files are little-endian and this host is big-endian".into(),
+            ));
+        }
+        let map = MmapFile::open(path)?;
+        let bytes = map.bytes();
+        let header = FileHeader::parse(bytes)?;
+        if header.section_align != SECTION_ALIGN as u32 {
+            return Err(PersistError::Corrupt(format!(
+                "unexpected section alignment {} (expected {SECTION_ALIGN})",
+                header.section_align
+            )));
+        }
+        if header.total_len > bytes.len() as u64 {
+            return Err(PersistError::Truncated {
+                expected: header.total_len,
+                actual: bytes.len() as u64,
+            });
+        }
+        if header.total_len < bytes.len() as u64 {
+            return Err(PersistError::Corrupt(format!(
+                "{} trailing bytes past the recorded file length",
+                bytes.len() as u64 - header.total_len
+            )));
+        }
+        let computed = file_checksum(&bytes[HEADER_LEN..]);
+        if computed != header.checksum {
+            return Err(PersistError::ChecksumMismatch {
+                stored: header.checksum,
+                computed,
+            });
+        }
+        let mut sections = HashMap::new();
+        for entry in read_section_table(bytes, &header)? {
+            if sections.insert((entry.kind, entry.owner), entry).is_some() {
+                return Err(PersistError::Corrupt(format!(
+                    "duplicate section kind {} for owner {}",
+                    entry.kind, entry.owner
+                )));
+            }
+        }
+        Ok(FileData {
+            map: Arc::new(map),
+            header,
+            sections,
+        })
+    }
+
+    fn entry(&self, kind: u32, owner: u32) -> Result<SectionEntry, PersistError> {
+        self.sections.get(&(kind, owner)).copied().ok_or_else(|| {
+            PersistError::Corrupt(format!("missing section kind {kind} for owner {owner}"))
+        })
+    }
+
+    /// A `u32`-array section (byte length must match the element count).
+    fn u32_sect(&self, kind: u32, owner: u32) -> Result<Sect, PersistError> {
+        let entry = self.entry(kind, owner)?;
+        // Checked multiply: a crafted elem_count near u64::MAX must fail
+        // typed here, not wrap and defeat the length check (the slice it
+        // would later describe is the module's UB contract on the line).
+        if entry.elem_count.checked_mul(4) != Some(entry.byte_len) {
+            return Err(PersistError::Corrupt(format!(
+                "section kind {kind}: {} bytes for {} u32 elements",
+                entry.byte_len, entry.elem_count
+            )));
+        }
+        Ok(Sect {
+            off: entry.offset as usize,
+            len: entry.elem_count as usize,
+        })
+    }
+
+    /// A blob section: raw bytes + declared element count.
+    ///
+    /// The element count is capped by the blob's byte length (each record
+    /// of every blob kind occupies at least one byte), so decoders can use
+    /// it for `with_capacity` without a crafted count forcing a huge
+    /// allocation before the bounds-checked parse would catch it.
+    fn blob(&self, kind: u32, owner: u32) -> Result<(&[u8], usize), PersistError> {
+        let entry = self.entry(kind, owner)?;
+        let start = entry.offset as usize;
+        let end = start + entry.byte_len as usize;
+        if entry.elem_count > entry.byte_len {
+            return Err(PersistError::Corrupt(format!(
+                "section kind {kind}: {} records in {} bytes",
+                entry.elem_count, entry.byte_len
+            )));
+        }
+        Ok((&self.map.bytes()[start..end], entry.elem_count as usize))
+    }
+
+    fn side(&self, kinds: (u32, u32, u32), owner: u32) -> Result<SideSect, PersistError> {
+        Ok(SideSect {
+            offsets: self.u32_sect(kinds.0, owner)?,
+            labels: self.u32_sect(kinds.1, owner)?,
+            neighbors: self.u32_sect(kinds.2, owner)?,
+        })
+    }
+}
+
+fn decode_strings(blob: &[u8], declared: usize) -> Result<SymBridge, PersistError> {
+    let mut reader = BlobReader::new(blob, "string table");
+    let count = reader.u32()? as usize;
+    if count != declared {
+        return Err(PersistError::Corrupt(format!(
+            "string table declares {declared} entries but encodes {count}"
+        )));
+    }
+    let mut file_to_proc = Vec::with_capacity(count);
+    let mut proc_to_file = HashMap::with_capacity(count);
+    let mut previous: Option<String> = None;
+    for fid in 0..count {
+        let len = reader.u32()? as usize;
+        let text = std::str::from_utf8(reader.bytes(len)?)
+            .map_err(|_| PersistError::Corrupt(format!("string {fid} is not UTF-8")))?;
+        if previous.as_deref() >= Some(text) {
+            // Strict lexicographic order doubles as a uniqueness check —
+            // two file ids must never intern to the same process symbol.
+            return Err(PersistError::Corrupt(format!(
+                "string table not strictly sorted at entry {fid}"
+            )));
+        }
+        previous = Some(text.to_owned());
+        let sym = intern(text);
+        file_to_proc.push(sym);
+        proc_to_file.insert(sym, fid as u32);
+    }
+    reader.finish()?;
+    Ok(SymBridge {
+        file_to_proc,
+        proc_to_file,
+    })
+}
+
+/// Lazily-materialised attribute tuples over a mapped blob section.
+///
+/// The load-time pass only *validates* every record (symbol ids in range,
+/// known value tags, UTF-8 strings, exact blob consumption) and indexes
+/// the record boundaries; the `AttrMap` of a node is decoded on first
+/// access and cached in a [`OnceLock`].  Detection touches the attributes
+/// of matched candidates only, so most tuples of a large snapshot are
+/// never materialised at all — and load time stays independent of the
+/// attribute payload's heap shape.
+#[derive(Debug)]
+struct LazyAttrs {
+    /// Byte range of the attribute blob inside the mapping.
+    off: usize,
+    len: usize,
+    /// Record boundaries within the blob (`count + 1` entries).
+    starts: Vec<u32>,
+    /// One cell per record, filled on first access.
+    cells: Vec<OnceLock<AttrMap>>,
+}
+
+impl LazyAttrs {
+    /// Validate the blob section and index its records.
+    fn load(
+        file: &FileData,
+        kind: u32,
+        owner: u32,
+        count: usize,
+        syms: &SymBridge,
+        what: &'static str,
+    ) -> Result<LazyAttrs, PersistError> {
+        let entry = file.entry(kind, owner)?;
+        let (blob, declared) = file.blob(kind, owner)?;
+        if declared != count {
+            return Err(PersistError::Corrupt(format!(
+                "{what}: {declared} attribute tuples for {count} rows"
+            )));
+        }
+        if blob.len() > u32::MAX as usize {
+            return Err(PersistError::Corrupt(format!(
+                "{what}: attribute blob exceeds the 4 GiB record index"
+            )));
+        }
+        let mut reader = BlobReader::new(blob, what);
+        let mut starts = Vec::with_capacity(count + 1);
+        for _ in 0..count {
+            starts.push(reader.pos() as u32);
+            let attrs = reader.u32()?;
+            for _ in 0..attrs {
+                syms.to_proc_checked(reader.u32()?)?;
+                match reader.u8()? {
+                    0 => {
+                        reader.i64()?;
+                    }
+                    1 => {
+                        let len = reader.u32()? as usize;
+                        std::str::from_utf8(reader.bytes(len)?).map_err(|_| {
+                            PersistError::Corrupt(format!("{what}: string is not UTF-8"))
+                        })?;
+                    }
+                    2 => {
+                        reader.u8()?;
+                    }
+                    other => {
+                        return Err(PersistError::Corrupt(format!(
+                            "{what}: unknown attribute value tag {other}"
+                        )))
+                    }
+                }
+            }
+        }
+        starts.push(reader.pos() as u32);
+        reader.finish()?;
+        Ok(LazyAttrs {
+            off: entry.offset as usize,
+            len: entry.byte_len as usize,
+            starts,
+            cells: std::iter::repeat_with(OnceLock::new).take(count).collect(),
+        })
+    }
+
+    /// The tuple of record `idx`, decoding and caching it on first use.
+    ///
+    /// Infallible: every record was fully validated by [`LazyAttrs::load`].
+    fn get(&self, map: &MmapFile, syms: &SymBridge, idx: usize) -> &AttrMap {
+        self.cells[idx].get_or_init(|| {
+            let blob = &map.bytes()[self.off..self.off + self.len];
+            let record = &blob[self.starts[idx] as usize..self.starts[idx + 1] as usize];
+            let mut reader = BlobReader::new(record, "attribute record");
+            let mut attrs = AttrMap::new();
+            let count = reader.u32().expect("validated at load");
+            for _ in 0..count {
+                let name = syms.to_proc(reader.u32().expect("validated at load"));
+                let value = match reader.u8().expect("validated at load") {
+                    0 => Value::Int(reader.i64().expect("validated at load")),
+                    1 => {
+                        let len = reader.u32().expect("validated at load") as usize;
+                        let bytes = reader.bytes(len).expect("validated at load");
+                        Value::Str(
+                            std::str::from_utf8(bytes)
+                                .expect("validated at load")
+                                .to_owned(),
+                        )
+                    }
+                    _ => Value::Bool(reader.u8().expect("validated at load") != 0),
+                };
+                attrs.set(name, value);
+            }
+            attrs
+        })
+    }
+}
+
+/// Validate one CSR side's invariants and return its entry count.
+fn validate_side(
+    map: &MmapFile,
+    side: SideSect,
+    rows: usize,
+    neighbor_bound: u32,
+    sym_count: u32,
+    what: &'static str,
+) -> Result<usize, PersistError> {
+    let offsets = u32s(map, side.offsets);
+    if offsets.len() != rows + 1 || offsets.first() != Some(&0) {
+        return Err(PersistError::Corrupt(format!(
+            "{what}: offsets array has {} entries for {rows} rows",
+            offsets.len()
+        )));
+    }
+    let entries = *offsets.last().expect("non-empty offsets") as usize;
+    if side.labels.len != entries || side.neighbors.len != entries {
+        return Err(PersistError::Corrupt(format!(
+            "{what}: {} labels / {} neighbours for {entries} entries",
+            side.labels.len, side.neighbors.len
+        )));
+    }
+    let labels = u32s(map, side.labels);
+    let neighbors = u32s(map, side.neighbors);
+    // Neighbour bound: one whole-array pass (vectorises).
+    if let Some(&bad) = neighbors.iter().find(|&&n| n >= neighbor_bound) {
+        return Err(PersistError::Corrupt(format!(
+            "{what}: neighbour id {bad} out of range"
+        )));
+    }
+    // Label bound + per-run `(label, neighbour)` ordering, fused into one
+    // pass over packed 64-bit keys — this runs on every load, over every
+    // edge entry, so it is written for throughput.
+    let label_bound = u64::from(sym_count) << 32;
+    for window in offsets.windows(2) {
+        let (start, end) = (window[0] as usize, window[1] as usize);
+        if start > end || end > entries {
+            return Err(PersistError::Corrupt(format!(
+                "{what}: offsets are not monotone ({start} > {end})"
+            )));
+        }
+        let mut previous = 0u64;
+        for i in start..end {
+            let key = (u64::from(labels[i]) << 32) | u64::from(neighbors[i]);
+            if key >= label_bound {
+                return Err(PersistError::Corrupt(format!(
+                    "{what}: label id {} out of range",
+                    labels[i]
+                )));
+            }
+            if key < previous {
+                return Err(PersistError::Corrupt(format!(
+                    "{what}: run of row starting at entry {start} is not sorted"
+                )));
+            }
+            previous = key;
+        }
+    }
+    Ok(entries)
+}
+
+/// Decode the label-partition dictionary and cross-check it against the
+/// node labels: the ranges must **exactly tile** the label-order array in
+/// file-symbol order, and every node inside a range must carry that
+/// range's label.  A repointed, swapped or overlapping range is therefore
+/// a typed error at load, never a silently wrong candidate set.
+fn decode_label_ranges(
+    blob: &[u8],
+    declared: usize,
+    node_labels: &[u32],
+    label_order: &[u32],
+    syms: &SymBridge,
+) -> Result<HashMap<Sym, (u32, u32)>, PersistError> {
+    let mut reader = BlobReader::new(blob, "label ranges");
+    let mut out = HashMap::with_capacity(declared);
+    let mut previous: Option<u32> = None;
+    let mut cursor = 0u32;
+    for _ in 0..declared {
+        let fid = reader.u32()?;
+        let start = reader.u32()?;
+        let end = reader.u32()?;
+        if previous >= Some(fid) {
+            return Err(PersistError::Corrupt(
+                "label ranges are not sorted by symbol".into(),
+            ));
+        }
+        previous = Some(fid);
+        if start != cursor || start > end || end as usize > label_order.len() {
+            return Err(PersistError::Corrupt(format!(
+                "label range {start}..{end} does not tile the label order \
+                 (expected start {cursor}, order length {})",
+                label_order.len()
+            )));
+        }
+        cursor = end;
+        for &node in &label_order[start as usize..end as usize] {
+            if node_labels[node as usize] != fid {
+                return Err(PersistError::Corrupt(format!(
+                    "label range of symbol {fid} lists node {node} whose label is {}",
+                    node_labels[node as usize]
+                )));
+            }
+        }
+        out.insert(syms.to_proc_checked(fid)?, (start, end));
+    }
+    if cursor as usize != label_order.len() {
+        return Err(PersistError::Corrupt(format!(
+            "label ranges cover {cursor} of {} label-order entries",
+            label_order.len()
+        )));
+    }
+    reader.finish()?;
+    Ok(out)
+}
+
+type TripleRanges = HashMap<(Sym, Sym, Sym), (u32, u32)>;
+
+/// Decode the triple-index dictionary and cross-check it against the node
+/// labels and the out-CSR.  The ranges must exactly tile the triple
+/// arrays in key order and hold as many entries as the graph has edges;
+/// inside a range, entries must be strictly `(src, dst)`-sorted with both
+/// endpoints labelled as the key says, and the first and last entry of
+/// every range are probed against the out-CSR to confirm the edge exists
+/// under the key's edge label.  (Entries between the probes are verified
+/// for endpoint labels and ordering, not re-derived edge-by-edge — a file
+/// forging those is indistinguishable from one validly encoding a
+/// different graph.)
+#[allow(clippy::too_many_arguments)]
+fn decode_triple_ranges(
+    blob: &[u8],
+    declared: usize,
+    node_labels: &[u32],
+    triple_src: &[u32],
+    triple_dst: &[u32],
+    edge_count: usize,
+    out_side: RawSide<'_>,
+    syms: &SymBridge,
+) -> Result<TripleRanges, PersistError> {
+    if triple_src.len() != edge_count {
+        return Err(PersistError::Corrupt(format!(
+            "triple arrays hold {} entries for {edge_count} edges",
+            triple_src.len()
+        )));
+    }
+    let mut reader = BlobReader::new(blob, "triple ranges");
+    let mut out = HashMap::with_capacity(declared);
+    let mut previous: Option<(u32, u32, u32)> = None;
+    let mut cursor = 0u32;
+    for _ in 0..declared {
+        let key = (reader.u32()?, reader.u32()?, reader.u32()?);
+        let start = reader.u32()?;
+        let end = reader.u32()?;
+        if previous >= Some(key) {
+            return Err(PersistError::Corrupt(
+                "triple ranges are not sorted by key".into(),
+            ));
+        }
+        previous = Some(key);
+        if start != cursor || start > end || end as usize > triple_src.len() {
+            return Err(PersistError::Corrupt(format!(
+                "triple range {start}..{end} does not tile the triple arrays \
+                 (expected start {cursor}, array length {})",
+                triple_src.len()
+            )));
+        }
+        cursor = end;
+        let mut prev_pair = None;
+        for i in start as usize..end as usize {
+            let (src, dst) = (triple_src[i], triple_dst[i]);
+            if node_labels[src as usize] != key.0 || node_labels[dst as usize] != key.2 {
+                return Err(PersistError::Corrupt(format!(
+                    "triple range {key:?} lists edge {src}->{dst} with other endpoint labels"
+                )));
+            }
+            if prev_pair >= Some((src, dst)) {
+                return Err(PersistError::Corrupt(format!(
+                    "triple range {key:?} is not strictly (src, dst)-sorted"
+                )));
+            }
+            prev_pair = Some((src, dst));
+        }
+        if start < end {
+            for i in [start as usize, end as usize - 1] {
+                if !out_side.contains(triple_src[i] as usize, key.1, NodeId(triple_dst[i])) {
+                    return Err(PersistError::Corrupt(format!(
+                        "triple range {key:?} lists edge {}->{} absent from the CSR",
+                        triple_src[i], triple_dst[i]
+                    )));
+                }
+            }
+        }
+        out.insert(
+            (
+                syms.to_proc_checked(key.0)?,
+                syms.to_proc_checked(key.1)?,
+                syms.to_proc_checked(key.2)?,
+            ),
+            (start, end),
+        );
+    }
+    if cursor as usize != triple_src.len() {
+        return Err(PersistError::Corrupt(format!(
+            "triple ranges cover {cursor} of {} entries",
+            triple_src.len()
+        )));
+    }
+    reader.finish()?;
+    Ok(out)
+}
+
+/// A memory-mapped, read-only snapshot implementing [`GraphView`].
+///
+/// Produced by [`MmapSnapshot::load`] from a file written by
+/// [`crate::persist::SnapshotWriter`]; behaves exactly like the
+/// [`crate::CsrSnapshot`] it was serialised from (same violation sets and
+/// deltas through every detector), while the heavyweight arrays stay on
+/// disk and are paged in on demand.
+#[derive(Debug)]
+pub struct MmapSnapshot {
+    map: Arc<MmapFile>,
+    syms: Arc<SymBridge>,
+    node_count: usize,
+    edge_count: usize,
+    attrs: LazyAttrs,
+    label_ranges: HashMap<Sym, (u32, u32)>,
+    triple_ranges: TripleRanges,
+    node_labels: Sect,
+    out: SideSect,
+    inn: SideSect,
+    label_order: Sect,
+    triple_src: Sect,
+    triple_dst: Sect,
+}
+
+impl MmapSnapshot {
+    /// Memory-map a snapshot file written by
+    /// [`SnapshotWriter::write`](crate::persist::SnapshotWriter::write).
+    pub fn load(path: &Path) -> Result<MmapSnapshot, PersistError> {
+        let file = FileData::open(path)?;
+        if file.header.file_kind != file_kind::SNAPSHOT {
+            return Err(PersistError::WrongKind {
+                expected: file_kind::SNAPSHOT,
+                found: file.header.file_kind,
+            });
+        }
+        decode_global(&file)
+    }
+
+    /// Size of the backing file in bytes.
+    pub fn file_len(&self) -> usize {
+        self.map.len()
+    }
+
+    #[inline]
+    fn arr(&self, s: Sect) -> &[u32] {
+        u32s(&self.map, s)
+    }
+
+    #[inline]
+    fn out_side(&self) -> RawSide<'_> {
+        RawSide {
+            offsets: self.arr(self.out.offsets),
+            labels: self.arr(self.out.labels),
+            neighbors: self.arr(self.out.neighbors),
+        }
+    }
+
+    #[inline]
+    fn in_side(&self) -> RawSide<'_> {
+        RawSide {
+            offsets: self.arr(self.inn.offsets),
+            labels: self.arr(self.inn.labels),
+            neighbors: self.arr(self.inn.neighbors),
+        }
+    }
+
+    /// The nodes labelled `label`, as a contiguous slice of the mapped
+    /// label partition (mirrors [`crate::CsrSnapshot::nodes_with_label`]).
+    pub fn nodes_with_label(&self, label: Sym) -> &[NodeId] {
+        match self.label_ranges.get(&label) {
+            Some(&(start, end)) => {
+                &as_node_ids(self.arr(self.label_order))[start as usize..end as usize]
+            }
+            None => &[],
+        }
+    }
+
+    /// Out-neighbours of `id` along `label`, as a mapped sorted slice.
+    pub fn out_neighbors_labeled(&self, id: NodeId, label: Sym) -> &[NodeId] {
+        match self.syms.to_file(label) {
+            Some(fid) => self.out_side().labeled_slice(id.index(), fid),
+            None => &[],
+        }
+    }
+
+    /// In-neighbours of `id` along `label`, as a mapped sorted slice.
+    pub fn in_neighbors_labeled(&self, id: NodeId, label: Sym) -> &[NodeId] {
+        match self.syms.to_file(label) {
+            Some(fid) => self.in_side().labeled_slice(id.index(), fid),
+            None => &[],
+        }
+    }
+
+    /// Number of edges matching the label triple.
+    pub fn triple_count(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> usize {
+        match self.triple_ranges.get(&(src_label, edge_label, dst_label)) {
+            Some(&(start, end)) => (end - start) as usize,
+            None => 0,
+        }
+    }
+
+    /// An empty-update [`crate::DeltaOverlay`] over this snapshot (mirrors
+    /// [`crate::CsrSnapshot::as_overlay`]).
+    pub fn as_overlay(&self) -> crate::overlay::DeltaOverlay<'_, MmapSnapshot> {
+        crate::overlay::DeltaOverlay::empty(self)
+    }
+}
+
+/// Decode and validate the global (owner 0) sections of a verified file.
+fn decode_global(file: &FileData) -> Result<MmapSnapshot, PersistError> {
+    let n = usize::try_from(file.header.node_count)
+        .map_err(|_| PersistError::Corrupt("node count exceeds address space".into()))?;
+    let edge_count = usize::try_from(file.header.edge_count)
+        .map_err(|_| PersistError::Corrupt("edge count exceeds address space".into()))?;
+
+    let (blob, declared) = file.blob(kind::STRINGS, 0)?;
+    let syms = decode_strings(blob, declared)?;
+    let sym_count = syms.len() as u32;
+
+    let node_labels = file.u32_sect(kind::NODE_LABELS, 0)?;
+    if node_labels.len != n {
+        return Err(PersistError::Corrupt(format!(
+            "{} node labels for {n} nodes",
+            node_labels.len
+        )));
+    }
+    for &label in u32s(&file.map, node_labels) {
+        if label >= sym_count {
+            return Err(PersistError::Corrupt(format!(
+                "node label id {label} out of range"
+            )));
+        }
+    }
+
+    let attrs = LazyAttrs::load(file, kind::NODE_ATTRS, 0, n, &syms, "node attributes")?;
+
+    let out = file.side(
+        (kind::OUT_OFFSETS, kind::OUT_LABELS, kind::OUT_NEIGHBORS),
+        0,
+    )?;
+    let out_entries = validate_side(&file.map, out, n, n as u32, sym_count, "out CSR")?;
+    if out_entries != edge_count {
+        return Err(PersistError::Corrupt(format!(
+            "out CSR holds {out_entries} entries but the header claims {edge_count} edges"
+        )));
+    }
+    let inn = file.side((kind::IN_OFFSETS, kind::IN_LABELS, kind::IN_NEIGHBORS), 0)?;
+    let in_entries = validate_side(&file.map, inn, n, n as u32, sym_count, "in CSR")?;
+    if in_entries != edge_count {
+        return Err(PersistError::Corrupt(format!(
+            "in CSR holds {in_entries} entries but the header claims {edge_count} edges"
+        )));
+    }
+
+    let label_order = file.u32_sect(kind::LABEL_ORDER, 0)?;
+    if label_order.len != n {
+        return Err(PersistError::Corrupt(format!(
+            "label order has {} entries for {n} nodes",
+            label_order.len
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &id in u32s(&file.map, label_order) {
+        if (id as usize) >= n || std::mem::replace(&mut seen[id as usize], true) {
+            return Err(PersistError::Corrupt(
+                "label order is not a permutation of the node ids".into(),
+            ));
+        }
+    }
+    let (blob, declared) = file.blob(kind::LABEL_RANGES, 0)?;
+    let label_ranges = decode_label_ranges(
+        blob,
+        declared,
+        u32s(&file.map, node_labels),
+        u32s(&file.map, label_order),
+        &syms,
+    )?;
+
+    let triple_src = file.u32_sect(kind::TRIPLE_SRC, 0)?;
+    let triple_dst = file.u32_sect(kind::TRIPLE_DST, 0)?;
+    if triple_src.len != triple_dst.len {
+        return Err(PersistError::Corrupt(format!(
+            "triple arrays disagree: {} sources, {} destinations",
+            triple_src.len, triple_dst.len
+        )));
+    }
+    for sect in [triple_src, triple_dst] {
+        for &id in u32s(&file.map, sect) {
+            if id as usize >= n {
+                return Err(PersistError::Corrupt(format!(
+                    "triple endpoint {id} out of range"
+                )));
+            }
+        }
+    }
+    let (blob, declared) = file.blob(kind::TRIPLE_RANGES, 0)?;
+    let triple_ranges = decode_triple_ranges(
+        blob,
+        declared,
+        u32s(&file.map, node_labels),
+        u32s(&file.map, triple_src),
+        u32s(&file.map, triple_dst),
+        edge_count,
+        RawSide {
+            offsets: u32s(&file.map, out.offsets),
+            labels: u32s(&file.map, out.labels),
+            neighbors: u32s(&file.map, out.neighbors),
+        },
+        &syms,
+    )?;
+
+    Ok(MmapSnapshot {
+        map: Arc::clone(&file.map),
+        syms: Arc::new(syms),
+        node_count: n,
+        edge_count,
+        attrs,
+        label_ranges,
+        triple_ranges,
+        node_labels,
+        out,
+        inn,
+        label_order,
+        triple_src,
+        triple_dst,
+    })
+}
+
+impl GraphView for MmapSnapshot {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        id.index() < self.node_count
+    }
+
+    fn label(&self, id: NodeId) -> Sym {
+        self.syms.to_proc(self.arr(self.node_labels)[id.index()])
+    }
+
+    fn attr(&self, id: NodeId, name: Sym) -> Option<&Value> {
+        self.attrs.get(&self.map, &self.syms, id.index()).get(name)
+    }
+
+    fn attrs_of(&self, id: NodeId) -> &AttrMap {
+        self.attrs.get(&self.map, &self.syms, id.index())
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        if !self.contains_node(src) || !self.contains_node(dst) {
+            return false;
+        }
+        let Some(fid) = self.syms.to_file(label) else {
+            return false;
+        };
+        let (out, inn) = (self.out_side(), self.in_side());
+        if out.degree(src.index()) <= inn.degree(dst.index()) {
+            out.contains(src.index(), fid, dst)
+        } else {
+            inn.contains(dst.index(), fid, src)
+        }
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        self.out_side().degree(id.index())
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        self.in_side().degree(id.index())
+    }
+
+    fn label_count(&self, label: Sym) -> usize {
+        self.nodes_with_label(label).len()
+    }
+
+    fn nodes_with_label_vec(&self, label: Sym) -> Vec<NodeId> {
+        self.nodes_with_label(label).to_vec()
+    }
+
+    fn out_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        match self.syms.to_file(label) {
+            Some(fid) => self.out_side().labeled_range(id.index(), fid).len(),
+            None => 0,
+        }
+    }
+
+    fn in_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        match self.syms.to_file(label) {
+            Some(fid) => self.in_side().labeled_range(id.index(), fid).len(),
+            None => 0,
+        }
+    }
+
+    fn out_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        Some(self.out_neighbors_labeled(id, label))
+    }
+
+    fn in_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        Some(self.in_neighbors_labeled(id, label))
+    }
+
+    fn for_each_out_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        for &n in self.out_neighbors_labeled(id, label) {
+            f(n);
+        }
+    }
+
+    fn for_each_in_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        for &n in self.in_neighbors_labeled(id, label) {
+            f(n);
+        }
+    }
+
+    fn for_each_undirected(&self, id: NodeId, f: &mut dyn FnMut(NodeId, EdgeRef)) {
+        let out = self.out_side();
+        for i in out.node_range(id.index()) {
+            let neighbor = NodeId(out.neighbors[i]);
+            f(
+                neighbor,
+                EdgeRef::new(id, neighbor, self.syms.to_proc(out.labels[i])),
+            );
+        }
+        let inn = self.in_side();
+        for i in inn.node_range(id.index()) {
+            let neighbor = NodeId(inn.neighbors[i]);
+            f(
+                neighbor,
+                EdgeRef::new(neighbor, id, self.syms.to_proc(inn.labels[i])),
+            );
+        }
+    }
+
+    fn for_each_out(&self, id: NodeId, f: &mut dyn FnMut(NodeId, Sym)) {
+        let out = self.out_side();
+        for i in out.node_range(id.index()) {
+            f(NodeId(out.neighbors[i]), self.syms.to_proc(out.labels[i]));
+        }
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(EdgeRef)) {
+        let out = self.out_side();
+        for row in 0..self.node_count {
+            let src = NodeId(row as u32);
+            for i in out.node_range(row) {
+                f(EdgeRef::new(
+                    src,
+                    NodeId(out.neighbors[i]),
+                    self.syms.to_proc(out.labels[i]),
+                ));
+            }
+        }
+    }
+
+    fn triple_run_len(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> Option<usize> {
+        Some(self.triple_count(src_label, edge_label, dst_label))
+    }
+
+    fn triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        let &(start, end) = self
+            .triple_ranges
+            .get(&(src_label, edge_label, dst_label))
+            .unwrap_or(&(0, 0));
+        let side = if want_src {
+            self.arr(self.triple_src)
+        } else {
+            self.arr(self.triple_dst)
+        };
+        let mut out: Vec<NodeId> = as_node_ids(&side[start as usize..end as usize]).to_vec();
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+}
+
+/// One fragment's mapped arrays inside a sharded snapshot file.
+#[derive(Debug)]
+struct MmapFragment {
+    owned_count: usize,
+    edge_entries: usize,
+    local_to_global: Sect,
+    global_to_local: Sect,
+    node_labels: Sect,
+    attrs: LazyAttrs,
+    out: SideSect,
+    inn: SideSect,
+}
+
+/// A memory-mapped [`crate::ShardedSnapshot`]: the global snapshot plus one
+/// set of mapped per-fragment CSR arrays, loaded from a file written by
+/// [`SnapshotWriter::write_sharded`](crate::persist::SnapshotWriter::write_sharded).
+///
+/// Implements [`ShardedRead`], so `pdect_sharded` / `pinc_dect_sharded`
+/// run over it exactly as over the in-memory sharded snapshot.
+#[derive(Debug)]
+pub struct MmapShardedSnapshot {
+    global: MmapSnapshot,
+    partition: Partition,
+    halo_depth: usize,
+    fragments: Vec<MmapFragment>,
+}
+
+impl MmapShardedSnapshot {
+    /// Memory-map a sharded snapshot file.
+    pub fn load(path: &Path) -> Result<MmapShardedSnapshot, PersistError> {
+        let file = FileData::open(path)?;
+        if file.header.file_kind != file_kind::SHARDED {
+            return Err(PersistError::WrongKind {
+                expected: file_kind::SHARDED,
+                found: file.header.file_kind,
+            });
+        }
+        let global = decode_global(&file)?;
+        let n = global.node_count;
+        let sym_count = global.syms.len() as u32;
+
+        let (blob, _) = file.blob(kind::SHARD_META, 0)?;
+        let mut reader = BlobReader::new(blob, "shard metadata");
+        let halo_depth = reader.u64()? as usize;
+        let fragment_count = reader.u32()? as usize;
+        reader.finish()?;
+        // The writer can never produce zero fragments (`freeze_sharded(0,
+        // ..)` behaves like 1); rejecting it here keeps the detectors'
+        // `worker_view(0)` infallible.
+        if fragment_count == 0 {
+            return Err(PersistError::Corrupt(
+                "sharded snapshot declares zero fragments".into(),
+            ));
+        }
+
+        let (blob, declared) = file.blob(kind::PARTITION, 0)?;
+        let partition = decode_partition(blob, declared, n, fragment_count, &global.syms)?;
+
+        let mut fragments = Vec::with_capacity(fragment_count);
+        for idx in 0..fragment_count {
+            fragments.push(decode_fragment(&file, idx, n, sym_count, &global.syms)?);
+        }
+        Ok(MmapShardedSnapshot {
+            global,
+            partition,
+            halo_depth,
+            fragments,
+        })
+    }
+
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// The halo replication depth the shards were built with.
+    pub fn halo_depth(&self) -> usize {
+        self.halo_depth
+    }
+
+    /// The partition the shards were built from.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The mapped global snapshot backing remote reads.
+    pub fn global(&self) -> &MmapSnapshot {
+        &self.global
+    }
+
+    /// Fragment a work item anchored at `node` routes to.
+    pub fn route_of(&self, node: NodeId) -> usize {
+        self.partition.route_of(node)
+    }
+
+    /// A worker's [`GraphView`] over fragment `idx`.
+    pub fn fragment_view(&self, idx: usize) -> MmapFragmentView<'_> {
+        MmapFragmentView {
+            shard: self,
+            fragment: &self.fragments[idx],
+            remote_fetches: AtomicU64::new(0),
+        }
+    }
+}
+
+fn decode_edges(
+    reader: &mut BlobReader<'_>,
+    node_bound: usize,
+    syms: &SymBridge,
+) -> Result<Vec<EdgeRef>, PersistError> {
+    let count = reader.u32()?;
+    let count = reader.record_count(count, 12)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let src = reader.u32()?;
+        let dst = reader.u32()?;
+        let label = syms.to_proc_checked(reader.u32()?)?;
+        if src as usize >= node_bound || dst as usize >= node_bound {
+            return Err(PersistError::Corrupt(format!(
+                "partition edge {src}->{dst} out of range"
+            )));
+        }
+        out.push(EdgeRef::new(NodeId(src), NodeId(dst), label));
+    }
+    Ok(out)
+}
+
+fn decode_partition(
+    blob: &[u8],
+    declared: usize,
+    node_count: usize,
+    fragment_count: usize,
+    syms: &SymBridge,
+) -> Result<Partition, PersistError> {
+    let mut reader = BlobReader::new(blob, "partition");
+    let strategy = match reader.u8()? {
+        0 => PartitionStrategy::EdgeCut,
+        1 => PartitionStrategy::VertexCut,
+        other => {
+            return Err(PersistError::Corrupt(format!(
+                "unknown partition strategy {other}"
+            )))
+        }
+    };
+    let owner_len = reader.u32()? as usize;
+    if owner_len != node_count {
+        return Err(PersistError::Corrupt(format!(
+            "partition owns {owner_len} nodes of {node_count}"
+        )));
+    }
+    let mut owner = Vec::with_capacity(owner_len);
+    for _ in 0..owner_len {
+        let frag = reader.u32()? as usize;
+        if frag >= fragment_count.max(1) {
+            return Err(PersistError::Corrupt(format!(
+                "node owner {frag} out of range ({fragment_count} fragments)"
+            )));
+        }
+        owner.push(frag);
+    }
+    let count = reader.u32()? as usize;
+    if count != fragment_count || count != declared {
+        return Err(PersistError::Corrupt(format!(
+            "partition encodes {count} fragments, metadata says {fragment_count}"
+        )));
+    }
+    let mut fragments = Vec::with_capacity(count);
+    for expected_id in 0..count {
+        let id = reader.u32()? as usize;
+        if id != expected_id {
+            return Err(PersistError::Corrupt(format!(
+                "fragment {expected_id} encodes id {id}"
+            )));
+        }
+        let node_len = reader.u32()?;
+        let node_len = reader.record_count(node_len, 4)?;
+        let mut nodes = Vec::with_capacity(node_len);
+        for _ in 0..node_len {
+            let node = reader.u32()?;
+            if node as usize >= node_count {
+                return Err(PersistError::Corrupt(format!(
+                    "fragment node {node} out of range"
+                )));
+            }
+            nodes.push(NodeId(node));
+        }
+        let border_len = reader.u32()?;
+        let border_len = reader.record_count(border_len, 4)?;
+        let mut border_nodes = Vec::with_capacity(border_len);
+        for _ in 0..border_len {
+            let node = reader.u32()?;
+            if node as usize >= node_count {
+                return Err(PersistError::Corrupt(format!(
+                    "border node {node} out of range"
+                )));
+            }
+            border_nodes.push(NodeId(node));
+        }
+        let internal_edges = decode_edges(&mut reader, node_count, syms)?;
+        fragments.push(Fragment {
+            id,
+            nodes,
+            internal_edges,
+            border_nodes,
+        });
+    }
+    let crossing_edges = decode_edges(&mut reader, node_count, syms)?;
+    reader.finish()?;
+    Ok(Partition {
+        strategy,
+        fragments,
+        owner,
+        crossing_edges,
+    })
+}
+
+fn decode_fragment(
+    file: &FileData,
+    idx: usize,
+    node_count: usize,
+    sym_count: u32,
+    syms: &SymBridge,
+) -> Result<MmapFragment, PersistError> {
+    let owner = (idx + 1) as u32;
+    let (blob, _) = file.blob(kind::FRAG_META, owner)?;
+    let mut reader = BlobReader::new(blob, "fragment metadata");
+    let id = reader.u32()? as usize;
+    let owned_count = reader.u32()? as usize;
+    let edge_entries = reader.u64()? as usize;
+    reader.finish()?;
+    if id != idx {
+        return Err(PersistError::Corrupt(format!(
+            "fragment {idx} encodes id {id}"
+        )));
+    }
+
+    let local_to_global = file.u32_sect(kind::FRAG_LOCAL_TO_GLOBAL, owner)?;
+    let global_to_local = file.u32_sect(kind::FRAG_GLOBAL_TO_LOCAL, owner)?;
+    let rows = local_to_global.len;
+    if owned_count > rows {
+        return Err(PersistError::Corrupt(format!(
+            "fragment {idx} owns {owned_count} of {rows} materialised rows"
+        )));
+    }
+    if global_to_local.len != node_count {
+        return Err(PersistError::Corrupt(format!(
+            "fragment {idx}: translation table covers {} of {node_count} nodes",
+            global_to_local.len
+        )));
+    }
+    let l2g = u32s(&file.map, local_to_global);
+    let g2l = u32s(&file.map, global_to_local);
+    for (row, &gid) in l2g.iter().enumerate() {
+        if gid as usize >= node_count || g2l[gid as usize] != row as u32 {
+            return Err(PersistError::Corrupt(format!(
+                "fragment {idx}: row {row} and global id {gid} do not round-trip"
+            )));
+        }
+    }
+    for (gid, &row) in g2l.iter().enumerate() {
+        if row != u32::MAX && (row as usize >= rows || l2g[row as usize] as usize != gid) {
+            return Err(PersistError::Corrupt(format!(
+                "fragment {idx}: global id {gid} maps to bad row {row}"
+            )));
+        }
+    }
+
+    let node_labels = file.u32_sect(kind::FRAG_NODE_LABELS, owner)?;
+    if node_labels.len != rows {
+        return Err(PersistError::Corrupt(format!(
+            "fragment {idx}: {} labels for {rows} rows",
+            node_labels.len
+        )));
+    }
+    for &label in u32s(&file.map, node_labels) {
+        if label >= sym_count {
+            return Err(PersistError::Corrupt(format!(
+                "fragment {idx}: label id {label} out of range"
+            )));
+        }
+    }
+    let attrs = LazyAttrs::load(
+        file,
+        kind::FRAG_NODE_ATTRS,
+        owner,
+        rows,
+        syms,
+        "fragment attributes",
+    )?;
+
+    let out = file.side(
+        (
+            kind::FRAG_OUT_OFFSETS,
+            kind::FRAG_OUT_LABELS,
+            kind::FRAG_OUT_NEIGHBORS,
+        ),
+        owner,
+    )?;
+    let out_entries = validate_side(
+        &file.map,
+        out,
+        rows,
+        node_count as u32,
+        sym_count,
+        "fragment out CSR",
+    )?;
+    if out_entries != edge_entries {
+        return Err(PersistError::Corrupt(format!(
+            "fragment {idx}: {out_entries} out entries, metadata says {edge_entries}"
+        )));
+    }
+    let inn = file.side(
+        (
+            kind::FRAG_IN_OFFSETS,
+            kind::FRAG_IN_LABELS,
+            kind::FRAG_IN_NEIGHBORS,
+        ),
+        owner,
+    )?;
+    validate_side(
+        &file.map,
+        inn,
+        rows,
+        node_count as u32,
+        sym_count,
+        "fragment in CSR",
+    )?;
+
+    Ok(MmapFragment {
+        owned_count,
+        edge_entries,
+        local_to_global,
+        global_to_local,
+        node_labels,
+        attrs,
+        out,
+        inn,
+    })
+}
+
+/// A detector worker's read view of one mapped fragment: local reads come
+/// from the fragment's mapped arrays, everything else falls back to the
+/// mapped global snapshot and is counted as a cross-fragment candidate
+/// fetch — the mmap twin of [`crate::FragmentView`].
+#[derive(Debug)]
+pub struct MmapFragmentView<'a> {
+    shard: &'a MmapShardedSnapshot,
+    fragment: &'a MmapFragment,
+    remote_fetches: AtomicU64,
+}
+
+impl<'a> MmapFragmentView<'a> {
+    /// Global ids of the rows materialised in this fragment (owned + halo).
+    pub fn materialized_nodes(&self) -> &'a [NodeId] {
+        as_node_ids(u32s(&self.shard.global.map, self.fragment.local_to_global))
+    }
+
+    /// Global ids of the owned rows.
+    pub fn owned_nodes(&self) -> &'a [NodeId] {
+        &self.materialized_nodes()[..self.fragment.owned_count]
+    }
+
+    /// Number of out-edge entries replicated into this fragment.
+    pub fn edge_entries(&self) -> usize {
+        self.fragment.edge_entries
+    }
+
+    /// Is the node's adjacency materialised in this fragment?
+    pub fn is_local(&self, id: NodeId) -> bool {
+        self.local_row(id).is_some()
+    }
+
+    #[inline]
+    fn global(&self) -> &'a MmapSnapshot {
+        &self.shard.global
+    }
+
+    #[inline]
+    fn local_row(&self, id: NodeId) -> Option<usize> {
+        match u32s(&self.shard.global.map, self.fragment.global_to_local).get(id.index()) {
+            Some(&row) if row != u32::MAX => Some(row as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn count_remote(&self) {
+        self.remote_fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn out_side(&self) -> RawSide<'a> {
+        let map = &self.shard.global.map;
+        RawSide {
+            offsets: u32s(map, self.fragment.out.offsets),
+            labels: u32s(map, self.fragment.out.labels),
+            neighbors: u32s(map, self.fragment.out.neighbors),
+        }
+    }
+
+    #[inline]
+    fn in_side(&self) -> RawSide<'a> {
+        let map = &self.shard.global.map;
+        RawSide {
+            offsets: u32s(map, self.fragment.inn.offsets),
+            labels: u32s(map, self.fragment.inn.labels),
+            neighbors: u32s(map, self.fragment.inn.neighbors),
+        }
+    }
+
+    #[inline]
+    fn to_file(&self, label: Sym) -> Option<u32> {
+        self.shard.global.syms.to_file(label)
+    }
+}
+
+impl<'a> RemoteAccounting for MmapFragmentView<'a> {
+    fn remote_fetches(&self) -> u64 {
+        self.remote_fetches.load(Ordering::Relaxed)
+    }
+}
+
+impl<'a> GraphView for MmapFragmentView<'a> {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self.global())
+    }
+
+    fn edge_count(&self) -> usize {
+        GraphView::edge_count(self.global())
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        GraphView::contains_node(self.global(), id)
+    }
+
+    fn label(&self, id: NodeId) -> Sym {
+        match self.local_row(id) {
+            Some(row) => {
+                let fid = u32s(&self.shard.global.map, self.fragment.node_labels)[row];
+                self.shard.global.syms.to_proc(fid)
+            }
+            None => GraphView::label(self.global(), id),
+        }
+    }
+
+    fn attr(&self, id: NodeId, name: Sym) -> Option<&Value> {
+        match self.local_row(id) {
+            Some(row) => {
+                let global = &self.shard.global;
+                self.fragment
+                    .attrs
+                    .get(&global.map, &global.syms, row)
+                    .get(name)
+            }
+            None => GraphView::attr(self.global(), id, name),
+        }
+    }
+
+    fn attrs_of(&self, id: NodeId) -> &AttrMap {
+        match self.local_row(id) {
+            Some(row) => {
+                let global = &self.shard.global;
+                self.fragment.attrs.get(&global.map, &global.syms, row)
+            }
+            None => GraphView::attrs_of(self.global(), id),
+        }
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Sym) -> bool {
+        let Some(fid) = self.to_file(label) else {
+            return false;
+        };
+        if let Some(row) = self.local_row(src) {
+            return self.out_side().contains(row, fid, dst);
+        }
+        if let Some(row) = self.local_row(dst) {
+            return self.in_side().contains(row, fid, src);
+        }
+        if !self.contains_node(src) || !self.contains_node(dst) {
+            return false;
+        }
+        self.count_remote();
+        GraphView::has_edge(self.global(), src, dst, label)
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        match self.local_row(id) {
+            Some(row) => self.out_side().degree(row),
+            None => {
+                self.count_remote();
+                GraphView::out_degree(self.global(), id)
+            }
+        }
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        match self.local_row(id) {
+            Some(row) => self.in_side().degree(row),
+            None => {
+                self.count_remote();
+                GraphView::in_degree(self.global(), id)
+            }
+        }
+    }
+
+    fn label_count(&self, label: Sym) -> usize {
+        // Replicated dictionary — global, unaccounted.
+        GraphView::label_count(self.global(), label)
+    }
+
+    fn nodes_with_label_vec(&self, label: Sym) -> Vec<NodeId> {
+        GraphView::nodes_with_label_vec(self.global(), label)
+    }
+
+    fn out_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        match self.local_row(id) {
+            Some(row) => match self.to_file(label) {
+                Some(fid) => self.out_side().labeled_range(row, fid).len(),
+                None => 0,
+            },
+            None => {
+                self.count_remote();
+                GraphView::out_labeled_count(self.global(), id, label)
+            }
+        }
+    }
+
+    fn in_labeled_count(&self, id: NodeId, label: Sym) -> usize {
+        match self.local_row(id) {
+            Some(row) => match self.to_file(label) {
+                Some(fid) => self.in_side().labeled_range(row, fid).len(),
+                None => 0,
+            },
+            None => {
+                self.count_remote();
+                GraphView::in_labeled_count(self.global(), id, label)
+            }
+        }
+    }
+
+    fn out_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        match self.local_row(id) {
+            Some(row) => Some(match self.to_file(label) {
+                Some(fid) => self.out_side().labeled_slice(row, fid),
+                None => &[],
+            }),
+            None => {
+                self.count_remote();
+                GraphView::out_labeled_slice(self.global(), id, label)
+            }
+        }
+    }
+
+    fn in_labeled_slice(&self, id: NodeId, label: Sym) -> Option<&[NodeId]> {
+        match self.local_row(id) {
+            Some(row) => Some(match self.to_file(label) {
+                Some(fid) => self.in_side().labeled_slice(row, fid),
+                None => &[],
+            }),
+            None => {
+                self.count_remote();
+                GraphView::in_labeled_slice(self.global(), id, label)
+            }
+        }
+    }
+
+    fn for_each_out_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        match self.local_row(id) {
+            Some(row) => {
+                if let Some(fid) = self.to_file(label) {
+                    for &n in self.out_side().labeled_slice(row, fid) {
+                        f(n);
+                    }
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_out_labeled(self.global(), id, label, f);
+            }
+        }
+    }
+
+    fn for_each_in_labeled(&self, id: NodeId, label: Sym, f: &mut dyn FnMut(NodeId)) {
+        match self.local_row(id) {
+            Some(row) => {
+                if let Some(fid) = self.to_file(label) {
+                    for &n in self.in_side().labeled_slice(row, fid) {
+                        f(n);
+                    }
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_in_labeled(self.global(), id, label, f);
+            }
+        }
+    }
+
+    fn for_each_undirected(&self, id: NodeId, f: &mut dyn FnMut(NodeId, EdgeRef)) {
+        match self.local_row(id) {
+            Some(row) => {
+                let syms = &self.shard.global.syms;
+                let out = self.out_side();
+                for i in out.node_range(row) {
+                    let neighbor = NodeId(out.neighbors[i]);
+                    f(
+                        neighbor,
+                        EdgeRef::new(id, neighbor, syms.to_proc(out.labels[i])),
+                    );
+                }
+                let inn = self.in_side();
+                for i in inn.node_range(row) {
+                    let neighbor = NodeId(inn.neighbors[i]);
+                    f(
+                        neighbor,
+                        EdgeRef::new(neighbor, id, syms.to_proc(inn.labels[i])),
+                    );
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_undirected(self.global(), id, f);
+            }
+        }
+    }
+
+    fn for_each_out(&self, id: NodeId, f: &mut dyn FnMut(NodeId, Sym)) {
+        match self.local_row(id) {
+            Some(row) => {
+                let syms = &self.shard.global.syms;
+                let out = self.out_side();
+                for i in out.node_range(row) {
+                    f(NodeId(out.neighbors[i]), syms.to_proc(out.labels[i]));
+                }
+            }
+            None => {
+                self.count_remote();
+                GraphView::for_each_out(self.global(), id, f);
+            }
+        }
+    }
+
+    fn for_each_edge(&self, f: &mut dyn FnMut(EdgeRef)) {
+        // Whole-graph iteration is a global scan by definition.
+        GraphView::for_each_edge(self.global(), f)
+    }
+
+    fn triple_run_len(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> Option<usize> {
+        GraphView::triple_run_len(self.global(), src_label, edge_label, dst_label)
+    }
+
+    fn triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        GraphView::triple_endpoints(self.global(), src_label, edge_label, dst_label, want_src)
+    }
+}
+
+impl ShardedRead for MmapShardedSnapshot {
+    type Global = MmapSnapshot;
+    type Worker<'a> = MmapFragmentView<'a>;
+
+    fn global_view(&self) -> &MmapSnapshot {
+        &self.global
+    }
+
+    fn shard_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    fn route_to(&self, node: NodeId) -> usize {
+        self.route_of(node)
+    }
+
+    fn shard_partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    fn worker_view(&self, idx: usize) -> MmapFragmentView<'_> {
+        self.fragment_view(idx)
+    }
+}

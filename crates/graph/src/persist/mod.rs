@@ -1,0 +1,370 @@
+//! Zero-copy on-disk CSR snapshots: a versioned binary writer and a
+//! memory-mapped loader.
+//!
+//! The detectors assume a graph is frozen once and served to many batch /
+//! incremental runs.  In memory that is [`crate::Graph::freeze`]; this
+//! module extends the idea across process boundaries: freeze once, write
+//! the snapshot's flat arrays to disk ([`SnapshotWriter`]), then let any
+//! number of detector processes [`MmapSnapshot::load`] the file and read
+//! the arrays **in place** through [`crate::GraphView`] — no
+//! deserialisation, no copy, RAM usage bounded by the working set the
+//! kernel pages in rather than by `|G|`.  Sharded snapshots serialise the
+//! same way ([`SnapshotWriter::write_sharded`] /
+//! [`MmapShardedSnapshot::load`]), with one group of sections per
+//! fragment, so the sharded detectors also run straight off disk.
+//!
+//! ## File layout (version 1)
+//!
+//! A snapshot file is a 64-byte header, a section table, and a sequence of
+//! 64-byte-aligned little-endian sections (see [`mod@format`] for the
+//! exact byte layout):
+//!
+//! ```text
+//! header | section table | STRINGS | NODE_LABELS | NODE_ATTRS
+//!        | OUT_OFFSETS | OUT_LABELS | OUT_NEIGHBORS
+//!        | IN_OFFSETS  | IN_LABELS  | IN_NEIGHBORS
+//!        | LABEL_ORDER | LABEL_RANGES
+//!        | TRIPLE_SRC  | TRIPLE_DST | TRIPLE_RANGES
+//!        [ | SHARD_META | PARTITION | per-fragment sections … ]
+//! ```
+//!
+//! The array sections (`u32` arrays: CSR offsets / labels / neighbours,
+//! label partition, triple arrays) are the bytes the loader reinterprets
+//! as slices; the blob sections (string table, attribute tuples, range
+//! dictionaries, partition) are decoded once at load time.
+//!
+//! ## Contract
+//!
+//! * **Little-endian**, 64-byte-aligned sections; a big-endian host gets a
+//!   typed [`PersistError::UnsupportedHost`], never byte-swapped garbage.
+//! * **Versioned**: any layout change bumps [`format::VERSION`]; a reader
+//!   confronted with a newer file returns
+//!   [`PersistError::UnsupportedVersion`] instead of guessing.
+//! * **Checksummed**: a 4-lane multiply-xor hash ([`file_checksum`])
+//!   over everything after the header; a
+//!   flipped bit is [`PersistError::ChecksumMismatch`], not a wrong answer.
+//! * **Validated**: structural invariants (bounds, alignment, monotone
+//!   offsets, sorted runs, permutations) are checked at load, so the
+//!   `unsafe` slice reinterpretation can never touch out-of-range memory
+//!   and the read path needs no per-access checks.
+//! * **Symbol-stable**: [`crate::Sym`]s are process-local, so the file
+//!   carries its own string table with ids assigned lexicographically;
+//!   the writer canonicalises every symbol-ordered structure into that
+//!   order, making the file bytes a pure function of the logical graph
+//!   (the golden-format test pins them).
+//!
+//! ## Example
+//!
+//! ```
+//! use ngd_graph::persist::{MmapSnapshot, SnapshotWriter};
+//! use ngd_graph::{AttrMap, Graph, GraphView};
+//!
+//! let mut g = Graph::new();
+//! let a = g.add_node_named("account", AttrMap::new());
+//! let b = g.add_node_named("company", AttrMap::new());
+//! g.add_edge_named(a, b, "keys").unwrap();
+//!
+//! let path = std::env::temp_dir().join("ngd-doc-example.snap");
+//! SnapshotWriter::new().write(&g.freeze(), &path).unwrap();
+//! let snapshot = MmapSnapshot::load(&path).unwrap();
+//! assert_eq!(GraphView::node_count(&snapshot), 2);
+//! assert!(GraphView::has_edge(&snapshot, a, b, ngd_graph::intern("keys")));
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+pub mod format;
+mod loader;
+mod mmap;
+mod writer;
+
+pub use format::{file_checksum, FileHeader, SectionEntry};
+pub use loader::{MmapFragmentView, MmapShardedSnapshot, MmapSnapshot};
+pub use mmap::MmapFile;
+pub use writer::SnapshotWriter;
+
+/// Errors raised while writing, mapping or validating snapshot files.
+///
+/// Every corruption mode maps to a distinct variant so callers (and the
+/// corruption-battery tests) can tell a stale format from a damaged file
+/// from an operational error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An operating-system error (open / stat / map / read / write).
+    Io(String),
+    /// The file does not start with the snapshot magic.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is not the one this build reads.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build supports ([`format::VERSION`]).
+        supported: u32,
+    },
+    /// The file ends before the length its header (or a section) requires.
+    Truncated {
+        /// Bytes required.
+        expected: u64,
+        /// Bytes present.
+        actual: u64,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// A section offset violates the 64-byte alignment contract.
+    MisalignedSection {
+        /// Section kind (see [`format::kind`]).
+        kind: u32,
+        /// The offending byte offset.
+        offset: u64,
+    },
+    /// The file is a valid snapshot of the other kind (shared vs sharded).
+    WrongKind {
+        /// Kind the loader expected (see [`format::file_kind`]).
+        expected: u32,
+        /// Kind recorded in the file.
+        found: u32,
+    },
+    /// The host cannot read the format (e.g. big-endian).
+    UnsupportedHost(String),
+    /// A structural invariant of the payload does not hold.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(msg) => write!(f, "io error: {msg}"),
+            PersistError::BadMagic { found } => {
+                write!(f, "not a snapshot file (magic {found:02x?})")
+            }
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads \
+                 version {supported}); re-freeze the graph or upgrade"
+            ),
+            PersistError::Truncated { expected, actual } => {
+                write!(f, "truncated snapshot: {actual} of {expected} bytes")
+            }
+            PersistError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            PersistError::MisalignedSection { kind, offset } => {
+                write!(f, "section kind {kind} at misaligned offset {offset}")
+            }
+            PersistError::WrongKind { expected, found } => write!(
+                f,
+                "wrong snapshot kind {found} (expected {expected}; 1 = shared, 2 = sharded)"
+            ),
+            PersistError::UnsupportedHost(msg) => write!(f, "unsupported host: {msg}"),
+            PersistError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrMap;
+    use crate::graph::{Graph, NodeId};
+    use crate::interner::intern;
+    use crate::shard::RemoteAccounting;
+    use crate::value::Value;
+    use crate::view::GraphView;
+    use std::path::PathBuf;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node_named(
+            "account",
+            AttrMap::from_pairs([("name", Value::from("ann"))]),
+        );
+        let b = g.add_node_named("account", AttrMap::new());
+        let c = g.add_node_named(
+            "company",
+            AttrMap::from_pairs([("active", Value::Bool(true))]),
+        );
+        let d = g.add_node_named("integer", AttrMap::from_pairs([("val", Value::Int(-7))]));
+        g.add_edge_named(a, c, "keys").unwrap();
+        g.add_edge_named(b, c, "keys").unwrap();
+        g.add_edge_named(a, d, "follower").unwrap();
+        g.add_edge_named(a, b, "knows").unwrap();
+        g
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ngd-persist-unit-{tag}-{}.snap",
+            std::process::id()
+        ))
+    }
+
+    fn assert_views_agree<A: GraphView, B: GraphView>(a: &A, b: &B) {
+        assert_eq!(GraphView::node_count(a), GraphView::node_count(b));
+        assert_eq!(GraphView::edge_count(a), GraphView::edge_count(b));
+        let labels = ["account", "company", "integer", "ghost"];
+        let edge_labels = ["keys", "follower", "knows", "ghost"];
+        for idx in 0..GraphView::node_count(a) {
+            let id = NodeId(idx as u32);
+            assert_eq!(GraphView::label(a, id), GraphView::label(b, id), "{id}");
+            assert_eq!(GraphView::attrs_of(a, id), GraphView::attrs_of(b, id));
+            assert_eq!(GraphView::out_degree(a, id), GraphView::out_degree(b, id));
+            assert_eq!(GraphView::in_degree(a, id), GraphView::in_degree(b, id));
+            for l in edge_labels {
+                let l = intern(l);
+                assert_eq!(
+                    GraphView::out_labeled_vec(a, id, l),
+                    GraphView::out_labeled_vec(b, id, l)
+                );
+                assert_eq!(
+                    GraphView::in_labeled_vec(a, id, l),
+                    GraphView::in_labeled_vec(b, id, l)
+                );
+            }
+        }
+        for l in labels {
+            let l = intern(l);
+            assert_eq!(GraphView::label_count(a, l), GraphView::label_count(b, l));
+            assert_eq!(
+                GraphView::nodes_with_label_vec(a, l),
+                GraphView::nodes_with_label_vec(b, l)
+            );
+        }
+        for s in labels {
+            for e in edge_labels {
+                for d in labels {
+                    let (s, e, d) = (intern(s), intern(e), intern(d));
+                    assert_eq!(
+                        GraphView::triple_run_len(a, s, e, d),
+                        GraphView::triple_run_len(b, s, e, d)
+                    );
+                    for want_src in [true, false] {
+                        assert_eq!(
+                            GraphView::triple_endpoints(a, s, e, d, want_src),
+                            GraphView::triple_endpoints(b, s, e, d, want_src)
+                        );
+                    }
+                }
+            }
+        }
+        let mut ea = Vec::new();
+        GraphView::for_each_edge(a, &mut |e| ea.push(e));
+        let mut eb = Vec::new();
+        GraphView::for_each_edge(b, &mut |e| eb.push(e));
+        ea.sort();
+        eb.sort();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn round_trip_matches_the_in_memory_snapshot() {
+        let g = sample();
+        let snapshot = g.freeze();
+        let path = temp_path("roundtrip");
+        SnapshotWriter::new().write(&snapshot, &path).unwrap();
+        let mapped = MmapSnapshot::load(&path).unwrap();
+        assert_views_agree(&snapshot, &mapped);
+        for src in 0..4u32 {
+            for dst in 0..4u32 {
+                for label in ["keys", "follower", "knows", "ghost"] {
+                    let l = intern(label);
+                    assert_eq!(
+                        GraphView::has_edge(&mapped, NodeId(src), NodeId(dst), l),
+                        GraphView::has_edge(&snapshot, NodeId(src), NodeId(dst), l)
+                    );
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let snapshot = Graph::new().freeze();
+        let path = temp_path("empty");
+        SnapshotWriter::new().write(&snapshot, &path).unwrap();
+        let mapped = MmapSnapshot::load(&path).unwrap();
+        assert_eq!(GraphView::node_count(&mapped), 0);
+        assert_eq!(GraphView::edge_count(&mapped), 0);
+        assert!(mapped.nodes_with_label(intern("anything")).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let g = sample();
+        let writer = SnapshotWriter::new();
+        let first = writer.encode(&g.freeze());
+        // Interning unrelated symbols between encodes must not move a byte:
+        // file symbol ids are lexicographic, not interning-ordered.
+        intern("zzz-unrelated-symbol");
+        intern("aaa-unrelated-symbol");
+        let second = writer.encode(&g.freeze());
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sharded_round_trip_serves_fragment_views() {
+        use crate::partition::PartitionStrategy;
+        let g = sample();
+        let sharded = g.freeze_sharded(2, PartitionStrategy::EdgeCut, 1);
+        let path = temp_path("sharded");
+        SnapshotWriter::new()
+            .write_sharded(&sharded, &path)
+            .unwrap();
+        let mapped = MmapShardedSnapshot::load(&path).unwrap();
+        assert_eq!(mapped.fragment_count(), sharded.fragment_count());
+        assert_eq!(mapped.halo_depth(), sharded.halo_depth());
+        assert_eq!(
+            mapped.partition().crossing_edges,
+            sharded.partition().crossing_edges
+        );
+        assert_views_agree(sharded.global(), mapped.global());
+        for f in 0..mapped.fragment_count() {
+            let view = mapped.fragment_view(f);
+            let reference = sharded.fragment_view(f);
+            assert_eq!(view.owned_nodes(), sharded.fragment(f).owned_nodes());
+            assert_views_agree(&reference, &view);
+        }
+        // Owned-node reads must stay local, exactly like the in-memory path.
+        for f in 0..mapped.fragment_count() {
+            let view = mapped.fragment_view(f);
+            for &node in view.owned_nodes() {
+                let _ = view.out_labeled_slice(node, intern("keys"));
+                let _ = view.in_degree(node);
+            }
+            assert_eq!(view.remote_fetches(), 0);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_is_a_typed_error() {
+        let g = sample();
+        let path = temp_path("wrongkind");
+        SnapshotWriter::new().write(&g.freeze(), &path).unwrap();
+        match MmapShardedSnapshot::load(&path) {
+            Err(PersistError::WrongKind { expected, found }) => {
+                assert_eq!(expected, format::file_kind::SHARDED);
+                assert_eq!(found, format::file_kind::SNAPSHOT);
+            }
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = MmapSnapshot::load(std::path::Path::new("/nonexistent/ngd.snap")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)), "{err:?}");
+    }
+}

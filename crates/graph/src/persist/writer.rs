@@ -1,0 +1,476 @@
+//! [`SnapshotWriter`] — serialise frozen snapshots into the on-disk format.
+//!
+//! The writer's one non-obvious job is **canonicalisation**.  In memory,
+//! label order is interning order ([`Sym`] ids are process-local), so the
+//! label-sorted CSR runs, the label partition and the triple index are all
+//! ordered by an accident of process history.  The file instead assigns
+//! symbol ids **lexicographically by string**, and re-sorts every
+//! symbol-ordered structure into that file order:
+//!
+//! * each CSR run is re-sorted by `(file symbol, neighbour)`,
+//! * the label partition's groups are concatenated in file-symbol order
+//!   (group contents keep their id order),
+//! * the triple index's groups likewise (contents keep `(src, dst)` order),
+//! * attribute tuples are emitted sorted by file symbol of the name.
+//!
+//! The payoff: **the bytes of a snapshot file are a pure function of the
+//! logical graph** — independent of interning history, hash-map iteration
+//! and process — which is what lets the golden-format test pin them and
+//! lets two processes produce identical, diffable snapshots.
+
+use super::format::{
+    align_up, file_checksum, file_kind, kind, BlobWriter, FileHeader, SectionEntry, HEADER_LEN,
+    SECTION_ALIGN, SECTION_ENTRY_LEN,
+};
+use super::PersistError;
+use crate::csr::{CsrSide, CsrSnapshot};
+use crate::graph::{EdgeRef, NodeData};
+use crate::interner::Sym;
+use crate::partition::{Partition, PartitionStrategy};
+use crate::shard::{FragmentSnapshot, ShardedSnapshot};
+use crate::value::Value;
+use crate::view::GraphView;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Serialises [`CsrSnapshot`]s and [`ShardedSnapshot`]s into the versioned
+/// binary snapshot format (see [`crate::persist`] for the layout).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnapshotWriter;
+
+impl SnapshotWriter {
+    /// A writer with default settings.
+    pub fn new() -> Self {
+        SnapshotWriter
+    }
+
+    /// Encode a snapshot into its exact file bytes.
+    pub fn encode(&self, snapshot: &CsrSnapshot) -> Vec<u8> {
+        let syms = SymTable::for_snapshot(snapshot);
+        let mut builder = FileBuilder::new(
+            file_kind::SNAPSHOT,
+            GraphView::node_count(snapshot) as u64,
+            GraphView::edge_count(snapshot) as u64,
+        );
+        push_strings(&mut builder, &syms);
+        push_snapshot_sections(&mut builder, snapshot, &syms);
+        builder.finish()
+    }
+
+    /// Encode a sharded snapshot (global snapshot + per-fragment sections +
+    /// partition metadata) into its exact file bytes.
+    pub fn encode_sharded(&self, sharded: &ShardedSnapshot) -> Vec<u8> {
+        let syms = SymTable::for_sharded(sharded);
+        let global = sharded.global();
+        let mut builder = FileBuilder::new(
+            file_kind::SHARDED,
+            GraphView::node_count(global) as u64,
+            GraphView::edge_count(global) as u64,
+        );
+        push_strings(&mut builder, &syms);
+        push_snapshot_sections(&mut builder, global, &syms);
+
+        let mut meta = BlobWriter::new();
+        meta.put_u64(sharded.halo_depth() as u64);
+        meta.put_u32(sharded.fragment_count() as u32);
+        builder.add_blob(kind::SHARD_META, 0, 1, meta.into_bytes());
+        builder.add_blob(
+            kind::PARTITION,
+            0,
+            sharded.partition().fragment_count() as u64,
+            encode_partition(sharded.partition(), &syms),
+        );
+
+        for idx in 0..sharded.fragment_count() {
+            push_fragment_sections(&mut builder, sharded.fragment(idx), (idx + 1) as u32, &syms);
+        }
+        builder.finish()
+    }
+
+    /// Write a snapshot to `path`, returning the number of bytes written.
+    pub fn write(&self, snapshot: &CsrSnapshot, path: &Path) -> Result<u64, PersistError> {
+        let bytes = self.encode(snapshot);
+        std::fs::write(path, &bytes)
+            .map_err(|e| PersistError::Io(format!("write {}: {e}", path.display())))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Write a sharded snapshot to `path`, returning the bytes written.
+    pub fn write_sharded(
+        &self,
+        sharded: &ShardedSnapshot,
+        path: &Path,
+    ) -> Result<u64, PersistError> {
+        let bytes = self.encode_sharded(sharded);
+        std::fs::write(path, &bytes)
+            .map_err(|e| PersistError::Io(format!("write {}: {e}", path.display())))?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// The file's string table: every symbol the snapshot references, with
+/// file-local ids assigned lexicographically by string.
+pub(crate) struct SymTable {
+    strings: Vec<&'static str>,
+    to_file: HashMap<Sym, u32>,
+}
+
+impl SymTable {
+    fn build(mut used: Vec<Sym>) -> SymTable {
+        used.sort_unstable();
+        used.dedup();
+        let mut pairs: Vec<(&'static str, Sym)> = used.iter().map(|&s| (s.as_str(), s)).collect();
+        pairs.sort_unstable_by_key(|&(text, _)| text);
+        let mut to_file = HashMap::with_capacity(pairs.len());
+        let mut strings = Vec::with_capacity(pairs.len());
+        for (fid, (text, sym)) in pairs.into_iter().enumerate() {
+            strings.push(text);
+            to_file.insert(sym, fid as u32);
+        }
+        SymTable { strings, to_file }
+    }
+
+    fn for_snapshot(snapshot: &CsrSnapshot) -> SymTable {
+        let mut used = Vec::new();
+        collect_snapshot_syms(snapshot, &mut used);
+        SymTable::build(used)
+    }
+
+    fn for_sharded(sharded: &ShardedSnapshot) -> SymTable {
+        let mut used = Vec::new();
+        collect_snapshot_syms(sharded.global(), &mut used);
+        for idx in 0..sharded.fragment_count() {
+            let frag = sharded.fragment(idx);
+            collect_node_syms(frag.raw_nodes(), &mut used);
+            used.extend(frag.raw_out().raw_parts().1.iter().copied());
+            used.extend(frag.raw_in().raw_parts().1.iter().copied());
+        }
+        let partition = sharded.partition();
+        for frag in &partition.fragments {
+            used.extend(frag.internal_edges.iter().map(|e| e.label));
+        }
+        used.extend(partition.crossing_edges.iter().map(|e| e.label));
+        SymTable::build(used)
+    }
+
+    fn file_id(&self, sym: Sym) -> u32 {
+        *self
+            .to_file
+            .get(&sym)
+            .expect("symbol collected before encoding")
+    }
+}
+
+fn collect_node_syms(nodes: &[NodeData], used: &mut Vec<Sym>) {
+    for node in nodes {
+        used.push(node.label);
+        used.extend(node.attrs.iter().map(|(name, _)| name));
+    }
+}
+
+fn collect_snapshot_syms(snapshot: &CsrSnapshot, used: &mut Vec<Sym>) {
+    collect_node_syms(snapshot.raw_nodes(), used);
+    used.extend(snapshot.raw_out().raw_parts().1.iter().copied());
+    used.extend(snapshot.raw_in().raw_parts().1.iter().copied());
+}
+
+/// Accumulates sections, then lays out header + table + aligned payloads.
+struct FileBuilder {
+    file_kind: u32,
+    node_count: u64,
+    edge_count: u64,
+    sections: Vec<(SectionEntry, Vec<u8>)>,
+}
+
+impl FileBuilder {
+    fn new(file_kind: u32, node_count: u64, edge_count: u64) -> FileBuilder {
+        FileBuilder {
+            file_kind,
+            node_count,
+            edge_count,
+            sections: Vec::new(),
+        }
+    }
+
+    fn add_u32s(&mut self, kind: u32, owner: u32, data: &[u32]) {
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for &value in data {
+            bytes.extend_from_slice(&value.to_le_bytes());
+        }
+        self.add_blob(kind, owner, data.len() as u64, bytes);
+    }
+
+    fn add_blob(&mut self, kind: u32, owner: u32, elem_count: u64, bytes: Vec<u8>) {
+        self.sections.push((
+            SectionEntry {
+                kind,
+                owner,
+                offset: 0, // assigned in finish()
+                byte_len: bytes.len() as u64,
+                elem_count,
+            },
+            bytes,
+        ));
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        let table_end = HEADER_LEN + self.sections.len() * SECTION_ENTRY_LEN;
+        let mut offset = align_up(table_end);
+        for (entry, bytes) in &mut self.sections {
+            entry.offset = offset as u64;
+            offset = align_up(offset + bytes.len());
+        }
+        let total_len = offset;
+
+        let mut out = vec![0u8; total_len];
+        for (idx, (entry, _)) in self.sections.iter().enumerate() {
+            let at = HEADER_LEN + idx * SECTION_ENTRY_LEN;
+            out[at..at + SECTION_ENTRY_LEN].copy_from_slice(&entry.encode());
+        }
+        for (entry, bytes) in &self.sections {
+            let at = entry.offset as usize;
+            out[at..at + bytes.len()].copy_from_slice(bytes);
+        }
+        let header = FileHeader {
+            version: super::format::VERSION,
+            file_kind: self.file_kind,
+            section_count: self.sections.len() as u32,
+            section_align: SECTION_ALIGN as u32,
+            total_len: total_len as u64,
+            checksum: file_checksum(&out[HEADER_LEN..]),
+            node_count: self.node_count,
+            edge_count: self.edge_count,
+        };
+        out[..HEADER_LEN].copy_from_slice(&header.encode());
+        out
+    }
+}
+
+fn push_strings(builder: &mut FileBuilder, syms: &SymTable) {
+    let mut blob = BlobWriter::new();
+    blob.put_u32(syms.strings.len() as u32);
+    for text in &syms.strings {
+        blob.put_u32(text.len() as u32);
+        blob.put_bytes(text.as_bytes());
+    }
+    builder.add_blob(
+        kind::STRINGS,
+        0,
+        syms.strings.len() as u64,
+        blob.into_bytes(),
+    );
+}
+
+/// One CSR side as file arrays: offsets verbatim, every run re-sorted into
+/// `(file symbol, neighbour)` order.
+fn encode_side(side: &CsrSide, syms: &SymTable) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let (offsets, labels, neighbors) = side.raw_parts();
+    let mut file_labels = Vec::with_capacity(labels.len());
+    let mut file_neighbors = Vec::with_capacity(neighbors.len());
+    let mut run: Vec<(u32, u32)> = Vec::new();
+    for row in offsets.windows(2) {
+        let (start, end) = (row[0] as usize, row[1] as usize);
+        run.clear();
+        run.extend((start..end).map(|i| (syms.file_id(labels[i]), neighbors[i].0)));
+        run.sort_unstable();
+        for &(label, neighbor) in &run {
+            file_labels.push(label);
+            file_neighbors.push(neighbor);
+        }
+    }
+    (offsets.to_vec(), file_labels, file_neighbors)
+}
+
+/// Per-node (or per-row) attribute tuples, names in file-symbol order.
+fn encode_attrs(nodes: &[NodeData], syms: &SymTable) -> Vec<u8> {
+    let mut blob = BlobWriter::new();
+    let mut entries: Vec<(u32, &Value)> = Vec::new();
+    for node in nodes {
+        entries.clear();
+        entries.extend(
+            node.attrs
+                .iter()
+                .map(|(name, value)| (syms.file_id(name), value)),
+        );
+        entries.sort_unstable_by_key(|&(fid, _)| fid);
+        blob.put_u32(entries.len() as u32);
+        for &(fid, value) in &entries {
+            blob.put_u32(fid);
+            match value {
+                Value::Int(i) => {
+                    blob.put_u8(0);
+                    blob.put_i64(*i);
+                }
+                Value::Str(s) => {
+                    blob.put_u8(1);
+                    blob.put_u32(s.len() as u32);
+                    blob.put_bytes(s.as_bytes());
+                }
+                Value::Bool(b) => {
+                    blob.put_u8(2);
+                    blob.put_u8(u8::from(*b));
+                }
+            }
+        }
+    }
+    blob.into_bytes()
+}
+
+/// The global-snapshot sections (shared by both file kinds, owner 0).
+fn push_snapshot_sections(builder: &mut FileBuilder, snapshot: &CsrSnapshot, syms: &SymTable) {
+    let nodes = snapshot.raw_nodes();
+    let node_labels: Vec<u32> = nodes.iter().map(|n| syms.file_id(n.label)).collect();
+    builder.add_u32s(kind::NODE_LABELS, 0, &node_labels);
+    builder.add_blob(
+        kind::NODE_ATTRS,
+        0,
+        nodes.len() as u64,
+        encode_attrs(nodes, syms),
+    );
+
+    let (offsets, labels, neighbors) = encode_side(snapshot.raw_out(), syms);
+    builder.add_u32s(kind::OUT_OFFSETS, 0, &offsets);
+    builder.add_u32s(kind::OUT_LABELS, 0, &labels);
+    builder.add_u32s(kind::OUT_NEIGHBORS, 0, &neighbors);
+    let (offsets, labels, neighbors) = encode_side(snapshot.raw_in(), syms);
+    builder.add_u32s(kind::IN_OFFSETS, 0, &offsets);
+    builder.add_u32s(kind::IN_LABELS, 0, &labels);
+    builder.add_u32s(kind::IN_NEIGHBORS, 0, &neighbors);
+
+    // Label partition, groups re-ordered into file-symbol order.
+    let mut ranges: Vec<(u32, u32, u32)> = snapshot
+        .raw_label_ranges()
+        .iter()
+        .map(|(&sym, &(start, end))| (syms.file_id(sym), start, end))
+        .collect();
+    ranges.sort_unstable();
+    let old_order = snapshot.raw_label_order();
+    let mut label_order = Vec::with_capacity(old_order.len());
+    let mut file_ranges = BlobWriter::new();
+    for &(fid, start, end) in &ranges {
+        let new_start = label_order.len() as u32;
+        label_order.extend(old_order[start as usize..end as usize].iter().map(|n| n.0));
+        file_ranges.put_u32(fid);
+        file_ranges.put_u32(new_start);
+        file_ranges.put_u32(label_order.len() as u32);
+    }
+    builder.add_u32s(kind::LABEL_ORDER, 0, &label_order);
+    builder.add_blob(
+        kind::LABEL_RANGES,
+        0,
+        ranges.len() as u64,
+        file_ranges.into_bytes(),
+    );
+
+    // Triple index, groups re-ordered into file-symbol order.
+    let (old_src, old_dst) = snapshot.raw_triples();
+    let mut triples: Vec<((u32, u32, u32), u32, u32)> = snapshot
+        .raw_triple_ranges()
+        .iter()
+        .map(|(&(s, l, d), &(start, end))| {
+            (
+                (syms.file_id(s), syms.file_id(l), syms.file_id(d)),
+                start,
+                end,
+            )
+        })
+        .collect();
+    triples.sort_unstable();
+    let mut triple_src = Vec::with_capacity(old_src.len());
+    let mut triple_dst = Vec::with_capacity(old_dst.len());
+    let mut triple_ranges = BlobWriter::new();
+    for &((s, l, d), start, end) in &triples {
+        let new_start = triple_src.len() as u32;
+        triple_src.extend(old_src[start as usize..end as usize].iter().map(|n| n.0));
+        triple_dst.extend(old_dst[start as usize..end as usize].iter().map(|n| n.0));
+        triple_ranges.put_u32(s);
+        triple_ranges.put_u32(l);
+        triple_ranges.put_u32(d);
+        triple_ranges.put_u32(new_start);
+        triple_ranges.put_u32(triple_src.len() as u32);
+    }
+    builder.add_u32s(kind::TRIPLE_SRC, 0, &triple_src);
+    builder.add_u32s(kind::TRIPLE_DST, 0, &triple_dst);
+    builder.add_blob(
+        kind::TRIPLE_RANGES,
+        0,
+        triples.len() as u64,
+        triple_ranges.into_bytes(),
+    );
+}
+
+fn push_fragment_sections(
+    builder: &mut FileBuilder,
+    fragment: &FragmentSnapshot,
+    owner: u32,
+    syms: &SymTable,
+) {
+    let mut meta = BlobWriter::new();
+    meta.put_u32(fragment.id() as u32);
+    meta.put_u32(fragment.owned_nodes().len() as u32);
+    meta.put_u64(fragment.edge_entries() as u64);
+    builder.add_blob(kind::FRAG_META, owner, 1, meta.into_bytes());
+
+    let local_to_global: Vec<u32> = fragment.raw_local_to_global().iter().map(|n| n.0).collect();
+    builder.add_u32s(kind::FRAG_LOCAL_TO_GLOBAL, owner, &local_to_global);
+    builder.add_u32s(
+        kind::FRAG_GLOBAL_TO_LOCAL,
+        owner,
+        fragment.raw_global_to_local(),
+    );
+
+    let nodes = fragment.raw_nodes();
+    let node_labels: Vec<u32> = nodes.iter().map(|n| syms.file_id(n.label)).collect();
+    builder.add_u32s(kind::FRAG_NODE_LABELS, owner, &node_labels);
+    builder.add_blob(
+        kind::FRAG_NODE_ATTRS,
+        owner,
+        nodes.len() as u64,
+        encode_attrs(nodes, syms),
+    );
+
+    let (offsets, labels, neighbors) = encode_side(fragment.raw_out(), syms);
+    builder.add_u32s(kind::FRAG_OUT_OFFSETS, owner, &offsets);
+    builder.add_u32s(kind::FRAG_OUT_LABELS, owner, &labels);
+    builder.add_u32s(kind::FRAG_OUT_NEIGHBORS, owner, &neighbors);
+    let (offsets, labels, neighbors) = encode_side(fragment.raw_in(), syms);
+    builder.add_u32s(kind::FRAG_IN_OFFSETS, owner, &offsets);
+    builder.add_u32s(kind::FRAG_IN_LABELS, owner, &labels);
+    builder.add_u32s(kind::FRAG_IN_NEIGHBORS, owner, &neighbors);
+}
+
+fn encode_edges(blob: &mut BlobWriter, edges: &[EdgeRef], syms: &SymTable) {
+    blob.put_u32(edges.len() as u32);
+    for edge in edges {
+        blob.put_u32(edge.src.0);
+        blob.put_u32(edge.dst.0);
+        blob.put_u32(syms.file_id(edge.label));
+    }
+}
+
+fn encode_partition(partition: &Partition, syms: &SymTable) -> Vec<u8> {
+    let mut blob = BlobWriter::new();
+    blob.put_u8(match partition.strategy {
+        PartitionStrategy::EdgeCut => 0,
+        PartitionStrategy::VertexCut => 1,
+    });
+    blob.put_u32(partition.owner.len() as u32);
+    for &owner in &partition.owner {
+        blob.put_u32(owner as u32);
+    }
+    blob.put_u32(partition.fragments.len() as u32);
+    for frag in &partition.fragments {
+        blob.put_u32(frag.id as u32);
+        blob.put_u32(frag.nodes.len() as u32);
+        for node in &frag.nodes {
+            blob.put_u32(node.0);
+        }
+        blob.put_u32(frag.border_nodes.len() as u32);
+        for node in &frag.border_nodes {
+            blob.put_u32(node.0);
+        }
+        encode_edges(&mut blob, &frag.internal_edges, syms);
+    }
+    encode_edges(&mut blob, &partition.crossing_edges, syms);
+    blob.into_bytes()
+}

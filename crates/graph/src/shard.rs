@@ -112,6 +112,29 @@ impl FragmentSnapshot {
             _ => None,
         }
     }
+
+    // Raw-array accessors for the on-disk snapshot writer
+    // ([`crate::persist`]), mirroring [`crate::csr::CsrSnapshot`]'s.
+
+    pub(crate) fn raw_local_to_global(&self) -> &[NodeId] {
+        &self.local_to_global
+    }
+
+    pub(crate) fn raw_global_to_local(&self) -> &[u32] {
+        &self.global_to_local
+    }
+
+    pub(crate) fn raw_nodes(&self) -> &[NodeData] {
+        &self.nodes
+    }
+
+    pub(crate) fn raw_out(&self) -> &CsrSide {
+        &self.out
+    }
+
+    pub(crate) fn raw_in(&self) -> &CsrSide {
+        &self.inn
+    }
 }
 
 /// A partitioned set of frozen fragment snapshots over one global
@@ -519,6 +542,82 @@ impl<'a> GraphView for FragmentView<'a> {
         want_src: bool,
     ) -> Option<Vec<NodeId>> {
         GraphView::triple_endpoints(self.global, src_label, edge_label, dst_label, want_src)
+    }
+}
+
+/// A view that counts the adjacency reads it could not serve locally —
+/// the modelled cross-fragment communication of the parallel detectors.
+pub trait RemoteAccounting {
+    /// Cross-fragment candidate fetches performed through this view so far.
+    fn remote_fetches(&self) -> u64;
+}
+
+impl<'a> RemoteAccounting for FragmentView<'a> {
+    fn remote_fetches(&self) -> u64 {
+        self.remote_fetches.load(Ordering::Relaxed)
+    }
+}
+
+/// Read access to a fragmented snapshot, abstracted over storage.
+///
+/// The sharded detectors (`pdect_sharded` / `pinc_dect_sharded`) consume
+/// this trait instead of [`ShardedSnapshot`] directly, so the same worker
+/// loop runs over
+///
+/// * an in-memory [`ShardedSnapshot`] (workers read [`FragmentView`]s), and
+/// * a memory-mapped [`crate::persist::MmapShardedSnapshot`] (workers read
+///   [`crate::persist::MmapFragmentView`]s over the on-disk arrays).
+///
+/// Implementations must uphold the [`ShardedSnapshot`] contract: every node
+/// is owned by exactly one fragment, worker views observe the full global
+/// graph (falling back past their fragment where necessary), and fallback
+/// reads are counted through [`RemoteAccounting`].
+pub trait ShardedRead: Sync {
+    /// The replicated global dictionary view (labels, triple index, …).
+    type Global: GraphView + Sync;
+    /// The per-worker fragment view.
+    type Worker<'a>: GraphView + RemoteAccounting + Sync
+    where
+        Self: 'a;
+
+    /// The global snapshot backing remote reads and candidate selection.
+    fn global_view(&self) -> &Self::Global;
+
+    /// Number of fragments (= workers).
+    fn shard_count(&self) -> usize;
+
+    /// Fragment a work item anchored at `node` routes to.
+    fn route_to(&self, node: NodeId) -> usize;
+
+    /// The partition the shards were built from.
+    fn shard_partition(&self) -> &Partition;
+
+    /// A worker's read view over fragment `idx`.
+    fn worker_view(&self, idx: usize) -> Self::Worker<'_>;
+}
+
+impl ShardedRead for ShardedSnapshot {
+    type Global = CsrSnapshot;
+    type Worker<'a> = FragmentView<'a>;
+
+    fn global_view(&self) -> &CsrSnapshot {
+        self.global()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.fragment_count()
+    }
+
+    fn route_to(&self, node: NodeId) -> usize {
+        self.route_of(node)
+    }
+
+    fn shard_partition(&self) -> &Partition {
+        self.partition()
+    }
+
+    fn worker_view(&self, idx: usize) -> FragmentView<'_> {
+        self.fragment_view(idx)
     }
 }
 

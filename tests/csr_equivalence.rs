@@ -7,6 +7,12 @@
 //! path return **byte-identical** violation sets / deltas to the
 //! adjacency-list path (equality of the structures *and* of their
 //! serialized JSON).
+//!
+//! Every scenario additionally runs through the **mmap path**: the frozen
+//! snapshot (shared and sharded) is written to a snapshot file, loaded
+//! back zero-copy with [`MmapSnapshot`] / [`MmapShardedSnapshot`], and
+//! detection from the file must be byte-identical to both in-memory
+//! backends — three representations, one answer.
 
 use ngd_core::{paper, RuleSet};
 use ngd_datagen::{
@@ -17,8 +23,43 @@ use ngd_detect::{
     dect_on, inc_dect_prepared, inc_dect_snapshot, pdect_on, pdect_sharded, pinc_dect_prepared,
     pinc_dect_sharded, DetectorConfig,
 };
-use ngd_graph::{BatchUpdate, DeltaOverlay, Graph, PartitionStrategy};
+use ngd_graph::persist::{MmapShardedSnapshot, MmapSnapshot, SnapshotWriter};
+use ngd_graph::{
+    BatchUpdate, CsrSnapshot, DeltaOverlay, Graph, PartitionStrategy, ShardedSnapshot,
+};
 use ngd_match::{DeltaViolations, ViolationSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique temp paths so parallel tests never collide on a snapshot file.
+static FILE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_snapshot_path() -> std::path::PathBuf {
+    let seq = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ngd-equiv-{}-{seq}.snap", std::process::id()))
+}
+
+/// Freeze → write → mmap-load round trip of a shared snapshot.
+fn mmap_of(snapshot: &CsrSnapshot) -> MmapSnapshot {
+    let path = temp_snapshot_path();
+    SnapshotWriter::new()
+        .write(snapshot, &path)
+        .expect("snapshot file writes");
+    let loaded = MmapSnapshot::load(&path).expect("snapshot file loads");
+    // The mapping keeps the inode alive; unlink so temp dirs stay clean.
+    std::fs::remove_file(&path).ok();
+    loaded
+}
+
+/// Freeze → write → mmap-load round trip of a sharded snapshot.
+fn mmap_sharded_of(sharded: &ShardedSnapshot) -> MmapShardedSnapshot {
+    let path = temp_snapshot_path();
+    SnapshotWriter::new()
+        .write_sharded(sharded, &path)
+        .expect("sharded snapshot file writes");
+    let loaded = MmapShardedSnapshot::load(&path).expect("sharded snapshot file loads");
+    std::fs::remove_file(&path).ok();
+    loaded
+}
 
 /// Byte-identical: equal as structures and as serialized bytes.
 fn assert_identical_sets(adjacency: &ViolationSet, csr: &ViolationSet, context: &str) {
@@ -48,6 +89,22 @@ fn check_batch(graph: &Graph, sigma: &RuleSet, context: &str) {
     assert_identical_sets(&adjacency.violations, &csr.violations, context);
     let parallel = pdect_on(sigma, &snapshot, &DetectorConfig::with_processors(3));
     assert_identical_sets(&adjacency.violations, &parallel.violations, context);
+
+    // Third backend: detection straight off the snapshot file.
+    let mapped = mmap_of(&snapshot);
+    let from_file = dect_on(sigma, &mapped);
+    assert_identical_sets(
+        &adjacency.violations,
+        &from_file.violations,
+        &format!("{context} (mmap)"),
+    );
+    let parallel_file = pdect_on(sigma, &mapped, &DetectorConfig::with_processors(3));
+    assert_identical_sets(
+        &adjacency.violations,
+        &parallel_file.violations,
+        &format!("{context} (mmap parallel)"),
+    );
+
     for strategy in [PartitionStrategy::EdgeCut, PartitionStrategy::VertexCut] {
         for halo in [0, sigma.diameter()] {
             let sharded = graph.freeze_sharded(3, strategy, halo);
@@ -56,6 +113,13 @@ fn check_batch(graph: &Graph, sigma: &RuleSet, context: &str) {
                 &adjacency.violations,
                 &report.violations,
                 &format!("{context} (sharded {strategy:?} halo={halo})"),
+            );
+            let mapped_sharded = mmap_sharded_of(&sharded);
+            let report_file = pdect_sharded(sigma, &mapped_sharded, &DetectorConfig::default());
+            assert_identical_sets(
+                &adjacency.violations,
+                &report_file.violations,
+                &format!("{context} (mmap sharded {strategy:?} halo={halo})"),
             );
         }
     }
@@ -74,6 +138,19 @@ fn check_incremental(graph: &Graph, sigma: &RuleSet, delta: &BatchUpdate, contex
     assert_eq!(
         adjacency.neighborhood_nodes, csr.neighborhood_nodes,
         "{context}: dΣ-neighbourhood sizes differ"
+    );
+
+    // Third backend: overlay the update over the memory-mapped snapshot.
+    let mapped = mmap_of(&snapshot);
+    let from_file = inc_dect_snapshot(sigma, &mapped, delta);
+    assert_identical_deltas(
+        &adjacency.delta,
+        &from_file.delta,
+        &format!("{context} (mmap)"),
+    );
+    assert_eq!(
+        adjacency.neighborhood_nodes, from_file.neighborhood_nodes,
+        "{context}: mmap dΣ-neighbourhood size differs"
     );
 
     let old_view = snapshot.as_overlay();
@@ -100,6 +177,14 @@ fn check_incremental(graph: &Graph, sigma: &RuleSet, delta: &BatchUpdate, contex
                 &adjacency.delta,
                 &report.delta,
                 &format!("{context} (sharded {strategy:?} halo={halo})"),
+            );
+            let mapped_sharded = mmap_sharded_of(&sharded);
+            let report_file =
+                pinc_dect_sharded(sigma, &mapped_sharded, delta, &DetectorConfig::default());
+            assert_identical_deltas(
+                &adjacency.delta,
+                &report_file.delta,
+                &format!("{context} (mmap sharded {strategy:?} halo={halo})"),
             );
         }
     }
@@ -204,6 +289,24 @@ fn batch_detection_is_identical_on_a_10k_node_synthetic_graph() {
     let snapshot = graph.freeze();
     let csr = dect_on(&sigma, &snapshot);
     assert_identical_sets(&adjacency.violations, &csr.violations, "synthetic-10k");
+
+    // Mmap path on the 11k-node graph, shared and sharded: detection off
+    // the snapshot file stays byte-identical at scale.
+    let mapped = mmap_of(&snapshot);
+    let from_file = dect_on(&sigma, &mapped);
+    assert_identical_sets(
+        &adjacency.violations,
+        &from_file.violations,
+        "synthetic-10k (mmap)",
+    );
+    let sharded = graph.freeze_sharded(3, PartitionStrategy::EdgeCut, sigma.diameter());
+    let mapped_sharded = mmap_sharded_of(&sharded);
+    let report_file = pdect_sharded(&sigma, &mapped_sharded, &DetectorConfig::default());
+    assert_identical_sets(
+        &adjacency.violations,
+        &report_file.violations,
+        "synthetic-10k (mmap sharded)",
+    );
 }
 
 #[test]

@@ -9,14 +9,19 @@
 //! * `d`-neighbourhoods are monotone in `d` and bounded by the graph,
 //! * generated updates always apply cleanly,
 //! * the edge-cut and vertex-cut partitioners uphold their ownership,
-//!   balance and cut invariants on arbitrary graphs and fragment counts.
+//!   balance and cut invariants on arbitrary graphs and fragment counts,
+//! * freezing a random graph, writing it to a snapshot file and
+//!   mmap-loading it back yields a view byte-identical to the in-memory
+//!   snapshot — adjacency runs, label partition, triple index and the
+//!   full `dect` violation set.
 
 use ngd_core::{Expr, Literal, Ngd, Pattern, RuleSet};
 use ngd_datagen::StdRng;
-use ngd_detect::{dect, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
+use ngd_detect::{dect, dect_on, inc_dect_prepared, pinc_dect_prepared, DetectorConfig};
+use ngd_graph::persist::{MmapSnapshot, SnapshotWriter};
 use ngd_graph::{
-    d_neighbors, AttrMap, BatchUpdate, EdgeCutPartitioner, Fragment, Graph, NodeId, Value,
-    VertexCutPartitioner,
+    d_neighbors, intern, AttrMap, BatchUpdate, EdgeCutPartitioner, Fragment, Graph, GraphView,
+    NodeId, Value, VertexCutPartitioner,
 };
 use std::collections::HashSet;
 
@@ -386,6 +391,130 @@ fn vertex_cut_partitions_uphold_their_invariants() {
 
         assert!(part.balance().is_finite(), "case {case}");
         assert!(part.cut_ratio(&graph).is_finite(), "case {case}");
+    }
+}
+
+/// Random graphs with richer attribute tuples (all three [`Value`]
+/// variants, including empty strings) for the persistence round trip.
+fn build_graph_with_rich_attrs(spec: &RandomGraph, rng: &mut StdRng) -> Graph {
+    let graph = build_graph(spec);
+    let mut enriched = Graph::new();
+    for id in graph.node_ids() {
+        let mut attrs = graph.attrs(id).clone();
+        match rng.gen_range(0..4usize) {
+            0 => attrs.set_named("note", Value::Str("x".repeat(rng.gen_range(0..9usize)))),
+            1 => attrs.set_named("flag", Value::Bool(rng.gen_range(0..2usize) == 1)),
+            2 => attrs.set_named("alt", Value::Int(rng.gen_range(0..1000i64) - 500)),
+            _ => {}
+        }
+        enriched.add_node(graph.label(id), attrs);
+    }
+    for e in graph.edge_vec() {
+        enriched.add_edge(e.src, e.dst, e.label).unwrap();
+    }
+    enriched
+}
+
+#[test]
+fn snapshot_files_round_trip_byte_identically() {
+    let sigma = rules();
+    let writer = SnapshotWriter::new();
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + case);
+        let graph = build_graph_with_rich_attrs(&random_graph(&mut rng), &mut rng);
+        let snapshot = graph.freeze();
+
+        let path = std::env::temp_dir().join(format!(
+            "ngd-prop-roundtrip-{}-{case}.snap",
+            std::process::id()
+        ));
+        writer.write(&snapshot, &path).expect("snapshot writes");
+        let mapped = MmapSnapshot::load(&path).expect("snapshot loads");
+        std::fs::remove_file(&path).ok();
+
+        // Counts, labels and attribute tuples.
+        assert_eq!(
+            GraphView::node_count(&mapped),
+            graph.node_count(),
+            "case {case}"
+        );
+        assert_eq!(
+            GraphView::edge_count(&mapped),
+            graph.edge_count(),
+            "case {case}"
+        );
+        for id in graph.node_ids() {
+            assert_eq!(
+                GraphView::label(&mapped, id),
+                graph.label(id),
+                "case {case}"
+            );
+            assert_eq!(
+                GraphView::attrs_of(&mapped, id),
+                graph.attrs(id),
+                "case {case}"
+            );
+        }
+
+        // Adjacency runs: every (node, label) slice is byte-identical to
+        // the in-memory snapshot's contiguous run.
+        for id in graph.node_ids() {
+            for label in NODE_LABELS.iter().chain(EDGE_LABELS.iter()) {
+                let l = intern(label);
+                assert_eq!(
+                    mapped.out_neighbors_labeled(id, l),
+                    snapshot.out_neighbors_labeled(id, l),
+                    "case {case}: out run of {id} along {label}"
+                );
+                assert_eq!(
+                    mapped.in_neighbors_labeled(id, l),
+                    snapshot.in_neighbors_labeled(id, l),
+                    "case {case}: in run of {id} along {label}"
+                );
+            }
+        }
+
+        // Label partition and triple index.
+        for label in NODE_LABELS {
+            let l = intern(label);
+            assert_eq!(
+                mapped.nodes_with_label(l),
+                snapshot.nodes_with_label(l),
+                "case {case}"
+            );
+        }
+        for s in NODE_LABELS {
+            for e in EDGE_LABELS {
+                for d in NODE_LABELS {
+                    let (s, e, d) = (intern(s), intern(e), intern(d));
+                    assert_eq!(
+                        mapped.triple_count(s, e, d),
+                        snapshot.triple_count(s, e, d),
+                        "case {case}"
+                    );
+                    for want_src in [true, false] {
+                        assert_eq!(
+                            GraphView::triple_endpoints(&mapped, s, e, d, want_src),
+                            GraphView::triple_endpoints(&snapshot, s, e, d, want_src),
+                            "case {case}"
+                        );
+                    }
+                }
+            }
+        }
+
+        // The full batch violation set, byte-identical across all three
+        // representations (structures and serialized JSON).
+        let adjacency = dect(&sigma, &graph).violations;
+        let csr = dect_on(&sigma, &snapshot).violations;
+        let from_file = dect_on(&sigma, &mapped).violations;
+        assert_eq!(adjacency, csr, "case {case}");
+        assert_eq!(adjacency, from_file, "case {case}");
+        assert_eq!(
+            ngd_json::to_string(&csr),
+            ngd_json::to_string(&from_file),
+            "case {case}: serialized violation sets differ"
+        );
     }
 }
 
