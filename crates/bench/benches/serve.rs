@@ -1,0 +1,165 @@
+//! Serving-layer benchmarks: per-batch service latency versus in-process
+//! incremental detection.
+//!
+//! On the 11k-node synthetic workload of the equivalence suite, measures
+//!
+//! * `inprocess/pinc_dect` — incremental detection over the mmap snapshot
+//!   in the same process (the floor the service is allowed to stand on);
+//! * `served/update` — the same batch submitted to a live `ngd-serve`
+//!   daemon over a Unix-domain socket (TCP loopback off-unix): frame
+//!   encode + socket round trip + session detection + `ΔVio` streaming;
+//! * `served/query_stats` — the light-request path (stats round trip).
+//!
+//! Running it rewrites `BENCH_serve.json` at the repository root; CI's
+//! `bench-smoke` job runs it on every PR.  The run asserts the acceptance
+//! bar of the subsystem: the served per-batch latency must stay under
+//! **2×** the in-process detector (the protocol is supposed to be a frame
+//! around the detection, not a second detector), and every served answer
+//! must be byte-identical to the in-process one.
+
+use ngd_bench::harness::{black_box, Harness};
+use ngd_core::{paper, RuleSet};
+use ngd_datagen::{
+    generate_knowledge, generate_rules, generate_update, KnowledgeConfig, RuleGenConfig,
+    UpdateConfig,
+};
+use ngd_detect::{pinc_dect_prepared, DetectorConfig};
+use ngd_graph::persist::{MmapSnapshot, SnapshotWriter};
+use ngd_graph::{BatchUpdate, DeltaOverlay};
+use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+
+const PROCESSORS: usize = 3;
+
+fn main() {
+    let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(50).with_seed(0xC5_A11)).graph;
+    assert!(graph.node_count() >= 10_000);
+    let mut rules = vec![paper::phi1(1), paper::phi2(), paper::phi3(), paper::ngd3()];
+    rules.extend(
+        generate_rules(&graph, &RuleGenConfig::paper_style(4, 3).with_seed(11))
+            .rules()
+            .iter()
+            .cloned(),
+    );
+    let sigma = RuleSet::from_rules(rules);
+    let config = DetectorConfig::with_processors(PROCESSORS);
+    let delta: BatchUpdate = generate_update(&graph, &UpdateConfig::fraction(0.02).with_seed(13));
+
+    let dir = std::env::temp_dir();
+    let snap_path = dir.join(format!("ngd-bench-serve-{}.ngds", std::process::id()));
+    let snapshot = graph.freeze();
+    SnapshotWriter::new()
+        .write(&snapshot, &snap_path)
+        .expect("write snapshot");
+
+    // In-process floor: detection over the mapped snapshot, overlays per
+    // batch — exactly what the server does minus the socket.
+    let mapped = MmapSnapshot::load(&snap_path).expect("load snapshot");
+    let old_view = mapped.as_overlay();
+    let inprocess_reference = pinc_dect_prepared(
+        &sigma,
+        &old_view,
+        &DeltaOverlay::new(&mapped, &delta),
+        &delta,
+        &config,
+    );
+
+    // The daemon under test.
+    let addr = if cfg!(unix) {
+        ServeAddr::Unix(dir.join(format!("ngd-bench-serve-{}.sock", std::process::id())))
+    } else {
+        ServeAddr::Tcp("127.0.0.1:0".into())
+    };
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).expect("open snapshot"),
+        sigma.clone(),
+        &addr,
+        config,
+    )
+    .expect("server starts");
+    let mut client = ServeClient::connect_as(server.local_addr(), "bench").expect("connect");
+
+    // Sanity before timing: the served answer must be byte-identical.
+    let served_reference = client.submit_update(&delta).expect("served update");
+    assert_eq!(served_reference.delta, inprocess_reference.delta);
+    assert_eq!(
+        ngd_json::to_string(&served_reference.delta),
+        ngd_json::to_string(&inprocess_reference.delta),
+    );
+    client.reset().expect("reset");
+
+    let mut h = Harness::new();
+    println!(
+        "# serve: |V| = {}, |E| = {}, ‖Σ‖ = {}, |ΔG| = {}, ΔVio = {}, transport = {}",
+        graph.node_count(),
+        graph.edge_count(),
+        sigma.len(),
+        delta.len(),
+        inprocess_reference.delta.len(),
+        server.local_addr(),
+    );
+
+    let inprocess = h.bench("inprocess/pinc_dect", || {
+        let new_view = DeltaOverlay::new(&mapped, &delta);
+        black_box(pinc_dect_prepared(
+            &sigma, &old_view, &new_view, &delta, &config,
+        ));
+    });
+
+    // Reset after every served batch so each iteration answers against the
+    // same base state the in-process run uses.
+    let served = h.bench("served/update", || {
+        let result = client.submit_update(&delta).expect("served update");
+        black_box(&result);
+        client.reset().expect("reset");
+    });
+
+    let stats_roundtrip = h.bench("served/query_stats", || {
+        black_box(client.stats().expect("stats"));
+    });
+
+    let overhead = served.ns_per_iter / inprocess.ns_per_iter;
+    println!("served/in-process per-batch latency ratio: {overhead:.2}x");
+    println!(
+        "stats round trip: {:.1} µs",
+        stats_roundtrip.ns_per_iter / 1_000.0
+    );
+
+    let json = h.to_json(&[
+        ("bench".to_string(), "serve".to_string()),
+        ("nodes".to_string(), graph.node_count().to_string()),
+        ("edges".to_string(), graph.edge_count().to_string()),
+        ("delta_ops".to_string(), delta.len().to_string()),
+        (
+            "delta_violations".to_string(),
+            inprocess_reference.delta.len().to_string(),
+        ),
+        ("processors".to_string(), PROCESSORS.to_string()),
+        (
+            "transport".to_string(),
+            if cfg!(unix) { "unix" } else { "tcp" }.to_string(),
+        ),
+        (
+            "served_vs_inprocess_ratio".to_string(),
+            format!("{overhead:.2}"),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    client.shutdown_server().expect("shutdown");
+    drop(client);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+
+    // The acceptance bar: serving a batch over the socket must cost less
+    // than 2x the in-process detection it wraps.
+    assert!(
+        overhead < 2.0,
+        "served per-batch latency must stay under 2x in-process pinc_dect \
+         (got {overhead:.2}x)"
+    );
+}

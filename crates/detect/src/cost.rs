@@ -105,11 +105,35 @@ impl CostLedger {
         self.remote_fetches += other.remote_fetches;
     }
 
+    /// Did the run pay any modelled communication or balancing cost?
+    pub fn is_zero(&self) -> bool {
+        *self == CostLedger::default()
+    }
+
     /// A modelled total cost: scanned work divided over `p` processors plus
     /// the latency paid, in abstract cost units.  Used by the `C`-sweep
     /// experiment to expose the trade-off the paper plots in Fig 4(m).
     pub fn modelled_cost(&self, p: usize) -> f64 {
         self.scanned as f64 / p.max(1) as f64 + self.latency_units
+    }
+}
+
+/// Every ledger counter on one line — **including** `remote_fetches`, the
+/// sharded detectors' cross-fragment traffic, which the human-readable
+/// reports used to drop.
+impl std::fmt::Display for CostLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scanned {} | splits {} | local {} | migrations {} | \
+             remote fetches {} | latency units {:.1}",
+            self.scanned,
+            self.splits,
+            self.local_expansions,
+            self.migrations,
+            self.remote_fetches,
+            self.latency_units,
+        )
     }
 }
 

@@ -18,6 +18,11 @@
 //!   fragment, work routed by node ownership, cross-fragment candidate
 //!   fetches accounted in the [`CostLedger`] as the paper's communication
 //!   cost — results stay byte-identical to the shared-snapshot path;
+//! * [`session`] — reusable incremental session state
+//!   ([`IncrementalSession`] / [`ShardedIncrementalSession`]): a long-lived
+//!   process absorbs a *stream* of `ΔG` batches against one shared
+//!   snapshot, each answered relative to everything absorbed so far — the
+//!   engine under the `ngd-serve` service;
 //! * [`cost`] and [`balance`] — the work-splitting cost model and the
 //!   skewness-based balancing policy;
 //! * [`config`] and [`report`] — run configuration and the reports every
@@ -66,11 +71,13 @@ pub mod cost;
 pub mod incdect;
 pub mod pincdect;
 pub mod report;
+pub mod session;
 
 pub use balance::{plan_migrations, skewness, Migration};
 pub use batch::{dect, dect_on, pdect, pdect_on, pdect_sharded};
 pub use config::{AlgorithmKind, DetectorConfig};
 pub use cost::{parallel_cost, sequential_cost, should_split, CostLedger};
 pub use incdect::{inc_dect, inc_dect_prepared, inc_dect_snapshot};
-pub use pincdect::{pinc_dect, pinc_dect_prepared, pinc_dect_sharded};
+pub use pincdect::{pinc_dect, pinc_dect_prepared, pinc_dect_sharded, pinc_dect_sharded_rebased};
 pub use report::{DeltaReport, DetectionReport, SearchStats};
+pub use session::{IncrementalSession, ShardedIncrementalSession};

@@ -473,13 +473,40 @@ pub fn pinc_dect_sharded<S: ShardedRead>(
     delta: &BatchUpdate,
     config: &DetectorConfig,
 ) -> DeltaReport {
+    pinc_dect_sharded_rebased(sigma, sharded, &BatchUpdate::new(), delta, config)
+}
+
+/// [`pinc_dect_sharded`] for a session that has already absorbed updates:
+/// the old side of the run is every fragment view with `accumulated` laid
+/// over it, the new side adds `delta` on top, and the reported `ΔVio` is
+/// the change `delta` causes *relative to the accumulated state* — exactly
+/// what a long-lived serving process answers per batch without ever
+/// re-freezing the snapshot.
+///
+/// `accumulated` must apply cleanly to the snapshot and `delta` to
+/// `snapshot ⊕ accumulated` (validate with
+/// [`BatchUpdate::validate_against`] first on untrusted input).
+pub fn pinc_dect_sharded_rebased<S: ShardedRead>(
+    sigma: &RuleSet,
+    sharded: &S,
+    accumulated: &BatchUpdate,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+) -> DeltaReport {
+    let merged = {
+        let mut m = accumulated.clone();
+        m.merge(delta);
+        m
+    };
     let p = sharded.shard_count().max(1);
     let frag_views: Vec<S::Worker<'_>> = (0..p).map(|f| sharded.worker_view(f)).collect();
-    let old_views: Vec<DeltaOverlay<'_, S::Worker<'_>>> =
-        frag_views.iter().map(DeltaOverlay::empty).collect();
+    let old_views: Vec<DeltaOverlay<'_, S::Worker<'_>>> = frag_views
+        .iter()
+        .map(|view| DeltaOverlay::new(view, accumulated))
+        .collect();
     let new_views: Vec<DeltaOverlay<'_, S::Worker<'_>>> = frag_views
         .iter()
-        .map(|view| DeltaOverlay::new(view, delta))
+        .map(|view| DeltaOverlay::new(view, &merged))
         .collect();
     // Each worker's (old, new) overlay pair; the four lifetimes involved
     // (sharded borrow, fragment views, overlays, pair refs) defeat a type
@@ -492,7 +519,7 @@ pub fn pinc_dect_sharded<S: ShardedRead>(
     // The dΣ-neighbourhood statistic is pure reporting: walk it on the
     // global snapshot so it does not pollute fragment 0's remote-fetch
     // counter (and with it the modelled communication cost).
-    let global_new = DeltaOverlay::new(sharded.global_view(), delta);
+    let global_new = DeltaOverlay::new(sharded.global_view(), &merged);
     let neighborhood = d_neighbors_many(&global_new, delta.touched_nodes(), sigma.diameter()).len();
     let mut report = pinc_dect_core(
         sigma,

@@ -79,6 +79,30 @@ ngd_json::impl_json_struct!(DetectionReport {
     processors,
 });
 
+/// The human-readable summary (examples, `ngd-cli`, logs).  Every
+/// [`CostLedger`] counter is surfaced — `remote_fetches` in particular,
+/// which the sharded detectors account but earlier summaries dropped.
+impl std::fmt::Display for DetectionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} violations in {:?} on {} worker(s) \
+             [expanded {} | candidates {} | matches {}]",
+            self.algorithm.label(),
+            self.violations.len(),
+            self.elapsed,
+            self.processors,
+            self.stats.expanded,
+            self.stats.candidates_inspected,
+            self.stats.matches_found,
+        )?;
+        if !self.cost.is_zero() {
+            write!(f, " [{}]", self.cost)?;
+        }
+        Ok(())
+    }
+}
+
 /// Report of an incremental detection run (`ΔVio(Σ, G, ΔG)`).
 #[derive(Debug, Clone)]
 pub struct DeltaReport {
@@ -113,6 +137,32 @@ impl DeltaReport {
     /// Total number of changed violations.
     pub fn change_count(&self) -> usize {
         self.delta.len()
+    }
+}
+
+/// The human-readable summary, cost ledger included (see
+/// [`DetectionReport`]'s `Display` for the `remote_fetches` rationale).
+impl std::fmt::Display for DeltaReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: ΔVio⁺ = {}, ΔVio⁻ = {} in {:?} on {} worker(s), \
+             dΣ-neighbourhood {} nodes \
+             [expanded {} | candidates {} | matches {}]",
+            self.algorithm.label(),
+            self.delta.added.len(),
+            self.delta.removed.len(),
+            self.elapsed,
+            self.processors,
+            self.neighborhood_nodes,
+            self.stats.expanded,
+            self.stats.candidates_inspected,
+            self.stats.matches_found,
+        )?;
+        if !self.cost.is_zero() {
+            write!(f, " [{}]", self.cost)?;
+        }
+        Ok(())
     }
 }
 
@@ -155,6 +205,44 @@ mod tests {
         let back: DetectionReport = ngd_json::from_str(&json).unwrap();
         assert_eq!(back.violation_count(), 1);
         assert_eq!(back.algorithm, AlgorithmKind::Dect);
+    }
+
+    #[test]
+    fn display_surfaces_every_cost_counter_including_remote_fetches() {
+        let mut cost = CostLedger::default();
+        cost.record_split(60.0, 2);
+        cost.record_remote(17, 60.0);
+        cost.record_scan(420);
+        let report = DeltaReport {
+            algorithm: AlgorithmKind::PIncDectSharded,
+            delta: DeltaViolations::default(),
+            elapsed: Duration::from_millis(3),
+            stats: SearchStats::default(),
+            cost,
+            processors: 4,
+            neighborhood_nodes: 12,
+        };
+        let text = report.to_string();
+        assert!(text.contains("PIncDect (sharded)"), "{text}");
+        assert!(text.contains("remote fetches 17"), "{text}");
+        assert!(text.contains("splits 1"), "{text}");
+        assert!(text.contains("scanned 420"), "{text}");
+        assert!(text.contains("dΣ-neighbourhood 12"), "{text}");
+    }
+
+    #[test]
+    fn sequential_display_omits_the_empty_ledger() {
+        let report = DetectionReport {
+            algorithm: AlgorithmKind::Dect,
+            violations: ViolationSet::new(),
+            elapsed: Duration::from_millis(1),
+            stats: SearchStats::default(),
+            cost: CostLedger::default(),
+            processors: 1,
+        };
+        let text = report.to_string();
+        assert!(text.starts_with("Dect: 0 violations"), "{text}");
+        assert!(!text.contains("remote fetches"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,358 @@
+//! Reusable incremental-detection session state.
+//!
+//! A long-lived serving process holds a frozen snapshot (in memory or
+//! memory-mapped) and absorbs a *stream* of `ΔG` batches: each batch is
+//! answered with the violation delta it causes **relative to everything the
+//! session has already absorbed**, and is then folded into the session's
+//! accumulated update.  The snapshot is never re-frozen and `G ⊕ ΔG` is
+//! never materialised — both sides of every run are [`DeltaOverlay`]s over
+//! the shared base, so the *search* cost per batch stays governed by the
+//! update's `dΣ`-neighbourhood exactly as in the one-shot detectors.
+//!
+//! The overlays themselves are rebuilt per batch from the accumulated net
+//! update, so each [`IncrementalSession::apply`] additionally pays
+//! `O(|accumulated|)` bookkeeping (times the fragment count on the sharded
+//! path) — per-batch latency grows linearly with session age, **not** with
+//! `|G|`.  Bounding that term is exactly the snapshot-compaction item on
+//! the roadmap: fold the accumulated update into a fresh snapshot epoch
+//! via [`DeltaOverlay::into_batch`] / [`DeltaOverlay::reroot`]
+//! (`ngd_graph`), after which sessions restart from an empty overlay.
+//!
+//! Two session types cover the two snapshot shapes:
+//!
+//! * [`IncrementalSession`] over any shared [`GraphView`]
+//!   (a [`CsrSnapshot`](ngd_graph::CsrSnapshot), an
+//!   [`MmapSnapshot`](ngd_graph::persist::MmapSnapshot), …), answering
+//!   through [`pinc_dect_prepared`];
+//! * [`ShardedIncrementalSession`] over any [`ShardedRead`] (in-memory or
+//!   memory-mapped sharded snapshots), answering through
+//!   [`pinc_dect_sharded_rebased`].
+//!
+//! Both validate every batch with [`BatchUpdate::validate_against`] before
+//! touching overlay construction, so a malformed batch is a typed
+//! [`UpdateError`] — never a panic — which is what lets `ngd-serve` expose
+//! sessions to untrusted clients.
+
+use crate::batch::dect_on;
+use crate::config::DetectorConfig;
+use crate::pincdect::{pinc_dect_prepared, pinc_dect_sharded_rebased};
+use crate::report::{DeltaReport, DetectionReport};
+use ngd_core::RuleSet;
+use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, ShardedRead, UpdateError};
+
+/// Session state over a shared (unsharded) snapshot.
+///
+/// ```
+/// use ngd_core::{paper, RuleSet};
+/// use ngd_detect::{DetectorConfig, IncrementalSession};
+/// use ngd_graph::{intern, BatchUpdate};
+///
+/// let (graph, fake) = paper::figure1_g4();
+/// let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+/// let snapshot = graph.freeze();
+/// let mut session = IncrementalSession::new(&snapshot);
+///
+/// // Deleting the fake account's status edge removes its violation …
+/// let status = graph
+///     .out_neighbors(fake)
+///     .iter()
+///     .find(|&&(_, l)| l == intern("status"))
+///     .map(|&(n, _)| n)
+///     .unwrap();
+/// let mut delta = BatchUpdate::new();
+/// delta.delete_edge(fake, status, intern("status"));
+/// let report = session
+///     .apply(&sigma, &delta, &DetectorConfig::with_processors(2))
+///     .unwrap();
+/// assert_eq!(report.delta.removed.len(), 1);
+///
+/// // … and re-inserting it in a *second* batch brings it back, detected
+/// // against the accumulated state, not the original snapshot.
+/// let mut redo = BatchUpdate::new();
+/// redo.insert_edge(fake, status, intern("status"));
+/// let report = session
+///     .apply(&sigma, &redo, &DetectorConfig::with_processors(2))
+///     .unwrap();
+/// assert_eq!(report.delta.added.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalSession<'a, B: GraphView + Sync> {
+    base: &'a B,
+    accumulated: BatchUpdate,
+    batches_applied: u64,
+}
+
+impl<'a, B: GraphView + Sync> IncrementalSession<'a, B> {
+    /// A fresh session over `base` with no absorbed updates.
+    pub fn new(base: &'a B) -> Self {
+        IncrementalSession {
+            base,
+            accumulated: BatchUpdate::new(),
+            batches_applied: 0,
+        }
+    }
+
+    /// The shared base view the session reads through.
+    pub fn base(&self) -> &'a B {
+        self.base
+    }
+
+    /// The net of every batch absorbed so far, relative to the base.
+    pub fn accumulated(&self) -> &BatchUpdate {
+        &self.accumulated
+    }
+
+    /// Number of batches absorbed since creation (or the last reset).
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// The session's current state `base ⊕ accumulated` as a view.
+    pub fn view(&self) -> DeltaOverlay<'_, B> {
+        DeltaOverlay::new(self.base, &self.accumulated)
+    }
+
+    /// Validate `delta` against the current state, run the parallel
+    /// incremental detector, and fold the batch into the session.
+    ///
+    /// On error the session is unchanged.
+    pub fn apply(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+    ) -> Result<DeltaReport, UpdateError> {
+        delta.validate_against(&self.view())?;
+        let mut merged = self.accumulated.clone();
+        merged.merge(delta);
+        let report = {
+            let old_view = DeltaOverlay::new(self.base, &self.accumulated);
+            let new_view = DeltaOverlay::new(self.base, &merged);
+            pinc_dect_prepared(sigma, &old_view, &new_view, delta, config)
+        };
+        self.accumulated = merged;
+        self.batches_applied += 1;
+        Ok(report)
+    }
+
+    /// Full batch detection `Vio(Σ, G ⊕ accumulated)` over the current
+    /// state.
+    pub fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
+        dect_on(sigma, &self.view())
+    }
+
+    /// Drop the absorbed updates, returning what was accumulated.
+    pub fn reset(&mut self) -> BatchUpdate {
+        self.batches_applied = 0;
+        std::mem::take(&mut self.accumulated)
+    }
+
+    /// Consume the session, yielding its accumulated update (the input to
+    /// snapshot compaction / overlay re-rooting).
+    pub fn into_accumulated(self) -> BatchUpdate {
+        self.accumulated
+    }
+}
+
+/// Session state over a sharded snapshot: same contract as
+/// [`IncrementalSession`], answered by one worker per fragment through
+/// [`pinc_dect_sharded_rebased`].
+#[derive(Debug)]
+pub struct ShardedIncrementalSession<'a, S: ShardedRead> {
+    sharded: &'a S,
+    accumulated: BatchUpdate,
+    batches_applied: u64,
+}
+
+impl<'a, S: ShardedRead> ShardedIncrementalSession<'a, S> {
+    /// A fresh session over `sharded` with no absorbed updates.
+    pub fn new(sharded: &'a S) -> Self {
+        ShardedIncrementalSession {
+            sharded,
+            accumulated: BatchUpdate::new(),
+            batches_applied: 0,
+        }
+    }
+
+    /// The sharded store the session reads through.
+    pub fn sharded(&self) -> &'a S {
+        self.sharded
+    }
+
+    /// The net of every batch absorbed so far, relative to the snapshot.
+    pub fn accumulated(&self) -> &BatchUpdate {
+        &self.accumulated
+    }
+
+    /// Number of batches absorbed since creation (or the last reset).
+    pub fn batches_applied(&self) -> u64 {
+        self.batches_applied
+    }
+
+    /// The current state over the *global* view (reporting and full
+    /// detection; the per-batch hot path stays on the fragment views).
+    pub fn view(&self) -> DeltaOverlay<'_, S::Global> {
+        DeltaOverlay::new(self.sharded.global_view(), &self.accumulated)
+    }
+
+    /// Validate `delta` against the current state, run the sharded parallel
+    /// incremental detector, and fold the batch into the session.
+    ///
+    /// On error the session is unchanged.
+    pub fn apply(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+    ) -> Result<DeltaReport, UpdateError> {
+        delta.validate_against(&self.view())?;
+        let report =
+            pinc_dect_sharded_rebased(sigma, self.sharded, &self.accumulated, delta, config);
+        self.accumulated.merge(delta);
+        self.batches_applied += 1;
+        Ok(report)
+    }
+
+    /// Full batch detection over the current state (global view).
+    pub fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
+        dect_on(sigma, &self.view())
+    }
+
+    /// Drop the absorbed updates, returning what was accumulated.
+    pub fn reset(&mut self) -> BatchUpdate {
+        self.batches_applied = 0;
+        std::mem::take(&mut self.accumulated)
+    }
+
+    /// Consume the session, yielding its accumulated update.
+    pub fn into_accumulated(self) -> BatchUpdate {
+        self.accumulated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incdect::inc_dect;
+    use ngd_core::paper;
+    use ngd_graph::{intern, AttrMap, EdgeRef, PartitionStrategy, UpdateError, Value};
+
+    fn scenario() -> (ngd_graph::Graph, RuleSet) {
+        let (g, _) = paper::figure1_g4();
+        (g, RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]))
+    }
+
+    /// Each batch's delta must equal one-shot incremental detection on the
+    /// *materialised* accumulated state.
+    #[test]
+    fn session_stream_matches_one_shot_runs_on_materialised_state() {
+        let (g, sigma) = scenario();
+        let snapshot = g.freeze();
+        let mut session = IncrementalSession::new(&snapshot);
+        let config = DetectorConfig::with_processors(3);
+
+        let mut current = g.clone();
+        let edges = g.edge_vec();
+        // Three batches: delete an edge, re-insert it, delete another.
+        let batches: Vec<BatchUpdate> = {
+            let mut b1 = BatchUpdate::new();
+            b1.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+            let mut b2 = BatchUpdate::new();
+            b2.insert_edge(edges[0].src, edges[0].dst, edges[0].label);
+            let mut b3 = BatchUpdate::new();
+            b3.delete_edge(edges[1].src, edges[1].dst, edges[1].label);
+            vec![b1, b2, b3]
+        };
+        for (idx, batch) in batches.iter().enumerate() {
+            let reference = inc_dect(&sigma, &current, batch);
+            let served = session
+                .apply(&sigma, batch, &config)
+                .expect("batch applies");
+            assert_eq!(served.delta, reference.delta, "batch #{idx}");
+            batch
+                .apply(&mut current)
+                .expect("materialised state applies");
+        }
+        assert_eq!(session.batches_applied(), 3);
+        // The session view agrees with the materialised state.
+        let full = session.detect_all(&sigma);
+        let expected = crate::batch::dect(&sigma, &current);
+        assert_eq!(full.violations, expected.violations);
+    }
+
+    #[test]
+    fn sharded_session_agrees_with_shared_session() {
+        let (g, sigma) = scenario();
+        let snapshot = g.freeze();
+        let sharded = g.freeze_sharded(3, PartitionStrategy::EdgeCut, sigma.diameter());
+        let mut shared_session = IncrementalSession::new(&snapshot);
+        let mut sharded_session = ShardedIncrementalSession::new(&sharded);
+        let config = DetectorConfig::default();
+
+        let edges = g.edge_vec();
+        let company = g.nodes_with_label(intern("company"))[0];
+        let mut batch1 = BatchUpdate::new();
+        batch1.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+        let mut batch2 = BatchUpdate::new();
+        let acct = batch2.add_node(g.node_count(), intern("account"), AttrMap::new());
+        let status = batch2.add_node(
+            g.node_count(),
+            intern("boolean"),
+            AttrMap::from_pairs([("val", Value::Bool(true))]),
+        );
+        batch2.insert_edge(acct, company, intern("keys"));
+        batch2.insert_edge(acct, status, intern("status"));
+
+        for (idx, batch) in [batch1, batch2].iter().enumerate() {
+            let a = shared_session.apply(&sigma, batch, &config).unwrap();
+            let b = sharded_session.apply(&sigma, batch, &config).unwrap();
+            assert_eq!(a.delta, b.delta, "batch #{idx}");
+        }
+        assert_eq!(shared_session.accumulated(), sharded_session.accumulated());
+    }
+
+    #[test]
+    fn invalid_batches_are_typed_errors_and_leave_the_session_unchanged() {
+        let (g, sigma) = scenario();
+        let snapshot = g.freeze();
+        let mut session = IncrementalSession::new(&snapshot);
+        let config = DetectorConfig::default();
+        let edges = g.edge_vec();
+
+        // Delete an edge, then try to delete it again in the next batch:
+        // the second batch is invalid *against the accumulated state*.
+        let mut first = BatchUpdate::new();
+        first.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+        session.apply(&sigma, &first, &config).unwrap();
+        let before = session.accumulated().clone();
+
+        let err = session.apply(&sigma, &first, &config).unwrap_err();
+        assert_eq!(
+            err,
+            UpdateError::DeleteMissing(EdgeRef::new(edges[0].src, edges[0].dst, edges[0].label))
+        );
+        assert_eq!(session.accumulated(), &before);
+        assert_eq!(session.batches_applied(), 1);
+    }
+
+    #[test]
+    fn reset_returns_the_accumulated_update() {
+        let (g, sigma) = scenario();
+        let snapshot = g.freeze();
+        let mut session = IncrementalSession::new(&snapshot);
+        let edges = g.edge_vec();
+        let mut batch = BatchUpdate::new();
+        batch.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+        session
+            .apply(&sigma, &batch, &DetectorConfig::default())
+            .unwrap();
+        let accumulated = session.reset();
+        assert_eq!(accumulated.len(), 1);
+        assert!(session.accumulated().is_empty());
+        assert_eq!(session.batches_applied(), 0);
+        // After the reset the same batch applies again.
+        assert!(session
+            .apply(&sigma, &batch, &DetectorConfig::default())
+            .is_ok());
+    }
+}

@@ -85,7 +85,7 @@ pub use csr::CsrSnapshot;
 pub use graph::{EdgeRef, Graph, NodeData, NodeId};
 pub use interner::{intern, resolve, Sym, WILDCARD};
 pub use neighborhood::{d_neighbors, d_neighbors_many, induced_subgraph, Neighborhood};
-pub use overlay::DeltaOverlay;
+pub use overlay::{DeltaOverlay, RebaseError};
 pub use partition::{
     EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner,
 };

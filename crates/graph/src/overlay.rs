@@ -188,7 +188,138 @@ impl<'a, B: GraphView> DeltaOverlay<'a, B> {
         }
         &self.added_nodes[id.index() - self.base_count()]
     }
+
+    /// The overlay's pending change as a *net* [`BatchUpdate`]: deletions
+    /// first (sorted), then insertions (sorted), then the added nodes in id
+    /// order.
+    ///
+    /// The result is canonical — two overlays describing the same net change
+    /// produce identical batches, whatever op sequence built them — and
+    /// applies cleanly to the overlay's base by construction, so
+    /// `base ⊕ overlay.to_batch()` materialises exactly the graph the
+    /// overlay presents.  This is the fold a long-lived session uses to
+    /// persist its accumulated `ΔG` or to re-root it onto a newer snapshot
+    /// epoch (see [`DeltaOverlay::reroot`]).
+    pub fn to_batch(&self) -> BatchUpdate {
+        let mut batch = BatchUpdate::new();
+        for node in &self.added_nodes {
+            batch.new_nodes.push(crate::update::NewNode {
+                label: node.label,
+                attrs: node.attrs.clone(),
+            });
+        }
+        let mut deletions: Vec<EdgeRef> = self.removed.iter().copied().collect();
+        deletions.sort_unstable();
+        for e in deletions {
+            batch.delete_edge(e.src, e.dst, e.label);
+        }
+        let mut insertions: Vec<EdgeRef> = self
+            .added_out
+            .iter()
+            .flat_map(|(&src, list)| list.iter().map(move |&(l, dst)| EdgeRef::new(src, dst, l)))
+            .collect();
+        insertions.sort_unstable();
+        for e in insertions {
+            batch.insert_edge(e.src, e.dst, e.label);
+        }
+        batch
+    }
+
+    /// Consuming variant of [`DeltaOverlay::to_batch`].
+    pub fn into_batch(self) -> BatchUpdate {
+        self.to_batch()
+    }
+
+    /// Re-root the overlay's accumulated `ΔG` onto a different base view —
+    /// the session-side half of snapshot compaction: when a new snapshot
+    /// epoch is published, every session folds its pending overlay onto the
+    /// new base instead of replaying it from scratch.
+    ///
+    /// `new_base` must share the old base's node universe, in one of the two
+    /// epoch shapes a compaction produces:
+    ///
+    /// * **same epoch** — `new_base.node_count()` equals the old base's
+    ///   count (e.g. a re-frozen or re-loaded snapshot of the same logical
+    ///   graph, possibly with *some* of the overlay's edge changes already
+    ///   folded in): the overlay's added nodes are kept;
+    /// * **compacted epoch** — `new_base.node_count()` equals the overlay's
+    ///   *total* count (the new snapshot materialised the added nodes, ids
+    ///   preserved): the added nodes are dropped.
+    ///
+    /// Edge changes already reflected in `new_base` are dropped (an insert
+    /// the new base contains, a delete it no longer contains), so re-rooting
+    /// onto a fully-compacted snapshot yields an identity overlay.  Any
+    /// other node count is a [`RebaseError::NodeCountMismatch`].
+    pub fn reroot<'b, B2: GraphView>(
+        &self,
+        new_base: &'b B2,
+    ) -> Result<DeltaOverlay<'b, B2>, RebaseError> {
+        let new_count = GraphView::node_count(new_base);
+        let keep_added_nodes = if new_count == self.base_count() {
+            true
+        } else if new_count == GraphView::node_count(self) {
+            false
+        } else {
+            return Err(RebaseError::NodeCountMismatch {
+                new_base: new_count,
+                overlay_base: self.base_count(),
+                overlay_total: GraphView::node_count(self),
+            });
+        };
+        let mut batch = self.to_batch();
+        if !keep_added_nodes {
+            batch.new_nodes.clear();
+        }
+        // `has_edge` on ids past the new base's node count would be out of
+        // bounds; such an edge (incident to a kept added node) cannot exist
+        // in the new base, so it is kept unconditionally.
+        let edge_in_new_base = |e: &EdgeRef| {
+            e.src.index() < new_count
+                && e.dst.index() < new_count
+                && GraphView::has_edge(new_base, e.src, e.dst, e.label)
+        };
+        batch.ops.retain(|op| match op {
+            EdgeOp::Insert(e) => !edge_in_new_base(e),
+            EdgeOp::Delete(e) => edge_in_new_base(e),
+        });
+        Ok(DeltaOverlay::new(new_base, &batch))
+    }
 }
+
+/// Why [`DeltaOverlay::reroot`] refused a new base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebaseError {
+    /// The new base's node count matches neither the overlay's base count
+    /// (same epoch) nor its total count (compacted epoch), so node ids
+    /// cannot be carried across.
+    NodeCountMismatch {
+        /// Node count of the proposed new base.
+        new_base: usize,
+        /// Node count of the overlay's current base.
+        overlay_base: usize,
+        /// Total node count the overlay presents (base + added).
+        overlay_total: usize,
+    },
+}
+
+impl std::fmt::Display for RebaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebaseError::NodeCountMismatch {
+                new_base,
+                overlay_base,
+                overlay_total,
+            } => write!(
+                f,
+                "cannot re-root overlay onto a base with {new_base} nodes \
+                 (expected {overlay_base} for the same epoch or {overlay_total} \
+                 for a compacted one)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RebaseError {}
 
 impl<'a, B: GraphView> GraphView for DeltaOverlay<'a, B> {
     fn node_count(&self) -> usize {
@@ -569,6 +700,123 @@ mod tests {
         let mut delta = BatchUpdate::new();
         delta.insert_edge(n[0], NodeId(99), intern("e"));
         let _ = DeltaOverlay::new(&snap, &delta);
+    }
+
+    #[test]
+    fn to_batch_is_the_net_update_in_canonical_order() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        let d = delta.add_node(
+            g.node_count(),
+            intern("y"),
+            AttrMap::from_pairs([("v", Value::Int(3))]),
+        );
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[1], d, intern("e"));
+        delta.insert_edge(d, n[0], intern("g"));
+        // Churn that must cancel out of the net batch.
+        delta.delete_edge(n[1], d, intern("e"));
+        delta.insert_edge(n[1], d, intern("e"));
+
+        let overlay = DeltaOverlay::new(&snap, &delta);
+        let net = overlay.to_batch();
+        assert_eq!(net.new_nodes.len(), 1);
+        assert_eq!(net.deletions().count(), 1);
+        assert_eq!(net.insertions().count(), 2);
+        // Deletions precede insertions, each block sorted.
+        assert!(!net.ops[0].is_insert());
+        // Applying the net batch materialises exactly the overlay's graph.
+        let via_net = net.applied_to(&g).unwrap();
+        let via_delta = delta.applied_to(&g).unwrap();
+        assert_eq!(via_net.edge_vec(), via_delta.edge_vec());
+        assert_eq!(via_net.node_count(), via_delta.node_count());
+        // And the net batch validates against the base it came from.
+        assert_eq!(net.validate_against(&snap), Ok(()));
+        assert_eq!(overlay.into_batch(), net);
+    }
+
+    #[test]
+    fn reroot_onto_a_compacted_snapshot_is_identity() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        let d = delta.add_node(g.node_count(), intern("y"), AttrMap::new());
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[1], d, intern("e"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+
+        // The "compaction": materialise G ⊕ ΔG and freeze the result.
+        let compacted = delta.applied_to(&g).unwrap().freeze();
+        let rerooted = overlay.reroot(&compacted).unwrap();
+        assert!(rerooted.is_identity());
+        assert_eq!(
+            GraphView::node_count(&rerooted),
+            GraphView::node_count(&overlay)
+        );
+    }
+
+    #[test]
+    fn reroot_onto_a_same_epoch_snapshot_preserves_the_view() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        let d = delta.add_node(g.node_count(), intern("y"), AttrMap::new());
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[1], d, intern("e"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+
+        let fresh = g.freeze();
+        let rerooted = overlay.reroot(&fresh).unwrap();
+        let materialised = delta.applied_to(&g).unwrap();
+        assert_matches_materialised(&rerooted, &materialised);
+    }
+
+    #[test]
+    fn reroot_drops_changes_the_new_base_already_contains() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[2], n[0], intern("z"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+
+        // Half-compacted base: only the deletion has been folded in.
+        let mut half = BatchUpdate::new();
+        half.delete_edge(n[0], n[1], intern("e"));
+        let half_base = half.applied_to(&g).unwrap().freeze();
+        let rerooted = overlay.reroot(&half_base).unwrap();
+        assert!(!rerooted.is_identity());
+        let net = rerooted.to_batch();
+        assert_eq!(net.deletions().count(), 0, "deletion already folded in");
+        assert_eq!(net.insertions().count(), 1);
+        let materialised = delta.applied_to(&g).unwrap();
+        assert_matches_materialised(&rerooted, &materialised);
+    }
+
+    #[test]
+    fn reroot_rejects_an_alien_node_universe() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[0], n[1], intern("e"));
+        let _ = delta.add_node(g.node_count(), intern("y"), AttrMap::new());
+        let _ = delta.add_node(g.node_count(), intern("y"), AttrMap::new());
+        let overlay = DeltaOverlay::new(&snap, &delta);
+
+        let mut bigger = Graph::new();
+        for _ in 0..4 {
+            bigger.add_node_named("x", AttrMap::new());
+        }
+        let alien = bigger.freeze();
+        assert_eq!(
+            overlay.reroot(&alien).unwrap_err(),
+            RebaseError::NodeCountMismatch {
+                new_base: 4,
+                overlay_base: 3,
+                overlay_total: 5,
+            }
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@
 use crate::attrs::AttrMap;
 use crate::graph::{EdgeRef, Graph, NodeId};
 use crate::interner::Sym;
+use crate::view::GraphView;
 use ngd_json::{FromJson, Json, JsonError, ToJson};
+use std::collections::HashSet;
 
 /// A node introduced by a batch update.
 #[derive(Debug, Clone, PartialEq)]
@@ -190,6 +192,66 @@ impl BatchUpdate {
         }
     }
 
+    /// Append `other`'s new nodes and edge operations to this update.
+    ///
+    /// This is the fold a long-lived session performs after each served
+    /// batch: if `self` applies cleanly to a base graph `G` and `other`
+    /// applies cleanly to `G ⊕ self`, the merged update applies cleanly to
+    /// `G` and produces the same graph.  The id contract lines up by
+    /// construction — `other`'s new nodes must have been allocated against
+    /// `G ⊕ self`'s node count, which is exactly where the merged new-node
+    /// list continues.
+    pub fn merge(&mut self, other: &BatchUpdate) {
+        self.new_nodes.extend(other.new_nodes.iter().cloned());
+        self.ops.extend(other.ops.iter().copied());
+    }
+
+    /// Check that this update would apply cleanly to `base`, without
+    /// panicking and without materialising anything.
+    ///
+    /// Walks the operation sequence with the same net insert/delete
+    /// bookkeeping as [`crate::DeltaOverlay::new`] and [`BatchUpdate::apply`],
+    /// but reports the first offending operation as a typed [`UpdateError`]
+    /// instead of asserting — the validation a server must run on an
+    /// untrusted client batch before handing it to the overlay constructor
+    /// (whose invalid-update path is a panic by design).
+    pub fn validate_against<V: GraphView + ?Sized>(&self, base: &V) -> Result<(), UpdateError> {
+        let total_nodes = base.node_count() + self.new_nodes.len();
+        let mut added: HashSet<EdgeRef> = HashSet::new();
+        let mut removed: HashSet<EdgeRef> = HashSet::new();
+        for op in &self.ops {
+            let e = op.edge();
+            for end in [e.src, e.dst] {
+                if end.index() >= total_nodes {
+                    return Err(UpdateError::UnknownNode(end));
+                }
+            }
+            let in_base = e.src.index() < base.node_count()
+                && e.dst.index() < base.node_count()
+                && base.has_edge(e.src, e.dst, e.label);
+            let currently_present = added.contains(&e) || (in_base && !removed.contains(&e));
+            match op {
+                EdgeOp::Insert(_) => {
+                    if currently_present {
+                        return Err(UpdateError::InsertExisting(e));
+                    }
+                    if !removed.remove(&e) {
+                        added.insert(e);
+                    }
+                }
+                EdgeOp::Delete(_) => {
+                    if !currently_present {
+                        return Err(UpdateError::DeleteMissing(e));
+                    }
+                    if !added.remove(&e) {
+                        removed.insert(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Apply the update to `graph` in place, producing `G ⊕ ΔG`.
     ///
     /// New nodes are appended first, then edge operations are applied in
@@ -329,6 +391,92 @@ mod tests {
         assert_eq!(delta.deletions().count(), 1);
         assert_eq!(delta.len(), 3);
         assert_eq!(delta.insert_delete_ratio(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_concatenates_and_applies_like_sequential_batches() {
+        let (g, n) = small_graph();
+        let mut first = BatchUpdate::new();
+        first.delete_edge(n[0], n[1], intern("e"));
+        let d = first.add_node(g.node_count(), intern("d"), AttrMap::new());
+        first.insert_edge(n[0], d, intern("f"));
+
+        let after_first = first.applied_to(&g).unwrap();
+        let mut second = BatchUpdate::new();
+        // Allocated against `G ⊕ first`, as a session would.
+        let e2 = second.add_node(after_first.node_count(), intern("d"), AttrMap::new());
+        second.insert_edge(d, e2, intern("f"));
+        second.insert_edge(n[0], n[1], intern("e")); // re-insert what `first` deleted
+        let expected = second.applied_to(&after_first).unwrap();
+
+        let mut merged = first.clone();
+        merged.merge(&second);
+        let via_merge = merged.applied_to(&g).unwrap();
+        assert_eq!(via_merge.node_count(), expected.node_count());
+        assert_eq!(via_merge.edge_count(), expected.edge_count());
+        assert_eq!(via_merge.edge_vec(), expected.edge_vec());
+    }
+
+    #[test]
+    fn validate_against_accepts_what_apply_accepts() {
+        let (g, n) = small_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        let d = delta.add_node(g.node_count(), intern("d"), AttrMap::new());
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[2], d, intern("f"));
+        assert_eq!(delta.validate_against(&snap), Ok(()));
+        assert!(delta.applied_to(&g).is_ok());
+    }
+
+    #[test]
+    fn validate_against_reports_each_failure_mode() {
+        let (g, n) = small_graph();
+        let snap = g.freeze();
+
+        let mut unknown = BatchUpdate::new();
+        unknown.insert_edge(n[0], NodeId(99), intern("e"));
+        assert_eq!(
+            unknown.validate_against(&snap),
+            Err(UpdateError::UnknownNode(NodeId(99)))
+        );
+
+        let mut existing = BatchUpdate::new();
+        existing.insert_edge(n[0], n[1], intern("e"));
+        assert_eq!(
+            existing.validate_against(&snap),
+            Err(UpdateError::InsertExisting(EdgeRef::new(
+                n[0],
+                n[1],
+                intern("e")
+            )))
+        );
+
+        let mut missing = BatchUpdate::new();
+        missing.delete_edge(n[2], n[0], intern("ghost"));
+        assert_eq!(
+            missing.validate_against(&snap),
+            Err(UpdateError::DeleteMissing(EdgeRef::new(
+                n[2],
+                n[0],
+                intern("ghost")
+            )))
+        );
+
+        // Inserting the same edge twice within the batch is caught by the
+        // net bookkeeping, not just the base lookup.
+        let mut twice = BatchUpdate::new();
+        twice.insert_edge(n[2], n[0], intern("x"));
+        twice.insert_edge(n[2], n[0], intern("x"));
+        assert_eq!(
+            twice.validate_against(&snap),
+            Err(UpdateError::InsertExisting(EdgeRef::new(
+                n[2],
+                n[0],
+                intern("x")
+            )))
+        );
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! `ngd-cli` — the operator client for a running `ngd-serve` daemon.
+//!
+//! ```text
+//! ngd-cli [--connect unix:<path>|tcp:<host>:<port>] <command>
+//!
+//! commands:
+//!   load <graph.json> <out.ngds>  freeze a graph JSON into a snapshot file
+//!                                 (offline; what the daemon serves)
+//!   update <batch.json>           submit a ΔG batch, stream ΔVio back
+//!   query                         full detection over the session state
+//!   rules <file>                  install a session rule set (JSON or DSL)
+//!   stats                         server + session statistics
+//!   reset                         drop the session's accumulated ΔG
+//!   shutdown                      stop the daemon gracefully
+//! ```
+//!
+//! Sessions live as long as their connection: each `ngd-cli` invocation
+//! opens a fresh one, so a batch accumulates only within that invocation
+//! (the `update` command streams the batch's own `ΔVio` before exiting).
+//! Long-lived sessions that absorb many batches are the [`ServeClient`]
+//! library's job — keep one client connected and keep submitting.
+
+use ngd_core::RuleSet;
+use ngd_graph::persist::SnapshotWriter;
+use ngd_graph::BatchUpdate;
+use ngd_serve::{ServeAddr, ServeClient, Side};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ngd-cli [--connect unix:<path>|tcp:<host>:<port>] <command>\n\
+         commands: load <graph.json> <out.ngds> | update <batch.json> | query |\n\
+         \x20         rules <file> | stats | reset | shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: String) -> ExitCode {
+    eprintln!("ngd-cli: {message}");
+    ExitCode::FAILURE
+}
+
+fn connect(addr: &ServeAddr) -> Result<ServeClient, String> {
+    ServeClient::connect_as(addr, "ngd-cli").map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut addr = ServeAddr::Tcp("127.0.0.1:7411".into());
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next().as_deref().map(ServeAddr::parse) {
+                Some(Ok(parsed)) => addr = parsed,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(command) = rest.first().map(String::as_str) else {
+        usage()
+    };
+
+    match command {
+        // Offline: graph file -> frozen snapshot file (no daemon involved).
+        // Accepts the JSON round-trip form (leading `{`) or the text
+        // edge-list format of `ngd_graph::io` (`N <id> <label> [k=v]...` /
+        // `E <src> <dst> <label>` lines).
+        "load" => {
+            let (Some(graph_path), Some(out_path)) = (rest.get(1), rest.get(2)) else {
+                usage()
+            };
+            let text = match std::fs::read_to_string(graph_path) {
+                Ok(text) => text,
+                Err(e) => return fail(format!("read {graph_path}: {e}")),
+            };
+            let parsed = if text.trim_start().starts_with('{') {
+                ngd_graph::io::from_json(&text)
+            } else {
+                ngd_graph::io::from_text(&text)
+            };
+            let graph = match parsed {
+                Ok(graph) => graph,
+                Err(e) => return fail(format!("parse {graph_path}: {e}")),
+            };
+            let snapshot = graph.freeze();
+            match SnapshotWriter::new().write(&snapshot, std::path::Path::new(out_path)) {
+                Ok(bytes) => {
+                    println!(
+                        "froze {} nodes / {} edges into {out_path} ({bytes} bytes)",
+                        graph.node_count(),
+                        graph.edge_count()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("write {out_path}: {e}")),
+            }
+        }
+        "update" => {
+            let Some(batch_path) = rest.get(1) else {
+                usage()
+            };
+            let text = match std::fs::read_to_string(batch_path) {
+                Ok(text) => text,
+                Err(e) => return fail(format!("read {batch_path}: {e}")),
+            };
+            let batch: BatchUpdate = match ngd_json::from_str(&text) {
+                Ok(batch) => batch,
+                Err(e) => return fail(format!("parse {batch_path}: {e}")),
+            };
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            let result = client.submit_update_streaming(&batch, |side, violations| {
+                let sign = match side {
+                    Side::Added => '+',
+                    Side::Removed => '-',
+                };
+                for violation in violations {
+                    println!("{sign} {violation}");
+                }
+            });
+            match result {
+                Ok(done) => {
+                    println!(
+                        "{}: ΔVio⁺ = {}, ΔVio⁻ = {} in {:?} on {} worker(s), \
+                         dΣ-neighbourhood {} nodes [{}]",
+                        done.algorithm,
+                        done.added_total,
+                        done.removed_total,
+                        std::time::Duration::from_nanos(done.elapsed_nanos),
+                        done.processors,
+                        done.neighborhood_nodes,
+                        done.cost,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("update: {e}")),
+            }
+        }
+        "query" => {
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            let result = client.query_streaming(|_, violations| {
+                for violation in violations {
+                    println!("{violation}");
+                }
+            });
+            match result {
+                Ok(done) => {
+                    println!(
+                        "{}: {} violations in {:?} on {} worker(s)",
+                        done.algorithm,
+                        done.added_total,
+                        std::time::Duration::from_nanos(done.elapsed_nanos),
+                        done.processors,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("query: {e}")),
+            }
+        }
+        "rules" => {
+            let Some(rules_path) = rest.get(1) else {
+                usage()
+            };
+            let text = match std::fs::read_to_string(rules_path) {
+                Ok(text) => text,
+                Err(e) => return fail(format!("read {rules_path}: {e}")),
+            };
+            let lead = text.trim_start().chars().next();
+            let sigma = if matches!(lead, Some('[') | Some('{')) {
+                match RuleSet::from_json(&text) {
+                    Ok(sigma) => sigma,
+                    Err(e) => return fail(format!("parse {rules_path}: {e}")),
+                }
+            } else {
+                match ngd_core::parse_rule_set(&text) {
+                    Ok(sigma) => sigma,
+                    Err(e) => return fail(format!("parse {rules_path}: {e}")),
+                }
+            };
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            match client.set_rules(&sigma) {
+                Ok(message) => {
+                    println!("{message}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("rules: {e}")),
+            }
+        }
+        "stats" => {
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            let info = client.server_info().clone();
+            match client.stats() {
+                Ok(stats) => {
+                    println!("server     : {}", info.server);
+                    println!(
+                        "snapshot   : {} nodes, {} edges, {}",
+                        stats.snapshot_nodes,
+                        stats.snapshot_edges,
+                        match stats.fragment_count {
+                            0 => "shared".to_string(),
+                            n => format!("{n} fragments"),
+                        }
+                    );
+                    println!(
+                        "session    : {} nodes, {} edges ({} ops over {} batches)",
+                        stats.session_nodes,
+                        stats.session_edges,
+                        stats.accumulated_ops,
+                        stats.batches_applied
+                    );
+                    println!(
+                        "service    : {} active / {} total sessions, {} updates served, \
+                         {} violations streamed",
+                        stats.sessions_active,
+                        stats.sessions_total,
+                        stats.updates_served,
+                        stats.violations_streamed
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("stats: {e}")),
+            }
+        }
+        "reset" => {
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            match client.reset() {
+                Ok(message) => {
+                    println!("{message}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("reset: {e}")),
+            }
+        }
+        "shutdown" => {
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            match client.shutdown_server() {
+                Ok(message) => {
+                    println!("{message}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("shutdown: {e}")),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,157 @@
+//! `ngd-serve` — the detection daemon.
+//!
+//! ```text
+//! ngd-serve --snapshot graph.ngds [--listen unix:/run/ngd.sock | tcp:127.0.0.1:7411]
+//!           [--rules rules.json|rules.ngd] [--processors N] [--latency C]
+//! ```
+//!
+//! Maps the snapshot (shared or sharded — auto-detected), compiles the
+//! rule set (a JSON file produced by `RuleSet::to_json`, or the text DSL
+//! understood by `ngd_core::parse_rule_set`; defaults to the paper's rule
+//! set), binds the listener and serves until a client sends `SHUTDOWN`.
+
+use ngd_core::RuleSet;
+use ngd_detect::DetectorConfig;
+use ngd_serve::{ServeAddr, Server, SnapshotStore};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    snapshot: PathBuf,
+    listen: ServeAddr,
+    rules: Option<PathBuf>,
+    processors: Option<usize>,
+    latency: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ngd-serve --snapshot <file.ngds> [--listen unix:<path>|tcp:<host>:<port>]\n\
+         \x20                [--rules <file>] [--processors <n>] [--latency <C>]\n\
+         \n\
+         Serves incremental NGD violation detection over a memory-mapped\n\
+         snapshot until a client sends SHUTDOWN (`ngd-cli shutdown`)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut snapshot: Option<PathBuf> = None;
+    let mut listen = ServeAddr::Tcp("127.0.0.1:7411".into());
+    let mut rules = None;
+    let mut processors = None;
+    let mut latency = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--snapshot" => snapshot = Some(PathBuf::from(value("--snapshot"))),
+            "--listen" => match ServeAddr::parse(&value("--listen")) {
+                Ok(addr) => listen = addr,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage()
+                }
+            },
+            "--rules" => rules = Some(PathBuf::from(value("--rules"))),
+            "--processors" => match value("--processors").parse() {
+                Ok(n) => processors = Some(n),
+                Err(_) => usage(),
+            },
+            "--latency" => match value("--latency").parse() {
+                Ok(c) => latency = Some(c),
+                Err(_) => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    let Some(snapshot) = snapshot else {
+        eprintln!("--snapshot is required");
+        usage()
+    };
+    Args {
+        snapshot,
+        listen,
+        rules,
+        processors,
+        latency,
+    }
+}
+
+/// A rules file is JSON if it leads with a JSON delimiter, DSL otherwise.
+fn load_rules(path: &PathBuf) -> Result<RuleSet, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let lead = text.trim_start().chars().next();
+    if matches!(lead, Some('[') | Some('{')) {
+        RuleSet::from_json(&text).map_err(|e| format!("parse {} as JSON: {e}", path.display()))
+    } else {
+        ngd_core::parse_rule_set(&text)
+            .map_err(|e| format!("parse {} as rule DSL: {e}", path.display()))
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let store = match SnapshotStore::open(&args.snapshot) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("ngd-serve: cannot map {}: {e}", args.snapshot.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sigma = match &args.rules {
+        Some(path) => match load_rules(path) {
+            Ok(sigma) => sigma,
+            Err(e) => {
+                eprintln!("ngd-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => ngd_core::paper::paper_rule_set(),
+    };
+
+    let mut detector = DetectorConfig::default();
+    if let Some(p) = args.processors {
+        detector.processors = p.max(1);
+    }
+    if let Some(c) = args.latency {
+        detector.latency_c = c;
+    }
+
+    println!(
+        "ngd-serve: snapshot {} ({} nodes, {} edges, {}), ‖Σ‖ = {} (dΣ = {})",
+        args.snapshot.display(),
+        store.node_count(),
+        store.edge_count(),
+        match store.fragment_count() {
+            0 => "shared".to_string(),
+            n => format!("{n} fragments"),
+        },
+        sigma.len(),
+        sigma.diameter(),
+    );
+
+    let server = match Server::start(store, sigma, &args.listen, detector) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ngd-serve: cannot listen on {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("ngd-serve: listening on {}", server.local_addr());
+    server.wait();
+    println!("ngd-serve: shut down");
+    ExitCode::SUCCESS
+}

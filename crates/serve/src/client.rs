@@ -1,0 +1,292 @@
+//! [`ServeClient`] — the typed client side of the wire protocol.
+//!
+//! One client owns one connection, i.e. one server-side session: updates
+//! submitted through it accumulate on the server until [`ServeClient::reset`].
+//! Streamed violation chunks can be observed incrementally through the
+//! `*_streaming` variants or collected into the same
+//! [`DeltaViolations`] / [`ViolationSet`] structures the in-process
+//! detectors return — the equivalence tests assert the two are
+//! byte-identical.
+
+use crate::error::ProtocolError;
+use crate::protocol::{
+    frame, read_frame, write_frame, DoneResponse, ErrorResponse, HelloRequest, HelloResponse,
+    OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest, VioChunk,
+};
+use crate::server::ServeAddr;
+use ngd_core::RuleSet;
+use ngd_graph::BatchUpdate;
+use ngd_match::{DeltaViolations, Violation, ViolationSet};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A served incremental answer: the reassembled `ΔVio` plus the closing
+/// summary (cost ledger, matcher stats, server-side timing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedDelta {
+    /// The violation delta, reassembled from the streamed chunks.
+    pub delta: DeltaViolations,
+    /// The closing `UPDATE_DONE` summary.
+    pub done: DoneResponse,
+}
+
+impl ServedDelta {
+    /// Server-side wall-clock time of the detection run.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.done.elapsed_nanos)
+    }
+}
+
+/// A served batch-detection answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedQuery {
+    /// The full violation set, reassembled from the streamed chunks.
+    pub violations: ViolationSet,
+    /// The closing `QUERY_DONE` summary.
+    pub done: DoneResponse,
+}
+
+impl ServedQuery {
+    /// Server-side wall-clock time of the detection run.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.done.elapsed_nanos)
+    }
+}
+
+enum ClientStream {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to an `ngd-serve` daemon (= one server-side session).
+pub struct ServeClient {
+    stream: ClientStream,
+    hello: HelloResponse,
+}
+
+impl ServeClient {
+    /// Connect and perform the `HELLO` handshake as `client_name`.
+    pub fn connect_as(addr: &ServeAddr, client_name: &str) -> Result<ServeClient, ProtocolError> {
+        let stream = match addr {
+            ServeAddr::Unix(path) => {
+                #[cfg(unix)]
+                {
+                    ClientStream::Unix(std::os::unix::net::UnixStream::connect(path).map_err(
+                        |e| ProtocolError::Io(format!("connect {}: {e}", path.display())),
+                    )?)
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(ProtocolError::Io(format!(
+                        "unix sockets are not available on this host (asked for {})",
+                        path.display()
+                    )));
+                }
+            }
+            ServeAddr::Tcp(spec) => {
+                let stream = TcpStream::connect(spec)
+                    .map_err(|e| ProtocolError::Io(format!("connect {spec}: {e}")))?;
+                let _ = stream.set_nodelay(true);
+                ClientStream::Tcp(stream)
+            }
+        };
+        let mut client = ServeClient {
+            stream,
+            hello: HelloResponse {
+                server: String::new(),
+                node_count: 0,
+                edge_count: 0,
+                fragment_count: 0,
+                rule_count: 0,
+                diameter: 0,
+            },
+        };
+        let request = HelloRequest {
+            client: client_name.to_string(),
+        };
+        write_frame(&mut client.stream, frame::HELLO, &request.encode())?;
+        let payload = client.expect(frame::HELLO_OK, "HELLO_OK")?;
+        client.hello = HelloResponse::decode(&payload)?;
+        Ok(client)
+    }
+
+    /// Connect with a default client name.
+    pub fn connect(addr: &ServeAddr) -> Result<ServeClient, ProtocolError> {
+        ServeClient::connect_as(addr, "ngd-serve-client")
+    }
+
+    /// Server and snapshot facts from the handshake.
+    pub fn server_info(&self) -> &HelloResponse {
+        &self.hello
+    }
+
+    /// Read one frame; `ERROR` frames become [`ProtocolError::Remote`].
+    fn next_frame(&mut self) -> Result<(u32, Vec<u8>), ProtocolError> {
+        let (kind, payload) = read_frame(&mut self.stream)?;
+        if kind == frame::ERROR {
+            let err = ErrorResponse::decode(&payload)?;
+            return Err(ProtocolError::Remote {
+                code: err.code,
+                message: err.message,
+            });
+        }
+        Ok((kind, payload))
+    }
+
+    /// Read one frame and require a specific kind.
+    fn expect(&mut self, kind: u32, what: &'static str) -> Result<Vec<u8>, ProtocolError> {
+        let (found, payload) = self.next_frame()?;
+        if found != kind {
+            return Err(ProtocolError::UnexpectedFrame {
+                expected: what,
+                found,
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Install `sigma` as this session's rule set (compiled server-side).
+    pub fn set_rules(&mut self, sigma: &RuleSet) -> Result<String, ProtocolError> {
+        let request = RulesRequest {
+            rules_json: sigma.to_json(),
+        };
+        write_frame(&mut self.stream, frame::RULES, &request.encode())?;
+        let payload = self.expect(frame::OK, "OK")?;
+        Ok(OkResponse::decode(&payload)?.message)
+    }
+
+    /// Drain a `VIO_CHUNK*` stream up to its closing `done_kind` frame,
+    /// handing every chunk to `on_chunk` as it arrives.
+    fn drain_stream(
+        &mut self,
+        done_kind: u32,
+        done_what: &'static str,
+        mut on_chunk: impl FnMut(Side, Vec<Violation>),
+    ) -> Result<DoneResponse, ProtocolError> {
+        let mut streamed = (0u64, 0u64);
+        loop {
+            let (kind, payload) = self.next_frame()?;
+            if kind == frame::VIO_CHUNK {
+                let chunk = VioChunk::decode(&payload)?;
+                match chunk.side {
+                    Side::Added => streamed.0 += chunk.violations.len() as u64,
+                    Side::Removed => streamed.1 += chunk.violations.len() as u64,
+                }
+                on_chunk(chunk.side, chunk.violations);
+            } else if kind == done_kind {
+                let done = DoneResponse::decode(&payload)?;
+                if (done.added_total, done.removed_total) != streamed {
+                    return Err(ProtocolError::Corrupt(format!(
+                        "stream totals disagree: done frame says {}+{}, streamed {}+{}",
+                        done.added_total, done.removed_total, streamed.0, streamed.1
+                    )));
+                }
+                return Ok(done);
+            } else {
+                return Err(ProtocolError::UnexpectedFrame {
+                    expected: done_what,
+                    found: kind,
+                });
+            }
+        }
+    }
+
+    /// Submit a `ΔG` batch, observing each streamed chunk as it arrives.
+    pub fn submit_update_streaming(
+        &mut self,
+        batch: &BatchUpdate,
+        on_chunk: impl FnMut(Side, Vec<Violation>),
+    ) -> Result<DoneResponse, ProtocolError> {
+        let request = UpdateRequest {
+            batch: batch.clone(),
+        };
+        write_frame(&mut self.stream, frame::UPDATE, &request.encode())?;
+        self.drain_stream(frame::UPDATE_DONE, "UPDATE_DONE", on_chunk)
+    }
+
+    /// Submit a `ΔG` batch and collect the full `ΔVio`.
+    pub fn submit_update(&mut self, batch: &BatchUpdate) -> Result<ServedDelta, ProtocolError> {
+        let mut delta = DeltaViolations::new();
+        let done = self.submit_update_streaming(batch, |side, violations| {
+            let set = match side {
+                Side::Added => &mut delta.added,
+                Side::Removed => &mut delta.removed,
+            };
+            for violation in violations {
+                set.insert(violation);
+            }
+        })?;
+        Ok(ServedDelta { delta, done })
+    }
+
+    /// Run full detection over the session state, observing each chunk.
+    pub fn query_streaming(
+        &mut self,
+        on_chunk: impl FnMut(Side, Vec<Violation>),
+    ) -> Result<DoneResponse, ProtocolError> {
+        write_frame(&mut self.stream, frame::QUERY, &[])?;
+        self.drain_stream(frame::QUERY_DONE, "QUERY_DONE", on_chunk)
+    }
+
+    /// Run full detection over the session state and collect the result.
+    pub fn query(&mut self) -> Result<ServedQuery, ProtocolError> {
+        let mut violations = ViolationSet::new();
+        let done = self.query_streaming(|_, chunk| {
+            for violation in chunk {
+                violations.insert(violation);
+            }
+        })?;
+        Ok(ServedQuery { violations, done })
+    }
+
+    /// Fetch server and session statistics.
+    pub fn stats(&mut self) -> Result<StatsResponse, ProtocolError> {
+        write_frame(&mut self.stream, frame::STATS, &[])?;
+        let payload = self.expect(frame::STATS_OK, "STATS_OK")?;
+        StatsResponse::decode(&payload)
+    }
+
+    /// Drop the session's accumulated update.
+    pub fn reset(&mut self) -> Result<String, ProtocolError> {
+        write_frame(&mut self.stream, frame::RESET, &[])?;
+        let payload = self.expect(frame::OK, "OK")?;
+        Ok(OkResponse::decode(&payload)?.message)
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<String, ProtocolError> {
+        write_frame(&mut self.stream, frame::SHUTDOWN, &[])?;
+        let payload = self.expect(frame::OK, "OK")?;
+        Ok(OkResponse::decode(&payload)?.message)
+    }
+}

@@ -1,0 +1,183 @@
+//! Typed wire-protocol errors.
+//!
+//! Mirrors [`ngd_graph::persist::PersistError`]: every way a frame can be
+//! damaged, stale or hostile maps to a distinct variant, so the corruption
+//! battery can assert *which* defence fired and callers can tell an
+//! operational error (socket died) from a protocol bug (bad frame) from a
+//! server-side rejection ([`ProtocolError::Remote`]).
+
+/// Errors raised while framing, parsing or exchanging protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// An operating-system error on the socket (connect / read / write).
+    Io(String),
+    /// The peer closed the connection cleanly between frames.
+    Disconnected,
+    /// A frame does not start with the wire magic.
+    BadMagic {
+        /// The first eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The frame's protocol version is not the one this build speaks.
+    UnsupportedVersion {
+        /// Version recorded in the frame.
+        found: u32,
+        /// Version this build supports ([`crate::protocol::WIRE_VERSION`]).
+        supported: u32,
+    },
+    /// The stream ended inside a frame (header or payload).
+    Truncated {
+        /// Bytes required.
+        expected: u64,
+        /// Bytes present.
+        actual: u64,
+    },
+    /// The length prefix exceeds the per-frame ceiling — a corrupt or
+    /// hostile peer must fail typed, not force a giant allocation.
+    Oversized {
+        /// Length the frame claims.
+        len: u64,
+        /// Ceiling ([`crate::protocol::MAX_FRAME_LEN`]).
+        max: u64,
+    },
+    /// The payload checksum does not match the frame header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The frame kind is not one this build knows.
+    UnknownFrame {
+        /// Kind recorded in the frame.
+        kind: u32,
+    },
+    /// A well-formed frame arrived where the conversation state does not
+    /// allow it (e.g. a response kind sent as a request).
+    UnexpectedFrame {
+        /// What the receiver was waiting for.
+        expected: &'static str,
+        /// Kind actually received.
+        found: u32,
+    },
+    /// A payload failed structural decoding.
+    Corrupt(String),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// Machine-readable error code ([`crate::protocol::err_code`]).
+        code: u32,
+        /// Human-readable server-side message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(msg) => write!(f, "io error: {msg}"),
+            ProtocolError::Disconnected => write!(f, "peer disconnected"),
+            ProtocolError::BadMagic { found } => {
+                write!(f, "not a wire frame (magic {found:02x?})")
+            }
+            ProtocolError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "wire protocol version {found} is not supported \
+                 (this build speaks version {supported})"
+            ),
+            ProtocolError::Truncated { expected, actual } => {
+                write!(f, "truncated frame: {actual} of {expected} bytes")
+            }
+            ProtocolError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte ceiling")
+            }
+            ProtocolError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            ProtocolError::UnknownFrame { kind } => write!(f, "unknown frame kind {kind}"),
+            ProtocolError::UnexpectedFrame { expected, found } => {
+                write!(f, "expected {expected}, got frame kind {found}")
+            }
+            ProtocolError::Corrupt(msg) => write!(f, "corrupt frame payload: {msg}"),
+            ProtocolError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => ProtocolError::Disconnected,
+            _ => ProtocolError::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_specific_per_variant() {
+        let cases: Vec<(ProtocolError, &str)> = vec![
+            (ProtocolError::Disconnected, "disconnected"),
+            (
+                ProtocolError::BadMagic {
+                    found: *b"NOTAWIRE",
+                },
+                "not a wire frame",
+            ),
+            (
+                ProtocolError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (
+                ProtocolError::Truncated {
+                    expected: 32,
+                    actual: 5,
+                },
+                "5 of 32",
+            ),
+            (
+                ProtocolError::Oversized {
+                    len: 1 << 40,
+                    max: 1 << 28,
+                },
+                "ceiling",
+            ),
+            (
+                ProtocolError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum mismatch",
+            ),
+            (ProtocolError::UnknownFrame { kind: 77 }, "kind 77"),
+            (
+                ProtocolError::Remote {
+                    code: 2,
+                    message: "bad batch".into(),
+                },
+                "server error 2",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn io_eof_maps_to_disconnected() {
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(ProtocolError::from(eof), ProtocolError::Disconnected);
+        let other = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no");
+        assert!(matches!(ProtocolError::from(other), ProtocolError::Io(_)));
+    }
+}

@@ -1,0 +1,90 @@
+//! # ngd-serve
+//!
+//! A **long-lived incremental detection service** over memory-mapped
+//! snapshots — the deployment the paper's `|ΔG|`-bounded cost result
+//! (*"Catching Numeric Inconsistencies in Graphs"*, SIGMOD 2018) actually
+//! pays off in: a daemon mmaps one `.ngds` snapshot and compiles a rule
+//! set **once**, then absorbs a continuous stream of `ΔG` batches from
+//! many concurrent clients, answering each with the violation delta it
+//! causes and the cost ledger that proves the work stayed bounded by the
+//! update's `dΣ`-neighbourhood.
+//!
+//! ```text
+//!            ngd-serve daemon (one process, one mmap)
+//!            ┌────────────────────────────────────────┐
+//!  client A ─┤ session A: DeltaOverlay ⊕ accumulated  │
+//!  client B ─┤ session B: DeltaOverlay ⊕ accumulated  ├── MmapSnapshot
+//!  client C ─┤ session C: DeltaOverlay ⊕ accumulated  │   (shared, zero-copy)
+//!            └────────────────────────────────────────┘
+//! ```
+//!
+//! * [`protocol`] — the framed, versioned, length-prefixed binary wire
+//!   format (header conventions borrowed from the snapshot format, same
+//!   payload checksum);
+//! * [`wire`] — the bounded payload codec (symbols travel as strings and
+//!   are re-interned on arrival);
+//! * [`error`] — [`ProtocolError`], one typed variant per damage mode,
+//!   mirroring `PersistError`;
+//! * [`server`] — the daemon: [`SnapshotStore`] (shared or sharded,
+//!   auto-detected), one OS thread per connection, graceful shutdown;
+//! * [`client`] — [`ServeClient`], the typed client used by `ngd-cli`,
+//!   the benches and the equivalence tests.
+//!
+//! Served `ΔVio` streams are **byte-identical** to running
+//! [`ngd_detect::pinc_dect`] in-process — `tests/serve_equivalence.rs`
+//! (workspace integration tests) pins that on every figure-1 scenario and
+//! the 11k-node synthetic workload.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ngd_core::{paper, RuleSet};
+//! use ngd_detect::DetectorConfig;
+//! use ngd_graph::persist::SnapshotWriter;
+//! use ngd_graph::{intern, BatchUpdate};
+//! use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+//!
+//! // Ingest: freeze the figure-1 graph and write a snapshot file.
+//! let (graph, fake) = paper::figure1_g4();
+//! let path = std::env::temp_dir().join(format!("ngd-serve-doc-{}.ngds", std::process::id()));
+//! SnapshotWriter::new().write(&graph.freeze(), &path).unwrap();
+//!
+//! // Serve: daemon on an ephemeral TCP port.
+//! let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+//! let server = Server::start(
+//!     SnapshotStore::open(&path).unwrap(),
+//!     sigma,
+//!     &ServeAddr::Tcp("127.0.0.1:0".into()),
+//!     DetectorConfig::with_processors(2),
+//! )
+//! .unwrap();
+//!
+//! // Client: submit the status-edge deletion of Example 7.
+//! let mut client = ServeClient::connect(server.local_addr()).unwrap();
+//! let status = graph
+//!     .out_neighbors(fake)
+//!     .iter()
+//!     .find(|&&(_, l)| l == intern("status"))
+//!     .map(|&(n, _)| n)
+//!     .unwrap();
+//! let mut delta = BatchUpdate::new();
+//! delta.delete_edge(fake, status, intern("status"));
+//! let served = client.submit_update(&delta).unwrap();
+//! assert_eq!(served.delta.removed.len(), 1);
+//!
+//! client.shutdown_server().unwrap();
+//! drop(client);
+//! server.wait();
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod wire;
+
+pub use client::{ServeClient, ServedDelta, ServedQuery};
+pub use error::ProtocolError;
+pub use protocol::{DoneResponse, HelloResponse, Side, StatsResponse};
+pub use server::{ServeAddr, Server, SnapshotStore};

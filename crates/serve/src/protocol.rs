@@ -1,0 +1,667 @@
+//! The framed, versioned wire protocol between `ngd-serve` and its clients.
+//!
+//! Every message is one **frame**: a fixed 32-byte header followed by a
+//! length-prefixed payload, borrowing the header conventions of the
+//! snapshot format (`ngd_graph::persist::format`) — little-endian fields,
+//! an 8-byte magic, an explicit version, and the same 4-lane multiply-xor
+//! [`file_checksum`] over the payload so a damaged frame fails typed before
+//! any payload decoding runs.
+//!
+//! ```text
+//! ┌──────────────────────────────┐ offset 0
+//! │ magic `NGDWIRE\0`            │ 8 bytes
+//! │ protocol version             │ u32
+//! │ frame kind                   │ u32
+//! │ payload length               │ u64   (<= MAX_FRAME_LEN)
+//! │ payload checksum             │ u64   (file_checksum(payload))
+//! ├──────────────────────────────┤ offset 32
+//! │ payload                      │ payload-length bytes
+//! └──────────────────────────────┘
+//! ```
+//!
+//! A request/response conversation per session:
+//!
+//! * `HELLO → HELLO_OK` — handshake, server/snapshot facts;
+//! * `RULES → OK` — install a session rule set (JSON, compiled server-side);
+//! * `UPDATE → VIO_CHUNK* → UPDATE_DONE` — submit a `ΔG` batch; the server
+//!   streams `ΔVio⁺`/`ΔVio⁻` in bounded chunks as they are known and closes
+//!   with the cost ledger, so the client observes the `|ΔG|`-bounded cost;
+//! * `QUERY → VIO_CHUNK* → QUERY_DONE` — full detection on the session
+//!   state;
+//! * `STATS → STATS_OK`, `RESET → OK`, `SHUTDOWN → OK`;
+//! * any request may be answered by `ERROR` (typed code + message).
+
+use crate::error::ProtocolError;
+use crate::wire::{self, WireReader, WireWriter};
+use ngd_detect::{CostLedger, SearchStats};
+use ngd_graph::persist::file_checksum;
+use ngd_graph::BatchUpdate;
+use ngd_match::Violation;
+use std::io::{Read, Write};
+
+/// Frame magic, first 8 bytes of every frame.
+pub const MAGIC: [u8; 8] = *b"NGDWIRE\0";
+
+/// Current protocol version.  Bump on ANY frame- or payload-layout change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Frame header length in bytes.
+pub const FRAME_HEADER_LEN: usize = 32;
+
+/// Per-frame payload ceiling (prevents a corrupt length prefix from
+/// driving a giant allocation).
+pub const MAX_FRAME_LEN: u64 = 256 * 1024 * 1024;
+
+/// Violations per streamed [`VioChunk`] frame.
+pub const VIO_CHUNK_LEN: usize = 512;
+
+/// Frame kinds.  Requests are < 100, responses >= 100.
+pub mod frame {
+    /// Client handshake.
+    pub const HELLO: u32 = 1;
+    /// Install a session rule set.
+    pub const RULES: u32 = 2;
+    /// Submit a `ΔG` batch for incremental detection.
+    pub const UPDATE: u32 = 3;
+    /// Full detection over the session state.
+    pub const QUERY: u32 = 4;
+    /// Server/session statistics.
+    pub const STATS: u32 = 5;
+    /// Drop the session's accumulated update.
+    pub const RESET: u32 = 6;
+    /// Ask the daemon to shut down gracefully.
+    pub const SHUTDOWN: u32 = 7;
+
+    /// Handshake answer.
+    pub const HELLO_OK: u32 = 100;
+    /// Generic success.
+    pub const OK: u32 = 101;
+    /// One streamed chunk of violations.
+    pub const VIO_CHUNK: u32 = 102;
+    /// End of an `UPDATE` stream (ledger + stats).
+    pub const UPDATE_DONE: u32 = 103;
+    /// End of a `QUERY` stream.
+    pub const QUERY_DONE: u32 = 104;
+    /// Statistics answer.
+    pub const STATS_OK: u32 = 105;
+    /// Typed server-side failure.
+    pub const ERROR: u32 = 199;
+}
+
+/// Machine-readable codes carried by [`frame::ERROR`] frames.
+pub mod err_code {
+    /// The request payload failed to decode.
+    pub const BAD_REQUEST: u32 = 1;
+    /// The submitted batch does not apply cleanly to the session state.
+    pub const UPDATE_REJECTED: u32 = 2;
+    /// The submitted rule set failed to parse/compile.
+    pub const RULES_REJECTED: u32 = 3;
+    /// Unexpected server-side failure.
+    pub const INTERNAL: u32 = 4;
+}
+
+/// Serialize one frame onto `w`.
+pub fn write_frame(w: &mut impl Write, kind: u32, payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() as u64 > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized {
+            len: payload.len() as u64,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&kind.to_le_bytes());
+    header[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&file_checksum(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes; `Ok(false)` on a clean EOF **before the
+/// first byte**, [`ProtocolError::Truncated`] on EOF mid-buffer.
+fn read_exact_or_eof(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    already: u64,
+) -> Result<bool, ProtocolError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && already == 0 {
+                    return Ok(false);
+                }
+                return Err(ProtocolError::Truncated {
+                    expected: already + buf.len() as u64,
+                    actual: already + filled as u64,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Read and validate one frame, returning `(kind, payload)`.
+///
+/// A clean EOF between frames is [`ProtocolError::Disconnected`]; every
+/// damage mode (short header, bad magic, foreign version, oversized length
+/// prefix, short payload, checksum mismatch) is its own typed error.
+pub fn read_frame(r: &mut impl Read) -> Result<(u32, Vec<u8>), ProtocolError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header, 0)? {
+        return Err(ProtocolError::Disconnected);
+    }
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&header[0..8]);
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic { found: magic });
+    }
+    let le32 = |off: usize| u32::from_le_bytes(header[off..off + 4].try_into().expect("4B"));
+    let le64 = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().expect("8B"));
+    let version = le32(8);
+    if version != WIRE_VERSION {
+        return Err(ProtocolError::UnsupportedVersion {
+            found: version,
+            supported: WIRE_VERSION,
+        });
+    }
+    let kind = le32(12);
+    let payload_len = le64(16);
+    let stored_checksum = le64(24);
+    if payload_len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized {
+            len: payload_len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    if !payload.is_empty() && !read_exact_or_eof(r, &mut payload, FRAME_HEADER_LEN as u64)? {
+        // Unreachable (already > 0 forces Truncated), kept for clarity.
+        return Err(ProtocolError::Truncated {
+            expected: FRAME_HEADER_LEN as u64 + payload_len,
+            actual: FRAME_HEADER_LEN as u64,
+        });
+    }
+    let computed = file_checksum(&payload);
+    if computed != stored_checksum {
+        return Err(ProtocolError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+    Ok((kind, payload))
+}
+
+// ---------------------------------------------------------------------------
+// Typed messages
+// ---------------------------------------------------------------------------
+
+/// `HELLO`: the client introduces itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloRequest {
+    /// Free-form client identifier (logged by the server).
+    pub client: String,
+}
+
+impl HelloRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.client);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "HelloRequest");
+        let client = r.str()?;
+        r.finish()?;
+        Ok(HelloRequest { client })
+    }
+}
+
+/// `HELLO_OK`: server and snapshot facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloResponse {
+    /// Server identifier and version string.
+    pub server: String,
+    /// Nodes in the served snapshot.
+    pub node_count: u64,
+    /// Edges in the served snapshot.
+    pub edge_count: u64,
+    /// Fragments of the served snapshot (0 = shared/unsharded).
+    pub fragment_count: u32,
+    /// Rules compiled into the server's default rule set.
+    pub rule_count: u32,
+    /// `dΣ` of the default rule set.
+    pub diameter: u32,
+}
+
+impl HelloResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.server);
+        w.u64(self.node_count);
+        w.u64(self.edge_count);
+        w.u32(self.fragment_count);
+        w.u32(self.rule_count);
+        w.u32(self.diameter);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "HelloResponse");
+        let out = HelloResponse {
+            server: r.str()?,
+            node_count: r.u64()?,
+            edge_count: r.u64()?,
+            fragment_count: r.u32()?,
+            rule_count: r.u32()?,
+            diameter: r.u32()?,
+        };
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+/// `RULES`: a rule set in its JSON form, compiled server-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RulesRequest {
+    /// `RuleSet::to_json()` output.
+    pub rules_json: String,
+}
+
+impl RulesRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.rules_json);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "RulesRequest");
+        let rules_json = r.str()?;
+        r.finish()?;
+        Ok(RulesRequest { rules_json })
+    }
+}
+
+/// `OK`: generic success with a human-readable note.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OkResponse {
+    /// What succeeded.
+    pub message: String,
+}
+
+impl OkResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.message);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "OkResponse");
+        let message = r.str()?;
+        r.finish()?;
+        Ok(OkResponse { message })
+    }
+}
+
+/// `UPDATE`: one `ΔG` batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// The batch, relative to the session's current state.
+    pub batch: BatchUpdate,
+}
+
+impl UpdateRequest {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        wire::put_batch(&mut w, &self.batch);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "UpdateRequest");
+        let batch = wire::get_batch(&mut r)?;
+        r.finish()?;
+        Ok(UpdateRequest { batch })
+    }
+}
+
+/// Which violation stream a [`VioChunk`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// `ΔVio⁺` of an update, or the result set of a query.
+    Added,
+    /// `ΔVio⁻` of an update.
+    Removed,
+}
+
+/// `VIO_CHUNK`: one bounded chunk of a violation stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VioChunk {
+    /// Which stream the chunk extends.
+    pub side: Side,
+    /// The violations, in the set's deterministic order.
+    pub violations: Vec<Violation>,
+}
+
+impl VioChunk {
+    /// Encode a chunk directly from borrowed violations — the server's
+    /// streaming path, which must not clone each violation just to frame
+    /// it.
+    pub fn encode_refs(side: Side, violations: &[&Violation]) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u8(match side {
+            Side::Added => 0,
+            Side::Removed => 1,
+        });
+        wire::put_violations(&mut w, violations);
+        w.into_bytes()
+    }
+
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        VioChunk::encode_refs(self.side, &self.violations.iter().collect::<Vec<_>>())
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "VioChunk");
+        let side = match r.u8()? {
+            0 => Side::Added,
+            1 => Side::Removed,
+            tag => {
+                return Err(ProtocolError::Corrupt(format!(
+                    "unknown violation side {tag}"
+                )))
+            }
+        };
+        let violations = wire::get_violations(&mut r)?;
+        r.finish()?;
+        Ok(VioChunk { side, violations })
+    }
+}
+
+/// `UPDATE_DONE` / `QUERY_DONE`: the closing summary of a streamed answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoneResponse {
+    /// Paper-style algorithm label (e.g. `"PIncDect (sharded)"`).
+    pub algorithm: String,
+    /// Server-side wall-clock nanoseconds of the detection run.
+    pub elapsed_nanos: u64,
+    /// Workers used.
+    pub processors: u32,
+    /// `dΣ`-neighbourhood size (0 for queries).
+    pub neighborhood_nodes: u64,
+    /// Violations streamed on the added side.
+    pub added_total: u64,
+    /// Violations streamed on the removed side.
+    pub removed_total: u64,
+    /// Matcher statistics of the run.
+    pub stats: SearchStats,
+    /// Cost ledger of the run — `remote_fetches` included, so a client of a
+    /// sharded server observes the modelled communication cost per batch.
+    pub cost: CostLedger,
+}
+
+impl DoneResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&self.algorithm);
+        w.u64(self.elapsed_nanos);
+        w.u32(self.processors);
+        w.u64(self.neighborhood_nodes);
+        w.u64(self.added_total);
+        w.u64(self.removed_total);
+        wire::put_stats(&mut w, &self.stats);
+        wire::put_cost(&mut w, &self.cost);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "DoneResponse");
+        let out = DoneResponse {
+            algorithm: r.str()?,
+            elapsed_nanos: r.u64()?,
+            processors: r.u32()?,
+            neighborhood_nodes: r.u64()?,
+            added_total: r.u64()?,
+            removed_total: r.u64()?,
+            stats: wire::get_stats(&mut r)?,
+            cost: wire::get_cost(&mut r)?,
+        };
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+/// `STATS_OK`: a server/session snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsResponse {
+    /// Nodes in the served snapshot.
+    pub snapshot_nodes: u64,
+    /// Edges in the served snapshot.
+    pub snapshot_edges: u64,
+    /// Nodes in this session's current state (snapshot ⊕ accumulated).
+    pub session_nodes: u64,
+    /// Edges in this session's current state.
+    pub session_edges: u64,
+    /// Unit updates accumulated by this session.
+    pub accumulated_ops: u64,
+    /// Batches absorbed by this session.
+    pub batches_applied: u64,
+    /// Fragments of the served snapshot (0 = shared).
+    pub fragment_count: u32,
+    /// Sessions currently connected to the server.
+    pub sessions_active: u32,
+    /// Sessions accepted since startup.
+    pub sessions_total: u64,
+    /// Update batches served since startup (all sessions).
+    pub updates_served: u64,
+    /// Violations streamed since startup (all sessions).
+    pub violations_streamed: u64,
+}
+
+impl StatsResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.snapshot_nodes);
+        w.u64(self.snapshot_edges);
+        w.u64(self.session_nodes);
+        w.u64(self.session_edges);
+        w.u64(self.accumulated_ops);
+        w.u64(self.batches_applied);
+        w.u32(self.fragment_count);
+        w.u32(self.sessions_active);
+        w.u64(self.sessions_total);
+        w.u64(self.updates_served);
+        w.u64(self.violations_streamed);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "StatsResponse");
+        let out = StatsResponse {
+            snapshot_nodes: r.u64()?,
+            snapshot_edges: r.u64()?,
+            session_nodes: r.u64()?,
+            session_edges: r.u64()?,
+            accumulated_ops: r.u64()?,
+            batches_applied: r.u64()?,
+            fragment_count: r.u32()?,
+            sessions_active: r.u32()?,
+            sessions_total: r.u64()?,
+            updates_served: r.u64()?,
+            violations_streamed: r.u64()?,
+        };
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+/// `ERROR`: typed server-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorResponse {
+    /// One of [`err_code`].
+    pub code: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ErrorResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u32(self.code);
+        w.str(&self.message);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "ErrorResponse");
+        let code = r.u32()?;
+        let message = r.str()?;
+        r.finish()?;
+        Ok(ErrorResponse { code, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngd_graph::{intern, NodeId};
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf: Vec<u8> = Vec::new();
+        let hello = HelloRequest {
+            client: "test-client".into(),
+        };
+        write_frame(&mut buf, frame::HELLO, &hello.encode()).unwrap();
+        let chunk = VioChunk {
+            side: Side::Removed,
+            violations: vec![Violation::new("phi4", vec![NodeId(3), NodeId(5)])],
+        };
+        write_frame(&mut buf, frame::VIO_CHUNK, &chunk.encode()).unwrap();
+
+        let mut cursor = std::io::Cursor::new(buf);
+        let (kind, payload) = read_frame(&mut cursor).unwrap();
+        assert_eq!(kind, frame::HELLO);
+        assert_eq!(HelloRequest::decode(&payload).unwrap(), hello);
+        let (kind, payload) = read_frame(&mut cursor).unwrap();
+        assert_eq!(kind, frame::VIO_CHUNK);
+        assert_eq!(VioChunk::decode(&payload).unwrap(), chunk);
+        assert_eq!(read_frame(&mut cursor), Err(ProtocolError::Disconnected));
+    }
+
+    #[test]
+    fn every_message_type_round_trips() {
+        let hello_ok = HelloResponse {
+            server: "ngd-serve/0.1".into(),
+            node_count: 11_000,
+            edge_count: 40_000,
+            fragment_count: 4,
+            rule_count: 7,
+            diameter: 3,
+        };
+        assert_eq!(HelloResponse::decode(&hello_ok.encode()).unwrap(), hello_ok);
+
+        let mut batch = BatchUpdate::new();
+        batch.delete_edge(NodeId(1), NodeId(2), intern("status"));
+        let update = UpdateRequest { batch };
+        assert_eq!(UpdateRequest::decode(&update.encode()).unwrap(), update);
+
+        let done = DoneResponse {
+            algorithm: "PIncDect (sharded)".into(),
+            elapsed_nanos: 12345,
+            processors: 4,
+            neighborhood_nodes: 17,
+            added_total: 2,
+            removed_total: 1,
+            stats: SearchStats {
+                expanded: 4,
+                candidates_inspected: 40,
+                matches_found: 3,
+            },
+            cost: {
+                let mut c = CostLedger::default();
+                c.record_remote(9, 60.0);
+                c
+            },
+        };
+        let back = DoneResponse::decode(&done.encode()).unwrap();
+        assert_eq!(back, done);
+        assert_eq!(back.cost.remote_fetches, 9);
+
+        let stats = StatsResponse {
+            snapshot_nodes: 1,
+            snapshot_edges: 2,
+            session_nodes: 3,
+            session_edges: 4,
+            accumulated_ops: 5,
+            batches_applied: 6,
+            fragment_count: 7,
+            sessions_active: 8,
+            sessions_total: 9,
+            updates_served: 10,
+            violations_streamed: 11,
+        };
+        assert_eq!(StatsResponse::decode(&stats.encode()).unwrap(), stats);
+
+        let err = ErrorResponse {
+            code: err_code::UPDATE_REJECTED,
+            message: "delete of missing edge".into(),
+        };
+        assert_eq!(ErrorResponse::decode(&err.encode()).unwrap(), err);
+
+        let rules = RulesRequest {
+            rules_json: "[]".into(),
+        };
+        assert_eq!(RulesRequest::decode(&rules.encode()).unwrap(), rules);
+        let ok = OkResponse {
+            message: "rules compiled".into(),
+        };
+        assert_eq!(OkResponse::decode(&ok.encode()).unwrap(), ok);
+    }
+
+    #[test]
+    fn an_oversized_length_prefix_fails_before_allocating() {
+        // Craft a header claiming a petabyte payload: read_frame must fail
+        // typed on the length check, not attempt the allocation.
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[0..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&frame::OK.to_le_bytes());
+        header[16..24].copy_from_slice(&(1u64 << 50).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(header.to_vec());
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Oversized {
+                len: 1u64 << 50,
+                max: MAX_FRAME_LEN,
+            })
+        );
+    }
+}

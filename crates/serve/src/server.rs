@@ -1,0 +1,631 @@
+//! The long-lived detection daemon.
+//!
+//! A [`Server`] mmaps one snapshot file (shared or sharded — the kind is
+//! auto-detected), compiles a default rule set, binds a Unix-domain or TCP
+//! listener, and serves each accepted connection on its own OS thread.
+//! Every connection owns an incremental-detection session
+//! ([`ngd_detect::IncrementalSession`] / [`ShardedIncrementalSession`])
+//! whose [`DeltaOverlay`](ngd_graph::DeltaOverlay)s are rebased on the
+//! **shared** mapped snapshot: the `GraphView` split keeps the read path
+//! lock-free across sessions, so concurrency costs no copies of `G`.
+//!
+//! Graceful shutdown: a `SHUTDOWN` frame stops the accept loop; live
+//! sessions drain as their connections close, and [`Server::wait`] /
+//! [`Server::shutdown`] join every session thread before returning.
+
+use crate::error::ProtocolError;
+use crate::protocol::{
+    err_code, frame, read_frame, write_frame, DoneResponse, ErrorResponse, HelloRequest,
+    HelloResponse, OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest, VioChunk,
+    VIO_CHUNK_LEN,
+};
+use ngd_core::RuleSet;
+use ngd_detect::{
+    DeltaReport, DetectionReport, DetectorConfig, IncrementalSession, ShardedIncrementalSession,
+};
+use ngd_graph::persist::{MmapShardedSnapshot, MmapSnapshot, PersistError};
+use ngd_graph::{BatchUpdate, GraphView, UpdateError};
+use ngd_match::Violation;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Where a server listens / a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// A Unix-domain socket path (`unix:/run/ngd.sock`).
+    Unix(PathBuf),
+    /// A TCP host:port (`tcp:127.0.0.1:7411`).
+    Tcp(String),
+}
+
+impl ServeAddr {
+    /// Parse `unix:<path>` or `tcp:<host>:<port>`.
+    pub fn parse(text: &str) -> Result<ServeAddr, ProtocolError> {
+        if let Some(path) = text.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ProtocolError::Corrupt("empty unix socket path".into()));
+            }
+            Ok(ServeAddr::Unix(PathBuf::from(path)))
+        } else if let Some(addr) = text.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err(ProtocolError::Corrupt("empty tcp address".into()));
+            }
+            Ok(ServeAddr::Tcp(addr.to_string()))
+        } else {
+            Err(ProtocolError::Corrupt(format!(
+                "address `{text}` must start with `unix:` or `tcp:`"
+            )))
+        }
+    }
+}
+
+impl std::fmt::Display for ServeAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ServeAddr::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// The mapped snapshot a server holds — shared or sharded, auto-detected.
+#[derive(Debug)]
+pub enum SnapshotStore {
+    /// One [`MmapSnapshot`], served through the shared-snapshot detectors.
+    Shared(MmapSnapshot),
+    /// One [`MmapShardedSnapshot`], served with one worker per fragment.
+    Sharded(MmapShardedSnapshot),
+}
+
+impl SnapshotStore {
+    /// Map `path`, accepting either snapshot kind.
+    pub fn open(path: &Path) -> Result<SnapshotStore, PersistError> {
+        match MmapSnapshot::load(path) {
+            Ok(snapshot) => Ok(SnapshotStore::Shared(snapshot)),
+            Err(PersistError::WrongKind { .. }) => {
+                Ok(SnapshotStore::Sharded(MmapShardedSnapshot::load(path)?))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Nodes in the snapshot.
+    pub fn node_count(&self) -> usize {
+        match self {
+            SnapshotStore::Shared(s) => GraphView::node_count(s),
+            SnapshotStore::Sharded(s) => GraphView::node_count(s.global()),
+        }
+    }
+
+    /// Edges in the snapshot.
+    pub fn edge_count(&self) -> usize {
+        match self {
+            SnapshotStore::Shared(s) => GraphView::edge_count(s),
+            SnapshotStore::Sharded(s) => GraphView::edge_count(s.global()),
+        }
+    }
+
+    /// Fragments (0 for a shared snapshot).
+    pub fn fragment_count(&self) -> usize {
+        match self {
+            SnapshotStore::Shared(_) => 0,
+            SnapshotStore::Sharded(s) => s.fragment_count(),
+        }
+    }
+}
+
+/// Per-connection session state over either store shape.
+enum SessionState<'a> {
+    Shared(IncrementalSession<'a, MmapSnapshot>),
+    Sharded(ShardedIncrementalSession<'a, MmapShardedSnapshot>),
+}
+
+impl<'a> SessionState<'a> {
+    fn new(store: &'a SnapshotStore) -> Self {
+        match store {
+            SnapshotStore::Shared(s) => SessionState::Shared(IncrementalSession::new(s)),
+            SnapshotStore::Sharded(s) => SessionState::Sharded(ShardedIncrementalSession::new(s)),
+        }
+    }
+
+    fn apply(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+    ) -> Result<DeltaReport, UpdateError> {
+        match self {
+            SessionState::Shared(s) => s.apply(sigma, delta, config),
+            SessionState::Sharded(s) => s.apply(sigma, delta, config),
+        }
+    }
+
+    fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
+        match self {
+            SessionState::Shared(s) => s.detect_all(sigma),
+            SessionState::Sharded(s) => s.detect_all(sigma),
+        }
+    }
+
+    fn state_counts(&self) -> (usize, usize) {
+        match self {
+            SessionState::Shared(s) => {
+                let view = s.view();
+                (GraphView::node_count(&view), GraphView::edge_count(&view))
+            }
+            SessionState::Sharded(s) => {
+                let view = s.view();
+                (GraphView::node_count(&view), GraphView::edge_count(&view))
+            }
+        }
+    }
+
+    fn accumulated_ops(&self) -> u64 {
+        match self {
+            SessionState::Shared(s) => s.accumulated().len() as u64,
+            SessionState::Sharded(s) => s.accumulated().len() as u64,
+        }
+    }
+
+    fn batches_applied(&self) -> u64 {
+        match self {
+            SessionState::Shared(s) => s.batches_applied(),
+            SessionState::Sharded(s) => s.batches_applied(),
+        }
+    }
+
+    fn reset(&mut self) -> BatchUpdate {
+        match self {
+            SessionState::Shared(s) => s.reset(),
+            SessionState::Sharded(s) => s.reset(),
+        }
+    }
+}
+
+/// Shared server state behind the `Arc` every session thread clones.
+struct Shared {
+    store: SnapshotStore,
+    /// The immutable server-wide default rule set; sessions that want a
+    /// different one swap their own copy via the `RULES` frame.
+    sigma: Arc<RuleSet>,
+    detector: DetectorConfig,
+    server_name: String,
+    shutdown: AtomicBool,
+    sessions_active: AtomicUsize,
+    sessions_total: AtomicU64,
+    updates_served: AtomicU64,
+    violations_streamed: AtomicU64,
+}
+
+/// A running detection daemon; dropping it **without** calling
+/// [`Server::wait`] / [`Server::shutdown`] aborts the accept loop.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    local: ServeAddr,
+    /// Unix socket path to unlink once the server is done.
+    cleanup: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind `addr` and start serving `store` with `sigma` as the default
+    /// rule set.
+    ///
+    /// `tcp:host:0` binds an ephemeral port; the actual address is
+    /// reported by [`Server::local_addr`].
+    pub fn start(
+        store: SnapshotStore,
+        sigma: RuleSet,
+        addr: &ServeAddr,
+        detector: DetectorConfig,
+    ) -> Result<Server, ProtocolError> {
+        let shared = Arc::new(Shared {
+            store,
+            sigma: Arc::new(sigma),
+            detector,
+            server_name: format!("ngd-serve/{}", env!("CARGO_PKG_VERSION")),
+            shutdown: AtomicBool::new(false),
+            sessions_active: AtomicUsize::new(0),
+            sessions_total: AtomicU64::new(0),
+            updates_served: AtomicU64::new(0),
+            violations_streamed: AtomicU64::new(0),
+        });
+        let (listener, local, cleanup) = AnyListener::bind(addr)?;
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ngd-serve-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))
+            .map_err(|e| ProtocolError::Io(e.to_string()))?;
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            local,
+            cleanup,
+        })
+    }
+
+    /// The address the server actually listens on (ephemeral TCP ports
+    /// resolved).
+    pub fn local_addr(&self) -> &ServeAddr {
+        &self.local
+    }
+
+    /// Has a `SHUTDOWN` frame (or [`Server::shutdown`]) been processed?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Block until the server shuts down (via a client `SHUTDOWN` frame),
+    /// then join every session thread.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Request shutdown and join every session thread.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(path) = self.cleanup.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+enum AnyListener {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(TcpListener),
+}
+
+enum AnyStream {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.read(buf),
+            AnyStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.write(buf),
+            AnyStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.flush(),
+            AnyStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl AnyListener {
+    fn bind(addr: &ServeAddr) -> Result<(AnyListener, ServeAddr, Option<PathBuf>), ProtocolError> {
+        match addr {
+            ServeAddr::Unix(path) => {
+                #[cfg(unix)]
+                {
+                    // A stale socket file from a crashed daemon blocks the
+                    // bind; remove it (connect() on a live one would race,
+                    // but single-daemon-per-path is the deployment contract).
+                    let _ = std::fs::remove_file(path);
+                    let listener = std::os::unix::net::UnixListener::bind(path)
+                        .map_err(|e| ProtocolError::Io(format!("bind {}: {e}", path.display())))?;
+                    listener
+                        .set_nonblocking(true)
+                        .map_err(|e| ProtocolError::Io(e.to_string()))?;
+                    Ok((
+                        AnyListener::Unix(listener),
+                        ServeAddr::Unix(path.clone()),
+                        Some(path.clone()),
+                    ))
+                }
+                #[cfg(not(unix))]
+                {
+                    Err(ProtocolError::Io(format!(
+                        "unix sockets are not available on this host (asked for {})",
+                        path.display()
+                    )))
+                }
+            }
+            ServeAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)
+                    .map_err(|e| ProtocolError::Io(format!("bind {spec}: {e}")))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| ProtocolError::Io(e.to_string()))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| ProtocolError::Io(e.to_string()))?;
+                Ok((
+                    AnyListener::Tcp(listener),
+                    ServeAddr::Tcp(local.to_string()),
+                    None,
+                ))
+            }
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<AnyStream> {
+        match self {
+            #[cfg(unix)]
+            AnyListener::Unix(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nonblocking(false);
+                AnyStream::Unix(s)
+            }),
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_nodelay(true);
+                AnyStream::Tcp(s)
+            }),
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: AnyListener) {
+    let sessions: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                let session_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name("ngd-serve-session".into())
+                    .spawn(move || {
+                        session_shared.sessions_total.fetch_add(1, Ordering::SeqCst);
+                        session_shared
+                            .sessions_active
+                            .fetch_add(1, Ordering::SeqCst);
+                        let mut stream = stream;
+                        let _ = run_session(&session_shared, &mut stream);
+                        session_shared
+                            .sessions_active
+                            .fetch_sub(1, Ordering::SeqCst);
+                    });
+                match spawned {
+                    Ok(handle) => sessions.lock().expect("session list lock").push(handle),
+                    // Thread exhaustion rejects ONE connection (dropping the
+                    // stream hangs it up); the daemon itself must survive.
+                    Err(e) => eprintln!("ngd-serve: cannot spawn session thread: {e}"),
+                }
+                // Reap finished sessions as we go — a long-lived daemon
+                // serving many short connections must not accumulate one
+                // JoinHandle per connection until shutdown.
+                let mut guard = sessions.lock().expect("session list lock");
+                let mut live = Vec::with_capacity(guard.len());
+                for handle in guard.drain(..) {
+                    if handle.is_finished() {
+                        let _ = handle.join();
+                    } else {
+                        live.push(handle);
+                    }
+                }
+                *guard = live;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // Drain: live sessions end when their connections close.
+    for handle in sessions.into_inner().expect("session list lock") {
+        let _ = handle.join();
+    }
+}
+
+/// Send an `ERROR` frame (best-effort — the peer may already be gone).
+fn send_error(stream: &mut AnyStream, code: u32, message: String) {
+    let payload = ErrorResponse { code, message }.encode();
+    let _ = write_frame(stream, frame::ERROR, &payload);
+}
+
+/// Stream a violation iterator as bounded `VIO_CHUNK` frames, encoding
+/// each chunk straight from the borrowed set (no per-violation clones).
+fn stream_violations<'v>(
+    stream: &mut AnyStream,
+    side: Side,
+    violations: impl Iterator<Item = &'v Violation>,
+) -> Result<u64, ProtocolError> {
+    let mut total = 0u64;
+    let mut chunk: Vec<&'v Violation> = Vec::with_capacity(VIO_CHUNK_LEN);
+    for violation in violations {
+        chunk.push(violation);
+        if chunk.len() == VIO_CHUNK_LEN {
+            total += chunk.len() as u64;
+            write_frame(
+                stream,
+                frame::VIO_CHUNK,
+                &VioChunk::encode_refs(side, &chunk),
+            )?;
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        total += chunk.len() as u64;
+        write_frame(
+            stream,
+            frame::VIO_CHUNK,
+            &VioChunk::encode_refs(side, &chunk),
+        )?;
+    }
+    Ok(total)
+}
+
+/// One connection's request loop.
+fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolError> {
+    let mut state = SessionState::new(&shared.store);
+    let mut sigma: Arc<RuleSet> = Arc::clone(&shared.sigma);
+    loop {
+        let (kind, payload) = match read_frame(stream) {
+            Ok(frame) => frame,
+            Err(ProtocolError::Disconnected) => return Ok(()),
+            Err(e) => {
+                // Framing is broken — the stream cannot be trusted any
+                // further.  Tell the peer why (best-effort) and close.
+                send_error(stream, err_code::BAD_REQUEST, e.to_string());
+                return Err(e);
+            }
+        };
+        match kind {
+            frame::HELLO => {
+                let _hello = match HelloRequest::decode(&payload) {
+                    Ok(h) => h,
+                    Err(e) => {
+                        send_error(stream, err_code::BAD_REQUEST, e.to_string());
+                        continue;
+                    }
+                };
+                let response = HelloResponse {
+                    server: shared.server_name.clone(),
+                    node_count: shared.store.node_count() as u64,
+                    edge_count: shared.store.edge_count() as u64,
+                    fragment_count: shared.store.fragment_count() as u32,
+                    rule_count: sigma.len() as u32,
+                    diameter: sigma.diameter() as u32,
+                };
+                write_frame(stream, frame::HELLO_OK, &response.encode())?;
+            }
+            frame::RULES => {
+                let request = match RulesRequest::decode(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        send_error(stream, err_code::BAD_REQUEST, e.to_string());
+                        continue;
+                    }
+                };
+                match RuleSet::from_json(&request.rules_json) {
+                    Ok(rules) => {
+                        let message = format!(
+                            "compiled {} rule(s), dΣ = {}",
+                            rules.len(),
+                            rules.diameter()
+                        );
+                        sigma = Arc::new(rules);
+                        write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
+                    }
+                    Err(e) => {
+                        send_error(stream, err_code::RULES_REJECTED, e.to_string());
+                    }
+                }
+            }
+            frame::UPDATE => {
+                let request = match UpdateRequest::decode(&payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        send_error(stream, err_code::BAD_REQUEST, e.to_string());
+                        continue;
+                    }
+                };
+                match state.apply(&sigma, &request.batch, &shared.detector) {
+                    Ok(report) => {
+                        let added =
+                            stream_violations(stream, Side::Added, report.delta.added.iter())?;
+                        let removed =
+                            stream_violations(stream, Side::Removed, report.delta.removed.iter())?;
+                        shared.updates_served.fetch_add(1, Ordering::SeqCst);
+                        shared
+                            .violations_streamed
+                            .fetch_add(added + removed, Ordering::SeqCst);
+                        let done = DoneResponse {
+                            algorithm: report.algorithm.label().to_string(),
+                            elapsed_nanos: report.elapsed.as_nanos() as u64,
+                            processors: report.processors as u32,
+                            neighborhood_nodes: report.neighborhood_nodes as u64,
+                            added_total: added,
+                            removed_total: removed,
+                            stats: report.stats,
+                            cost: report.cost,
+                        };
+                        write_frame(stream, frame::UPDATE_DONE, &done.encode())?;
+                    }
+                    Err(e) => {
+                        send_error(stream, err_code::UPDATE_REJECTED, e.to_string());
+                    }
+                }
+            }
+            frame::QUERY => {
+                let report = state.detect_all(&sigma);
+                let total = stream_violations(stream, Side::Added, report.violations.iter())?;
+                shared
+                    .violations_streamed
+                    .fetch_add(total, Ordering::SeqCst);
+                let done = DoneResponse {
+                    algorithm: report.algorithm.label().to_string(),
+                    elapsed_nanos: report.elapsed.as_nanos() as u64,
+                    processors: report.processors as u32,
+                    neighborhood_nodes: 0,
+                    added_total: total,
+                    removed_total: 0,
+                    stats: report.stats,
+                    cost: report.cost,
+                };
+                write_frame(stream, frame::QUERY_DONE, &done.encode())?;
+            }
+            frame::STATS => {
+                let (session_nodes, session_edges) = state.state_counts();
+                let response = StatsResponse {
+                    snapshot_nodes: shared.store.node_count() as u64,
+                    snapshot_edges: shared.store.edge_count() as u64,
+                    session_nodes: session_nodes as u64,
+                    session_edges: session_edges as u64,
+                    accumulated_ops: state.accumulated_ops(),
+                    batches_applied: state.batches_applied(),
+                    fragment_count: shared.store.fragment_count() as u32,
+                    sessions_active: shared.sessions_active.load(Ordering::SeqCst) as u32,
+                    sessions_total: shared.sessions_total.load(Ordering::SeqCst),
+                    updates_served: shared.updates_served.load(Ordering::SeqCst),
+                    violations_streamed: shared.violations_streamed.load(Ordering::SeqCst),
+                };
+                write_frame(stream, frame::STATS_OK, &response.encode())?;
+            }
+            frame::RESET => {
+                let dropped = state.reset();
+                let message = format!("dropped {} accumulated unit update(s)", dropped.len());
+                write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
+            }
+            frame::SHUTDOWN => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let message = "shutting down: accept loop stopped, sessions draining".to_string();
+                write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
+                return Ok(());
+            }
+            other => {
+                send_error(
+                    stream,
+                    err_code::BAD_REQUEST,
+                    ProtocolError::UnknownFrame { kind: other }.to_string(),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Protocol corruption battery.
+//!
+//! Every way a frame can be damaged, stale or hostile must surface as a
+//! *distinct typed* [`ProtocolError`] — never a panic, never a giant
+//! allocation, never silent acceptance.  Mirrors the snapshot format's
+//! corruption battery (`tests/persist_format.rs`), with the additional
+//! transport modes a socket has: mid-stream disconnects and a live server
+//! fed garbage.
+
+use ngd_serve::protocol::{
+    frame, read_frame, write_frame, HelloRequest, UpdateRequest, VioChunk, FRAME_HEADER_LEN,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
+use ngd_serve::ProtocolError;
+use std::io::Cursor;
+
+/// One well-formed HELLO frame as bytes.
+fn good_frame() -> Vec<u8> {
+    let mut buf = Vec::new();
+    let hello = HelloRequest {
+        client: "corruption-battery".into(),
+    };
+    write_frame(&mut buf, frame::HELLO, &hello.encode()).unwrap();
+    buf
+}
+
+#[test]
+fn clean_eof_between_frames_is_disconnected() {
+    let mut cursor = Cursor::new(Vec::<u8>::new());
+    assert_eq!(read_frame(&mut cursor), Err(ProtocolError::Disconnected));
+}
+
+#[test]
+fn every_header_truncation_is_typed() {
+    let bytes = good_frame();
+    for cut in 1..FRAME_HEADER_LEN {
+        let mut cursor = Cursor::new(bytes[..cut].to_vec());
+        assert_eq!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::Truncated {
+                expected: FRAME_HEADER_LEN as u64,
+                actual: cut as u64,
+            }),
+            "header cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn every_payload_truncation_is_typed() {
+    let bytes = good_frame();
+    for cut in FRAME_HEADER_LEN..bytes.len() {
+        let mut cursor = Cursor::new(bytes[..cut].to_vec());
+        match read_frame(&mut cursor) {
+            Err(ProtocolError::Truncated { expected, actual }) => {
+                assert_eq!(expected, bytes.len() as u64, "payload cut at {cut}");
+                assert_eq!(actual, cut as u64);
+            }
+            other => panic!("payload cut at {cut}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected_with_the_found_bytes() {
+    let mut bytes = good_frame();
+    bytes[0..8].copy_from_slice(b"HTTP/1.1");
+    let mut cursor = Cursor::new(bytes);
+    assert_eq!(
+        read_frame(&mut cursor),
+        Err(ProtocolError::BadMagic {
+            found: *b"HTTP/1.1"
+        })
+    );
+}
+
+#[test]
+fn future_versions_are_rejected_with_both_versions() {
+    let mut bytes = good_frame();
+    bytes[8..12].copy_from_slice(&(WIRE_VERSION + 7).to_le_bytes());
+    let mut cursor = Cursor::new(bytes);
+    assert_eq!(
+        read_frame(&mut cursor),
+        Err(ProtocolError::UnsupportedVersion {
+            found: WIRE_VERSION + 7,
+            supported: WIRE_VERSION,
+        })
+    );
+}
+
+#[test]
+fn oversized_length_prefix_fails_before_allocation() {
+    // Claim a payload far beyond the ceiling; the reader must refuse on the
+    // length field alone (this test would OOM otherwise).
+    let mut bytes = good_frame();
+    bytes[16..24].copy_from_slice(&(1u64 << 56).to_le_bytes());
+    let mut cursor = Cursor::new(bytes);
+    assert_eq!(
+        read_frame(&mut cursor),
+        Err(ProtocolError::Oversized {
+            len: 1u64 << 56,
+            max: MAX_FRAME_LEN,
+        })
+    );
+}
+
+#[test]
+fn every_single_flipped_payload_bit_is_caught_by_the_checksum() {
+    let bytes = good_frame();
+    for bit in 0..(bytes.len() - FRAME_HEADER_LEN) * 8 {
+        let mut damaged = bytes.clone();
+        damaged[FRAME_HEADER_LEN + bit / 8] ^= 1 << (bit % 8);
+        let mut cursor = Cursor::new(damaged);
+        assert!(
+            matches!(
+                read_frame(&mut cursor),
+                Err(ProtocolError::ChecksumMismatch { .. })
+            ),
+            "flipped payload bit {bit} escaped the checksum"
+        );
+    }
+}
+
+#[test]
+fn a_checksum_correct_but_structurally_damaged_payload_is_corrupt() {
+    // Valid frame whose payload is one byte short for its own length
+    // prefix: framing accepts it, the payload decoder must reject it.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&100u32.to_le_bytes()); // string length 100 …
+    payload.extend_from_slice(b"short"); // … but only 5 bytes follow
+    let mut buf = Vec::new();
+    write_frame(&mut buf, frame::HELLO, &payload).unwrap();
+    let mut cursor = Cursor::new(buf);
+    let (kind, payload) = read_frame(&mut cursor).unwrap();
+    assert_eq!(kind, frame::HELLO);
+    assert!(matches!(
+        HelloRequest::decode(&payload),
+        Err(ProtocolError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn trailing_garbage_after_a_message_is_corrupt() {
+    let hello = HelloRequest { client: "x".into() };
+    let mut payload = hello.encode();
+    payload.push(0xAB);
+    assert!(matches!(
+        HelloRequest::decode(&payload),
+        Err(ProtocolError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn crafted_record_counts_fail_typed_not_oom() {
+    // An UpdateRequest claiming u32::MAX new nodes in a tiny payload.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        UpdateRequest::decode(&payload),
+        Err(ProtocolError::Corrupt(_))
+    ));
+    // A VioChunk claiming u32::MAX violations.
+    let mut payload = vec![0u8];
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        VioChunk::decode(&payload),
+        Err(ProtocolError::Corrupt(_))
+    ));
+}
+
+#[test]
+fn unknown_value_and_side_tags_are_corrupt() {
+    // VioChunk side tag 9.
+    let mut payload = vec![9u8];
+    payload.extend_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        VioChunk::decode(&payload),
+        Err(ProtocolError::Corrupt(_))
+    ));
+}
+
+/// The live-transport half of the battery: a real server fed each damage
+/// mode must answer with a typed `ERROR` frame (or close), never panic,
+/// and keep serving well-formed peers afterwards.
+mod live_server {
+    use super::*;
+    use ngd_core::{paper, RuleSet};
+    use ngd_detect::DetectorConfig;
+    use ngd_graph::persist::SnapshotWriter;
+    use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    fn start_server() -> (Server, std::path::PathBuf) {
+        let path = std::env::temp_dir().join(format!(
+            "ngd-corrupt-{}-{:?}.ngds",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let (graph, _) = paper::figure1_g4();
+        SnapshotWriter::new()
+            .write(&graph.freeze(), &path)
+            .expect("snapshot writes");
+        let server = Server::start(
+            SnapshotStore::open(&path).expect("snapshot maps"),
+            RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]),
+            &ServeAddr::Tcp("127.0.0.1:0".into()),
+            DetectorConfig::with_processors(2),
+        )
+        .expect("server starts");
+        (server, path)
+    }
+
+    fn tcp_addr(server: &Server) -> String {
+        match server.local_addr() {
+            ServeAddr::Tcp(spec) => spec.clone(),
+            other => panic!("expected tcp, got {other}"),
+        }
+    }
+
+    #[test]
+    fn garbage_and_mid_stream_disconnects_do_not_kill_the_server() {
+        let (server, path) = start_server();
+        let addr = tcp_addr(&server);
+
+        // 1: raw garbage — server answers ERROR and closes.
+        {
+            let mut raw = TcpStream::connect(&addr).unwrap();
+            raw.write_all(b"GET / HTTP/1.1\r\n\r\n".as_slice()).unwrap();
+            raw.write_all(&[0u8; 64]).unwrap();
+            // Either an ERROR frame arrives or the connection closes; both
+            // are acceptable — what matters is the server survives.
+            let mut sink = Vec::new();
+            let _ = raw.read_to_end(&mut sink);
+        }
+
+        // 2: a clean header, then a mid-payload hangup.
+        {
+            let mut raw = TcpStream::connect(&addr).unwrap();
+            let hello = HelloRequest {
+                client: "will hang up".into(),
+            }
+            .encode();
+            let mut framed = Vec::new();
+            write_frame(&mut framed, frame::HELLO, &hello).unwrap();
+            raw.write_all(&framed[..framed.len() - 3]).unwrap();
+            drop(raw); // mid-stream disconnect
+        }
+
+        // 3: a well-formed client still gets served afterwards.
+        let addr = ServeAddr::Tcp(addr);
+        let mut client = ServeClient::connect(&addr).expect("server still accepts");
+        let stats = client.stats().expect("server still answers");
+        assert!(stats.snapshot_nodes > 0);
+        client.shutdown_server().unwrap();
+        drop(client);
+        server.wait();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_rejected_batch_is_a_typed_remote_error_and_the_session_survives() {
+        let (server, path) = start_server();
+        let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+        // Delete an edge that does not exist: server must answer with a
+        // typed UPDATE_REJECTED error, not a panic, and keep the session.
+        let mut bad = ngd_graph::BatchUpdate::new();
+        bad.delete_edge(
+            ngd_graph::NodeId(0),
+            ngd_graph::NodeId(1),
+            ngd_graph::intern("no-such-edge"),
+        );
+        match client.submit_update(&bad) {
+            Err(ProtocolError::Remote { code, message }) => {
+                assert_eq!(code, ngd_serve::protocol::err_code::UPDATE_REJECTED);
+                assert!(message.contains("missing"), "{message}");
+            }
+            other => panic!("expected a typed remote error, got {other:?}"),
+        }
+        // The same session still answers queries.
+        let query = client.query().expect("session survives a rejected batch");
+        assert_eq!(query.violations.len(), 1);
+
+        client.shutdown_server().unwrap();
+        drop(client);
+        server.wait();
+        std::fs::remove_file(&path).ok();
+    }
+}

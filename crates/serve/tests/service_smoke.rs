@@ -1,0 +1,186 @@
+//! Service smoke test: a daemon over a Unix-domain socket serving
+//! concurrent sessions, session isolation, rule swaps, reset and graceful
+//! shutdown.  (The full per-scenario byte-identity battery lives in the
+//! workspace integration tests, `tests/serve_equivalence.rs`.)
+
+#![cfg(unix)]
+
+use ngd_core::{paper, RuleSet};
+use ngd_detect::{pinc_dect, DetectorConfig};
+use ngd_graph::persist::SnapshotWriter;
+use ngd_graph::{intern, BatchUpdate, PartitionStrategy};
+use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "ngd-smoke-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+#[test]
+fn unix_socket_daemon_serves_concurrent_sessions_byte_identically() {
+    let (graph, fake) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let snap_path = temp_path("snap.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+
+    let sock_path = temp_path("sock");
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).expect("snapshot maps"),
+        sigma.clone(),
+        &ServeAddr::Unix(sock_path.clone()),
+        DetectorConfig::with_processors(2),
+    )
+    .expect("server starts on a unix socket");
+    let addr = server.local_addr().clone();
+
+    // The batch every session submits: delete the fake account's status
+    // edge (removes the figure-1 violation).
+    let status = graph
+        .out_neighbors(fake)
+        .iter()
+        .find(|&&(_, l)| l == intern("status"))
+        .map(|&(n, _)| n)
+        .unwrap();
+    let mut delta = BatchUpdate::new();
+    delta.delete_edge(fake, status, intern("status"));
+
+    let reference = pinc_dect(&sigma, &graph, &delta, &DetectorConfig::with_processors(2));
+
+    // Three concurrent sessions, each with its own overlay over the one
+    // shared mapping; all must get the byte-identical answer.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let addr = addr.clone();
+                let delta = delta.clone();
+                let expected = reference.delta.clone();
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_as(&addr, &format!("smoke-{i}")).unwrap();
+                    let served = client.submit_update(&delta).unwrap();
+                    assert_eq!(served.delta, expected, "session {i}");
+                    assert_eq!(
+                        ngd_json::to_string(&served.delta),
+                        ngd_json::to_string(&expected),
+                        "session {i}: serialized deltas differ"
+                    );
+                    // Sessions are isolated: each accumulated exactly one op.
+                    let stats = client.stats().unwrap();
+                    assert_eq!(stats.accumulated_ops, 1, "session {i}");
+                    assert_eq!(stats.batches_applied, 1, "session {i}");
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("session thread");
+        }
+    });
+
+    // Server-wide counters saw all three sessions.
+    let mut client = ServeClient::connect(&addr).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.updates_served, 3);
+    assert!(stats.sessions_total >= 4);
+    assert_eq!(stats.violations_streamed, 3 * reference.delta.len() as u64);
+
+    // Reset + re-submit on a fresh session: same answer again.
+    let served = client.submit_update(&delta).unwrap();
+    assert_eq!(served.delta, reference.delta);
+    client.reset().unwrap();
+    let served = client.submit_update(&delta).unwrap();
+    assert_eq!(served.delta, reference.delta);
+
+    client.shutdown_server().unwrap();
+    assert!(server.is_shutting_down());
+    drop(client);
+    server.wait();
+    assert!(!sock_path.exists(), "socket file is cleaned up");
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn sharded_snapshots_serve_with_per_fragment_workers_and_report_remote_fetches() {
+    let (graph, fake) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let snap_path = temp_path("sharded.ngds");
+    // Halo 0 forces cross-fragment candidate fetches, which must surface in
+    // the served cost ledger.
+    let sharded = graph.freeze_sharded(3, PartitionStrategy::EdgeCut, 0);
+    SnapshotWriter::new()
+        .write_sharded(&sharded, &snap_path)
+        .expect("sharded snapshot writes");
+
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).expect("auto-detects the sharded kind"),
+        sigma.clone(),
+        &ServeAddr::Unix(temp_path("sharded-sock")),
+        DetectorConfig::default(),
+    )
+    .expect("server starts");
+
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.server_info().fragment_count, 3);
+
+    let status = graph
+        .out_neighbors(fake)
+        .iter()
+        .find(|&&(_, l)| l == intern("status"))
+        .map(|&(n, _)| n)
+        .unwrap();
+    let mut delta = BatchUpdate::new();
+    delta.delete_edge(fake, status, intern("status"));
+
+    let reference = pinc_dect(&sigma, &graph, &delta, &DetectorConfig::default());
+    let served = client.submit_update(&delta).unwrap();
+    assert_eq!(served.delta, reference.delta);
+    assert_eq!(served.done.algorithm, "PIncDect (sharded)");
+    assert_eq!(served.done.processors, 3);
+    assert!(
+        served.done.cost.remote_fetches > 0,
+        "halo-0 sharding must pay (and report) cross-fragment fetches"
+    );
+
+    client.shutdown_server().unwrap();
+    drop(client);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+#[test]
+fn session_rule_swap_changes_answers_for_that_session_only() {
+    let (graph, _) = paper::figure1_g2();
+    let snap_path = temp_path("rules.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+    // Default rules: φ2 only (one violation on G2).
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).unwrap(),
+        RuleSet::from_rules(vec![paper::phi2()]),
+        &ServeAddr::Unix(temp_path("rules-sock")),
+        DetectorConfig::with_processors(2),
+    )
+    .unwrap();
+
+    let mut swapped = ServeClient::connect(server.local_addr()).unwrap();
+    let mut vanilla = ServeClient::connect(server.local_addr()).unwrap();
+
+    // Swap session A to a rule set with zero matches on G2.
+    let message = swapped
+        .set_rules(&RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]))
+        .unwrap();
+    assert!(message.contains("1 rule"), "{message}");
+    assert_eq!(swapped.query().unwrap().violations.len(), 0);
+    // Session B keeps the server default.
+    assert_eq!(vanilla.query().unwrap().violations.len(), 1);
+
+    vanilla.shutdown_server().unwrap();
+    drop(vanilla);
+    drop(swapped);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+}

@@ -1,0 +1,211 @@
+//! Served-path equivalence suite.
+//!
+//! The acceptance bar of the `ngd-serve` subsystem: a daemon started on a
+//! written snapshot file must stream `ΔVio` answers that are
+//! **byte-identical** to running `pinc_dect` in-process — equality of the
+//! structures *and* of their serialized JSON — on every figure-1 scenario
+//! and on the 11k-node synthetic workload, for shared and sharded
+//! snapshots, over concurrent sessions, across *sequences* of batches.
+//!
+//! One daemon per scenario graph; every update of the scenario runs through
+//! a fresh session (connection) of that daemon.
+
+use ngd_core::{paper, RuleSet};
+use ngd_datagen::{
+    generate_knowledge, generate_rules, generate_update, KnowledgeConfig, RuleGenConfig,
+    UpdateConfig,
+};
+use ngd_detect::{inc_dect, pinc_dect, DetectorConfig};
+use ngd_graph::persist::SnapshotWriter;
+use ngd_graph::{BatchUpdate, Graph, PartitionStrategy};
+use ngd_match::DeltaViolations;
+use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static FILE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_snapshot_path() -> std::path::PathBuf {
+    let seq = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ngd-serve-equiv-{}-{seq}.ngds", std::process::id()))
+}
+
+fn assert_identical_deltas(reference: &DeltaViolations, served: &DeltaViolations, context: &str) {
+    assert_eq!(reference, served, "{context}: deltas differ");
+    assert_eq!(
+        ngd_json::to_string(reference),
+        ngd_json::to_string(served),
+        "{context}: serialized deltas differ"
+    );
+}
+
+/// Start a daemon serving `graph` (shared or sharded snapshot file).
+fn start_daemon(graph: &Graph, sigma: &RuleSet, fragments: usize) -> (Server, std::path::PathBuf) {
+    let path = temp_snapshot_path();
+    let writer = SnapshotWriter::new();
+    if fragments == 0 {
+        writer
+            .write(&graph.freeze(), &path)
+            .expect("snapshot writes");
+    } else {
+        let sharded = graph.freeze_sharded(fragments, PartitionStrategy::EdgeCut, sigma.diameter());
+        writer
+            .write_sharded(&sharded, &path)
+            .expect("sharded snapshot writes");
+    }
+    let addr = if cfg!(unix) {
+        let seq = FILE_SEQ.fetch_add(1, Ordering::Relaxed);
+        ServeAddr::Unix(
+            std::env::temp_dir().join(format!("ngd-serve-equiv-{}-{seq}.sock", std::process::id())),
+        )
+    } else {
+        ServeAddr::Tcp("127.0.0.1:0".into())
+    };
+    let server = Server::start(
+        SnapshotStore::open(&path).expect("snapshot maps"),
+        sigma.clone(),
+        &addr,
+        DetectorConfig::with_processors(3),
+    )
+    .expect("daemon starts");
+    (server, path)
+}
+
+/// Every update served by a fresh session must match in-process `pinc_dect`.
+fn check_served_updates(graph: &Graph, sigma: &RuleSet, updates: &[BatchUpdate], context: &str) {
+    let config = DetectorConfig::with_processors(3);
+    for fragments in [0usize, 3] {
+        let (server, path) = start_daemon(graph, sigma, fragments);
+        for (idx, delta) in updates.iter().enumerate() {
+            let reference = pinc_dect(sigma, graph, delta, &config);
+            let mut client = ServeClient::connect(server.local_addr()).expect("client connects");
+            let served = client.submit_update(delta).expect("update serves");
+            assert_identical_deltas(
+                &reference.delta,
+                &served.delta,
+                &format!("{context} frag={fragments} update#{idx}"),
+            );
+            assert_eq!(
+                served.done.added_total + served.done.removed_total,
+                reference.delta.len() as u64
+            );
+        }
+        // Shut the daemon down through the protocol.
+        let mut client = ServeClient::connect(server.local_addr()).expect("client connects");
+        client.shutdown_server().expect("daemon shuts down");
+        drop(client);
+        server.wait();
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+fn figure1_scenarios() -> Vec<(&'static str, Graph, RuleSet)> {
+    let (g1, _) = paper::figure1_g1();
+    let (g2, _) = paper::figure1_g2();
+    let (g3, _) = paper::figure1_g3();
+    let (g4, _) = paper::figure1_g4();
+    vec![
+        ("figure1_g1", g1, RuleSet::from_rules(vec![paper::phi1(1)])),
+        ("figure1_g2", g2, RuleSet::from_rules(vec![paper::phi2()])),
+        ("figure1_g3", g3, RuleSet::from_rules(vec![paper::phi3()])),
+        (
+            "figure1_g4",
+            g4,
+            RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]),
+        ),
+    ]
+}
+
+#[test]
+fn served_deltas_are_identical_on_all_figure1_scenarios() {
+    for (name, graph, sigma) in figure1_scenarios() {
+        // One deletion-driven update per edge, plus a mixed batch — the
+        // same scenarios csr_equivalence.rs pins across representations.
+        let mut updates: Vec<BatchUpdate> = Vec::new();
+        for edge in graph.edge_vec() {
+            let mut delta = BatchUpdate::new();
+            delta.delete_edge(edge.src, edge.dst, edge.label);
+            updates.push(delta);
+        }
+        let edges = graph.edge_vec();
+        if edges.len() >= 2 {
+            let mut delta = BatchUpdate::new();
+            delta.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+            if !graph.has_edge(edges[1].src, edges[0].dst, edges[0].label) {
+                delta.insert_edge(edges[1].src, edges[0].dst, edges[0].label);
+            }
+            updates.push(delta);
+        }
+        check_served_updates(&graph, &sigma, &updates, name);
+    }
+}
+
+#[test]
+fn served_deltas_are_identical_on_the_11k_synthetic_workload() {
+    let generated = generate_knowledge(&KnowledgeConfig::dbpedia_like(50).with_seed(0xC5_A11));
+    let graph = generated.graph;
+    assert!(graph.node_count() >= 10_000);
+    let mut rules = vec![paper::phi1(1), paper::phi2(), paper::phi3(), paper::ngd3()];
+    rules.extend(
+        generate_rules(
+            &graph,
+            &RuleGenConfig {
+                wildcard_prob: 0.0,
+                ..RuleGenConfig::paper_style(4, 3)
+            }
+            .with_seed(7),
+        )
+        .rules()
+        .iter()
+        .cloned(),
+    );
+    let sigma = RuleSet::from_rules(rules);
+    let updates: Vec<BatchUpdate> = [3u64, 13, 21]
+        .iter()
+        .map(|&seed| generate_update(&graph, &UpdateConfig::fraction(0.01).with_seed(seed)))
+        .collect();
+    check_served_updates(&graph, &sigma, &updates, "synthetic-11k");
+}
+
+/// A *sequence* of batches through one session must match a sequence of
+/// in-process `inc_dect` runs against the progressively materialised graph
+/// — the property that makes the service incremental rather than
+/// stateless.
+#[test]
+fn a_session_absorbing_a_batch_stream_matches_materialised_reruns() {
+    let (graph, sigma) = {
+        let (g, _) = paper::figure1_g4();
+        (g, RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]))
+    };
+    let (server, path) = start_daemon(&graph, &sigma, 0);
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let edges = graph.edge_vec();
+    let mut batches: Vec<BatchUpdate> = Vec::new();
+    let mut b = BatchUpdate::new();
+    b.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+    batches.push(b);
+    let mut b = BatchUpdate::new();
+    b.insert_edge(edges[0].src, edges[0].dst, edges[0].label);
+    batches.push(b);
+    let mut b = BatchUpdate::new();
+    b.delete_edge(edges[2].src, edges[2].dst, edges[2].label);
+    b.delete_edge(edges[3].src, edges[3].dst, edges[3].label);
+    batches.push(b);
+
+    let mut current = graph.clone();
+    for (idx, batch) in batches.iter().enumerate() {
+        let reference = inc_dect(&sigma, &current, batch);
+        let served = client.submit_update(batch).expect("batch serves");
+        assert_identical_deltas(
+            &reference.delta,
+            &served.delta,
+            &format!("stream batch#{idx}"),
+        );
+        batch.apply(&mut current).expect("materialises");
+    }
+
+    client.shutdown_server().unwrap();
+    drop(client);
+    server.wait();
+    std::fs::remove_file(&path).ok();
+}
