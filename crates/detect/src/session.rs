@@ -13,10 +13,15 @@
 //! update, so each [`IncrementalSession::apply`] additionally pays
 //! `O(|accumulated|)` bookkeeping (times the fragment count on the sharded
 //! path) — per-batch latency grows linearly with session age, **not** with
-//! `|G|`.  Bounding that term is exactly the snapshot-compaction item on
-//! the roadmap: fold the accumulated update into a fresh snapshot epoch
-//! via [`DeltaOverlay::into_batch`] / [`DeltaOverlay::reroot`]
-//! (`ngd_graph`), after which sessions restart from an empty overlay.
+//! `|G|`.  **Snapshot compaction** bounds that term: the accumulated
+//! update is folded into a fresh snapshot epoch
+//! (`ngd_graph::persist::CompactionWriter`), and the session re-roots onto
+//! the new epoch with [`IncrementalSession::rebase_onto`] /
+//! [`ShardedIncrementalSession::rebase_onto`] — already-applied changes
+//! are dropped ([`DeltaOverlay::reroot`]) and only the residue (batches
+//! absorbed after the compaction cut) is carried, so a freshly compacted
+//! session restarts from an empty overlay.  `ngd-serve` drives exactly
+//! this cycle on its `COMPACT`/epoch-switch path.
 //!
 //! Two session types cover the two snapshot shapes:
 //!
@@ -38,7 +43,7 @@ use crate::config::DetectorConfig;
 use crate::pincdect::{pinc_dect_prepared, pinc_dect_sharded_rebased};
 use crate::report::{DeltaReport, DetectionReport};
 use ngd_core::RuleSet;
-use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, ShardedRead, UpdateError};
+use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, RebaseError, ShardedRead, UpdateError};
 
 /// Session state over a shared (unsharded) snapshot.
 ///
@@ -85,16 +90,61 @@ pub struct IncrementalSession<'a, B: GraphView + Sync> {
 impl<'a, B: GraphView + Sync> IncrementalSession<'a, B> {
     /// A fresh session over `base` with no absorbed updates.
     pub fn new(base: &'a B) -> Self {
+        IncrementalSession::resume(base, BatchUpdate::new(), 0)
+    }
+
+    /// Rebuild a session from previously extracted state (see
+    /// [`IncrementalSession::into_parts`]) — how a server re-materialises a
+    /// connection's session around an epoch switch, where the borrow of the
+    /// old mapping must end before the new one begins.
+    ///
+    /// `accumulated` must apply cleanly to `base`; it is trusted exactly
+    /// like the session that produced it.
+    pub fn resume(base: &'a B, accumulated: BatchUpdate, batches_applied: u64) -> Self {
         IncrementalSession {
             base,
-            accumulated: BatchUpdate::new(),
-            batches_applied: 0,
+            accumulated,
+            batches_applied,
         }
     }
 
     /// The shared base view the session reads through.
     pub fn base(&self) -> &'a B {
         self.base
+    }
+
+    /// Re-root the session onto a new snapshot epoch.
+    ///
+    /// Changes the new base already contains (the compaction fold) are
+    /// dropped via [`DeltaOverlay::reroot`]; only the residue — batches
+    /// absorbed after the compaction cut — is carried.  The session's
+    /// observable state (`view()`) is unchanged, so a stream of batches
+    /// answered across a re-root is byte-identical to one that never
+    /// re-rooted.  On error (alien node universe) the session is unusable
+    /// for the new base but `self` is untouched.
+    pub fn rebase_onto<'b, B2: GraphView + Sync>(
+        &self,
+        new_base: &'b B2,
+    ) -> Result<IncrementalSession<'b, B2>, RebaseError> {
+        let rerooted = DeltaOverlay::new(self.base, &self.accumulated).reroot(new_base)?;
+        Ok(IncrementalSession::resume(
+            new_base,
+            rerooted.into_batch(),
+            self.batches_applied,
+        ))
+    }
+
+    /// The *net* pending overlay size as `(nodes, edge ops)` — what an
+    /// operator watches to decide when compaction is due.
+    pub fn pending(&self) -> (usize, usize) {
+        let net = self.view().into_batch();
+        (net.new_nodes.len(), net.ops.len())
+    }
+
+    /// Decompose into `(accumulated, batches_applied)` for
+    /// [`IncrementalSession::resume`].
+    pub fn into_parts(self) -> (BatchUpdate, u64) {
+        (self.accumulated, self.batches_applied)
     }
 
     /// The net of every batch absorbed so far, relative to the base.
@@ -167,16 +217,50 @@ pub struct ShardedIncrementalSession<'a, S: ShardedRead> {
 impl<'a, S: ShardedRead> ShardedIncrementalSession<'a, S> {
     /// A fresh session over `sharded` with no absorbed updates.
     pub fn new(sharded: &'a S) -> Self {
+        ShardedIncrementalSession::resume(sharded, BatchUpdate::new(), 0)
+    }
+
+    /// Rebuild a session from previously extracted state (see
+    /// [`ShardedIncrementalSession::into_parts`]).
+    pub fn resume(sharded: &'a S, accumulated: BatchUpdate, batches_applied: u64) -> Self {
         ShardedIncrementalSession {
             sharded,
-            accumulated: BatchUpdate::new(),
-            batches_applied: 0,
+            accumulated,
+            batches_applied,
         }
     }
 
     /// The sharded store the session reads through.
     pub fn sharded(&self) -> &'a S {
         self.sharded
+    }
+
+    /// Re-root the session onto a new sharded snapshot epoch; the
+    /// accumulated overlay is re-rooted against the *global* views (see
+    /// [`IncrementalSession::rebase_onto`]).
+    pub fn rebase_onto<'b, S2: ShardedRead>(
+        &self,
+        new_sharded: &'b S2,
+    ) -> Result<ShardedIncrementalSession<'b, S2>, RebaseError> {
+        let overlay = DeltaOverlay::new(self.sharded.global_view(), &self.accumulated);
+        let rerooted = overlay.reroot(new_sharded.global_view())?;
+        Ok(ShardedIncrementalSession::resume(
+            new_sharded,
+            rerooted.into_batch(),
+            self.batches_applied,
+        ))
+    }
+
+    /// The *net* pending overlay size as `(nodes, edge ops)`.
+    pub fn pending(&self) -> (usize, usize) {
+        let net = self.view().into_batch();
+        (net.new_nodes.len(), net.ops.len())
+    }
+
+    /// Decompose into `(accumulated, batches_applied)` for
+    /// [`ShardedIncrementalSession::resume`].
+    pub fn into_parts(self) -> (BatchUpdate, u64) {
+        (self.accumulated, self.batches_applied)
     }
 
     /// The net of every batch absorbed so far, relative to the snapshot.
@@ -333,6 +417,106 @@ mod tests {
         );
         assert_eq!(session.accumulated(), &before);
         assert_eq!(session.batches_applied(), 1);
+    }
+
+    /// The compaction lifecycle: absorb → compact (fold the accumulated
+    /// update into a new epoch) → re-root → keep absorbing.  Deltas must be
+    /// byte-identical to a session that never compacted.
+    #[test]
+    fn rebase_onto_a_compacted_epoch_preserves_the_stream() {
+        let (g, sigma) = scenario();
+        let snapshot = g.freeze();
+        let config = DetectorConfig::with_processors(2);
+        let edges = g.edge_vec();
+        let mut batches: Vec<BatchUpdate> = Vec::new();
+        for e in edges.iter().take(3) {
+            let mut b = BatchUpdate::new();
+            b.delete_edge(e.src, e.dst, e.label);
+            batches.push(b);
+        }
+        let mut with_node = BatchUpdate::new();
+        let acct = with_node.add_node(g.node_count(), intern("account"), AttrMap::new());
+        let company = g.nodes_with_label(intern("company"))[0];
+        with_node.insert_edge(acct, company, intern("keys"));
+        batches.push(with_node);
+
+        // Reference: one session, no compaction.
+        let mut plain = IncrementalSession::new(&snapshot);
+        let reference: Vec<_> = batches
+            .iter()
+            .map(|b| plain.apply(&sigma, b, &config).unwrap().delta)
+            .collect();
+
+        // Compacting run: fold after the second batch, re-root, continue.
+        let mut session = IncrementalSession::new(&snapshot);
+        let mut deltas = Vec::new();
+        deltas.push(session.apply(&sigma, &batches[0], &config).unwrap().delta);
+        deltas.push(session.apply(&sigma, &batches[1], &config).unwrap().delta);
+        let compacted = session
+            .accumulated()
+            .applied_to(&g)
+            .expect("accumulated applies")
+            .freeze();
+        let mut session = session.rebase_onto(&compacted).unwrap();
+        assert_eq!(session.pending(), (0, 0), "fully compacted ⇒ empty overlay");
+        assert_eq!(session.batches_applied(), 2);
+        deltas.push(session.apply(&sigma, &batches[2], &config).unwrap().delta);
+        deltas.push(session.apply(&sigma, &batches[3], &config).unwrap().delta);
+        assert_eq!(deltas, reference);
+        // The post-compaction residue is exactly the post-cut batches: one
+        // added node, one deletion and one insertion.
+        let (nodes, ops) = session.pending();
+        assert_eq!((nodes, ops), (1, 2));
+    }
+
+    #[test]
+    fn sharded_rebase_onto_matches_the_shared_path() {
+        let (g, sigma) = scenario();
+        let config = DetectorConfig::default();
+        let sharded = g.freeze_sharded(3, PartitionStrategy::EdgeCut, sigma.diameter());
+        let snapshot = g.freeze();
+        let edges = g.edge_vec();
+        let mut b1 = BatchUpdate::new();
+        b1.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+        let mut b2 = BatchUpdate::new();
+        b2.insert_edge(edges[0].src, edges[0].dst, edges[0].label);
+
+        let mut shared = IncrementalSession::new(&snapshot);
+        let a1 = shared.apply(&sigma, &b1, &config).unwrap();
+
+        let mut session = ShardedIncrementalSession::new(&sharded);
+        let s1 = session.apply(&sigma, &b1, &config).unwrap();
+        assert_eq!(a1.delta, s1.delta);
+
+        let compacted_graph = session.accumulated().applied_to(&g).unwrap();
+        let compacted =
+            compacted_graph.freeze_sharded(3, PartitionStrategy::EdgeCut, sigma.diameter());
+        let mut session = session.rebase_onto(&compacted).unwrap();
+        assert_eq!(session.pending(), (0, 0));
+
+        let a2 = shared.apply(&sigma, &b2, &config).unwrap();
+        let s2 = session.apply(&sigma, &b2, &config).unwrap();
+        assert_eq!(a2.delta, s2.delta);
+    }
+
+    #[test]
+    fn resume_and_into_parts_round_trip() {
+        let (g, sigma) = scenario();
+        let snapshot = g.freeze();
+        let config = DetectorConfig::default();
+        let edges = g.edge_vec();
+        let mut batch = BatchUpdate::new();
+        batch.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+
+        let mut session = IncrementalSession::new(&snapshot);
+        session.apply(&sigma, &batch, &config).unwrap();
+        let (accumulated, batches) = session.into_parts();
+        let resumed = IncrementalSession::resume(&snapshot, accumulated.clone(), batches);
+        assert_eq!(resumed.accumulated(), &accumulated);
+        assert_eq!(resumed.batches_applied(), 1);
+        // The resumed session rejects what the original would reject.
+        let mut resumed = resumed;
+        assert!(resumed.apply(&sigma, &batch, &config).is_err());
     }
 
     #[test]

@@ -174,22 +174,6 @@ impl CsrSnapshot {
         crate::overlay::DeltaOverlay::empty(self)
     }
 
-    /// The full out-run of `id` as `(edge label, neighbour)` entries in CSR
-    /// order — used by [`crate::shard`] to replicate runs into fragments.
-    pub(crate) fn out_entries(&self, id: NodeId) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
-        self.out.entries(id)
-    }
-
-    /// The full in-run of `id` as `(edge label, neighbour)` entries.
-    pub(crate) fn in_entries(&self, id: NodeId) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
-        self.inn.entries(id)
-    }
-
-    /// The label/attribute payload of a node.
-    pub(crate) fn node_data(&self, id: NodeId) -> &NodeData {
-        &self.nodes[id.index()]
-    }
-
     // Raw-array accessors for the on-disk snapshot writer
     // ([`crate::persist`]): every flat array of the snapshot, exactly as
     // stored.  Kept crate-private so the layout stays an implementation

@@ -90,7 +90,8 @@ pub use partition::{
     EdgeCutPartitioner, Fragment, Partition, PartitionStrategy, VertexCutPartitioner,
 };
 pub use persist::{
-    MmapFragmentView, MmapShardedSnapshot, MmapSnapshot, PersistError, SnapshotWriter,
+    CompactError, CompactReport, CompactionWriter, MmapFragmentView, MmapShardedSnapshot,
+    MmapSnapshot, PersistError, SnapshotWriter,
 };
 pub use shard::{FragmentSnapshot, FragmentView, RemoteAccounting, ShardedRead, ShardedSnapshot};
 pub use stats::GraphStats;

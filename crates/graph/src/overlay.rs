@@ -235,16 +235,32 @@ impl<'a, B: GraphView> DeltaOverlay<'a, B> {
     /// epoch is published, every session folds its pending overlay onto the
     /// new base instead of replaying it from scratch.
     ///
-    /// `new_base` must share the old base's node universe, in one of the two
+    /// `new_base` must share the old base's node universe, in one of the
     /// epoch shapes a compaction produces:
     ///
     /// * **same epoch** — `new_base.node_count()` equals the old base's
     ///   count (e.g. a re-frozen or re-loaded snapshot of the same logical
     ///   graph, possibly with *some* of the overlay's edge changes already
     ///   folded in): the overlay's added nodes are kept;
+    /// * **grown epoch, edge-only overlay** — the overlay adds no nodes and
+    ///   `new_base` has *more* (another session's compaction materialised
+    ///   its nodes): every overlay op references ids below the old count,
+    ///   all of which survive, so the overlay carries over unchanged;
     /// * **compacted epoch** — `new_base.node_count()` equals the overlay's
-    ///   *total* count (the new snapshot materialised the added nodes, ids
-    ///   preserved): the added nodes are dropped.
+    ///   *total* count **and** the tail rows are value-identical (label and
+    ///   attribute tuple) to the overlay's added nodes: the added nodes
+    ///   were materialised with their ids preserved and are dropped.  A
+    ///   count that merely *coincides* — another session compacted the same
+    ///   number of different nodes — is a
+    ///   [`RebaseError::ConflictingNodes`], never a silent adoption.
+    ///   Value equality is the node-identity criterion of this data model
+    ///   (a node *is* its label + attribute tuple; ids are positional), so
+    ///   a foreign compaction that materialised value-identical nodes at
+    ///   the same ids is indistinguishable from this overlay's own fold
+    ///   and is accepted: the rerooted view equals a compaction that
+    ///   folded both sessions' changes, which is the shared-epoch
+    ///   semantics all re-rooting follows (foreign *edges* folded into the
+    ///   published epoch become visible the same way).
     ///
     /// Edge changes already reflected in `new_base` are dropped (an insert
     /// the new base contains, a delete it no longer contains), so re-rooting
@@ -257,7 +273,20 @@ impl<'a, B: GraphView> DeltaOverlay<'a, B> {
         let new_count = GraphView::node_count(new_base);
         let keep_added_nodes = if new_count == self.base_count() {
             true
-        } else if new_count == GraphView::node_count(self) {
+        } else if self.added_nodes.is_empty() && new_count > self.base_count() {
+            // Edge-only overlay onto a grown epoch: nothing to renumber.
+            true
+        } else if !self.added_nodes.is_empty() && new_count == GraphView::node_count(self) {
+            // The tail must BE this overlay's added nodes, not another
+            // session's coincidentally equal-sized compaction.
+            for (idx, node) in self.added_nodes.iter().enumerate() {
+                let id = NodeId((self.base_count() + idx) as u32);
+                if GraphView::label(new_base, id) != node.label
+                    || GraphView::attrs_of(new_base, id) != &node.attrs
+                {
+                    return Err(RebaseError::ConflictingNodes { id });
+                }
+            }
             false
         } else {
             return Err(RebaseError::NodeCountMismatch {
@@ -300,6 +329,15 @@ pub enum RebaseError {
         /// Total node count the overlay presents (base + added).
         overlay_total: usize,
     },
+    /// The new base materialised *different* nodes at the ids this
+    /// overlay's added nodes occupy (a concurrent session's compaction of
+    /// the same size) — carrying the overlay across would silently rebind
+    /// its edges to foreign nodes.
+    ConflictingNodes {
+        /// The first id whose materialised node differs from the
+        /// overlay's added node.
+        id: NodeId,
+    },
 }
 
 impl std::fmt::Display for RebaseError {
@@ -314,6 +352,11 @@ impl std::fmt::Display for RebaseError {
                 "cannot re-root overlay onto a base with {new_base} nodes \
                  (expected {overlay_base} for the same epoch or {overlay_total} \
                  for a compacted one)"
+            ),
+            RebaseError::ConflictingNodes { id } => write!(
+                f,
+                "cannot re-root overlay: the new base materialised a different \
+                 node at {id} than this overlay added"
             ),
         }
     }
@@ -792,6 +835,77 @@ mod tests {
         assert_eq!(net.insertions().count(), 1);
         let materialised = delta.applied_to(&g).unwrap();
         assert_matches_materialised(&rerooted, &materialised);
+    }
+
+    /// Another session's compaction materialised *different* nodes at the
+    /// ids this overlay's added nodes occupy: the count coincides, but
+    /// adopting the new base would silently rebind this overlay's edges to
+    /// foreign nodes — it must refuse instead.
+    #[test]
+    fn reroot_refuses_a_coincidental_node_count() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        let d = delta.add_node(
+            g.node_count(),
+            intern("mine"),
+            AttrMap::from_pairs([("v", Value::Int(1))]),
+        );
+        delta.insert_edge(n[0], d, intern("e"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+
+        // A foreign compaction of the same size: one added node, but with
+        // a different label.
+        let mut foreign = BatchUpdate::new();
+        let f = foreign.add_node(g.node_count(), intern("theirs"), AttrMap::new());
+        foreign.insert_edge(n[1], f, intern("e"));
+        let foreign_base = foreign.applied_to(&g).unwrap().freeze();
+        assert_eq!(
+            overlay.reroot(&foreign_base).unwrap_err(),
+            RebaseError::ConflictingNodes { id: d }
+        );
+
+        // Same label but different attributes is just as foreign.
+        let mut foreign = BatchUpdate::new();
+        foreign.add_node(
+            g.node_count(),
+            intern("mine"),
+            AttrMap::from_pairs([("v", Value::Int(99))]),
+        );
+        let foreign_base = foreign.applied_to(&g).unwrap().freeze();
+        assert_eq!(
+            overlay.reroot(&foreign_base).unwrap_err(),
+            RebaseError::ConflictingNodes { id: d }
+        );
+    }
+
+    /// An overlay that adds no nodes references only ids below its base
+    /// count, so it carries onto *any* grown epoch (another session's
+    /// node-adding compaction) instead of pinning forever.
+    #[test]
+    fn reroot_carries_an_edge_only_overlay_onto_a_grown_epoch() {
+        let (g, n) = base_graph();
+        let snap = g.freeze();
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[0], n[1], intern("e"));
+        delta.insert_edge(n[2], n[0], intern("z"));
+        let overlay = DeltaOverlay::new(&snap, &delta);
+
+        // Foreign compaction: two new nodes and an edge, disjoint from the
+        // overlay's changes.
+        let mut foreign = BatchUpdate::new();
+        let f = foreign.add_node(g.node_count(), intern("theirs"), AttrMap::new());
+        foreign.insert_edge(n[1], f, intern("e"));
+        let _ = foreign.add_node(g.node_count(), intern("theirs"), AttrMap::new());
+        let grown_graph = foreign.applied_to(&g).unwrap();
+        let grown = grown_graph.freeze();
+
+        let rerooted = overlay.reroot(&grown).unwrap();
+        // The overlay's own changes survive over the grown base.
+        let materialised = delta.applied_to(&grown_graph).unwrap();
+        assert_matches_materialised(&rerooted, &materialised);
+        assert!(!GraphView::has_edge(&rerooted, n[0], n[1], intern("e")));
+        assert!(GraphView::has_edge(&rerooted, n[2], n[0], intern("z")));
     }
 
     #[test]

@@ -257,7 +257,7 @@ impl VertexCutPartitioner {
         }
     }
 
-    fn edge_fragment(&self, edge: &EdgeRef) -> usize {
+    pub(crate) fn edge_fragment(&self, edge: &EdgeRef) -> usize {
         // Deterministic mixed hash of the endpoints; label excluded so that
         // parallel edges between the same endpoints co-locate.
         let mut h = (edge.src.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);

@@ -1,0 +1,1088 @@
+//! [`CompactionWriter`] — fold a net `ΔG` into an existing snapshot file
+//! **without re-freezing** from the mutable graph.
+//!
+//! A long-lived serving session accumulates its `ΔG` as a
+//! [`DeltaOverlay`] over an immortal mapped snapshot; per-batch cost then
+//! grows with the overlay, slowly degrading back toward batch detection.
+//! Compaction closes that loop: it merge-joins the *file-ordered* arrays
+//! of the old `.ngds` with the canonical net update
+//! ([`DeltaOverlay::into_batch`]) and emits a fresh file stamped with the
+//! next **epoch**, after which sessions re-root
+//! ([`DeltaOverlay::reroot`]) and restart from an empty overlay.
+//!
+//! The merge is streaming and sort-free on the bulk data:
+//!
+//! * the **string table** of the old file is already lexicographic, so the
+//!   merged table is a linear merge with the delta's new symbols, and the
+//!   old→new file-symbol remap is *monotone* — remapped runs stay sorted;
+//! * each **CSR run** is a two-pointer merge of the old run (minus net
+//!   deletions) with the row's net insertions;
+//! * **attribute tuples** are rewritten record-by-record with remapped
+//!   name ids (values copied verbatim);
+//! * the **label partition** appends each new node to its label's group
+//!   (groups stay in file-symbol order, contents in ascending-id order);
+//! * the **triple index** merge-joins each `(src, edge, dst)`-label
+//!   group's `(src, dst)`-sorted entries with the delta's.
+//!
+//! Because [`SnapshotWriter`](super::SnapshotWriter) canonicalises every
+//! structure into exactly these orders, the output is **byte-identical**
+//! to freezing `G ⊕ ΔG` and writing it at the same epoch — the
+//! compaction-equivalence property the integration tests pin — while
+//! costing linear scans instead of the freeze's hashing and sorting.
+//!
+//! Sharded files compact the same way for their global sections; the
+//! stored [`Partition`] is *extended* (new nodes spread by
+//! [`Partition::route_of`]'s hash rule, edge lists patched, border nodes
+//! recomputed) rather than recomputed from scratch — ownership is the
+//! routing contract live sessions depend on — and the per-fragment
+//! sections are rebuilt from a [`DeltaOverlay`] over the mapped old
+//! global snapshot via the same fragment builder `freeze_sharded` uses.
+
+use super::format::{file_kind, kind, BlobReader, BlobWriter};
+use super::loader::{MmapShardedSnapshot, MmapSnapshot};
+use super::writer::{
+    encode_attrs, encode_partition, push_fragment_sections, push_strings, FileBuilder, SymTable,
+};
+use super::PersistError;
+use crate::graph::{EdgeRef, NodeData, NodeId};
+use crate::interner::{intern, Sym};
+use crate::overlay::DeltaOverlay;
+use crate::partition::{Partition, PartitionStrategy, VertexCutPartitioner};
+use crate::shard::build_fragments_from_view;
+use crate::update::{BatchUpdate, UpdateError};
+use crate::view::GraphView;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
+
+/// Why a compaction failed: either the input file is unusable or the
+/// delta does not apply cleanly to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactError {
+    /// Reading the old file or writing the new one failed.
+    Persist(PersistError),
+    /// The delta does not apply cleanly to the old snapshot.
+    Update(UpdateError),
+}
+
+impl std::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactError::Persist(e) => write!(f, "{e}"),
+            CompactError::Update(e) => write!(f, "delta does not apply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+impl From<PersistError> for CompactError {
+    fn from(e: PersistError) -> Self {
+        CompactError::Persist(e)
+    }
+}
+
+impl From<UpdateError> for CompactError {
+    fn from(e: UpdateError) -> Self {
+        CompactError::Update(e)
+    }
+}
+
+/// What a file-level compaction produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Bytes written to the output file.
+    pub bytes: u64,
+    /// Epoch stamped into the new file (old epoch + 1).
+    pub epoch: u64,
+    /// Nodes in the compacted snapshot.
+    pub node_count: u64,
+    /// Edges in the compacted snapshot.
+    pub edge_count: u64,
+    /// Was the input (and therefore the output) a sharded snapshot?
+    pub sharded: bool,
+}
+
+/// Merges an existing `.ngds` file with a canonical net [`BatchUpdate`]
+/// and emits the next snapshot epoch.  See the module docs for the merge
+/// strategy and the byte-determinism contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionWriter;
+
+impl CompactionWriter {
+    /// A compaction writer with default settings.
+    pub fn new() -> Self {
+        CompactionWriter
+    }
+
+    /// Merge `delta` into the mapped shared snapshot `old`, returning the
+    /// exact bytes of the successor file stamped with `epoch`.
+    ///
+    /// Byte-identical to `SnapshotWriter::with_epoch(epoch).encode(&(G ⊕
+    /// ΔG).freeze())`.
+    pub fn encode(
+        &self,
+        old: &MmapSnapshot,
+        delta: &BatchUpdate,
+        epoch: u64,
+    ) -> Result<Vec<u8>, CompactError> {
+        delta.validate_against(old)?;
+        let net = NetDelta::from_batch(old, delta);
+        let mut merged = merge_global(old, &net);
+        let mut builder = FileBuilder::new(
+            file_kind::SNAPSHOT,
+            merged.node_count as u64,
+            merged.edge_count as u64,
+            epoch,
+        );
+        merged.push_sections(&mut builder);
+        Ok(builder.finish())
+    }
+
+    /// Merge `delta` into the mapped sharded snapshot `old`: global
+    /// sections are merged exactly as in [`CompactionWriter::encode`], the
+    /// stored partition is extended in place, and the per-fragment
+    /// sections are rebuilt from an overlay over the mapped old global.
+    pub fn encode_sharded(
+        &self,
+        old: &MmapShardedSnapshot,
+        delta: &BatchUpdate,
+        epoch: u64,
+    ) -> Result<Vec<u8>, CompactError> {
+        let global = old.global();
+        delta.validate_against(global)?;
+        let net = NetDelta::from_batch(global, delta);
+        let mut merged = merge_global(global, &net);
+        let mut builder = FileBuilder::new(
+            file_kind::SHARDED,
+            merged.node_count as u64,
+            merged.edge_count as u64,
+            epoch,
+        );
+        merged.push_sections(&mut builder);
+
+        let partition = extend_partition(old.partition(), &net, &merged);
+        let mut meta = BlobWriter::new();
+        meta.put_u64(old.halo_depth() as u64);
+        meta.put_u32(partition.fragment_count() as u32);
+        builder.add_blob(kind::SHARD_META, 0, 1, meta.into_bytes());
+        builder.add_blob(
+            kind::PARTITION,
+            0,
+            partition.fragment_count() as u64,
+            encode_partition(&partition, &merged.syms),
+        );
+
+        // Fragments are derived data: rebuild them over the *view* of the
+        // merged graph (old mapping ⊕ net), never a materialised graph.
+        let view = DeltaOverlay::new(global, &net.batch);
+        let fragments = build_fragments_from_view(&view, &partition, old.halo_depth());
+        for (idx, fragment) in fragments.iter().enumerate() {
+            push_fragment_sections(&mut builder, fragment, (idx + 1) as u32, &merged.syms);
+        }
+        Ok(builder.finish())
+    }
+
+    /// Compact `in_path` (shared or sharded — auto-detected) merged with
+    /// `delta` into `out_path`, stamping `old epoch + 1`.
+    pub fn compact_file(
+        &self,
+        in_path: &Path,
+        delta: &BatchUpdate,
+        out_path: &Path,
+    ) -> Result<CompactReport, CompactError> {
+        let (bytes, epoch, sharded) = match MmapSnapshot::load(in_path) {
+            Ok(old) => (
+                self.encode(&old, delta, old.epoch() + 1)?,
+                old.epoch() + 1,
+                false,
+            ),
+            Err(PersistError::WrongKind { .. }) => {
+                let old = MmapShardedSnapshot::load(in_path)?;
+                (
+                    self.encode_sharded(&old, delta, old.epoch() + 1)?,
+                    old.epoch() + 1,
+                    true,
+                )
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let header = super::format::FileHeader::parse(&bytes).expect("writer emits valid headers");
+        std::fs::write(out_path, &bytes)
+            .map_err(|e| PersistError::Io(format!("write {}: {e}", out_path.display())))?;
+        Ok(CompactReport {
+            bytes: bytes.len() as u64,
+            epoch,
+            node_count: header.node_count,
+            edge_count: header.edge_count,
+            sharded,
+        })
+    }
+}
+
+/// The canonical net delta, pre-indexed for the per-section merges.
+struct NetDelta {
+    /// The canonical net batch (deletions sorted, then insertions sorted,
+    /// then new nodes in id order) — [`DeltaOverlay::into_batch`] output.
+    batch: BatchUpdate,
+    /// Net deletions, sorted.
+    del: Vec<EdgeRef>,
+    /// Net insertions, sorted.
+    ins: Vec<EdgeRef>,
+}
+
+impl NetDelta {
+    fn from_batch<V: GraphView>(old: &V, delta: &BatchUpdate) -> NetDelta {
+        let batch = DeltaOverlay::new(old, delta).into_batch();
+        let del: Vec<EdgeRef> = batch.deletions().collect();
+        let ins: Vec<EdgeRef> = batch.insertions().collect();
+        NetDelta { batch, del, ins }
+    }
+}
+
+/// Every merged global section, plus the merged symbol table.
+struct MergedGlobal {
+    node_count: usize,
+    edge_count: usize,
+    syms: SymTable,
+    node_labels: Vec<u32>,
+    node_attrs: Vec<u8>,
+    out: (Vec<u32>, Vec<u32>, Vec<u32>),
+    inn: (Vec<u32>, Vec<u32>, Vec<u32>),
+    label_order: Vec<u32>,
+    label_ranges: Vec<u8>,
+    label_range_count: u64,
+    triple_src: Vec<u32>,
+    triple_dst: Vec<u32>,
+    triple_ranges: Vec<u8>,
+    triple_range_count: u64,
+}
+
+impl MergedGlobal {
+    /// Emit the global sections in the exact order
+    /// [`super::SnapshotWriter`] uses, so the file layout is identical.
+    /// Consumes the blobs so a megabyte-scale merge is moved, not copied.
+    fn push_sections(&mut self, builder: &mut FileBuilder) {
+        push_strings(builder, &self.syms);
+        builder.add_u32s(kind::NODE_LABELS, 0, &self.node_labels);
+        builder.add_blob(
+            kind::NODE_ATTRS,
+            0,
+            self.node_count as u64,
+            std::mem::take(&mut self.node_attrs),
+        );
+        builder.add_u32s(kind::OUT_OFFSETS, 0, &self.out.0);
+        builder.add_u32s(kind::OUT_LABELS, 0, &self.out.1);
+        builder.add_u32s(kind::OUT_NEIGHBORS, 0, &self.out.2);
+        builder.add_u32s(kind::IN_OFFSETS, 0, &self.inn.0);
+        builder.add_u32s(kind::IN_LABELS, 0, &self.inn.1);
+        builder.add_u32s(kind::IN_NEIGHBORS, 0, &self.inn.2);
+        builder.add_u32s(kind::LABEL_ORDER, 0, &self.label_order);
+        builder.add_blob(
+            kind::LABEL_RANGES,
+            0,
+            self.label_range_count,
+            std::mem::take(&mut self.label_ranges),
+        );
+        builder.add_u32s(kind::TRIPLE_SRC, 0, &self.triple_src);
+        builder.add_u32s(kind::TRIPLE_DST, 0, &self.triple_dst);
+        builder.add_blob(
+            kind::TRIPLE_RANGES,
+            0,
+            self.triple_range_count,
+            std::mem::take(&mut self.triple_ranges),
+        );
+    }
+}
+
+/// The merged symbol table and the monotone old→new file-id remap.
+struct SymMerge {
+    /// `old file id → new file id` (dense; every old id that survives).
+    old_to_new: Vec<u32>,
+    /// `Sym → new file id` for every merged symbol.
+    sym_to_new: HashMap<Sym, u32>,
+    /// Merged strings in new-id (lexicographic) order.
+    strings: Vec<&'static str>,
+}
+
+impl SymMerge {
+    fn new_fid(&self, sym: Sym) -> u32 {
+        self.sym_to_new[&sym]
+    }
+
+    /// As [`SymMerge::new_fid`], but `None` for a symbol the merged table
+    /// dropped (an edge label whose every edge was deleted).
+    fn live_fid(&self, sym: Sym) -> Option<u32> {
+        self.sym_to_new.get(&sym).copied()
+    }
+}
+
+/// Merge the string tables: old strings that the merged graph still uses,
+/// plus the delta's new symbols, lexicographic, with a monotone remap.
+fn merge_symbols(old: &MmapSnapshot, net: &NetDelta) -> SymMerge {
+    let old_strings: Vec<&'static str> = old.raw_strings().collect();
+    let old_count = old_strings.len();
+
+    // An old symbol survives iff the merged graph still references it: as
+    // a node label or attribute name (nodes are never deleted), or as the
+    // label of at least one surviving or inserted edge.
+    let mut survives = vec![false; old_count];
+    for &fid in old.raw_node_labels() {
+        survives[fid as usize] = true;
+    }
+    for idx in 0..GraphView::node_count(old) {
+        let mut reader = BlobReader::new(old.raw_attr_record(idx), "attr record");
+        let count = reader.u32().expect("validated at load");
+        for _ in 0..count {
+            survives[reader.u32().expect("validated at load") as usize] = true;
+            skip_attr_value(&mut reader);
+        }
+    }
+    let mut edge_labels: Vec<i64> = vec![0; old_count];
+    for &fid in old.raw_side_arrays(true).1 {
+        edge_labels[fid as usize] += 1;
+    }
+    for e in &net.del {
+        let fid = old
+            .fid_of_sym(e.label)
+            .expect("deleted edge label is known");
+        edge_labels[fid as usize] -= 1;
+    }
+    for e in &net.ins {
+        if let Some(fid) = old.fid_of_sym(e.label) {
+            edge_labels[fid as usize] += 1;
+        }
+    }
+    for (fid, &count) in edge_labels.iter().enumerate() {
+        if count > 0 {
+            survives[fid] = true;
+        }
+    }
+
+    // Symbols the delta introduces that the old table never saw.
+    let mut fresh: Vec<Sym> = Vec::new();
+    let mut note = |sym: Sym| {
+        if let Some(fid) = old.fid_of_sym(sym) {
+            survives[fid as usize] = true;
+        } else {
+            fresh.push(sym);
+        }
+    };
+    for node in &net.batch.new_nodes {
+        note(node.label);
+        for (name, _) in node.attrs.iter() {
+            note(name);
+        }
+    }
+    for e in &net.ins {
+        note(e.label);
+    }
+    let mut fresh: Vec<&'static str> = fresh.into_iter().map(Sym::as_str).collect();
+    fresh.sort_unstable();
+    fresh.dedup();
+
+    // Linear merge of the two sorted string lists; both id assignments and
+    // the old→new remap fall out monotone.
+    let mut strings = Vec::with_capacity(old_count + fresh.len());
+    let mut old_to_new = vec![u32::MAX; old_count];
+    let mut sym_to_new = HashMap::with_capacity(old_count + fresh.len());
+    let mut fresh_iter = fresh.iter().peekable();
+    for (fid, &text) in old_strings.iter().enumerate() {
+        if !survives[fid] {
+            continue;
+        }
+        while let Some(&&f) = fresh_iter.peek() {
+            if f < text {
+                sym_to_new.insert(intern(f), strings.len() as u32);
+                strings.push(f);
+                fresh_iter.next();
+            } else {
+                break;
+            }
+        }
+        old_to_new[fid] = strings.len() as u32;
+        sym_to_new.insert(old.sym_of_fid(fid as u32), strings.len() as u32);
+        strings.push(text);
+    }
+    for &f in fresh_iter {
+        sym_to_new.insert(intern(f), strings.len() as u32);
+        strings.push(f);
+    }
+    SymMerge {
+        old_to_new,
+        sym_to_new,
+        strings,
+    }
+}
+
+/// Advance `reader` past one encoded attribute value.
+fn skip_attr_value(reader: &mut BlobReader<'_>) {
+    match reader.u8().expect("validated at load") {
+        0 => {
+            reader.i64().expect("validated at load");
+        }
+        1 => {
+            let len = reader.u32().expect("validated at load") as usize;
+            reader.bytes(len).expect("validated at load");
+        }
+        _ => {
+            reader.u8().expect("validated at load");
+        }
+    }
+}
+
+/// Rewrite the old attribute blob with remapped name ids and append the
+/// new nodes' tuples.  The remap is monotone, so per-record name order is
+/// preserved without sorting.
+fn merge_attrs(old: &MmapSnapshot, net: &NetDelta, syms: &SymMerge, table: &SymTable) -> Vec<u8> {
+    let mut blob = BlobWriter::new();
+    for idx in 0..GraphView::node_count(old) {
+        let record = old.raw_attr_record(idx);
+        let mut reader = BlobReader::new(record, "attr record");
+        let count = reader.u32().expect("validated at load");
+        blob.put_u32(count);
+        for _ in 0..count {
+            let fid = reader.u32().expect("validated at load");
+            blob.put_u32(syms.old_to_new[fid as usize]);
+            let before = reader.pos();
+            skip_attr_value(&mut reader);
+            blob.put_bytes(&record[before..reader.pos()]);
+        }
+    }
+    let new_nodes: Vec<NodeData> = net
+        .batch
+        .new_nodes
+        .iter()
+        .map(|n| NodeData {
+            label: n.label,
+            attrs: n.attrs.clone(),
+        })
+        .collect();
+    let mut out = blob.into_bytes();
+    out.extend_from_slice(&encode_attrs(&new_nodes, table));
+    out
+}
+
+/// `(row → sorted per-row entries)` as a row-sorted list, walked with a
+/// cursor in step with the row loop.  A per-row hash probe would pay a
+/// SipHash for every one of `|V|` rows; the cursor pays only `O(|ΔG| log
+/// |ΔG|)` once.
+struct RowDeltas {
+    /// `(row, start, end)` ranges into `entries`, sorted by row.
+    rows: Vec<(u32, u32, u32)>,
+    entries: Vec<(u32, u32)>,
+    cursor: usize,
+}
+
+impl RowDeltas {
+    fn build(edges: impl Iterator<Item = (u32, (u32, u32))>) -> RowDeltas {
+        let mut keyed: Vec<(u32, (u32, u32))> = edges.collect();
+        keyed.sort_unstable();
+        let mut rows = Vec::new();
+        let mut entries = Vec::with_capacity(keyed.len());
+        for (row, entry) in keyed {
+            match rows.last_mut() {
+                Some((last, _, end)) if *last == row => {
+                    entries.push(entry);
+                    *end += 1;
+                }
+                _ => {
+                    rows.push((row, entries.len() as u32, entries.len() as u32 + 1));
+                    entries.push(entry);
+                }
+            }
+        }
+        RowDeltas {
+            rows,
+            entries,
+            cursor: 0,
+        }
+    }
+
+    /// The entries of `row`, assuming rows are requested in ascending
+    /// order (empty slice when the row has none).
+    fn advance(&mut self, row: u32) -> &[(u32, u32)] {
+        while self.rows.get(self.cursor).is_some_and(|&(r, _, _)| r < row) {
+            self.cursor += 1;
+        }
+        match self.rows.get(self.cursor) {
+            Some(&(r, start, end)) if r == row => &self.entries[start as usize..end as usize],
+            _ => &[],
+        }
+    }
+}
+
+/// Merge one CSR side: per row, the old run (minus net deletions, labels
+/// remapped) two-pointer-merged with the row's net insertions.
+fn merge_side(
+    old: &MmapSnapshot,
+    net: &NetDelta,
+    syms: &SymMerge,
+    out_side: bool,
+    total_nodes: usize,
+) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let (offsets, labels, neighbors) = old.raw_side_arrays(out_side);
+    let old_n = GraphView::node_count(old);
+    // Per-row deletions in *old* file-symbol space (a fully deleted label
+    // may not survive into the new table), per-row insertions in new space.
+    let row_of = |e: &EdgeRef| if out_side { e.src } else { e.dst };
+    let other_of = |e: &EdgeRef| if out_side { e.dst } else { e.src };
+    let mut dels = RowDeltas::build(net.del.iter().map(|e| {
+        let fid = old
+            .fid_of_sym(e.label)
+            .expect("deleted edge label is known");
+        (row_of(e).0, (fid, other_of(e).0))
+    }));
+    let mut inss = RowDeltas::build(
+        net.ins
+            .iter()
+            .map(|e| (row_of(e).0, (syms.new_fid(e.label), other_of(e).0))),
+    );
+
+    let entry_estimate = labels.len() + net.ins.len();
+    let mut new_offsets = Vec::with_capacity(total_nodes + 1);
+    let mut new_labels = Vec::with_capacity(entry_estimate);
+    let mut new_neighbors = Vec::with_capacity(entry_estimate);
+    new_offsets.push(0u32);
+    for row in 0..total_nodes {
+        let (del, ins) = (dels.advance(row as u32), inss.advance(row as u32));
+        let range = if row < old_n {
+            offsets[row] as usize..offsets[row + 1] as usize
+        } else {
+            0..0
+        };
+        if del.is_empty() && ins.is_empty() {
+            // Untouched row: bulk-copy the neighbours, remap the labels.
+            new_neighbors.extend_from_slice(&neighbors[range.clone()]);
+            new_labels.extend(range.map(|i| syms.old_to_new[labels[i] as usize]));
+        } else {
+            let mut ins_iter = ins.iter().peekable();
+            for i in range {
+                let key = (labels[i], neighbors[i]);
+                if del.binary_search(&key).is_ok() {
+                    continue;
+                }
+                let mapped = (syms.old_to_new[labels[i] as usize], neighbors[i]);
+                while let Some(&&pending) = ins_iter.peek() {
+                    if pending < mapped {
+                        new_labels.push(pending.0);
+                        new_neighbors.push(pending.1);
+                        ins_iter.next();
+                    } else {
+                        break;
+                    }
+                }
+                new_labels.push(mapped.0);
+                new_neighbors.push(mapped.1);
+            }
+            for &(label, neighbor) in ins_iter {
+                new_labels.push(label);
+                new_neighbors.push(neighbor);
+            }
+        }
+        new_offsets.push(new_labels.len() as u32);
+    }
+    (new_offsets, new_labels, new_neighbors)
+}
+
+/// Merge the label partition: every new node joins its label's group at
+/// the end (ascending ids, exactly like a fresh freeze), groups stay in
+/// file-symbol order.
+fn merge_label_partition(
+    old: &MmapSnapshot,
+    net: &NetDelta,
+    syms: &SymMerge,
+    total_nodes: usize,
+) -> (Vec<u32>, Vec<u8>, u64) {
+    let old_order = old.raw_label_order();
+    let old_n = GraphView::node_count(old);
+    // new fid → (old range, appended new node ids)
+    let mut groups: BTreeMap<u32, (std::ops::Range<usize>, Vec<u32>)> = BTreeMap::new();
+    for (sym, start, end) in old.raw_label_ranges() {
+        groups.insert(
+            syms.new_fid(sym),
+            (start as usize..end as usize, Vec::new()),
+        );
+    }
+    for (idx, node) in net.batch.new_nodes.iter().enumerate() {
+        groups
+            .entry(syms.new_fid(node.label))
+            .or_insert((0..0, Vec::new()))
+            .1
+            .push((old_n + idx) as u32);
+    }
+    let mut order = Vec::with_capacity(total_nodes);
+    let mut ranges = BlobWriter::new();
+    let mut count = 0u64;
+    for (fid, (old_range, added)) in groups {
+        let start = order.len() as u32;
+        order.extend_from_slice(&old_order[old_range]);
+        order.extend_from_slice(&added);
+        ranges.put_u32(fid);
+        ranges.put_u32(start);
+        ranges.put_u32(order.len() as u32);
+        count += 1;
+    }
+    (order, ranges.into_bytes(), count)
+}
+
+/// Merge the triple index: per `(src label, edge label, dst label)` group,
+/// old `(src, dst)`-sorted entries minus deletions, merged with the
+/// delta's insertions; groups in new-file-symbol key order.
+///
+/// The componentwise-monotone symbol remap preserves the lexicographic
+/// order of group keys, so the old groups and the delta's groups are two
+/// already-sorted streams: one merge walk, with untouched groups
+/// bulk-copied straight out of the mapped arrays.
+fn merge_triples(
+    old: &MmapSnapshot,
+    net: &NetDelta,
+    syms: &SymMerge,
+    node_labels: &[u32],
+) -> (Vec<u32>, Vec<u32>, Vec<u8>, u64) {
+    let (old_src, old_dst) = old.raw_triple_arrays();
+    type Key = (u32, u32, u32);
+    // Deletions and insertions in new-fid key space, each list sorted by
+    // (key, src, dst).  A deletion whose edge label *died* (no edge kept
+    // or inserted it) is dropped here: it can only belong to a group whose
+    // every edge was deleted, and those groups are filtered out of the old
+    // stream below — dropping both sides keeps every remaining key total
+    // in the merged table and the streams exactly sorted.
+    let mut dels: Vec<(Key, (u32, u32))> = net
+        .del
+        .iter()
+        .filter_map(|e| {
+            let label = syms.live_fid(e.label)?;
+            Some((
+                (
+                    node_labels[e.src.index()],
+                    label,
+                    node_labels[e.dst.index()],
+                ),
+                (e.src.0, e.dst.0),
+            ))
+        })
+        .collect();
+    dels.sort_unstable();
+    let mut inss: Vec<(Key, (u32, u32))> = net
+        .ins
+        .iter()
+        .map(|e| {
+            (
+                (
+                    node_labels[e.src.index()],
+                    syms.new_fid(e.label),
+                    node_labels[e.dst.index()],
+                ),
+                (e.src.0, e.dst.0),
+            )
+        })
+        .collect();
+    inss.sort_unstable();
+
+    // Old groups with dead edge labels are dropped up front: dead means
+    // every edge of the group was deleted, so the group contributes
+    // nothing — and filtering keeps the remapped key stream *sorted*,
+    // because the componentwise-monotone remap preserves lexicographic
+    // order only among fully-live keys.
+    let old_groups = old.raw_triple_ranges();
+
+    let total_estimate = old_src.len() + inss.len();
+    let mut triple_src: Vec<u32> = Vec::with_capacity(total_estimate);
+    let mut triple_dst: Vec<u32> = Vec::with_capacity(total_estimate);
+    let mut ranges = BlobWriter::new();
+    let mut count = 0u64;
+    let mut del_cursor = 0usize;
+    let mut ins_cursor = 0usize;
+    let mut emit = |key: Key, start: u32, src: &mut Vec<u32>| {
+        ranges.put_u32(key.0);
+        ranges.put_u32(key.1);
+        ranges.put_u32(key.2);
+        ranges.put_u32(start);
+        ranges.put_u32(src.len() as u32);
+        count += 1;
+    };
+    let mut old_iter = old_groups
+        .into_iter()
+        .filter_map(|(key, start, end)| {
+            // Node-label components always survive; only the edge label
+            // (key.1) can die, taking the whole group with it.
+            let new_key = (
+                syms.new_fid(key.0),
+                syms.live_fid(key.1)?,
+                syms.new_fid(key.2),
+            );
+            Some((new_key, start as usize, end as usize))
+        })
+        .peekable();
+    loop {
+        // Next insertion-group key, if any.
+        let ins_key = inss.get(ins_cursor).map(|&(k, _)| k);
+        let old_key = old_iter.peek().map(|&(k, _, _)| k);
+        let Some(key) = [ins_key, old_key].into_iter().flatten().min() else {
+            break;
+        };
+        let group_start = triple_src.len() as u32;
+        if old_key == Some(key) {
+            let (_, start, end) = old_iter.next().expect("peeked");
+            // Deletions for this group, if any.
+            let del_start = del_cursor;
+            while dels.get(del_cursor).is_some_and(|&(k, _)| k <= key) {
+                del_cursor += 1;
+            }
+            let del = &dels[del_start..del_cursor];
+            let ins_start = ins_cursor;
+            while inss.get(ins_cursor).is_some_and(|&(k, _)| k == key) {
+                ins_cursor += 1;
+            }
+            let ins = &inss[ins_start..ins_cursor];
+            if del.is_empty() && ins.is_empty() {
+                // Untouched group: bulk-copy from the mapped arrays.
+                triple_src.extend_from_slice(&old_src[start..end]);
+                triple_dst.extend_from_slice(&old_dst[start..end]);
+            } else {
+                // Both the group and its delta slices are (src, dst)-sorted:
+                // one three-way pointer walk, no per-entry scans.
+                let mut ins_iter = ins.iter().map(|&(_, pair)| pair).peekable();
+                let mut del_iter = del
+                    .iter()
+                    .filter(|&&(k, _)| k == key)
+                    .map(|&(_, pair)| pair)
+                    .peekable();
+                for i in start..end {
+                    let pair = (old_src[i], old_dst[i]);
+                    while del_iter.peek().is_some_and(|&deleted| deleted < pair) {
+                        del_iter.next();
+                    }
+                    if del_iter.peek() == Some(&pair) {
+                        del_iter.next();
+                        continue;
+                    }
+                    while let Some(&pending) = ins_iter.peek() {
+                        if pending < pair {
+                            triple_src.push(pending.0);
+                            triple_dst.push(pending.1);
+                            ins_iter.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    triple_src.push(pair.0);
+                    triple_dst.push(pair.1);
+                }
+                for (src, dst) in ins_iter {
+                    triple_src.push(src);
+                    triple_dst.push(dst);
+                }
+            }
+        } else {
+            // A brand-new group: insertions only.
+            while inss.get(ins_cursor).is_some_and(|&(k, _)| k == key) {
+                let (_, (src, dst)) = inss[ins_cursor];
+                triple_src.push(src);
+                triple_dst.push(dst);
+                ins_cursor += 1;
+            }
+        }
+        if triple_src.len() as u32 > group_start {
+            emit(key, group_start, &mut triple_src);
+        }
+    }
+    (triple_src, triple_dst, ranges.into_bytes(), count)
+}
+
+/// Run every per-section merge over the shared (global) sections.
+fn merge_global(old: &MmapSnapshot, net: &NetDelta) -> MergedGlobal {
+    let old_n = GraphView::node_count(old);
+    let total_nodes = old_n + net.batch.new_nodes.len();
+    let edge_count = GraphView::edge_count(old) + net.ins.len() - net.del.len();
+
+    let syms = merge_symbols(old, net);
+    let mut node_labels: Vec<u32> = old
+        .raw_node_labels()
+        .iter()
+        .map(|&fid| syms.old_to_new[fid as usize])
+        .collect();
+    node_labels.extend(net.batch.new_nodes.iter().map(|n| syms.new_fid(n.label)));
+
+    let table = SymTable::from_parts(syms.strings.clone(), syms.sym_to_new.clone());
+    let node_attrs = merge_attrs(old, net, &syms, &table);
+    let out = merge_side(old, net, &syms, true, total_nodes);
+    let inn = merge_side(old, net, &syms, false, total_nodes);
+    let (label_order, label_ranges, label_range_count) =
+        merge_label_partition(old, net, &syms, total_nodes);
+    let (triple_src, triple_dst, triple_ranges, triple_range_count) =
+        merge_triples(old, net, &syms, &node_labels);
+
+    MergedGlobal {
+        node_count: total_nodes,
+        edge_count,
+        syms: table,
+        node_labels,
+        node_attrs,
+        out,
+        inn,
+        label_order,
+        label_ranges,
+        label_range_count,
+        triple_src,
+        triple_dst,
+        triple_ranges,
+        triple_range_count,
+    }
+}
+
+/// Extend the stored partition with the delta instead of repartitioning:
+/// ownership is the routing contract live sessions rely on, so owned-node
+/// sets only grow (new nodes spread by [`Partition::route_of`]'s hash
+/// rule) and the edge/border bookkeeping is patched in place.
+fn extend_partition(old: &Partition, net: &NetDelta, merged: &MergedGlobal) -> Partition {
+    let mut p = old.clone();
+    let parts = p.fragments.len().max(1);
+    let old_n = p.owner.len();
+    for idx in old_n..merged.node_count {
+        let owner = idx % parts;
+        p.owner.push(owner);
+        p.fragments[owner].nodes.push(NodeId(idx as u32));
+    }
+
+    let deleted: HashSet<EdgeRef> = net.del.iter().copied().collect();
+    for frag in &mut p.fragments {
+        frag.internal_edges.retain(|e| !deleted.contains(e));
+    }
+    p.crossing_edges.retain(|e| !deleted.contains(e));
+
+    match p.strategy {
+        PartitionStrategy::EdgeCut => {
+            for e in &net.ins {
+                if p.owner[e.src.index()] == p.owner[e.dst.index()] {
+                    p.fragments[p.owner[e.src.index()]].internal_edges.push(*e);
+                } else {
+                    p.crossing_edges.push(*e);
+                }
+            }
+            // Border nodes: recomputed exactly like the partitioner does
+            // (ascending node id per fragment).
+            let mut is_border = vec![false; merged.node_count];
+            for e in &p.crossing_edges {
+                is_border[e.src.index()] = true;
+                is_border[e.dst.index()] = true;
+            }
+            for frag in &mut p.fragments {
+                frag.border_nodes.clear();
+            }
+            for (idx, &border) in is_border.iter().enumerate() {
+                if border {
+                    p.fragments[p.owner[idx]]
+                        .border_nodes
+                        .push(NodeId(idx as u32));
+                }
+            }
+        }
+        PartitionStrategy::VertexCut => {
+            let hasher = VertexCutPartitioner::new(parts);
+            for e in &net.ins {
+                let frag = hasher.edge_fragment(e);
+                p.fragments[frag].internal_edges.push(*e);
+            }
+            // Re-derive replication from the final edge assignment.
+            // Flat |V|·p bitmap — one allocation, not one Vec per node.
+            let mut membership = vec![false; merged.node_count * parts];
+            for frag in &p.fragments {
+                for e in &frag.internal_edges {
+                    membership[e.src.index() * parts + frag.id] = true;
+                    membership[e.dst.index() * parts + frag.id] = true;
+                }
+            }
+            let replicated: Vec<bool> = membership
+                .chunks(parts)
+                .map(|m| m.iter().filter(|&&t| t).count() > 1)
+                .collect();
+            for frag in &mut p.fragments {
+                frag.border_nodes.clear();
+            }
+            for (idx, frags) in membership.chunks(parts).enumerate() {
+                if !replicated[idx] {
+                    continue;
+                }
+                for (f, &touches) in frags.iter().enumerate() {
+                    if touches {
+                        p.fragments[f].border_nodes.push(NodeId(idx as u32));
+                    }
+                }
+            }
+            // Crossing edges (edges incident to a replicated endpoint):
+            // keep the stored order for entries that still qualify, then
+            // append newly-qualifying edges in canonical order.
+            let crossing = |e: &EdgeRef| replicated[e.src.index()] || replicated[e.dst.index()];
+            p.crossing_edges.retain(crossing);
+            let present: HashSet<EdgeRef> = p.crossing_edges.iter().copied().collect();
+            let mut appended: Vec<EdgeRef> = Vec::new();
+            for frag in &p.fragments {
+                for e in &frag.internal_edges {
+                    if crossing(e) && !present.contains(e) {
+                        appended.push(*e);
+                    }
+                }
+            }
+            appended.sort_unstable();
+            appended.dedup();
+            p.crossing_edges.extend(appended);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrMap;
+    use crate::graph::Graph;
+    use crate::persist::SnapshotWriter;
+    use crate::value::Value;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ngd-compact-unit-{tag}-{}.ngds",
+            std::process::id()
+        ))
+    }
+
+    fn sample() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let a = g.add_node_named(
+            "account",
+            AttrMap::from_pairs([("name", Value::from("ann"))]),
+        );
+        let b = g.add_node_named("account", AttrMap::new());
+        let c = g.add_node_named(
+            "company",
+            AttrMap::from_pairs([("active", Value::Bool(true))]),
+        );
+        let d = g.add_node_named("integer", AttrMap::from_pairs([("val", Value::Int(-7))]));
+        g.add_edge_named(a, c, "keys").unwrap();
+        g.add_edge_named(b, c, "keys").unwrap();
+        g.add_edge_named(a, d, "follower").unwrap();
+        g.add_edge_named(a, b, "knows").unwrap();
+        (g, vec![a, b, c, d])
+    }
+
+    fn mapped(graph: &Graph, tag: &str) -> (MmapSnapshot, PathBuf) {
+        let path = temp_path(tag);
+        SnapshotWriter::new().write(&graph.freeze(), &path).unwrap();
+        (MmapSnapshot::load(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn empty_delta_reproduces_the_writer_bytes_with_a_bumped_epoch() {
+        let (g, _) = sample();
+        let (old, path) = mapped(&g, "identity");
+        let compacted = CompactionWriter::new()
+            .encode(&old, &BatchUpdate::new(), 1)
+            .unwrap();
+        let rewritten = SnapshotWriter::with_epoch(1).encode(&g.freeze());
+        assert_eq!(compacted, rewritten);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn merged_bytes_equal_a_fresh_freeze_of_the_updated_graph() {
+        let (g, n) = sample();
+        let (old, path) = mapped(&g, "merge");
+        let mut delta = BatchUpdate::new();
+        // New node with a brand-new label and attr name, a deleted edge
+        // whose label ("knows") dies with it, a new edge label ("audits"),
+        // and churn that must cancel.
+        let e = delta.add_node(
+            g.node_count(),
+            intern("regulator"),
+            AttrMap::from_pairs([("strict", Value::Bool(true))]),
+        );
+        delta.delete_edge(n[0], n[1], intern("knows"));
+        delta.insert_edge(e, n[2], intern("audits"));
+        delta.insert_edge(n[1], n[3], intern("follower"));
+        delta.delete_edge(n[1], n[3], intern("follower"));
+        delta.insert_edge(n[1], n[3], intern("follower"));
+
+        let compacted = CompactionWriter::new().encode(&old, &delta, 7).unwrap();
+        let updated = delta.applied_to(&g).unwrap();
+        let fresh = SnapshotWriter::with_epoch(7).encode(&updated.freeze());
+        assert_eq!(compacted, fresh, "compaction must equal freeze→write");
+
+        // And the result loads with the stamped epoch.
+        let out = temp_path("merge-out");
+        std::fs::write(&out, &compacted).unwrap();
+        let loaded = MmapSnapshot::load(&out).unwrap();
+        assert_eq!(loaded.epoch(), 7);
+        assert_eq!(GraphView::node_count(&loaded), 5);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    /// Regression: a delta that kills one edge label ("aa", which sorts
+    /// *before* a surviving label "bb") while also deleting a "bb" edge.
+    /// The dead group must vanish without its sentinel key swallowing the
+    /// live group's deletion — the compacted triple index once kept the
+    /// deleted "bb" edge alive.
+    #[test]
+    fn killing_a_label_does_not_corrupt_sibling_triple_groups() {
+        let mut g = Graph::new();
+        let n0 = g.add_node_named("N", AttrMap::new());
+        let n1 = g.add_node_named("N", AttrMap::new());
+        let n2 = g.add_node_named("N", AttrMap::new());
+        g.add_edge_named(n0, n1, "aa").unwrap();
+        g.add_edge_named(n0, n2, "bb").unwrap();
+        g.add_edge_named(n1, n2, "bb").unwrap();
+        let (old, path) = mapped(&g, "dead-label");
+
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n0, n1, intern("aa")); // label "aa" dies
+        delta.delete_edge(n0, n2, intern("bb")); // "bb" survives via n1→n2
+        let compacted = CompactionWriter::new().encode(&old, &delta, 1).unwrap();
+        let fresh = SnapshotWriter::with_epoch(1).encode(&delta.applied_to(&g).unwrap().freeze());
+        assert_eq!(compacted, fresh);
+
+        let out = temp_path("dead-label-out");
+        std::fs::write(&out, &compacted).unwrap();
+        let loaded = MmapSnapshot::load(&out).unwrap();
+        assert_eq!(
+            loaded.triple_count(intern("N"), intern("bb"), intern("N")),
+            1
+        );
+        assert_eq!(
+            loaded.triple_count(intern("N"), intern("aa"), intern("N")),
+            0
+        );
+        assert!(!GraphView::has_edge(&loaded, n0, n2, intern("bb")));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn invalid_deltas_fail_typed() {
+        let (g, n) = sample();
+        let (old, path) = mapped(&g, "invalid");
+        let mut delta = BatchUpdate::new();
+        delta.delete_edge(n[2], n[0], intern("ghost"));
+        let err = CompactionWriter::new().encode(&old, &delta, 1).unwrap_err();
+        assert!(matches!(err, CompactError::Update(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_empty_delta_round_trips_and_loads() {
+        let (g, _) = sample();
+        let sharded = g.freeze_sharded(2, PartitionStrategy::EdgeCut, 1);
+        let path = temp_path("sharded");
+        SnapshotWriter::new()
+            .write_sharded(&sharded, &path)
+            .unwrap();
+        let old = MmapShardedSnapshot::load(&path).unwrap();
+        let compacted = CompactionWriter::new()
+            .encode_sharded(&old, &BatchUpdate::new(), 1)
+            .unwrap();
+        let rewritten = SnapshotWriter::with_epoch(1).encode_sharded(&sharded);
+        assert_eq!(compacted, rewritten);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -29,7 +29,7 @@
 //! | 32     | 8    | [`file_checksum`] of `bytes[64..total_len]`       |
 //! | 40     | 8    | node count                                        |
 //! | 48     | 8    | edge count                                        |
-//! | 56     | 8    | reserved (0)                                      |
+//! | 56     | 8    | snapshot epoch (version ≥ 2; reserved 0 in v1)    |
 //!
 //! Section-table entry layout (32 bytes each):
 //!
@@ -46,9 +46,16 @@ use super::PersistError;
 /// File magic, first 8 bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"NGDSNAP\0";
 
-/// Current format version.  Bump on ANY byte-layout change and re-bless the
-/// golden file (`cargo test -p ngd-integration-tests persist_format -- --ignored`).
-pub const VERSION: u32 = 1;
+/// Current format version (the "v1.1" layout: the formerly reserved
+/// header word at offset 56 now carries the snapshot **epoch** stamped by
+/// compaction).  Bump on ANY byte-layout change and re-bless the golden
+/// file (`cargo test -p ngd-integration-tests persist_format -- --ignored`).
+pub const VERSION: u32 = 2;
+
+/// Oldest format version this build still reads.  Version-1 files differ
+/// from version 2 only by the reserved word at offset 56 (always written
+/// as zero), so they load as **epoch 0** with no other translation.
+pub const MIN_VERSION: u32 = 1;
 
 /// Header length in bytes.
 pub const HEADER_LEN: usize = 64;
@@ -203,6 +210,10 @@ pub struct FileHeader {
     pub node_count: u64,
     /// Number of edges in the (global) snapshot.
     pub edge_count: u64,
+    /// Snapshot epoch: 0 for a freshly frozen graph, incremented by every
+    /// compaction.  Version-1 files (whose word at offset 56 was reserved
+    /// as zero) decode as epoch 0.
+    pub epoch: u64,
 }
 
 impl FileHeader {
@@ -218,6 +229,7 @@ impl FileHeader {
         out[32..40].copy_from_slice(&self.checksum.to_le_bytes());
         out[40..48].copy_from_slice(&self.node_count.to_le_bytes());
         out[48..56].copy_from_slice(&self.edge_count.to_le_bytes());
+        out[56..64].copy_from_slice(&self.epoch.to_le_bytes());
         out
     }
 
@@ -241,7 +253,7 @@ impl FileHeader {
         let le32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4B"));
         let le64 = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8B"));
         let version = le32(8);
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(PersistError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -256,6 +268,9 @@ impl FileHeader {
             checksum: le64(32),
             node_count: le64(40),
             edge_count: le64(48),
+            // Version 1 reserved this word as zero; reading it as "epoch 0"
+            // is exactly the back-compat contract of the v1.1 layout.
+            epoch: if version >= 2 { le64(56) } else { 0 },
         })
     }
 }

@@ -632,6 +632,7 @@ pub struct MmapSnapshot {
     syms: Arc<SymBridge>,
     node_count: usize,
     edge_count: usize,
+    epoch: u64,
     attrs: LazyAttrs,
     label_ranges: HashMap<Sym, (u32, u32)>,
     triple_ranges: TripleRanges,
@@ -660,6 +661,13 @@ impl MmapSnapshot {
     /// Size of the backing file in bytes.
     pub fn file_len(&self) -> usize {
         self.map.len()
+    }
+
+    /// The snapshot epoch recorded in the file header: 0 for a freshly
+    /// frozen graph (and for every version-1 file), incremented by each
+    /// compaction ([`crate::persist::CompactionWriter`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     #[inline]
@@ -724,6 +732,77 @@ impl MmapSnapshot {
     /// [`crate::CsrSnapshot::as_overlay`]).
     pub fn as_overlay(&self) -> crate::overlay::DeltaOverlay<'_, MmapSnapshot> {
         crate::overlay::DeltaOverlay::empty(self)
+    }
+
+    // Raw mapped-array accessors for the compaction writer
+    // ([`crate::persist::CompactionWriter`]), which merge-joins these
+    // file-ordered arrays with a net `ΔG` without re-freezing.  All crate
+    // private: the file layout stays an implementation detail.
+
+    /// The strings of the file's symbol table, in file-id order
+    /// (lexicographic by construction).
+    pub(crate) fn raw_strings(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.syms.file_to_proc.iter().map(|s| s.as_str())
+    }
+
+    /// Translate a file symbol id into its interned process symbol.
+    pub(crate) fn sym_of_fid(&self, fid: u32) -> Sym {
+        self.syms.to_proc(fid)
+    }
+
+    /// Translate a process symbol into its file id, if the file knows it.
+    pub(crate) fn fid_of_sym(&self, sym: Sym) -> Option<u32> {
+        self.syms.to_file(sym)
+    }
+
+    /// Per-node labels as file symbol ids.
+    pub(crate) fn raw_node_labels(&self) -> &[u32] {
+        self.arr(self.node_labels)
+    }
+
+    /// One CSR side's `(offsets, labels, neighbors)` mapped arrays.
+    pub(crate) fn raw_side_arrays(&self, out: bool) -> (&[u32], &[u32], &[u32]) {
+        let side = if out { self.out_side() } else { self.in_side() };
+        (side.offsets, side.labels, side.neighbors)
+    }
+
+    /// The label-partition permutation array.
+    pub(crate) fn raw_label_order(&self) -> &[u32] {
+        self.arr(self.label_order)
+    }
+
+    /// The label-partition ranges in file order (sorted by range start,
+    /// which equals file-symbol order because the ranges tile the array).
+    pub(crate) fn raw_label_ranges(&self) -> Vec<(Sym, u32, u32)> {
+        let mut out: Vec<(Sym, u32, u32)> = self
+            .label_ranges
+            .iter()
+            .map(|(&sym, &(start, end))| (sym, start, end))
+            .collect();
+        out.sort_unstable_by_key(|&(_, start, _)| start);
+        out
+    }
+
+    /// The triple-index `(src, dst)` arrays.
+    pub(crate) fn raw_triple_arrays(&self) -> (&[u32], &[u32]) {
+        (self.arr(self.triple_src), self.arr(self.triple_dst))
+    }
+
+    /// The triple-index ranges in file order (sorted by range start).
+    pub(crate) fn raw_triple_ranges(&self) -> Vec<((Sym, Sym, Sym), u32, u32)> {
+        let mut out: Vec<((Sym, Sym, Sym), u32, u32)> = self
+            .triple_ranges
+            .iter()
+            .map(|(&key, &(start, end))| (key, start, end))
+            .collect();
+        out.sort_unstable_by_key(|&(_, start, _)| start);
+        out
+    }
+
+    /// The raw bytes of node `idx`'s attribute record (validated at load).
+    pub(crate) fn raw_attr_record(&self, idx: usize) -> &[u8] {
+        let blob = &self.map.bytes()[self.attrs.off..self.attrs.off + self.attrs.len];
+        &blob[self.attrs.starts[idx] as usize..self.attrs.starts[idx + 1] as usize]
     }
 }
 
@@ -835,6 +914,7 @@ fn decode_global(file: &FileData) -> Result<MmapSnapshot, PersistError> {
         syms: Arc::new(syms),
         node_count: n,
         edge_count,
+        epoch: file.header.epoch,
         attrs,
         label_ranges,
         triple_ranges,
@@ -1077,6 +1157,12 @@ impl MmapShardedSnapshot {
     /// Number of fragments.
     pub fn fragment_count(&self) -> usize {
         self.fragments.len()
+    }
+
+    /// The snapshot epoch recorded in the file header (see
+    /// [`MmapSnapshot::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.global.epoch()
     }
 
     /// The halo replication depth the shards were built with.

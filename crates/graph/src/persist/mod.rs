@@ -13,7 +13,14 @@
 //! [`MmapShardedSnapshot::load`]), with one group of sections per
 //! fragment, so the sharded detectors also run straight off disk.
 //!
-//! ## File layout (version 1)
+//! Snapshots carry an **epoch**: a freshly frozen graph is epoch 0, and
+//! [`CompactionWriter`] emits successors — the mapped file merge-joined
+//! with an accumulated net `ΔG`, byte-identical to re-freezing but
+//! without ever materialising the mutable graph — stamped `epoch + 1`.
+//! Sessions re-root their overlays onto the new epoch via
+//! [`crate::DeltaOverlay::reroot`].
+//!
+//! ## File layout (version 2, "v1.1")
 //!
 //! A snapshot file is a 64-byte header, a section table, and a sequence of
 //! 64-byte-aligned little-endian sections (see [`mod@format`] for the
@@ -39,7 +46,10 @@
 //!   typed [`PersistError::UnsupportedHost`], never byte-swapped garbage.
 //! * **Versioned**: any layout change bumps [`format::VERSION`]; a reader
 //!   confronted with a newer file returns
-//!   [`PersistError::UnsupportedVersion`] instead of guessing.
+//!   [`PersistError::UnsupportedVersion`] instead of guessing.  Older
+//!   versions down to [`format::MIN_VERSION`] keep loading: a version-1
+//!   file (whose header word at offset 56 was reserved-as-zero) reads as
+//!   **epoch 0** with no other translation.
 //! * **Checksummed**: a 4-lane multiply-xor hash ([`file_checksum`])
 //!   over everything after the header; a
 //!   flipped bit is [`PersistError::ChecksumMismatch`], not a wrong answer.
@@ -72,11 +82,13 @@
 //! # std::fs::remove_file(&path).ok();
 //! ```
 
+mod compact;
 pub mod format;
 mod loader;
 mod mmap;
 mod writer;
 
+pub use compact::{CompactError, CompactReport, CompactionWriter};
 pub use format::{file_checksum, FileHeader, SectionEntry};
 pub use loader::{MmapFragmentView, MmapShardedSnapshot, MmapSnapshot};
 pub use mmap::MmapFile;

@@ -35,13 +35,26 @@ use std::path::Path;
 
 /// Serialises [`CsrSnapshot`]s and [`ShardedSnapshot`]s into the versioned
 /// binary snapshot format (see [`crate::persist`] for the layout).
+///
+/// A freshly frozen graph is written as **epoch 0**; compaction
+/// ([`crate::persist::CompactionWriter`]) stamps successors with higher
+/// epochs.  [`SnapshotWriter::with_epoch`] exists so tooling (and the
+/// compaction-equivalence tests) can write a re-frozen graph at an
+/// arbitrary epoch.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SnapshotWriter;
+pub struct SnapshotWriter {
+    epoch: u64,
+}
 
 impl SnapshotWriter {
-    /// A writer with default settings.
+    /// A writer with default settings (epoch 0).
     pub fn new() -> Self {
-        SnapshotWriter
+        SnapshotWriter::default()
+    }
+
+    /// A writer stamping `epoch` into the header of everything it writes.
+    pub fn with_epoch(epoch: u64) -> Self {
+        SnapshotWriter { epoch }
     }
 
     /// Encode a snapshot into its exact file bytes.
@@ -51,6 +64,7 @@ impl SnapshotWriter {
             file_kind::SNAPSHOT,
             GraphView::node_count(snapshot) as u64,
             GraphView::edge_count(snapshot) as u64,
+            self.epoch,
         );
         push_strings(&mut builder, &syms);
         push_snapshot_sections(&mut builder, snapshot, &syms);
@@ -66,6 +80,7 @@ impl SnapshotWriter {
             file_kind::SHARDED,
             GraphView::node_count(global) as u64,
             GraphView::edge_count(global) as u64,
+            self.epoch,
         );
         push_strings(&mut builder, &syms);
         push_snapshot_sections(&mut builder, global, &syms);
@@ -116,6 +131,15 @@ pub(crate) struct SymTable {
 }
 
 impl SymTable {
+    /// Assemble a table from an already-merged string list (sorted,
+    /// deduplicated) and its `Sym → file id` map — the constructor the
+    /// compaction writer uses after merging an existing file's table with
+    /// a delta's new symbols.
+    pub(crate) fn from_parts(strings: Vec<&'static str>, to_file: HashMap<Sym, u32>) -> SymTable {
+        debug_assert!(strings.windows(2).all(|w| w[0] < w[1]));
+        SymTable { strings, to_file }
+    }
+
     fn build(mut used: Vec<Sym>) -> SymTable {
         used.sort_unstable();
         used.dedup();
@@ -153,7 +177,7 @@ impl SymTable {
         SymTable::build(used)
     }
 
-    fn file_id(&self, sym: Sym) -> u32 {
+    pub(crate) fn file_id(&self, sym: Sym) -> u32 {
         *self
             .to_file
             .get(&sym)
@@ -175,24 +199,26 @@ fn collect_snapshot_syms(snapshot: &CsrSnapshot, used: &mut Vec<Sym>) {
 }
 
 /// Accumulates sections, then lays out header + table + aligned payloads.
-struct FileBuilder {
+pub(crate) struct FileBuilder {
     file_kind: u32,
     node_count: u64,
     edge_count: u64,
+    epoch: u64,
     sections: Vec<(SectionEntry, Vec<u8>)>,
 }
 
 impl FileBuilder {
-    fn new(file_kind: u32, node_count: u64, edge_count: u64) -> FileBuilder {
+    pub(crate) fn new(file_kind: u32, node_count: u64, edge_count: u64, epoch: u64) -> FileBuilder {
         FileBuilder {
             file_kind,
             node_count,
             edge_count,
+            epoch,
             sections: Vec::new(),
         }
     }
 
-    fn add_u32s(&mut self, kind: u32, owner: u32, data: &[u32]) {
+    pub(crate) fn add_u32s(&mut self, kind: u32, owner: u32, data: &[u32]) {
         let mut bytes = Vec::with_capacity(data.len() * 4);
         for &value in data {
             bytes.extend_from_slice(&value.to_le_bytes());
@@ -200,7 +226,7 @@ impl FileBuilder {
         self.add_blob(kind, owner, data.len() as u64, bytes);
     }
 
-    fn add_blob(&mut self, kind: u32, owner: u32, elem_count: u64, bytes: Vec<u8>) {
+    pub(crate) fn add_blob(&mut self, kind: u32, owner: u32, elem_count: u64, bytes: Vec<u8>) {
         self.sections.push((
             SectionEntry {
                 kind,
@@ -213,7 +239,7 @@ impl FileBuilder {
         ));
     }
 
-    fn finish(mut self) -> Vec<u8> {
+    pub(crate) fn finish(mut self) -> Vec<u8> {
         let table_end = HEADER_LEN + self.sections.len() * SECTION_ENTRY_LEN;
         let mut offset = align_up(table_end);
         for (entry, bytes) in &mut self.sections {
@@ -240,13 +266,14 @@ impl FileBuilder {
             checksum: file_checksum(&out[HEADER_LEN..]),
             node_count: self.node_count,
             edge_count: self.edge_count,
+            epoch: self.epoch,
         };
         out[..HEADER_LEN].copy_from_slice(&header.encode());
         out
     }
 }
 
-fn push_strings(builder: &mut FileBuilder, syms: &SymTable) {
+pub(crate) fn push_strings(builder: &mut FileBuilder, syms: &SymTable) {
     let mut blob = BlobWriter::new();
     blob.put_u32(syms.strings.len() as u32);
     for text in &syms.strings {
@@ -282,7 +309,7 @@ fn encode_side(side: &CsrSide, syms: &SymTable) -> (Vec<u32>, Vec<u32>, Vec<u32>
 }
 
 /// Per-node (or per-row) attribute tuples, names in file-symbol order.
-fn encode_attrs(nodes: &[NodeData], syms: &SymTable) -> Vec<u8> {
+pub(crate) fn encode_attrs(nodes: &[NodeData], syms: &SymTable) -> Vec<u8> {
     let mut blob = BlobWriter::new();
     let mut entries: Vec<(u32, &Value)> = Vec::new();
     for node in nodes {
@@ -399,7 +426,7 @@ fn push_snapshot_sections(builder: &mut FileBuilder, snapshot: &CsrSnapshot, sym
     );
 }
 
-fn push_fragment_sections(
+pub(crate) fn push_fragment_sections(
     builder: &mut FileBuilder,
     fragment: &FragmentSnapshot,
     owner: u32,
@@ -448,7 +475,7 @@ fn encode_edges(blob: &mut BlobWriter, edges: &[EdgeRef], syms: &SymTable) {
     }
 }
 
-fn encode_partition(partition: &Partition, syms: &SymTable) -> Vec<u8> {
+pub(crate) fn encode_partition(partition: &Partition, syms: &SymTable) -> Vec<u8> {
     let mut blob = BlobWriter::new();
     blob.put_u8(match partition.strategy {
         PartitionStrategy::EdgeCut => 0,

@@ -206,9 +206,18 @@ impl ShardedSnapshot {
     }
 }
 
-/// Build the per-fragment snapshots of `partition` over `global`.
-fn build_fragments(
-    global: &CsrSnapshot,
+/// Build the per-fragment snapshots of `partition` over any [`GraphView`]
+/// of the global graph.
+///
+/// [`Graph::freeze_sharded`] hands it the frozen [`CsrSnapshot`]; snapshot
+/// compaction ([`crate::persist::CompactionWriter`]) hands it a
+/// [`crate::DeltaOverlay`] over the *mapped* old snapshot, so fragments of
+/// the compacted epoch are rebuilt without materialising `G ⊕ ΔG` as a
+/// mutable graph.  Per-list entry order does not matter ([`CsrSide::build`]
+/// sorts every run), so both views produce identical fragments for the
+/// same logical graph.
+pub(crate) fn build_fragments_from_view<G: GraphView + ?Sized>(
+    global: &G,
     partition: &Partition,
     halo_depth: usize,
 ) -> Vec<FragmentSnapshot> {
@@ -238,19 +247,48 @@ fn build_fragments(
             }
             let nodes: Vec<NodeData> = local_to_global
                 .iter()
-                .map(|&id| global.node_data(id).clone())
+                .map(|&id| NodeData {
+                    label: GraphView::label(global, id),
+                    attrs: GraphView::attrs_of(global, id).clone(),
+                })
                 .collect();
-            // Complete runs per materialised node, copied in CSR order
-            // (already sorted by (label, neighbour)), neighbour entries
-            // kept global.
-            let out_lists: Vec<Vec<(Sym, NodeId)>> = local_to_global
-                .iter()
-                .map(|&id| global.out_entries(id).collect())
-                .collect();
-            let in_lists: Vec<Vec<(Sym, NodeId)>> = local_to_global
-                .iter()
-                .map(|&id| global.in_entries(id).collect())
-                .collect();
+            // Complete runs per materialised node, neighbour entries kept
+            // global, both directions filled from ONE undirected pass per
+            // node (the same adjacency volume the CSR-copying path read).
+            // A self-loop is emitted once per side with an identical
+            // `EdgeRef`; the first emission goes to the out run and the
+            // second to the in run, tracked lazily — the tiny parity list
+            // only ever allocates on a node that actually has a loop.
+            let mut out_lists: Vec<Vec<(Sym, NodeId)>> = vec![Vec::new(); local_to_global.len()];
+            let mut in_lists: Vec<Vec<(Sym, NodeId)>> = vec![Vec::new(); local_to_global.len()];
+            for (row, &id) in local_to_global.iter().enumerate() {
+                let (out_list, in_list) = (&mut out_lists[row], &mut in_lists[row]);
+                let mut loop_parity: Vec<(Sym, bool)> = Vec::new();
+                GraphView::for_each_undirected(global, id, &mut |_, e| {
+                    if e.src == id && e.dst == id {
+                        match loop_parity.iter_mut().find(|(l, _)| *l == e.label) {
+                            // Second emission of this loop edge: in run.
+                            Some(entry) if entry.1 => {
+                                entry.1 = false;
+                                in_list.push((e.label, id));
+                            }
+                            // First emission (again): out run.
+                            Some(entry) => {
+                                entry.1 = true;
+                                out_list.push((e.label, id));
+                            }
+                            None => {
+                                loop_parity.push((e.label, true));
+                                out_list.push((e.label, id));
+                            }
+                        }
+                    } else if e.src == id {
+                        out_list.push((e.label, e.dst));
+                    } else {
+                        in_list.push((e.label, e.src));
+                    }
+                });
+            }
             let edge_entries = out_lists.iter().map(Vec::len).sum();
             FragmentSnapshot {
                 id: frag.id,
@@ -285,7 +323,7 @@ impl CsrSnapshot {
     /// As [`CsrSnapshot::shard`], consuming the snapshot and partition so
     /// no second copy of the global arrays is ever held.
     pub fn into_sharded(self, partition: Partition, halo_depth: usize) -> ShardedSnapshot {
-        let fragments = build_fragments(&self, &partition, halo_depth);
+        let fragments = build_fragments_from_view(&self, &partition, halo_depth);
         ShardedSnapshot {
             global: self,
             partition,

@@ -6,6 +6,13 @@
 //! commands:
 //!   load <graph.json> <out.ngds>  freeze a graph JSON into a snapshot file
 //!                                 (offline; what the daemon serves)
+//!   compact <in.ngds> <out.ngds> [delta.json]
+//!                                 offline: merge an optional ΔG batch into a
+//!                                 snapshot file, stamping the next epoch
+//!   compact                       online: ask the daemon to fold this
+//!                                 session's accumulated ΔG into a new epoch
+//!                                 and publish it to every session
+//!   epoch                         session + server snapshot epochs
 //!   update <batch.json>           submit a ΔG batch, stream ΔVio back
 //!   query                         full detection over the session state
 //!   rules <file>                  install a session rule set (JSON or DSL)
@@ -21,7 +28,7 @@
 //! library's job — keep one client connected and keep submitting.
 
 use ngd_core::RuleSet;
-use ngd_graph::persist::SnapshotWriter;
+use ngd_graph::persist::{CompactionWriter, SnapshotWriter};
 use ngd_graph::BatchUpdate;
 use ngd_serve::{ServeAddr, ServeClient, Side};
 use std::process::ExitCode;
@@ -29,7 +36,9 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: ngd-cli [--connect unix:<path>|tcp:<host>:<port>] <command>\n\
-         commands: load <graph.json> <out.ngds> | update <batch.json> | query |\n\
+         commands: load <graph.json> <out.ngds> |\n\
+         \x20         compact [<in.ngds> <out.ngds> [delta.json]] | epoch |\n\
+         \x20         update <batch.json> | query |\n\
          \x20         rules <file> | stats | reset | shutdown"
     );
     std::process::exit(2);
@@ -100,6 +109,86 @@ fn main() -> ExitCode {
                 Err(e) => fail(format!("write {out_path}: {e}")),
             }
         }
+        // Offline with paths; online (trigger the daemon) without.
+        "compact" => match (rest.get(1), rest.get(2)) {
+            (Some(in_path), Some(out_path)) => {
+                let delta = match rest.get(3) {
+                    Some(delta_path) => {
+                        let text = match std::fs::read_to_string(delta_path) {
+                            Ok(text) => text,
+                            Err(e) => return fail(format!("read {delta_path}: {e}")),
+                        };
+                        match ngd_json::from_str(&text) {
+                            Ok(batch) => batch,
+                            Err(e) => return fail(format!("parse {delta_path}: {e}")),
+                        }
+                    }
+                    None => BatchUpdate::new(),
+                };
+                match CompactionWriter::new().compact_file(
+                    std::path::Path::new(in_path),
+                    &delta,
+                    std::path::Path::new(out_path),
+                ) {
+                    Ok(report) => {
+                        println!(
+                            "compacted {in_path} ⊕ {} unit update(s) into {out_path}: \
+                             epoch {}, {} nodes, {} edges, {} bytes{}",
+                            delta.len(),
+                            report.epoch,
+                            report.node_count,
+                            report.edge_count,
+                            report.bytes,
+                            if report.sharded { " (sharded)" } else { "" },
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(format!("compact: {e}")),
+                }
+            }
+            (None, _) => {
+                let mut client = match connect(&addr) {
+                    Ok(client) => client,
+                    Err(e) => return fail(e),
+                };
+                match client.compact() {
+                    Ok(response) => {
+                        println!(
+                            "compacted: now serving epoch {} ({} nodes, {} edges), \
+                             {} compaction(s) since startup",
+                            response.epoch,
+                            response.snapshot_nodes,
+                            response.snapshot_edges,
+                            response.compactions,
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => fail(format!("compact: {e}")),
+                }
+            }
+            _ => usage(),
+        },
+        "epoch" => {
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            match client.epoch() {
+                Ok(response) => {
+                    println!(
+                        "session epoch {} / published epoch {} ({} nodes, {} edges), \
+                         {} compaction(s) since startup",
+                        response.epoch,
+                        response.published_epoch,
+                        response.snapshot_nodes,
+                        response.snapshot_edges,
+                        response.compactions,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("epoch: {e}")),
+            }
+        }
         "update" => {
             let Some(batch_path) = rest.get(1) else {
                 usage()
@@ -128,9 +217,10 @@ fn main() -> ExitCode {
             match result {
                 Ok(done) => {
                     println!(
-                        "{}: ΔVio⁺ = {}, ΔVio⁻ = {} in {:?} on {} worker(s), \
+                        "{} @ epoch {}: ΔVio⁺ = {}, ΔVio⁻ = {} in {:?} on {} worker(s), \
                          dΣ-neighbourhood {} nodes [{}]",
                         done.algorithm,
+                        done.epoch,
                         done.added_total,
                         done.removed_total,
                         std::time::Duration::from_nanos(done.elapsed_nanos),
@@ -209,12 +299,18 @@ fn main() -> ExitCode {
                 Ok(stats) => {
                     println!("server     : {}", info.server);
                     println!(
-                        "snapshot   : {} nodes, {} edges, {}",
+                        "snapshot   : {} nodes, {} edges, {}, epoch {}{}",
                         stats.snapshot_nodes,
                         stats.snapshot_edges,
                         match stats.fragment_count {
                             0 => "shared".to_string(),
                             n => format!("{n} fragments"),
+                        },
+                        stats.epoch,
+                        if stats.published_epoch != stats.epoch {
+                            format!(" (server publishes epoch {})", stats.published_epoch)
+                        } else {
+                            String::new()
                         }
                     );
                     println!(
@@ -223,6 +319,10 @@ fn main() -> ExitCode {
                         stats.session_edges,
                         stats.accumulated_ops,
                         stats.batches_applied
+                    );
+                    println!(
+                        "pending    : {} node(s), {} edge op(s) awaiting compaction",
+                        stats.pending_nodes, stats.pending_edge_ops
                     );
                     println!(
                         "service    : {} active / {} total sessions, {} updates served, \

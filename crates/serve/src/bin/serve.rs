@@ -3,16 +3,21 @@
 //! ```text
 //! ngd-serve --snapshot graph.ngds [--listen unix:/run/ngd.sock | tcp:127.0.0.1:7411]
 //!           [--rules rules.json|rules.ngd] [--processors N] [--latency C]
+//!           [--compact-after OPS]
 //! ```
 //!
 //! Maps the snapshot (shared or sharded — auto-detected), compiles the
 //! rule set (a JSON file produced by `RuleSet::to_json`, or the text DSL
 //! understood by `ngd_core::parse_rule_set`; defaults to the paper's rule
 //! set), binds the listener and serves until a client sends `SHUTDOWN`.
+//! With `--compact-after N`, a session whose accumulated update reaches
+//! `N` unit operations triggers a background compaction: the overlay is
+//! folded into a fresh `.ngds` epoch next to the original snapshot and
+//! every session re-roots onto it at its next message boundary.
 
 use ngd_core::RuleSet;
 use ngd_detect::DetectorConfig;
-use ngd_serve::{ServeAddr, Server, SnapshotStore};
+use ngd_serve::{ServeAddr, ServeOptions, Server, SnapshotStore};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,12 +27,14 @@ struct Args {
     rules: Option<PathBuf>,
     processors: Option<usize>,
     latency: Option<f64>,
+    compact_after: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ngd-serve --snapshot <file.ngds> [--listen unix:<path>|tcp:<host>:<port>]\n\
          \x20                [--rules <file>] [--processors <n>] [--latency <C>]\n\
+         \x20                [--compact-after <ops>]\n\
          \n\
          Serves incremental NGD violation detection over a memory-mapped\n\
          snapshot until a client sends SHUTDOWN (`ngd-cli shutdown`)."
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
     let mut rules = None;
     let mut processors = None;
     let mut latency = None;
+    let mut compact_after = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -67,6 +75,10 @@ fn parse_args() -> Args {
                 Ok(c) => latency = Some(c),
                 Err(_) => usage(),
             },
+            "--compact-after" => match value("--compact-after").parse() {
+                Ok(n) => compact_after = Some(n),
+                Err(_) => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -84,6 +96,7 @@ fn parse_args() -> Args {
         rules,
         processors,
         latency,
+        compact_after,
     }
 }
 
@@ -143,7 +156,10 @@ fn main() -> ExitCode {
         sigma.diameter(),
     );
 
-    let server = match Server::start(store, sigma, &args.listen, detector) {
+    let options = ServeOptions {
+        compact_after: args.compact_after,
+    };
+    let server = match Server::start_with(store, sigma, &args.listen, detector, options) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("ngd-serve: cannot listen on {}: {e}", args.listen);

@@ -10,8 +10,9 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{
-    frame, read_frame, write_frame, DoneResponse, ErrorResponse, HelloRequest, HelloResponse,
-    OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest, VioChunk,
+    frame, read_frame, write_frame, DoneResponse, EpochNotice, EpochResponse, ErrorResponse,
+    HelloRequest, HelloResponse, OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest,
+    VioChunk,
 };
 use crate::server::ServeAddr;
 use ngd_core::RuleSet;
@@ -92,6 +93,9 @@ impl Write for ClientStream {
 pub struct ServeClient {
     stream: ClientStream,
     hello: HelloResponse,
+    /// The most recent `EPOCH_SWITCHED` push absorbed from the stream
+    /// (the server announces a re-root once, ahead of its next answer).
+    last_epoch_switch: Option<EpochNotice>,
 }
 
 impl ServeClient {
@@ -130,6 +134,7 @@ impl ServeClient {
                 rule_count: 0,
                 diameter: 0,
             },
+            last_epoch_switch: None,
         };
         let request = HelloRequest {
             client: client_name.to_string(),
@@ -150,17 +155,31 @@ impl ServeClient {
         &self.hello
     }
 
-    /// Read one frame; `ERROR` frames become [`ProtocolError::Remote`].
+    /// Read one frame; `ERROR` frames become [`ProtocolError::Remote`] and
+    /// pushed `EPOCH_SWITCHED` notices are absorbed transparently
+    /// (recorded for [`ServeClient::last_epoch_switch`]).
     fn next_frame(&mut self) -> Result<(u32, Vec<u8>), ProtocolError> {
-        let (kind, payload) = read_frame(&mut self.stream)?;
-        if kind == frame::ERROR {
-            let err = ErrorResponse::decode(&payload)?;
-            return Err(ProtocolError::Remote {
-                code: err.code,
-                message: err.message,
-            });
+        loop {
+            let (kind, payload) = read_frame(&mut self.stream)?;
+            if kind == frame::EPOCH_SWITCHED {
+                self.last_epoch_switch = Some(EpochNotice::decode(&payload)?);
+                continue;
+            }
+            if kind == frame::ERROR {
+                let err = ErrorResponse::decode(&payload)?;
+                return Err(ProtocolError::Remote {
+                    code: err.code,
+                    message: err.message,
+                });
+            }
+            return Ok((kind, payload));
         }
-        Ok((kind, payload))
+    }
+
+    /// The most recent epoch switch the server announced for this session
+    /// (set when the session re-rooted onto a newly compacted snapshot).
+    pub fn last_epoch_switch(&self) -> Option<&EpochNotice> {
+        self.last_epoch_switch.as_ref()
     }
 
     /// Read one frame and require a specific kind.
@@ -267,6 +286,23 @@ impl ServeClient {
             }
         })?;
         Ok(ServedQuery { violations, done })
+    }
+
+    /// Fold this session's accumulated `ΔG` into a fresh snapshot epoch
+    /// and publish it server-wide.  Afterwards this session reads the new
+    /// epoch with an empty overlay; other sessions re-root at their next
+    /// message boundary.
+    pub fn compact(&mut self) -> Result<EpochResponse, ProtocolError> {
+        write_frame(&mut self.stream, frame::COMPACT, &[])?;
+        let payload = self.expect(frame::EPOCH_OK, "EPOCH_OK")?;
+        EpochResponse::decode(&payload)
+    }
+
+    /// Query the session's and the server's current snapshot epochs.
+    pub fn epoch(&mut self) -> Result<EpochResponse, ProtocolError> {
+        write_frame(&mut self.stream, frame::EPOCH, &[])?;
+        let payload = self.expect(frame::EPOCH_OK, "EPOCH_OK")?;
+        EpochResponse::decode(&payload)
     }
 
     /// Fetch server and session statistics.

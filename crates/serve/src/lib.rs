@@ -10,13 +10,27 @@
 //! update's `dΣ`-neighbourhood.
 //!
 //! ```text
-//!            ngd-serve daemon (one process, one mmap)
+//!            ngd-serve daemon (one process, one mmap per epoch)
 //!            ┌────────────────────────────────────────┐
 //!  client A ─┤ session A: DeltaOverlay ⊕ accumulated  │
-//!  client B ─┤ session B: DeltaOverlay ⊕ accumulated  ├── MmapSnapshot
-//!  client C ─┤ session C: DeltaOverlay ⊕ accumulated  │   (shared, zero-copy)
-//!            └────────────────────────────────────────┘
+//!  client B ─┤ session B: DeltaOverlay ⊕ accumulated  ├── Arc<SnapshotStore>
+//!  client C ─┤ session C: DeltaOverlay ⊕ accumulated  │   (current epoch,
+//!            └──────────────────┬─────────────────────┘    shared, zero-copy)
+//!                       COMPACT │ or --compact-after
+//!                               ▼
+//!            CompactionWriter → <stem>.eN.ngds → atomic publish;
+//!            sessions re-root at their next message boundary
 //! ```
+//!
+//! Accumulated overlays do not grow forever: **snapshot compaction**
+//! folds a session's net `ΔG` into the next epoch file
+//! ([`ngd_graph::CompactionWriter`] — a streaming merge, never a
+//! re-freeze), the daemon atomically publishes the new mapping, and each
+//! session re-roots ([`ngd_detect::IncrementalSession::rebase_onto`]) at
+//! its next message boundary, announced to its client by one pushed
+//! `EPOCH_SWITCHED` frame.  Old mappings are reference-counted and unmap
+//! when the last session holding them disconnects.  Served `ΔVio` is
+//! byte-identical across a swap (`tests/serve_equivalence.rs`).
 //!
 //! * [`protocol`] — the framed, versioned, length-prefixed binary wire
 //!   format (header conventions borrowed from the snapshot format, same
@@ -86,5 +100,5 @@ pub mod wire;
 
 pub use client::{ServeClient, ServedDelta, ServedQuery};
 pub use error::ProtocolError;
-pub use protocol::{DoneResponse, HelloResponse, Side, StatsResponse};
-pub use server::{ServeAddr, Server, SnapshotStore};
+pub use protocol::{DoneResponse, EpochNotice, EpochResponse, HelloResponse, Side, StatsResponse};
+pub use server::{ServeAddr, ServeOptions, Server, SnapshotStore};

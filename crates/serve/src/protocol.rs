@@ -28,8 +28,18 @@
 //!   with the cost ledger, so the client observes the `|ΔG|`-bounded cost;
 //! * `QUERY → VIO_CHUNK* → QUERY_DONE` — full detection on the session
 //!   state;
+//! * `COMPACT → EPOCH_OK` — fold this session's accumulated `ΔG` into a
+//!   fresh snapshot epoch and publish it server-wide;
+//! * `EPOCH → EPOCH_OK` — the session's and the server's current epochs;
 //! * `STATS → STATS_OK`, `RESET → OK`, `SHUTDOWN → OK`;
 //! * any request may be answered by `ERROR` (typed code + message).
+//!
+//! One frame is **pushed** rather than requested: after an epoch switch
+//! (triggered by any session's `COMPACT`, or by the daemon's auto-compact
+//! threshold) every other session re-roots its overlay at its next message
+//! boundary and prepends an `EPOCH_SWITCHED` notice to its next answer.
+//! [`crate::ServeClient`] absorbs the notice transparently and records it
+//! ([`crate::ServeClient::last_epoch_switch`]).
 
 use crate::error::ProtocolError;
 use crate::wire::{self, WireReader, WireWriter};
@@ -43,7 +53,9 @@ use std::io::{Read, Write};
 pub const MAGIC: [u8; 8] = *b"NGDWIRE\0";
 
 /// Current protocol version.  Bump on ANY frame- or payload-layout change.
-pub const WIRE_VERSION: u32 = 1;
+/// (v2: `COMPACT`/`EPOCH`/`EPOCH_SWITCHED` frames; epoch + pending-overlay
+/// fields on `STATS_OK` and the `*_DONE` summaries.)
+pub const WIRE_VERSION: u32 = 2;
 
 /// Frame header length in bytes.
 pub const FRAME_HEADER_LEN: usize = 32;
@@ -71,6 +83,11 @@ pub mod frame {
     pub const RESET: u32 = 6;
     /// Ask the daemon to shut down gracefully.
     pub const SHUTDOWN: u32 = 7;
+    /// Fold this session's accumulated `ΔG` into a fresh snapshot epoch
+    /// and publish it server-wide.
+    pub const COMPACT: u32 = 8;
+    /// Query the session's and the server's current epochs.
+    pub const EPOCH: u32 = 9;
 
     /// Handshake answer.
     pub const HELLO_OK: u32 = 100;
@@ -84,6 +101,11 @@ pub mod frame {
     pub const QUERY_DONE: u32 = 104;
     /// Statistics answer.
     pub const STATS_OK: u32 = 105;
+    /// Answer to `COMPACT` / `EPOCH`.
+    pub const EPOCH_OK: u32 = 106;
+    /// Pushed notice: this session just re-rooted onto a new epoch.  Sent
+    /// at a message boundary, before the answer to the triggering request.
+    pub const EPOCH_SWITCHED: u32 = 107;
     /// Typed server-side failure.
     pub const ERROR: u32 = 199;
 }
@@ -98,6 +120,8 @@ pub mod err_code {
     pub const RULES_REJECTED: u32 = 3;
     /// Unexpected server-side failure.
     pub const INTERNAL: u32 = 4;
+    /// A requested compaction could not be performed.
+    pub const COMPACT_FAILED: u32 = 5;
 }
 
 /// Serialize one frame onto `w`.
@@ -399,9 +423,94 @@ impl VioChunk {
     }
 }
 
+/// `EPOCH_OK`: the answer to `COMPACT` and `EPOCH`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochResponse {
+    /// Epoch of the snapshot this session currently reads.
+    pub epoch: u64,
+    /// Epoch of the snapshot the server currently publishes (differs from
+    /// `epoch` only for a session pinned to an old mapping).
+    pub published_epoch: u64,
+    /// Nodes in the session's snapshot.
+    pub snapshot_nodes: u64,
+    /// Edges in the session's snapshot.
+    pub snapshot_edges: u64,
+    /// Compactions performed by this server since startup.
+    pub compactions: u64,
+}
+
+impl EpochResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.epoch);
+        w.u64(self.published_epoch);
+        w.u64(self.snapshot_nodes);
+        w.u64(self.snapshot_edges);
+        w.u64(self.compactions);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "EpochResponse");
+        let out = EpochResponse {
+            epoch: r.u64()?,
+            published_epoch: r.u64()?,
+            snapshot_nodes: r.u64()?,
+            snapshot_edges: r.u64()?,
+            compactions: r.u64()?,
+        };
+        r.finish()?;
+        Ok(out)
+    }
+}
+
+/// `EPOCH_SWITCHED`: pushed once when a session re-roots onto a newly
+/// published epoch at a message boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochNotice {
+    /// The epoch the session re-rooted onto.
+    pub epoch: u64,
+    /// The epoch the session was reading before.
+    pub previous_epoch: u64,
+    /// Net pending nodes carried across the re-root (the residue the new
+    /// snapshot does not yet contain).
+    pub carried_nodes: u64,
+    /// Net pending edge operations carried across the re-root.
+    pub carried_ops: u64,
+}
+
+impl EpochNotice {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.epoch);
+        w.u64(self.previous_epoch);
+        w.u64(self.carried_nodes);
+        w.u64(self.carried_ops);
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "EpochNotice");
+        let out = EpochNotice {
+            epoch: r.u64()?,
+            previous_epoch: r.u64()?,
+            carried_nodes: r.u64()?,
+            carried_ops: r.u64()?,
+        };
+        r.finish()?;
+        Ok(out)
+    }
+}
+
 /// `UPDATE_DONE` / `QUERY_DONE`: the closing summary of a streamed answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DoneResponse {
+    /// Epoch of the snapshot that served this answer.
+    pub epoch: u64,
     /// Paper-style algorithm label (e.g. `"PIncDect (sharded)"`).
     pub algorithm: String,
     /// Server-side wall-clock nanoseconds of the detection run.
@@ -425,6 +534,7 @@ impl DoneResponse {
     /// Encode to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
+        w.u64(self.epoch);
         w.str(&self.algorithm);
         w.u64(self.elapsed_nanos);
         w.u32(self.processors);
@@ -440,6 +550,7 @@ impl DoneResponse {
     pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
         let mut r = WireReader::new(bytes, "DoneResponse");
         let out = DoneResponse {
+            epoch: r.u64()?,
             algorithm: r.str()?,
             elapsed_nanos: r.u64()?,
             processors: r.u32()?,
@@ -457,6 +568,10 @@ impl DoneResponse {
 /// `STATS_OK`: a server/session snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsResponse {
+    /// Epoch of the snapshot this session currently reads.
+    pub epoch: u64,
+    /// Epoch the server currently publishes.
+    pub published_epoch: u64,
     /// Nodes in the served snapshot.
     pub snapshot_nodes: u64,
     /// Edges in the served snapshot.
@@ -467,6 +582,12 @@ pub struct StatsResponse {
     pub session_edges: u64,
     /// Unit updates accumulated by this session.
     pub accumulated_ops: u64,
+    /// *Net* nodes pending in this session's overlay — with
+    /// `pending_edge_ops`, the overlay size an operator watches to decide
+    /// when compaction is due.
+    pub pending_nodes: u64,
+    /// *Net* edge operations pending in this session's overlay.
+    pub pending_edge_ops: u64,
     /// Batches absorbed by this session.
     pub batches_applied: u64,
     /// Fragments of the served snapshot (0 = shared).
@@ -485,11 +606,15 @@ impl StatsResponse {
     /// Encode to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
+        w.u64(self.epoch);
+        w.u64(self.published_epoch);
         w.u64(self.snapshot_nodes);
         w.u64(self.snapshot_edges);
         w.u64(self.session_nodes);
         w.u64(self.session_edges);
         w.u64(self.accumulated_ops);
+        w.u64(self.pending_nodes);
+        w.u64(self.pending_edge_ops);
         w.u64(self.batches_applied);
         w.u32(self.fragment_count);
         w.u32(self.sessions_active);
@@ -503,11 +628,15 @@ impl StatsResponse {
     pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
         let mut r = WireReader::new(bytes, "StatsResponse");
         let out = StatsResponse {
+            epoch: r.u64()?,
+            published_epoch: r.u64()?,
             snapshot_nodes: r.u64()?,
             snapshot_edges: r.u64()?,
             session_nodes: r.u64()?,
             session_edges: r.u64()?,
             accumulated_ops: r.u64()?,
+            pending_nodes: r.u64()?,
+            pending_edge_ops: r.u64()?,
             batches_applied: r.u64()?,
             fragment_count: r.u32()?,
             sessions_active: r.u32()?,
@@ -594,6 +723,7 @@ mod tests {
         assert_eq!(UpdateRequest::decode(&update.encode()).unwrap(), update);
 
         let done = DoneResponse {
+            epoch: 3,
             algorithm: "PIncDect (sharded)".into(),
             elapsed_nanos: 12345,
             processors: 4,
@@ -616,11 +746,15 @@ mod tests {
         assert_eq!(back.cost.remote_fetches, 9);
 
         let stats = StatsResponse {
+            epoch: 2,
+            published_epoch: 3,
             snapshot_nodes: 1,
             snapshot_edges: 2,
             session_nodes: 3,
             session_edges: 4,
             accumulated_ops: 5,
+            pending_nodes: 1,
+            pending_edge_ops: 4,
             batches_applied: 6,
             fragment_count: 7,
             sessions_active: 8,
@@ -629,6 +763,23 @@ mod tests {
             violations_streamed: 11,
         };
         assert_eq!(StatsResponse::decode(&stats.encode()).unwrap(), stats);
+
+        let epoch_ok = EpochResponse {
+            epoch: 4,
+            published_epoch: 5,
+            snapshot_nodes: 11_000,
+            snapshot_edges: 40_000,
+            compactions: 5,
+        };
+        assert_eq!(EpochResponse::decode(&epoch_ok.encode()).unwrap(), epoch_ok);
+
+        let notice = EpochNotice {
+            epoch: 5,
+            previous_epoch: 4,
+            carried_nodes: 2,
+            carried_ops: 9,
+        };
+        assert_eq!(EpochNotice::decode(&notice.encode()).unwrap(), notice);
 
         let err = ErrorResponse {
             code: err_code::UPDATE_REJECTED,

@@ -5,9 +5,26 @@
 //! listener, and serves each accepted connection on its own OS thread.
 //! Every connection owns an incremental-detection session
 //! ([`ngd_detect::IncrementalSession`] / [`ShardedIncrementalSession`])
-//! whose [`DeltaOverlay`](ngd_graph::DeltaOverlay)s are rebased on the
+//! whose [`DeltaOverlay`]s are rebased on the
 //! **shared** mapped snapshot: the `GraphView` split keeps the read path
 //! lock-free across sessions, so concurrency costs no copies of `G`.
+//!
+//! ## Epoch lifecycle
+//!
+//! Sessions accumulate `ΔG` forever, so a long-lived daemon would slowly
+//! degrade back toward batch cost.  **Compaction** closes the loop: on a
+//! `COMPACT` frame (or automatically once a session's accumulated update
+//! crosses [`ServeOptions::compact_after`]) the session's net `ΔG` is
+//! folded into a fresh `.ngds` file by
+//! [`ngd_graph::CompactionWriter`] — a streaming merge, never a re-freeze
+//! — the new mapping is **atomically published** (a mutex-guarded
+//! [`Arc`] swap), and every other session re-roots its overlay onto the
+//! new epoch at its next message boundary, prepending an `EPOCH_SWITCHED`
+//! notice to its next answer.  A session whose overlay cannot be carried
+//! (its node ids conflict with the published epoch) stays **pinned** to
+//! its old mapping; old mappings are reference-counted and unmap when the
+//! last pinned session disconnects.  Served `ΔVio` streams are
+//! byte-identical across a swap — `tests/serve_equivalence.rs` pins that.
 //!
 //! Graceful shutdown: a `SHUTDOWN` frame stops the accept loop; live
 //! sessions drain as their connections close, and [`Server::wait`] /
@@ -15,16 +32,16 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{
-    err_code, frame, read_frame, write_frame, DoneResponse, ErrorResponse, HelloRequest,
-    HelloResponse, OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest, VioChunk,
-    VIO_CHUNK_LEN,
+    err_code, frame, read_frame, write_frame, DoneResponse, EpochNotice, EpochResponse,
+    ErrorResponse, HelloRequest, HelloResponse, OkResponse, RulesRequest, Side, StatsResponse,
+    UpdateRequest, VioChunk, VIO_CHUNK_LEN,
 };
 use ngd_core::RuleSet;
 use ngd_detect::{
     DeltaReport, DetectionReport, DetectorConfig, IncrementalSession, ShardedIncrementalSession,
 };
-use ngd_graph::persist::{MmapShardedSnapshot, MmapSnapshot, PersistError};
-use ngd_graph::{BatchUpdate, GraphView, UpdateError};
+use ngd_graph::persist::{CompactionWriter, MmapShardedSnapshot, MmapSnapshot, PersistError};
+use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, UpdateError};
 use ngd_match::Violation;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -72,133 +89,137 @@ impl std::fmt::Display for ServeAddr {
     }
 }
 
-/// The mapped snapshot a server holds — shared or sharded, auto-detected.
+/// The two mapped snapshot shapes a store can hold.
 #[derive(Debug)]
-pub enum SnapshotStore {
+enum StoreKind {
     /// One [`MmapSnapshot`], served through the shared-snapshot detectors.
     Shared(MmapSnapshot),
     /// One [`MmapShardedSnapshot`], served with one worker per fragment.
     Sharded(MmapShardedSnapshot),
 }
 
+/// The mapped snapshot a server (or one epoch of a server) holds — shared
+/// or sharded, auto-detected — plus the path it was mapped from.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    path: PathBuf,
+    kind: StoreKind,
+}
+
 impl SnapshotStore {
     /// Map `path`, accepting either snapshot kind.
     pub fn open(path: &Path) -> Result<SnapshotStore, PersistError> {
-        match MmapSnapshot::load(path) {
-            Ok(snapshot) => Ok(SnapshotStore::Shared(snapshot)),
+        let kind = match MmapSnapshot::load(path) {
+            Ok(snapshot) => StoreKind::Shared(snapshot),
             Err(PersistError::WrongKind { .. }) => {
-                Ok(SnapshotStore::Sharded(MmapShardedSnapshot::load(path)?))
+                StoreKind::Sharded(MmapShardedSnapshot::load(path)?)
             }
-            Err(e) => Err(e),
+            Err(e) => return Err(e),
+        };
+        Ok(SnapshotStore {
+            path: path.to_path_buf(),
+            kind,
+        })
+    }
+
+    /// The file this store is mapped from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The epoch recorded in the mapped file's header.
+    pub fn epoch(&self) -> u64 {
+        match &self.kind {
+            StoreKind::Shared(s) => s.epoch(),
+            StoreKind::Sharded(s) => s.epoch(),
         }
     }
 
     /// Nodes in the snapshot.
     pub fn node_count(&self) -> usize {
-        match self {
-            SnapshotStore::Shared(s) => GraphView::node_count(s),
-            SnapshotStore::Sharded(s) => GraphView::node_count(s.global()),
+        match &self.kind {
+            StoreKind::Shared(s) => GraphView::node_count(s),
+            StoreKind::Sharded(s) => GraphView::node_count(s.global()),
         }
     }
 
     /// Edges in the snapshot.
     pub fn edge_count(&self) -> usize {
-        match self {
-            SnapshotStore::Shared(s) => GraphView::edge_count(s),
-            SnapshotStore::Sharded(s) => GraphView::edge_count(s.global()),
+        match &self.kind {
+            StoreKind::Shared(s) => GraphView::edge_count(s),
+            StoreKind::Sharded(s) => GraphView::edge_count(s.global()),
         }
     }
 
     /// Fragments (0 for a shared snapshot).
     pub fn fragment_count(&self) -> usize {
-        match self {
-            SnapshotStore::Shared(_) => 0,
-            SnapshotStore::Sharded(s) => s.fragment_count(),
+        match &self.kind {
+            StoreKind::Shared(_) => 0,
+            StoreKind::Sharded(s) => s.fragment_count(),
         }
+    }
+
+    /// Merge `net` into this store's file and map the result: the next
+    /// epoch, same snapshot kind, stamped `epoch() + 1`.
+    fn compact_into(&self, net: &BatchUpdate, out_path: &Path) -> Result<SnapshotStore, String> {
+        let writer = CompactionWriter::new();
+        let bytes = match &self.kind {
+            StoreKind::Shared(s) => writer.encode(s, net, s.epoch() + 1),
+            StoreKind::Sharded(s) => writer.encode_sharded(s, net, s.epoch() + 1),
+        }
+        .map_err(|e| e.to_string())?;
+        std::fs::write(out_path, &bytes)
+            .map_err(|e| format!("write {}: {e}", out_path.display()))?;
+        SnapshotStore::open(out_path).map_err(|e| e.to_string())
     }
 }
 
-/// Per-connection session state over either store shape.
-enum SessionState<'a> {
-    Shared(IncrementalSession<'a, MmapSnapshot>),
-    Sharded(ShardedIncrementalSession<'a, MmapShardedSnapshot>),
-}
-
-impl<'a> SessionState<'a> {
-    fn new(store: &'a SnapshotStore) -> Self {
-        match store {
-            SnapshotStore::Shared(s) => SessionState::Shared(IncrementalSession::new(s)),
-            SnapshotStore::Sharded(s) => SessionState::Sharded(ShardedIncrementalSession::new(s)),
-        }
-    }
-
-    fn apply(
-        &mut self,
-        sigma: &RuleSet,
-        delta: &BatchUpdate,
-        config: &DetectorConfig,
-    ) -> Result<DeltaReport, UpdateError> {
-        match self {
-            SessionState::Shared(s) => s.apply(sigma, delta, config),
-            SessionState::Sharded(s) => s.apply(sigma, delta, config),
-        }
-    }
-
-    fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
-        match self {
-            SessionState::Shared(s) => s.detect_all(sigma),
-            SessionState::Sharded(s) => s.detect_all(sigma),
-        }
-    }
-
-    fn state_counts(&self) -> (usize, usize) {
-        match self {
-            SessionState::Shared(s) => {
-                let view = s.view();
-                (GraphView::node_count(&view), GraphView::edge_count(&view))
-            }
-            SessionState::Sharded(s) => {
-                let view = s.view();
-                (GraphView::node_count(&view), GraphView::edge_count(&view))
-            }
-        }
-    }
-
-    fn accumulated_ops(&self) -> u64 {
-        match self {
-            SessionState::Shared(s) => s.accumulated().len() as u64,
-            SessionState::Sharded(s) => s.accumulated().len() as u64,
-        }
-    }
-
-    fn batches_applied(&self) -> u64 {
-        match self {
-            SessionState::Shared(s) => s.batches_applied(),
-            SessionState::Sharded(s) => s.batches_applied(),
-        }
-    }
-
-    fn reset(&mut self) -> BatchUpdate {
-        match self {
-            SessionState::Shared(s) => s.reset(),
-            SessionState::Sharded(s) => s.reset(),
-        }
-    }
+/// Serving knobs beyond the detector configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// Compact automatically once a session's *accumulated* unit updates
+    /// reach this count (checked after each absorbed batch).  Raw size,
+    /// not net: the per-batch overlay bookkeeping cost grows with the raw
+    /// operation sequence, so an insert/delete churn workload (net ≈ 0)
+    /// must still trigger — compacting resets it to an empty overlay
+    /// either way.  `None` disables auto-compaction; `COMPACT` frames
+    /// always work.
+    pub compact_after: Option<u64>,
 }
 
 /// Shared server state behind the `Arc` every session thread clones.
 struct Shared {
-    store: SnapshotStore,
+    /// The currently published snapshot epoch.  Sessions clone the `Arc`
+    /// at their next message boundary; superseded mappings stay alive —
+    /// and mapped — exactly as long as a session still holds them.
+    current: Mutex<Arc<SnapshotStore>>,
+    /// The path the daemon was started on; compacted epochs are written
+    /// next to it as `<stem>.e<epoch>.ngds`.
+    snapshot_path: PathBuf,
+    /// Epoch files this server created (unlinked on drop).
+    owned_files: Mutex<Vec<PathBuf>>,
     /// The immutable server-wide default rule set; sessions that want a
     /// different one swap their own copy via the `RULES` frame.
     sigma: Arc<RuleSet>,
     detector: DetectorConfig,
+    options: ServeOptions,
     server_name: String,
     shutdown: AtomicBool,
     sessions_active: AtomicUsize,
     sessions_total: AtomicU64,
     updates_served: AtomicU64,
     violations_streamed: AtomicU64,
+    compactions: AtomicU64,
+    /// Distinguishes epoch files when concurrent compactions race from the
+    /// same base epoch — overwriting a path that is still mapped would be
+    /// a SIGBUS hazard, so every compaction writes a fresh file.
+    file_seq: AtomicU64,
+}
+
+impl Shared {
+    fn published(&self) -> Arc<SnapshotStore> {
+        Arc::clone(&self.current.lock().expect("current epoch lock"))
+    }
 }
 
 /// A running detection daemon; dropping it **without** calling
@@ -213,7 +234,7 @@ pub struct Server {
 
 impl Server {
     /// Bind `addr` and start serving `store` with `sigma` as the default
-    /// rule set.
+    /// rule set and default [`ServeOptions`].
     ///
     /// `tcp:host:0` binds an ephemeral port; the actual address is
     /// reported by [`Server::local_addr`].
@@ -223,16 +244,33 @@ impl Server {
         addr: &ServeAddr,
         detector: DetectorConfig,
     ) -> Result<Server, ProtocolError> {
+        Server::start_with(store, sigma, addr, detector, ServeOptions::default())
+    }
+
+    /// As [`Server::start`], with explicit [`ServeOptions`].
+    pub fn start_with(
+        store: SnapshotStore,
+        sigma: RuleSet,
+        addr: &ServeAddr,
+        detector: DetectorConfig,
+        options: ServeOptions,
+    ) -> Result<Server, ProtocolError> {
+        let snapshot_path = store.path().to_path_buf();
         let shared = Arc::new(Shared {
-            store,
+            current: Mutex::new(Arc::new(store)),
+            snapshot_path,
+            owned_files: Mutex::new(Vec::new()),
             sigma: Arc::new(sigma),
             detector,
+            options,
             server_name: format!("ngd-serve/{}", env!("CARGO_PKG_VERSION")),
             shutdown: AtomicBool::new(false),
             sessions_active: AtomicUsize::new(0),
             sessions_total: AtomicU64::new(0),
             updates_served: AtomicU64::new(0),
             violations_streamed: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            file_seq: AtomicU64::new(0),
         });
         let (listener, local, cleanup) = AnyListener::bind(addr)?;
         let accept_shared = Arc::clone(&shared);
@@ -252,6 +290,11 @@ impl Server {
     /// resolved).
     pub fn local_addr(&self) -> &ServeAddr {
         &self.local
+    }
+
+    /// The epoch the server currently publishes.
+    pub fn published_epoch(&self) -> u64 {
+        self.shared.published().epoch()
     }
 
     /// Has a `SHUTDOWN` frame (or [`Server::shutdown`]) been processed?
@@ -283,6 +326,18 @@ impl Drop for Server {
             let _ = handle.join();
         }
         if let Some(path) = self.cleanup.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        // Epoch files this daemon created are scratch state: every session
+        // has drained by now, so the mappings are gone and the files can go
+        // too (the operator's original snapshot is never touched).
+        for path in self
+            .shared
+            .owned_files
+            .lock()
+            .expect("owned files")
+            .drain(..)
+        {
             let _ = std::fs::remove_file(path);
         }
     }
@@ -334,10 +389,38 @@ impl AnyListener {
             ServeAddr::Unix(path) => {
                 #[cfg(unix)]
                 {
-                    // A stale socket file from a crashed daemon blocks the
-                    // bind; remove it (connect() on a live one would race,
-                    // but single-daemon-per-path is the deployment contract).
-                    let _ = std::fs::remove_file(path);
+                    // A socket file left by a killed daemon would block the
+                    // bind forever.  Ping it first: if something answers the
+                    // connect, a live daemon owns the path and we must NOT
+                    // steal it; if nothing answers, the file is stale and is
+                    // unlinked so the bind can proceed.
+                    if path.exists() {
+                        match std::os::unix::net::UnixStream::connect(path) {
+                            Ok(_) => {
+                                return Err(ProtocolError::Io(format!(
+                                    "{} is in use by a live daemon (connect succeeded); \
+                                     refusing to steal the socket",
+                                    path.display()
+                                )));
+                            }
+                            // Only a refused connection proves nothing is
+                            // listening.  Any other failure (EAGAIN from a
+                            // momentarily full accept backlog, EACCES, …)
+                            // could be a live daemon — refuse to unlink on
+                            // a guess.
+                            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                                let _ = std::fs::remove_file(path);
+                            }
+                            Err(e) => {
+                                return Err(ProtocolError::Io(format!(
+                                    "{} did not answer the liveness ping decisively \
+                                     ({e}); refusing to unlink it — remove the socket \
+                                     manually if the daemon is really gone",
+                                    path.display()
+                                )));
+                            }
+                        }
+                    }
                     let listener = std::os::unix::net::UnixListener::bind(path)
                         .map_err(|e| ProtocolError::Io(format!("bind {}: {e}", path.display())))?;
                     listener
@@ -481,9 +564,252 @@ fn stream_violations<'v>(
     Ok(total)
 }
 
+/// One connection's session state, owning its epoch mapping.
+///
+/// The detect-crate session types borrow their base, so each request
+/// re-materialises one around the `Arc` — a few moves, no graph copies —
+/// which is what lets the connection swap epochs between requests.
+struct SessionCtx {
+    store: Arc<SnapshotStore>,
+    accumulated: BatchUpdate,
+    batches_applied: u64,
+    /// An epoch switch to announce before the next answer.
+    notice: Option<EpochNotice>,
+    /// The published store a re-root already failed against — the session
+    /// is *pinned* to its own mapping until a different epoch appears, and
+    /// this memo keeps every subsequent frame from repeating the identical
+    /// doomed O(|overlay|) attempt.
+    reroot_failed_for: Option<Arc<SnapshotStore>>,
+    /// An auto-compaction failed (full disk, pinned session, lost race):
+    /// stop re-paying the O(|file|) merge on every batch.  Cleared when a
+    /// re-root or RESET changes the session's situation; explicit `COMPACT`
+    /// frames are never suppressed.
+    auto_compact_disabled: bool,
+}
+
+impl SessionCtx {
+    fn new(store: Arc<SnapshotStore>) -> SessionCtx {
+        SessionCtx {
+            store,
+            accumulated: BatchUpdate::new(),
+            batches_applied: 0,
+            notice: None,
+            reroot_failed_for: None,
+            auto_compact_disabled: false,
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// The session's accumulated update as a canonical net batch.
+    fn net(&self) -> BatchUpdate {
+        match &self.store.kind {
+            StoreKind::Shared(s) => DeltaOverlay::new(s, &self.accumulated).into_batch(),
+            StoreKind::Sharded(s) => DeltaOverlay::new(s.global(), &self.accumulated).into_batch(),
+        }
+    }
+
+    fn apply(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+    ) -> Result<DeltaReport, UpdateError> {
+        let accumulated = std::mem::take(&mut self.accumulated);
+        let (result, accumulated, batches) = match &self.store.kind {
+            StoreKind::Shared(s) => {
+                let mut session = IncrementalSession::resume(s, accumulated, self.batches_applied);
+                let result = session.apply(sigma, delta, config);
+                let (accumulated, batches) = session.into_parts();
+                (result, accumulated, batches)
+            }
+            StoreKind::Sharded(s) => {
+                let mut session =
+                    ShardedIncrementalSession::resume(s, accumulated, self.batches_applied);
+                let result = session.apply(sigma, delta, config);
+                let (accumulated, batches) = session.into_parts();
+                (result, accumulated, batches)
+            }
+        };
+        self.accumulated = accumulated;
+        self.batches_applied = batches;
+        result
+    }
+
+    fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
+        match &self.store.kind {
+            StoreKind::Shared(s) => {
+                IncrementalSession::resume(s, self.accumulated.clone(), 0).detect_all(sigma)
+            }
+            StoreKind::Sharded(s) => {
+                ShardedIncrementalSession::resume(s, self.accumulated.clone(), 0).detect_all(sigma)
+            }
+        }
+    }
+
+    fn state_counts(&self) -> (usize, usize) {
+        let (nodes, edges) = match &self.store.kind {
+            StoreKind::Shared(s) => {
+                let view = DeltaOverlay::new(s, &self.accumulated);
+                (GraphView::node_count(&view), GraphView::edge_count(&view))
+            }
+            StoreKind::Sharded(s) => {
+                let view = DeltaOverlay::new(s.global(), &self.accumulated);
+                (GraphView::node_count(&view), GraphView::edge_count(&view))
+            }
+        };
+        (nodes, edges)
+    }
+
+    /// `(net pending nodes, net pending edge ops)` of the overlay.
+    fn pending(&self) -> (u64, u64) {
+        let net = self.net();
+        (net.new_nodes.len() as u64, net.ops.len() as u64)
+    }
+
+    fn reset(&mut self) -> BatchUpdate {
+        self.batches_applied = 0;
+        // The re-root refusal was about the overlay being discarded here;
+        // with an empty overlay the next message boundary can adopt the
+        // published epoch after all.
+        self.reroot_failed_for = None;
+        self.auto_compact_disabled = false;
+        std::mem::take(&mut self.accumulated)
+    }
+
+    /// At a message boundary: if a newer epoch has been published, try to
+    /// re-root this session's overlay onto it.  On success the old `Arc`
+    /// is released (unmapping the file once the last session lets go) and
+    /// an `EPOCH_SWITCHED` notice is queued; on failure the session pins
+    /// to its current mapping and keeps serving correctly from it.
+    fn maybe_reroot(&mut self, shared: &Shared) {
+        let current = shared.published();
+        if Arc::ptr_eq(&current, &self.store) {
+            return;
+        }
+        if self
+            .reroot_failed_for
+            .as_ref()
+            .is_some_and(|failed| Arc::ptr_eq(failed, &current))
+        {
+            return;
+        }
+        let previous_epoch = self.epoch();
+        let accumulated = std::mem::take(&mut self.accumulated);
+        let rerooted: Result<BatchUpdate, BatchUpdate> = match (&self.store.kind, &current.kind) {
+            (StoreKind::Shared(old), StoreKind::Shared(new)) => {
+                let session = IncrementalSession::resume(old, accumulated, self.batches_applied);
+                match session.rebase_onto(new) {
+                    Ok(moved) => Ok(moved.into_parts().0),
+                    Err(_) => Err(session.into_parts().0),
+                }
+            }
+            (StoreKind::Sharded(old), StoreKind::Sharded(new)) => {
+                let session =
+                    ShardedIncrementalSession::resume(old, accumulated, self.batches_applied);
+                match session.rebase_onto(new) {
+                    Ok(moved) => Ok(moved.into_parts().0),
+                    Err(_) => Err(session.into_parts().0),
+                }
+            }
+            // A published epoch never changes kind; treat a mismatch as
+            // un-carriable rather than corrupting the session.
+            _ => Err(accumulated),
+        };
+        match rerooted {
+            Ok(residue) => {
+                self.notice = Some(EpochNotice {
+                    epoch: current.epoch(),
+                    previous_epoch,
+                    carried_nodes: residue.new_nodes.len() as u64,
+                    carried_ops: residue.ops.len() as u64,
+                });
+                self.accumulated = residue;
+                self.store = current;
+                self.reroot_failed_for = None;
+                self.auto_compact_disabled = false;
+            }
+            // The published epoch cannot absorb this overlay: keep serving
+            // from the session's own (refcounted) mapping, and remember the
+            // refusal so the attempt is not repeated until a *different*
+            // epoch is published.  Clients observe the pinned state as
+            // `epoch != published_epoch` in EPOCH/STATS.
+            Err(kept) => {
+                self.accumulated = kept;
+                self.reroot_failed_for = Some(current);
+            }
+        }
+    }
+}
+
+/// Fold `ctx`'s accumulated overlay into the next epoch file, publish the
+/// new mapping server-wide, and re-root the requesting session onto it.
+fn compact_session(shared: &Shared, ctx: &mut SessionCtx) -> Result<EpochResponse, String> {
+    // A session not on the published epoch (pinned after a failed re-root)
+    // would fail the compare-and-publish below anyway — bail before paying
+    // the O(|file|) merge for it.
+    if !Arc::ptr_eq(&shared.published(), &ctx.store) {
+        return Err(format!(
+            "session reads epoch {} but epoch {} is published; a pinned \
+             session cannot publish a compaction",
+            ctx.store.epoch(),
+            shared.published().epoch()
+        ));
+    }
+    let net = ctx.net();
+    let new_epoch = ctx.store.epoch() + 1;
+    let stem = shared
+        .snapshot_path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("snapshot");
+    let seq = shared.file_seq.fetch_add(1, Ordering::SeqCst);
+    let out_path = shared
+        .snapshot_path
+        .with_file_name(format!("{stem}.e{new_epoch}-{seq}.ngds"));
+    let base = Arc::clone(&ctx.store);
+    let new_store = Arc::new(ctx.store.compact_into(&net, &out_path)?);
+    // Compare-and-publish: the merge happened outside the lock, so another
+    // session may have published meanwhile.  Blindly overwriting would
+    // silently drop that compaction's folded updates from the published
+    // graph — instead the superseded attempt fails typed (and its freshly
+    // written epoch file is unlinked, not orphaned); the requester
+    // re-roots onto the winner at its next message boundary and can retry.
+    {
+        let mut current = shared.current.lock().expect("current epoch lock");
+        if !Arc::ptr_eq(&current, &base) {
+            let superseded_by = current.epoch();
+            drop(current);
+            drop(new_store);
+            let _ = std::fs::remove_file(&out_path);
+            return Err(format!(
+                "superseded by a concurrent compaction (epoch {superseded_by} was \
+                 published during the merge); re-rooted sessions may retry"
+            ));
+        }
+        *current = Arc::clone(&new_store);
+    }
+    shared
+        .owned_files
+        .lock()
+        .expect("owned files")
+        .push(out_path);
+    shared.compactions.fetch_add(1, Ordering::SeqCst);
+    ctx.maybe_reroot(shared);
+    Ok(EpochResponse {
+        epoch: ctx.epoch(),
+        published_epoch: new_store.epoch(),
+        snapshot_nodes: ctx.store.node_count() as u64,
+        snapshot_edges: ctx.store.edge_count() as u64,
+        compactions: shared.compactions.load(Ordering::SeqCst),
+    })
+}
+
 /// One connection's request loop.
 fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolError> {
-    let mut state = SessionState::new(&shared.store);
+    let mut ctx = SessionCtx::new(shared.published());
     let mut sigma: Arc<RuleSet> = Arc::clone(&shared.sigma);
     loop {
         let (kind, payload) = match read_frame(stream) {
@@ -496,6 +822,12 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 return Err(e);
             }
         };
+        // Message boundary: adopt a newly published epoch before touching
+        // the request, and announce the switch ahead of the answer.
+        ctx.maybe_reroot(shared);
+        if let Some(notice) = ctx.notice.take() {
+            write_frame(stream, frame::EPOCH_SWITCHED, &notice.encode())?;
+        }
         match kind {
             frame::HELLO => {
                 let _hello = match HelloRequest::decode(&payload) {
@@ -507,9 +839,9 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 };
                 let response = HelloResponse {
                     server: shared.server_name.clone(),
-                    node_count: shared.store.node_count() as u64,
-                    edge_count: shared.store.edge_count() as u64,
-                    fragment_count: shared.store.fragment_count() as u32,
+                    node_count: ctx.store.node_count() as u64,
+                    edge_count: ctx.store.edge_count() as u64,
+                    fragment_count: ctx.store.fragment_count() as u32,
                     rule_count: sigma.len() as u32,
                     diameter: sigma.diameter() as u32,
                 };
@@ -546,7 +878,7 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                         continue;
                     }
                 };
-                match state.apply(&sigma, &request.batch, &shared.detector) {
+                match ctx.apply(&sigma, &request.batch, &shared.detector) {
                     Ok(report) => {
                         let added =
                             stream_violations(stream, Side::Added, report.delta.added.iter())?;
@@ -557,6 +889,7 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                             .violations_streamed
                             .fetch_add(added + removed, Ordering::SeqCst);
                         let done = DoneResponse {
+                            epoch: ctx.epoch(),
                             algorithm: report.algorithm.label().to_string(),
                             elapsed_nanos: report.elapsed.as_nanos() as u64,
                             processors: report.processors as u32,
@@ -567,6 +900,22 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                             cost: report.cost,
                         };
                         write_frame(stream, frame::UPDATE_DONE, &done.encode())?;
+                        // Background compaction: once the accumulated raw
+                        // op sequence crosses the threshold, fold it into
+                        // a new epoch (raw, not net — churn that nets to
+                        // nothing still inflates per-batch bookkeeping).
+                        // Other sessions keep serving and pick the epoch
+                        // up at their next message boundary.
+                        if let Some(limit) = shared.options.compact_after {
+                            if !ctx.auto_compact_disabled && ctx.accumulated.len() as u64 >= limit {
+                                if let Err(e) = compact_session(shared, &mut ctx) {
+                                    eprintln!(
+                                        "ngd-serve: auto-compaction failed (disabled for                                          this session until it re-roots or resets): {e}"
+                                    );
+                                    ctx.auto_compact_disabled = true;
+                                }
+                            }
+                        }
                     }
                     Err(e) => {
                         send_error(stream, err_code::UPDATE_REJECTED, e.to_string());
@@ -574,12 +923,13 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 }
             }
             frame::QUERY => {
-                let report = state.detect_all(&sigma);
+                let report = ctx.detect_all(&sigma);
                 let total = stream_violations(stream, Side::Added, report.violations.iter())?;
                 shared
                     .violations_streamed
                     .fetch_add(total, Ordering::SeqCst);
                 let done = DoneResponse {
+                    epoch: ctx.epoch(),
                     algorithm: report.algorithm.label().to_string(),
                     elapsed_nanos: report.elapsed.as_nanos() as u64,
                     processors: report.processors as u32,
@@ -591,16 +941,42 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 };
                 write_frame(stream, frame::QUERY_DONE, &done.encode())?;
             }
+            frame::COMPACT => match compact_session(shared, &mut ctx) {
+                Ok(response) => {
+                    // The requester observed the switch through EPOCH_OK;
+                    // no separate notice needed.
+                    ctx.notice = None;
+                    write_frame(stream, frame::EPOCH_OK, &response.encode())?;
+                }
+                Err(e) => {
+                    send_error(stream, err_code::COMPACT_FAILED, e);
+                }
+            },
+            frame::EPOCH => {
+                let response = EpochResponse {
+                    epoch: ctx.epoch(),
+                    published_epoch: shared.published().epoch(),
+                    snapshot_nodes: ctx.store.node_count() as u64,
+                    snapshot_edges: ctx.store.edge_count() as u64,
+                    compactions: shared.compactions.load(Ordering::SeqCst),
+                };
+                write_frame(stream, frame::EPOCH_OK, &response.encode())?;
+            }
             frame::STATS => {
-                let (session_nodes, session_edges) = state.state_counts();
+                let (session_nodes, session_edges) = ctx.state_counts();
+                let (pending_nodes, pending_edge_ops) = ctx.pending();
                 let response = StatsResponse {
-                    snapshot_nodes: shared.store.node_count() as u64,
-                    snapshot_edges: shared.store.edge_count() as u64,
+                    epoch: ctx.epoch(),
+                    published_epoch: shared.published().epoch(),
+                    snapshot_nodes: ctx.store.node_count() as u64,
+                    snapshot_edges: ctx.store.edge_count() as u64,
                     session_nodes: session_nodes as u64,
                     session_edges: session_edges as u64,
-                    accumulated_ops: state.accumulated_ops(),
-                    batches_applied: state.batches_applied(),
-                    fragment_count: shared.store.fragment_count() as u32,
+                    accumulated_ops: ctx.accumulated.len() as u64,
+                    pending_nodes,
+                    pending_edge_ops,
+                    batches_applied: ctx.batches_applied,
+                    fragment_count: ctx.store.fragment_count() as u32,
                     sessions_active: shared.sessions_active.load(Ordering::SeqCst) as u32,
                     sessions_total: shared.sessions_total.load(Ordering::SeqCst),
                     updates_served: shared.updates_served.load(Ordering::SeqCst),
@@ -609,7 +985,7 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 write_frame(stream, frame::STATS_OK, &response.encode())?;
             }
             frame::RESET => {
-                let dropped = state.reset();
+                let dropped = ctx.reset();
                 let message = format!("dropped {} accumulated unit update(s)", dropped.len());
                 write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
             }

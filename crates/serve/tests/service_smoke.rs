@@ -184,3 +184,211 @@ fn session_rule_swap_changes_answers_for_that_session_only() {
     server.wait();
     std::fs::remove_file(&snap_path).ok();
 }
+
+/// A socket file left behind by a killed daemon must not block a restart:
+/// bind pings the path first, unlinks it when nothing answers, and
+/// refuses to steal it from a live daemon.
+#[test]
+fn stale_unix_sockets_are_reclaimed_and_live_ones_are_not_stolen() {
+    let (graph, _) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let snap_path = temp_path("stale.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+    let sock_path = temp_path("stale-sock");
+
+    // Simulate the corpse of a SIGKILLed daemon: bind a listener and drop
+    // it — closing the fd leaves the socket *file* behind (the kernel
+    // never unlinks it), which is exactly what a killed daemon leaves.
+    drop(std::os::unix::net::UnixListener::bind(&sock_path).unwrap());
+    assert!(sock_path.exists(), "stale socket file is in place");
+
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).expect("snapshot maps"),
+        sigma.clone(),
+        &ServeAddr::Unix(sock_path.clone()),
+        DetectorConfig::default(),
+    )
+    .expect("restart reclaims the stale socket");
+    let mut client = ServeClient::connect(server.local_addr()).expect("daemon is reachable");
+
+    // A second daemon must NOT steal the path from the live one.
+    let err = Server::start(
+        SnapshotStore::open(&snap_path).unwrap(),
+        sigma,
+        &ServeAddr::Unix(sock_path.clone()),
+        DetectorConfig::default(),
+    );
+    assert!(err.is_err(), "live socket must not be stolen");
+    let message = format!("{}", err.err().unwrap());
+    assert!(message.contains("live daemon"), "{message}");
+    // The live daemon is unharmed.
+    assert!(client.stats().is_ok());
+
+    client.shutdown_server().unwrap();
+    drop(client);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+/// `ServeOptions::compact_after` folds a session's overlay into a fresh
+/// epoch automatically once the pending net ops cross the threshold.
+#[test]
+fn auto_compaction_triggers_at_the_configured_overlay_size() {
+    use ngd_serve::ServeOptions;
+    let (graph, fake) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let snap_path = temp_path("auto.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+
+    let server = Server::start_with(
+        SnapshotStore::open(&snap_path).unwrap(),
+        sigma.clone(),
+        &ServeAddr::Unix(temp_path("auto-sock")),
+        DetectorConfig::default(),
+        ServeOptions {
+            compact_after: Some(2),
+        },
+    )
+    .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let status = graph
+        .out_neighbors(fake)
+        .iter()
+        .find(|&&(_, l)| l == intern("status"))
+        .map(|&(n, _)| n)
+        .unwrap();
+    // Batch 1: one pending op — below the threshold.
+    let mut b1 = BatchUpdate::new();
+    b1.delete_edge(fake, status, intern("status"));
+    let done = client.submit_update(&b1).unwrap().done;
+    assert_eq!(done.epoch, 0);
+    assert_eq!(client.epoch().unwrap().published_epoch, 0);
+
+    // Batch 2: second net op — crosses the threshold, daemon compacts.
+    let follower = graph
+        .out_neighbors(fake)
+        .iter()
+        .find(|&&(_, l)| l == intern("follower"))
+        .map(|&(n, _)| n)
+        .unwrap();
+    let mut b2 = BatchUpdate::new();
+    b2.delete_edge(fake, follower, intern("follower"));
+    client.submit_update(&b2).unwrap();
+    let epoch = client.epoch().unwrap();
+    assert_eq!(
+        epoch.published_epoch, 1,
+        "auto-compaction published epoch 1"
+    );
+    assert_eq!(epoch.epoch, 1, "the triggering session re-rooted");
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.pending_nodes, stats.pending_edge_ops), (0, 0));
+    // The session keeps answering correctly on the compacted epoch: the
+    // served delta equals an uncompacted in-process session's.
+    let mut b3 = BatchUpdate::new();
+    b3.insert_edge(fake, status, intern("status"));
+    let served = client.submit_update(&b3).unwrap();
+    assert_eq!(served.done.epoch, 1);
+    let snapshot = graph.freeze();
+    let mut reference = ngd_detect::IncrementalSession::new(&snapshot);
+    let config = DetectorConfig::default();
+    for b in [&b1, &b2] {
+        reference.apply(&sigma, b, &config).unwrap();
+    }
+    let expected = reference.apply(&sigma, &b3, &config).unwrap();
+    assert_eq!(
+        served.delta, expected.delta,
+        "delta survives the epoch switch"
+    );
+
+    client.shutdown_server().unwrap();
+    drop(client);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+/// Concurrent sessions across a node-adding compaction: an edge-only
+/// observer must re-root onto the grown epoch and keep answering, while
+/// an observer whose own added nodes collide with the published epoch's
+/// must stay pinned to its old mapping — never silently adopt foreign
+/// nodes — and also keep answering correctly.
+#[test]
+fn node_adding_compaction_reroots_edge_only_sessions_and_pins_conflicting_ones() {
+    use ngd_graph::AttrMap;
+    let (graph, fake) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let snap_path = temp_path("node-add.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).unwrap(),
+        sigma.clone(),
+        &ServeAddr::Unix(temp_path("node-add-sock")),
+        DetectorConfig::default(),
+    )
+    .expect("server starts");
+
+    let company = graph.nodes_with_label(intern("company"))[0];
+    let status = graph
+        .out_neighbors(fake)
+        .iter()
+        .find(|&&(_, l)| l == intern("status"))
+        .map(|&(n, _)| n)
+        .unwrap();
+
+    // Session A: edge-only overlay.
+    let mut edge_only = ServeClient::connect(server.local_addr()).unwrap();
+    let mut a1 = BatchUpdate::new();
+    a1.delete_edge(fake, status, intern("status"));
+    edge_only.submit_update(&a1).unwrap();
+
+    // Session B: adds a node with label "account"; its view must never be
+    // affected by C's compaction of a *different* node at the same id.
+    let mut conflicting = ServeClient::connect(server.local_addr()).unwrap();
+    let mut b1 = BatchUpdate::new();
+    let b_node = b1.add_node(graph.node_count(), intern("account"), AttrMap::new());
+    b1.insert_edge(b_node, company, intern("keys"));
+    conflicting.submit_update(&b1).unwrap();
+    let b_view_before = conflicting.query().unwrap().violations;
+
+    // Session C compacts an overlay that adds one "boolean" node — the
+    // same *count* as B's added nodes, different content.
+    let mut compactor = ServeClient::connect(server.local_addr()).unwrap();
+    let mut c1 = BatchUpdate::new();
+    let c_node = c1.add_node(graph.node_count(), intern("boolean"), AttrMap::new());
+    c1.insert_edge(fake, c_node, intern("follower"));
+    compactor.submit_update(&c1).unwrap();
+    let epoch = compactor.compact().expect("compaction publishes");
+    assert_eq!(epoch.published_epoch, 1);
+
+    // A (edge-only) re-roots onto the grown epoch and keeps its residue.
+    let stats = edge_only.stats().unwrap();
+    assert_eq!(stats.epoch, 1, "edge-only session re-roots");
+    let notice = edge_only.last_epoch_switch().expect("switch announced");
+    assert_eq!((notice.epoch, notice.previous_epoch), (1, 0));
+    assert_eq!(notice.carried_nodes, 0);
+    assert!(notice.carried_ops >= 1, "the deletion residue carries");
+
+    // B stays pinned: published epoch moved on, B's epoch did not, and
+    // B's view is unchanged (its node keeps its identity).
+    let stats = conflicting.stats().unwrap();
+    assert_eq!(stats.epoch, 0, "conflicting session pins to its mapping");
+    assert_eq!(stats.published_epoch, 1);
+    assert_eq!(
+        conflicting.query().unwrap().violations,
+        b_view_before,
+        "a pinned session's state must be untouched by the foreign epoch"
+    );
+
+    edge_only.shutdown_server().unwrap();
+    drop(edge_only);
+    drop(conflicting);
+    drop(compactor);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+}

@@ -1,7 +1,7 @@
 //! The on-disk snapshot contract: golden-format pinning and the
 //! corruption battery.
 //!
-//! * **Golden format** — `tests/data/golden_snapshot_v1.ngds` is a tiny
+//! * **Golden format** — `tests/data/golden_snapshot_v1_1.ngds` is a tiny
 //!   pre-built snapshot checked into the repository.  The writer's output
 //!   for the same logical graph must match it **byte for byte** (the
 //!   writer canonicalises symbol order, so bytes are independent of
@@ -10,6 +10,10 @@
 //!   test fails after an intentional layout change: bump
 //!   `ngd_graph::persist::format::VERSION` and re-bless the golden file
 //!   with `cargo test -p ngd-integration-tests persist_format -- --ignored`.
+//! * **Back-compat** — `tests/data/golden_snapshot_v1.ngds` is the same
+//!   logical graph written by the *version-1* writer (whose header word at
+//!   offset 56 was reserved-as-zero rather than the epoch).  It must keep
+//!   loading forever, as **epoch 0** — the v1.1 compatibility contract.
 //! * **Corruption battery** — a truncated file, wrong magic, a future
 //!   version, a flipped payload byte and a misaligned section each fail
 //!   with their own typed [`PersistError`] variant: no panics, no UB, no
@@ -21,7 +25,18 @@ use ngd_graph::persist::{
 use ngd_graph::{intern, AttrMap, Graph, GraphView, NodeId, Value};
 use std::path::PathBuf;
 
+/// Epoch stamped into the golden v1.1 file — nonzero on purpose, so the
+/// pinning covers the epoch header field.
+const GOLDEN_EPOCH: u64 = 3;
+
 fn golden_path() -> PathBuf {
+    PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/data/golden_snapshot_v1_1.ngds"
+    ))
+}
+
+fn golden_v1_path() -> PathBuf {
     PathBuf::from(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/data/golden_snapshot_v1.ngds"
@@ -54,14 +69,14 @@ fn golden_graph() -> Graph {
 }
 
 fn golden_bytes() -> Vec<u8> {
-    SnapshotWriter::new().encode(&golden_graph().freeze())
+    SnapshotWriter::with_epoch(GOLDEN_EPOCH).encode(&golden_graph().freeze())
 }
 
 /// Re-generate the golden file.  Run after an intentional format change
 /// (together with a VERSION bump):
 /// `cargo test -p ngd-integration-tests persist_format -- --ignored`
 #[test]
-#[ignore = "bless tool: rewrites tests/data/golden_snapshot_v1.ngds"]
+#[ignore = "bless tool: rewrites tests/data/golden_snapshot_v1_1.ngds"]
 fn bless_golden_file() {
     std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
     std::fs::write(golden_path(), golden_bytes()).unwrap();
@@ -99,7 +114,18 @@ fn golden_file_bytes_are_pinned() {
 fn golden_header_fields_and_sections_are_pinned() {
     let bytes = std::fs::read(golden_path()).expect("golden file present");
     let header = FileHeader::parse(&bytes).expect("golden header parses");
-    assert_eq!(header.version, 1, "golden file is a version-1 snapshot");
+    assert_eq!(
+        header.version, 2,
+        "golden file is a v1.1 (version-2) snapshot"
+    );
+    assert_eq!(
+        header.epoch, GOLDEN_EPOCH,
+        "epoch lives at header offset 56"
+    );
+    assert_eq!(
+        u64::from_le_bytes(bytes[56..64].try_into().unwrap()),
+        GOLDEN_EPOCH
+    );
     assert_eq!(header.file_kind, format::file_kind::SNAPSHOT);
     assert_eq!(header.node_count, 4);
     assert_eq!(header.edge_count, 4);
@@ -147,9 +173,42 @@ fn golden_header_fields_and_sections_are_pinned() {
     assert_eq!(by_kind(format::kind::STRINGS).elem_count, 11); // 4 node + 4 edge labels + 3 attr names
 }
 
+/// The version-1 golden file (reserved word at offset 56) must keep
+/// loading as epoch 0 — a v1.1 reader never refuses a v1 file.
+#[test]
+fn version_1_files_load_as_epoch_0() {
+    let bytes = std::fs::read(golden_v1_path()).expect(
+        "tests/data/golden_snapshot_v1.ngds is the checked-in v1 back-compat fixture; \
+         it is frozen history and must never be regenerated",
+    );
+    let header = FileHeader::parse(&bytes).expect("v1 header parses");
+    assert_eq!(header.version, 1);
+    assert_eq!(header.epoch, 0, "v1 reserved word reads as epoch 0");
+
+    let snapshot = MmapSnapshot::load(&golden_v1_path()).expect("v1 file loads");
+    assert_eq!(snapshot.epoch(), 0);
+    let g = golden_graph();
+    assert_eq!(GraphView::node_count(&snapshot), 4);
+    assert_eq!(GraphView::edge_count(&snapshot), 4);
+    for id in 0..4u32 {
+        let id = NodeId(id);
+        assert_eq!(GraphView::label(&snapshot, id), g.label(id));
+        assert_eq!(GraphView::attrs_of(&snapshot, id), g.attrs(id));
+    }
+    // A v1 file differs from its v1.1 epoch-0 rewrite ONLY in the header
+    // version word: payload bytes (and therefore the checksum) are
+    // identical.  That equality is exactly why v1 can be read forever.
+    let rewrite = SnapshotWriter::new().encode(&g.freeze());
+    assert_eq!(bytes[format::HEADER_LEN..], rewrite[format::HEADER_LEN..]);
+    let new_header = FileHeader::parse(&rewrite).unwrap();
+    assert_eq!(new_header.checksum, header.checksum);
+    assert_eq!(new_header.version, 2);
+}
+
 #[test]
 fn golden_file_loads_and_matches_the_graph() {
     let snapshot = MmapSnapshot::load(&golden_path()).expect("golden file loads");
+    assert_eq!(snapshot.epoch(), GOLDEN_EPOCH);
     let g = golden_graph();
     assert_eq!(GraphView::node_count(&snapshot), 4);
     assert_eq!(GraphView::edge_count(&snapshot), 4);

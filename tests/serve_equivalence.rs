@@ -17,7 +17,7 @@ use ngd_datagen::{
 };
 use ngd_detect::{inc_dect, pinc_dect, DetectorConfig};
 use ngd_graph::persist::SnapshotWriter;
-use ngd_graph::{BatchUpdate, Graph, PartitionStrategy};
+use ngd_graph::{AttrMap, BatchUpdate, Graph, PartitionStrategy};
 use ngd_match::DeltaViolations;
 use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -208,4 +208,149 @@ fn a_session_absorbing_a_batch_stream_matches_materialised_reruns() {
     drop(client);
     server.wait();
     std::fs::remove_file(&path).ok();
+}
+
+/// A sequential batch stream for `graph`: edge churn plus a batch that
+/// introduces a node, so the compaction cut carries every update shape.
+fn stream_for(graph: &Graph) -> Vec<BatchUpdate> {
+    let edges = graph.edge_vec();
+    let mut batches = Vec::new();
+    let mut b = BatchUpdate::new();
+    b.delete_edge(edges[0].src, edges[0].dst, edges[0].label);
+    batches.push(b);
+    let mut b = BatchUpdate::new();
+    b.insert_edge(edges[0].src, edges[0].dst, edges[0].label);
+    if edges.len() >= 2 {
+        b.delete_edge(edges[1].src, edges[1].dst, edges[1].label);
+    }
+    batches.push(b);
+    let mut b = BatchUpdate::new();
+    let node = b.add_node(
+        graph.node_count(),
+        graph.label(edges[0].src),
+        AttrMap::new(),
+    );
+    b.insert_edge(node, edges[0].dst, edges[0].label);
+    batches.push(b);
+    // A trailing edge-only batch, so a cut can fold the node-adding batch
+    // into the compaction and still have post-cut work to serve.
+    let mut b = BatchUpdate::new();
+    b.delete_edge(node, edges[0].dst, edges[0].label);
+    batches.push(b);
+    batches
+}
+
+/// One session absorbing `batches` with a `COMPACT` after batch `cut`
+/// must stream exactly what an uncompacted session streams — the
+/// acceptance bar of the epoch lifecycle.
+fn check_compact_mid_stream(
+    graph: &Graph,
+    sigma: &RuleSet,
+    batches: &[BatchUpdate],
+    cut: usize,
+    context: &str,
+) {
+    for fragments in [0usize, 3] {
+        // Reference daemon: no compaction.
+        let (server, path) = start_daemon(graph, sigma, fragments);
+        let mut client = ServeClient::connect(server.local_addr()).expect("client connects");
+        let reference: Vec<DeltaViolations> = batches
+            .iter()
+            .map(|b| client.submit_update(b).expect("update serves").delta)
+            .collect();
+        client.shutdown_server().unwrap();
+        drop(client);
+        server.wait();
+        std::fs::remove_file(&path).ok();
+
+        // Compacting daemon: same stream, epoch switch after `cut`.
+        let (server, path) = start_daemon(graph, sigma, fragments);
+        let mut client = ServeClient::connect(server.local_addr()).expect("client connects");
+        // A second session rides along to observe the broadcast.
+        let mut observer = ServeClient::connect(server.local_addr()).expect("observer connects");
+        observer
+            .submit_update(&batches[0])
+            .expect("observer absorbs a batch");
+
+        let mut served = Vec::new();
+        for (idx, batch) in batches.iter().enumerate() {
+            if idx == cut {
+                let epoch = client.compact().expect("COMPACT succeeds");
+                assert_eq!(epoch.epoch, 1, "{context}: compaction bumps the epoch");
+                assert_eq!(epoch.published_epoch, 1, "{context}");
+                let stats = client.stats().expect("stats after compaction");
+                assert_eq!(stats.epoch, 1, "{context}");
+                assert_eq!(
+                    (stats.pending_nodes, stats.pending_edge_ops),
+                    (0, 0),
+                    "{context}: compaction empties the requester's overlay"
+                );
+            }
+            served.push(client.submit_update(batch).expect("update serves").delta);
+        }
+        for (idx, (reference, served)) in reference.iter().zip(&served).enumerate() {
+            assert_identical_deltas(
+                reference,
+                served,
+                &format!("{context} frag={fragments} batch#{idx}"),
+            );
+        }
+
+        // The observer re-roots at its next message boundary and is told so.
+        assert!(observer.last_epoch_switch().is_none());
+        let stats = observer.stats().expect("observer stats");
+        let notice = observer
+            .last_epoch_switch()
+            .expect("observer receives EPOCH_SWITCHED at its message boundary");
+        assert_eq!(notice.epoch, 1, "{context}");
+        assert_eq!(notice.previous_epoch, 0, "{context}");
+        assert_eq!(
+            stats.epoch, 1,
+            "{context}: observer now reads the new epoch"
+        );
+        assert_eq!(
+            notice.carried_ops,
+            {
+                // The observer's batch#0 relative to epoch 1 (which folded
+                // the *requester's* overlay, not the observer's).
+                stats.pending_edge_ops
+            },
+            "{context}: the notice reports the carried residue"
+        );
+
+        client.shutdown_server().unwrap();
+        drop(client);
+        drop(observer);
+        server.wait();
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn compaction_mid_stream_is_invisible_on_all_figure1_scenarios() {
+    for (name, graph, sigma) in figure1_scenarios() {
+        let batches = stream_for(&graph);
+        for cut in 1..batches.len() {
+            check_compact_mid_stream(&graph, &sigma, &batches, cut, &format!("{name} cut={cut}"));
+        }
+    }
+}
+
+#[test]
+fn compaction_mid_stream_is_invisible_on_the_11k_synthetic_workload() {
+    let generated = generate_knowledge(&KnowledgeConfig::dbpedia_like(50).with_seed(0xC5_A11));
+    let graph = generated.graph;
+    assert!(graph.node_count() >= 10_000);
+    let sigma = RuleSet::from_rules(vec![
+        paper::phi1(1),
+        paper::phi2(),
+        paper::phi3(),
+        paper::ngd3(),
+    ]);
+    let first = generate_update(&graph, &UpdateConfig::fraction(0.005).with_seed(3));
+    let mut current = graph.clone();
+    first.apply(&mut current).unwrap();
+    let second = generate_update(&current, &UpdateConfig::fraction(0.005).with_seed(21));
+    let batches = vec![first, second];
+    check_compact_mid_stream(&graph, &sigma, &batches, 1, "synthetic-11k");
 }
