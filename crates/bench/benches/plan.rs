@@ -1,0 +1,197 @@
+//! Planner benchmark: compiled cost-based match plans versus the
+//! pre-planner greedy order (`Matcher::with_legacy_order`).
+//!
+//! The skewed workload is built so that label cardinalities — all the
+//! greedy order can see — point the wrong way: the pattern's cheap entry
+//! point is a variable with a *huge* label but a tiny incident triple-index
+//! run.  The greedy order seeds at the smallest label (a dense hub core)
+//! and enumerates the full hub×hub edge set before discovering that almost
+//! no partial solution extends; the planner reads the `(hub, s, T)` run
+//! length off [`SelectivityStats`], seeds the pattern at the rare edge and
+//! walks two short anchored runs instead.
+//!
+//! Also measured: the paper's knowledge rules (planned `dect` vs the
+//! legacy order, where the two orders mostly coincide — the planner must
+//! not regress them) and plan-cache reuse (cold compile-per-call vs a warm
+//! [`PlanCache`], the serving path).
+//!
+//! Running this bench rewrites `BENCH_plan.json`; CI's `bench-smoke` job
+//! runs it per PR and asserts the acceptance bar: planned matching at
+//! least **1.5× faster** than the legacy order on the skewed workload
+//! (the committed baseline records well above 2×).
+
+use ngd_bench::harness::{black_box, Harness};
+use ngd_core::{paper, Expr, Literal, Ngd, Pattern, RuleSet};
+use ngd_datagen::{generate_knowledge, KnowledgeConfig, StdRng};
+use ngd_detect::{dect_on, dect_on_cached};
+use ngd_graph::{AttrMap, Graph, GraphView, Value};
+use ngd_match::{Matcher, PlanCache, ViolationSet};
+
+/// Batch detection with the pre-planner greedy order — the "unplanned"
+/// baseline.
+fn legacy_violations<G: GraphView>(sigma: &RuleSet, graph: &G) -> ViolationSet {
+    let mut out = ViolationSet::new();
+    for rule in sigma.iter() {
+        let (vio, _) = Matcher::new(&rule.pattern, graph)
+            .with_legacy_order()
+            .find_violations_with_stats(rule);
+        out.extend(vio);
+    }
+    out
+}
+
+/// The 11k-node skewed graph: a dense 200-hub core (20k `r`-edges), 10.8k
+/// satellite `T`-nodes, and only 10 `s`-edges from the core into the
+/// satellites.  Label counts say "start at the hubs"; the triple index
+/// says "start at the 10 `s`-edges".
+fn skewed_graph() -> Graph {
+    let mut rng = StdRng::seed_from_u64(0x9_1A_11);
+    let mut g = Graph::new();
+    let hubs: Vec<_> = (0..200)
+        .map(|i| {
+            let mut attrs = AttrMap::new();
+            attrs.set_named("val", Value::Int(i as i64 % 37));
+            g.add_node_named("H", attrs)
+        })
+        .collect();
+    let sats: Vec<_> = (0..10_800)
+        .map(|i| {
+            let mut attrs = AttrMap::new();
+            attrs.set_named("val", Value::Int(i as i64 % 53));
+            g.add_node_named("T", attrs)
+        })
+        .collect();
+    // Dense hub core: ~100 distinct r-targets per hub.
+    for &h in &hubs {
+        for _ in 0..100 {
+            let other = hubs[rng.gen_range(0..hubs.len())];
+            let _ = g.add_edge_named(h, other, "r");
+        }
+    }
+    // The rare seam: ten s-edges out of the core.
+    for i in 0..10 {
+        let _ = g.add_edge_named(hubs[i * 17 % hubs.len()], sats[i * 997 % sats.len()], "s");
+    }
+    // Satellite noise so T's label partition is paid for when scanned.
+    for _ in 0..8_000 {
+        let a = sats[rng.gen_range(0..sats.len())];
+        let b = sats[rng.gen_range(0..sats.len())];
+        let _ = g.add_edge_named(a, b, "t");
+    }
+    g
+}
+
+/// `(a:H) -[r]-> (b:H) -[s]-> (c:T)`, with a consequence over the `val`
+/// attributes so matches become violations.
+fn skewed_rule() -> Ngd {
+    let mut q = Pattern::new();
+    let a = q.add_node("a", "H");
+    let b = q.add_node("b", "H");
+    let c = q.add_node("c", "T");
+    q.add_edge(a, b, "r");
+    q.add_edge(b, c, "s");
+    Ngd::new(
+        "skew",
+        q,
+        vec![],
+        vec![Literal::le(Expr::attr(a, "val"), Expr::attr(c, "val"))],
+    )
+    .unwrap()
+}
+
+fn main() {
+    let skew = skewed_graph();
+    assert!(skew.node_count() >= 11_000, "skewed workload is 11k nodes");
+    let skew_snap = skew.freeze();
+    let sigma_skew = RuleSet::from_rules(vec![skewed_rule()]);
+
+    // Correctness before timing: the planner is an order optimisation, so
+    // both paths must agree exactly.
+    let expected = legacy_violations(&sigma_skew, &skew_snap);
+    assert_eq!(dect_on(&sigma_skew, &skew_snap).violations, expected);
+
+    let mut h = Harness::new();
+
+    println!("# plan: skewed 11k workload, planned vs legacy order");
+    let legacy = h.bench("skewed_11k/legacy_order", || {
+        black_box(legacy_violations(&sigma_skew, &skew_snap));
+    });
+    let planned = h.bench("skewed_11k/planned", || {
+        black_box(dect_on(&sigma_skew, &skew_snap).violations);
+    });
+    let speedup = legacy.ns_per_iter / planned.ns_per_iter;
+    println!("planned-vs-legacy speedup (skewed 11k): {speedup:.2}x");
+
+    println!("# plan: cold compile-per-call vs warm PlanCache (serving path)");
+    h.bench("skewed_11k/cache_cold", || {
+        let cache = PlanCache::new();
+        black_box(dect_on_cached(&sigma_skew, &skew_snap, &cache).violations);
+    });
+    let warm_cache = PlanCache::new();
+    let warm = h.bench("skewed_11k/cache_warm", || {
+        black_box(dect_on_cached(&sigma_skew, &skew_snap, &warm_cache).violations);
+    });
+    let hit_rate = warm_cache.hits() as f64 / (warm_cache.hits() + warm_cache.misses()) as f64;
+    println!(
+        "warm cache: {} hit(s) / {} miss(es) ({:.1}% hit rate) at {:.3} ms/run",
+        warm_cache.hits(),
+        warm_cache.misses(),
+        hit_rate * 100.0,
+        warm.ms_per_iter()
+    );
+
+    println!("# plan: paper knowledge rules (orders mostly coincide — no regression)");
+    let knowledge = generate_knowledge(&KnowledgeConfig::dbpedia_like(8)).graph;
+    let knowledge_snap = knowledge.freeze();
+    let sigma_paper = RuleSet::from_rules(vec![
+        paper::phi1(1),
+        paper::phi2(),
+        paper::phi3(),
+        paper::ngd3(),
+    ]);
+    assert_eq!(
+        dect_on(&sigma_paper, &knowledge_snap).violations,
+        legacy_violations(&sigma_paper, &knowledge_snap)
+    );
+    let paper_legacy = h.bench("paper_rules_knowledge/legacy_order", || {
+        black_box(legacy_violations(&sigma_paper, &knowledge_snap));
+    });
+    let paper_planned = h.bench("paper_rules_knowledge/planned", || {
+        black_box(dect_on(&sigma_paper, &knowledge_snap).violations);
+    });
+    let paper_ratio = paper_legacy.ns_per_iter / paper_planned.ns_per_iter;
+    println!("planned-vs-legacy ratio (paper rules): {paper_ratio:.2}x");
+
+    // Record the baseline only when the acceptance bar is met, so a noisy
+    // machine cannot clobber a good committed baseline on its way to
+    // failing.
+    if speedup >= 1.5 {
+        let json = h.to_json(&[
+            ("bench".to_string(), "plan".to_string()),
+            (
+                "skewed_planned_speedup".to_string(),
+                format!("{speedup:.2}"),
+            ),
+            (
+                "paper_rules_planned_ratio".to_string(),
+                format!("{paper_ratio:.2}"),
+            ),
+            ("warm_cache_hit_rate".to_string(), format!("{hit_rate:.3}")),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan.json");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("could not write {path}: {e}");
+        } else {
+            println!("wrote {path}");
+        }
+    } else {
+        eprintln!(
+            "NOT updating BENCH_plan.json: measured speedup {speedup:.2}x is below the 1.5x bar"
+        );
+    }
+    assert!(
+        speedup >= 1.5,
+        "planned matching must beat the legacy order by >= 1.5x on the \
+         skewed 11k workload (measured {speedup:.2}x)"
+    );
+}

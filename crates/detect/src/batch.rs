@@ -22,7 +22,8 @@ use crate::cost::CostLedger;
 use crate::report::{DetectionReport, SearchStats};
 use ngd_core::{Ngd, RuleSet, Var};
 use ngd_graph::{Graph, GraphView, NodeId, RemoteAccounting, ShardedRead, WILDCARD};
-use ngd_match::{Matcher, Violation, ViolationSet};
+use ngd_match::{compile_plan, MatchPlan, Matcher, PlanCache, Violation, ViolationSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Sequential batch detection on the default (CSR snapshot) path.
@@ -33,15 +34,28 @@ pub fn dect(sigma: &RuleSet, graph: &Graph) -> DetectionReport {
 
 /// Sequential batch detection over any graph view: compute `Vio(Σ, G)`.
 pub fn dect_on<G: GraphView>(sigma: &RuleSet, graph: &G) -> DetectionReport {
+    dect_on_cached(sigma, graph, &PlanCache::new())
+}
+
+/// [`dect_on`] with a caller-owned [`PlanCache`]: compiled match plans are
+/// reused across calls against the same snapshot epoch (the serving path).
+pub fn dect_on_cached<G: GraphView>(
+    sigma: &RuleSet,
+    graph: &G,
+    cache: &PlanCache,
+) -> DetectionReport {
     let start = Instant::now();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
     let mut violations = ViolationSet::new();
     let mut stats = SearchStats::default();
     for rule in sigma.iter() {
-        let matcher = Matcher::new(&rule.pattern, graph);
+        let plan = cache.get_or_compile(&rule.id, &[], || compile_plan(&rule.pattern, graph, &[]));
+        let matcher = Matcher::new(&rule.pattern, graph).with_plan(plan);
         let (vio, s) = matcher.find_violations_with_stats(rule);
         violations.extend(vio);
         stats.merge(&s.into());
     }
+    stats.record_plan_cache(hits0, misses0, cache);
     DetectionReport {
         algorithm: AlgorithmKind::Dect,
         violations,
@@ -88,11 +102,29 @@ pub fn pdect_on<G: GraphView + Sync>(
     graph: &G,
     config: &DetectorConfig,
 ) -> DetectionReport {
+    pdect_on_cached(sigma, graph, config, &PlanCache::new())
+}
+
+/// [`pdect_on`] with a caller-owned [`PlanCache`].  Each rule's plan is
+/// compiled (or fetched) once, before the worker pool starts, and the one
+/// `Arc<MatchPlan>` is shared by every batch pivot of that rule.
+pub fn pdect_on_cached<G: GraphView + Sync>(
+    sigma: &RuleSet,
+    graph: &G,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+) -> DetectionReport {
     let start = Instant::now();
-    // One work unit per (rule, candidate of the rule's root variable).
+    let (hits0, misses0) = (cache.hits(), cache.misses());
+    // One work unit per (rule, candidate of the rule's root variable); one
+    // compiled plan per rule, shared across all of its pivots.
     let mut units: Vec<(usize, Var, NodeId)> = Vec::new();
+    let mut plans: Vec<Option<Arc<MatchPlan>>> = vec![None; sigma.rules().len()];
     for (rule_idx, rule) in sigma.iter().enumerate() {
         if let Some(root) = root_variable(rule, graph) {
+            plans[rule_idx] = Some(cache.get_or_compile(&rule.id, &[root], || {
+                compile_plan(&rule.pattern, graph, &[root])
+            }));
             for candidate in candidates_for(rule, graph, root) {
                 units.push((rule_idx, root, candidate));
             }
@@ -101,7 +133,8 @@ pub fn pdect_on<G: GraphView + Sync>(
 
     let p = config.processors.max(1);
     let units_ref = &units;
-    let (violations, stats) = std::thread::scope(|scope| {
+    let plans_ref = &plans;
+    let (violations, mut stats) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..p)
             .map(|worker| {
                 scope.spawn(move || {
@@ -111,7 +144,10 @@ pub fn pdect_on<G: GraphView + Sync>(
                     // consecutive units (same rule) have similar cost.
                     for &(rule_idx, root, candidate) in units_ref.iter().skip(worker).step_by(p) {
                         let rule = &sigma.rules()[rule_idx];
-                        let matcher = Matcher::new(&rule.pattern, graph);
+                        let plan = plans_ref[rule_idx]
+                            .clone()
+                            .expect("a unit exists only for rules with a root plan");
+                        let matcher = Matcher::new(&rule.pattern, graph).with_plan(plan);
                         let (matches, run_stats) =
                             matcher.expand_seeded(&[(root, candidate)], Some(rule));
                         for m in matches {
@@ -132,6 +168,7 @@ pub fn pdect_on<G: GraphView + Sync>(
         }
         (violations, stats)
     });
+    stats.record_plan_cache(hits0, misses0, cache);
 
     // Record scanned work the same way the sharded variant does, so
     // modelled-cost comparisons between PDect and PDectSharded line up.
@@ -169,15 +206,32 @@ pub fn pdect_sharded<S: ShardedRead>(
     sharded: &S,
     config: &DetectorConfig,
 ) -> DetectionReport {
+    pdect_sharded_cached(sigma, sharded, config, &PlanCache::new())
+}
+
+/// [`pdect_sharded`] with a caller-owned [`PlanCache`].  Plans are
+/// compiled against the global snapshot (so the per-step cost estimates
+/// see the full label statistics) and shared by every fragment worker.
+pub fn pdect_sharded_cached<S: ShardedRead>(
+    sigma: &RuleSet,
+    sharded: &S,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+) -> DetectionReport {
     let start = Instant::now();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
     let global = sharded.global_view();
     let p = sharded.shard_count().max(1);
     // Route every (rule, root candidate) work unit to the candidate's
     // owning fragment; ownership covers each node exactly once, so the
     // fragments' result sets partition the full violation set.
     let mut units: Vec<Vec<(usize, Var, NodeId)>> = vec![Vec::new(); p];
+    let mut plans: Vec<Option<Arc<MatchPlan>>> = vec![None; sigma.rules().len()];
     for (rule_idx, rule) in sigma.iter().enumerate() {
         if let Some(root) = root_variable(rule, global) {
+            plans[rule_idx] = Some(cache.get_or_compile(&rule.id, &[root], || {
+                compile_plan(&rule.pattern, global, &[root])
+            }));
             for candidate in candidates_for(rule, global, root) {
                 units[sharded.route_to(candidate)].push((rule_idx, root, candidate));
             }
@@ -185,7 +239,8 @@ pub fn pdect_sharded<S: ShardedRead>(
     }
 
     let units_ref = &units;
-    let (violations, stats, cost) = std::thread::scope(|scope| {
+    let plans_ref = &plans;
+    let (violations, mut stats, cost) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..p)
             .map(|worker| {
                 scope.spawn(move || {
@@ -194,7 +249,10 @@ pub fn pdect_sharded<S: ShardedRead>(
                     let mut stats = SearchStats::default();
                     for &(rule_idx, root, candidate) in &units_ref[worker] {
                         let rule = &sigma.rules()[rule_idx];
-                        let matcher = Matcher::new(&rule.pattern, &view);
+                        let plan = plans_ref[rule_idx]
+                            .clone()
+                            .expect("a unit exists only for rules with a root plan");
+                        let matcher = Matcher::new(&rule.pattern, &view).with_plan(plan);
                         let (matches, run_stats) =
                             matcher.expand_seeded(&[(root, candidate)], Some(rule));
                         for m in matches {
@@ -220,6 +278,7 @@ pub fn pdect_sharded<S: ShardedRead>(
         }
         (violations, stats, cost)
     });
+    stats.record_plan_cache(hits0, misses0, cache);
 
     DetectionReport {
         algorithm: AlgorithmKind::PDectSharded,

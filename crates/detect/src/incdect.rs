@@ -16,7 +16,7 @@ use crate::cost::CostLedger;
 use crate::report::{DeltaReport, SearchStats};
 use ngd_core::RuleSet;
 use ngd_graph::{d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView};
-use ngd_match::{delta_violations, MatchStats};
+use ngd_match::{delta_violations_cached, MatchStats, PlanCache};
 use std::time::Instant;
 
 /// Run `IncDect` on a graph and a batch update.
@@ -58,21 +58,38 @@ pub fn inc_dect_prepared<GOld: GraphView, GNew: GraphView>(
     new_graph: &GNew,
     delta: &BatchUpdate,
 ) -> DeltaReport {
+    inc_dect_prepared_cached(sigma, old_graph, new_graph, delta, &PlanCache::new())
+}
+
+/// [`inc_dect_prepared`] with a caller-owned [`PlanCache`], so a session
+/// applying a stream of batches against one snapshot epoch compiles each
+/// (rule, pivot-seed) plan once and reuses it for every later batch.
+pub fn inc_dect_prepared_cached<GOld: GraphView, GNew: GraphView>(
+    sigma: &RuleSet,
+    old_graph: &GOld,
+    new_graph: &GNew,
+    delta: &BatchUpdate,
+    cache: &PlanCache,
+) -> DeltaReport {
     let start = Instant::now();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
     let inserted: Vec<EdgeRef> = delta.insertions().collect();
     let deleted: Vec<EdgeRef> = delta.deletions().collect();
-    let (delta_vio, stats) = delta_violations(sigma, old_graph, new_graph, &inserted, &deleted);
+    let (delta_vio, stats) =
+        delta_violations_cached(sigma, old_graph, new_graph, &inserted, &deleted, cache);
     let elapsed = start.elapsed();
     let neighborhood = d_neighbors_many(new_graph, delta.touched_nodes(), sigma.diameter()).len();
+    let mut stats = SearchStats::from(MatchStats {
+        expanded: stats.expanded,
+        candidates_inspected: stats.candidates_inspected,
+        matches_found: stats.matches_found,
+    });
+    stats.record_plan_cache(hits0, misses0, cache);
     DeltaReport {
         algorithm: AlgorithmKind::IncDect,
         delta: delta_vio,
         elapsed,
-        stats: SearchStats::from(MatchStats {
-            expanded: stats.expanded,
-            candidates_inspected: stats.candidates_inspected,
-            matches_found: stats.matches_found,
-        }),
+        stats,
         cost: CostLedger::default(),
         processors: 1,
         neighborhood_nodes: neighborhood,

@@ -74,10 +74,16 @@ pub mod report;
 pub mod session;
 
 pub use balance::{plan_migrations, skewness, Migration};
-pub use batch::{dect, dect_on, pdect, pdect_on, pdect_sharded};
+pub use batch::{
+    dect, dect_on, dect_on_cached, pdect, pdect_on, pdect_on_cached, pdect_sharded,
+    pdect_sharded_cached,
+};
 pub use config::{AlgorithmKind, DetectorConfig};
 pub use cost::{parallel_cost, sequential_cost, should_split, CostLedger};
-pub use incdect::{inc_dect, inc_dect_prepared, inc_dect_snapshot};
-pub use pincdect::{pinc_dect, pinc_dect_prepared, pinc_dect_sharded, pinc_dect_sharded_rebased};
+pub use incdect::{inc_dect, inc_dect_prepared, inc_dect_prepared_cached, inc_dect_snapshot};
+pub use pincdect::{
+    pinc_dect, pinc_dect_prepared, pinc_dect_prepared_cached, pinc_dect_sharded,
+    pinc_dect_sharded_cached, pinc_dect_sharded_rebased, pinc_dect_sharded_rebased_cached,
+};
 pub use report::{DeltaReport, DetectionReport, SearchStats};
 pub use session::{IncrementalSession, ShardedIncrementalSession};

@@ -37,12 +37,15 @@ use crate::balance::plan_migrations;
 use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::{should_split, CostLedger};
 use crate::report::{DeltaReport, SearchStats};
-use ngd_core::{is_violation, Ngd, RuleSet, Var};
+use ngd_core::{is_violation, Ngd, RuleSet};
 use ngd_graph::{
     d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView, NodeId, Partition,
     RemoteAccounting, ShardedRead,
 };
-use ngd_match::{edge_ranks, pattern_matches, update_pivots, DeltaViolations, Matcher, Violation};
+use ngd_match::{
+    compile_plan, edge_ranks, pattern_matches, update_pivots, DeltaViolations, MatchPlan, Matcher,
+    PlanCache, Violation,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -66,9 +69,10 @@ struct WorkUnit {
     rule_idx: usize,
     /// Added (insertion-driven) or Removed (deletion-driven).
     phase: Phase,
-    /// The matching order fixed when the pivot was created.
-    order: Arc<Vec<Var>>,
-    /// Position in `order` of the next variable to match.
+    /// The compiled match plan fixed when the pivot was created (shared by
+    /// every unit descending from the same (rule, seed-variable) pair).
+    plan: Arc<MatchPlan>,
+    /// Position in the plan of the next variable to match.
     depth: usize,
     /// The partial assignment (indexed by pattern variable).
     assignment: Vec<Option<NodeId>>,
@@ -187,10 +191,11 @@ impl<'a, V: GraphView> Runtime<'a, V> {
 
         // Skip over variables the pivot already assigned.
         let mut depth = unit.depth;
-        while depth < unit.order.len() && unit.assignment[unit.order[depth].index()].is_some() {
+        while depth < unit.plan.len() && unit.assignment[unit.plan.var_at(depth).index()].is_some()
+        {
             depth += 1;
         }
-        if depth == unit.order.len() {
+        if depth == unit.plan.len() {
             let complete: Vec<NodeId> = unit
                 .assignment
                 .iter()
@@ -209,10 +214,10 @@ impl<'a, V: GraphView> Runtime<'a, V> {
             return;
         }
 
-        let var = unit.order[depth];
+        let var = unit.plan.var_at(depth);
         let (candidates, anchor_degree) = match unit.presplit {
             Some(ref pre) => (pre.clone(), pre.len()),
-            None => matcher.candidate_step(var, &unit.assignment),
+            None => matcher.planned_candidate_step(&unit.plan, depth, &unit.assignment),
         };
         out.stats.candidates_inspected += candidates.len();
         out.cost.record_scan(candidates.len());
@@ -258,7 +263,7 @@ impl<'a, V: GraphView> Runtime<'a, V> {
                 WorkUnit {
                     rule_idx: unit.rule_idx,
                     phase: unit.phase,
-                    order: Arc::clone(&unit.order),
+                    plan: Arc::clone(&unit.plan),
                     depth: depth + 1,
                     assignment: child_assignment,
                     presplit: None,
@@ -347,6 +352,7 @@ impl<'a, V: GraphView> Runtime<'a, V> {
 /// updated edge.  The `ranks` map drives the pivot de-duplication: the
 /// unit created for the `rank`-th updated edge never expands into an
 /// earlier updated edge.
+#[allow(clippy::too_many_arguments)]
 fn edge_pivot_units<G: GraphView>(
     rule_idx: usize,
     rule: &Ngd,
@@ -355,6 +361,7 @@ fn edge_pivot_units<G: GraphView>(
     edge: EdgeRef,
     rank: usize,
     ranks: &HashMap<EdgeRef, usize>,
+    cache: &PlanCache,
 ) -> Vec<WorkUnit> {
     let mut units = Vec::new();
     let matcher = Matcher::new(&rule.pattern, search_graph).with_forbidden(ranks, rank);
@@ -381,11 +388,13 @@ fn edge_pivot_units<G: GraphView>(
         if !ok || !matcher.partial_viable(Some(rule), &assignment) {
             continue;
         }
-        let order = Arc::new(matcher.order_with_seeds(&[pe.src, pe.dst]));
+        let plan = cache.get_or_compile(&rule.id, &[pe.src, pe.dst], || {
+            compile_plan(&rule.pattern, search_graph, &[pe.src, pe.dst])
+        });
         units.push(WorkUnit {
             rule_idx,
             phase,
-            order,
+            plan,
             depth: 0,
             assignment,
             presplit: None,
@@ -432,6 +441,27 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
     delta: &BatchUpdate,
     config: &DetectorConfig,
 ) -> DeltaReport {
+    pinc_dect_prepared_cached(
+        sigma,
+        old_graph,
+        new_graph,
+        delta,
+        config,
+        &PlanCache::new(),
+    )
+}
+
+/// [`pinc_dect_prepared`] with a caller-owned [`PlanCache`]: every pivot
+/// of the same (rule, seed-variable) pair — within this batch and across
+/// batches against the same snapshot epoch — shares one compiled plan.
+pub fn pinc_dect_prepared_cached<V: GraphView + Sync>(
+    sigma: &RuleSet,
+    old_graph: &V,
+    new_graph: &V,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+) -> DeltaReport {
     let p = config.processors.max(1);
     // Every worker shares the same two views.
     let views: Vec<(&V, &V)> = vec![(old_graph, new_graph); p];
@@ -443,6 +473,7 @@ pub fn pinc_dect_prepared<V: GraphView + Sync>(
         config,
         None,
         None,
+        cache,
     )
 }
 
@@ -476,6 +507,17 @@ pub fn pinc_dect_sharded<S: ShardedRead>(
     pinc_dect_sharded_rebased(sigma, sharded, &BatchUpdate::new(), delta, config)
 }
 
+/// [`pinc_dect_sharded`] with a caller-owned [`PlanCache`].
+pub fn pinc_dect_sharded_cached<S: ShardedRead>(
+    sigma: &RuleSet,
+    sharded: &S,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+) -> DeltaReport {
+    pinc_dect_sharded_rebased_cached(sigma, sharded, &BatchUpdate::new(), delta, config, cache)
+}
+
 /// [`pinc_dect_sharded`] for a session that has already absorbed updates:
 /// the old side of the run is every fragment view with `accumulated` laid
 /// over it, the new side adds `delta` on top, and the reported `ΔVio` is
@@ -492,6 +534,27 @@ pub fn pinc_dect_sharded_rebased<S: ShardedRead>(
     accumulated: &BatchUpdate,
     delta: &BatchUpdate,
     config: &DetectorConfig,
+) -> DeltaReport {
+    pinc_dect_sharded_rebased_cached(
+        sigma,
+        sharded,
+        accumulated,
+        delta,
+        config,
+        &PlanCache::new(),
+    )
+}
+
+/// [`pinc_dect_sharded_rebased`] with a caller-owned [`PlanCache`] — the
+/// serving path: `ngd-serve` keeps one cache per snapshot store, so plan
+/// compilation amortises across the whole update stream of an epoch.
+pub fn pinc_dect_sharded_rebased_cached<S: ShardedRead>(
+    sigma: &RuleSet,
+    sharded: &S,
+    accumulated: &BatchUpdate,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    cache: &PlanCache,
 ) -> DeltaReport {
     let merged = {
         let mut m = accumulated.clone();
@@ -529,6 +592,7 @@ pub fn pinc_dect_sharded_rebased<S: ShardedRead>(
         config,
         Some(AlgorithmKind::PIncDectSharded),
         Some(neighborhood),
+        cache,
     );
     let fetches: u64 = frag_views
         .iter()
@@ -550,8 +614,10 @@ fn pinc_dect_core<V: GraphView + Sync>(
     config: &DetectorConfig,
     algorithm_override: Option<AlgorithmKind>,
     neighborhood_override: Option<usize>,
+    cache: &PlanCache,
 ) -> DeltaReport {
     let start = Instant::now();
+    let (hits0, misses0) = (cache.hits(), cache.misses());
     let p = views.len().max(1);
     let inserted: Vec<EdgeRef> = delta.insertions().collect();
     let deleted: Vec<EdgeRef> = delta.deletions().collect();
@@ -578,6 +644,7 @@ fn pinc_dect_core<V: GraphView + Sync>(
                     *edge,
                     rank,
                     &inserted_ranks,
+                    cache,
                 )
                 .into_iter()
                 .map(|unit| (worker, unit)),
@@ -594,6 +661,7 @@ fn pinc_dect_core<V: GraphView + Sync>(
                     *edge,
                     rank,
                     &deleted_ranks,
+                    cache,
                 )
                 .into_iter()
                 .map(|unit| (worker, unit)),
@@ -640,6 +708,7 @@ fn pinc_dect_core<V: GraphView + Sync>(
         stats.merge(&out.stats);
         cost.merge(&out.cost);
     }
+    stats.record_plan_cache(hits0, misses0, cache);
 
     let elapsed = start.elapsed();
     let neighborhood = neighborhood_override.unwrap_or_else(|| {

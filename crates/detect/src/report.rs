@@ -19,6 +19,10 @@ pub struct SearchStats {
     pub candidates_inspected: usize,
     /// Complete pattern matches enumerated (before violation filtering).
     pub matches_found: usize,
+    /// Compiled match plans served from the plan cache.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (= plan compilations) during the run.
+    pub plan_cache_misses: u64,
 }
 
 impl From<MatchStats> for SearchStats {
@@ -27,6 +31,8 @@ impl From<MatchStats> for SearchStats {
             expanded: s.expanded,
             candidates_inspected: s.candidates_inspected,
             matches_found: s.matches_found,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
         }
     }
 }
@@ -37,13 +43,30 @@ impl SearchStats {
         self.expanded += other.expanded;
         self.candidates_inspected += other.candidates_inspected;
         self.matches_found += other.matches_found;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+    }
+
+    /// Record the plan-cache activity between two counter snapshots
+    /// (`hits`/`misses` read off a [`ngd_match::PlanCache`] before and
+    /// after the run).
+    pub fn record_plan_cache(
+        &mut self,
+        hits_before: u64,
+        misses_before: u64,
+        cache: &ngd_match::PlanCache,
+    ) {
+        self.plan_cache_hits += cache.hits().saturating_sub(hits_before);
+        self.plan_cache_misses += cache.misses().saturating_sub(misses_before);
     }
 }
 
 ngd_json::impl_json_struct!(SearchStats {
     expanded,
     candidates_inspected,
-    matches_found
+    matches_found,
+    plan_cache_hits,
+    plan_cache_misses
 });
 
 /// Report of a batch detection run (`Vio(Σ, G)`).
@@ -96,11 +119,24 @@ impl std::fmt::Display for DetectionReport {
             self.stats.candidates_inspected,
             self.stats.matches_found,
         )?;
+        write_plan_cache(f, &self.stats)?;
         if !self.cost.is_zero() {
             write!(f, " [{}]", self.cost)?;
         }
         Ok(())
     }
+}
+
+/// Append the plan-cache counters when the run exercised the cache at all.
+fn write_plan_cache(f: &mut std::fmt::Formatter<'_>, stats: &SearchStats) -> std::fmt::Result {
+    if stats.plan_cache_hits != 0 || stats.plan_cache_misses != 0 {
+        write!(
+            f,
+            " [plan cache {} hit(s) / {} miss(es)]",
+            stats.plan_cache_hits, stats.plan_cache_misses
+        )?;
+    }
+    Ok(())
 }
 
 /// Report of an incremental detection run (`ΔVio(Σ, G, ΔG)`).
@@ -159,6 +195,7 @@ impl std::fmt::Display for DeltaReport {
             self.stats.candidates_inspected,
             self.stats.matches_found,
         )?;
+        write_plan_cache(f, &self.stats)?;
         if !self.cost.is_zero() {
             write!(f, " [{}]", self.cost)?;
         }
@@ -178,15 +215,21 @@ mod tests {
             expanded: 1,
             candidates_inspected: 10,
             matches_found: 2,
+            plan_cache_hits: 3,
+            plan_cache_misses: 1,
         };
         a.merge(&SearchStats {
             expanded: 4,
             candidates_inspected: 5,
             matches_found: 1,
+            plan_cache_hits: 2,
+            plan_cache_misses: 1,
         });
         assert_eq!(a.expanded, 5);
         assert_eq!(a.candidates_inspected, 15);
         assert_eq!(a.matches_found, 3);
+        assert_eq!(a.plan_cache_hits, 5);
+        assert_eq!(a.plan_cache_misses, 2);
     }
 
     #[test]
@@ -243,6 +286,24 @@ mod tests {
         let text = report.to_string();
         assert!(text.starts_with("Dect: 0 violations"), "{text}");
         assert!(!text.contains("remote fetches"), "{text}");
+    }
+
+    #[test]
+    fn display_surfaces_plan_cache_counters_when_present() {
+        let report = DetectionReport {
+            algorithm: AlgorithmKind::Dect,
+            violations: ViolationSet::new(),
+            elapsed: Duration::from_millis(1),
+            stats: SearchStats {
+                plan_cache_hits: 7,
+                plan_cache_misses: 2,
+                ..SearchStats::default()
+            },
+            cost: CostLedger::default(),
+            processors: 1,
+        };
+        let text = report.to_string();
+        assert!(text.contains("plan cache 7 hit(s) / 2 miss(es)"), "{text}");
     }
 
     #[test]

@@ -28,22 +28,23 @@
 //! * [`IncrementalSession`] over any shared [`GraphView`]
 //!   (a [`CsrSnapshot`](ngd_graph::CsrSnapshot), an
 //!   [`MmapSnapshot`](ngd_graph::persist::MmapSnapshot), …), answering
-//!   through [`pinc_dect_prepared`];
+//!   through [`pinc_dect_prepared`](crate::pinc_dect_prepared);
 //! * [`ShardedIncrementalSession`] over any [`ShardedRead`] (in-memory or
 //!   memory-mapped sharded snapshots), answering through
-//!   [`pinc_dect_sharded_rebased`].
+//!   [`pinc_dect_sharded_rebased`](crate::pinc_dect_sharded_rebased).
 //!
 //! Both validate every batch with [`BatchUpdate::validate_against`] before
 //! touching overlay construction, so a malformed batch is a typed
 //! [`UpdateError`] — never a panic — which is what lets `ngd-serve` expose
 //! sessions to untrusted clients.
 
-use crate::batch::dect_on;
+use crate::batch::dect_on_cached;
 use crate::config::DetectorConfig;
-use crate::pincdect::{pinc_dect_prepared, pinc_dect_sharded_rebased};
+use crate::pincdect::{pinc_dect_prepared_cached, pinc_dect_sharded_rebased_cached};
 use crate::report::{DeltaReport, DetectionReport};
 use ngd_core::RuleSet;
 use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, RebaseError, ShardedRead, UpdateError};
+use ngd_match::PlanCache;
 
 /// Session state over a shared (unsharded) snapshot.
 ///
@@ -172,13 +173,26 @@ impl<'a, B: GraphView + Sync> IncrementalSession<'a, B> {
         delta: &BatchUpdate,
         config: &DetectorConfig,
     ) -> Result<DeltaReport, UpdateError> {
+        self.apply_with_cache(sigma, delta, config, &PlanCache::new())
+    }
+
+    /// [`IncrementalSession::apply`] with a caller-owned [`PlanCache`], so
+    /// plan compilation amortises across the batch stream of an epoch
+    /// (`ngd-serve` passes its per-store cache here).
+    pub fn apply_with_cache(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+        cache: &PlanCache,
+    ) -> Result<DeltaReport, UpdateError> {
         delta.validate_against(&self.view())?;
         let mut merged = self.accumulated.clone();
         merged.merge(delta);
         let report = {
             let old_view = DeltaOverlay::new(self.base, &self.accumulated);
             let new_view = DeltaOverlay::new(self.base, &merged);
-            pinc_dect_prepared(sigma, &old_view, &new_view, delta, config)
+            pinc_dect_prepared_cached(sigma, &old_view, &new_view, delta, config, cache)
         };
         self.accumulated = merged;
         self.batches_applied += 1;
@@ -188,7 +202,12 @@ impl<'a, B: GraphView + Sync> IncrementalSession<'a, B> {
     /// Full batch detection `Vio(Σ, G ⊕ accumulated)` over the current
     /// state.
     pub fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
-        dect_on(sigma, &self.view())
+        self.detect_all_with_cache(sigma, &PlanCache::new())
+    }
+
+    /// [`IncrementalSession::detect_all`] with a caller-owned [`PlanCache`].
+    pub fn detect_all_with_cache(&self, sigma: &RuleSet, cache: &PlanCache) -> DetectionReport {
+        dect_on_cached(sigma, &self.view(), cache)
     }
 
     /// Drop the absorbed updates, returning what was accumulated.
@@ -206,7 +225,7 @@ impl<'a, B: GraphView + Sync> IncrementalSession<'a, B> {
 
 /// Session state over a sharded snapshot: same contract as
 /// [`IncrementalSession`], answered by one worker per fragment through
-/// [`pinc_dect_sharded_rebased`].
+/// [`pinc_dect_sharded_rebased`](crate::pinc_dect_sharded_rebased).
 #[derive(Debug)]
 pub struct ShardedIncrementalSession<'a, S: ShardedRead> {
     sharded: &'a S,
@@ -289,9 +308,27 @@ impl<'a, S: ShardedRead> ShardedIncrementalSession<'a, S> {
         delta: &BatchUpdate,
         config: &DetectorConfig,
     ) -> Result<DeltaReport, UpdateError> {
+        self.apply_with_cache(sigma, delta, config, &PlanCache::new())
+    }
+
+    /// [`ShardedIncrementalSession::apply`] with a caller-owned
+    /// [`PlanCache`] (see [`IncrementalSession::apply_with_cache`]).
+    pub fn apply_with_cache(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+        cache: &PlanCache,
+    ) -> Result<DeltaReport, UpdateError> {
         delta.validate_against(&self.view())?;
-        let report =
-            pinc_dect_sharded_rebased(sigma, self.sharded, &self.accumulated, delta, config);
+        let report = pinc_dect_sharded_rebased_cached(
+            sigma,
+            self.sharded,
+            &self.accumulated,
+            delta,
+            config,
+            cache,
+        );
         self.accumulated.merge(delta);
         self.batches_applied += 1;
         Ok(report)
@@ -299,7 +336,13 @@ impl<'a, S: ShardedRead> ShardedIncrementalSession<'a, S> {
 
     /// Full batch detection over the current state (global view).
     pub fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
-        dect_on(sigma, &self.view())
+        self.detect_all_with_cache(sigma, &PlanCache::new())
+    }
+
+    /// [`ShardedIncrementalSession::detect_all`] with a caller-owned
+    /// [`PlanCache`].
+    pub fn detect_all_with_cache(&self, sigma: &RuleSet, cache: &PlanCache) -> DetectionReport {
+        dect_on_cached(sigma, &self.view(), cache)
     }
 
     /// Drop the absorbed updates, returning what was accumulated.

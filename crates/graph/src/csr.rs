@@ -417,6 +417,52 @@ impl GraphView for CsrSnapshot {
         out.dedup();
         Some(out)
     }
+
+    fn labeled_triple_run_len(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Option<usize> {
+        let mut total = 0usize;
+        for (&(s, e, d), &(start, end)) in &self.triple_ranges {
+            if triple_matches((s, e, d), (src_label, edge_label, dst_label)) {
+                total += (end - start) as usize;
+            }
+        }
+        Some(total)
+    }
+
+    fn labeled_triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        let side = if want_src {
+            &self.triple_src
+        } else {
+            &self.triple_dst
+        };
+        let mut out: Vec<NodeId> = Vec::new();
+        for (&(s, e, d), &(start, end)) in &self.triple_ranges {
+            if triple_matches((s, e, d), (src_label, edge_label, dst_label)) {
+                out.extend_from_slice(&side[start as usize..end as usize]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+}
+
+/// Does a concrete triple-index key match a (possibly wildcarded) query?
+pub(crate) fn triple_matches(key: (Sym, Sym, Sym), query: (Sym, Sym, Sym)) -> bool {
+    use crate::interner::WILDCARD;
+    (query.0 == WILDCARD || key.0 == query.0)
+        && (query.1 == WILDCARD || key.1 == query.1)
+        && (query.2 == WILDCARD || key.2 == query.2)
 }
 
 #[cfg(test)]

@@ -97,7 +97,7 @@ pub use shard::{FragmentSnapshot, FragmentView, RemoteAccounting, ShardedRead, S
 pub use stats::GraphStats;
 pub use update::{BatchUpdate, EdgeOp, NewNode, UpdateError};
 pub use value::Value;
-pub use view::GraphView;
+pub use view::{GraphView, SelectivityStats};
 
 /// A convenience `Result` alias for fallible graph operations.
 pub type Result<T> = std::result::Result<T, GraphError>;

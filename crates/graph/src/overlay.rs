@@ -609,6 +609,35 @@ impl<'a, B: GraphView> GraphView for DeltaOverlay<'a, B> {
             None
         }
     }
+
+    fn labeled_triple_run_len(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Option<usize> {
+        if self.is_identity() {
+            GraphView::labeled_triple_run_len(self.base, src_label, edge_label, dst_label)
+        } else {
+            None
+        }
+    }
+
+    fn labeled_triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        if self.is_identity() {
+            GraphView::labeled_triple_endpoints(
+                self.base, src_label, edge_label, dst_label, want_src,
+            )
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

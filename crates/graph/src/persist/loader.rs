@@ -1082,6 +1082,44 @@ impl GraphView for MmapSnapshot {
         out.dedup();
         Some(out)
     }
+
+    fn labeled_triple_run_len(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Option<usize> {
+        let mut total = 0usize;
+        for (&(s, e, d), &(start, end)) in self.triple_ranges.iter() {
+            if crate::csr::triple_matches((s, e, d), (src_label, edge_label, dst_label)) {
+                total += (end - start) as usize;
+            }
+        }
+        Some(total)
+    }
+
+    fn labeled_triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        let side = if want_src {
+            self.arr(self.triple_src)
+        } else {
+            self.arr(self.triple_dst)
+        };
+        let mut out: Vec<NodeId> = Vec::new();
+        for (&(s, e, d), &(start, end)) in self.triple_ranges.iter() {
+            if crate::csr::triple_matches((s, e, d), (src_label, edge_label, dst_label)) {
+                out.extend_from_slice(as_node_ids(&side[start as usize..end as usize]));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
 }
 
 /// One fragment's mapped arrays inside a sharded snapshot file.
@@ -1749,6 +1787,31 @@ impl<'a> GraphView for MmapFragmentView<'a> {
         want_src: bool,
     ) -> Option<Vec<NodeId>> {
         GraphView::triple_endpoints(self.global(), src_label, edge_label, dst_label, want_src)
+    }
+
+    fn labeled_triple_run_len(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Option<usize> {
+        GraphView::labeled_triple_run_len(self.global(), src_label, edge_label, dst_label)
+    }
+
+    fn labeled_triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        GraphView::labeled_triple_endpoints(
+            self.global(),
+            src_label,
+            edge_label,
+            dst_label,
+            want_src,
+        )
     }
 }
 

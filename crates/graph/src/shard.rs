@@ -581,6 +581,25 @@ impl<'a> GraphView for FragmentView<'a> {
     ) -> Option<Vec<NodeId>> {
         GraphView::triple_endpoints(self.global, src_label, edge_label, dst_label, want_src)
     }
+
+    fn labeled_triple_run_len(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Option<usize> {
+        GraphView::labeled_triple_run_len(self.global, src_label, edge_label, dst_label)
+    }
+
+    fn labeled_triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        GraphView::labeled_triple_endpoints(self.global, src_label, edge_label, dst_label, want_src)
+    }
 }
 
 /// A view that counts the adjacency reads it could not serve locally —

@@ -20,7 +20,7 @@
 
 use crate::attrs::AttrMap;
 use crate::graph::{EdgeRef, Graph, NodeId};
-use crate::interner::Sym;
+use crate::interner::{Sym, WILDCARD};
 use crate::value::Value;
 
 /// Read-only access to a directed labelled property graph.
@@ -131,6 +131,49 @@ pub trait GraphView {
         None
     }
 
+    /// As [`GraphView::triple_endpoints`], but any of the three labels may
+    /// be [`WILDCARD`], in which case every triple group matching the
+    /// concrete components contributes.  Representations with a triple
+    /// index override this by unioning the matching groups; the default
+    /// only answers the fully-concrete case.
+    fn labeled_triple_endpoints(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        want_src: bool,
+    ) -> Option<Vec<NodeId>> {
+        if src_label != WILDCARD && edge_label != WILDCARD && dst_label != WILDCARD {
+            self.triple_endpoints(src_label, edge_label, dst_label, want_src)
+        } else {
+            None
+        }
+    }
+
+    /// As [`GraphView::triple_run_len`], but wildcard-tolerant like
+    /// [`GraphView::labeled_triple_endpoints`] (the two must agree on which
+    /// triples they can answer).
+    fn labeled_triple_run_len(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+    ) -> Option<usize> {
+        if src_label != WILDCARD && edge_label != WILDCARD && dst_label != WILDCARD {
+            self.triple_run_len(src_label, edge_label, dst_label)
+        } else {
+            None
+        }
+    }
+
+    /// The O(1) statistics handle the match planner's cost model reads.
+    fn selectivity(&self) -> SelectivityStats<'_>
+    where
+        Self: Sized,
+    {
+        SelectivityStats::new(self)
+    }
+
     /// Collect the out-neighbours of `id` along `label` (uses the slice
     /// fast path when available).
     fn out_labeled_vec(&self, id: NodeId, label: Sym) -> Vec<NodeId> {
@@ -151,6 +194,74 @@ pub trait GraphView {
         let mut out = Vec::new();
         self.for_each_in_labeled(id, label, &mut |n| out.push(n));
         out
+    }
+}
+
+/// Cheap selectivity statistics over a [`GraphView`], the inputs of the
+/// match planner's cost model.
+///
+/// Every query is answered from indexes the representation already keeps
+/// (label partition sizes, triple-index run lengths) — `O(1)` per lookup on
+/// a CSR or mmap snapshot, `O(labels)` at worst for wildcard triples — so
+/// plan compilation never scans adjacency.  On representations without a
+/// triple index the triple queries return `None` and the planner falls back
+/// to label cardinalities.
+#[derive(Clone, Copy)]
+pub struct SelectivityStats<'g> {
+    view: &'g dyn GraphView,
+}
+
+impl<'g> SelectivityStats<'g> {
+    /// Statistics over any view (use [`GraphView::selectivity`] where the
+    /// concrete type is known).
+    pub fn new(view: &'g dyn GraphView) -> Self {
+        SelectivityStats { view }
+    }
+
+    /// `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.view.node_count()
+    }
+
+    /// Number of nodes a label constraint admits (`|V|` for the wildcard).
+    pub fn label_size(&self, label: Sym) -> usize {
+        if label == WILDCARD {
+            self.view.node_count()
+        } else {
+            self.view.label_count(label)
+        }
+    }
+
+    /// Number of edges matching a (possibly wildcarded) label triple, when
+    /// the representation keeps a triple index.
+    pub fn triple_size(&self, src_label: Sym, edge_label: Sym, dst_label: Sym) -> Option<usize> {
+        self.view
+            .labeled_triple_run_len(src_label, edge_label, dst_label)
+    }
+
+    /// Estimated fan-out of extending a match across a pattern edge: the
+    /// average number of `edge_label` edges into `dst_label` nodes per
+    /// `src_label` node (`from_src = true`), or the symmetric in-direction
+    /// average.  `None` without a triple index.
+    pub fn avg_fanout(
+        &self,
+        src_label: Sym,
+        edge_label: Sym,
+        dst_label: Sym,
+        from_src: bool,
+    ) -> Option<f64> {
+        let edges = self.triple_size(src_label, edge_label, dst_label)? as f64;
+        let anchors = self.label_size(if from_src { src_label } else { dst_label });
+        Some(edges / (anchors.max(1) as f64))
+    }
+}
+
+impl std::fmt::Debug for SelectivityStats<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelectivityStats")
+            .field("nodes", &self.view.node_count())
+            .field("edges", &self.view.edge_count())
+            .finish()
     }
 }
 

@@ -21,6 +21,7 @@
 //! re-inserted in the same batch).
 
 use crate::matchn::{MatchStats, Matcher};
+use crate::plan::{compile_plan, PlanCache};
 use crate::violation::{DeltaViolations, Violation, ViolationSet};
 use ngd_core::{Ngd, RuleSet};
 use ngd_graph::{EdgeRef, GraphView, NodeId, WILDCARD};
@@ -120,12 +121,36 @@ pub fn update_driven_violations<S: GraphView, O: GraphView>(
     edges: &[EdgeRef],
     stats: &mut MatchStats,
 ) -> ViolationSet {
+    // A batch-local cache still shares one compiled plan across every pivot
+    // of the batch that seeds the same pattern-edge endpoints.
+    let cache = PlanCache::new();
+    update_driven_violations_cached(rule, search_graph, other_graph, edges, stats, &cache)
+}
+
+/// As [`update_driven_violations`], compiling each pivot's plan at most
+/// once through the given [`PlanCache`] (one plan per pattern edge, reused
+/// across all pivots of the batch — and across batches when the caller
+/// keeps the cache alive).
+pub fn update_driven_violations_cached<S: GraphView, O: GraphView>(
+    rule: &Ngd,
+    search_graph: &S,
+    other_graph: &O,
+    edges: &[EdgeRef],
+    stats: &mut MatchStats,
+    cache: &PlanCache,
+) -> ViolationSet {
     let mut out = ViolationSet::new();
     let ranks = edge_ranks(edges);
     for (idx, edge) in edges.iter().enumerate() {
-        let matcher = Matcher::new(&rule.pattern, search_graph).with_forbidden(&ranks, idx);
         for pivot in update_pivots(rule, search_graph, std::iter::once(*edge)) {
             let pe = rule.pattern.edges()[pivot.pattern_edge];
+            let seed_vars = [pe.src, pe.dst];
+            let plan = cache.get_or_compile(&rule.id, &seed_vars, || {
+                compile_plan(&rule.pattern, search_graph, &seed_vars)
+            });
+            let matcher = Matcher::new(&rule.pattern, search_graph)
+                .with_forbidden(&ranks, idx)
+                .with_plan(plan);
             let seeds = [(pe.src, pivot.edge.src), (pe.dst, pivot.edge.dst)];
             let (matches, run_stats) = matcher.expand_seeded(&seeds, Some(rule));
             stats.expanded += run_stats.expanded;
@@ -150,9 +175,24 @@ pub fn delta_violations_for_rule<GOld: GraphView, GNew: GraphView>(
     deleted: &[EdgeRef],
     stats: &mut MatchStats,
 ) -> DeltaViolations {
+    let cache = PlanCache::new();
+    delta_violations_for_rule_cached(rule, old_graph, new_graph, inserted, deleted, stats, &cache)
+}
+
+/// As [`delta_violations_for_rule`], with plans drawn from `cache`.
+#[allow(clippy::too_many_arguments)]
+pub fn delta_violations_for_rule_cached<GOld: GraphView, GNew: GraphView>(
+    rule: &Ngd,
+    old_graph: &GOld,
+    new_graph: &GNew,
+    inserted: &[EdgeRef],
+    deleted: &[EdgeRef],
+    stats: &mut MatchStats,
+    cache: &PlanCache,
+) -> DeltaViolations {
     DeltaViolations {
-        added: update_driven_violations(rule, new_graph, old_graph, inserted, stats),
-        removed: update_driven_violations(rule, old_graph, new_graph, deleted, stats),
+        added: update_driven_violations_cached(rule, new_graph, old_graph, inserted, stats, cache),
+        removed: update_driven_violations_cached(rule, old_graph, new_graph, deleted, stats, cache),
     }
 }
 
@@ -164,11 +204,24 @@ pub fn delta_violations<GOld: GraphView, GNew: GraphView>(
     inserted: &[EdgeRef],
     deleted: &[EdgeRef],
 ) -> (DeltaViolations, MatchStats) {
+    let cache = PlanCache::new();
+    delta_violations_cached(sigma, old_graph, new_graph, inserted, deleted, &cache)
+}
+
+/// As [`delta_violations`], with plans drawn from `cache`.
+pub fn delta_violations_cached<GOld: GraphView, GNew: GraphView>(
+    sigma: &RuleSet,
+    old_graph: &GOld,
+    new_graph: &GNew,
+    inserted: &[EdgeRef],
+    deleted: &[EdgeRef],
+    cache: &PlanCache,
+) -> (DeltaViolations, MatchStats) {
     let mut delta = DeltaViolations::new();
     let mut stats = MatchStats::default();
     for rule in sigma.iter() {
-        delta.extend(delta_violations_for_rule(
-            rule, old_graph, new_graph, inserted, deleted, &mut stats,
+        delta.extend(delta_violations_for_rule_cached(
+            rule, old_graph, new_graph, inserted, deleted, &mut stats, cache,
         ));
     }
     (delta, stats)

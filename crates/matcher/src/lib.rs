@@ -5,6 +5,10 @@
 //! * [`matchn`] — the generic backtracking matcher (`Matchn`/`SubMatchn` of
 //!   the paper), with connectivity-driven matching orders and literal-based
 //!   pruning for violation search;
+//! * [`plan`] — the cost-based match planner: compiles each pattern into an
+//!   explicit [`MatchPlan`] (seed choice, variable order by estimated
+//!   fan-out, per-step anchor sets) from O(1) snapshot statistics, cached
+//!   per (rule, seed set) in an epoch-keyed [`PlanCache`];
 //! * [`inc`] — the update-driven incremental matcher (`IncMatch`): expands
 //!   update pivots triggered by edge insertions/deletions and returns the
 //!   exact violation delta `(ΔVio⁺, ΔVio⁻)`;
@@ -25,11 +29,14 @@
 
 pub mod inc;
 pub mod matchn;
+pub mod plan;
 pub mod violation;
 
 pub use inc::{
-    delta_violations, delta_violations_for_rule, edge_ranks, pattern_matches,
-    update_driven_violations, update_pivots, UpdatePivot,
+    delta_violations, delta_violations_cached, delta_violations_for_rule,
+    delta_violations_for_rule_cached, edge_ranks, pattern_matches, update_driven_violations,
+    update_driven_violations_cached, update_pivots, UpdatePivot,
 };
 pub use matchn::{find_matches, find_violations, ForbiddenEdges, MatchLimits, MatchStats, Matcher};
+pub use plan::{compile_plan, Anchor, MatchPlan, PlanCache, PlanStep, SeedChoice};
 pub use violation::{DeltaViolations, Violation, ViolationSet};

@@ -21,11 +21,13 @@
 //! The same engine expands *update pivots* for the incremental matcher in
 //! [`crate::inc`], via [`Matcher::expand_seeded`].
 
+use crate::plan::{self, MatchPlan, PlanStep};
 use crate::violation::{Violation, ViolationSet};
 use ngd_core::eval::eval_literal_partial;
 use ngd_core::{Ngd, Pattern, Var};
 use ngd_graph::{EdgeRef, Graph, GraphView, NodeId, WILDCARD};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Update-pivot de-duplication (Section 6.2, "optimization strategy").
 ///
@@ -85,6 +87,8 @@ pub struct Matcher<'g, G: GraphView = Graph> {
     graph: &'g G,
     limits: MatchLimits,
     forbidden: Option<ForbiddenEdges<'g>>,
+    plan: Option<Arc<MatchPlan>>,
+    legacy: bool,
 }
 
 impl<'g, G: GraphView> Matcher<'g, G> {
@@ -95,6 +99,8 @@ impl<'g, G: GraphView> Matcher<'g, G> {
             graph,
             limits: MatchLimits::default(),
             forbidden: None,
+            plan: None,
+            legacy: false,
         }
     }
 
@@ -110,6 +116,39 @@ impl<'g, G: GraphView> Matcher<'g, G> {
     pub fn with_forbidden(mut self, rank: &'g HashMap<EdgeRef, usize>, below: usize) -> Self {
         self.forbidden = Some(ForbiddenEdges { rank, below });
         self
+    }
+
+    /// Execute runs through the given compiled plan (typically fetched from
+    /// a [`crate::PlanCache`]).  The plan is used when its seed-variable
+    /// set matches the run's; otherwise a fresh plan is compiled.
+    pub fn with_plan(mut self, plan: Arc<MatchPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Use the pre-planner greedy order and per-candidate edge filtering.
+    /// Kept as the reference implementation for the plan-equivalence suites
+    /// and as the "unplanned" baseline of the planner benchmarks.
+    pub fn with_legacy_order(mut self) -> Self {
+        self.legacy = true;
+        self
+    }
+
+    /// Compile a [`MatchPlan`] for this matcher's pattern over its graph,
+    /// with `seeds` assigned before the search starts.
+    pub fn compile_plan(&self, seeds: &[Var]) -> MatchPlan {
+        plan::compile_plan(self.pattern, self.graph, seeds)
+    }
+
+    /// The plan a run with the given seed variables would execute: the
+    /// installed plan when its seed set matches, else a fresh compilation.
+    fn plan_for(&self, seed_vars: &[Var]) -> Arc<MatchPlan> {
+        if let Some(plan) = &self.plan {
+            if plan.matches_seeds(seed_vars) {
+                return Arc::clone(plan);
+            }
+        }
+        Arc::new(self.compile_plan(seed_vars))
     }
 
     fn label_ok(&self, var: Var, node: NodeId) -> bool {
@@ -260,40 +299,53 @@ impl<'g, G: GraphView> Matcher<'g, G> {
     fn seed_candidates(&self, var: Var) -> Vec<NodeId> {
         let var_label = self.pattern.label(var);
         // (src label, edge label, dst label, want_src), smallest run first.
+        // Wildcard labels are allowed on either side: a wildcard-labelled
+        // seed variable with a concrete incident edge still seeds from the
+        // (unioned) triple-index groups instead of the full node set.
         let mut best: Option<(ngd_graph::Sym, ngd_graph::Sym, ngd_graph::Sym, bool, usize)> = None;
-        if var_label != WILDCARD {
-            for edge in self.pattern.edges() {
-                let (want_src, other) = if edge.src == var {
-                    (true, edge.dst)
-                } else if edge.dst == var {
-                    (false, edge.src)
-                } else {
-                    continue;
-                };
-                let other_label = self.pattern.label(other);
-                if other_label == WILDCARD {
-                    continue;
-                }
-                let (src_label, dst_label) = if want_src {
-                    (var_label, other_label)
-                } else {
-                    (other_label, var_label)
-                };
-                // Size the run in O(1) first; only the winner is
-                // materialised (sorted + deduped) below.
-                if let Some(len) = self.graph.triple_run_len(src_label, edge.label, dst_label) {
-                    if best.is_none_or(|(.., l)| len < l) {
-                        best = Some((src_label, edge.label, dst_label, want_src, len));
-                    }
+        for edge in self.pattern.edges() {
+            let (want_src, other) = if edge.src == var {
+                (true, edge.dst)
+            } else if edge.dst == var {
+                (false, edge.src)
+            } else {
+                continue;
+            };
+            if other == var {
+                continue;
+            }
+            let other_label = self.pattern.label(other);
+            let (src_label, dst_label) = if want_src {
+                (var_label, other_label)
+            } else {
+                (other_label, var_label)
+            };
+            // Size the run in O(1) first; only the winner is
+            // materialised (sorted + deduped) below.
+            if let Some(len) = self
+                .graph
+                .labeled_triple_run_len(src_label, edge.label, dst_label)
+            {
+                if best.is_none_or(|(.., l)| len < l) {
+                    best = Some((src_label, edge.label, dst_label, want_src, len));
                 }
             }
         }
-        if let Some((src_label, edge_label, dst_label, want_src, _)) = best {
-            if let Some(list) = self
-                .graph
-                .triple_endpoints(src_label, edge_label, dst_label, want_src)
-            {
-                return list;
+        if let Some((src_label, edge_label, dst_label, want_src, len)) = best {
+            // Only follow the triple index when it actually narrows the
+            // seed set below the label partition.
+            let label_bound = if var_label == WILDCARD {
+                self.graph.node_count()
+            } else {
+                self.graph.label_count(var_label)
+            };
+            if len <= label_bound {
+                if let Some(list) = self
+                    .graph
+                    .labeled_triple_endpoints(src_label, edge_label, dst_label, want_src)
+                {
+                    return list;
+                }
             }
         }
         if var_label == WILDCARD {
@@ -431,11 +483,16 @@ impl<'g, G: GraphView> Matcher<'g, G> {
             }
         }
         let seed_vars: Vec<Var> = seeds.iter().map(|&(v, _)| v).collect();
-        let order = self.matching_order(&seed_vars);
         let mut emitted = 0usize;
         // Start at depth 0: already-seeded variables are skipped inside the
         // search (this also handles duplicate seed variables safely).
-        self.search(&order, 0, &mut assignment, rule, emit, stats, &mut emitted);
+        if self.legacy {
+            let order = self.matching_order(&seed_vars);
+            self.search(&order, 0, &mut assignment, rule, emit, stats, &mut emitted);
+        } else {
+            let plan = self.plan_for(&seed_vars);
+            self.search_planned(&plan, 0, &mut assignment, rule, emit, stats, &mut emitted);
+        }
     }
 
     /// Should the partial solution be pruned based on the rule's literals?
@@ -517,6 +574,263 @@ impl<'g, G: GraphView> Matcher<'g, G> {
         }
         true
     }
+
+    /// Candidates for one plan step: a run intersection when two or more
+    /// anchored runs are available as sorted slices, else the smallest
+    /// materialised run, else the step's compiled seed choice.  The flag
+    /// reports whether every anchor edge is already guaranteed present for
+    /// the returned candidates (so the executor can skip `has_edge`).
+    fn planned_candidates(
+        &self,
+        step: &PlanStep,
+        assignment: &[Option<NodeId>],
+        stats: &mut MatchStats,
+    ) -> (Vec<NodeId>, bool) {
+        let var = step.var;
+        if step.anchors.is_empty() {
+            let raw = match &step.seed {
+                Some(choice) => plan::seed_nodes(choice, self.pattern.label(var), self.graph),
+                None => self.seed_candidates(var),
+            };
+            stats.candidates_inspected += raw.len();
+            return (
+                raw.into_iter().filter(|&n| self.label_ok(var, n)).collect(),
+                false,
+            );
+        }
+        // Try the slice fast path for every anchor run.
+        let mut slices: Vec<&[NodeId]> = Vec::with_capacity(step.anchors.len());
+        let mut all_slices = true;
+        for anchor in &step.anchors {
+            let node = assignment[anchor.other.index()].expect("anchor endpoint assigned");
+            let slice = if anchor.from_other {
+                self.graph.out_labeled_slice(node, anchor.label)
+            } else {
+                self.graph.in_labeled_slice(node, anchor.label)
+            };
+            match slice {
+                Some(s) => slices.push(s),
+                None => {
+                    all_slices = false;
+                    break;
+                }
+            }
+        }
+        if all_slices && slices.len() >= 2 {
+            let raw = intersect_sorted_runs(&mut slices);
+            stats.candidates_inspected += raw.len();
+            return (
+                raw.into_iter().filter(|&n| self.label_ok(var, n)).collect(),
+                true,
+            );
+        }
+        if all_slices && slices.len() == 1 {
+            let raw = slices[0];
+            stats.candidates_inspected += raw.len();
+            return (
+                raw.iter()
+                    .copied()
+                    .filter(|&n| self.label_ok(var, n))
+                    .collect(),
+                true,
+            );
+        }
+        // No contiguous runs (adjacency lists, overlay-touched nodes):
+        // materialise the smallest run; the executor re-checks the rest.
+        let best = step
+            .anchors
+            .iter()
+            .map(|anchor| {
+                let node = assignment[anchor.other.index()].expect("anchor endpoint assigned");
+                let len = if anchor.from_other {
+                    self.graph.out_labeled_count(node, anchor.label)
+                } else {
+                    self.graph.in_labeled_count(node, anchor.label)
+                };
+                (anchor, node, len)
+            })
+            .min_by_key(|&(_, _, len)| len)
+            .expect("anchors non-empty");
+        let raw = if best.0.from_other {
+            self.graph.out_labeled_vec(best.1, best.0.label)
+        } else {
+            self.graph.in_labeled_vec(best.1, best.0.label)
+        };
+        stats.candidates_inspected += raw.len();
+        (
+            raw.into_iter().filter(|&n| self.label_ok(var, n)).collect(),
+            false,
+        )
+    }
+
+    /// Are the pattern edges newly decided by `step` satisfied for the
+    /// candidate just written into the assignment?  When `anchors_verified`,
+    /// the candidate came from the anchored runs themselves and only the
+    /// forbidden-edge (pivot de-duplication) checks remain.
+    fn step_consistent(
+        &self,
+        step: &PlanStep,
+        anchors_verified: bool,
+        assignment: &[Option<NodeId>],
+    ) -> bool {
+        let node = assignment[step.var.index()].expect("step variable assigned");
+        for anchor in &step.anchors {
+            let other = assignment[anchor.other.index()].expect("anchor endpoint assigned");
+            let (src, dst) = if anchor.from_other {
+                (other, node)
+            } else {
+                (node, other)
+            };
+            if !anchors_verified && !self.graph.has_edge(src, dst, anchor.label) {
+                return false;
+            }
+            if let Some(forbidden) = &self.forbidden {
+                if forbidden.is_forbidden(&EdgeRef::new(src, dst, anchor.label)) {
+                    return false;
+                }
+            }
+        }
+        for &label in &step.self_loops {
+            if !self.graph.has_edge(node, node, label) {
+                return false;
+            }
+            if let Some(forbidden) = &self.forbidden {
+                if forbidden.is_forbidden(&EdgeRef::new(node, node, label)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Plan-driven counterpart of [`Matcher::search`]: the order, anchor
+    /// sets and seed choices come from the compiled plan, newly-decided
+    /// edges are checked per step instead of rescanning the whole pattern,
+    /// and multi-anchor steps intersect their runs.
+    #[allow(clippy::too_many_arguments)]
+    fn search_planned(
+        &self,
+        plan: &MatchPlan,
+        depth: usize,
+        assignment: &mut Vec<Option<NodeId>>,
+        rule: Option<&Ngd>,
+        emit: &mut dyn FnMut(Vec<NodeId>),
+        stats: &mut MatchStats,
+        emitted: &mut usize,
+    ) -> bool {
+        if let Some(max) = self.limits.max_steps {
+            if stats.expanded >= max {
+                return false;
+            }
+        }
+        stats.expanded += 1;
+        if depth == plan.len() {
+            let complete: Vec<NodeId> = assignment.iter().map(|n| n.unwrap()).collect();
+            stats.matches_found += 1;
+            match rule {
+                Some(rule) => {
+                    if ngd_core::is_violation(rule, self.graph, &complete) {
+                        emit(complete);
+                        *emitted += 1;
+                    }
+                }
+                None => {
+                    emit(complete);
+                    *emitted += 1;
+                }
+            }
+            if let Some(max) = self.limits.max_results {
+                if *emitted >= max {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let step = &plan.steps[depth];
+        if assignment[step.var.index()].is_some() {
+            // Seed variable already assigned; its edges were validated when
+            // the seeds were installed.
+            return self.search_planned(plan, depth + 1, assignment, rule, emit, stats, emitted);
+        }
+        let (candidates, verified) = self.planned_candidates(step, assignment, stats);
+        for node in candidates {
+            assignment[step.var.index()] = Some(node);
+            let consistent = self.step_consistent(step, verified, assignment)
+                && rule.is_none_or(|r| !self.pruned(r, assignment));
+            if consistent
+                && !self.search_planned(plan, depth + 1, assignment, rule, emit, stats, emitted)
+            {
+                assignment[step.var.index()] = None;
+                return false;
+            }
+            assignment[step.var.index()] = None;
+        }
+        true
+    }
+
+    /// Plan-driven counterpart of [`Matcher::candidate_step`] for stepwise
+    /// engines: candidates for the plan step at `depth` (anchored-run
+    /// intersection included), with the anchor degree of the paper's
+    /// work-splitting cost model.  Callers validate extensions through
+    /// [`Matcher::partial_viable`] exactly as with the unplanned step.
+    pub fn planned_candidate_step(
+        &self,
+        plan: &MatchPlan,
+        depth: usize,
+        assignment: &[Option<NodeId>],
+    ) -> (Vec<NodeId>, usize) {
+        let step = &plan.steps[depth];
+        let anchor_degree = step
+            .anchors
+            .iter()
+            .filter_map(|a| assignment[a.other.index()].map(|n| self.graph.degree(n)))
+            .min()
+            .unwrap_or_else(|| self.candidate_count(step.var));
+        let mut stats = MatchStats::default();
+        let (candidates, _) = self.planned_candidates(step, assignment, &mut stats);
+        (candidates, anchor_degree)
+    }
+}
+
+/// Intersect k ≥ 2 sorted neighbour runs by galloping: walk the smallest
+/// run and exponentially probe the rest, so the cost is bounded by the
+/// smallest run times log of the larger ones rather than their sum.
+fn intersect_sorted_runs(runs: &mut [&[NodeId]]) -> Vec<NodeId> {
+    runs.sort_by_key(|r| r.len());
+    let (first, rest) = runs.split_first().expect("at least one run");
+    let mut out = Vec::with_capacity(first.len());
+    let mut cursors = vec![0usize; rest.len()];
+    'outer: for (idx, &node) in first.iter().enumerate() {
+        if idx > 0 && first[idx - 1] == node {
+            continue; // duplicate in the driving run
+        }
+        for (run, cursor) in rest.iter().zip(cursors.iter_mut()) {
+            *cursor += gallop(&run[*cursor..], node);
+            if *cursor >= run.len() {
+                break 'outer; // this run is exhausted; no further matches
+            }
+            if run[*cursor] != node {
+                continue 'outer;
+            }
+        }
+        out.push(node);
+    }
+    out
+}
+
+/// Index of the first element `>= target` in a sorted slice, found by
+/// exponential probing followed by a binary search over the final doubling.
+fn gallop(slice: &[NodeId], target: NodeId) -> usize {
+    if slice.first().is_none_or(|&x| x >= target) {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while hi < slice.len() && slice[hi] < target {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    let hi = hi.min(slice.len());
+    lo + slice[lo..hi].partition_point(|&x| x < target)
 }
 
 /// Convenience: all matches of `pattern` in any graph view.

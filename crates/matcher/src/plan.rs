@@ -1,0 +1,586 @@
+//! The cost-based match planner (Section 6.2's matching order, made
+//! explicit): compiled [`MatchPlan`]s and the epoch-keyed [`PlanCache`].
+//!
+//! The matcher used to re-derive its variable order greedily from label
+//! cardinalities on every run.  The planner instead compiles a pattern once
+//! per (rule, seed set) into an explicit plan:
+//!
+//! * the **seed choice** for the first unanchored variable — the smallest
+//!   of the label partition and any incident triple-index run (wildcard
+//!   endpoints included, via
+//!   [`labeled_triple_run_len`](ngd_graph::GraphView::labeled_triple_run_len));
+//! * the **variable order**, chosen by estimated fan-out from
+//!   [`SelectivityStats`] (triple-run length over anchor-label cardinality)
+//!   rather than raw label counts;
+//! * the **per-step anchor sets** — every pattern edge connecting the step's
+//!   variable to the already-assigned prefix — which the executor
+//!   gallop-intersects when two or more anchored runs are available as
+//!   sorted slices.
+//!
+//! Plans depend only on pattern shape and label statistics, never on the
+//! particular assignment, so one plan serves every pivot of a batch update
+//! and every candidate of a parallel scan.  [`PlanCache`] keys plans by
+//! (rule id, seed variables) and is invalidated wholesale when its snapshot
+//! epoch moves.
+
+use ngd_core::{Pattern, Var};
+use ngd_graph::{resolve, GraphView, NodeId, SelectivityStats, Sym, WILDCARD};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a plan step with no anchors draws its initial candidate set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeedChoice {
+    /// From the `(src label, edge label, dst label)` triple index, taking
+    /// the source (`want_src`) or destination endpoints.  Any label may be
+    /// [`WILDCARD`].
+    Triple {
+        /// Source-label component of the triple key.
+        src_label: Sym,
+        /// Edge-label component of the triple key.
+        edge_label: Sym,
+        /// Destination-label component of the triple key.
+        dst_label: Sym,
+        /// Take edge sources (`true`) or destinations.
+        want_src: bool,
+    },
+    /// From the label partition.
+    Label(Sym),
+    /// From the full node set (an unconstrained wildcard).
+    AllNodes,
+}
+
+/// One anchor of a plan step: a pattern edge between the step's variable
+/// and an already-assigned variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Anchor {
+    /// The already-assigned endpoint.
+    pub other: Var,
+    /// The pattern edge's label.
+    pub label: Sym,
+    /// The pattern edge is `other -[label]-> var` (candidates come from the
+    /// anchor node's *out*-run); otherwise `var -[label]-> other` (in-run).
+    pub from_other: bool,
+}
+
+/// One step of a compiled plan.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// The variable assigned at this step.
+    pub var: Var,
+    /// Pattern edges from `var` into the already-assigned prefix.  Empty
+    /// for externally-seeded variables and for the first variable of a
+    /// (component of a) pattern.
+    pub anchors: Vec<Anchor>,
+    /// Labels of `var -> var` self-loop pattern edges, decided here.
+    pub self_loops: Vec<Sym>,
+    /// Seed strategy when `anchors` is empty and the variable is not
+    /// externally seeded.
+    pub seed: Option<SeedChoice>,
+    /// Estimated candidate count of this step under the statistics the plan
+    /// was compiled against.
+    pub est: f64,
+}
+
+/// A compiled matching plan for one pattern and one seed-variable set.
+#[derive(Debug, Clone)]
+pub struct MatchPlan {
+    /// The externally-seeded variables, sorted and deduplicated.
+    pub seeds: Vec<Var>,
+    /// Execution order: one step per pattern variable, seeds first.
+    pub steps: Vec<PlanStep>,
+    /// Product of the per-step estimates — the plan's total cost estimate.
+    pub est_cost: f64,
+}
+
+impl MatchPlan {
+    /// The variable order the plan executes (seeds first).
+    pub fn order(&self) -> impl Iterator<Item = Var> + '_ {
+        self.steps.iter().map(|s| s.var)
+    }
+
+    /// The variable assigned at `depth`.
+    pub fn var_at(&self, depth: usize) -> Var {
+        self.steps[depth].var
+    }
+
+    /// Number of steps (= pattern variables).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is the plan empty (empty pattern)?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Would this plan be valid for a run seeded with exactly `seeds`
+    /// (order and duplicates ignored)?
+    pub fn matches_seeds(&self, seeds: &[Var]) -> bool {
+        sorted_dedup(seeds) == self.seeds
+    }
+
+    /// Human-readable plan listing (the `ngd-cli explain` output).
+    pub fn describe(&self, pattern: &Pattern) -> String {
+        let mut out = String::new();
+        for (idx, step) in self.steps.iter().enumerate() {
+            let name = pattern.name(step.var);
+            let label = resolve(pattern.label(step.var));
+            let _ = write!(out, "  {idx}. {name}:{label}");
+            if self.seeds.contains(&step.var) {
+                out.push_str(" (seed)");
+            } else if let Some(seed) = &step.seed {
+                match seed {
+                    SeedChoice::Triple {
+                        src_label,
+                        edge_label,
+                        dst_label,
+                        want_src,
+                    } => {
+                        let _ = write!(
+                            out,
+                            " from triple ({})-[{}]->({}) {}",
+                            resolve(*src_label),
+                            resolve(*edge_label),
+                            resolve(*dst_label),
+                            if *want_src { "sources" } else { "targets" },
+                        );
+                    }
+                    SeedChoice::Label(l) => {
+                        let _ = write!(out, " from label {}", resolve(*l));
+                    }
+                    SeedChoice::AllNodes => out.push_str(" from all nodes"),
+                }
+            } else if !step.anchors.is_empty() {
+                out.push_str(" via ");
+                for (i, a) in step.anchors.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" ∩ ");
+                    }
+                    if a.from_other {
+                        let _ = write!(out, "{} -[{}]->", pattern.name(a.other), resolve(a.label));
+                    } else {
+                        let _ = write!(out, "<-[{}]- {}", resolve(a.label), pattern.name(a.other));
+                    }
+                }
+            }
+            for l in &step.self_loops {
+                let _ = write!(out, " + self-loop [{}]", resolve(*l));
+            }
+            let _ = writeln!(out, " (est {:.2})", step.est);
+        }
+        let _ = writeln!(out, "  total estimated cost {:.2}", self.est_cost);
+        out
+    }
+}
+
+fn sorted_dedup(vars: &[Var]) -> Vec<Var> {
+    let mut v = vars.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Compile a plan for `pattern` over `graph`, with `seeds` assigned before
+/// the search starts.
+pub fn compile_plan<G: GraphView>(pattern: &Pattern, graph: &G, seeds: &[Var]) -> MatchPlan {
+    let stats = SelectivityStats::new(graph);
+    let n = pattern.node_count();
+    let mut placed = vec![false; n];
+    let mut steps: Vec<PlanStep> = Vec::with_capacity(n);
+
+    // Seeds first, in caller order (duplicates collapse).
+    for &s in seeds {
+        if !placed[s.index()] {
+            placed[s.index()] = true;
+            steps.push(PlanStep {
+                var: s,
+                anchors: Vec::new(),
+                self_loops: Vec::new(),
+                seed: None,
+                est: 1.0,
+            });
+        }
+    }
+
+    while steps.len() < n {
+        // Prefer an unplaced variable adjacent to a placed one, by estimated
+        // fan-out; fall back to the cheapest seed among the rest (a new
+        // component, or the very first variable).
+        let anchored = pattern
+            .vars()
+            .filter(|v| !placed[v.index()])
+            .filter(|&v| anchors_of(pattern, &placed, v).next().is_some())
+            .map(|v| (v, extension_estimate(pattern, &stats, &placed, v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let (var, est, seed) = match anchored {
+            Some((v, est)) => (v, est, None),
+            None => {
+                let (v, est, choice) = pattern
+                    .vars()
+                    .filter(|v| !placed[v.index()])
+                    .map(|v| {
+                        let (est, choice) = seed_estimate(pattern, &stats, v);
+                        (v, est, choice)
+                    })
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                    .expect("unplaced variable exists");
+                (v, est, Some(choice))
+            }
+        };
+        placed[var.index()] = true;
+        let anchors: Vec<Anchor> = anchors_of(pattern, &placed, var).collect();
+        // `placed[var]` was just set, so self-loops are not in `anchors`.
+        let self_loops: Vec<Sym> = pattern
+            .edges()
+            .iter()
+            .filter(|e| e.src == var && e.dst == var)
+            .map(|e| e.label)
+            .collect();
+        steps.push(PlanStep {
+            var,
+            anchors,
+            self_loops,
+            seed,
+            est,
+        });
+    }
+
+    let est_cost = steps.iter().map(|s| s.est.max(1.0)).product();
+    MatchPlan {
+        seeds: sorted_dedup(seeds),
+        steps,
+        est_cost,
+    }
+}
+
+/// The anchors of `var` into the placed prefix (self-loops excluded).
+fn anchors_of<'p>(
+    pattern: &'p Pattern,
+    placed: &'p [bool],
+    var: Var,
+) -> impl Iterator<Item = Anchor> + 'p {
+    pattern.edges().iter().filter_map(move |e| {
+        if e.src == var && e.dst != var && placed[e.dst.index()] {
+            Some(Anchor {
+                other: e.dst,
+                label: e.label,
+                from_other: false,
+            })
+        } else if e.dst == var && e.src != var && placed[e.src.index()] {
+            Some(Anchor {
+                other: e.src,
+                label: e.label,
+                from_other: true,
+            })
+        } else {
+            None
+        }
+    })
+}
+
+/// Estimated candidate count for extending the match to `var` through its
+/// anchors: the smallest per-anchor average fan-out, halved per additional
+/// intersected anchor.  Falls back to the label cardinality when no triple
+/// statistics exist (the pre-planner greedy's ordering key).
+fn extension_estimate(
+    pattern: &Pattern,
+    stats: &SelectivityStats<'_>,
+    placed: &[bool],
+    var: Var,
+) -> f64 {
+    let var_label = pattern.label(var);
+    let mut best: Option<f64> = None;
+    let mut count = 0usize;
+    for anchor in anchors_of(pattern, placed, var) {
+        count += 1;
+        let other_label = pattern.label(anchor.other);
+        let (src_label, dst_label) = if anchor.from_other {
+            (other_label, var_label)
+        } else {
+            (var_label, other_label)
+        };
+        let fanout = stats
+            .avg_fanout(src_label, anchor.label, dst_label, anchor.from_other)
+            .unwrap_or_else(|| stats.label_size(var_label) as f64);
+        best = Some(match best {
+            Some(b) => b.min(fanout),
+            None => fanout,
+        });
+    }
+    let base = best.unwrap_or_else(|| stats.label_size(var_label) as f64);
+    base * (0.5f64).powi(count.saturating_sub(1) as i32)
+}
+
+/// Estimated initial candidate count for an unanchored `var`, with the seed
+/// strategy achieving it.
+fn seed_estimate(pattern: &Pattern, stats: &SelectivityStats<'_>, var: Var) -> (f64, SeedChoice) {
+    let var_label = pattern.label(var);
+    let label_est = stats.label_size(var_label);
+    let mut best = (
+        label_est as f64,
+        if var_label == WILDCARD {
+            SeedChoice::AllNodes
+        } else {
+            SeedChoice::Label(var_label)
+        },
+    );
+    for edge in pattern.edges() {
+        let (want_src, other) = if edge.src == var {
+            (true, edge.dst)
+        } else if edge.dst == var {
+            (false, edge.src)
+        } else {
+            continue;
+        };
+        if other == var {
+            continue;
+        }
+        let other_label = pattern.label(other);
+        let (src_label, dst_label) = if want_src {
+            (var_label, other_label)
+        } else {
+            (other_label, var_label)
+        };
+        if let Some(len) = stats.triple_size(src_label, edge.label, dst_label) {
+            if (len as f64) < best.0 {
+                best = (
+                    len as f64,
+                    SeedChoice::Triple {
+                        src_label,
+                        edge_label: edge.label,
+                        dst_label,
+                        want_src,
+                    },
+                );
+            }
+        }
+    }
+    best
+}
+
+/// Materialise the candidates of a [`SeedChoice`] over a view.  Falls back
+/// to the label partition if the view cannot answer the recorded triple
+/// (e.g. a plan compiled on a snapshot executed over an overlay).
+pub(crate) fn seed_nodes<G: GraphView>(
+    choice: &SeedChoice,
+    var_label: Sym,
+    graph: &G,
+) -> Vec<NodeId> {
+    if let SeedChoice::Triple {
+        src_label,
+        edge_label,
+        dst_label,
+        want_src,
+    } = choice
+    {
+        if let Some(list) =
+            graph.labeled_triple_endpoints(*src_label, *edge_label, *dst_label, *want_src)
+        {
+            return list;
+        }
+    }
+    match choice {
+        SeedChoice::AllNodes => graph.node_ids_vec(),
+        SeedChoice::Label(l) => graph.nodes_with_label_vec(*l),
+        SeedChoice::Triple { .. } => {
+            if var_label == WILDCARD {
+                graph.node_ids_vec()
+            } else {
+                graph.nodes_with_label_vec(var_label)
+            }
+        }
+    }
+}
+
+/// A concurrent cache of compiled plans, keyed by (rule id, seed variable
+/// set) and valid for a single snapshot epoch.
+///
+/// The cache is wholesale-invalidated when [`PlanCache::ensure_epoch`] sees
+/// a new epoch — plans encode label statistics of the snapshot they were
+/// compiled against, and a compaction changes those.  Hit/miss counters
+/// feed the detection reports and the serve `STATS` reply.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    epoch: AtomicU64,
+    plans: Mutex<HashMap<PlanKey, Arc<MatchPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cache key: (rule id, sorted seed variables).
+type PlanKey = (String, Vec<Var>);
+
+impl PlanCache {
+    /// An empty cache at epoch 0.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// An empty cache pinned to `epoch`.
+    pub fn for_epoch(epoch: u64) -> Self {
+        let cache = PlanCache::new();
+        cache.epoch.store(epoch, Ordering::Relaxed);
+        cache
+    }
+
+    /// The epoch the cached plans were compiled against.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached plan if the epoch moved (compaction published a
+    /// new snapshot).
+    pub fn ensure_epoch(&self, epoch: u64) {
+        if self.epoch.swap(epoch, Ordering::Relaxed) != epoch {
+            self.plans.lock().unwrap().clear();
+        }
+    }
+
+    /// Fetch the plan for `(rule_id, seeds)`, compiling it on a miss.
+    pub fn get_or_compile(
+        &self,
+        rule_id: &str,
+        seeds: &[Var],
+        compile: impl FnOnce() -> MatchPlan,
+    ) -> Arc<MatchPlan> {
+        let key = (rule_id.to_owned(), sorted_dedup(seeds));
+        if let Some(plan) = self.plans.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compile());
+        // First insert wins if another thread compiled concurrently, so
+        // every consumer sees one canonical plan per key.
+        Arc::clone(
+            self.plans
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| plan),
+        )
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cache misses (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ngd_core::paper;
+
+    #[test]
+    fn plan_covers_every_variable_exactly_once() {
+        for rule in [
+            paper::phi1(1),
+            paper::phi2(),
+            paper::phi3(),
+            paper::phi4(1, 1, 10_000),
+        ] {
+            let (g, _) = paper::figure1_g2();
+            let snap = g.freeze();
+            let plan = compile_plan(&rule.pattern, &snap, &[]);
+            assert_eq!(plan.len(), rule.pattern.node_count(), "{}", rule.id);
+            let mut vars: Vec<Var> = plan.order().collect();
+            vars.sort_unstable();
+            vars.dedup();
+            assert_eq!(vars.len(), rule.pattern.node_count(), "{}", rule.id);
+        }
+    }
+
+    #[test]
+    fn every_pattern_edge_is_decided_exactly_once() {
+        let rule = paper::phi2();
+        let (g, _) = paper::figure1_g2();
+        let snap = g.freeze();
+        for seeds in [vec![], vec![Var(0)], vec![Var(0), Var(1)]] {
+            let plan = compile_plan(&rule.pattern, &snap, &seeds);
+            let decided: usize = plan
+                .steps
+                .iter()
+                .map(|s| s.anchors.len() + s.self_loops.len())
+                .sum();
+            // Edges between two seeds are decided by the runner's initial
+            // consistency check instead of a step.
+            let seed_internal = rule
+                .pattern
+                .edges()
+                .iter()
+                .filter(|e| seeds.contains(&e.src) && seeds.contains(&e.dst))
+                .count();
+            assert_eq!(decided + seed_internal, rule.pattern.edge_count());
+        }
+    }
+
+    #[test]
+    fn seeded_plans_start_with_the_seeds() {
+        let rule = paper::phi4(1, 1, 10_000);
+        let (g, _) = paper::figure1_g4();
+        let snap = g.freeze();
+        let x = rule.pattern.var_by_name("x").unwrap();
+        let y = rule.pattern.var_by_name("y").unwrap();
+        let plan = compile_plan(&rule.pattern, &snap, &[y, x]);
+        assert_eq!(plan.var_at(0), y);
+        assert_eq!(plan.var_at(1), x);
+        assert!(plan.matches_seeds(&[x, y]));
+        assert!(plan.matches_seeds(&[y, x, x]));
+        assert!(!plan.matches_seeds(&[x]));
+    }
+
+    #[test]
+    fn cache_hits_misses_and_epoch_invalidation() {
+        let rule = paper::phi1(1);
+        let (g, _) = paper::figure1_g1();
+        let snap = g.freeze();
+        let cache = PlanCache::new();
+        let compile = || compile_plan(&rule.pattern, &snap, &[]);
+        let a = cache.get_or_compile(&rule.id, &[], compile);
+        let b = cache.get_or_compile(&rule.id, &[], compile);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Same rule, different seeds: a distinct plan.
+        cache.get_or_compile(&rule.id, &[Var(0)], || {
+            compile_plan(&rule.pattern, &snap, &[Var(0)])
+        });
+        assert_eq!(cache.len(), 2);
+        // Epoch move clears the cache; same epoch keeps it.
+        cache.ensure_epoch(0);
+        assert_eq!(cache.len(), 2);
+        cache.ensure_epoch(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.epoch(), 1);
+    }
+
+    #[test]
+    fn describe_lists_anchors_and_seed() {
+        let rule = paper::phi2();
+        let (g, _) = paper::figure1_g2();
+        let snap = g.freeze();
+        let plan = compile_plan(&rule.pattern, &snap, &[]);
+        let text = plan.describe(&rule.pattern);
+        assert!(text.contains("0."), "{text}");
+        assert!(text.contains("est"), "{text}");
+        assert!(text.contains("total estimated cost"), "{text}");
+    }
+}

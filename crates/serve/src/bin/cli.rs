@@ -16,6 +16,10 @@
 //!   update <batch.json>           submit a ΔG batch, stream ΔVio back
 //!   query                         full detection over the session state
 //!   rules <file>                  install a session rule set (JSON or DSL)
+//!   explain <rules> [snap [id]]   offline: compile each rule against a
+//!                                 snapshot (or empty statistics) and print
+//!                                 its match plan — seed choice, variable
+//!                                 order, per-step cost estimates
 //!   stats                         server + session statistics
 //!   reset                         drop the session's accumulated ΔG
 //!   shutdown                      stop the daemon gracefully
@@ -28,8 +32,9 @@
 //! library's job — keep one client connected and keep submitting.
 
 use ngd_core::RuleSet;
-use ngd_graph::persist::{CompactionWriter, SnapshotWriter};
-use ngd_graph::BatchUpdate;
+use ngd_graph::persist::{CompactionWriter, MmapShardedSnapshot, MmapSnapshot, SnapshotWriter};
+use ngd_graph::{BatchUpdate, GraphView, PersistError};
+use ngd_match::compile_plan;
 use ngd_serve::{ServeAddr, ServeClient, Side};
 use std::process::ExitCode;
 
@@ -39,7 +44,8 @@ fn usage() -> ! {
          commands: load <graph.json> <out.ngds> |\n\
          \x20         compact [<in.ngds> <out.ngds> [delta.json]] | epoch |\n\
          \x20         update <batch.json> | query |\n\
-         \x20         rules <file> | stats | reset | shutdown"
+         \x20         rules <file> | explain <rules> [<snapshot.ngds> [<rule-id>]] |\n\
+         \x20         stats | reset | shutdown"
     );
     std::process::exit(2);
 }
@@ -51,6 +57,38 @@ fn fail(message: String) -> ExitCode {
 
 fn connect(addr: &ServeAddr) -> Result<ServeClient, String> {
     ServeClient::connect_as(addr, "ngd-cli").map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// Parse a rule set from JSON (leading `[` / `{`) or the text DSL.
+fn parse_rules(text: &str) -> Result<RuleSet, String> {
+    if matches!(text.trim_start().chars().next(), Some('[') | Some('{')) {
+        RuleSet::from_json(text).map_err(|e| e.to_string())
+    } else {
+        ngd_core::parse_rule_set(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Compile and print the match plan of every rule (or just `filter`)
+/// against `graph`'s statistics.
+fn explain_rules<G: GraphView>(
+    sigma: &RuleSet,
+    graph: &G,
+    filter: Option<&str>,
+) -> Result<(), String> {
+    let mut found = false;
+    for rule in sigma.rules() {
+        if filter.is_some_and(|id| id != rule.id) {
+            continue;
+        }
+        found = true;
+        let plan = compile_plan(&rule.pattern, graph, &[]);
+        println!("{}:", rule.id);
+        print!("{}", plan.describe(&rule.pattern));
+    }
+    match filter {
+        Some(id) if !found => Err(format!("no rule `{id}` in the rule set")),
+        _ => Ok(()),
+    }
 }
 
 fn main() -> ExitCode {
@@ -265,17 +303,9 @@ fn main() -> ExitCode {
                 Ok(text) => text,
                 Err(e) => return fail(format!("read {rules_path}: {e}")),
             };
-            let lead = text.trim_start().chars().next();
-            let sigma = if matches!(lead, Some('[') | Some('{')) {
-                match RuleSet::from_json(&text) {
-                    Ok(sigma) => sigma,
-                    Err(e) => return fail(format!("parse {rules_path}: {e}")),
-                }
-            } else {
-                match ngd_core::parse_rule_set(&text) {
-                    Ok(sigma) => sigma,
-                    Err(e) => return fail(format!("parse {rules_path}: {e}")),
-                }
+            let sigma = match parse_rules(&text) {
+                Ok(sigma) => sigma,
+                Err(e) => return fail(format!("parse {rules_path}: {e}")),
             };
             let mut client = match connect(&addr) {
                 Ok(client) => client,
@@ -287,6 +317,63 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(format!("rules: {e}")),
+            }
+        }
+        // Offline: compile each rule's match plan and print it.  With a
+        // snapshot path the planner sees that file's label and triple-index
+        // statistics (what the daemon serving it would compile); without
+        // one it plans against empty statistics — the pure pattern-shape
+        // order.
+        "explain" => {
+            let Some(rules_path) = rest.get(1) else {
+                usage()
+            };
+            let text = match std::fs::read_to_string(rules_path) {
+                Ok(text) => text,
+                Err(e) => return fail(format!("read {rules_path}: {e}")),
+            };
+            let sigma = match parse_rules(&text) {
+                Ok(sigma) => sigma,
+                Err(e) => return fail(format!("parse {rules_path}: {e}")),
+            };
+            let filter = rest.get(3).map(String::as_str);
+            let explained = match rest.get(2) {
+                Some(snap_path) => {
+                    let path = std::path::Path::new(snap_path);
+                    match MmapSnapshot::load(path) {
+                        Ok(snapshot) => {
+                            println!(
+                                "plans over {snap_path} (epoch {}, {} nodes, {} edges):",
+                                snapshot.epoch(),
+                                GraphView::node_count(&snapshot),
+                                GraphView::edge_count(&snapshot),
+                            );
+                            explain_rules(&sigma, &snapshot, filter)
+                        }
+                        Err(PersistError::WrongKind { .. }) => {
+                            match MmapShardedSnapshot::load(path) {
+                                Ok(sharded) => {
+                                    println!(
+                                        "plans over {snap_path} (epoch {}, {} fragments):",
+                                        sharded.epoch(),
+                                        sharded.fragment_count(),
+                                    );
+                                    explain_rules(&sigma, sharded.global(), filter)
+                                }
+                                Err(e) => return fail(format!("load {snap_path}: {e}")),
+                            }
+                        }
+                        Err(e) => return fail(format!("load {snap_path}: {e}")),
+                    }
+                }
+                None => {
+                    println!("plans over empty statistics (no snapshot given):");
+                    explain_rules(&sigma, &ngd_graph::Graph::new(), filter)
+                }
+            };
+            match explained {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(format!("explain: {e}")),
             }
         }
         "stats" => {
@@ -331,6 +418,10 @@ fn main() -> ExitCode {
                         stats.sessions_total,
                         stats.updates_served,
                         stats.violations_streamed
+                    );
+                    println!(
+                        "plan cache : {} hit(s), {} miss(es)",
+                        stats.plan_cache_hits, stats.plan_cache_misses
                     );
                     ExitCode::SUCCESS
                 }

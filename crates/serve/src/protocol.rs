@@ -54,8 +54,10 @@ pub const MAGIC: [u8; 8] = *b"NGDWIRE\0";
 
 /// Current protocol version.  Bump on ANY frame- or payload-layout change.
 /// (v2: `COMPACT`/`EPOCH`/`EPOCH_SWITCHED` frames; epoch + pending-overlay
-/// fields on `STATS_OK` and the `*_DONE` summaries.)
-pub const WIRE_VERSION: u32 = 2;
+/// fields on `STATS_OK` and the `*_DONE` summaries.  v3: plan-cache
+/// counters on `STATS_OK` and inside the `SearchStats` of the `*_DONE`
+/// summaries.)
+pub const WIRE_VERSION: u32 = 3;
 
 /// Frame header length in bytes.
 pub const FRAME_HEADER_LEN: usize = 32;
@@ -600,6 +602,10 @@ pub struct StatsResponse {
     pub updates_served: u64,
     /// Violations streamed since startup (all sessions).
     pub violations_streamed: u64,
+    /// Compiled match plans served from the published epoch's plan cache.
+    pub plan_cache_hits: u64,
+    /// Plan compilations (cache misses) on the published epoch.
+    pub plan_cache_misses: u64,
 }
 
 impl StatsResponse {
@@ -621,6 +627,8 @@ impl StatsResponse {
         w.u64(self.sessions_total);
         w.u64(self.updates_served);
         w.u64(self.violations_streamed);
+        w.u64(self.plan_cache_hits);
+        w.u64(self.plan_cache_misses);
         w.into_bytes()
     }
 
@@ -643,6 +651,8 @@ impl StatsResponse {
             sessions_total: r.u64()?,
             updates_served: r.u64()?,
             violations_streamed: r.u64()?,
+            plan_cache_hits: r.u64()?,
+            plan_cache_misses: r.u64()?,
         };
         r.finish()?;
         Ok(out)
@@ -734,6 +744,8 @@ mod tests {
                 expanded: 4,
                 candidates_inspected: 40,
                 matches_found: 3,
+                plan_cache_hits: 6,
+                plan_cache_misses: 2,
             },
             cost: {
                 let mut c = CostLedger::default();
@@ -761,6 +773,8 @@ mod tests {
             sessions_total: 9,
             updates_served: 10,
             violations_streamed: 11,
+            plan_cache_hits: 12,
+            plan_cache_misses: 13,
         };
         assert_eq!(StatsResponse::decode(&stats.encode()).unwrap(), stats);
 

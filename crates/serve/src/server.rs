@@ -42,7 +42,7 @@ use ngd_detect::{
 };
 use ngd_graph::persist::{CompactionWriter, MmapShardedSnapshot, MmapSnapshot, PersistError};
 use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, UpdateError};
-use ngd_match::Violation;
+use ngd_match::{PlanCache, Violation};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -104,6 +104,11 @@ enum StoreKind {
 pub struct SnapshotStore {
     path: PathBuf,
     kind: StoreKind,
+    /// Compiled match plans for this mapping, shared by every session that
+    /// reads it.  A compaction publishes a *new* store (hence a fresh,
+    /// empty cache keyed to the new epoch) — stale plans can never leak
+    /// across an epoch switch.
+    plan_cache: PlanCache,
 }
 
 impl SnapshotStore {
@@ -116,10 +121,20 @@ impl SnapshotStore {
             }
             Err(e) => return Err(e),
         };
+        let epoch = match &kind {
+            StoreKind::Shared(s) => s.epoch(),
+            StoreKind::Sharded(s) => s.epoch(),
+        };
         Ok(SnapshotStore {
             path: path.to_path_buf(),
             kind,
+            plan_cache: PlanCache::for_epoch(epoch),
         })
+    }
+
+    /// The plan cache every session on this mapping compiles into.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
     }
 
     /// The file this store is mapped from.
@@ -618,17 +633,18 @@ impl SessionCtx {
         config: &DetectorConfig,
     ) -> Result<DeltaReport, UpdateError> {
         let accumulated = std::mem::take(&mut self.accumulated);
+        let cache = self.store.plan_cache();
         let (result, accumulated, batches) = match &self.store.kind {
             StoreKind::Shared(s) => {
                 let mut session = IncrementalSession::resume(s, accumulated, self.batches_applied);
-                let result = session.apply(sigma, delta, config);
+                let result = session.apply_with_cache(sigma, delta, config, cache);
                 let (accumulated, batches) = session.into_parts();
                 (result, accumulated, batches)
             }
             StoreKind::Sharded(s) => {
                 let mut session =
                     ShardedIncrementalSession::resume(s, accumulated, self.batches_applied);
-                let result = session.apply(sigma, delta, config);
+                let result = session.apply_with_cache(sigma, delta, config, cache);
                 let (accumulated, batches) = session.into_parts();
                 (result, accumulated, batches)
             }
@@ -639,12 +655,13 @@ impl SessionCtx {
     }
 
     fn detect_all(&self, sigma: &RuleSet) -> DetectionReport {
+        let cache = self.store.plan_cache();
         match &self.store.kind {
-            StoreKind::Shared(s) => {
-                IncrementalSession::resume(s, self.accumulated.clone(), 0).detect_all(sigma)
-            }
+            StoreKind::Shared(s) => IncrementalSession::resume(s, self.accumulated.clone(), 0)
+                .detect_all_with_cache(sigma, cache),
             StoreKind::Sharded(s) => {
-                ShardedIncrementalSession::resume(s, self.accumulated.clone(), 0).detect_all(sigma)
+                ShardedIncrementalSession::resume(s, self.accumulated.clone(), 0)
+                    .detect_all_with_cache(sigma, cache)
             }
         }
     }
@@ -981,6 +998,8 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                     sessions_total: shared.sessions_total.load(Ordering::SeqCst),
                     updates_served: shared.updates_served.load(Ordering::SeqCst),
                     violations_streamed: shared.violations_streamed.load(Ordering::SeqCst),
+                    plan_cache_hits: ctx.store.plan_cache().hits(),
+                    plan_cache_misses: ctx.store.plan_cache().misses(),
                 };
                 write_frame(stream, frame::STATS_OK, &response.encode())?;
             }

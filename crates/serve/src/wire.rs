@@ -374,6 +374,8 @@ pub fn put_stats(w: &mut WireWriter, stats: &SearchStats) {
     w.u64(stats.expanded as u64);
     w.u64(stats.candidates_inspected as u64);
     w.u64(stats.matches_found as u64);
+    w.u64(stats.plan_cache_hits);
+    w.u64(stats.plan_cache_misses);
 }
 
 /// Decode matcher statistics.
@@ -382,6 +384,8 @@ pub fn get_stats(r: &mut WireReader<'_>) -> Result<SearchStats, ProtocolError> {
         expanded: r.u64()? as usize,
         candidates_inspected: r.u64()? as usize,
         matches_found: r.u64()? as usize,
+        plan_cache_hits: r.u64()?,
+        plan_cache_misses: r.u64()?,
     })
 }
 
@@ -494,6 +498,8 @@ mod tests {
                 expanded: 1,
                 candidates_inspected: 2,
                 matches_found: 3,
+                plan_cache_hits: 4,
+                plan_cache_misses: 5,
             },
         );
         let bytes = w.into_bytes();
@@ -504,6 +510,8 @@ mod tests {
         assert_eq!(cost_back.scanned, 77);
         let stats = get_stats(&mut r).unwrap();
         assert_eq!(stats.matches_found, 3);
+        assert_eq!(stats.plan_cache_hits, 4);
+        assert_eq!(stats.plan_cache_misses, 5);
         r.finish().unwrap();
     }
 
