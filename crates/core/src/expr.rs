@@ -45,6 +45,33 @@ impl AttrRef {
 ngd_json::impl_json_struct!(AttrRef { var, attr });
 
 /// An arithmetic expression of a graph pattern.
+///
+/// The helpers build the paper's linear fragment; [`Expr::is_linear`]
+/// tells it apart from the extended (non-linear) expressions that the
+/// detectors evaluate but the static analyses refuse:
+///
+/// ```
+/// use ngd_core::{Expr, Pattern};
+///
+/// let mut q = Pattern::new();
+/// let x = q.add_node("x", "Account");
+/// let y = q.add_node("y", "Account");
+///
+/// // 10 × y.balance − |x.balance| ÷ 2 : linear (degree 1).
+/// let linear = Expr::sub(
+///     Expr::scale(10, Expr::attr(y, "balance")),
+///     Expr::div_const(Expr::abs(Expr::attr(x, "balance")), 2),
+/// );
+/// assert!(linear.is_linear());
+/// assert_eq!(linear.degree(), 1);
+///
+/// // x.balance × y.balance : degree 2, outside the fragment.
+/// let quadratic = Expr::Mul(
+///     Box::new(Expr::attr(x, "balance")),
+///     Box::new(Expr::attr(y, "balance")),
+/// );
+/// assert!(!quadratic.is_linear());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// An integer constant `c`.

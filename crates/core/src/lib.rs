@@ -31,7 +31,38 @@
 //!   tests, examples and benchmarks of this workspace.
 //!
 //! Error *detection* with NGDs (batch, incremental and parallel) lives in
-//! the `ngd-match` and `ngd-detect` crates.
+//! the `ngd-match` and `ngd-detect` crates; the textual `.ngdl` syntax
+//! lives in `ngd-lang`.
+//!
+//! # Example
+//!
+//! The fake-account rule "an account cannot follow one with ten times its
+//! balance" as a denial NGD, built programmatically:
+//!
+//! ```
+//! use ngd_core::{Expr, Literal, Ngd, Pattern, RuleSet};
+//!
+//! let mut q = Pattern::new();
+//! let x = q.add_node("x", "Account");
+//! let y = q.add_node("y", "Account");
+//! q.add_edge(x, y, "follows");
+//!
+//! let premise = vec![Literal::gt(
+//!     Expr::attr(x, "balance"),
+//!     Expr::scale(10, Expr::attr(y, "balance")),
+//! )];
+//! // An always-false consequence makes the rule a denial: every match
+//! // satisfying the premise is a violation.
+//! let consequence = vec![Literal::eq(Expr::constant(0), Expr::constant(1))];
+//!
+//! let rule = Ngd::new("no_fake_accts", q, premise, consequence)?;
+//! assert!(rule.is_linear());
+//! assert_eq!(rule.diameter(), 1);
+//!
+//! let sigma = RuleSet::from_rules(vec![rule]);
+//! assert_eq!(sigma.by_id("no_fake_accts").map(|r| r.literal_count()), Some(2));
+//! # Ok::<(), ngd_core::NgdError>(())
+//! ```
 
 pub mod eval;
 pub mod expr;

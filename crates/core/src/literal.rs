@@ -70,7 +70,20 @@ impl CmpOp {
         self == CmpOp::Eq
     }
 
-    /// Parse from the textual representation used by the rule DSL.
+    /// Parse from the textual representation used by the rule DSLs.
+    /// ASCII digraphs and the Unicode comparison glyphs are accepted
+    /// interchangeably; [`CmpOp`]'s `Display` prints the canonical ASCII
+    /// spelling back:
+    ///
+    /// ```
+    /// use ngd_core::CmpOp;
+    ///
+    /// assert_eq!(CmpOp::parse("=="), Some(CmpOp::Eq));
+    /// assert_eq!(CmpOp::parse("<>"), Some(CmpOp::Ne));
+    /// assert_eq!(CmpOp::parse("≥"), Some(CmpOp::Ge));
+    /// assert_eq!(CmpOp::parse("⊗"), None);
+    /// assert_eq!(CmpOp::Le.to_string(), "<=");
+    /// ```
     pub fn parse(s: &str) -> Option<CmpOp> {
         match s {
             "=" | "==" => Some(CmpOp::Eq),

@@ -40,6 +40,27 @@ impl fmt::Display for NgdError {
 impl std::error::Error for NgdError {}
 
 /// A numeric graph dependency `Q[x̄](X → Y)`.
+///
+/// [`Ngd::new`] validates the rule: every attribute reference must name a
+/// pattern variable and every expression must stay in the linear fragment.
+///
+/// ```
+/// use ngd_core::{Expr, Literal, Ngd, NgdError, Pattern};
+/// use ngd_core::pattern::Var;
+///
+/// let mut q = Pattern::new();
+/// let x = q.add_node("x", "account");
+///
+/// // A literal over an undeclared variable is rejected, typed.
+/// let bad = Literal::eq(Expr::attr(Var(7), "val"), Expr::constant(1));
+/// assert_eq!(
+///     Ngd::new("oops", q.clone(), vec![], vec![bad]),
+///     Err(NgdError::UnknownVariable(Var(7))),
+/// );
+///
+/// let ok = Literal::ge(Expr::attr(x, "balance"), Expr::constant(0));
+/// assert!(Ngd::new("solvent", q, vec![], vec![ok]).is_ok());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Ngd {
     /// A human-readable rule identifier (e.g. `"phi1"`).
@@ -178,6 +199,22 @@ ngd_json::impl_json_struct!(Ngd {
 });
 
 /// A set `Σ` of NGDs used as data-quality rules.
+///
+/// Round-trips through JSON byte-identically, which is what lets rule sets
+/// travel over the serve protocol and live on disk:
+///
+/// ```
+/// use ngd_core::{paper, RuleSet};
+///
+/// let sigma = paper::paper_rule_set();
+/// assert_eq!(sigma.len(), 7);
+/// assert_eq!(sigma.diameter(), 4);   // dΣ, the halo depth sharding needs
+///
+/// let json = sigma.to_json();
+/// let back = RuleSet::from_json(&json).expect("own output parses");
+/// assert_eq!(back, sigma);
+/// assert_eq!(back.to_json(), json);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuleSet {
     rules: Vec<Ngd>,

@@ -66,6 +66,23 @@ ngd_json::impl_json_struct!(PatternNode { name, label });
 ngd_json::impl_json_struct!(PatternEdge { src, dst, label });
 
 /// A graph pattern `Q[x̄]`.
+///
+/// Variables are numbered in insertion order, so declaration order is
+/// stable and observable (the match planner uses it to break cost ties):
+///
+/// ```
+/// use ngd_core::pattern::{Pattern, Var};
+///
+/// let mut q = Pattern::new();
+/// let x = q.add_wildcard("x");          // matches any node label
+/// let y = q.add_node("y", "date");
+/// q.add_edge(x, y, "wasCreatedOnDate");
+///
+/// assert_eq!((x, y), (Var(0), Var(1)));
+/// assert!(q.is_wildcard(x) && !q.is_wildcard(y));
+/// assert_eq!(q.var_by_name("y"), Some(y));
+/// assert_eq!((q.node_count(), q.edge_count()), (2, 1));
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Pattern {
     nodes: Vec<PatternNode>,

@@ -1,0 +1,110 @@
+//! Span-carrying parse errors with rendered caret snippets.
+//!
+//! `.ngdl` sources are written by hand, so the parser reports *where* it
+//! gave up, not just why: every [`ParseError`] carries a 1-based line and
+//! column plus a pre-rendered two-line snippet pointing a caret at the
+//! offending character — the same typed-error discipline as
+//! `ngd_graph::PersistError` and `ngd_serve::ProtocolError`, specialised
+//! to source text.
+
+use std::fmt;
+
+/// A syntax or lowering error in a `.ngdl` source, with its position.
+///
+/// The [`fmt::Display`] form is what `ngd-cli check` prints:
+///
+/// ```text
+/// parse error at line 3, column 21: expected `)`, found `,`
+///   3 |   MATCH (x:Account,)-[:follows]->(y)
+///     |                   ^
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token (or end of input).
+    pub line: usize,
+    /// 1-based column (in characters) of the offending token.
+    pub col: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+    /// The rendered source line + caret, ready to print under the message.
+    pub snippet: String,
+}
+
+impl ParseError {
+    /// Build an error at `(line, col)` of `source`, rendering the snippet.
+    pub fn at(source: &str, line: usize, col: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+            snippet: render_snippet(source, line, col),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.col, self.message
+        )?;
+        if !self.snippet.is_empty() {
+            write!(f, "\n{}", self.snippet)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Render `line` of `source` with a caret under character `col` (1-based).
+fn render_snippet(source: &str, line: usize, col: usize) -> String {
+    let Some(text) = source.lines().nth(line.saturating_sub(1)) else {
+        return String::new();
+    };
+    let number = line.to_string();
+    let gutter = " ".repeat(number.len());
+    // The caret is positioned by counting characters, matching how the
+    // lexer counts columns; tabs are rendered as-is.
+    let pad: String = text
+        .chars()
+        .take(col.saturating_sub(1))
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    format!("  {number} | {text}\n  {gutter} | {pad}^")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snippet_points_at_the_column() {
+        let err = ParseError::at("RULE r:\n  MATCH (x:\n", 2, 9, "expected a label");
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 9);
+        let display = err.to_string();
+        assert!(display.contains("line 2, column 9"));
+        assert!(display.contains("2 |   MATCH (x:"));
+        let caret_line = display.lines().last().unwrap();
+        assert_eq!(caret_line.chars().filter(|&c| c == '^').count(), 1);
+        // The caret sits under column 9 of the source line.
+        assert!(caret_line.ends_with("        ^"));
+    }
+
+    #[test]
+    fn out_of_range_line_renders_no_snippet() {
+        let err = ParseError::at("RULE", 99, 1, "unexpected end of input");
+        assert!(err.snippet.is_empty());
+        assert!(err.to_string().contains("line 99"));
+    }
+
+    #[test]
+    fn tabs_keep_the_caret_aligned() {
+        let err = ParseError::at("\tMATCH (", 1, 2, "x");
+        assert!(err.snippet.contains("\n"));
+        let caret_line = err.snippet.lines().last().unwrap();
+        assert!(caret_line.contains('\t'));
+    }
+}

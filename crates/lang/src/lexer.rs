@@ -1,0 +1,389 @@
+//! The `.ngdl` lexer: source text → spanned tokens.
+//!
+//! Tokens carry their 1-based line and column so the parser can raise
+//! [`ParseError`]s that point a caret at the exact character.  Keywords are
+//! *not* distinguished here — `RULE`, `MATCH`, `WHERE`, `AND`, `TRUE` and
+//! `FALSE` lex as ordinary words and are recognised case-insensitively by
+//! the parser in the positions where they matter, so `match` stays usable
+//! as, say, an attribute name.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// A bare word: identifier or (contextually) a keyword.
+    Word(String),
+    /// An unsigned integer magnitude; the parser applies any leading `-`,
+    /// which is how `-9223372036854775808` (= `i64::MIN`) stays readable.
+    Int(u64),
+    /// A quoted string with escapes resolved.
+    Str(String),
+    /// Punctuation or an operator, normalised to its canonical spelling
+    /// (`≤` lexes as `<=`, `≠` as `!=`, `≥` as `>=`).
+    Sym(&'static str),
+}
+
+impl Tok {
+    /// How the token reads in an error message.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => format!("`{w}`"),
+            Tok::Int(i) => format!("`{i}`"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Sym(s) => format!("`{s}`"),
+        }
+    }
+}
+
+/// A token plus the position of its first character.
+#[derive(Debug, Clone)]
+pub(crate) struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Tokenize a `.ngdl` source.  Comments run from `#` or `//` to the end of
+/// the line.
+pub(crate) fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            toks.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let next = chars.get(i + 1).copied();
+        let next2 = chars.get(i + 2).copied();
+        // Advance over `n` characters of the current line.
+        macro_rules! take {
+            ($n:expr) => {{
+                i += $n;
+                col += $n;
+            }};
+        }
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => take!(1),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' => {
+                push!(Tok::Sym("/"), tline, tcol);
+                take!(1);
+            }
+            '"' => {
+                take!(1);
+                let mut s = String::new();
+                loop {
+                    match chars.get(i).copied() {
+                        None | Some('\n') => {
+                            return Err(ParseError::at(
+                                source,
+                                tline,
+                                tcol,
+                                "unterminated string literal",
+                            ))
+                        }
+                        Some('"') => {
+                            take!(1);
+                            break;
+                        }
+                        Some('\\') => {
+                            let escaped = match chars.get(i + 1).copied() {
+                                Some('\\') => '\\',
+                                Some('"') => '"',
+                                Some('n') => '\n',
+                                Some('t') => '\t',
+                                other => {
+                                    return Err(ParseError::at(
+                                        source,
+                                        line,
+                                        col,
+                                        format!(
+                                            "unknown escape `\\{}` in string literal",
+                                            other.map(String::from).unwrap_or_default()
+                                        ),
+                                    ))
+                                }
+                            };
+                            s.push(escaped);
+                            take!(2);
+                        }
+                        Some(ch) => {
+                            s.push(ch);
+                            take!(1);
+                        }
+                    }
+                }
+                push!(Tok::Str(s), tline, tcol);
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(u64::from(d)))
+                        .ok_or_else(|| {
+                            ParseError::at(source, tline, tcol, "integer literal overflows")
+                        })?;
+                    take!(1);
+                }
+                push!(Tok::Int(value), tline, tcol);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&d) = chars.get(i) {
+                    if d.is_alphanumeric() || d == '_' {
+                        word.push(d);
+                        take!(1);
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Word(word), tline, tcol);
+            }
+            '-' if next == Some('[') => {
+                push!(Tok::Sym("-["), tline, tcol);
+                take!(2);
+            }
+            '-' => {
+                push!(Tok::Sym("-"), tline, tcol);
+                take!(1);
+            }
+            '<' if next == Some('-') && next2 == Some('[') => {
+                push!(Tok::Sym("<-["), tline, tcol);
+                take!(3);
+            }
+            '<' if next == Some('=') => {
+                push!(Tok::Sym("<="), tline, tcol);
+                take!(2);
+            }
+            '<' if next == Some('>') => {
+                push!(Tok::Sym("<>"), tline, tcol);
+                take!(2);
+            }
+            '<' => {
+                push!(Tok::Sym("<"), tline, tcol);
+                take!(1);
+            }
+            ']' if next == Some('-') && next2 == Some('>') => {
+                push!(Tok::Sym("]->"), tline, tcol);
+                take!(3);
+            }
+            ']' if next == Some('-') => {
+                push!(Tok::Sym("]-"), tline, tcol);
+                take!(2);
+            }
+            '=' if next == Some('>') => {
+                push!(Tok::Sym("=>"), tline, tcol);
+                take!(2);
+            }
+            '=' if next == Some('=') => {
+                push!(Tok::Sym("=="), tline, tcol);
+                take!(2);
+            }
+            '=' => {
+                push!(Tok::Sym("="), tline, tcol);
+                take!(1);
+            }
+            '!' if next == Some('=') => {
+                push!(Tok::Sym("!="), tline, tcol);
+                take!(2);
+            }
+            '>' if next == Some('=') => {
+                push!(Tok::Sym(">="), tline, tcol);
+                take!(2);
+            }
+            '>' => {
+                push!(Tok::Sym(">"), tline, tcol);
+                take!(1);
+            }
+            '≤' => {
+                push!(Tok::Sym("<="), tline, tcol);
+                take!(1);
+            }
+            '≥' => {
+                push!(Tok::Sym(">="), tline, tcol);
+                take!(1);
+            }
+            '≠' => {
+                push!(Tok::Sym("!="), tline, tcol);
+                take!(1);
+            }
+            '&' if next == Some('&') => {
+                push!(Tok::Sym("&&"), tline, tcol);
+                take!(2);
+            }
+            '(' => {
+                push!(Tok::Sym("("), tline, tcol);
+                take!(1);
+            }
+            ')' => {
+                push!(Tok::Sym(")"), tline, tcol);
+                take!(1);
+            }
+            ':' => {
+                push!(Tok::Sym(":"), tline, tcol);
+                take!(1);
+            }
+            ',' => {
+                push!(Tok::Sym(","), tline, tcol);
+                take!(1);
+            }
+            '.' => {
+                push!(Tok::Sym("."), tline, tcol);
+                take!(1);
+            }
+            '|' => {
+                push!(Tok::Sym("|"), tline, tcol);
+                take!(1);
+            }
+            '+' => {
+                push!(Tok::Sym("+"), tline, tcol);
+                take!(1);
+            }
+            '*' => {
+                push!(Tok::Sym("*"), tline, tcol);
+                take!(1);
+            }
+            other => {
+                return Err(ParseError::at(
+                    source,
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<Tok> {
+        tokenize(source)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    #[test]
+    fn edges_arrows_and_comparisons() {
+        assert_eq!(
+            kinds("(x)-[:f]->(y)<-[:g]-(z)"),
+            vec![
+                Tok::Sym("("),
+                Tok::Word("x".into()),
+                Tok::Sym(")"),
+                Tok::Sym("-["),
+                Tok::Sym(":"),
+                Tok::Word("f".into()),
+                Tok::Sym("]->"),
+                Tok::Sym("("),
+                Tok::Word("y".into()),
+                Tok::Sym(")"),
+                Tok::Sym("<-["),
+                Tok::Sym(":"),
+                Tok::Word("g".into()),
+                Tok::Sym("]-"),
+                Tok::Sym("("),
+                Tok::Word("z".into()),
+                Tok::Sym(")"),
+            ]
+        );
+        assert_eq!(
+            kinds("=> >= <= != <> == = < >"),
+            vec![
+                Tok::Sym("=>"),
+                Tok::Sym(">="),
+                Tok::Sym("<="),
+                Tok::Sym("!="),
+                Tok::Sym("<>"),
+                Tok::Sym("=="),
+                Tok::Sym("="),
+                Tok::Sym("<"),
+                Tok::Sym(">"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_operators_normalise() {
+        assert_eq!(
+            kinds("≤ ≥ ≠"),
+            vec![Tok::Sym("<="), Tok::Sym(">="), Tok::Sym("!=")]
+        );
+    }
+
+    #[test]
+    fn a_less_than_negative_number_is_not_an_edge() {
+        assert_eq!(
+            kinds("a<-5"),
+            vec![
+                Tok::Word("a".into()),
+                Tok::Sym("<"),
+                Tok::Sym("-"),
+                Tok::Int(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_support_escapes() {
+        assert_eq!(
+            kinds(r#""living people" "a\"b\\c\n""#),
+            vec![
+                Tok::Str("living people".into()),
+                Tok::Str("a\"b\\c\n".into()),
+            ]
+        );
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize(r#""bad \q escape""#).is_err());
+    }
+
+    #[test]
+    fn comments_and_spans() {
+        let toks = tokenize("# comment\nRULE r: // trailing\n  MATCH").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[0].col, 1);
+        assert_eq!(toks[3].tok, Tok::Word("MATCH".into()));
+        assert_eq!(toks[3].line, 3);
+        assert_eq!(toks[3].col, 3);
+    }
+
+    #[test]
+    fn huge_magnitudes_lex_for_the_min_const() {
+        assert_eq!(kinds("9223372036854775808"), vec![Tok::Int(1u64 << 63)]);
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+}

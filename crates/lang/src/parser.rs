@@ -1,0 +1,617 @@
+//! Recursive-descent parser: `.ngdl` tokens → lowered [`Ngd`] rules.
+//!
+//! Lowering happens *during* parsing: pattern variables are assigned
+//! [`Var`] indices in order of first mention in the `MATCH` clause, which
+//! is exactly the declaration order the match planner uses to break
+//! cost-estimate ties — so the order a rule author lists nodes in acts as
+//! a seed hint for `ngd_match::plan::compile_plan`.
+
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Spanned, Tok};
+use ngd_core::{CmpOp, Expr, Literal, Ngd, Pattern, RuleSet, Var};
+use ngd_graph::resolve;
+
+/// The consequence literal a denial rule (`=> false`) lowers to: `0 = 1`
+/// can never hold, so every match satisfying the premise is a violation.
+pub fn denial_literal() -> Literal {
+    Literal::eq(Expr::Const(0), Expr::Const(1))
+}
+
+/// Does this rule's consequence spell "reject every premise match"?
+///
+/// True exactly when the consequence is the single literal produced by
+/// [`denial_literal`]; the pretty-printer renders such rules as
+/// `=> false`.
+pub fn is_denial(rule: &Ngd) -> bool {
+    rule.consequence.len() == 1 && rule.consequence[0] == denial_literal()
+}
+
+/// Parse a `.ngdl` source holding any number of rules.
+///
+/// An empty (or comment-only) source parses to an empty [`RuleSet`].
+pub fn parse_rules(source: &str) -> Result<RuleSet, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let mut rules = Vec::new();
+    while parser.peek().is_some() {
+        rules.push(parser.rule()?);
+    }
+    Ok(RuleSet::from_rules(rules))
+}
+
+/// Parse a `.ngdl` source that must hold exactly one rule.
+pub fn parse_rule(source: &str) -> Result<Ngd, ParseError> {
+    let mut parser = Parser::new(source)?;
+    if parser.peek().is_none() {
+        return Err(parser.err_here("expected a rule, found end of input"));
+    }
+    let rule = parser.rule()?;
+    if parser.peek().is_some() {
+        return Err(parser.err_here("expected end of input after the first rule"));
+    }
+    Ok(rule)
+}
+
+/// Comparison operators, in the spellings the lexer emits.
+const CMP_SYMS: [&str; 8] = ["=", "==", "!=", "<>", "<", "<=", ">", ">="];
+
+/// Symbols that continue an expression after a bare `true`/`false` word,
+/// forcing the word to read as the constant `1`/`0` instead of as a
+/// consequence keyword.
+const EXPR_CONTINUATIONS: [&str; 13] = [
+    "=", "==", "!=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", ".",
+];
+
+struct Parser<'s> {
+    source: &'s str,
+    toks: Vec<Spanned>,
+    pos: usize,
+    pattern: Pattern,
+}
+
+impl<'s> Parser<'s> {
+    fn new(source: &'s str) -> Result<Parser<'s>, ParseError> {
+        Ok(Parser {
+            source,
+            toks: tokenize(source)?,
+            pos: 0,
+            pattern: Pattern::new(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let tok = self.toks[self.pos].clone();
+        self.pos += 1;
+        tok
+    }
+
+    /// Position just past the last character of the source, for
+    /// end-of-input errors.
+    fn end_pos(&self) -> (usize, usize) {
+        let line = 1 + self.source.chars().filter(|&c| c == '\n').count();
+        let col = 1 + self
+            .source
+            .rsplit('\n')
+            .next()
+            .map_or(0, |last| last.chars().count());
+        (line, col)
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::at(self.source, t.line, t.col, message),
+            None => {
+                let (line, col) = self.end_pos();
+                ParseError::at(self.source, line, col, message)
+            }
+        }
+    }
+
+    fn err_at(&self, line: usize, col: usize, message: impl Into<String>) -> ParseError {
+        ParseError::at(self.source, line, col, message)
+    }
+
+    fn expected(&self, what: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => self.err_here(format!("expected {what}, found {}", t.tok.describe())),
+            None => self.err_here(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { tok: Tok::Sym(s), .. }) if *s == sym)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.expected(&format!("`{sym}`")))
+        }
+    }
+
+    /// Is the current token the (case-insensitive) keyword `word`?
+    fn peek_keyword(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(Spanned { tok: Tok::Word(w), .. }) if w.eq_ignore_ascii_case(word))
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.peek_keyword(word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(word) {
+            Ok(())
+        } else {
+            Err(self.expected(&format!("`{word}`")))
+        }
+    }
+
+    /// A name: a bare word or a quoted string (for names that are not
+    /// identifier-shaped).  Returns the name with its span.
+    fn name(&mut self, what: &str) -> Result<(String, usize, usize), ParseError> {
+        match self.peek() {
+            Some(Spanned {
+                tok: Tok::Word(w),
+                line,
+                col,
+            }) => {
+                let out = (w.clone(), *line, *col);
+                self.pos += 1;
+                Ok(out)
+            }
+            Some(Spanned {
+                tok: Tok::Str(s),
+                line,
+                col,
+            }) => {
+                let out = (s.clone(), *line, *col);
+                self.pos += 1;
+                Ok(out)
+            }
+            _ => Err(self.expected(what)),
+        }
+    }
+
+    /// `RULE name : MATCH pattern [WHERE premise] => consequence`
+    fn rule(&mut self) -> Result<Ngd, ParseError> {
+        self.pattern = Pattern::new();
+        self.expect_keyword("RULE")?;
+        let (id, id_line, id_col) = self.name("a rule name")?;
+        self.expect_sym(":")?;
+        self.expect_keyword("MATCH")?;
+        self.path()?;
+        while self.eat_sym(",") {
+            self.path()?;
+        }
+        let premise = if self.eat_keyword("WHERE") {
+            self.literals()?
+        } else {
+            Vec::new()
+        };
+        self.expect_sym("=>")?;
+        let consequence = self.consequence()?;
+        let pattern = std::mem::take(&mut self.pattern);
+        Ngd::new(&id, pattern, premise, consequence)
+            .map_err(|e| self.err_at(id_line, id_col, format!("invalid rule `{id}`: {e}")))
+    }
+
+    /// One chain `(x)-[:l]->(y)<-[:m]-(z)…` of nodes and edges.
+    fn path(&mut self) -> Result<(), ParseError> {
+        let mut cur = self.node()?;
+        loop {
+            if self.eat_sym("-[") {
+                let label = self.edge_label()?;
+                self.expect_sym("]->")?;
+                let dst = self.node()?;
+                self.pattern.add_edge(cur, dst, &label);
+                cur = dst;
+            } else if self.eat_sym("<-[") {
+                let label = self.edge_label()?;
+                self.expect_sym("]-")?;
+                let src = self.node()?;
+                self.pattern.add_edge(src, cur, &label);
+                cur = src;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// The `:label` inside `-[:label]->`; the leading `:` is optional.
+    fn edge_label(&mut self) -> Result<String, ParseError> {
+        self.eat_sym(":");
+        let (label, _, _) = self.name("an edge label")?;
+        Ok(label)
+    }
+
+    /// `(name)`, `(name:label)` or `(name:_)`.  First mention declares the
+    /// variable (an omitted label means wildcard); later mentions may
+    /// repeat the label but must not contradict it.
+    fn node(&mut self) -> Result<Var, ParseError> {
+        self.expect_sym("(")?;
+        let (name, _, _) = self.name("a variable name")?;
+        let label = if self.eat_sym(":") {
+            Some(self.name("a node label")?)
+        } else {
+            None
+        };
+        self.expect_sym(")")?;
+        match self.pattern.var_by_name(&name) {
+            Some(var) => {
+                if let Some((label, lline, lcol)) = label {
+                    let existing = resolve(self.pattern.label(var));
+                    if existing != label {
+                        return Err(self.err_at(
+                            lline,
+                            lcol,
+                            format!(
+                                "variable `{name}` was already declared with label `{existing}`"
+                            ),
+                        ));
+                    }
+                }
+                Ok(var)
+            }
+            None => Ok(self
+                .pattern
+                .add_node(&name, label.as_ref().map_or("_", |(l, _, _)| l))),
+        }
+    }
+
+    /// `literal ((`,`|AND|&&) literal)*`
+    fn literals(&mut self) -> Result<Vec<Literal>, ParseError> {
+        let mut lits = vec![self.literal()?];
+        while self.eat_sym(",") || self.eat_sym("&&") || self.eat_keyword("AND") {
+            lits.push(self.literal()?);
+        }
+        Ok(lits)
+    }
+
+    /// `FALSE` (denial), `TRUE` (empty consequence) or a literal list.
+    fn consequence(&mut self) -> Result<Vec<Literal>, ParseError> {
+        if self.peek_keyword("FALSE") && !self.continues_expression() {
+            self.pos += 1;
+            return Ok(vec![denial_literal()]);
+        }
+        if self.peek_keyword("TRUE") && !self.continues_expression() {
+            self.pos += 1;
+            return Ok(Vec::new());
+        }
+        self.literals()
+    }
+
+    /// Does the token *after* the current one extend an expression?  Used
+    /// to tell the consequence keyword `false` from the constant `false`
+    /// in a literal such as `x.flag = false`.
+    fn continues_expression(&self) -> bool {
+        matches!(self.peek2(), Some(Spanned { tok: Tok::Sym(s), .. })
+            if EXPR_CONTINUATIONS.contains(s))
+    }
+
+    /// `expr ⊗ expr` with `⊗` one of `= != <> < <= > >=`.
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.peek() {
+            Some(Spanned {
+                tok: Tok::Sym(s), ..
+            }) if CMP_SYMS.contains(s) => {
+                let op = CmpOp::parse(s).expect("CMP_SYMS are all parseable");
+                self.pos += 1;
+                op
+            }
+            _ => return Err(self.expected("a comparison operator")),
+        };
+        let rhs = self.expr()?;
+        Ok(Literal::new(lhs, op, rhs))
+    }
+
+    /// `term (("+"|"-") term)*`, left-associative.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                lhs = Expr::add(lhs, self.term()?);
+            } else if self.eat_sym("-") {
+                lhs = Expr::sub(lhs, self.term()?);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    /// `factor (("*"|"/") factor)*`, left-associative.
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            if self.eat_sym("*") {
+                lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+            } else if self.eat_sym("/") {
+                lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Spanned {
+                tok: Tok::Sym("-"), ..
+            }) => {
+                self.pos += 1;
+                // Fold `-` directly into an integer literal so negative
+                // constants (including `i64::MIN`) lower to `Const`
+                // rather than `0 - c`.
+                if let Some(Spanned {
+                    tok: Tok::Int(magnitude),
+                    line,
+                    col,
+                }) = self.peek()
+                {
+                    let (magnitude, line, col) = (*magnitude, *line, *col);
+                    let value = -(magnitude as i128);
+                    if value < i64::MIN as i128 {
+                        return Err(self.err_at(line, col, "integer literal overflows"));
+                    }
+                    self.pos += 1;
+                    return Ok(Expr::Const(value as i64));
+                }
+                Ok(Expr::sub(Expr::Const(0), self.factor()?))
+            }
+            Some(Spanned {
+                tok: Tok::Int(magnitude),
+                line,
+                col,
+            }) => {
+                let (magnitude, line, col) = (*magnitude, *line, *col);
+                if magnitude > i64::MAX as u64 {
+                    return Err(self.err_at(line, col, "integer literal overflows"));
+                }
+                self.pos += 1;
+                Ok(Expr::Const(magnitude as i64))
+            }
+            Some(Spanned {
+                tok: Tok::Sym("|"), ..
+            }) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_sym("|")?;
+                Ok(Expr::abs(inner))
+            }
+            Some(Spanned {
+                tok: Tok::Sym("("), ..
+            }) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(inner)
+            }
+            Some(Spanned {
+                tok: Tok::Str(_), ..
+            }) => {
+                // A quoted name followed by `.` is a variable reference;
+                // otherwise it is a string constant.
+                if matches!(
+                    self.peek2(),
+                    Some(Spanned {
+                        tok: Tok::Sym("."),
+                        ..
+                    })
+                ) {
+                    self.attr_ref()
+                } else {
+                    let Spanned {
+                        tok: Tok::Str(s), ..
+                    } = self.bump()
+                    else {
+                        unreachable!()
+                    };
+                    Ok(Expr::string(&s))
+                }
+            }
+            Some(Spanned {
+                tok: Tok::Word(w), ..
+            }) => {
+                if matches!(
+                    self.peek2(),
+                    Some(Spanned {
+                        tok: Tok::Sym("."),
+                        ..
+                    })
+                ) {
+                    self.attr_ref()
+                } else if w.eq_ignore_ascii_case("true") {
+                    self.pos += 1;
+                    Ok(Expr::Const(1))
+                } else if w.eq_ignore_ascii_case("false") {
+                    self.pos += 1;
+                    Ok(Expr::Const(0))
+                } else {
+                    Err(self.err_here(format!(
+                        "expected `{w}.<attribute>` — bare variables have no value"
+                    )))
+                }
+            }
+            _ => Err(self.expected("an expression")),
+        }
+    }
+
+    /// `var.attr` where `var` must be declared in the `MATCH` clause.
+    fn attr_ref(&mut self) -> Result<Expr, ParseError> {
+        let (var_name, vline, vcol) = self.name("a variable name")?;
+        self.expect_sym(".")?;
+        let (attr, _, _) = self.name("an attribute name")?;
+        let var = self.pattern.var_by_name(&var_name).ok_or_else(|| {
+            self.err_at(
+                vline,
+                vcol,
+                format!("unknown variable `{var_name}` — declare it in the MATCH clause"),
+            )
+        })?;
+        Ok(Expr::attr(var, &attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_issue_example_parses_and_lowers() {
+        let rule = parse_rule(
+            "RULE no_fake_accts: MATCH (x:Account)-[:follows]->(y:Account) \
+             WHERE x.balance > 10 * y.balance => false",
+        )
+        .unwrap();
+        assert_eq!(rule.id, "no_fake_accts");
+        assert_eq!(rule.pattern.node_count(), 2);
+        assert_eq!(rule.pattern.edges().len(), 1);
+        assert_eq!(rule.premise.len(), 1);
+        assert!(is_denial(&rule));
+        let expected = Literal::gt(
+            Expr::attr(Var(0), "balance"),
+            Expr::scale(10, Expr::attr(Var(1), "balance")),
+        );
+        assert_eq!(rule.premise[0], expected);
+    }
+
+    #[test]
+    fn vars_number_in_first_mention_order() {
+        let rule =
+            parse_rule("RULE r: MATCH (a:X)-[:e]->(b:Y), (c:Z)-[:f]->(a) => a.v = b.v").unwrap();
+        assert_eq!(rule.pattern.name(Var(0)), "a");
+        assert_eq!(rule.pattern.name(Var(1)), "b");
+        assert_eq!(rule.pattern.name(Var(2)), "c");
+        // (c)-[:f]->(a) with `a` referenced back by bare name.
+        assert_eq!(rule.pattern.edges()[1].src, Var(2));
+        assert_eq!(rule.pattern.edges()[1].dst, Var(0));
+    }
+
+    #[test]
+    fn reversed_edges_swap_src_and_dst() {
+        let rule = parse_rule("RULE r: MATCH (a:X)<-[:e]-(b:Y) => true").unwrap();
+        let edge = &rule.pattern.edges()[0];
+        assert_eq!(rule.pattern.name(edge.src), "b");
+        assert_eq!(rule.pattern.name(edge.dst), "a");
+        assert!(rule.consequence.is_empty());
+    }
+
+    #[test]
+    fn unlabelled_nodes_are_wildcards() {
+        let rule = parse_rule("RULE r: MATCH (x)-[:e]->(y:_) => x.v = y.v").unwrap();
+        assert!(rule.pattern.is_wildcard(Var(0)));
+        assert!(rule.pattern.is_wildcard(Var(1)));
+    }
+
+    #[test]
+    fn label_conflicts_are_rejected_with_a_span() {
+        let err =
+            parse_rule("RULE r: MATCH (x:A)-[:e]->(y:B), (x:C)-[:f]->(y) => false").unwrap_err();
+        assert!(
+            err.message.contains("already declared with label `A`"),
+            "{err}"
+        );
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn undeclared_variables_in_expressions_are_rejected() {
+        let err = parse_rule("RULE r: MATCH (x:A) WHERE z.v = 1 => false").unwrap_err();
+        assert!(err.message.contains("unknown variable `z`"), "{err}");
+    }
+
+    #[test]
+    fn negative_constants_fold_including_i64_min() {
+        let rule = parse_rule("RULE r: MATCH (x:A) => x.v = -9223372036854775808").unwrap();
+        assert_eq!(rule.consequence[0].rhs, Expr::Const(i64::MIN));
+        assert!(parse_rule("RULE r: MATCH (x:A) => x.v = 9223372036854775808").is_err());
+    }
+
+    #[test]
+    fn false_as_a_constant_still_works_in_literals() {
+        let rule = parse_rule("RULE r: MATCH (x:A) => x.flag = false").unwrap();
+        assert_eq!(
+            rule.consequence[0],
+            Literal::eq(Expr::attr(Var(0), "flag"), Expr::Const(0))
+        );
+        // …and `=> false` alone is the denial rule.
+        let denial = parse_rule("RULE r: MATCH (x:A) => false").unwrap();
+        assert!(is_denial(&denial));
+    }
+
+    #[test]
+    fn precedence_and_abs() {
+        let rule =
+            parse_rule("RULE r: MATCH (x:A), (y:B) WHERE |x.v - y.v| <= 2 * x.v + 1 => false")
+                .unwrap();
+        let lit = &rule.premise[0];
+        assert_eq!(
+            lit.lhs,
+            Expr::abs(Expr::sub(Expr::attr(Var(0), "v"), Expr::attr(Var(1), "v")))
+        );
+        assert_eq!(
+            lit.rhs,
+            Expr::add(Expr::scale(2, Expr::attr(Var(0), "v")), Expr::Const(1))
+        );
+    }
+
+    #[test]
+    fn quoted_names_reach_places_idents_cannot() {
+        let rule = parse_rule(
+            "RULE \"my rule\": MATCH (\"a node\":\"весь мир\") \
+             WHERE \"a node\".\"total pop\" >= 0 => \"a node\".category != \"living people\"",
+        )
+        .unwrap();
+        assert_eq!(rule.id, "my rule");
+        assert_eq!(rule.pattern.name(Var(0)), "a node");
+        assert!(rule.consequence[0].rhs == Expr::string("living people"));
+    }
+
+    #[test]
+    fn nonlinear_rules_fail_with_the_rule_span() {
+        let err = parse_rule("RULE nl: MATCH (x:A), (y:B) => x.v * y.v = 1").unwrap_err();
+        assert!(err.message.contains("invalid rule `nl`"), "{err}");
+        assert!(err.message.contains("non-linear"), "{err}");
+    }
+
+    #[test]
+    fn multiple_rules_and_empty_sources() {
+        let sigma =
+            parse_rules("# two rules\nRULE a: MATCH (x:A) => false\nRULE b: MATCH (y:B) => true\n")
+                .unwrap();
+        assert_eq!(sigma.len(), 2);
+        assert!(sigma.by_id("a").is_some());
+        assert!(parse_rules("  # nothing here\n").unwrap().is_empty());
+        assert!(parse_rule("").is_err());
+    }
+
+    #[test]
+    fn errors_point_at_the_offending_token() {
+        let err = parse_rules("RULE r:\n  MATCH (x:Account,)-[:f]->(y)\n  => false").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 19);
+        assert!(err.to_string().contains('^'));
+    }
+}

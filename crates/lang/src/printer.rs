@@ -1,0 +1,199 @@
+//! Pretty-printer: lowered [`Ngd`] rules → canonical `.ngdl` text.
+//!
+//! The printed form is *canonical*: all pattern nodes are declared first,
+//! in `Var` index order, then every edge follows on its own line with
+//! bare variable references — so re-parsing assigns identical `Var`
+//! indices and `parse(print(rule))` reconstructs the rule exactly.  Two
+//! representational caveats, pinned by tests:
+//!
+//! * `Expr::Lit(Value::Int(i))` prints as the integer `i` and re-parses
+//!   as the (semantically identical under evaluation) `Expr::Const(i)`;
+//!   likewise `Lit(Value::Bool(_))` re-parses as `Const(0|1)`.  The
+//!   parser never produces `Lit` for numerics, so parser output always
+//!   round-trips exactly.
+//! * A pattern with zero nodes has no `.ngdl` spelling (the grammar
+//!   requires at least one node in `MATCH`).
+
+use crate::parser::is_denial;
+use ngd_core::{Expr, Literal, Ngd, Pattern, RuleSet};
+use ngd_graph::{resolve, Value};
+use std::fmt::Write;
+
+/// Print one rule in canonical `.ngdl` form, ending with a newline.
+pub fn print_rule(rule: &Ngd) -> String {
+    let q = &rule.pattern;
+    let mut out = String::new();
+    let _ = write!(out, "RULE {}:\n  MATCH ", quoted(&rule.id));
+    let nodes: Vec<String> = q
+        .vars()
+        .map(|v| format!("({}:{})", quoted(q.name(v)), quoted(resolve(q.label(v)))))
+        .collect();
+    out.push_str(&nodes.join(", "));
+    for edge in q.edges() {
+        let _ = write!(
+            out,
+            ",\n        ({})-[:{}]->({})",
+            quoted(q.name(edge.src)),
+            quoted(resolve(edge.label)),
+            quoted(q.name(edge.dst))
+        );
+    }
+    if !rule.premise.is_empty() {
+        let _ = write!(out, "\n  WHERE {}", literals(q, &rule.premise));
+    }
+    out.push_str("\n  => ");
+    if is_denial(rule) {
+        out.push_str("false");
+    } else if rule.consequence.is_empty() {
+        out.push_str("true");
+    } else {
+        out.push_str(&literals(q, &rule.consequence));
+    }
+    out.push('\n');
+    out
+}
+
+/// Print a whole rule set, rules separated by blank lines.
+pub fn print_rule_set(sigma: &RuleSet) -> String {
+    let printed: Vec<String> = sigma.iter().map(print_rule).collect();
+    printed.join("\n")
+}
+
+fn literals(q: &Pattern, lits: &[Literal]) -> String {
+    let printed: Vec<String> = lits
+        .iter()
+        .map(|l| {
+            format!(
+                "{} {} {}",
+                expr(q, &l.lhs, 0, false),
+                l.op,
+                expr(q, &l.rhs, 0, false)
+            )
+        })
+        .collect();
+    printed.join(", ")
+}
+
+/// Binding strength: additive = 1, multiplicative = 2, atoms = 3.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Add(..) | Expr::Sub(..) => 1,
+        Expr::Mul(..) | Expr::Div(..) => 2,
+        Expr::Const(_) | Expr::Lit(_) | Expr::Attr(_) | Expr::Abs(_) => 3,
+    }
+}
+
+/// Print `e` as it appears under a parent of precedence `parent`;
+/// `is_right` is true for the right operand of a (left-associative)
+/// binary parent, which needs parentheses even at *equal* precedence
+/// (`a - (b - c)`).
+fn expr(q: &Pattern, e: &Expr, parent: u8, is_right: bool) -> String {
+    let mine = prec(e);
+    let body = match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Lit(Value::Int(i)) => i.to_string(),
+        Expr::Lit(Value::Bool(b)) => if *b { "true" } else { "false" }.to_string(),
+        Expr::Lit(Value::Str(s)) => quote(s),
+        Expr::Attr(r) => format!("{}.{}", quoted(q.name(r.var)), quoted(resolve(r.attr))),
+        Expr::Abs(inner) => format!("|{}|", expr(q, inner, 0, false)),
+        Expr::Add(a, b) => format!("{} + {}", expr(q, a, 1, false), expr(q, b, 1, true)),
+        Expr::Sub(a, b) => format!("{} - {}", expr(q, a, 1, false), expr(q, b, 1, true)),
+        Expr::Mul(a, b) => format!("{} * {}", expr(q, a, 2, false), expr(q, b, 2, true)),
+        Expr::Div(a, b) => format!("{} / {}", expr(q, a, 2, false), expr(q, b, 2, true)),
+    };
+    if mine < parent || (is_right && mine == parent) {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+/// Quote `name` unless it is identifier-shaped (letter or `_` first,
+/// then letters, digits or `_`).
+fn quoted(name: &str) -> String {
+    let mut chars = name.chars();
+    let ident_shaped = match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' => chars.all(|c| c.is_alphanumeric() || c == '_'),
+        _ => false,
+    };
+    if ident_shaped {
+        name.to_owned()
+    } else {
+        quote(name)
+    }
+}
+
+/// Render a quoted string literal with the escapes the lexer understands.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_rule, parse_rules};
+    use ngd_core::paper;
+
+    #[test]
+    fn printed_paper_rules_reparse_to_the_same_rules() {
+        for rule in paper::paper_rule_set().iter() {
+            let printed = print_rule(rule);
+            let reparsed = parse_rule(&printed).unwrap_or_else(|e| {
+                panic!("printed `{}` failed to reparse:\n{printed}\n{e}", rule.id)
+            });
+            assert_eq!(
+                &reparsed, rule,
+                "round-trip changed `{}`:\n{printed}",
+                rule.id
+            );
+        }
+    }
+
+    #[test]
+    fn printed_rule_sets_reparse_wholesale() {
+        let sigma = paper::paper_rule_set();
+        let reparsed = parse_rules(&print_rule_set(&sigma)).unwrap();
+        assert_eq!(reparsed.rules(), sigma.rules());
+    }
+
+    #[test]
+    fn denial_and_trivial_consequences_print_as_keywords() {
+        let denial = parse_rule("RULE d: MATCH (x:A) WHERE x.v > 0 => false").unwrap();
+        assert!(print_rule(&denial).ends_with("=> false\n"));
+        let trivial = parse_rule("RULE t: MATCH (x:A) => true").unwrap();
+        assert!(print_rule(&trivial).ends_with("=> true\n"));
+    }
+
+    #[test]
+    fn subtraction_keeps_its_grouping() {
+        let rule =
+            parse_rule("RULE r: MATCH (x:A) => x.a - (x.b - x.c) = x.a - x.b + x.c").unwrap();
+        let printed = print_rule(&rule);
+        assert!(printed.contains("x.a - (x.b - x.c)"), "{printed}");
+        assert!(printed.contains("x.a - x.b + x.c"), "{printed}");
+        assert_eq!(parse_rule(&printed).unwrap(), rule);
+    }
+
+    #[test]
+    fn awkward_names_print_quoted_and_round_trip() {
+        let rule = parse_rule(
+            "RULE \"2nd rule\": MATCH (\"my node\":\"weird label\")-[:\"has part\"]->(y:B) \
+             WHERE \"my node\".\"total pop\" >= 0 => y.note = \"say \\\"hi\\\"\\n\"",
+        )
+        .unwrap();
+        let printed = print_rule(&rule);
+        assert_eq!(parse_rule(&printed).unwrap(), rule, "{printed}");
+    }
+}

@@ -185,6 +185,31 @@ fn sorted_dedup(vars: &[Var]) -> Vec<Var> {
 
 /// Compile a plan for `pattern` over `graph`, with `seeds` assigned before
 /// the search starts.
+///
+/// Cost-estimate ties break toward the **lowest variable index** — i.e.
+/// toward declaration order, since `Pattern::add_node` numbers variables
+/// in insertion order.  This makes the order a rule author lists nodes in
+/// (e.g. the `MATCH` clause of an `.ngdl` rule, whose parser assigns
+/// indices by first mention) a deterministic seed hint: when the
+/// statistics can't separate two candidates, the author's first-written
+/// variable is matched first.
+///
+/// ```
+/// use ngd_core::{Pattern, Var};
+/// use ngd_match::compile_plan;
+///
+/// // Two structurally identical halves: x-e->y and z-e->w.  With no
+/// // statistics to separate them, the plan starts at x (declared first).
+/// let mut q = Pattern::new();
+/// let x = q.add_node("x", "A");
+/// let y = q.add_node("y", "B");
+/// let z = q.add_node("z", "A");
+/// let w = q.add_node("w", "B");
+/// q.add_edge(x, y, "e").add_edge(z, w, "e");
+///
+/// let plan = compile_plan(&q, &ngd_graph::Graph::new(), &[]);
+/// assert_eq!(plan.var_at(0), Var(0));
+/// ```
 pub fn compile_plan<G: GraphView>(pattern: &Pattern, graph: &G, seeds: &[Var]) -> MatchPlan {
     let stats = SelectivityStats::new(graph);
     let n = pattern.node_count();
@@ -570,6 +595,31 @@ mod tests {
         cache.ensure_epoch(1);
         assert!(cache.is_empty());
         assert_eq!(cache.epoch(), 1);
+    }
+
+    #[test]
+    fn estimate_ties_break_toward_declaration_order() {
+        // Two structurally identical components; every label statistic is
+        // identical, so only the declaration-order tie-break can decide.
+        // Swapping the declaration order must swap the chosen start — this
+        // is the contract that makes .ngdl MATCH-clause ordering a seed
+        // hint.
+        let build = |first_pair: [&str; 2], second_pair: [&str; 2]| {
+            let mut q = Pattern::new();
+            let a = q.add_node(first_pair[0], "A");
+            let b = q.add_node(first_pair[1], "B");
+            let c = q.add_node(second_pair[0], "A");
+            let d = q.add_node(second_pair[1], "B");
+            q.add_edge(a, b, "e").add_edge(c, d, "e");
+            q
+        };
+        let g = ngd_graph::Graph::new();
+        let forward = build(["x", "y"], ["z", "w"]);
+        let plan = compile_plan(&forward, &g, &[]);
+        assert_eq!(forward.name(plan.var_at(0)), "x");
+        let swapped = build(["z", "w"], ["x", "y"]);
+        let plan = compile_plan(&swapped, &g, &[]);
+        assert_eq!(swapped.name(plan.var_at(0)), "z");
     }
 
     #[test]

@@ -15,11 +15,17 @@
 //!   epoch                         session + server snapshot epochs
 //!   update <batch.json>           submit a ΔG batch, stream ΔVio back
 //!   query                         full detection over the session state
-//!   rules <file>                  install a session rule set (JSON or DSL)
-//!   explain <rules> [snap [id]]   offline: compile each rule against a
-//!                                 snapshot (or empty statistics) and print
-//!                                 its match plan — seed choice, variable
-//!                                 order, per-step cost estimates
+//!   rules <file>                  install a session rule set (.ngdl, JSON
+//!                                 or legacy DSL — the format is sniffed)
+//!   check <rules> [snap]          offline: parse + lower a rule file,
+//!                                 report each rule (pattern size, literal
+//!                                 counts, denial?) and its compiled match
+//!                                 plan; parse errors print a caret snippet
+//!                                 and exit nonzero
+//!   explain <rules> [snap] [id]   offline: compile each rule (or just `id`)
+//!                                 against a snapshot (or empty statistics)
+//!                                 and print its match plan — seed choice,
+//!                                 variable order, per-step cost estimates
 //!   stats                         server + session statistics
 //!   reset                         drop the session's accumulated ΔG
 //!   shutdown                      stop the daemon gracefully
@@ -44,7 +50,8 @@ fn usage() -> ! {
          commands: load <graph.json> <out.ngds> |\n\
          \x20         compact [<in.ngds> <out.ngds> [delta.json]] | epoch |\n\
          \x20         update <batch.json> | query |\n\
-         \x20         rules <file> | explain <rules> [<snapshot.ngds> [<rule-id>]] |\n\
+         \x20         rules <file> | check <rules> [<snapshot.ngds>] |\n\
+         \x20         explain <rules> [<snapshot.ngds>] [<rule-id>] |\n\
          \x20         stats | reset | shutdown"
     );
     std::process::exit(2);
@@ -59,13 +66,18 @@ fn connect(addr: &ServeAddr) -> Result<ServeClient, String> {
     ServeClient::connect_as(addr, "ngd-cli").map_err(|e| format!("connect {addr}: {e}"))
 }
 
-/// Parse a rule set from JSON (leading `[` / `{`) or the text DSL.
+/// Parse a rule set in any supported format (`.ngdl`, JSON or the legacy
+/// DSL); `ngd_lang::load_rules` sniffs which parser applies.  `.ngdl`
+/// errors keep their multi-line caret snippet.
 fn parse_rules(text: &str) -> Result<RuleSet, String> {
-    if matches!(text.trim_start().chars().next(), Some('[') | Some('{')) {
-        RuleSet::from_json(text).map_err(|e| e.to_string())
-    } else {
-        ngd_core::parse_rule_set(text).map_err(|e| e.to_string())
-    }
+    ngd_lang::load_rules(text).map_err(|e| e.to_string())
+}
+
+/// Does an `explain` positional argument name a snapshot (rather than a
+/// rule id)?  Snapshots end in `.ngds`; an existing file of any name also
+/// counts so unconventionally named snapshots keep working.
+fn looks_like_snapshot(arg: &str) -> bool {
+    arg.ends_with(".ngds") || std::path::Path::new(arg).exists()
 }
 
 /// Compile and print the match plan of every rule (or just `filter`)
@@ -88,6 +100,86 @@ fn explain_rules<G: GraphView>(
     match filter {
         Some(id) if !found => Err(format!("no rule `{id}` in the rule set")),
         _ => Ok(()),
+    }
+}
+
+/// Describe every rule (pattern size, literal counts, denial flag) and
+/// its compiled match plan against `graph`'s statistics.
+fn check_rules<G: GraphView>(sigma: &RuleSet, graph: &G) -> Result<(), String> {
+    for rule in sigma.rules() {
+        let kind = if ngd_lang::is_denial(rule) {
+            " [denial]"
+        } else {
+            ""
+        };
+        println!(
+            "{}: {} node(s), {} edge(s), {} premise / {} consequence literal(s){kind}",
+            rule.id,
+            rule.pattern.node_count(),
+            rule.pattern.edge_count(),
+            rule.premise.len(),
+            rule.consequence.len(),
+        );
+        let plan = compile_plan(&rule.pattern, graph, &[]);
+        print!("{}", plan.describe(&rule.pattern));
+    }
+    Ok(())
+}
+
+/// A plan-printing action runnable against any snapshot's `GraphView`
+/// (shared or sharded) — the closure shape `with_snapshot_stats` needs,
+/// as a trait because `GraphView` takes the view by generic parameter.
+trait PlanAction {
+    fn run<G: GraphView>(self, graph: &G) -> Result<(), String>;
+}
+
+struct ExplainAction<'a> {
+    sigma: &'a RuleSet,
+    filter: Option<&'a str>,
+}
+
+impl PlanAction for ExplainAction<'_> {
+    fn run<G: GraphView>(self, graph: &G) -> Result<(), String> {
+        explain_rules(self.sigma, graph, self.filter)
+    }
+}
+
+struct CheckAction<'a> {
+    sigma: &'a RuleSet,
+}
+
+impl PlanAction for CheckAction<'_> {
+    fn run<G: GraphView>(self, graph: &G) -> Result<(), String> {
+        check_rules(self.sigma, graph)
+    }
+}
+
+/// Load `snap_path` (shared or sharded), print a header with its
+/// statistics, and run `action` against its graph view.
+fn with_snapshot_stats<A: PlanAction>(snap_path: &str, action: A) -> Result<(), String> {
+    let path = std::path::Path::new(snap_path);
+    match MmapSnapshot::load(path) {
+        Ok(snapshot) => {
+            println!(
+                "plans over {snap_path} (epoch {}, {} nodes, {} edges):",
+                snapshot.epoch(),
+                GraphView::node_count(&snapshot),
+                GraphView::edge_count(&snapshot),
+            );
+            action.run(&snapshot)
+        }
+        Err(PersistError::WrongKind { .. }) => match MmapShardedSnapshot::load(path) {
+            Ok(sharded) => {
+                println!(
+                    "plans over {snap_path} (epoch {}, {} fragments):",
+                    sharded.epoch(),
+                    sharded.fragment_count(),
+                );
+                action.run(sharded.global())
+            }
+            Err(e) => Err(format!("load {snap_path}: {e}")),
+        },
+        Err(e) => Err(format!("load {snap_path}: {e}")),
     }
 }
 
@@ -303,20 +395,58 @@ fn main() -> ExitCode {
                 Ok(text) => text,
                 Err(e) => return fail(format!("read {rules_path}: {e}")),
             };
-            let sigma = match parse_rules(&text) {
-                Ok(sigma) => sigma,
-                Err(e) => return fail(format!("parse {rules_path}: {e}")),
-            };
+            // Validate locally for a good error message (with caret
+            // snippet for .ngdl), then ship the raw source — the server
+            // re-sniffs and compiles it, so any accepted format works
+            // over the wire unchanged.
+            if let Err(e) = parse_rules(&text) {
+                return fail(format!("parse {rules_path}: {e}"));
+            }
             let mut client = match connect(&addr) {
                 Ok(client) => client,
                 Err(e) => return fail(e),
             };
-            match client.set_rules(&sigma) {
+            match client.set_rules_source(&text) {
                 Ok(message) => {
                     println!("{message}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(format!("rules: {e}")),
+            }
+        }
+        // Offline: parse + lower a rule file, then describe every rule and
+        // its compiled match plan.  The linter's exit code is the check:
+        // parse or lowering errors print (with caret snippets for .ngdl)
+        // and exit nonzero.
+        "check" => {
+            let Some(rules_path) = rest.get(1) else {
+                usage()
+            };
+            let text = match std::fs::read_to_string(rules_path) {
+                Ok(text) => text,
+                Err(e) => return fail(format!("read {rules_path}: {e}")),
+            };
+            let sigma = match parse_rules(&text) {
+                Ok(sigma) => sigma,
+                Err(e) => return fail(format!("check {rules_path}:\n{e}")),
+            };
+            let checked = match rest.get(2) {
+                Some(snap_path) => with_snapshot_stats(snap_path, CheckAction { sigma: &sigma }),
+                None => {
+                    println!("plans over empty statistics (no snapshot given):");
+                    check_rules(&sigma, &ngd_graph::Graph::new())
+                }
+            };
+            match checked {
+                Ok(()) => {
+                    println!(
+                        "{rules_path}: {} rule(s) ok, dΣ = {}",
+                        sigma.len(),
+                        sigma.diameter()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("check: {e}")),
             }
         }
         // Offline: compile each rule's match plan and print it.  With a
@@ -336,36 +466,25 @@ fn main() -> ExitCode {
                 Ok(sigma) => sigma,
                 Err(e) => return fail(format!("parse {rules_path}: {e}")),
             };
-            let filter = rest.get(3).map(String::as_str);
-            let explained = match rest.get(2) {
-                Some(snap_path) => {
-                    let path = std::path::Path::new(snap_path);
-                    match MmapSnapshot::load(path) {
-                        Ok(snapshot) => {
-                            println!(
-                                "plans over {snap_path} (epoch {}, {} nodes, {} edges):",
-                                snapshot.epoch(),
-                                GraphView::node_count(&snapshot),
-                                GraphView::edge_count(&snapshot),
-                            );
-                            explain_rules(&sigma, &snapshot, filter)
-                        }
-                        Err(PersistError::WrongKind { .. }) => {
-                            match MmapShardedSnapshot::load(path) {
-                                Ok(sharded) => {
-                                    println!(
-                                        "plans over {snap_path} (epoch {}, {} fragments):",
-                                        sharded.epoch(),
-                                        sharded.fragment_count(),
-                                    );
-                                    explain_rules(&sigma, sharded.global(), filter)
-                                }
-                                Err(e) => return fail(format!("load {snap_path}: {e}")),
-                            }
-                        }
-                        Err(e) => return fail(format!("load {snap_path}: {e}")),
-                    }
-                }
+            // Disambiguate the positionals: `explain <rules> <id>` (no
+            // snapshot) and `explain <rules> <snap> [<id>]` are both
+            // accepted — a lone second argument is a snapshot only if it
+            // looks like one, so a mistyped rule id reports "no rule"
+            // instead of a confusing snapshot-open error.
+            let (snapshot, filter) = match (rest.get(2), rest.get(3)) {
+                (Some(snap), Some(id)) => (Some(snap.as_str()), Some(id.as_str())),
+                (Some(arg), None) if looks_like_snapshot(arg) => (Some(arg.as_str()), None),
+                (Some(arg), None) => (None, Some(arg.as_str())),
+                (None, _) => (None, None),
+            };
+            let explained = match snapshot {
+                Some(snap_path) => with_snapshot_stats(
+                    snap_path,
+                    ExplainAction {
+                        sigma: &sigma,
+                        filter,
+                    },
+                ),
                 None => {
                     println!("plans over empty statistics (no snapshot given):");
                     explain_rules(&sigma, &ngd_graph::Graph::new(), filter)

@@ -100,17 +100,12 @@ fn parse_args() -> Args {
     }
 }
 
-/// A rules file is JSON if it leads with a JSON delimiter, DSL otherwise.
+/// Load a rules file in any supported format (`.ngdl`, legacy DSL or
+/// JSON); `ngd_lang::load_rules` sniffs which parser applies.
 fn load_rules(path: &PathBuf) -> Result<RuleSet, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    let lead = text.trim_start().chars().next();
-    if matches!(lead, Some('[') | Some('{')) {
-        RuleSet::from_json(&text).map_err(|e| format!("parse {} as JSON: {e}", path.display()))
-    } else {
-        ngd_core::parse_rule_set(&text)
-            .map_err(|e| format!("parse {} as rule DSL: {e}", path.display()))
-    }
+    ngd_lang::load_rules(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
 fn main() -> ExitCode {

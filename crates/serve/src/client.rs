@@ -196,8 +196,15 @@ impl ServeClient {
 
     /// Install `sigma` as this session's rule set (compiled server-side).
     pub fn set_rules(&mut self, sigma: &RuleSet) -> Result<String, ProtocolError> {
+        self.set_rules_source(&sigma.to_json())
+    }
+
+    /// Install a rule set from raw rule-file text (`.ngdl`, the legacy
+    /// DSL, or JSON — the server sniffs the format), so a session can
+    /// swap rules straight from a file without parsing client-side.
+    pub fn set_rules_source(&mut self, source: &str) -> Result<String, ProtocolError> {
         let request = RulesRequest {
-            rules_json: sigma.to_json(),
+            source: source.to_owned(),
         };
         write_frame(&mut self.stream, frame::RULES, &request.encode())?;
         let payload = self.expect(frame::OK, "OK")?;

@@ -298,27 +298,32 @@ impl HelloResponse {
     }
 }
 
-/// `RULES`: a rule set in its JSON form, compiled server-side.
+/// `RULES`: rule-set source text, compiled server-side.
+///
+/// The payload is the verbatim text of a rule file in any format the
+/// sniffing loader (`ngd_lang::load_rules`) understands — `.ngdl`, the
+/// legacy DSL, or `RuleSet::to_json()` output — so a client can swap a
+/// served session's rules straight from a file on disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RulesRequest {
-    /// `RuleSet::to_json()` output.
-    pub rules_json: String,
+    /// Rule file contents (ngdl / legacy DSL / JSON; format is sniffed).
+    pub source: String,
 }
 
 impl RulesRequest {
     /// Encode to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
-        w.str(&self.rules_json);
+        w.str(&self.source);
         w.into_bytes()
     }
 
     /// Decode from a frame payload.
     pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
         let mut r = WireReader::new(bytes, "RulesRequest");
-        let rules_json = r.str()?;
+        let source = r.str()?;
         r.finish()?;
-        Ok(RulesRequest { rules_json })
+        Ok(RulesRequest { source })
     }
 }
 
@@ -802,7 +807,7 @@ mod tests {
         assert_eq!(ErrorResponse::decode(&err.encode()).unwrap(), err);
 
         let rules = RulesRequest {
-            rules_json: "[]".into(),
+            source: "[]".into(),
         };
         assert_eq!(RulesRequest::decode(&rules.encode()).unwrap(), rules);
         let ok = OkResponse {

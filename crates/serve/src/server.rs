@@ -872,7 +872,7 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                         continue;
                     }
                 };
-                match RuleSet::from_json(&request.rules_json) {
+                match ngd_lang::load_rules(&request.source) {
                     Ok(rules) => {
                         let message = format!(
                             "compiled {} rule(s), dΣ = {}",

@@ -1,0 +1,171 @@
+//! Smoke tests for `ngd-cli`'s offline error paths.
+//!
+//! Each failure mode must exit nonzero with a *typed*, human-readable
+//! message — never a panic, never a zero exit on bad input.  Exercised as
+//! a real subprocess via `CARGO_BIN_EXE_ngd-cli`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const GOOD_RULES: &str = r#"
+RULE no_fake_accts:
+  MATCH (x:Account)-[:follows]->(y:Account)
+  WHERE x.balance > 10 * y.balance
+  => false
+"#;
+
+// Line 3 ends in a dangling `>`: the caret must land there.
+const BAD_RULES: &str = "RULE broken:\n  MATCH (x:Account)\n  WHERE x.balance >\n  => false\n";
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ngd-cli"))
+        .args(args)
+        .output()
+        .expect("ngd-cli runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("ngd-cli-smoke-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp rule file writes");
+    path
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = cli(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr_of(&out).contains("usage:"),
+        "no usage in: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn an_unknown_command_prints_usage_and_exits_2() {
+    let out = cli(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn check_accepts_a_valid_ngdl_file() {
+    let path = write_temp("good.ngdl", GOOD_RULES);
+    let out = cli(&["check", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("1 rule(s) ok"),
+        "unexpected stdout: {stdout}"
+    );
+    assert!(
+        stdout.contains("no_fake_accts"),
+        "unexpected stdout: {stdout}"
+    );
+}
+
+#[test]
+fn check_reports_a_parse_error_with_a_caret_and_exits_nonzero() {
+    let path = write_temp("bad.ngdl", BAD_RULES);
+    let out = cli(&["check", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("parse error at line"),
+        "no positioned parse error in: {stderr}"
+    );
+    assert!(stderr.contains('^'), "no caret snippet in: {stderr}");
+}
+
+#[test]
+fn check_on_a_missing_file_is_a_typed_read_error() {
+    let out = cli(&["check", "/nonexistent/rules.ngdl"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("read /nonexistent/rules.ngdl"));
+}
+
+#[test]
+fn explain_with_a_bad_rule_id_is_a_typed_error_not_an_io_failure() {
+    // The regression this pins: `explain <rules> bogus` used to treat
+    // `bogus` as a snapshot path and die with a confusing open error.  A
+    // second positional that does not look like a snapshot is a rule-id
+    // filter, and an unknown id must say so, nonzero.
+    let path = write_temp("explain.ngdl", GOOD_RULES);
+    let out = cli(&["explain", path.to_str().unwrap(), "bogus"]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("no rule `bogus` in the rule set"),
+        "unexpected stderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("read bogus"),
+        "rule id misparsed as a snapshot path: {stderr}"
+    );
+}
+
+#[test]
+fn explain_with_a_known_rule_id_prints_only_that_plan() {
+    let path = write_temp("explain-ok.ngdl", GOOD_RULES);
+    let out = cli(&["explain", path.to_str().unwrap(), "no_fake_accts"]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(stdout_of(&out).contains("no_fake_accts"));
+}
+
+#[test]
+fn explain_with_a_missing_snapshot_file_fails_typed() {
+    let path = write_temp("explain-snap.ngdl", GOOD_RULES);
+    let out = cli(&["explain", path.to_str().unwrap(), "/nonexistent/snap.ngds"]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    // `.ngds` means "snapshot", so this must be a snapshot error, not a
+    // "no rule" complaint.
+    assert!(!stderr_of(&out).contains("no rule"));
+}
+
+#[test]
+fn rules_against_a_dead_daemon_fails_typed_after_local_validation() {
+    let path = write_temp("rules.ngdl", GOOD_RULES);
+    // Port 9 (discard) is a safe never-listening target.
+    let out = cli(&[
+        "--connect",
+        "tcp:127.0.0.1:9",
+        "rules",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("connect"), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn rules_with_a_parse_error_fails_locally_before_connecting() {
+    let path = write_temp("rules-bad.ngdl", BAD_RULES);
+    let out = cli(&[
+        "--connect",
+        "tcp:127.0.0.1:9",
+        "rules",
+        path.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    // Validated locally: the parse error surfaces, not a connection error.
+    assert!(
+        stderr.contains("parse error at line"),
+        "unexpected stderr: {stderr}"
+    );
+}

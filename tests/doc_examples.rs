@@ -1,0 +1,116 @@
+//! The documentation's `.ngdl` examples must keep parsing.
+//!
+//! Every fenced ` ```ngdl ` block in `README.md` and `docs/*.md` is
+//! extracted and run through `ngd_lang::parse_rules` — so a grammar change
+//! that invalidates a documented example fails CI with the file, the
+//! fence's line number and the parser's caret snippet.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root (this package lives in `<root>/tests`).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ has a parent")
+        .to_path_buf()
+}
+
+/// The markdown files whose examples are contractual.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let mut entries: Vec<_> = std::fs::read_dir(&docs)
+        .expect("docs/ exists")
+        .map(|e| e.expect("docs/ entry reads").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "docs/ contains no markdown");
+    files.extend(entries);
+    files
+}
+
+/// Every ` ```ngdl ` fenced block of `text`, with the 1-based line number
+/// of its opening fence.
+fn ngdl_blocks(text: &str) -> Vec<(usize, String)> {
+    let mut blocks = Vec::new();
+    let mut block: Option<(usize, String)> = None;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        match &mut block {
+            Some((_, body)) => {
+                if trimmed.starts_with("```") {
+                    blocks.push(block.take().expect("in a block"));
+                } else {
+                    body.push_str(line);
+                    body.push('\n');
+                }
+            }
+            None => {
+                if trimmed == "```ngdl" {
+                    block = Some((idx + 1, String::new()));
+                }
+            }
+        }
+    }
+    assert!(block.is_none(), "unterminated ```ngdl fence");
+    blocks
+}
+
+#[test]
+fn every_fenced_ngdl_block_parses() {
+    let mut total = 0usize;
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        for (fence_line, body) in ngdl_blocks(&text) {
+            total += 1;
+            if let Err(e) = ngd_lang::parse_rules(&body) {
+                panic!(
+                    "{}: the ```ngdl block at line {fence_line} no longer parses:\n{e}",
+                    file.display()
+                );
+            }
+        }
+    }
+    // The rule-language guide alone documents more than this; a count this
+    // low means the extractor broke, not that the docs shrank.
+    assert!(
+        total >= 8,
+        "only {total} ```ngdl blocks found across the docs"
+    );
+}
+
+#[test]
+fn the_rule_language_guide_round_trips_its_examples() {
+    // The printer's canonical form must agree with the documented syntax:
+    // print every documented rule and reparse it.
+    let guide = repo_root().join("docs/rule-language.md");
+    let text = std::fs::read_to_string(&guide).expect("guide reads");
+    for (fence_line, body) in ngdl_blocks(&text) {
+        let rules = ngd_lang::parse_rules(&body).expect("covered by the test above");
+        for rule in rules.rules() {
+            let printed = ngd_lang::print_rule(rule);
+            let back = ngd_lang::parse_rule(&printed).unwrap_or_else(|e| {
+                panic!(
+                    "docs/rule-language.md line {fence_line}: printed form of `{}` \
+                     does not reparse:\n{printed}\n{e}",
+                    rule.id
+                )
+            });
+            assert_eq!(&back, rule, "round trip changed rule `{}`", rule.id);
+        }
+    }
+}
+
+#[test]
+fn the_shipped_fixture_is_also_valid_ngdl_documentation() {
+    // tests/data/paper_rules.ngdl doubles as the fixture for
+    // lang_equivalence.rs; keep it parsing from here too so a docs-only CI
+    // run still guards it.
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("data/paper_rules.ngdl");
+    let text = std::fs::read_to_string(&fixture).expect("fixture reads");
+    let rules = ngd_lang::parse_rules(&text).expect("fixture parses");
+    assert_eq!(rules.len(), 7);
+}

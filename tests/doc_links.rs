@@ -1,0 +1,122 @@
+//! No broken relative links in the documentation.
+//!
+//! A tiny in-tree link checker (no network): every markdown link or image
+//! in `README.md` and `docs/*.md` whose target is a relative path must
+//! point at a file or directory that exists in the repo.  External
+//! schemes (`http:`, `https:`, `mailto:`) and pure in-page anchors are
+//! skipped — CI must pass offline.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ has a parent")
+        .to_path_buf()
+}
+
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let mut entries: Vec<_> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ exists")
+        .map(|e| e.expect("docs/ entry reads").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    files.extend(entries);
+    files
+}
+
+/// Strip fenced code blocks so example text (diagrams, shell output)
+/// cannot register as links.
+fn without_code_fences(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Every inline-link target `[...](target)` with the 1-based line number
+/// of its opening bracket.  Inline code spans are skipped so `[i](j)`
+/// inside backticks is not a link.
+fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let mut targets = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_code = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_code = !in_code,
+                b'[' if !in_code => {
+                    // Find the matching `](`, tolerating nested brackets in
+                    // the link text (e.g. image-in-link).
+                    let mut depth = 1usize;
+                    let mut j = i + 1;
+                    while j < bytes.len() && depth > 0 {
+                        match bytes[j] {
+                            b'[' => depth += 1,
+                            b']' => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if depth == 0 && j < bytes.len() && bytes[j] == b'(' {
+                        if let Some(close) = line[j + 1..].find(')') {
+                            targets.push((idx + 1, line[j + 1..j + 1 + close].to_string()));
+                            i = j + 1 + close;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://") || target.starts_with("https://") || target.starts_with("mailto:")
+}
+
+#[test]
+fn all_relative_links_resolve() {
+    let mut checked = 0usize;
+    let mut broken = Vec::new();
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().expect("doc file has a directory");
+        for (line, raw) in link_targets(&without_code_fences(&text)) {
+            // Drop a trailing in-page fragment; a bare `#anchor` link needs
+            // no file check at all.
+            let path_part = raw.split('#').next().unwrap_or("");
+            if path_part.is_empty() || is_external(&raw) {
+                continue;
+            }
+            checked += 1;
+            if !dir.join(path_part).exists() {
+                broken.push(format!("{}:{line}: broken link `{raw}`", file.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+    // README links into docs/ and the docs cross-link each other; zero
+    // checked links means the extractor broke.
+    assert!(checked >= 6, "only {checked} relative links found");
+}

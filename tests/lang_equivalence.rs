@@ -1,0 +1,150 @@
+//! `.ngdl` ⇄ programmatic rule equivalence.
+//!
+//! The acceptance bar of the `ngd-lang` front-end: parsing the shipped
+//! `tests/data/paper_rules.ngdl` fixture must produce *exactly* the rules
+//! of `ngd_core::paper::paper_rule_set()` — structural equality of every
+//! `Ngd`, and byte-identical `ViolationSet`/ΔVio (structures and their
+//! serialized JSON) when the parsed rules drive detection over the
+//! figure-1 scenarios across all three paths: batch (`dect`),
+//! incremental (`pinc_dect`), and served (a daemon whose session swaps in
+//! the rule *source text* over the `RULES` wire frame).
+
+use ngd_core::{paper, RuleSet};
+use ngd_detect::{dect, pinc_dect, DetectorConfig};
+use ngd_graph::persist::SnapshotWriter;
+use ngd_graph::{BatchUpdate, Graph};
+use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const FIXTURE: &str = include_str!("data/paper_rules.ngdl");
+
+static FILE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn parsed_rules() -> RuleSet {
+    ngd_lang::parse_rules(FIXTURE).expect("the shipped fixture parses")
+}
+
+fn figure1_scenarios() -> Vec<(&'static str, Graph)> {
+    let (g1, _) = paper::figure1_g1();
+    let (g2, _) = paper::figure1_g2();
+    let (g3, _) = paper::figure1_g3();
+    let (g4, _) = paper::figure1_g4();
+    vec![
+        ("figure1_g1", g1),
+        ("figure1_g2", g2),
+        ("figure1_g3", g3),
+        ("figure1_g4", g4),
+    ]
+}
+
+/// One deletion per edge of `graph` — each a small incremental scenario.
+fn edge_deletions(graph: &Graph) -> Vec<BatchUpdate> {
+    graph
+        .edge_vec()
+        .into_iter()
+        .map(|edge| {
+            let mut delta = BatchUpdate::new();
+            delta.delete_edge(edge.src, edge.dst, edge.label);
+            delta
+        })
+        .collect()
+}
+
+#[test]
+fn fixture_lowers_to_exactly_the_programmatic_rule_set() {
+    let parsed = parsed_rules();
+    let programmatic = paper::paper_rule_set();
+    assert_eq!(parsed.len(), programmatic.len());
+    for (p, r) in parsed.rules().iter().zip(programmatic.rules()) {
+        assert_eq!(p, r, "rule `{}` lowered differently", r.id);
+    }
+    // Identical rules serialize identically too.
+    assert_eq!(parsed.to_json(), programmatic.to_json());
+}
+
+#[test]
+fn batch_detection_is_byte_identical_under_parsed_rules() {
+    let parsed = parsed_rules();
+    let programmatic = paper::paper_rule_set();
+    for (name, graph) in figure1_scenarios() {
+        let from_parsed = dect(&parsed, &graph).violations;
+        let reference = dect(&programmatic, &graph).violations;
+        assert_eq!(from_parsed, reference, "{name}: violation sets differ");
+        assert_eq!(
+            ngd_json::to_string(&from_parsed),
+            ngd_json::to_string(&reference),
+            "{name}: serialized violation sets differ"
+        );
+    }
+}
+
+#[test]
+fn incremental_detection_is_byte_identical_under_parsed_rules() {
+    let parsed = parsed_rules();
+    let programmatic = paper::paper_rule_set();
+    let config = DetectorConfig::with_processors(3);
+    for (name, graph) in figure1_scenarios() {
+        for (idx, delta) in edge_deletions(&graph).iter().enumerate() {
+            let from_parsed = pinc_dect(&parsed, &graph, delta, &config);
+            let reference = pinc_dect(&programmatic, &graph, delta, &config);
+            assert_eq!(
+                from_parsed.delta, reference.delta,
+                "{name} update#{idx}: deltas differ"
+            );
+            assert_eq!(
+                ngd_json::to_string(&from_parsed.delta),
+                ngd_json::to_string(&reference.delta),
+                "{name} update#{idx}: serialized deltas differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn served_sessions_swap_rules_from_ngdl_source_byte_identically() {
+    let programmatic = paper::paper_rule_set();
+    let config = DetectorConfig::with_processors(3);
+    for (name, graph) in figure1_scenarios() {
+        let path = std::env::temp_dir().join(format!(
+            "ngd-lang-equiv-{}-{}.ngds",
+            std::process::id(),
+            FILE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        SnapshotWriter::new()
+            .write(&graph.freeze(), &path)
+            .expect("snapshot writes");
+        // The daemon starts with an EMPTY rule set; the session installs
+        // the fixture's raw `.ngdl` text over the RULES frame.
+        let server = Server::start(
+            SnapshotStore::open(&path).expect("snapshot maps"),
+            RuleSet::new(),
+            &ServeAddr::Tcp("127.0.0.1:0".into()),
+            DetectorConfig::with_processors(3),
+        )
+        .expect("daemon starts");
+
+        let mut client = ServeClient::connect(server.local_addr()).expect("client connects");
+        let message = client
+            .set_rules_source(FIXTURE)
+            .expect("ngdl source installs over the wire");
+        assert!(message.contains("7 rule(s)"), "unexpected ack: {message}");
+        for (idx, delta) in edge_deletions(&graph).iter().enumerate() {
+            let reference = pinc_dect(&programmatic, &graph, delta, &config);
+            let served = client.submit_update(delta).expect("update serves");
+            assert_eq!(
+                reference.delta, served.delta,
+                "{name} update#{idx}: served deltas differ"
+            );
+            assert_eq!(
+                ngd_json::to_string(&reference.delta),
+                ngd_json::to_string(&served.delta),
+                "{name} update#{idx}: serialized served deltas differ"
+            );
+            client.reset().expect("session resets");
+        }
+        client.shutdown_server().expect("daemon shuts down");
+        drop(client);
+        server.wait();
+        std::fs::remove_file(&path).ok();
+    }
+}
