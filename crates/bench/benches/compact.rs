@@ -14,10 +14,13 @@
 //!   over bulk data.
 //!
 //! Both paths must produce **byte-identical** output (asserted before any
-//! timing), so the speedup is pure mechanism.  Running it rewrites
-//! `BENCH_compact.json`; CI's `bench-smoke` job runs it per PR and the
-//! run asserts the acceptance bar: compaction at least **3× faster** than
-//! re-freeze→write on the shared snapshot.
+//! timing, shared and sharded), so the speedup is pure mechanism.
+//! Running it rewrites `BENCH_compact.json`; CI's `bench-smoke` job runs
+//! it per PR and the run asserts the acceptance bars: compaction at least
+//! **3× faster** than re-freeze→write on the shared snapshot and at least
+//! **2× faster** on the sharded one (the per-fragment streaming merge —
+//! fragments untouched by the delta are byte-copied, touched ones
+//! rebuilt by slice gathers from the merged global).
 
 use ngd_bench::harness::{black_box, Harness};
 use ngd_datagen::{generate_knowledge, generate_update, KnowledgeConfig, UpdateConfig};
@@ -63,6 +66,33 @@ fn main() {
         .encode(&delta.applied_to(&graph).expect("delta applies").freeze());
     assert_eq!(merged, refrozen, "compaction must equal re-freeze→write");
 
+    // Sharded sanity: byte-identical to freezing `G ⊕ ΔG` and sharding it
+    // along the partition the compacted file stores (compaction extends
+    // the old partition rather than repartitioning, so the reference must
+    // shard along the same one).
+    let (sharded_merged, stats) = compactor
+        .encode_sharded_with_stats(&mapped_sharded, &delta, 1)
+        .expect("sharded compaction encodes");
+    {
+        let probe = dir.join(format!(
+            "ngd-bench-compact-{}-probe.ngds",
+            std::process::id()
+        ));
+        std::fs::write(&probe, &sharded_merged).expect("write probe");
+        let compacted = MmapShardedSnapshot::load(&probe).expect("compacted loads");
+        let updated = delta.applied_to(&graph).expect("delta applies");
+        let reference = SnapshotWriter::with_epoch(1).encode_sharded(
+            &updated
+                .freeze()
+                .into_sharded(compacted.partition().clone(), compacted.halo_depth()),
+        );
+        assert_eq!(
+            sharded_merged, reference,
+            "sharded compaction must equal re-freeze→shard→write"
+        );
+        std::fs::remove_file(&probe).ok();
+    }
+
     let mut h = Harness::new();
     println!(
         "# compact: |V| = {}, |E| = {}, |ΔG| = {} ({} new nodes), file = {} B",
@@ -100,11 +130,22 @@ fn main() {
                 .unwrap(),
         );
     });
+    let compact_sharded_empty = h.bench("compact/sharded_identity_rewrite", || {
+        black_box(
+            compactor
+                .encode_sharded(&mapped_sharded, &Default::default(), 1)
+                .unwrap(),
+        );
+    });
 
     let speedup = refreeze.ns_per_iter / compact.ns_per_iter;
     let sharded_speedup = refreeze_sharded.ns_per_iter / compact_sharded.ns_per_iter;
     println!("compaction vs re-freeze→write speedup (shared): {speedup:.2}x");
     println!("compaction vs re-freeze→write speedup (sharded): {sharded_speedup:.2}x");
+    println!(
+        "sharded fragments rewritten/copied: {}/{}",
+        stats.fragments_rewritten, stats.fragments_copied
+    );
 
     let json = h.to_json(&[
         ("bench".to_string(), "compact".to_string()),
@@ -125,6 +166,18 @@ fn main() {
             "identity_rewrite_ns".to_string(),
             format!("{:.0}", compact_empty.ns_per_iter),
         ),
+        (
+            "sharded_identity_rewrite_ns".to_string(),
+            format!("{:.0}", compact_sharded_empty.ns_per_iter),
+        ),
+        (
+            "fragments_rewritten".to_string(),
+            stats.fragments_rewritten.to_string(),
+        ),
+        (
+            "fragments_copied".to_string(),
+            stats.fragments_copied.to_string(),
+        ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compact.json");
     if let Err(e) = std::fs::write(path, &json) {
@@ -136,11 +189,15 @@ fn main() {
     std::fs::remove_file(&snap_path).ok();
     std::fs::remove_file(&sharded_path).ok();
 
-    // The acceptance bar: folding ~1k updates into the 11k snapshot must
+    // The acceptance bars: folding ~1k updates into the 11k snapshot must
     // beat the full re-freeze→write path by a wide margin, or the merge
-    // has silently degenerated into a re-freeze.
+    // has silently degenerated into a re-freeze — on both file kinds.
     assert!(
         speedup >= 3.0,
         "compaction must be at least 3x faster than re-freeze→write (got {speedup:.2}x)"
+    );
+    assert!(
+        sharded_speedup >= 2.0,
+        "sharded compaction must be at least 2x faster than sharded re-freeze (got {sharded_speedup:.2}x)"
     );
 }

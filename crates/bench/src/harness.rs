@@ -49,6 +49,12 @@ pub struct Harness {
     pub sample_target: Duration,
     /// Samples per benchmark (median is reported).
     pub sample_count: usize,
+    /// Minimum iterations per sample for sub-second benches.  A ~30 ms
+    /// body under the default 120 ms target calibrates to only 3-4 iters,
+    /// which is noise-gated territory for a CI threshold; the floor keeps
+    /// such medians stable.  Bodies at 1 s or longer are exempt so
+    /// whole-run benches don't balloon to minutes.
+    pub min_iters: u64,
     results: Vec<Measurement>,
 }
 
@@ -57,6 +63,7 @@ impl Default for Harness {
         Harness {
             sample_target: Duration::from_millis(120),
             sample_count: 5,
+            min_iters: 10,
             results: Vec::new(),
         }
     }
@@ -78,7 +85,13 @@ impl Harness {
             f();
             start.elapsed().max(Duration::from_nanos(50))
         };
-        let iters = (self.sample_target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let floor = if once < Duration::from_secs(1) {
+            self.min_iters.max(1) as u128
+        } else {
+            1
+        };
+        let iters =
+            (self.sample_target.as_nanos() / once.as_nanos()).clamp(floor, 1_000_000) as u64;
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_count);
         for _ in 0..self.sample_count {
             let start = Instant::now();
@@ -154,6 +167,7 @@ mod tests {
         let mut h = Harness {
             sample_target: Duration::from_micros(200),
             sample_count: 3,
+            min_iters: 10,
             results: Vec::new(),
         };
         let mut acc = 0u64;

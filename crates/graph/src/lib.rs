@@ -91,7 +91,7 @@ pub use partition::{
 };
 pub use persist::{
     CompactError, CompactReport, CompactionWriter, MmapFragmentView, MmapShardedSnapshot,
-    MmapSnapshot, PersistError, SnapshotWriter,
+    MmapSnapshot, PersistError, ShardedCompactStats, SnapshotWriter,
 };
 pub use shard::{FragmentSnapshot, FragmentView, RemoteAccounting, ShardedRead, ShardedSnapshot};
 pub use stats::GraphStats;

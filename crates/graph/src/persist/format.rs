@@ -135,6 +135,25 @@ pub mod kind {
     pub const FRAG_IN_LABELS: u32 = 26;
     /// u32: fragment in-CSR neighbour node ids (global).
     pub const FRAG_IN_NEIGHBORS: u32 = 27;
+
+    /// One fragment's **section group**: every per-fragment kind, in the
+    /// exact order the writer pushes them.  The compaction writer walks
+    /// this list to byte-copy an untouched fragment's group out of the
+    /// mapped old file, and to emit a rebuilt fragment's sections in the
+    /// writer's canonical layout.
+    pub const FRAGMENT_GROUP: [u32; 11] = [
+        FRAG_META,
+        FRAG_LOCAL_TO_GLOBAL,
+        FRAG_GLOBAL_TO_LOCAL,
+        FRAG_NODE_LABELS,
+        FRAG_NODE_ATTRS,
+        FRAG_OUT_OFFSETS,
+        FRAG_OUT_LABELS,
+        FRAG_OUT_NEIGHBORS,
+        FRAG_IN_OFFSETS,
+        FRAG_IN_LABELS,
+        FRAG_IN_NEIGHBORS,
+    ];
 }
 
 /// Round `value` up to the next multiple of [`SECTION_ALIGN`].
@@ -385,6 +404,11 @@ impl BlobWriter {
 
     pub(crate) fn put_bytes(&mut self, bytes: &[u8]) {
         self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far — record boundaries for framed sub-blobs.
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
     }
 
     pub(crate) fn into_bytes(self) -> Vec<u8> {

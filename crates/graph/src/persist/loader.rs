@@ -153,9 +153,14 @@ impl SymBridge {
 }
 
 /// A parsed, checksum-verified file: mapping + header + section directory.
+///
+/// `table` keeps the entries in **file (push) order** — the directory the
+/// compaction writer replays when it byte-copies sections into the next
+/// epoch; `sections` is the same set keyed for random access.
 struct FileData {
     map: Arc<MmapFile>,
     header: FileHeader,
+    table: Vec<SectionEntry>,
     sections: HashMap<(u32, u32), SectionEntry>,
 }
 
@@ -194,9 +199,10 @@ impl FileData {
                 computed,
             });
         }
+        let table = read_section_table(bytes, &header)?;
         let mut sections = HashMap::new();
-        for entry in read_section_table(bytes, &header)? {
-            if sections.insert((entry.kind, entry.owner), entry).is_some() {
+        for entry in &table {
+            if sections.insert((entry.kind, entry.owner), *entry).is_some() {
                 return Err(PersistError::Corrupt(format!(
                     "duplicate section kind {} for owner {}",
                     entry.kind, entry.owner
@@ -206,6 +212,7 @@ impl FileData {
         Ok(FileData {
             map: Arc::new(map),
             header,
+            table,
             sections,
         })
     }
@@ -630,6 +637,10 @@ fn decode_triple_ranges(
 pub struct MmapSnapshot {
     map: Arc<MmapFile>,
     syms: Arc<SymBridge>,
+    /// The file's section directory in push order, retained so the
+    /// compaction writer can byte-copy whole sections (and, for sharded
+    /// files, whole per-fragment groups) without re-encoding them.
+    section_table: Vec<SectionEntry>,
     node_count: usize,
     edge_count: usize,
     epoch: u64,
@@ -804,6 +815,28 @@ impl MmapSnapshot {
         let blob = &self.map.bytes()[self.attrs.off..self.attrs.off + self.attrs.len];
         &blob[self.attrs.starts[idx] as usize..self.attrs.starts[idx + 1] as usize]
     }
+
+    /// The file's section directory in push order.  Lets the compaction
+    /// writer replay unchanged sections byte-for-byte instead of
+    /// re-encoding them.
+    pub(crate) fn raw_section_table(&self) -> &[SectionEntry] {
+        &self.section_table
+    }
+
+    /// The mapped payload bytes of a directory entry.
+    pub(crate) fn raw_section_bytes(&self, entry: &SectionEntry) -> &[u8] {
+        &self.map.bytes()[entry.offset as usize..][..entry.byte_len as usize]
+    }
+
+    /// Look up a section by `(kind, owner)` and return its payload bytes
+    /// plus the declared element count.  Linear scan: the table is tiny
+    /// (a handful of global sections + 11 per fragment).
+    pub(crate) fn raw_section(&self, kind: u32, owner: u32) -> Option<(&[u8], u64)> {
+        self.section_table
+            .iter()
+            .find(|e| e.kind == kind && e.owner == owner)
+            .map(|e| (self.raw_section_bytes(e), e.elem_count))
+    }
 }
 
 /// Decode and validate the global (owner 0) sections of a verified file.
@@ -912,6 +945,7 @@ fn decode_global(file: &FileData) -> Result<MmapSnapshot, PersistError> {
     Ok(MmapSnapshot {
         map: Arc::clone(&file.map),
         syms: Arc::new(syms),
+        section_table: file.table.clone(),
         node_count: n,
         edge_count,
         epoch: file.header.epoch,
@@ -1230,6 +1264,14 @@ impl MmapShardedSnapshot {
             fragment: &self.fragments[idx],
             remote_fetches: AtomicU64::new(0),
         }
+    }
+
+    /// Fragment `idx`'s mapped global→local translation array
+    /// (`u32::MAX` = not materialised here).  The compaction writer uses
+    /// it to test in O(1) whether a dirty global node is replicated in a
+    /// fragment without decoding the fragment.
+    pub(crate) fn raw_fragment_g2l(&self, idx: usize) -> &[u32] {
+        u32s(&self.global.map, self.fragments[idx].global_to_local)
     }
 }
 

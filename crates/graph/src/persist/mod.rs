@@ -88,7 +88,7 @@ mod loader;
 mod mmap;
 mod writer;
 
-pub use compact::{CompactError, CompactReport, CompactionWriter};
+pub use compact::{CompactError, CompactReport, CompactionWriter, ShardedCompactStats};
 pub use format::{file_checksum, FileHeader, SectionEntry};
 pub use loader::{MmapFragmentView, MmapShardedSnapshot, MmapSnapshot};
 pub use mmap::MmapFile;

@@ -209,13 +209,17 @@ impl ShardedSnapshot {
 /// Build the per-fragment snapshots of `partition` over any [`GraphView`]
 /// of the global graph.
 ///
-/// [`Graph::freeze_sharded`] hands it the frozen [`CsrSnapshot`]; snapshot
-/// compaction ([`crate::persist::CompactionWriter`]) hands it a
-/// [`crate::DeltaOverlay`] over the *mapped* old snapshot, so fragments of
-/// the compacted epoch are rebuilt without materialising `G ⊕ ΔG` as a
-/// mutable graph.  Per-list entry order does not matter ([`CsrSide::build`]
-/// sorts every run), so both views produce identical fragments for the
-/// same logical graph.
+/// [`Graph::freeze_sharded`] hands it the frozen [`CsrSnapshot`].
+/// Snapshot compaction ([`crate::persist::CompactionWriter`]) no longer
+/// goes through here: it classifies the net delta per fragment, byte-copies
+/// untouched section groups from the old file, and rebuilds touched
+/// fragments by slice gathers from the merged global arrays — relying on
+/// the invariant this builder establishes, that a fragment row's encoded
+/// content (complete runs, global neighbour ids, `(label, neighbour)`
+/// order, self-loop parity of one entry per side) equals the global
+/// file-space content of the same node.  Per-list entry order does not
+/// matter ([`CsrSide::build`] sorts every run), so any view produces
+/// identical fragments for the same logical graph.
 pub(crate) fn build_fragments_from_view<G: GraphView + ?Sized>(
     global: &G,
     partition: &Partition,

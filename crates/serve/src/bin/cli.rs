@@ -269,7 +269,14 @@ fn main() -> ExitCode {
                             report.node_count,
                             report.edge_count,
                             report.bytes,
-                            if report.sharded { " (sharded)" } else { "" },
+                            if report.sharded {
+                                format!(
+                                    " (sharded: {} fragment(s) rewritten, {} byte-copied)",
+                                    report.fragments_rewritten, report.fragments_copied
+                                )
+                            } else {
+                                String::new()
+                            },
                         );
                         ExitCode::SUCCESS
                     }

@@ -29,6 +29,23 @@
 //! Graceful shutdown: a `SHUTDOWN` frame stops the accept loop; live
 //! sessions drain as their connections close, and [`Server::wait`] /
 //! [`Server::shutdown`] join every session thread before returning.
+//!
+//! ## Epoch-file garbage collection
+//!
+//! Compacted epochs are scratch files (`<stem>.e<epoch>-<seq>.ngds` next
+//! to the snapshot) that a graceful [`Drop`] unlinks — but a killed daemon
+//! leaks them forever.  Every server therefore registers its listen
+//! address in a sibling `<file_name>.daemons` file, and startup runs the
+//! epoch-file GC **before** binding: each registered address is
+//! pinged with the same decisive-connect rule the stale-unix-socket check
+//! uses (only a refused connection proves death; any murkier failure is
+//! treated as "alive").  Once no registered daemon answers, every epoch
+//! file next to the snapshot is an orphan and is unlinked along with the
+//! registry.  While any answers, all epoch files are kept — the registry
+//! does not attribute files to daemons, so GC is all-or-nothing per
+//! snapshot.  Binding first would be wrong: a daemon restarted on the same
+//! unix address would answer its crashed predecessor's ping itself and
+//! never collect.
 
 use crate::error::ProtocolError;
 use crate::protocol::{
@@ -209,7 +226,7 @@ struct Shared {
     /// and mapped — exactly as long as a session still holds them.
     current: Mutex<Arc<SnapshotStore>>,
     /// The path the daemon was started on; compacted epochs are written
-    /// next to it as `<stem>.e<epoch>.ngds`.
+    /// next to it as `<stem>.e<epoch>-<seq>.ngds`.
     snapshot_path: PathBuf,
     /// Epoch files this server created (unlinked on drop).
     owned_files: Mutex<Vec<PathBuf>>,
@@ -245,6 +262,10 @@ pub struct Server {
     local: ServeAddr,
     /// Unix socket path to unlink once the server is done.
     cleanup: Option<PathBuf>,
+    /// The daemon registry this server appended its address to.
+    registry: PathBuf,
+    /// The exact line to strip from the registry on graceful shutdown.
+    registry_line: String,
 }
 
 impl Server {
@@ -271,6 +292,10 @@ impl Server {
         options: ServeOptions,
     ) -> Result<Server, ProtocolError> {
         let snapshot_path = store.path().to_path_buf();
+        // GC **before** the bind: a daemon restarted on the same unix
+        // address would otherwise answer its crashed predecessor's
+        // liveness ping itself and judge the leaked epoch files owned.
+        gc_stale_epoch_files(&snapshot_path);
         let shared = Arc::new(Shared {
             current: Mutex::new(Arc::new(store)),
             snapshot_path,
@@ -288,6 +313,18 @@ impl Server {
             file_seq: AtomicU64::new(0),
         });
         let (listener, local, cleanup) = AnyListener::bind(addr)?;
+        // Register the *resolved* address (ephemeral TCP ports included)
+        // so a later startup's GC can ping this daemon.  Best-effort: a
+        // read-only directory costs the GC safety net, not the server.
+        let registry = daemon_registry_path(&shared.snapshot_path);
+        let registry_line = local.to_string();
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&registry)
+        {
+            let _ = writeln!(file, "{registry_line}");
+        }
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
             .name("ngd-serve-accept".into())
@@ -298,6 +335,8 @@ impl Server {
             accept: Some(accept),
             local,
             cleanup,
+            registry,
+            registry_line,
         })
     }
 
@@ -355,6 +394,143 @@ impl Drop for Server {
         {
             let _ = std::fs::remove_file(path);
         }
+        // Deregister: strip exactly one copy of our line so the registry
+        // only ever names daemons that died *un*gracefully.
+        if let Ok(text) = std::fs::read_to_string(&self.registry) {
+            let mut stripped = false;
+            let remaining: Vec<&str> = text
+                .lines()
+                .filter(|line| {
+                    if !stripped && *line == self.registry_line {
+                        stripped = true;
+                        false
+                    } else {
+                        !line.trim().is_empty()
+                    }
+                })
+                .collect();
+            if remaining.is_empty() {
+                let _ = std::fs::remove_file(&self.registry);
+            } else {
+                let _ = std::fs::write(&self.registry, remaining.join("\n") + "\n");
+            }
+        }
+    }
+}
+
+/// The daemon registry kept next to `snapshot_path`: one listen address
+/// per line (`unix:…` / `tcp:…`), appended on startup, stripped on
+/// graceful shutdown.
+fn daemon_registry_path(snapshot_path: &Path) -> PathBuf {
+    let name = snapshot_path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("snapshot");
+    snapshot_path.with_file_name(format!("{name}.daemons"))
+}
+
+/// Is `name` a compacted-epoch sibling of a snapshot with this `stem` —
+/// i.e. `<stem>.e<digits>-<digits>.ngds` as written by `compact_session`?
+fn is_epoch_file_name(name: &str, stem: &str) -> bool {
+    let Some(rest) = name.strip_prefix(stem) else {
+        return false;
+    };
+    let Some(rest) = rest.strip_prefix(".e") else {
+        return false;
+    };
+    let Some(body) = rest.strip_suffix(".ngds") else {
+        return false;
+    };
+    let Some((epoch, seq)) = body.split_once('-') else {
+        return false;
+    };
+    !epoch.is_empty()
+        && !seq.is_empty()
+        && epoch.bytes().all(|b| b.is_ascii_digit())
+        && seq.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Does anything answer a connect on `addr`?  Same decisive-connect rule
+/// as the stale-unix-socket check in [`AnyListener::bind`]: only a refused
+/// connection (or a missing socket file) proves nothing listens; any
+/// murkier failure could be a live-but-busy daemon, so it counts as alive.
+fn daemon_answers(addr: &ServeAddr) -> bool {
+    match addr {
+        ServeAddr::Unix(path) => {
+            #[cfg(unix)]
+            {
+                use std::io::ErrorKind;
+                match std::os::unix::net::UnixStream::connect(path) {
+                    Ok(_) => true,
+                    Err(e) => {
+                        !matches!(e.kind(), ErrorKind::ConnectionRefused | ErrorKind::NotFound)
+                    }
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                // A unix line on a non-unix host cannot be pinged; keeping
+                // the files beats deleting a reachable daemon's state.
+                let _ = path;
+                true
+            }
+        }
+        ServeAddr::Tcp(spec) => match TcpStream::connect(spec) {
+            Ok(_) => true,
+            Err(e) => e.kind() != std::io::ErrorKind::ConnectionRefused,
+        },
+    }
+}
+
+/// Unlink epoch files leaked next to `snapshot_path` by crashed daemons.
+///
+/// Reads the sibling registry, pings every recorded address, and prunes
+/// the lines that no longer answer.  Only when **no** registered daemon
+/// answers are the `<stem>.e<epoch>-<seq>.ngds` siblings unlinked (and the
+/// registry removed with them): the registry does not say which daemon
+/// wrote which file, so while any answers every epoch file is presumed
+/// owned.  Unparseable lines are kept and treated as alive — deleting
+/// mapped files on a guess would SIGBUS a reader.  Best-effort and racy by
+/// design (two daemons starting at once may both rewrite the registry);
+/// the appends on startup re-establish every live daemon's line.
+fn gc_stale_epoch_files(snapshot_path: &Path) {
+    let registry = daemon_registry_path(snapshot_path);
+    let Ok(text) = std::fs::read_to_string(&registry) else {
+        return;
+    };
+    let recorded: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .collect();
+    let live: Vec<&str> = recorded
+        .iter()
+        .copied()
+        .filter(|line| match ServeAddr::parse(line) {
+            Ok(addr) => daemon_answers(&addr),
+            Err(_) => true,
+        })
+        .collect();
+    if live.is_empty() {
+        let stem = snapshot_path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("snapshot");
+        let dir = match snapshot_path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        };
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if name.to_str().is_some_and(|n| is_epoch_file_name(n, stem)) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&registry);
+    } else if live.len() < recorded.len() {
+        let _ = std::fs::write(&registry, live.join("\n") + "\n");
     }
 }
 
@@ -1022,5 +1198,36 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_file_name_matcher_is_exact() {
+        assert!(is_epoch_file_name("snap.e1-0.ngds", "snap"));
+        assert!(is_epoch_file_name("snap.e12-345.ngds", "snap"));
+        // Wrong stem, missing sequence, non-digits, wrong extension.
+        assert!(!is_epoch_file_name("other.e1-0.ngds", "snap"));
+        assert!(!is_epoch_file_name("snap.e1.ngds", "snap"));
+        assert!(!is_epoch_file_name("snap.e1-.ngds", "snap"));
+        assert!(!is_epoch_file_name("snap.e-0.ngds", "snap"));
+        assert!(!is_epoch_file_name("snap.ea-b.ngds", "snap"));
+        assert!(!is_epoch_file_name("snap.e1-0.ngds.bak", "snap"));
+        assert!(!is_epoch_file_name("snap.ngds", "snap"));
+    }
+
+    #[test]
+    fn registry_sits_next_to_the_snapshot() {
+        assert_eq!(
+            daemon_registry_path(Path::new("/var/ngd/snap.ngds")),
+            PathBuf::from("/var/ngd/snap.ngds.daemons")
+        );
+        assert_eq!(
+            daemon_registry_path(Path::new("snap.ngds")),
+            PathBuf::from("snap.ngds.daemons")
+        );
     }
 }

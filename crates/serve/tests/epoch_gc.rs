@@ -1,0 +1,137 @@
+//! Startup GC of leaked epoch files: a killed daemon cannot unlink the
+//! `<stem>.e<epoch>-<seq>.ngds` files it wrote, so the next daemon to
+//! start on the same snapshot collects them — but only after pinging
+//! every address in the sibling `<file_name>.daemons` registry and
+//! finding *none* alive.
+
+#![cfg(unix)]
+
+use ngd_core::{paper, RuleSet};
+use ngd_detect::DetectorConfig;
+use ngd_graph::persist::SnapshotWriter;
+use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+use std::path::{Path, PathBuf};
+
+/// A dedicated directory per test: the GC scans every sibling of the
+/// snapshot, so tests must not share a directory.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ngd-epoch-gc-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("test dir");
+    dir
+}
+
+fn write_snapshot(dir: &Path) -> PathBuf {
+    let (graph, _) = paper::figure1_g4();
+    let path = dir.join("snap.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &path)
+        .expect("snapshot writes");
+    path
+}
+
+fn start_server(snap: &Path, sock: &Path) -> Server {
+    Server::start(
+        SnapshotStore::open(snap).expect("snapshot maps"),
+        RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]),
+        &ServeAddr::Unix(sock.to_path_buf()),
+        DetectorConfig::with_processors(2),
+    )
+    .expect("server starts")
+}
+
+/// Epoch-file siblings of `snap.ngds` currently on disk, sorted.
+fn epoch_files(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("read test dir")
+        .flatten()
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .filter(|n| n.starts_with("snap.e") && n.ends_with(".ngds"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn startup_collects_epoch_files_no_registered_daemon_answers_for() {
+    let dir = temp_dir("stale");
+    let snap = write_snapshot(&dir);
+    let registry = dir.join("snap.ngds.daemons");
+
+    // The crash scene: two leaked epoch files, a registry naming a daemon
+    // that no longer answers (nothing listens on its socket path), and
+    // two decoy files the GC's name matcher must leave alone.
+    std::fs::write(dir.join("snap.e1-0.ngds"), b"leaked").unwrap();
+    std::fs::write(dir.join("snap.e2-1.ngds"), b"leaked").unwrap();
+    std::fs::write(dir.join("snap.e1.ngds"), b"not an epoch file").unwrap();
+    std::fs::write(dir.join("other.e1-0.ngds"), b"different stem").unwrap();
+    std::fs::write(
+        &registry,
+        format!("unix:{}\n", dir.join("dead.sock").display()),
+    )
+    .unwrap();
+
+    let server = start_server(&snap, &dir.join("live.sock"));
+
+    // Both leaked files are gone; the decoys and the snapshot survive.
+    assert_eq!(epoch_files(&dir), vec!["snap.e1.ngds".to_string()]);
+    assert!(snap.exists(), "the operator's snapshot is never touched");
+    assert!(dir.join("other.e1-0.ngds").exists());
+
+    // The registry now names exactly the live server.
+    let text = std::fs::read_to_string(&registry).expect("registry rewritten");
+    assert_eq!(text, format!("{}\n", server.local_addr()));
+
+    // Graceful shutdown strips the line; the registry empties away.
+    drop(server);
+    assert!(!registry.exists(), "empty registry is removed");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_live_daemons_epoch_files_survive_another_daemons_startup() {
+    let dir = temp_dir("live");
+    let snap = write_snapshot(&dir);
+    let registry = dir.join("snap.ngds.daemons");
+
+    // Daemon A compacts once, creating a real epoch file it owns.
+    let server_a = start_server(&snap, &dir.join("a.sock"));
+    let mut client = ServeClient::connect_as(server_a.local_addr(), "gc-test").unwrap();
+    let epoch = client.compact().expect("compaction publishes");
+    assert_eq!(epoch.published_epoch, 1);
+    drop(client);
+    let owned = epoch_files(&dir);
+    assert_eq!(owned.len(), 1, "compaction wrote one epoch file: {owned:?}");
+
+    // Daemon B starts on the same snapshot while A lives: A answers the
+    // liveness ping, so its epoch file must survive and both daemons end
+    // up registered.
+    let server_b = start_server(&snap, &dir.join("b.sock"));
+    assert_eq!(epoch_files(&dir), owned, "a live daemon's files are kept");
+    let text = std::fs::read_to_string(&registry).expect("registry exists");
+    let mut lines: Vec<&str> = text.lines().collect();
+    lines.sort();
+    let mut expected = vec![
+        server_a.local_addr().to_string(),
+        server_b.local_addr().to_string(),
+    ];
+    expected.sort();
+    assert_eq!(lines, expected);
+
+    // Graceful shutdowns deregister one line each and unlink A's epoch
+    // file; the registry disappears with its last line.
+    drop(server_b);
+    assert_eq!(
+        std::fs::read_to_string(&registry).expect("registry keeps A"),
+        format!("{}\n", server_a.local_addr())
+    );
+    drop(server_a);
+    assert!(epoch_files(&dir).is_empty(), "A unlinked its file on drop");
+    assert!(!registry.exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
