@@ -49,11 +49,19 @@ pub fn dect_on_cached<G: GraphView>(
     let mut violations = ViolationSet::new();
     let mut stats = SearchStats::default();
     for rule in sigma.iter() {
+        let rule_start = Instant::now();
         let plan = cache.get_or_compile(&rule.id, &[], || compile_plan(&rule.pattern, graph, &[]));
         let matcher = Matcher::new(&rule.pattern, graph).with_plan(plan);
         let (vio, s) = matcher.find_violations_with_stats(rule);
         violations.extend(vio);
         stats.merge(&s.into());
+        // Per-rule match latency: one registry lookup per rule per run,
+        // nowhere near the per-candidate hot path.
+        if ngd_obs::enabled() {
+            ngd_obs::global()
+                .histogram(&format!("detect.rule.{}.match_ns", rule.id))
+                .record_duration(rule_start.elapsed());
+        }
     }
     stats.record_plan_cache(hits0, misses0, cache);
     DetectionReport {
@@ -64,6 +72,7 @@ pub fn dect_on_cached<G: GraphView>(
         cost: CostLedger::default(),
         processors: 1,
     }
+    .observed()
 }
 
 /// The most selective pattern variable of a rule: the one with the fewest
@@ -182,6 +191,7 @@ pub fn pdect_on_cached<G: GraphView + Sync>(
         cost,
         processors: config.processors,
     }
+    .observed()
 }
 
 /// Parallel batch detection over per-fragment sharded snapshots: one
@@ -288,6 +298,7 @@ pub fn pdect_sharded_cached<S: ShardedRead>(
         cost,
         processors: p,
     }
+    .observed()
 }
 
 #[cfg(test)]

@@ -83,6 +83,7 @@ pub fn inc_dect_prepared_cached<GOld: GraphView, GNew: GraphView>(
         expanded: stats.expanded,
         candidates_inspected: stats.candidates_inspected,
         matches_found: stats.matches_found,
+        gallop_intersections: stats.gallop_intersections,
     });
     stats.record_plan_cache(hits0, misses0, cache);
     DeltaReport {
@@ -94,6 +95,7 @@ pub fn inc_dect_prepared_cached<GOld: GraphView, GNew: GraphView>(
         processors: 1,
         neighborhood_nodes: neighborhood,
     }
+    .observed()
 }
 
 #[cfg(test)]

@@ -475,6 +475,7 @@ pub fn pinc_dect_prepared_cached<V: GraphView + Sync>(
         None,
         cache,
     )
+    .observed()
 }
 
 /// Run `PIncDect` over per-fragment sharded snapshots: one worker per
@@ -599,7 +600,7 @@ pub fn pinc_dect_sharded_rebased_cached<S: ShardedRead>(
         .map(RemoteAccounting::remote_fetches)
         .sum();
     report.cost.record_remote(fetches, config.latency_c);
-    report
+    report.observed()
 }
 
 /// The shared worker runtime behind [`pinc_dect_prepared`] and
@@ -703,10 +704,13 @@ fn pinc_dect_core<V: GraphView + Sync>(
     let mut delta_vio = DeltaViolations::new();
     let mut stats = SearchStats::default();
     let mut cost = balance_cost;
-    for out in outputs {
-        delta_vio.extend(out.delta);
-        stats.merge(&out.stats);
-        cost.merge(&out.cost);
+    {
+        let _span = ngd_obs::span!("detect.fold");
+        for out in outputs {
+            delta_vio.extend(out.delta);
+            stats.merge(&out.stats);
+            cost.merge(&out.cost);
+        }
     }
     stats.record_plan_cache(hits0, misses0, cache);
 

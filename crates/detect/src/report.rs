@@ -19,6 +19,8 @@ pub struct SearchStats {
     pub candidates_inspected: usize,
     /// Complete pattern matches enumerated (before violation filtering).
     pub matches_found: usize,
+    /// Multi-anchor gallop run intersections performed by the matcher.
+    pub gallop_intersections: usize,
     /// Compiled match plans served from the plan cache.
     pub plan_cache_hits: u64,
     /// Plan-cache misses (= plan compilations) during the run.
@@ -31,6 +33,7 @@ impl From<MatchStats> for SearchStats {
             expanded: s.expanded,
             candidates_inspected: s.candidates_inspected,
             matches_found: s.matches_found,
+            gallop_intersections: s.gallop_intersections,
             plan_cache_hits: 0,
             plan_cache_misses: 0,
         }
@@ -43,6 +46,7 @@ impl SearchStats {
         self.expanded += other.expanded;
         self.candidates_inspected += other.candidates_inspected;
         self.matches_found += other.matches_found;
+        self.gallop_intersections += other.gallop_intersections;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
     }
@@ -65,9 +69,31 @@ ngd_json::impl_json_struct!(SearchStats {
     expanded,
     candidates_inspected,
     matches_found,
+    gallop_intersections,
     plan_cache_hits,
     plan_cache_misses
 });
+
+impl SearchStats {
+    /// Fold this run's matcher totals into the global metrics registry.
+    /// Plan-cache hits/misses are deliberately **not** folded here — the
+    /// cache counts them at the source (`matcher.plan_cache.*`), and
+    /// re-adding the per-run deltas would double-count.
+    fn observe(&self) {
+        static EXPANDED: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("matcher.search.expanded");
+        static CANDIDATES: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("matcher.search.candidates_inspected");
+        static MATCHES: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("matcher.search.matches_found");
+        static GALLOPS: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("matcher.search.gallop_intersections");
+        EXPANDED.add(self.expanded as u64);
+        CANDIDATES.add(self.candidates_inspected as u64);
+        MATCHES.add(self.matches_found as u64);
+        GALLOPS.add(self.gallop_intersections as u64);
+    }
+}
 
 /// Report of a batch detection run (`Vio(Σ, G)`).
 #[derive(Debug, Clone)]
@@ -90,6 +116,26 @@ impl DetectionReport {
     /// Number of violations found.
     pub fn violation_count(&self) -> usize {
         self.violations.len()
+    }
+
+    /// Fold the run into the global metrics registry and pass the report
+    /// through.  Called once at every batch detector's return site, so the
+    /// totals are per-run, never per-work-unit.
+    pub(crate) fn observed(self) -> Self {
+        if !ngd_obs::enabled() {
+            return self;
+        }
+        static RUNS: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("detect.batch.runs");
+        static RUN_NS: ngd_obs::LazyHistogram = ngd_obs::LazyHistogram::new("detect.batch.run_ns");
+        static VIOLATIONS: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("detect.batch.violations_found");
+        static REMOTE: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("detect.remote.fetches");
+        RUNS.inc();
+        RUN_NS.record_duration(self.elapsed);
+        VIOLATIONS.add(self.violations.len() as u64);
+        REMOTE.add(self.cost.remote_fetches);
+        self.stats.observe();
+        self
     }
 }
 
@@ -174,6 +220,26 @@ impl DeltaReport {
     pub fn change_count(&self) -> usize {
         self.delta.len()
     }
+
+    /// Fold the run into the global metrics registry and pass the report
+    /// through (the incremental counterpart of
+    /// [`DetectionReport::observed`]).
+    pub(crate) fn observed(self) -> Self {
+        if !ngd_obs::enabled() {
+            return self;
+        }
+        static RUNS: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("detect.delta.runs");
+        static RUN_NS: ngd_obs::LazyHistogram = ngd_obs::LazyHistogram::new("detect.delta.run_ns");
+        static CHANGES: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("detect.delta.violations_changed");
+        static REMOTE: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("detect.remote.fetches");
+        RUNS.inc();
+        RUN_NS.record_duration(self.elapsed);
+        CHANGES.add(self.delta.len() as u64);
+        REMOTE.add(self.cost.remote_fetches);
+        self.stats.observe();
+        self
+    }
 }
 
 /// The human-readable summary, cost ledger included (see
@@ -215,6 +281,7 @@ mod tests {
             expanded: 1,
             candidates_inspected: 10,
             matches_found: 2,
+            gallop_intersections: 2,
             plan_cache_hits: 3,
             plan_cache_misses: 1,
         };
@@ -222,12 +289,14 @@ mod tests {
             expanded: 4,
             candidates_inspected: 5,
             matches_found: 1,
+            gallop_intersections: 1,
             plan_cache_hits: 2,
             plan_cache_misses: 1,
         });
         assert_eq!(a.expanded, 5);
         assert_eq!(a.candidates_inspected, 15);
         assert_eq!(a.matches_found, 3);
+        assert_eq!(a.gallop_intersections, 3);
         assert_eq!(a.plan_cache_hits, 5);
         assert_eq!(a.plan_cache_misses, 2);
     }

@@ -216,6 +216,7 @@ impl Graph {
     /// directly comparable with those computed over the adjacency-list
     /// representation.
     pub fn freeze(&self) -> CsrSnapshot {
+        let _span = ngd_obs::span!("persist.freeze");
         let n = self.node_count();
         let nodes: Vec<NodeData> = self.node_ids().map(|id| self.node(id).clone()).collect();
 

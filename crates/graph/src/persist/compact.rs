@@ -133,6 +133,17 @@ pub struct ShardedCompactStats {
     pub fragments_copied: usize,
 }
 
+impl ShardedCompactStats {
+    /// Fold the rewritten/copied split into the global metrics registry.
+    fn observe(&self) {
+        static REWRITTEN: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("persist.fragments.rewritten");
+        static COPIED: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("persist.fragments.copied");
+        REWRITTEN.add(self.fragments_rewritten as u64);
+        COPIED.add(self.fragments_copied as u64);
+    }
+}
+
 /// Merges an existing `.ngds` file with a canonical net [`BatchUpdate`]
 /// and emits the next snapshot epoch.  See the module docs for the merge
 /// strategy and the byte-determinism contract.
@@ -156,6 +167,7 @@ impl CompactionWriter {
         delta: &BatchUpdate,
         epoch: u64,
     ) -> Result<Vec<u8>, CompactError> {
+        let _span = ngd_obs::span!("persist.compact");
         delta.validate_against(old)?;
         let net = NetDelta::from_batch(old, delta);
         if net.is_empty() {
@@ -206,6 +218,7 @@ impl CompactionWriter {
         delta: &BatchUpdate,
         epoch: u64,
     ) -> Result<(Vec<u8>, ShardedCompactStats), CompactError> {
+        let _span = ngd_obs::span!("persist.compact");
         let global = old.global();
         delta.validate_against(global)?;
         let net = NetDelta::from_batch(global, delta);
@@ -222,6 +235,7 @@ impl CompactionWriter {
                 fragments_rewritten: 0,
                 fragments_copied: fragment_count,
             };
+            stats.observe();
             return Ok((builder.finish(), stats));
         }
 
@@ -302,6 +316,7 @@ impl CompactionWriter {
             fragments_rewritten: rewrite.iter().filter(|&&r| r).count(),
             fragments_copied: rewrite.iter().filter(|&&r| !r).count(),
         };
+        stats.observe();
         Ok((builder.finish(), stats))
     }
 

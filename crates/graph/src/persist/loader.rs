@@ -659,6 +659,7 @@ impl MmapSnapshot {
     /// Memory-map a snapshot file written by
     /// [`SnapshotWriter::write`](crate::persist::SnapshotWriter::write).
     pub fn load(path: &Path) -> Result<MmapSnapshot, PersistError> {
+        let _span = ngd_obs::span!("persist.mmap_load");
         let file = FileData::open(path)?;
         if file.header.file_kind != file_kind::SNAPSHOT {
             return Err(PersistError::WrongKind {
@@ -1186,6 +1187,7 @@ pub struct MmapShardedSnapshot {
 impl MmapShardedSnapshot {
     /// Memory-map a sharded snapshot file.
     pub fn load(path: &Path) -> Result<MmapShardedSnapshot, PersistError> {
+        let _span = ngd_obs::span!("persist.mmap_load");
         let file = FileData::open(path)?;
         if file.header.file_kind != file_kind::SHARDED {
             return Err(PersistError::WrongKind {

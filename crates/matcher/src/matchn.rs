@@ -72,6 +72,8 @@ pub struct MatchStats {
     pub candidates_inspected: usize,
     /// Number of complete matches emitted (before violation filtering).
     pub matches_found: usize,
+    /// Number of multi-anchor gallop run intersections performed.
+    pub gallop_intersections: usize,
 }
 
 /// A subgraph-homomorphism matcher for one pattern over one graph view.
@@ -592,6 +594,11 @@ impl<'g, G: GraphView> Matcher<'g, G> {
                 Some(choice) => plan::seed_nodes(choice, self.pattern.label(var), self.graph),
                 None => self.seed_candidates(var),
             };
+            // Seed-run size distribution: once per seeded step, so the
+            // histogram record is off the per-candidate hot path.
+            static SEED_RUN: ngd_obs::LazyHistogram =
+                ngd_obs::LazyHistogram::new("matcher.seed_run.size");
+            SEED_RUN.record(raw.len() as u64);
             stats.candidates_inspected += raw.len();
             return (
                 raw.into_iter().filter(|&n| self.label_ok(var, n)).collect(),
@@ -618,6 +625,7 @@ impl<'g, G: GraphView> Matcher<'g, G> {
         }
         if all_slices && slices.len() >= 2 {
             let raw = intersect_sorted_runs(&mut slices);
+            stats.gallop_intersections += 1;
             stats.candidates_inspected += raw.len();
             return (
                 raw.into_iter().filter(|&n| self.label_ok(var, n)).collect(),

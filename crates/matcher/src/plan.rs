@@ -471,13 +471,21 @@ impl PlanCache {
         seeds: &[Var],
         compile: impl FnOnce() -> MatchPlan,
     ) -> Arc<MatchPlan> {
+        static HITS: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("matcher.plan_cache.hits");
+        static MISSES: ngd_obs::LazyCounter =
+            ngd_obs::LazyCounter::new("matcher.plan_cache.misses");
         let key = (rule_id.to_owned(), sorted_dedup(seeds));
         if let Some(plan) = self.plans.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            HITS.inc();
             return Arc::clone(plan);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let plan = Arc::new(compile());
+        MISSES.inc();
+        let plan = Arc::new({
+            let _span = ngd_obs::span!("matcher.plan.compile");
+            compile()
+        });
         // First insert wins if another thread compiled concurrently, so
         // every consumer sees one canonical plan per key.
         Arc::clone(

@@ -1,0 +1,138 @@
+//! Snapshot exporters: Prometheus text exposition format and the
+//! in-tree JSON.
+
+use crate::{bucket_upper_edge, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Map a dotted metric name onto a Prometheus identifier:
+/// `ngd_` prefix, dots and dashes to underscores.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ngd_");
+    for ch in name.chars() {
+        match ch {
+            '.' | '-' | ' ' => out.push('_'),
+            c if c.is_ascii_alphanumeric() || c == '_' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters, gauges, and cumulative `_bucket{le=…}` /
+/// `_sum` / `_count` histogram series.  Deterministic for a given
+/// snapshot — the exporter golden test pins the exact bytes.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = prom_name(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snapshot.gauges {
+        let name = prom_name(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+    for h in &snapshot.histograms {
+        let name = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            cumulative += n;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_edge(i)
+            );
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+/// Render a snapshot as compact JSON (the `METRICS` wire payload).
+pub fn render_json(snapshot: &MetricsSnapshot) -> String {
+    ngd_json::to_string(snapshot)
+}
+
+/// Render a snapshot as pretty JSON (the `--metrics-dump` file format).
+pub fn render_json_pretty(snapshot: &MetricsSnapshot) -> String {
+    ngd_json::ToJson::to_json(snapshot).render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{CounterSample, GaugeSample, HistogramSample};
+
+    fn fixture() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![CounterSample {
+                name: "matcher.plan_cache.hits".into(),
+                value: 7,
+            }],
+            gauges: vec![GaugeSample {
+                name: "serve.sessions.active".into(),
+                value: 3,
+            }],
+            histograms: vec![HistogramSample {
+                name: "serve.frame.update.latency_ns".into(),
+                count: 2,
+                sum: 105,
+                // One sample of 5 (bucket 2) and one of 100 (bucket 6).
+                buckets: vec![0, 0, 1, 0, 0, 0, 1],
+            }],
+        }
+    }
+
+    /// The golden test: the exact Prometheus text for a known snapshot.
+    #[test]
+    fn prometheus_text_format_is_pinned() {
+        let expected = "\
+# TYPE ngd_matcher_plan_cache_hits counter
+ngd_matcher_plan_cache_hits 7
+# TYPE ngd_serve_sessions_active gauge
+ngd_serve_sessions_active 3
+# TYPE ngd_serve_frame_update_latency_ns histogram
+ngd_serve_frame_update_latency_ns_bucket{le=\"1\"} 0
+ngd_serve_frame_update_latency_ns_bucket{le=\"3\"} 0
+ngd_serve_frame_update_latency_ns_bucket{le=\"7\"} 1
+ngd_serve_frame_update_latency_ns_bucket{le=\"15\"} 1
+ngd_serve_frame_update_latency_ns_bucket{le=\"31\"} 1
+ngd_serve_frame_update_latency_ns_bucket{le=\"63\"} 1
+ngd_serve_frame_update_latency_ns_bucket{le=\"127\"} 2
+ngd_serve_frame_update_latency_ns_bucket{le=\"+Inf\"} 2
+ngd_serve_frame_update_latency_ns_sum 105
+ngd_serve_frame_update_latency_ns_count 2
+";
+        assert_eq!(render_prometheus(&fixture()), expected);
+    }
+
+    #[test]
+    fn prometheus_renders_a_live_registry() {
+        let registry = crate::MetricsRegistry::new();
+        registry.counter("export.events").add(4);
+        registry.histogram("export.lat_ns").record(1000);
+        let text = render_prometheus(&registry.snapshot());
+        assert!(text.contains("# TYPE ngd_export_events counter"), "{text}");
+        assert!(text.contains("ngd_export_events 4"), "{text}");
+        assert!(
+            text.contains("ngd_export_lat_ns_bucket{le=\"1023\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("ngd_export_lat_ns_count 1"), "{text}");
+    }
+
+    #[test]
+    fn json_exports_round_trip() {
+        let snap = fixture();
+        let back: MetricsSnapshot = ngd_json::from_str(&render_json(&snap)).unwrap();
+        assert_eq!(back, snap);
+        let back: MetricsSnapshot = ngd_json::from_str(&render_json_pretty(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+}

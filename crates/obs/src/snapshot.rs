@@ -1,0 +1,184 @@
+//! Immutable registry snapshots — the unit the exporters render and the
+//! `METRICS` wire frame carries.
+
+use crate::bucket_upper_edge;
+
+/// One counter's name and value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Dotted metric name (`matcher.plan_cache.hits`).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+ngd_json::impl_json_struct!(CounterSample { name, value });
+
+/// One gauge's name and value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Dotted metric name (`serve.sessions.active`).
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: i64,
+}
+
+ngd_json::impl_json_struct!(GaugeSample { name, value });
+
+/// One histogram's state at snapshot time.
+///
+/// `buckets[i]` counts samples in `[2^i, 2^(i+1) - 1]` (bucket 0 also
+/// holds the value 0); trailing empty buckets are trimmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Dotted metric name (`serve.frame.update.latency_ns`).
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Per-bucket sample counts, trimmed after the last non-empty one.
+    pub buckets: Vec<u64>,
+}
+
+ngd_json::impl_json_struct!(HistogramSample {
+    name,
+    count,
+    sum,
+    buckets
+});
+
+impl HistogramSample {
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper edge of the
+    /// bucket holding that rank; 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_upper_edge(i);
+            }
+        }
+        bucket_upper_edge(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Exact arithmetic mean (`sum / count`; 0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything a [`crate::MetricsRegistry`] held at one instant, sorted
+/// by name within each instrument family.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+ngd_json::impl_json_struct!(MetricsSnapshot {
+    counters,
+    gauges,
+    histograms
+});
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The sample of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Total instruments in the snapshot.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let snap = MetricsSnapshot {
+            counters: vec![CounterSample {
+                name: "a.hits".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeSample {
+                name: "g.active".into(),
+                value: -2,
+            }],
+            histograms: vec![HistogramSample {
+                name: "h.ns".into(),
+                count: 3,
+                sum: 110,
+                buckets: vec![1, 0, 1, 1],
+            }],
+        };
+        let text = ngd_json::to_string(&snap);
+        let back: MetricsSnapshot = ngd_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("a.hits"), Some(42));
+        assert_eq!(back.gauge("g.active"), Some(-2));
+        assert_eq!(back.histogram("h.ns").unwrap().count, 3);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn quantile_walks_trimmed_buckets() {
+        let s = HistogramSample {
+            name: "t".into(),
+            count: 4,
+            sum: 0,
+            buckets: vec![2, 0, 2],
+        };
+        assert_eq!(s.quantile(0.5), 1); // rank 2 in bucket 0
+        assert_eq!(s.quantile(1.0), 7); // rank 4 in bucket 2
+    }
+}

@@ -1,0 +1,143 @@
+//! Scoped span timers.
+//!
+//! A [`crate::span!`] site expands to two `static` lazy handles (a
+//! latency histogram `<name>.ns` and a self-time counter
+//! `<name>.self_ns`) plus a [`SpanGuard`] that measures the enclosed
+//! scope.  Guards maintain a thread-local stack of child-time
+//! accumulators so nested spans attribute **self time** correctly: a
+//! parent's `self_ns` excludes the nanoseconds its child spans covered,
+//! while its `.ns` histogram records the inclusive total.
+
+use crate::{enabled, LazyCounter, LazyHistogram};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// One child-nanoseconds accumulator per *open* span on this thread.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one span site; construct via [`crate::span!`].
+pub struct SpanGuard {
+    hist: &'static LazyHistogram,
+    self_ns: &'static LazyCounter,
+    start: Instant,
+    /// False when recording was disabled at entry: the guard is then a
+    /// pure no-op (no stack frame was pushed, so none is popped).
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Open a span feeding `hist` (inclusive time) and `self_ns`
+    /// (exclusive time).  Used by the [`crate::span!`] expansion.
+    pub fn enter(hist: &'static LazyHistogram, self_ns: &'static LazyCounter) -> SpanGuard {
+        let active = enabled();
+        if active {
+            SPAN_STACK.with(|stack| stack.borrow_mut().push(0));
+        }
+        SpanGuard {
+            hist,
+            self_ns,
+            start: Instant::now(),
+            active,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let total = self.start.elapsed().as_nanos() as u64;
+        let child = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            // Charge this span's inclusive time to the enclosing span,
+            // if any — that parent's self time shrinks by our total.
+            if let Some(parent) = stack.last_mut() {
+                *parent += total;
+            }
+            child
+        });
+        self.hist.record(total);
+        self.self_ns.add(total.saturating_sub(child));
+    }
+}
+
+/// Time the enclosing scope into the global registry.
+///
+/// ```
+/// fn compile() {
+///     let _span = ngd_obs::span!("plan.compile");
+///     // … work measured into `plan.compile.ns` / `plan.compile.self_ns`
+/// }
+/// compile();
+/// ```
+///
+/// The span name must be a string literal (it is `concat!`-ed into the
+/// two metric names at compile time).  Bind the guard (`let _span =`)
+/// — an unbound `span!` drops immediately and measures nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __NGD_OBS_HIST: $crate::LazyHistogram =
+            $crate::LazyHistogram::new(concat!($name, ".ns"));
+        static __NGD_OBS_SELF: $crate::LazyCounter =
+            $crate::LazyCounter::new(concat!($name, ".self_ns"));
+        $crate::SpanGuard::enter(&__NGD_OBS_HIST, &__NGD_OBS_SELF)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::global;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_spans_attribute_self_time_to_the_parent() {
+        let _guard = crate::tests::TEST_GUARD.lock().unwrap();
+        let outer_before = global().counter("test.span_outer.self_ns").value();
+        let inner_before = global().counter("test.span_inner.self_ns").value();
+        {
+            let _outer = crate::span!("test.span_outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = crate::span!("test.span_inner");
+                std::thread::sleep(Duration::from_millis(8));
+            }
+        }
+        let outer_hist = global().histogram("test.span_outer.ns").sample("o");
+        let inner_hist = global().histogram("test.span_inner.ns").sample("i");
+        assert_eq!(outer_hist.count, 1);
+        assert_eq!(inner_hist.count, 1);
+        // The outer span's inclusive time covers the inner's…
+        assert!(outer_hist.sum >= inner_hist.sum);
+        // …but its *self* time excludes it: under ~2 ms of own work plus
+        // scheduling noise, it must stay well below the inner's 8 ms.
+        let outer_self = global().counter("test.span_outer.self_ns").value() - outer_before;
+        let inner_self = global().counter("test.span_inner.self_ns").value() - inner_before;
+        assert!(inner_self >= Duration::from_millis(8).as_nanos() as u64);
+        assert!(
+            outer_self < inner_self,
+            "outer self {outer_self} >= inner self {inner_self}"
+        );
+        assert!(outer_self >= Duration::from_millis(2).as_nanos() as u64);
+    }
+
+    #[test]
+    fn disabled_spans_push_no_stack_frames() {
+        let _guard = crate::tests::TEST_GUARD.lock().unwrap();
+        crate::set_enabled(false);
+        {
+            let _span = crate::span!("test.span_disabled");
+        }
+        crate::set_enabled(true);
+        assert_eq!(global().histogram("test.span_disabled.ns").count(), 0);
+        // The stack is balanced: a fresh span still records exactly once.
+        {
+            let _span = crate::span!("test.span_disabled");
+        }
+        assert_eq!(global().histogram("test.span_disabled.ns").count(), 1);
+    }
+}

@@ -27,6 +27,15 @@
 //!                                 and print its match plan — seed choice,
 //!                                 variable order, per-step cost estimates
 //!   stats                         server + session statistics
+//!   metrics [--format prom|json]  dump the daemon's metrics registry —
+//!                                 every counter, gauge and histogram —
+//!                                 as Prometheus text (default) or JSON
+//!   top [interval [count]]        live dashboard: refresh every
+//!                                 `interval` seconds (default 2),
+//!                                 showing per-frame request rates and
+//!                                 latencies, plan-cache hit rate and
+//!                                 session/byte counters; `count` ticks
+//!                                 then exit (default: until Ctrl-C)
 //!   reset                         drop the session's accumulated ΔG
 //!   shutdown                      stop the daemon gracefully
 //! ```
@@ -52,7 +61,8 @@ fn usage() -> ! {
          \x20         update <batch.json> | query |\n\
          \x20         rules <file> | check <rules> [<snapshot.ngds>] |\n\
          \x20         explain <rules> [<snapshot.ngds>] [<rule-id>] |\n\
-         \x20         stats | reset | shutdown"
+         \x20         stats | metrics [--format prom|json] |\n\
+         \x20         top [<interval-secs> [<count>]] | reset | shutdown"
     );
     std::process::exit(2);
 }
@@ -64,6 +74,103 @@ fn fail(message: String) -> ExitCode {
 
 fn connect(addr: &ServeAddr) -> Result<ServeClient, String> {
     ServeClient::connect_as(addr, "ngd-cli").map_err(|e| format!("connect {addr}: {e}"))
+}
+
+/// Plan-cache effectiveness as a percentage string (`"98.2%"`), or `"—"`
+/// before the cache has been consulted at all.
+fn hit_rate(hits: u64, misses: u64) -> String {
+    match hits + misses {
+        0 => "—".to_string(),
+        total => format!("{:.1}%", 100.0 * hits as f64 / total as f64),
+    }
+}
+
+/// A nanosecond quantity as a humane duration (`1.2ms`, `840µs`).
+fn fmt_ns(ns: u64) -> String {
+    format!("{:?}", std::time::Duration::from_nanos(ns))
+}
+
+/// The per-second rate of counter `name` between two snapshots taken
+/// `elapsed` apart (0.0 on the first tick, when there is no `prev`).
+fn counter_rate(
+    prev: Option<&ngd_obs::MetricsSnapshot>,
+    cur: &ngd_obs::MetricsSnapshot,
+    name: &str,
+    elapsed: std::time::Duration,
+) -> f64 {
+    let Some(prev) = prev else { return 0.0 };
+    let before = prev.counter(name).unwrap_or(0);
+    let after = cur.counter(name).unwrap_or(0);
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        0.0
+    } else {
+        after.saturating_sub(before) as f64 / secs
+    }
+}
+
+/// One `top` refresh: rates are counter deltas against the previous
+/// snapshot, latencies are lifetime histogram quantiles.
+fn print_top_tick(
+    server: &str,
+    stats: &ngd_serve::StatsResponse,
+    prev: Option<&ngd_obs::MetricsSnapshot>,
+    cur: &ngd_obs::MetricsSnapshot,
+    elapsed: std::time::Duration,
+) {
+    println!(
+        "ngd-top @ {server} — uptime {}s, epoch {}, {} active / {} total session(s)",
+        stats.uptime_secs, stats.published_epoch, stats.sessions_active, stats.sessions_total,
+    );
+    println!(
+        "  bytes      : in {:.1}/s, out {:.1}/s ({} in / {} out total)",
+        counter_rate(prev, cur, "serve.bytes.in", elapsed),
+        counter_rate(prev, cur, "serve.bytes.out", elapsed),
+        cur.counter("serve.bytes.in").unwrap_or(0),
+        cur.counter("serve.bytes.out").unwrap_or(0),
+    );
+    println!(
+        "  plan cache : {} hit rate ({} hit(s), {} miss(es))",
+        hit_rate(stats.plan_cache_hits, stats.plan_cache_misses),
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+    );
+    if let Some(runs) = cur.histogram("detect.batch.run_ns") {
+        println!(
+            "  detect     : {} batch run(s), p50 {} / p95 {}; {} delta run(s)",
+            runs.count,
+            fmt_ns(runs.p50()),
+            fmt_ns(runs.p95()),
+            cur.counter("detect.delta.runs")
+                .or_else(|| cur.histogram("detect.delta.run_ns").map(|h| h.count))
+                .unwrap_or(0),
+        );
+    }
+    // Per-frame request rates, busiest first; latency quantiles come
+    // from the paired `serve.frame.<kind>.latency_ns` histogram.
+    let mut frames: Vec<(String, u64, f64)> = cur
+        .counters
+        .iter()
+        .filter_map(|c| {
+            let kind = c
+                .name
+                .strip_prefix("serve.frame.")?
+                .strip_suffix(".count")?;
+            Some((
+                kind.to_string(),
+                c.value,
+                counter_rate(prev, cur, &c.name, elapsed),
+            ))
+        })
+        .collect();
+    frames.sort_by(|a, b| b.2.total_cmp(&a.2).then(b.1.cmp(&a.1)));
+    for (kind, total, rate) in frames {
+        let latency = cur
+            .histogram(&format!("serve.frame.{kind}.latency_ns"))
+            .map(|h| format!("p50 {} / p95 {}", fmt_ns(h.p50()), fmt_ns(h.p95())))
+            .unwrap_or_else(|| "—".to_string());
+        println!("  frame      : {kind:<9} {rate:>7.1}/s  ({total} total, {latency})");
+    }
 }
 
 /// Parse a rule set in any supported format (`.ngdl`, JSON or the legacy
@@ -538,20 +645,100 @@ fn main() -> ExitCode {
                         stats.pending_nodes, stats.pending_edge_ops
                     );
                     println!(
-                        "service    : {} active / {} total sessions, {} updates served, \
-                         {} violations streamed",
+                        "service    : up {}s, {} active / {} total sessions, \
+                         {} updates served, {} violations streamed",
+                        stats.uptime_secs,
                         stats.sessions_active,
                         stats.sessions_total,
                         stats.updates_served,
                         stats.violations_streamed
                     );
                     println!(
-                        "plan cache : {} hit(s), {} miss(es)",
-                        stats.plan_cache_hits, stats.plan_cache_misses
+                        "plan cache : {} hit rate ({} hit(s), {} miss(es))",
+                        hit_rate(stats.plan_cache_hits, stats.plan_cache_misses),
+                        stats.plan_cache_hits,
+                        stats.plan_cache_misses
                     );
                     ExitCode::SUCCESS
                 }
                 Err(e) => fail(format!("stats: {e}")),
+            }
+        }
+        // Fetch the daemon's full metrics-registry snapshot over one
+        // METRICS frame and render it locally — the wire always carries
+        // the snapshot itself, so the output format is a client choice.
+        "metrics" => {
+            let format = match (
+                rest.get(1).map(String::as_str),
+                rest.get(2).map(String::as_str),
+            ) {
+                (None, _) => "prom",
+                (Some("--format"), Some(fmt @ ("prom" | "json"))) => fmt,
+                _ => usage(),
+            };
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            match client.metrics() {
+                Ok(snapshot) => {
+                    let rendered = match format {
+                        "json" => ngd_obs::render_json_pretty(&snapshot),
+                        _ => ngd_obs::render_prometheus(&snapshot),
+                    };
+                    print!("{rendered}");
+                    if !rendered.ends_with('\n') {
+                        println!();
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format!("metrics: {e}")),
+            }
+        }
+        // Live dashboard over one long-lived session: each tick fetches
+        // STATS + METRICS and prints rates as counter deltas against the
+        // previous tick.
+        "top" => {
+            let interval = match rest.get(1).map(|s| s.parse::<f64>()) {
+                None => 2.0,
+                Some(Ok(secs)) if secs > 0.0 => secs,
+                _ => usage(),
+            };
+            let ticks: Option<u64> = match rest.get(2).map(|s| s.parse()) {
+                None => None,
+                Some(Ok(n)) if n > 0 => Some(n),
+                _ => usage(),
+            };
+            let interval = std::time::Duration::from_secs_f64(interval);
+            let mut client = match connect(&addr) {
+                Ok(client) => client,
+                Err(e) => return fail(e),
+            };
+            let server = client.server_info().server.clone();
+            let mut prev: Option<ngd_obs::MetricsSnapshot> = None;
+            let mut last_tick = std::time::Instant::now();
+            let mut tick = 0u64;
+            loop {
+                let stats = match client.stats() {
+                    Ok(stats) => stats,
+                    Err(e) => return fail(format!("top: {e}")),
+                };
+                let cur = match client.metrics() {
+                    Ok(snapshot) => snapshot,
+                    Err(e) => return fail(format!("top: {e}")),
+                };
+                let elapsed = last_tick.elapsed();
+                last_tick = std::time::Instant::now();
+                if prev.is_some() {
+                    println!();
+                }
+                print_top_tick(&server, &stats, prev.as_ref(), &cur, elapsed);
+                prev = Some(cur);
+                tick += 1;
+                if ticks.is_some_and(|n| tick >= n) {
+                    return ExitCode::SUCCESS;
+                }
+                std::thread::sleep(interval);
             }
         }
         "reset" => {

@@ -3,7 +3,7 @@
 //! ```text
 //! ngd-serve --snapshot graph.ngds [--listen unix:/run/ngd.sock | tcp:127.0.0.1:7411]
 //!           [--rules rules.json|rules.ngd] [--processors N] [--latency C]
-//!           [--compact-after OPS]
+//!           [--compact-after OPS] [--metrics-dump FILE] [--metrics-interval SECS]
 //! ```
 //!
 //! Maps the snapshot (shared or sharded — auto-detected), compiles the
@@ -28,6 +28,8 @@ struct Args {
     processors: Option<usize>,
     latency: Option<f64>,
     compact_after: Option<u64>,
+    metrics_dump: Option<PathBuf>,
+    metrics_interval: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -35,9 +37,13 @@ fn usage() -> ! {
         "usage: ngd-serve --snapshot <file.ngds> [--listen unix:<path>|tcp:<host>:<port>]\n\
          \x20                [--rules <file>] [--processors <n>] [--latency <C>]\n\
          \x20                [--compact-after <ops>]\n\
+         \x20                [--metrics-dump <file.json>] [--metrics-interval <secs>]\n\
          \n\
          Serves incremental NGD violation detection over a memory-mapped\n\
-         snapshot until a client sends SHUTDOWN (`ngd-cli shutdown`)."
+         snapshot until a client sends SHUTDOWN (`ngd-cli shutdown`).\n\
+         With --metrics-dump, the daemon rewrites <file.json> with a\n\
+         metrics-registry snapshot every --metrics-interval seconds\n\
+         (default 30) and once more on shutdown."
     );
     std::process::exit(2);
 }
@@ -49,6 +55,8 @@ fn parse_args() -> Args {
     let mut processors = None;
     let mut latency = None;
     let mut compact_after = None;
+    let mut metrics_dump = None;
+    let mut metrics_interval = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -79,6 +87,11 @@ fn parse_args() -> Args {
                 Ok(n) => compact_after = Some(n),
                 Err(_) => usage(),
             },
+            "--metrics-dump" => metrics_dump = Some(PathBuf::from(value("--metrics-dump"))),
+            "--metrics-interval" => match value("--metrics-interval").parse() {
+                Ok(secs) => metrics_interval = Some(secs),
+                Err(_) => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -97,6 +110,8 @@ fn parse_args() -> Args {
         processors,
         latency,
         compact_after,
+        metrics_dump,
+        metrics_interval,
     }
 }
 
@@ -153,6 +168,8 @@ fn main() -> ExitCode {
 
     let options = ServeOptions {
         compact_after: args.compact_after,
+        metrics_dump: args.metrics_dump.clone(),
+        metrics_interval: args.metrics_interval.map(std::time::Duration::from_secs),
     };
     let server = match Server::start_with(store, sigma, &args.listen, detector, options) {
         Ok(server) => server,

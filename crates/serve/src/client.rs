@@ -11,8 +11,8 @@
 use crate::error::ProtocolError;
 use crate::protocol::{
     frame, read_frame, write_frame, DoneResponse, EpochNotice, EpochResponse, ErrorResponse,
-    HelloRequest, HelloResponse, OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest,
-    VioChunk,
+    HelloRequest, HelloResponse, MetricsResponse, OkResponse, RulesRequest, Side, StatsResponse,
+    UpdateRequest, VioChunk,
 };
 use crate::server::ServeAddr;
 use ngd_core::RuleSet;
@@ -310,6 +310,15 @@ impl ServeClient {
         write_frame(&mut self.stream, frame::EPOCH, &[])?;
         let payload = self.expect(frame::EPOCH_OK, "EPOCH_OK")?;
         EpochResponse::decode(&payload)
+    }
+
+    /// Fetch the daemon's metrics-registry snapshot (counters, gauges,
+    /// latency histograms across match/detect/persist/serve).  Render it
+    /// with [`ngd_obs::render_prometheus`] / [`ngd_obs::render_json`].
+    pub fn metrics(&mut self) -> Result<ngd_obs::MetricsSnapshot, ProtocolError> {
+        write_frame(&mut self.stream, frame::METRICS, &[])?;
+        let payload = self.expect(frame::METRICS_OK, "METRICS_OK")?;
+        Ok(MetricsResponse::decode(&payload)?.snapshot)
     }
 
     /// Fetch server and session statistics.

@@ -31,6 +31,9 @@
 //! * `COMPACT → EPOCH_OK` — fold this session's accumulated `ΔG` into a
 //!   fresh snapshot epoch and publish it server-wide;
 //! * `EPOCH → EPOCH_OK` — the session's and the server's current epochs;
+//! * `METRICS → METRICS_OK` — the daemon's metrics-registry snapshot
+//!   (counters, gauges, latency histograms), rendered client-side as
+//!   Prometheus text or JSON;
 //! * `STATS → STATS_OK`, `RESET → OK`, `SHUTDOWN → OK`;
 //! * any request may be answered by `ERROR` (typed code + message).
 //!
@@ -56,8 +59,10 @@ pub const MAGIC: [u8; 8] = *b"NGDWIRE\0";
 /// (v2: `COMPACT`/`EPOCH`/`EPOCH_SWITCHED` frames; epoch + pending-overlay
 /// fields on `STATS_OK` and the `*_DONE` summaries.  v3: plan-cache
 /// counters on `STATS_OK` and inside the `SearchStats` of the `*_DONE`
-/// summaries.)
-pub const WIRE_VERSION: u32 = 3;
+/// summaries.  v4: `METRICS`/`METRICS_OK` frames carrying the daemon's
+/// metrics-registry snapshot, `uptime_secs` on `STATS_OK`, and the
+/// `gallop_intersections` counter inside `SearchStats`.)
+pub const WIRE_VERSION: u32 = 4;
 
 /// Frame header length in bytes.
 pub const FRAME_HEADER_LEN: usize = 32;
@@ -90,6 +95,9 @@ pub mod frame {
     pub const COMPACT: u32 = 8;
     /// Query the session's and the server's current epochs.
     pub const EPOCH: u32 = 9;
+    /// Fetch the daemon's metrics-registry snapshot (counters, gauges,
+    /// latency histograms across match/detect/persist/serve).
+    pub const METRICS: u32 = 10;
 
     /// Handshake answer.
     pub const HELLO_OK: u32 = 100;
@@ -108,6 +116,8 @@ pub mod frame {
     /// Pushed notice: this session just re-rooted onto a new epoch.  Sent
     /// at a message boundary, before the answer to the triggering request.
     pub const EPOCH_SWITCHED: u32 = 107;
+    /// Metrics answer: the registry snapshot.
+    pub const METRICS_OK: u32 = 108;
     /// Typed server-side failure.
     pub const ERROR: u32 = 199;
 }
@@ -572,6 +582,35 @@ impl DoneResponse {
     }
 }
 
+/// `METRICS_OK`: the daemon's metrics-registry snapshot.  The payload is
+/// the snapshot's canonical JSON (one string field), so the frame layout
+/// never changes when metrics are added or removed — rendering to
+/// Prometheus text or pretty JSON happens client-side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsResponse {
+    /// Every counter, gauge, and histogram the daemon has registered.
+    pub snapshot: ngd_obs::MetricsSnapshot,
+}
+
+impl MetricsResponse {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.str(&ngd_json::to_string(&self.snapshot));
+        w.into_bytes()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ProtocolError> {
+        let mut r = WireReader::new(bytes, "MetricsResponse");
+        let json = r.str()?;
+        r.finish()?;
+        let snapshot = ngd_json::from_str(&json)
+            .map_err(|e| ProtocolError::Corrupt(format!("metrics snapshot: {e}")))?;
+        Ok(MetricsResponse { snapshot })
+    }
+}
+
 /// `STATS_OK`: a server/session snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsResponse {
@@ -611,6 +650,8 @@ pub struct StatsResponse {
     pub plan_cache_hits: u64,
     /// Plan compilations (cache misses) on the published epoch.
     pub plan_cache_misses: u64,
+    /// Whole seconds the daemon has been up.
+    pub uptime_secs: u64,
 }
 
 impl StatsResponse {
@@ -634,6 +675,7 @@ impl StatsResponse {
         w.u64(self.violations_streamed);
         w.u64(self.plan_cache_hits);
         w.u64(self.plan_cache_misses);
+        w.u64(self.uptime_secs);
         w.into_bytes()
     }
 
@@ -658,6 +700,7 @@ impl StatsResponse {
             violations_streamed: r.u64()?,
             plan_cache_hits: r.u64()?,
             plan_cache_misses: r.u64()?,
+            uptime_secs: r.u64()?,
         };
         r.finish()?;
         Ok(out)
@@ -749,6 +792,7 @@ mod tests {
                 expanded: 4,
                 candidates_inspected: 40,
                 matches_found: 3,
+                gallop_intersections: 5,
                 plan_cache_hits: 6,
                 plan_cache_misses: 2,
             },
@@ -780,8 +824,22 @@ mod tests {
             violations_streamed: 11,
             plan_cache_hits: 12,
             plan_cache_misses: 13,
+            uptime_secs: 14,
         };
         assert_eq!(StatsResponse::decode(&stats.encode()).unwrap(), stats);
+
+        let metrics = MetricsResponse {
+            snapshot: {
+                let registry = ngd_obs::MetricsRegistry::new();
+                registry.counter("serve.frame.update.count").add(3);
+                registry.gauge("serve.sessions.active").set(1);
+                registry
+                    .histogram("serve.frame.update.latency_ns")
+                    .record(900);
+                registry.snapshot()
+            },
+        };
+        assert_eq!(MetricsResponse::decode(&metrics.encode()).unwrap(), metrics);
 
         let epoch_ok = EpochResponse {
             epoch: 4,

@@ -50,8 +50,8 @@
 use crate::error::ProtocolError;
 use crate::protocol::{
     err_code, frame, read_frame, write_frame, DoneResponse, EpochNotice, EpochResponse,
-    ErrorResponse, HelloRequest, HelloResponse, OkResponse, RulesRequest, Side, StatsResponse,
-    UpdateRequest, VioChunk, VIO_CHUNK_LEN,
+    ErrorResponse, HelloRequest, HelloResponse, MetricsResponse, OkResponse, RulesRequest, Side,
+    StatsResponse, UpdateRequest, VioChunk, VIO_CHUNK_LEN,
 };
 use ngd_core::RuleSet;
 use ngd_detect::{
@@ -65,7 +65,7 @@ use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Where a server listens / a client connects.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,7 +207,7 @@ impl SnapshotStore {
 }
 
 /// Serving knobs beyond the detector configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// Compact automatically once a session's *accumulated* unit updates
     /// reach this count (checked after each absorbed batch).  Raw size,
@@ -217,6 +217,13 @@ pub struct ServeOptions {
     /// either way.  `None` disables auto-compaction; `COMPACT` frames
     /// always work.
     pub compact_after: Option<u64>,
+    /// Write a pretty-JSON metrics-registry snapshot to this path
+    /// periodically and once more on shutdown.  `None` disables dumping;
+    /// the `METRICS` frame works either way.
+    pub metrics_dump: Option<PathBuf>,
+    /// How often the dump file is rewritten (default 30 s).  Ignored
+    /// without `metrics_dump`.
+    pub metrics_interval: Option<Duration>,
 }
 
 /// Shared server state behind the `Arc` every session thread clones.
@@ -236,6 +243,8 @@ struct Shared {
     detector: DetectorConfig,
     options: ServeOptions,
     server_name: String,
+    /// When the daemon started (uptime reporting).
+    started: Instant,
     shutdown: AtomicBool,
     sessions_active: AtomicUsize,
     sessions_total: AtomicU64,
@@ -259,6 +268,8 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
+    /// The periodic `--metrics-dump` writer, when configured.
+    metrics_dump: Option<std::thread::JoinHandle<()>>,
     local: ServeAddr,
     /// Unix socket path to unlink once the server is done.
     cleanup: Option<PathBuf>,
@@ -304,6 +315,7 @@ impl Server {
             detector,
             options,
             server_name: format!("ngd-serve/{}", env!("CARGO_PKG_VERSION")),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             sessions_active: AtomicUsize::new(0),
             sessions_total: AtomicU64::new(0),
@@ -330,9 +342,26 @@ impl Server {
             .name("ngd-serve-accept".into())
             .spawn(move || accept_loop(accept_shared, listener))
             .map_err(|e| ProtocolError::Io(e.to_string()))?;
+        let metrics_dump = match shared.options.metrics_dump.clone() {
+            Some(path) => {
+                let interval = shared
+                    .options
+                    .metrics_interval
+                    .unwrap_or(Duration::from_secs(30));
+                let dump_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("ngd-serve-metrics".into())
+                        .spawn(move || metrics_dump_loop(dump_shared, path, interval))
+                        .map_err(|e| ProtocolError::Io(e.to_string()))?,
+                )
+            }
+            None => None,
+        };
         Ok(Server {
             shared,
             accept: Some(accept),
+            metrics_dump,
             local,
             cleanup,
             registry,
@@ -377,6 +406,9 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.metrics_dump.take() {
             let _ = handle.join();
         }
         if let Some(path) = self.cleanup.take() {
@@ -665,6 +697,125 @@ impl AnyListener {
     }
 }
 
+/// The `--metrics-dump` writer: rewrite `path` with a pretty-JSON registry
+/// snapshot every `interval`, and once more on shutdown so the final state
+/// of a graceful exit is always on disk.
+fn metrics_dump_loop(shared: Arc<Shared>, path: PathBuf, interval: Duration) {
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+        if last.elapsed() >= interval {
+            write_metrics_dump(&path);
+            last = Instant::now();
+        }
+    }
+    write_metrics_dump(&path);
+}
+
+/// Best-effort dump-file rewrite (a read-only directory costs the dump,
+/// not the daemon).
+fn write_metrics_dump(path: &Path) {
+    let snapshot = ngd_obs::global().snapshot();
+    if let Err(e) = std::fs::write(path, ngd_obs::render_json_pretty(&snapshot)) {
+        eprintln!(
+            "ngd-serve: cannot write metrics dump {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// Total request bytes read off client connections.
+static BYTES_IN: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.bytes.in");
+/// Total response bytes written to client connections.
+static BYTES_OUT: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.bytes.out");
+/// Sessions accepted since startup (mirrors `Shared::sessions_total`).
+static SESSIONS_TOTAL: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.sessions.total");
+/// Sessions currently connected (mirrors `Shared::sessions_active`).
+static SESSIONS_ACTIVE: ngd_obs::LazyGauge = ngd_obs::LazyGauge::new("serve.sessions.active");
+/// Epoch switches published (mirrors `Shared::compactions`).
+static EPOCH_SWITCHES: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.epoch.switches");
+/// Sessions successfully re-rooted onto a newly published epoch.
+static SESSION_REBASES: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.session.rebases");
+/// `EPOCH_SWITCHED` notices pushed to clients.
+static SWITCH_NOTICES: ngd_obs::LazyCounter =
+    ngd_obs::LazyCounter::new("serve.epoch.switched_notices");
+
+/// A transparent byte-accounting wrapper around a session's stream: every
+/// read feeds `serve.bytes.in`, every write `serve.bytes.out`.
+struct CountingStream<S> {
+    inner: S,
+}
+
+impl<S: Read> Read for CountingStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        BYTES_IN.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl<S: Write> Write for CountingStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        BYTES_OUT.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The metric segment for a request frame kind (`serve.frame.<segment>.*`).
+fn frame_metric_name(kind: u32) -> Option<&'static str> {
+    Some(match kind {
+        frame::HELLO => "hello",
+        frame::RULES => "rules",
+        frame::UPDATE => "update",
+        frame::QUERY => "query",
+        frame::STATS => "stats",
+        frame::RESET => "reset",
+        frame::SHUTDOWN => "shutdown",
+        frame::COMPACT => "compact",
+        frame::EPOCH => "epoch",
+        frame::METRICS => "metrics",
+        _ => return None,
+    })
+}
+
+/// Counts a request on construction and records its latency on drop, so
+/// the sample lands even when the dispatch arm bails early with an error
+/// reply.  Two registry lookups per request — nowhere near the per-frame
+/// byte path.
+struct FrameTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl FrameTimer {
+    fn start(kind: u32) -> Option<FrameTimer> {
+        if !ngd_obs::enabled() {
+            return None;
+        }
+        let name = frame_metric_name(kind)?;
+        ngd_obs::global()
+            .counter(&format!("serve.frame.{name}.count"))
+            .inc();
+        Some(FrameTimer {
+            name,
+            start: Instant::now(),
+        })
+    }
+}
+
+impl Drop for FrameTimer {
+    fn drop(&mut self) {
+        ngd_obs::global()
+            .histogram(&format!("serve.frame.{}.latency_ns", self.name))
+            .record_duration(self.start.elapsed());
+    }
+}
+
 fn accept_loop(shared: Arc<Shared>, listener: AnyListener) {
     let sessions: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -678,11 +829,14 @@ fn accept_loop(shared: Arc<Shared>, listener: AnyListener) {
                         session_shared
                             .sessions_active
                             .fetch_add(1, Ordering::SeqCst);
+                        SESSIONS_TOTAL.inc();
+                        SESSIONS_ACTIVE.add(1);
                         let mut stream = stream;
                         let _ = run_session(&session_shared, &mut stream);
                         session_shared
                             .sessions_active
                             .fetch_sub(1, Ordering::SeqCst);
+                        SESSIONS_ACTIVE.add(-1);
                     });
                 match spawned {
                     Ok(handle) => sessions.lock().expect("session list lock").push(handle),
@@ -718,7 +872,7 @@ fn accept_loop(shared: Arc<Shared>, listener: AnyListener) {
 }
 
 /// Send an `ERROR` frame (best-effort — the peer may already be gone).
-fn send_error(stream: &mut AnyStream, code: u32, message: String) {
+fn send_error(stream: &mut impl Write, code: u32, message: String) {
     let payload = ErrorResponse { code, message }.encode();
     let _ = write_frame(stream, frame::ERROR, &payload);
 }
@@ -726,7 +880,7 @@ fn send_error(stream: &mut AnyStream, code: u32, message: String) {
 /// Stream a violation iterator as bounded `VIO_CHUNK` frames, encoding
 /// each chunk straight from the borrowed set (no per-violation clones).
 fn stream_violations<'v>(
-    stream: &mut AnyStream,
+    stream: &mut impl Write,
     side: Side,
     violations: impl Iterator<Item = &'v Violation>,
 ) -> Result<u64, ProtocolError> {
@@ -923,6 +1077,7 @@ impl SessionCtx {
                 self.store = current;
                 self.reroot_failed_for = None;
                 self.auto_compact_disabled = false;
+                SESSION_REBASES.inc();
             }
             // The published epoch cannot absorb this overlay: keep serving
             // from the session's own (refcounted) mapping, and remember the
@@ -990,6 +1145,7 @@ fn compact_session(shared: &Shared, ctx: &mut SessionCtx) -> Result<EpochRespons
         .expect("owned files")
         .push(out_path);
     shared.compactions.fetch_add(1, Ordering::SeqCst);
+    EPOCH_SWITCHES.inc();
     ctx.maybe_reroot(shared);
     Ok(EpochResponse {
         epoch: ctx.epoch(),
@@ -1001,7 +1157,10 @@ fn compact_session(shared: &Shared, ctx: &mut SessionCtx) -> Result<EpochRespons
 }
 
 /// One connection's request loop.
-fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolError> {
+fn run_session(shared: &Shared, raw: &mut AnyStream) -> Result<(), ProtocolError> {
+    // All frame I/O goes through the byte-accounting wrapper; `raw` is not
+    // touched again below.
+    let stream = &mut CountingStream { inner: raw };
     let mut ctx = SessionCtx::new(shared.published());
     let mut sigma: Arc<RuleSet> = Arc::clone(&shared.sigma);
     loop {
@@ -1015,10 +1174,12 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                 return Err(e);
             }
         };
+        let _frame_timer = FrameTimer::start(kind);
         // Message boundary: adopt a newly published epoch before touching
         // the request, and announce the switch ahead of the answer.
         ctx.maybe_reroot(shared);
         if let Some(notice) = ctx.notice.take() {
+            SWITCH_NOTICES.inc();
             write_frame(stream, frame::EPOCH_SWITCHED, &notice.encode())?;
         }
         match kind {
@@ -1176,8 +1337,15 @@ fn run_session(shared: &Shared, stream: &mut AnyStream) -> Result<(), ProtocolEr
                     violations_streamed: shared.violations_streamed.load(Ordering::SeqCst),
                     plan_cache_hits: ctx.store.plan_cache().hits(),
                     plan_cache_misses: ctx.store.plan_cache().misses(),
+                    uptime_secs: shared.started.elapsed().as_secs(),
                 };
                 write_frame(stream, frame::STATS_OK, &response.encode())?;
+            }
+            frame::METRICS => {
+                let response = MetricsResponse {
+                    snapshot: ngd_obs::global().snapshot(),
+                };
+                write_frame(stream, frame::METRICS_OK, &response.encode())?;
             }
             frame::RESET => {
                 let dropped = ctx.reset();

@@ -374,6 +374,7 @@ pub fn put_stats(w: &mut WireWriter, stats: &SearchStats) {
     w.u64(stats.expanded as u64);
     w.u64(stats.candidates_inspected as u64);
     w.u64(stats.matches_found as u64);
+    w.u64(stats.gallop_intersections as u64);
     w.u64(stats.plan_cache_hits);
     w.u64(stats.plan_cache_misses);
 }
@@ -384,6 +385,7 @@ pub fn get_stats(r: &mut WireReader<'_>) -> Result<SearchStats, ProtocolError> {
         expanded: r.u64()? as usize,
         candidates_inspected: r.u64()? as usize,
         matches_found: r.u64()? as usize,
+        gallop_intersections: r.u64()? as usize,
         plan_cache_hits: r.u64()?,
         plan_cache_misses: r.u64()?,
     })
@@ -498,6 +500,7 @@ mod tests {
                 expanded: 1,
                 candidates_inspected: 2,
                 matches_found: 3,
+                gallop_intersections: 6,
                 plan_cache_hits: 4,
                 plan_cache_misses: 5,
             },

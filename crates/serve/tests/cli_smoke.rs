@@ -169,3 +169,85 @@ fn rules_with_a_parse_error_fails_locally_before_connecting() {
         "unexpected stderr: {stderr}"
     );
 }
+
+#[test]
+fn metrics_with_a_bogus_format_prints_usage_and_exits_2() {
+    let out = cli(&["metrics", "--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn top_with_a_bogus_interval_prints_usage_and_exits_2() {
+    let out = cli(&["top", "-3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("usage:"));
+}
+
+#[test]
+fn metrics_against_a_dead_daemon_fails_typed() {
+    let out = cli(&["--connect", "tcp:127.0.0.1:9", "metrics"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("connect"));
+}
+
+/// End-to-end against a live daemon: `metrics` must emit valid Prometheus
+/// text (and JSON with `--format json`), `top` must run its ticks and
+/// exit, and `stats` must show the uptime and plan-cache hit-rate lines.
+#[test]
+fn metrics_top_and_stats_work_against_a_live_daemon() {
+    use ngd_core::{paper, RuleSet};
+    use ngd_detect::DetectorConfig;
+    use ngd_graph::persist::SnapshotWriter;
+    use ngd_serve::{ServeAddr, ServeClient, Server, SnapshotStore};
+
+    let (graph, _) = paper::figure1_g4();
+    let snap_path = write_temp("metrics-live.ngds", "");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+    let server = Server::start(
+        SnapshotStore::open(&snap_path).unwrap(),
+        RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]),
+        &ServeAddr::Tcp("127.0.0.1:0".into()),
+        DetectorConfig::default(),
+    )
+    .expect("server starts");
+    let connect = server.local_addr().to_string();
+
+    // Drive one detection so the registry has matcher/detect metrics.
+    let mut warm = ServeClient::connect(server.local_addr()).unwrap();
+    warm.query().unwrap();
+    drop(warm);
+
+    let prom = cli(&["--connect", &connect, "metrics"]);
+    assert_eq!(prom.status.code(), Some(0), "{}", stderr_of(&prom));
+    let text = stdout_of(&prom);
+    assert!(
+        text.contains("# TYPE ngd_serve_frame_query_count counter"),
+        "no per-frame counter in:\n{text}"
+    );
+    assert!(text.contains("ngd_matcher_plan_cache_misses"));
+    assert!(text.contains("ngd_serve_frame_query_latency_ns_bucket{le=\"+Inf\"}"));
+
+    let json = cli(&["--connect", &connect, "metrics", "--format", "json"]);
+    assert_eq!(json.status.code(), Some(0));
+    assert!(stdout_of(&json).contains("\"serve.frame.query.count\""));
+
+    let top = cli(&["--connect", &connect, "top", "0.05", "2"]);
+    assert_eq!(top.status.code(), Some(0), "{}", stderr_of(&top));
+    let top_text = stdout_of(&top);
+    assert_eq!(top_text.matches("ngd-top @").count(), 2, "{top_text}");
+    assert!(top_text.contains("plan cache"), "{top_text}");
+
+    let stats = cli(&["--connect", &connect, "stats"]);
+    assert_eq!(stats.status.code(), Some(0));
+    let stats_text = stdout_of(&stats);
+    assert!(stats_text.contains("hit rate"), "{stats_text}");
+    assert!(stats_text.contains("service    : up "), "{stats_text}");
+
+    let shutdown = cli(&["--connect", &connect, "shutdown"]);
+    assert_eq!(shutdown.status.code(), Some(0));
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+}

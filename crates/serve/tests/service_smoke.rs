@@ -251,6 +251,7 @@ fn auto_compaction_triggers_at_the_configured_overlay_size() {
         DetectorConfig::default(),
         ServeOptions {
             compact_after: Some(2),
+            ..ServeOptions::default()
         },
     )
     .expect("server starts");
@@ -309,6 +310,111 @@ fn auto_compaction_triggers_at_the_configured_overlay_size() {
     drop(client);
     server.wait();
     std::fs::remove_file(&snap_path).ok();
+}
+
+/// The `METRICS` frame round-trips the daemon's live registry snapshot:
+/// after one update and one query the snapshot must carry the per-frame
+/// counters and latency histograms, the plan-cache counters, the session
+/// gauge and the byte counters — and render as Prometheus text.  Also
+/// exercises `ServeOptions::metrics_dump`: the daemon leaves a parseable
+/// JSON snapshot behind on shutdown.
+#[test]
+fn metrics_frame_reports_live_registry_and_dump_file_is_written() {
+    use ngd_serve::ServeOptions;
+    let (graph, fake) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let snap_path = temp_path("metrics.ngds");
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+    let dump_path = temp_path("metrics-dump.json");
+
+    let server = Server::start_with(
+        SnapshotStore::open(&snap_path).unwrap(),
+        sigma,
+        &ServeAddr::Unix(temp_path("metrics-sock")),
+        DetectorConfig::with_processors(2),
+        ServeOptions {
+            metrics_dump: Some(dump_path.clone()),
+            metrics_interval: Some(std::time::Duration::from_secs(3600)),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+
+    let status = graph
+        .out_neighbors(fake)
+        .iter()
+        .find(|&&(_, l)| l == intern("status"))
+        .map(|&(n, _)| n)
+        .unwrap();
+    let mut delta = BatchUpdate::new();
+    delta.delete_edge(fake, status, intern("status"));
+    client.submit_update(&delta).unwrap();
+    client.query().unwrap();
+
+    let snapshot = client.metrics().expect("METRICS round-trips");
+
+    // Per-frame accounting: the frames this very session sent so far.
+    for kind in ["hello", "update", "query"] {
+        let count = snapshot.counter(&format!("serve.frame.{kind}.count"));
+        assert!(
+            count.is_some_and(|n| n >= 1),
+            "serve.frame.{kind}.count missing or zero: {count:?}"
+        );
+        let latency = snapshot.histogram(&format!("serve.frame.{kind}.latency_ns"));
+        assert!(
+            latency.is_some_and(|h| h.count >= 1),
+            "serve.frame.{kind}.latency_ns missing or empty"
+        );
+    }
+    // The METRICS frame itself counts before the snapshot is taken.
+    assert!(snapshot
+        .counter("serve.frame.metrics.count")
+        .is_some_and(|n| n >= 1));
+
+    // Session and transport accounting.
+    assert!(snapshot
+        .gauge("serve.sessions.active")
+        .is_some_and(|n| n >= 1));
+    assert!(snapshot.counter("serve.bytes.in").is_some_and(|n| n > 0));
+    assert!(snapshot.counter("serve.bytes.out").is_some_and(|n| n > 0));
+
+    // The detection run behind the update/query folded its telemetry.
+    assert!(snapshot
+        .counter("matcher.plan_cache.misses")
+        .is_some_and(|n| n >= 1));
+    assert!(snapshot
+        .counter("matcher.search.expanded")
+        .is_some_and(|n| n >= 1));
+    assert!(snapshot
+        .histogram("detect.batch.run_ns")
+        .is_some_and(|h| h.count >= 1));
+    assert!(snapshot
+        .histogram("detect.delta.run_ns")
+        .is_some_and(|h| h.count >= 1));
+
+    // The snapshot renders as Prometheus text with mangled names.
+    let prom = ngd_obs::render_prometheus(&snapshot);
+    assert!(prom.contains("# TYPE ngd_serve_frame_update_count counter"));
+    assert!(prom.contains("ngd_serve_frame_update_latency_ns_bucket{le=\"+Inf\"}"));
+    assert!(prom.contains("# TYPE ngd_serve_sessions_active gauge"));
+
+    client.shutdown_server().unwrap();
+    drop(client);
+    server.wait();
+
+    // The dump thread wrote a final snapshot on shutdown.
+    let dumped = std::fs::read_to_string(&dump_path).expect("dump file exists");
+    let parsed: ngd_obs::MetricsSnapshot =
+        ngd_json::from_str(&dumped).expect("dump file is a JSON snapshot");
+    assert!(parsed
+        .counter("serve.frame.update.count")
+        .is_some_and(|n| n >= 1));
+
+    std::fs::remove_file(&snap_path).ok();
+    std::fs::remove_file(&dump_path).ok();
 }
 
 /// Concurrent sessions across a node-adding compaction: an edge-only
