@@ -1,0 +1,332 @@
+//! Open-loop load generator for the serving layer: C10K-style many-session
+//! throughput and tail latency, plus the streaming-ΔVio head-start.
+//!
+//! Two workloads against one daemon over TCP loopback:
+//!
+//! * **single/**: one session submits the 11k-workload 2 % batch and
+//!   measures, per request, the time to the *first* `VIO_CHUNK` versus the
+//!   time to the closing `UPDATE_DONE`.  The reactor streams violations
+//!   while the expansion still runs, so the first violation must arrive
+//!   measurably before the full answer (asserted: median first-violation
+//!   latency < 0.9× median full-run latency).
+//! * **open_loop/**: `LOADGEN_SESSIONS` concurrent sessions (default 256;
+//!   CI's bench-smoke runs 64) each fire small update batches on a fixed
+//!   arrival schedule.  The aggregate offered rate is held at
+//!   `LOADGEN_RPS` (default 150/s) no matter how many sessions exist —
+//!   more sessions, longer per-session think time — which is what C10K
+//!   means: concurrency is cheap, capacity is the pool's.  Open-loop means
+//!   latency is measured from the *scheduled* send time, so a server that
+//!   falls behind pays for its queue — the honest tail.  Reported: p50,
+//!   p99, and throughput.
+//!
+//! Running it rewrites `BENCH_load.json` at the repository root; CI's
+//! `bench-smoke` job runs it on every PR.  Acceptance bars asserted here:
+//!
+//! * first-violation latency < 0.9× full-run latency (streaming works);
+//! * open-loop p99 ≤ max(250 ms, 50× the single-session median) — many
+//!   sessions may queue on the bounded pool, but the tail stays sane;
+//! * OS threads named `ngd-serve*` stay bounded by the worker pool, no
+//!   matter how many sessions connect (Linux; checked via /proc).
+
+use ngd_bench::harness::Measurement;
+use ngd_core::{paper, RuleSet};
+use ngd_datagen::{
+    generate_knowledge, generate_rules, generate_update, KnowledgeConfig, RuleGenConfig,
+    UpdateConfig,
+};
+use ngd_detect::DetectorConfig;
+use ngd_graph::persist::SnapshotWriter;
+use ngd_graph::{BatchUpdate, Graph};
+use ngd_serve::{ServeAddr, ServeClient, ServeOptions, Server, SnapshotStore};
+use std::time::{Duration, Instant};
+
+const PROCESSORS: usize = 3;
+const WORKERS: usize = 4;
+/// Requests per session in the open-loop phase.
+const REQS_PER_SESSION: usize = 4;
+/// Single-session warm-up + measured iterations.
+const SINGLE_ITERS: usize = 8;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn sessions_from_env() -> usize {
+    env_usize("LOADGEN_SESSIONS", 256)
+}
+
+/// Aggregate offered arrival rate, held constant as the session count
+/// scales: more sessions means each one fires less often, the way ten
+/// thousand mostly-idle clients actually behave.  Must sit below the
+/// pool's service capacity or the open-loop queue grows without bound.
+fn offered_rps_from_env() -> usize {
+    env_usize("LOADGEN_RPS", 150)
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    assert!(!sorted_ns.is_empty());
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+fn median_ns(latencies: &mut [u64]) -> u64 {
+    latencies.sort_unstable();
+    percentile(latencies, 0.5)
+}
+
+/// Threads of this process whose name starts with `ngd-serve` (the
+/// reactor and its workers — sessions must not add any).
+#[cfg(target_os = "linux")]
+fn serve_thread_count() -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter(|entry| {
+            std::fs::read_to_string(entry.path().join("comm"))
+                .map(|name| name.trim_end().starts_with("ngd-serve"))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+fn measurement(name: &str, iters: u64, ns: f64, samples: usize) -> Measurement {
+    Measurement {
+        name: name.to_string(),
+        iters,
+        ns_per_iter: ns,
+        samples,
+    }
+}
+
+fn workload() -> (Graph, RuleSet, BatchUpdate) {
+    let graph = generate_knowledge(&KnowledgeConfig::dbpedia_like(50).with_seed(0xC5_A11)).graph;
+    assert!(graph.node_count() >= 10_000);
+    let mut rules = vec![paper::phi1(1), paper::phi2(), paper::phi3(), paper::ngd3()];
+    rules.extend(
+        generate_rules(&graph, &RuleGenConfig::paper_style(4, 3).with_seed(11))
+            .rules()
+            .iter()
+            .cloned(),
+    );
+    let sigma = RuleSet::from_rules(rules);
+    let delta = generate_update(&graph, &UpdateConfig::fraction(0.02).with_seed(13));
+    (graph, sigma, delta)
+}
+
+fn main() {
+    let sessions = sessions_from_env();
+    let (graph, sigma, big_delta) = workload();
+
+    let snap_path = std::env::temp_dir().join(format!("ngd-loadgen-{}.ngds", std::process::id()));
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("write snapshot");
+    let server = Server::start_with(
+        SnapshotStore::open(&snap_path).expect("open snapshot"),
+        sigma.clone(),
+        &ServeAddr::Tcp("127.0.0.1:0".into()),
+        DetectorConfig::with_processors(PROCESSORS),
+        ServeOptions {
+            worker_threads: Some(WORKERS),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr().clone();
+    println!(
+        "# loadgen: |V| = {}, |E| = {}, ‖Σ‖ = {}, |ΔG| = {}, sessions = {sessions}, workers = {WORKERS}",
+        graph.node_count(),
+        graph.edge_count(),
+        sigma.len(),
+        big_delta.len(),
+    );
+
+    // ---- Phase 1: single session, first-violation vs full-run latency --
+    let mut client = ServeClient::connect_as(&addr, "loadgen-single").expect("connect");
+    let mut first_vio_ns: Vec<u64> = Vec::with_capacity(SINGLE_ITERS);
+    let mut full_ns: Vec<u64> = Vec::with_capacity(SINGLE_ITERS);
+    let mut streamed_total = 0u64;
+    for iter in 0..SINGLE_ITERS + 1 {
+        let start = Instant::now();
+        let mut first: Option<Duration> = None;
+        let done = client
+            .submit_update_streaming(&big_delta, |_side, _violations| {
+                if first.is_none() {
+                    first = Some(start.elapsed());
+                }
+            })
+            .expect("served update");
+        let full = start.elapsed();
+        client.reset().expect("reset");
+        if iter == 0 {
+            continue; // warm-up: plan cache, page faults
+        }
+        let first = first.expect("the 2% batch must produce violations");
+        first_vio_ns.push(first.as_nanos() as u64);
+        full_ns.push(full.as_nanos() as u64);
+        streamed_total = done.added_total + done.removed_total;
+    }
+    assert!(streamed_total > 0);
+    let first_median = median_ns(&mut first_vio_ns);
+    let full_median = median_ns(&mut full_ns);
+    println!(
+        "single session: first violation after {:.2} ms, full answer after {:.2} ms ({} violations)",
+        first_median as f64 / 1e6,
+        full_median as f64 / 1e6,
+        streamed_total,
+    );
+
+    // ---- Phase 2: open-loop fan-out ------------------------------------
+    // Per-session arrival interval so the aggregate offered rate stays at
+    // `offered_rps` regardless of session count; sessions are phase-shifted
+    // uniformly across one interval so arrivals stay evenly spread.
+    let offered_rps = offered_rps_from_env();
+    let interval = Duration::from_secs_f64(sessions as f64 / offered_rps as f64);
+    // Everyone connects first (connections are cheap — that is the point),
+    // then the clock starts.
+    let epoch = Instant::now() + Duration::from_secs(2);
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let addr = addr.clone();
+                let graph = &graph;
+                scope.spawn(move || {
+                    // Spread connects so the accept burst does not overflow
+                    // the listen backlog; the clock only starts at `epoch`.
+                    std::thread::sleep(Duration::from_millis(3 * i as u64 % 1500));
+                    let mut client = ServeClient::connect_as(&addr, &format!("loadgen-{i}"))
+                        .expect("session connects");
+                    let delta = generate_update(
+                        graph,
+                        &UpdateConfig::fraction(0.0005).with_seed(1000 + i as u64),
+                    );
+                    let phase = interval.mul_f64(i as f64 / sessions as f64);
+                    let mut lat = Vec::with_capacity(REQS_PER_SESSION);
+                    for req in 0..REQS_PER_SESSION {
+                        // Open loop: the schedule does not slip when the
+                        // server is slow — queueing delay is counted.
+                        let scheduled = epoch + phase + interval * req as u32;
+                        if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        client.submit_update(&delta).expect("served update");
+                        client.reset().expect("reset");
+                        lat.push(scheduled.elapsed().as_nanos() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let started = epoch;
+    let wall = started.elapsed();
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    let throughput = latencies.len() as f64 / wall.as_secs_f64();
+    println!(
+        "open loop: {} requests over {sessions} sessions in {:.2} s ({throughput:.0} req/s), \
+         p50 = {:.2} ms, p99 = {:.2} ms",
+        latencies.len(),
+        wall.as_secs_f64(),
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+
+    #[cfg(target_os = "linux")]
+    let serve_threads = serve_thread_count();
+    #[cfg(not(target_os = "linux"))]
+    let serve_threads = 0usize;
+    #[cfg(target_os = "linux")]
+    println!("serve threads at peak: {serve_threads} (pool = {WORKERS} + 1 reactor)");
+
+    let results = vec![
+        measurement(
+            "single/first_violation",
+            SINGLE_ITERS as u64,
+            first_median as f64,
+            SINGLE_ITERS,
+        ),
+        measurement(
+            "single/full_answer",
+            SINGLE_ITERS as u64,
+            full_median as f64,
+            SINGLE_ITERS,
+        ),
+        measurement("open_loop/p50", latencies.len() as u64, p50 as f64, 1),
+        measurement("open_loop/p99", latencies.len() as u64, p99 as f64, 1),
+        measurement(
+            "open_loop/mean",
+            latencies.len() as u64,
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64,
+            1,
+        ),
+    ];
+    let json = ngd_json::Json::Obj(vec![
+        (
+            "notes".to_string(),
+            ngd_json::Json::Obj(
+                [
+                    ("bench", "loadgen".to_string()),
+                    ("nodes", graph.node_count().to_string()),
+                    ("edges", graph.edge_count().to_string()),
+                    ("sessions", sessions.to_string()),
+                    ("offered_rps", offered_rps.to_string()),
+                    ("workers", WORKERS.to_string()),
+                    ("requests", latencies.len().to_string()),
+                    ("throughput_rps", format!("{throughput:.1}")),
+                    ("serve_threads", serve_threads.to_string()),
+                    ("delta_violations_single", streamed_total.to_string()),
+                ]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), ngd_json::Json::Str(v)))
+                .collect(),
+            ),
+        ),
+        ("results".to_string(), ngd_json::ToJson::to_json(&results)),
+    ])
+    .render_pretty();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+
+    let mut shutdown = ServeClient::connect_as(&addr, "loadgen-shutdown").expect("connect");
+    shutdown.shutdown_server().expect("shutdown");
+    drop(shutdown);
+    drop(client);
+    server.wait();
+    std::fs::remove_file(&snap_path).ok();
+
+    // ---- Acceptance bars ----------------------------------------------
+    assert!(
+        (first_median as f64) < 0.9 * full_median as f64,
+        "streaming ΔVio must deliver the first violation measurably before \
+         the full answer (first {first_median} ns vs full {full_median} ns)"
+    );
+    let p99_bar = (50 * full_median).max(250_000_000);
+    assert!(
+        p99 <= p99_bar,
+        "open-loop p99 ({p99} ns) over {sessions} sessions exceeded the bar \
+         ({p99_bar} ns = max(250ms, 50x single-session median))"
+    );
+    #[cfg(target_os = "linux")]
+    assert!(
+        serve_threads <= WORKERS + 3,
+        "serving threads must be bounded by the pool, not the session \
+         count (saw {serve_threads})"
+    );
+}

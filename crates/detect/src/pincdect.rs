@@ -36,7 +36,7 @@
 use crate::balance::plan_migrations;
 use crate::config::{AlgorithmKind, DetectorConfig};
 use crate::cost::{should_split, CostLedger};
-use crate::report::{DeltaReport, SearchStats};
+use crate::report::{DeltaReport, SearchStats, VioSide, VioSink};
 use ngd_core::{is_violation, Ngd, RuleSet};
 use ngd_graph::{
     d_neighbors_many, BatchUpdate, DeltaOverlay, EdgeRef, Graph, GraphView, NodeId, Partition,
@@ -92,6 +92,17 @@ struct WorkerOutput {
     cost: CostLedger,
 }
 
+/// Streaming state shared by every worker when the caller installed a
+/// [`VioSink`]: the `seen` set de-duplicates across workers (each worker's
+/// own `WorkerOutput` set only catches its *local* repeats — two workers
+/// can legitimately complete the same match after a split or a migration),
+/// so the sink observes each violation exactly once and the streamed
+/// totals equal the merged report's.
+struct EmitState<'a> {
+    sink: VioSink<'a>,
+    seen: Mutex<DeltaViolations>,
+}
+
 /// Shared runtime state of one `PIncDect` invocation.
 ///
 /// Each worker reads the graphs through its *own* `(old, new)` view pair:
@@ -110,6 +121,8 @@ struct Runtime<'a, V: GraphView> {
     /// Rank of each deleted edge in `ΔG⁻`.
     deleted_ranks: HashMap<ngd_graph::EdgeRef, usize>,
     config: DetectorConfig,
+    /// Present when the caller wants violations streamed during expansion.
+    emit: Option<EmitState<'a>>,
     queues: Vec<Mutex<VecDeque<WorkUnit>>>,
     /// Work units currently queued (all workers).
     pending: AtomicUsize,
@@ -206,6 +219,28 @@ impl<'a, V: GraphView> Runtime<'a, V> {
                 && !pattern_matches(rule, other_graph, &complete)
             {
                 let violation = Violation::new(rule.id.clone(), complete);
+                if let Some(emit) = &self.emit {
+                    // Global dedup before the sink: only the worker that
+                    // wins the `seen` insert delivers, so a violation that
+                    // several workers complete (split/migrated units) is
+                    // still streamed exactly once.  The lock is released
+                    // before the sink runs — a sink blocked on
+                    // back-pressure must not serialize the dedup path.
+                    let fresh = {
+                        let mut seen = emit.seen.lock().expect("emit set lock poisoned");
+                        match unit.phase {
+                            Phase::Added => seen.added.insert(violation.clone()),
+                            Phase::Removed => seen.removed.insert(violation.clone()),
+                        }
+                    };
+                    if fresh {
+                        let side = match unit.phase {
+                            Phase::Added => VioSide::Added,
+                            Phase::Removed => VioSide::Removed,
+                        };
+                        (emit.sink)(side, &violation);
+                    }
+                }
                 match unit.phase {
                     Phase::Added => out.delta.added.insert(violation),
                     Phase::Removed => out.delta.removed.insert(violation),
@@ -474,6 +509,38 @@ pub fn pinc_dect_prepared_cached<V: GraphView + Sync>(
         None,
         None,
         cache,
+        None,
+    )
+    .observed()
+}
+
+/// [`pinc_dect_prepared_cached`] with a [`VioSink`]: every violation is
+/// handed to `sink` **while expansion is still running**, so a serving
+/// layer can put the first `ΔVio` bytes on the wire long before the run
+/// completes.  The returned report is identical to the non-streaming
+/// variants (same deterministic sets); see [`VioSink`] for the delivery
+/// guarantees.
+pub fn pinc_dect_prepared_streaming<V: GraphView + Sync>(
+    sigma: &RuleSet,
+    old_graph: &V,
+    new_graph: &V,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+    sink: VioSink<'_>,
+) -> DeltaReport {
+    let p = config.processors.max(1);
+    let views: Vec<(&V, &V)> = vec![(old_graph, new_graph); p];
+    pinc_dect_core(
+        sigma,
+        &views,
+        PivotRouting::RoundRobin,
+        delta,
+        config,
+        None,
+        None,
+        cache,
+        Some(sink),
     )
     .observed()
 }
@@ -557,6 +624,40 @@ pub fn pinc_dect_sharded_rebased_cached<S: ShardedRead>(
     config: &DetectorConfig,
     cache: &PlanCache,
 ) -> DeltaReport {
+    pinc_dect_sharded_rebased_core(sigma, sharded, accumulated, delta, config, cache, None)
+}
+
+/// [`pinc_dect_sharded_rebased_cached`] with a [`VioSink`] — the sharded
+/// twin of [`pinc_dect_prepared_streaming`], same delivery guarantees.
+pub fn pinc_dect_sharded_rebased_streaming<S: ShardedRead>(
+    sigma: &RuleSet,
+    sharded: &S,
+    accumulated: &BatchUpdate,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+    sink: VioSink<'_>,
+) -> DeltaReport {
+    pinc_dect_sharded_rebased_core(
+        sigma,
+        sharded,
+        accumulated,
+        delta,
+        config,
+        cache,
+        Some(sink),
+    )
+}
+
+fn pinc_dect_sharded_rebased_core<S: ShardedRead>(
+    sigma: &RuleSet,
+    sharded: &S,
+    accumulated: &BatchUpdate,
+    delta: &BatchUpdate,
+    config: &DetectorConfig,
+    cache: &PlanCache,
+    sink: Option<VioSink<'_>>,
+) -> DeltaReport {
     let merged = {
         let mut m = accumulated.clone();
         m.merge(delta);
@@ -594,6 +695,7 @@ pub fn pinc_dect_sharded_rebased_cached<S: ShardedRead>(
         Some(AlgorithmKind::PIncDectSharded),
         Some(neighborhood),
         cache,
+        sink,
     );
     let fetches: u64 = frag_views
         .iter()
@@ -616,6 +718,7 @@ fn pinc_dect_core<V: GraphView + Sync>(
     algorithm_override: Option<AlgorithmKind>,
     neighborhood_override: Option<usize>,
     cache: &PlanCache,
+    sink: Option<VioSink<'_>>,
 ) -> DeltaReport {
     let start = Instant::now();
     let (hits0, misses0) = (cache.hits(), cache.misses());
@@ -676,6 +779,10 @@ fn pinc_dect_core<V: GraphView + Sync>(
         inserted_ranks,
         deleted_ranks,
         config: *config,
+        emit: sink.map(|sink| EmitState {
+            sink,
+            seen: Mutex::new(DeltaViolations::new()),
+        }),
         queues: (0..p).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(0),
         active: AtomicUsize::new(0),
@@ -827,6 +934,73 @@ mod tests {
         assert_eq!(ns.cost.splits, 0);
         assert_eq!(ns.algorithm, AlgorithmKind::PIncDectNs);
         assert_eq!(ns.delta, report.delta);
+    }
+
+    #[test]
+    fn streaming_sink_delivers_each_violation_exactly_once() {
+        // Forced splitting (tiny latency constant) maximises the chance of
+        // two workers completing the same match — the sink must still see
+        // every violation of the final report exactly once, so collecting
+        // the stream into fresh sets (which would hide duplicates) is not
+        // enough: count raw deliveries too.
+        let (g, delta, sigma) = example7();
+        let snapshot = g.freeze();
+        let old_view = snapshot.as_overlay();
+        let new_view = DeltaOverlay::new(&snapshot, &delta);
+        for config in [
+            DetectorConfig::with_processors(4).latency(0.5),
+            DetectorConfig::with_processors(1),
+            DetectorConfig::with_processors(4).no_hybrid(),
+        ] {
+            let streamed: Mutex<(DeltaViolations, u64)> = Mutex::new((DeltaViolations::new(), 0));
+            let report = pinc_dect_prepared_streaming(
+                &sigma,
+                &old_view,
+                &new_view,
+                &delta,
+                &config,
+                &PlanCache::new(),
+                &|side, violation| {
+                    let mut guard = streamed.lock().unwrap();
+                    match side {
+                        VioSide::Added => guard.0.added.insert(violation.clone()),
+                        VioSide::Removed => guard.0.removed.insert(violation.clone()),
+                    };
+                    guard.1 += 1;
+                },
+            );
+            let (collected, deliveries) = streamed.into_inner().unwrap();
+            assert_eq!(collected, report.delta);
+            assert_eq!(deliveries as usize, report.delta.len());
+            assert_eq!(report.delta.removed.len(), 99);
+        }
+    }
+
+    #[test]
+    fn sharded_streaming_sink_matches_report() {
+        use ngd_graph::PartitionStrategy;
+        let (g, delta, sigma) = example7();
+        let sharded = g.freeze_sharded(4, PartitionStrategy::EdgeCut, 0);
+        let streamed: Mutex<(DeltaViolations, u64)> = Mutex::new((DeltaViolations::new(), 0));
+        let report = pinc_dect_sharded_rebased_streaming(
+            &sigma,
+            &sharded,
+            &BatchUpdate::new(),
+            &delta,
+            &DetectorConfig::default().latency(0.5),
+            &PlanCache::new(),
+            &|side, violation| {
+                let mut guard = streamed.lock().unwrap();
+                match side {
+                    VioSide::Added => guard.0.added.insert(violation.clone()),
+                    VioSide::Removed => guard.0.removed.insert(violation.clone()),
+                };
+                guard.1 += 1;
+            },
+        );
+        let (collected, deliveries) = streamed.into_inner().unwrap();
+        assert_eq!(collected, report.delta);
+        assert_eq!(deliveries as usize, report.delta.len());
     }
 
     #[test]

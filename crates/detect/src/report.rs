@@ -95,6 +95,38 @@ impl SearchStats {
     }
 }
 
+/// Which half of `ΔVio` a streamed violation belongs to.
+///
+/// Carried alongside every violation handed to a [`VioSink`]: `Added`
+/// violations land in `ΔVio⁺` of the final [`DeltaReport`], `Removed` in
+/// `ΔVio⁻`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VioSide {
+    /// The violation appears in `G ⊕ ΔG` but not `G` (`ΔVio⁺`).
+    Added,
+    /// The violation appears in `G` but not `G ⊕ ΔG` (`ΔVio⁻`).
+    Removed,
+}
+
+/// A violation-sink callback: invoked by the streaming incremental
+/// detectors (`pinc_dect_prepared_streaming` and friends) for every
+/// violation **as it is discovered**, while expansion is still running.
+///
+/// Guarantees:
+///
+/// * each `(side, violation)` pair is delivered **exactly once** — the
+///   runtime de-duplicates across workers before calling the sink, so the
+///   delivered totals equal the final report's `delta.added.len()` /
+///   `delta.removed.len()`;
+/// * calls may come from any worker thread (the sink must be `Sync`), but
+///   never concurrently for the same violation;
+/// * delivery order is discovery order — **not** the deterministic set
+///   order of the final report, and `Added`/`Removed` interleave freely.
+///
+/// A sink must not panic; it may block (e.g. on socket back-pressure), in
+/// which case the blocked worker stalls while the others keep expanding.
+pub type VioSink<'s> = &'s (dyn Fn(VioSide, &ngd_match::Violation) + Sync);
+
 /// Report of a batch detection run (`Vio(Σ, G)`).
 #[derive(Debug, Clone)]
 pub struct DetectionReport {

@@ -40,8 +40,11 @@
 
 use crate::batch::dect_on_cached;
 use crate::config::DetectorConfig;
-use crate::pincdect::{pinc_dect_prepared_cached, pinc_dect_sharded_rebased_cached};
-use crate::report::{DeltaReport, DetectionReport};
+use crate::pincdect::{
+    pinc_dect_prepared_cached, pinc_dect_prepared_streaming, pinc_dect_sharded_rebased_cached,
+    pinc_dect_sharded_rebased_streaming,
+};
+use crate::report::{DeltaReport, DetectionReport, VioSink};
 use ngd_core::RuleSet;
 use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, RebaseError, ShardedRead, UpdateError};
 use ngd_match::PlanCache;
@@ -186,13 +189,47 @@ impl<'a, B: GraphView + Sync> IncrementalSession<'a, B> {
         config: &DetectorConfig,
         cache: &PlanCache,
     ) -> Result<DeltaReport, UpdateError> {
+        self.apply_inner(sigma, delta, config, cache, None)
+    }
+
+    /// [`IncrementalSession::apply_with_cache`] with a [`VioSink`]: each
+    /// violation of the answer is streamed to `sink` while the detection
+    /// run is still expanding (`ngd-serve` puts the first `VIO_CHUNK` on
+    /// the wire from here).  See [`VioSink`] for the delivery guarantees;
+    /// the returned report is unchanged.
+    pub fn apply_streaming(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+        cache: &PlanCache,
+        sink: VioSink<'_>,
+    ) -> Result<DeltaReport, UpdateError> {
+        self.apply_inner(sigma, delta, config, cache, Some(sink))
+    }
+
+    fn apply_inner(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+        cache: &PlanCache,
+        sink: Option<VioSink<'_>>,
+    ) -> Result<DeltaReport, UpdateError> {
         delta.validate_against(&self.view())?;
         let mut merged = self.accumulated.clone();
         merged.merge(delta);
         let report = {
             let old_view = DeltaOverlay::new(self.base, &self.accumulated);
             let new_view = DeltaOverlay::new(self.base, &merged);
-            pinc_dect_prepared_cached(sigma, &old_view, &new_view, delta, config, cache)
+            match sink {
+                None => {
+                    pinc_dect_prepared_cached(sigma, &old_view, &new_view, delta, config, cache)
+                }
+                Some(sink) => pinc_dect_prepared_streaming(
+                    sigma, &old_view, &new_view, delta, config, cache, sink,
+                ),
+            }
         };
         self.accumulated = merged;
         self.batches_applied += 1;
@@ -320,15 +357,51 @@ impl<'a, S: ShardedRead> ShardedIncrementalSession<'a, S> {
         config: &DetectorConfig,
         cache: &PlanCache,
     ) -> Result<DeltaReport, UpdateError> {
+        self.apply_inner(sigma, delta, config, cache, None)
+    }
+
+    /// [`ShardedIncrementalSession::apply_with_cache`] with a [`VioSink`]
+    /// (see [`IncrementalSession::apply_streaming`]): violations stream to
+    /// `sink` during expansion, one worker per fragment.
+    pub fn apply_streaming(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+        cache: &PlanCache,
+        sink: VioSink<'_>,
+    ) -> Result<DeltaReport, UpdateError> {
+        self.apply_inner(sigma, delta, config, cache, Some(sink))
+    }
+
+    fn apply_inner(
+        &mut self,
+        sigma: &RuleSet,
+        delta: &BatchUpdate,
+        config: &DetectorConfig,
+        cache: &PlanCache,
+        sink: Option<VioSink<'_>>,
+    ) -> Result<DeltaReport, UpdateError> {
         delta.validate_against(&self.view())?;
-        let report = pinc_dect_sharded_rebased_cached(
-            sigma,
-            self.sharded,
-            &self.accumulated,
-            delta,
-            config,
-            cache,
-        );
+        let report = match sink {
+            None => pinc_dect_sharded_rebased_cached(
+                sigma,
+                self.sharded,
+                &self.accumulated,
+                delta,
+                config,
+                cache,
+            ),
+            Some(sink) => pinc_dect_sharded_rebased_streaming(
+                sigma,
+                self.sharded,
+                &self.accumulated,
+                delta,
+                config,
+                cache,
+                sink,
+            ),
+        };
         self.accumulated.merge(delta);
         self.batches_applied += 1;
         Ok(report)

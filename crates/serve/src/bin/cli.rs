@@ -130,6 +130,21 @@ fn print_top_tick(
         cur.counter("serve.bytes.out").unwrap_or(0),
     );
     println!(
+        "  reactor    : {:.1} iter/s, {:.1} ready/s, queue depth {}, {} backpressure stall(s)",
+        counter_rate(prev, cur, "serve.loop.iterations", elapsed),
+        counter_rate(prev, cur, "serve.loop.ready_events", elapsed),
+        cur.gauge("serve.queue.depth").unwrap_or(0),
+        cur.counter("serve.backpressure.stalls").unwrap_or(0),
+    );
+    if let Some(first) = cur.histogram("serve.first_vio.ns") {
+        println!(
+            "  first vio  : {} streamed answer(s), p50 {} / p95 {} to first violation",
+            first.count,
+            fmt_ns(first.p50()),
+            fmt_ns(first.p95()),
+        );
+    }
+    println!(
         "  plan cache : {} hit rate ({} hit(s), {} miss(es))",
         hit_rate(stats.plan_cache_hits, stats.plan_cache_misses),
         stats.plan_cache_hits,

@@ -30,13 +30,14 @@ struct Args {
     compact_after: Option<u64>,
     metrics_dump: Option<PathBuf>,
     metrics_interval: Option<u64>,
+    workers: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ngd-serve --snapshot <file.ngds> [--listen unix:<path>|tcp:<host>:<port>]\n\
          \x20                [--rules <file>] [--processors <n>] [--latency <C>]\n\
-         \x20                [--compact-after <ops>]\n\
+         \x20                [--compact-after <ops>] [--workers <n>]\n\
          \x20                [--metrics-dump <file.json>] [--metrics-interval <secs>]\n\
          \n\
          Serves incremental NGD violation detection over a memory-mapped\n\
@@ -57,6 +58,7 @@ fn parse_args() -> Args {
     let mut compact_after = None;
     let mut metrics_dump = None;
     let mut metrics_interval = None;
+    let mut workers = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |what: &str| {
@@ -87,6 +89,10 @@ fn parse_args() -> Args {
                 Ok(n) => compact_after = Some(n),
                 Err(_) => usage(),
             },
+            "--workers" => match value("--workers").parse() {
+                Ok(n) => workers = Some(n),
+                Err(_) => usage(),
+            },
             "--metrics-dump" => metrics_dump = Some(PathBuf::from(value("--metrics-dump"))),
             "--metrics-interval" => match value("--metrics-interval").parse() {
                 Ok(secs) => metrics_interval = Some(secs),
@@ -112,6 +118,7 @@ fn parse_args() -> Args {
         compact_after,
         metrics_dump,
         metrics_interval,
+        workers,
     }
 }
 
@@ -170,6 +177,8 @@ fn main() -> ExitCode {
         compact_after: args.compact_after,
         metrics_dump: args.metrics_dump.clone(),
         metrics_interval: args.metrics_interval.map(std::time::Duration::from_secs),
+        worker_threads: args.workers,
+        write_buffer_limit: None,
     };
     let server = match Server::start_with(store, sigma, &args.listen, detector, options) {
         Ok(server) => server,

@@ -96,6 +96,10 @@ pub struct ServeClient {
     /// The most recent `EPOCH_SWITCHED` push absorbed from the stream
     /// (the server announces a re-root once, ahead of its next answer).
     last_epoch_switch: Option<EpochNotice>,
+    /// How many `EPOCH_SWITCHED` pushes this connection has absorbed —
+    /// including ones interleaved *between* `VIO_CHUNK` frames of a
+    /// single answer, which a compaction racing an expansion produces.
+    epoch_switches_seen: u64,
 }
 
 impl ServeClient {
@@ -135,6 +139,7 @@ impl ServeClient {
                 diameter: 0,
             },
             last_epoch_switch: None,
+            epoch_switches_seen: 0,
         };
         let request = HelloRequest {
             client: client_name.to_string(),
@@ -163,6 +168,7 @@ impl ServeClient {
             let (kind, payload) = read_frame(&mut self.stream)?;
             if kind == frame::EPOCH_SWITCHED {
                 self.last_epoch_switch = Some(EpochNotice::decode(&payload)?);
+                self.epoch_switches_seen += 1;
                 continue;
             }
             if kind == frame::ERROR {
@@ -180,6 +186,12 @@ impl ServeClient {
     /// (set when the session re-rooted onto a newly compacted snapshot).
     pub fn last_epoch_switch(&self) -> Option<&EpochNotice> {
         self.last_epoch_switch.as_ref()
+    }
+
+    /// Total `EPOCH_SWITCHED` pushes absorbed on this connection, wherever
+    /// they appeared — ahead of an answer or interleaved mid-stream.
+    pub fn epoch_switches_seen(&self) -> u64 {
+        self.epoch_switches_seen
     }
 
     /// Read one frame and require a specific kind.

@@ -40,7 +40,9 @@
 //! * [`error`] — [`ProtocolError`], one typed variant per damage mode,
 //!   mirroring `PersistError`;
 //! * [`server`] — the daemon: [`SnapshotStore`] (shared or sharded,
-//!   auto-detected), one OS thread per connection, graceful shutdown;
+//!   auto-detected), an epoll/poll reactor plus a bounded worker pool
+//!   (OS threads scale with [`ServeOptions::worker_threads`], not with
+//!   connections), streaming ΔVio during expansion, graceful shutdown;
 //! * [`client`] — [`ServeClient`], the typed client used by `ngd-cli`,
 //!   the benches and the equivalence tests.
 //!
@@ -94,6 +96,7 @@
 
 pub mod client;
 pub mod error;
+mod poller;
 pub mod protocol;
 pub mod server;
 pub mod wire;

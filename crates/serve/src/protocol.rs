@@ -234,6 +234,79 @@ pub fn read_frame(r: &mut impl Read) -> Result<(u32, Vec<u8>), ProtocolError> {
     Ok((kind, payload))
 }
 
+/// Incrementally scan `buf` for one complete frame — the non-blocking dual
+/// of [`read_frame`], used by the reactor's per-connection read buffers.
+///
+/// Returns `Ok(None)` while the buffer holds only a frame prefix (caller
+/// reads more bytes and retries), or `Ok(Some((kind, payload, consumed)))`
+/// once a full validated frame is present — the caller then drops the
+/// first `consumed` bytes.  Damage (bad magic, foreign version, oversized
+/// length, checksum mismatch) fails typed as soon as it is *provable* from
+/// the bytes seen so far: a bad magic needs only 8 bytes, a checksum
+/// mismatch needs the whole frame.
+pub fn scan_frame(buf: &[u8]) -> Result<Option<(u32, Vec<u8>, usize)>, ProtocolError> {
+    if buf.len() >= 8 {
+        let mut magic = [0u8; 8];
+        magic.copy_from_slice(&buf[0..8]);
+        if magic != MAGIC {
+            return Err(ProtocolError::BadMagic { found: magic });
+        }
+    }
+    if buf.len() >= 12 {
+        let version = u32::from_le_bytes(buf[8..12].try_into().expect("4B"));
+        if version != WIRE_VERSION {
+            return Err(ProtocolError::UnsupportedVersion {
+                found: version,
+                supported: WIRE_VERSION,
+            });
+        }
+    }
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let kind = u32::from_le_bytes(buf[12..16].try_into().expect("4B"));
+    let payload_len = u64::from_le_bytes(buf[16..24].try_into().expect("8B"));
+    let stored_checksum = u64::from_le_bytes(buf[24..32].try_into().expect("8B"));
+    if payload_len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized {
+            len: payload_len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let total = FRAME_HEADER_LEN + payload_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = buf[FRAME_HEADER_LEN..total].to_vec();
+    let computed = file_checksum(&payload);
+    if computed != stored_checksum {
+        return Err(ProtocolError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+    Ok(Some((kind, payload, total)))
+}
+
+/// Serialize one frame into a byte vector (header + payload), for write
+/// paths that queue bytes instead of owning a `Write` stream.
+pub fn encode_frame(kind: u32, payload: &[u8]) -> Result<Vec<u8>, ProtocolError> {
+    if payload.len() as u64 > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized {
+            len: payload.len() as u64,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut bytes = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&kind.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&file_checksum(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    Ok(bytes)
+}
+
 // ---------------------------------------------------------------------------
 // Typed messages
 // ---------------------------------------------------------------------------
@@ -872,6 +945,89 @@ mod tests {
             message: "rules compiled".into(),
         };
         assert_eq!(OkResponse::decode(&ok.encode()).unwrap(), ok);
+    }
+
+    #[test]
+    fn scan_frame_handles_every_split_point() {
+        // A frame delivered one byte at a time must stay Ok(None) until the
+        // final byte, then parse — the reactor's read path in miniature.
+        let chunk = VioChunk {
+            side: Side::Added,
+            violations: vec![Violation::new("phi2", vec![NodeId(9)])],
+        };
+        let mut bytes: Vec<u8> = Vec::new();
+        write_frame(&mut bytes, frame::VIO_CHUNK, &chunk.encode()).unwrap();
+        for split in 0..bytes.len() {
+            assert_eq!(
+                scan_frame(&bytes[..split]).unwrap(),
+                None,
+                "prefix of {split} bytes must be incomplete"
+            );
+        }
+        let (kind, payload, consumed) = scan_frame(&bytes).unwrap().unwrap();
+        assert_eq!(kind, frame::VIO_CHUNK);
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(VioChunk::decode(&payload).unwrap(), chunk);
+
+        // Trailing bytes of the next frame are left unconsumed.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&bytes);
+        let (_, _, consumed) = scan_frame(&two).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn scan_frame_fails_typed_as_early_as_provable() {
+        // Bad magic: provable at 8 bytes, even with nothing else buffered.
+        assert!(matches!(
+            scan_frame(b"GARBAGE!"),
+            Err(ProtocolError::BadMagic { .. })
+        ));
+        // Foreign version: provable at 12 bytes.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            scan_frame(&buf),
+            Err(ProtocolError::UnsupportedVersion { found: 99, .. })
+        ));
+        // Oversized length: provable at the full header.
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header[0..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&WIRE_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&frame::OK.to_le_bytes());
+        header[16..24].copy_from_slice(&(1u64 << 50).to_le_bytes());
+        assert!(matches!(
+            scan_frame(&header),
+            Err(ProtocolError::Oversized { .. })
+        ));
+        // Flipped payload bit: checksum mismatch once the frame completes.
+        let mut bytes: Vec<u8> = Vec::new();
+        write_frame(
+            &mut bytes,
+            frame::OK,
+            &OkResponse {
+                message: "x".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            scan_frame(&bytes),
+            Err(ProtocolError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame_bytes() {
+        let payload = OkResponse {
+            message: "same bytes".into(),
+        }
+        .encode();
+        let mut written: Vec<u8> = Vec::new();
+        write_frame(&mut written, frame::OK, &payload).unwrap();
+        assert_eq!(encode_frame(frame::OK, &payload).unwrap(), written);
     }
 
     #[test]

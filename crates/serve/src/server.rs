@@ -2,7 +2,27 @@
 //!
 //! A [`Server`] mmaps one snapshot file (shared or sharded — the kind is
 //! auto-detected), compiles a default rule set, binds a Unix-domain or TCP
-//! listener, and serves each accepted connection on its own OS thread.
+//! listener, and serves connections with a **reactor + bounded worker
+//! pool** (on Unix; other platforms fall back to one blocking thread per
+//! connection):
+//!
+//! * one `ngd-serve-reactor` thread runs the event loop
+//!   ([`crate::poller`] — epoll on Linux, poll(2) elsewhere): it owns the
+//!   listener and every connection fd in non-blocking mode, parses frames
+//!   incrementally into per-connection read buffers, and drains
+//!   per-connection write queues — it never blocks on any one peer;
+//! * [`ServeOptions::worker_threads`] `ngd-serve-worker` threads execute
+//!   requests: a connection's parked session state moves into a worker
+//!   for one request and back, so **thousands of idle connections cost
+//!   zero threads** and at most `worker_threads` requests run at once;
+//! * answers queue on the connection's write buffer with a high-water
+//!   mark ([`ServeOptions::write_buffer_limit`]): a slow reader suspends
+//!   *its own* session's producer, never the loop or other sessions;
+//! * `UPDATE` answers **stream during expansion** — the detect run pushes
+//!   each fresh violation through a sink callback
+//!   ([`ngd_detect::VioSink`]), so the first `VIO_CHUNK` reaches the
+//!   socket while the matchers are still running.
+//!
 //! Every connection owns an incremental-detection session
 //! ([`ngd_detect::IncrementalSession`] / [`ShardedIncrementalSession`])
 //! whose [`DeltaOverlay`]s are rebased on the
@@ -26,9 +46,11 @@
 //! last pinned session disconnects.  Served `ΔVio` streams are
 //! byte-identical across a swap — `tests/serve_equivalence.rs` pins that.
 //!
-//! Graceful shutdown: a `SHUTDOWN` frame stops the accept loop; live
-//! sessions drain as their connections close, and [`Server::wait`] /
-//! [`Server::shutdown`] join every session thread before returning.
+//! Graceful shutdown: a `SHUTDOWN` frame closes the listener at once
+//! (an eventfd/self-pipe waker interrupts the event loop — no polling
+//! sleeps anywhere on the serve path); live sessions drain as their
+//! connections close, and [`Server::wait`] / [`Server::shutdown`] join
+//! the reactor and its worker pool before returning.
 //!
 //! ## Epoch-file garbage collection
 //!
@@ -49,23 +71,32 @@
 
 use crate::error::ProtocolError;
 use crate::protocol::{
-    err_code, frame, read_frame, write_frame, DoneResponse, EpochNotice, EpochResponse,
-    ErrorResponse, HelloRequest, HelloResponse, MetricsResponse, OkResponse, RulesRequest, Side,
-    StatsResponse, UpdateRequest, VioChunk, VIO_CHUNK_LEN,
+    err_code, frame, DoneResponse, EpochNotice, EpochResponse, ErrorResponse, HelloRequest,
+    HelloResponse, MetricsResponse, OkResponse, RulesRequest, Side, StatsResponse, UpdateRequest,
+    VioChunk, VIO_CHUNK_LEN,
 };
 use ngd_core::RuleSet;
 use ngd_detect::{
     DeltaReport, DetectionReport, DetectorConfig, IncrementalSession, ShardedIncrementalSession,
+    VioSide, VioSink,
 };
 use ngd_graph::persist::{CompactionWriter, MmapShardedSnapshot, MmapSnapshot, PersistError};
 use ngd_graph::{BatchUpdate, DeltaOverlay, GraphView, UpdateError};
 use ngd_match::{PlanCache, Violation};
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+use crate::poller::{Interest, Poller, Waker};
+#[cfg(unix)]
+use crate::protocol::{encode_frame, scan_frame};
+#[cfg(not(unix))]
+use crate::protocol::{read_frame, write_frame};
 
 /// Where a server listens / a client connects.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -224,6 +255,18 @@ pub struct ServeOptions {
     /// How often the dump file is rewritten (default 30 s).  Ignored
     /// without `metrics_dump`.
     pub metrics_interval: Option<Duration>,
+    /// Worker threads executing requests (default
+    /// `min(available_parallelism, 8)`, at least 2).  This — not the
+    /// connection count — bounds the daemon's OS threads: a thousand idle
+    /// connections cost a thousand fds and read buffers, never a thousand
+    /// stacks.
+    pub worker_threads: Option<usize>,
+    /// Per-connection write-queue high-water mark in bytes (default
+    /// 1 MiB).  A worker streaming `ΔVio` to a slow reader blocks once the
+    /// queue crosses this mark — suspending *that session's* expansion
+    /// until the reactor drains the queue below a quarter of it — so one
+    /// slow reader can never balloon daemon memory or stall the loop.
+    pub write_buffer_limit: Option<usize>,
 }
 
 /// Shared server state behind the `Arc` every session thread clones.
@@ -246,6 +289,10 @@ struct Shared {
     /// When the daemon started (uptime reporting).
     started: Instant,
     shutdown: AtomicBool,
+    /// Wakes sleepers (the metrics-dump loop) the moment shutdown is
+    /// signalled, so no thread polls the flag on a timer.
+    shutdown_mu: Mutex<bool>,
+    shutdown_cv: Condvar,
     sessions_active: AtomicUsize,
     sessions_total: AtomicU64,
     updates_served: AtomicU64,
@@ -261,13 +308,24 @@ impl Shared {
     fn published(&self) -> Arc<SnapshotStore> {
         Arc::clone(&self.current.lock().expect("current epoch lock"))
     }
+
+    /// Set the shutdown flag and wake every sleeper watching it.
+    fn signal_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        *self.shutdown_mu.lock().expect("shutdown lock") = true;
+        self.shutdown_cv.notify_all();
+    }
 }
 
 /// A running detection daemon; dropping it **without** calling
-/// [`Server::wait`] / [`Server::shutdown`] aborts the accept loop.
+/// [`Server::wait`] / [`Server::shutdown`] aborts the event loop.
 pub struct Server {
     shared: Arc<Shared>,
-    accept: Option<std::thread::JoinHandle<()>>,
+    /// The reactor thread (Unix) or the fallback accept loop (elsewhere).
+    reactor: Option<std::thread::JoinHandle<()>>,
+    /// Pokes the reactor's poller awake from outside (shutdown, drop).
+    #[cfg(unix)]
+    notify: Arc<ReactorShared>,
     /// The periodic `--metrics-dump` writer, when configured.
     metrics_dump: Option<std::thread::JoinHandle<()>>,
     local: ServeAddr,
@@ -317,6 +375,8 @@ impl Server {
             server_name: format!("ngd-serve/{}", env!("CARGO_PKG_VERSION")),
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
+            shutdown_mu: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
             sessions_active: AtomicUsize::new(0),
             sessions_total: AtomicU64::new(0),
             updates_served: AtomicU64::new(0),
@@ -337,11 +397,29 @@ impl Server {
         {
             let _ = writeln!(file, "{registry_line}");
         }
-        let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::Builder::new()
-            .name("ngd-serve-accept".into())
-            .spawn(move || accept_loop(accept_shared, listener))
-            .map_err(|e| ProtocolError::Io(e.to_string()))?;
+        #[cfg(unix)]
+        let notify = Arc::new(ReactorShared::new().map_err(|e| ProtocolError::Io(e.to_string()))?);
+        #[cfg(unix)]
+        let reactor = {
+            let reactor_shared = Arc::clone(&shared);
+            let reactor_notify = Arc::clone(&notify);
+            std::thread::Builder::new()
+                .name("ngd-serve-reactor".into())
+                .spawn(move || {
+                    if let Err(e) = reactor_loop(reactor_shared, reactor_notify, listener) {
+                        eprintln!("ngd-serve: reactor failed: {e}");
+                    }
+                })
+                .map_err(|e| ProtocolError::Io(e.to_string()))?
+        };
+        #[cfg(not(unix))]
+        let reactor = {
+            let accept_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ngd-serve-accept".into())
+                .spawn(move || accept_loop(accept_shared, listener))
+                .map_err(|e| ProtocolError::Io(e.to_string()))?
+        };
         let metrics_dump = match shared.options.metrics_dump.clone() {
             Some(path) => {
                 let interval = shared
@@ -360,13 +438,22 @@ impl Server {
         };
         Ok(Server {
             shared,
-            accept: Some(accept),
+            reactor: Some(reactor),
+            #[cfg(unix)]
+            notify,
             metrics_dump,
             local,
             cleanup,
             registry,
             registry_line,
         })
+    }
+
+    /// Poke the event loop awake so it observes a state change made from
+    /// outside (shutdown request, drop).
+    fn wake(&self) {
+        #[cfg(unix)]
+        self.notify.waker.wake();
     }
 
     /// The address the server actually listens on (ephemeral TCP ports
@@ -386,17 +473,18 @@ impl Server {
     }
 
     /// Block until the server shuts down (via a client `SHUTDOWN` frame),
-    /// then join every session thread.
+    /// then join the event loop and its worker pool.
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
 
-    /// Request shutdown and join every session thread.
+    /// Request shutdown and join the event loop and its worker pool.
     pub fn shutdown(mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.take() {
+        self.shared.signal_shutdown();
+        self.wake();
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
@@ -404,8 +492,9 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept.take() {
+        self.shared.signal_shutdown();
+        self.wake();
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
         if let Some(handle) = self.metrics_dump.take() {
@@ -681,13 +770,11 @@ impl AnyListener {
         }
     }
 
+    /// Accept one connection for the fallback thread-per-connection path:
+    /// the stream is switched back to blocking for `read_frame`.
+    #[cfg(not(unix))]
     fn accept(&self) -> std::io::Result<AnyStream> {
         match self {
-            #[cfg(unix)]
-            AnyListener::Unix(l) => l.accept().map(|(s, _)| {
-                let _ = s.set_nonblocking(false);
-                AnyStream::Unix(s)
-            }),
             AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
                 let _ = s.set_nonblocking(false);
                 let _ = s.set_nodelay(true);
@@ -695,20 +782,65 @@ impl AnyListener {
             }),
         }
     }
+
+    /// Accept one connection for the reactor: the stream stays (becomes)
+    /// non-blocking, as every reactor read/write must be.
+    #[cfg(unix)]
+    fn accept_nonblocking(&self) -> std::io::Result<AnyStream> {
+        match self {
+            AnyListener::Unix(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nonblocking(true);
+                AnyStream::Unix(s)
+            }),
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nonblocking(true);
+                let _ = s.set_nodelay(true);
+                AnyStream::Tcp(s)
+            }),
+        }
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            AnyListener::Unix(l) => l.as_raw_fd(),
+            AnyListener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl AnyStream {
+    fn raw_fd(&self) -> std::os::unix::io::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            AnyStream::Unix(s) => s.as_raw_fd(),
+            AnyStream::Tcp(s) => s.as_raw_fd(),
+        }
+    }
 }
 
 /// The `--metrics-dump` writer: rewrite `path` with a pretty-JSON registry
 /// snapshot every `interval`, and once more on shutdown so the final state
-/// of a graceful exit is always on disk.
+/// of a graceful exit is always on disk.  Sleeps on the shutdown condvar —
+/// a shutdown wakes it immediately, and an idle daemon never spins a
+/// polling timer.
 fn metrics_dump_loop(shared: Arc<Shared>, path: PathBuf, interval: Duration) {
-    let mut last = Instant::now();
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(Duration::from_millis(50));
-        if last.elapsed() >= interval {
+    let mut guard = shared.shutdown_mu.lock().expect("shutdown lock");
+    while !*guard {
+        let (g, timeout) = shared
+            .shutdown_cv
+            .wait_timeout(guard, interval)
+            .expect("shutdown lock");
+        guard = g;
+        if !*guard && timeout.timed_out() {
+            drop(guard);
             write_metrics_dump(&path);
-            last = Instant::now();
+            guard = shared.shutdown_mu.lock().expect("shutdown lock");
         }
     }
+    drop(guard);
     write_metrics_dump(&path);
 }
 
@@ -739,13 +871,31 @@ static SESSION_REBASES: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.
 /// `EPOCH_SWITCHED` notices pushed to clients.
 static SWITCH_NOTICES: ngd_obs::LazyCounter =
     ngd_obs::LazyCounter::new("serve.epoch.switched_notices");
+/// Poller wake-ups of the reactor loop.
+static LOOP_ITERATIONS: ngd_obs::LazyCounter = ngd_obs::LazyCounter::new("serve.loop.iterations");
+/// Readiness events delivered across all reactor wake-ups; the ratio to
+/// `serve.loop.iterations` is the loop's batching factor under load.
+static LOOP_READY_EVENTS: ngd_obs::LazyCounter =
+    ngd_obs::LazyCounter::new("serve.loop.ready_events");
+/// Times a worker blocked on a connection's full write queue (once per
+/// stall, not per retry) — a rising rate means slow readers.
+static BACKPRESSURE_STALLS: ngd_obs::LazyCounter =
+    ngd_obs::LazyCounter::new("serve.backpressure.stalls");
+/// Requests parked in the worker-pool queue right now.
+static QUEUE_DEPTH: ngd_obs::LazyGauge = ngd_obs::LazyGauge::new("serve.queue.depth");
+/// Nanoseconds from accepting an `UPDATE` to handing its first violation
+/// to the wire — the latency win of streaming `ΔVio` *during* expansion.
+static FIRST_VIO_NS: ngd_obs::LazyHistogram = ngd_obs::LazyHistogram::new("serve.first_vio.ns");
 
 /// A transparent byte-accounting wrapper around a session's stream: every
-/// read feeds `serve.bytes.in`, every write `serve.bytes.out`.
+/// read feeds `serve.bytes.in`, every write `serve.bytes.out`.  (The
+/// reactor path counts at the socket instead; this serves the fallback.)
+#[cfg(not(unix))]
 struct CountingStream<S> {
     inner: S,
 }
 
+#[cfg(not(unix))]
 impl<S: Read> Read for CountingStream<S> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         let n = self.inner.read(buf)?;
@@ -754,6 +904,7 @@ impl<S: Read> Read for CountingStream<S> {
     }
 }
 
+#[cfg(not(unix))]
 impl<S: Write> Write for CountingStream<S> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         let n = self.inner.write(buf)?;
@@ -816,6 +967,823 @@ impl Drop for FrameTimer {
     }
 }
 
+/// Default per-connection write-queue high-water mark (1 MiB).
+const DEFAULT_WRITE_BUFFER_LIMIT: usize = 1 << 20;
+
+/// Default worker-pool size: one per core up to 8, at least 2 (so one
+/// long expansion never monopolises the daemon).
+#[cfg(unix)]
+fn default_worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// What a finished request means for its connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Disposition {
+    /// Park the session and serve the next frame.
+    KeepAlive,
+    /// Flush queued answers, then close (SHUTDOWN's reply, fatal errors).
+    Close,
+}
+
+/// Everything a connection's requests operate on: the detection session
+/// plus its rule set (starts as the server-wide default; `RULES` swaps
+/// it).  Parked on the connection between frames, moved into a worker for
+/// the duration of one request.
+struct SessionState {
+    ctx: SessionCtx,
+    sigma: Arc<RuleSet>,
+}
+
+impl SessionState {
+    fn new(shared: &Shared) -> SessionState {
+        SessionState {
+            ctx: SessionCtx::new(shared.published()),
+            sigma: Arc::clone(&shared.sigma),
+        }
+    }
+}
+
+/// Where a worker's response frames go: the reactor path queues bytes on
+/// the connection's write buffer (back-pressure applies); the fallback
+/// path writes straight to the blocking stream.
+enum FrameSink<'a> {
+    #[cfg(unix)]
+    Queued(&'a Arc<ConnIo>),
+    #[cfg(not(unix))]
+    Direct(&'a mut dyn Write),
+}
+
+impl FrameSink<'_> {
+    fn send(&mut self, kind: u32, payload: &[u8]) -> Result<(), ProtocolError> {
+        match self {
+            #[cfg(unix)]
+            FrameSink::Queued(io) => io.send(kind, payload),
+            #[cfg(not(unix))]
+            FrameSink::Direct(w) => write_frame(w, kind, payload),
+        }
+    }
+
+    /// Send an `ERROR` frame (best-effort — the peer may already be gone).
+    fn send_error(&mut self, code: u32, message: String) {
+        let payload = ErrorResponse { code, message }.encode();
+        let _ = self.send(frame::ERROR, &payload);
+    }
+
+    /// The concurrent connection handle — what lets detect workers stream
+    /// `ΔVio` chunks while the expansion still runs.
+    #[cfg(unix)]
+    fn conn_io(&self) -> &ConnIo {
+        match self {
+            FrameSink::Queued(io) => io,
+        }
+    }
+}
+
+/// Stream a violation iterator as bounded `VIO_CHUNK` frames, encoding
+/// each chunk straight from the borrowed set (no per-violation clones).
+fn stream_violations<'v>(
+    sink: &mut FrameSink<'_>,
+    side: Side,
+    violations: impl Iterator<Item = &'v Violation>,
+) -> Result<u64, ProtocolError> {
+    let mut total = 0u64;
+    let mut chunk: Vec<&'v Violation> = Vec::with_capacity(VIO_CHUNK_LEN);
+    for violation in violations {
+        chunk.push(violation);
+        if chunk.len() == VIO_CHUNK_LEN {
+            total += chunk.len() as u64;
+            sink.send(frame::VIO_CHUNK, &VioChunk::encode_refs(side, &chunk))?;
+            chunk.clear();
+        }
+    }
+    if !chunk.is_empty() {
+        total += chunk.len() as u64;
+        sink.send(frame::VIO_CHUNK, &VioChunk::encode_refs(side, &chunk))?;
+    }
+    Ok(total)
+}
+
+// ---------------------------------------------------------------------------
+// Reactor path (Unix): event loop + bounded worker pool
+// ---------------------------------------------------------------------------
+
+/// State the reactor shares with worker threads and the [`Server`] handle:
+/// the waker that interrupts a blocked `Poller::wait`, plus the two
+/// mailboxes workers fill (flush requests and finished requests).
+#[cfg(unix)]
+struct ReactorShared {
+    waker: Waker,
+    /// Connections whose write queues gained bytes since the last pass.
+    flush: Mutex<Vec<u64>>,
+    /// Finished requests waiting for the reactor to re-park their
+    /// sessions.
+    completions: Mutex<Vec<Completion>>,
+}
+
+#[cfg(unix)]
+impl ReactorShared {
+    fn new() -> std::io::Result<ReactorShared> {
+        Ok(ReactorShared {
+            waker: Waker::new()?,
+            flush: Mutex::new(Vec::new()),
+            completions: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn request_flush(&self, token: u64) {
+        let mut flush = self.flush.lock().expect("flush list lock");
+        if !flush.contains(&token) {
+            flush.push(token);
+        }
+        drop(flush);
+        self.waker.wake();
+    }
+
+    fn complete(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .expect("completion list lock")
+            .push(completion);
+        self.waker.wake();
+    }
+}
+
+/// The write side of one connection, shared between the reactor (which
+/// drains it to the socket) and whichever worker currently serves the
+/// connection (which fills it).
+#[cfg(unix)]
+struct ConnIo {
+    token: u64,
+    reactor: Arc<ReactorShared>,
+    /// High-water mark: [`ConnIo::send`] blocks while `total` is at or
+    /// above this.
+    limit: usize,
+    write: Mutex<WriteBuf>,
+    /// Signalled when the queue drains below a quarter of `limit` (and on
+    /// death), releasing a stalled worker.
+    drained: Condvar,
+    dead: AtomicBool,
+}
+
+#[cfg(unix)]
+#[derive(Default)]
+struct WriteBuf {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of `queue[0]` already written to the socket.
+    front_pos: usize,
+    /// Unwritten bytes across the whole queue.
+    total: usize,
+}
+
+#[cfg(unix)]
+impl ConnIo {
+    /// Queue one frame for the reactor to write, blocking while the
+    /// connection's write queue is above its high-water mark.  This is the
+    /// back-pressure path: a slow reader suspends *this session's*
+    /// producer (a worker or its detect threads), never the event loop.
+    fn send(&self, kind: u32, payload: &[u8]) -> Result<(), ProtocolError> {
+        let bytes = encode_frame(kind, payload)?;
+        let mut buf = self.write.lock().expect("write queue lock");
+        let mut stalled = false;
+        while buf.total >= self.limit && !self.dead.load(Ordering::SeqCst) {
+            if !stalled {
+                BACKPRESSURE_STALLS.inc();
+                stalled = true;
+            }
+            buf = self.drained.wait(buf).expect("write queue lock");
+        }
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(ProtocolError::Disconnected);
+        }
+        buf.total += bytes.len();
+        buf.queue.push_back(bytes);
+        drop(buf);
+        self.reactor.request_flush(self.token);
+        Ok(())
+    }
+
+    /// Queue bytes ignoring the high-water mark — reactor-only, for the
+    /// ERROR answer on a broken stream (the reactor must never block).
+    fn queue_unbounded(&self, bytes: Vec<u8>) {
+        let mut buf = self.write.lock().expect("write queue lock");
+        buf.total += bytes.len();
+        buf.queue.push_back(bytes);
+    }
+
+    /// Mark the connection dead and release any stalled producer (it
+    /// observes [`ProtocolError::Disconnected`] instead of blocking
+    /// forever).  Taking the lock before notifying closes the window where
+    /// a producer has checked `dead`, not yet parked, and would miss the
+    /// wake-up.
+    fn mark_dead(&self) {
+        self.dead.store(true, Ordering::SeqCst);
+        drop(self.write.lock().expect("write queue lock"));
+        self.drained.notify_all();
+    }
+}
+
+/// One request in flight from the reactor to the worker pool.
+#[cfg(unix)]
+struct Job {
+    token: u64,
+    kind: u32,
+    payload: Vec<u8>,
+    state: SessionState,
+    io: Arc<ConnIo>,
+}
+
+/// A finished request on its way back to the reactor.
+#[cfg(unix)]
+struct Completion {
+    token: u64,
+    state: SessionState,
+    disposition: Disposition,
+}
+
+#[cfg(unix)]
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+/// The bounded worker pool: `worker_threads` OS threads execute requests;
+/// connections beyond that wait in the queue (`serve.queue.depth`), their
+/// sockets exerting TCP back-pressure because the reactor keeps their
+/// read interest disarmed while a request is outstanding.
+#[cfg(unix)]
+struct WorkerPool {
+    inner: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+#[cfg(unix)]
+impl WorkerPool {
+    fn start(
+        count: usize,
+        shared: &Arc<Shared>,
+        reactor: &Arc<ReactorShared>,
+    ) -> std::io::Result<WorkerPool> {
+        let inner = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pool = Arc::clone(&inner);
+            let shared = Arc::clone(shared);
+            let reactor = Arc::clone(reactor);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("ngd-serve-worker".into())
+                    .spawn(move || worker_loop(pool, shared, reactor))?,
+            );
+        }
+        Ok(WorkerPool { inner, handles })
+    }
+
+    fn submit(&self, job: Job) {
+        let mut queue = self.inner.queue.lock().expect("job queue lock");
+        queue.push_back(job);
+        QUEUE_DEPTH.set(queue.len() as i64);
+        drop(queue);
+        self.inner.ready.notify_one();
+    }
+
+    /// Stop after the queue drains and join every worker.
+    fn join(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.inner.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(unix)]
+fn worker_loop(pool: Arc<PoolShared>, shared: Arc<Shared>, reactor: Arc<ReactorShared>) {
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("job queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    QUEUE_DEPTH.set(queue.len() as i64);
+                    break Some(job);
+                }
+                if pool.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = pool.ready.wait(queue).expect("job queue lock");
+            }
+        };
+        let Some(mut job) = job else { return };
+        let disposition = {
+            let _frame_timer = FrameTimer::start(job.kind);
+            let mut sink = FrameSink::Queued(&job.io);
+            match handle_request(&shared, &mut job.state, &mut sink, job.kind, &job.payload) {
+                Ok(disposition) => disposition,
+                // The sink failed (client gone mid-answer): nothing more
+                // can be said on this connection.
+                Err(_) => Disposition::Close,
+            }
+        };
+        reactor.complete(Completion {
+            token: job.token,
+            state: job.state,
+            disposition,
+        });
+    }
+}
+
+/// One connection as the reactor sees it.
+#[cfg(unix)]
+struct Connection {
+    stream: AnyStream,
+    /// Bytes read but not yet parsed into a frame.
+    read_buf: Vec<u8>,
+    io: Arc<ConnIo>,
+    /// The parked session; `None` while a worker runs a request on it.
+    state: Option<SessionState>,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+    /// Close once the write queue drains.
+    closing: bool,
+    /// The last flush left unwritten bytes; keep write interest armed.
+    want_write: bool,
+}
+
+#[cfg(unix)]
+struct Reactor {
+    shared: Arc<Shared>,
+    notify: Arc<ReactorShared>,
+    poller: Poller,
+    conns: std::collections::HashMap<u64, Connection>,
+    next_token: u64,
+    limit: usize,
+}
+
+#[cfg(unix)]
+const LISTENER_TOKEN: u64 = 0;
+#[cfg(unix)]
+const WAKER_TOKEN: u64 = 1;
+
+/// The event loop: owns the listener and every connection fd, parses
+/// frames incrementally, dispatches complete requests to the worker pool,
+/// and drains per-connection write queues — never blocking on any one
+/// peer.
+#[cfg(unix)]
+fn reactor_loop(
+    shared: Arc<Shared>,
+    notify: Arc<ReactorShared>,
+    listener: AnyListener,
+) -> std::io::Result<()> {
+    let mut poller = Poller::new()?;
+    poller.register(listener.raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+    poller.register(notify.waker.fd(), WAKER_TOKEN, Interest::READ)?;
+    let workers = shared
+        .options
+        .worker_threads
+        .unwrap_or_else(default_worker_count)
+        .max(1);
+    let limit = shared
+        .options
+        .write_buffer_limit
+        .unwrap_or(DEFAULT_WRITE_BUFFER_LIMIT)
+        .max(1);
+    let pool = WorkerPool::start(workers, &shared, &notify)?;
+    let mut reactor = Reactor {
+        shared,
+        notify,
+        poller,
+        conns: std::collections::HashMap::new(),
+        next_token: 2,
+        limit,
+    };
+    let mut listener = Some(listener);
+    let mut events = Vec::new();
+    loop {
+        // Shutdown: close the listener at once; exit when the last
+        // connection drains.
+        if reactor.shared.shutdown.load(Ordering::SeqCst) {
+            if let Some(l) = listener.take() {
+                let _ = reactor.poller.deregister(l.raw_fd());
+                // Dropping the listener closes the socket.
+            }
+            if reactor.conns.is_empty() {
+                break;
+            }
+        }
+        events.clear();
+        reactor.poller.wait(&mut events)?;
+        LOOP_ITERATIONS.inc();
+        LOOP_READY_EVENTS.add(events.len() as u64);
+        for event in &events {
+            match event.token {
+                WAKER_TOKEN => reactor.notify.waker.drain(),
+                LISTENER_TOKEN => {
+                    if let Some(l) = listener.as_ref() {
+                        reactor.accept_ready(l);
+                    }
+                }
+                token => {
+                    if event.readable {
+                        reactor.on_readable(token, &pool);
+                    }
+                    if event.writable {
+                        reactor.try_flush(token);
+                    }
+                }
+            }
+        }
+        // Worker signals (completions, flush requests) arrive at any time;
+        // the waker guarantees this pass happens promptly after each.
+        reactor.drain_worker_signals(&pool);
+    }
+    pool.join();
+    Ok(())
+}
+
+#[cfg(unix)]
+impl Reactor {
+    fn accept_ready(&mut self, listener: &AnyListener) {
+        loop {
+            match listener.accept_nonblocking() {
+                Ok(stream) => {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let io = Arc::new(ConnIo {
+                        token,
+                        reactor: Arc::clone(&self.notify),
+                        limit: self.limit,
+                        write: Mutex::new(WriteBuf::default()),
+                        drained: Condvar::new(),
+                        dead: AtomicBool::new(false),
+                    });
+                    if self
+                        .poller
+                        .register(stream.raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        // Dropping the stream refuses this one connection;
+                        // the daemon itself survives.
+                        continue;
+                    }
+                    self.shared.sessions_total.fetch_add(1, Ordering::SeqCst);
+                    self.shared.sessions_active.fetch_add(1, Ordering::SeqCst);
+                    SESSIONS_TOTAL.inc();
+                    SESSIONS_ACTIVE.add(1);
+                    self.conns.insert(
+                        token,
+                        Connection {
+                            stream,
+                            read_buf: Vec::new(),
+                            io,
+                            state: Some(SessionState::new(&self.shared)),
+                            interest: Interest::READ,
+                            closing: false,
+                            want_write: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn on_readable(&mut self, token: u64, pool: &WorkerPool) {
+        let closed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing || conn.state.is_none() {
+                // Draining to close, or a worker is busy (read interest is
+                // disarmed; this event raced the modify).  Level-triggered
+                // readiness will resurface once interest returns.
+                return;
+            }
+            let mut chunk = [0u8; 64 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => break true,
+                    Ok(n) => {
+                        BYTES_IN.add(n as u64);
+                        conn.read_buf.extend_from_slice(&chunk[..n]);
+                        if n < chunk.len() {
+                            // Short read: the socket is (momentarily)
+                            // drained; anything more re-notifies.
+                            break false;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break true,
+                }
+            }
+        };
+        if closed {
+            self.teardown(token);
+        } else {
+            self.pump(token, pool);
+        }
+    }
+
+    /// Parse and dispatch buffered frames while the connection is idle.
+    /// At most one request per connection is ever in flight: once a frame
+    /// is handed to the pool, parsing stops (and read interest drops)
+    /// until its completion returns — pipelining clients queue in their
+    /// socket buffers, which is exactly the back-pressure we want.
+    fn pump(&mut self, token: u64, pool: &WorkerPool) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.closing || conn.state.is_none() || conn.read_buf.is_empty() {
+                break;
+            }
+            match scan_frame(&conn.read_buf) {
+                Ok(None) => break,
+                Ok(Some((kind, payload, consumed))) => {
+                    conn.read_buf.drain(..consumed);
+                    let state = conn.state.take().expect("idle session state");
+                    let io = Arc::clone(&conn.io);
+                    pool.submit(Job {
+                        token,
+                        kind,
+                        payload,
+                        state,
+                        io,
+                    });
+                }
+                Err(e) => {
+                    // Framing is broken — the stream cannot be trusted any
+                    // further.  Answer why (best-effort, unbounded queue so
+                    // the reactor cannot block) and close once it drains.
+                    let payload = ErrorResponse {
+                        code: err_code::BAD_REQUEST,
+                        message: e.to_string(),
+                    }
+                    .encode();
+                    if let Ok(bytes) = encode_frame(frame::ERROR, &payload) {
+                        conn.io.queue_unbounded(bytes);
+                    }
+                    conn.closing = true;
+                    self.try_flush(token);
+                    return;
+                }
+            }
+        }
+        self.update_interest(token);
+    }
+
+    /// Write queued bytes to the socket until it would block; tears the
+    /// connection down on a write error or when a draining `closing`
+    /// connection empties.
+    fn try_flush(&mut self, token: u64) {
+        let closed = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut buf = conn.io.write.lock().expect("write queue lock");
+            let mut broken = false;
+            while let Some(front) = buf.queue.front() {
+                let front_len = front.len();
+                let n = match conn.stream.write(&front[buf.front_pos..]) {
+                    Ok(0) => {
+                        broken = true;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broken = true;
+                        break;
+                    }
+                };
+                BYTES_OUT.add(n as u64);
+                buf.front_pos += n;
+                buf.total -= n;
+                if buf.front_pos == front_len {
+                    buf.queue.pop_front();
+                    buf.front_pos = 0;
+                }
+            }
+            conn.want_write = !broken && !buf.queue.is_empty();
+            // Low-water release: wake a producer stalled on back-pressure
+            // once most of the queue has reached the socket.
+            if buf.total < conn.io.limit / 4 {
+                conn.io.drained.notify_all();
+            }
+            broken || (conn.closing && buf.queue.is_empty())
+        };
+        if closed {
+            self.teardown(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    /// Re-register the poller interest implied by the connection's state.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let desired = Interest {
+            read: conn.state.is_some() && !conn.closing,
+            write: conn.want_write,
+        };
+        if desired != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.raw_fd(), token, desired)
+                .is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    /// Remove a connection: close the socket, release any stalled
+    /// producer, drop the parked session (releasing its snapshot pin).  A
+    /// session held by an in-flight worker is dropped when its completion
+    /// arrives and finds the connection gone.
+    fn teardown(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        conn.io.mark_dead();
+        let _ = self.poller.deregister(conn.stream.raw_fd());
+        self.shared.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        SESSIONS_ACTIVE.add(-1);
+        // `conn` drops here: the stream's fd closes, and with it any
+        // parked SessionState and its Arc<SnapshotStore>.
+    }
+
+    /// Drain worker mailboxes: re-park finished sessions (dispatching the
+    /// next pipelined frame if one is already buffered) and flush
+    /// connections whose queues gained bytes.
+    fn drain_worker_signals(&mut self, pool: &WorkerPool) {
+        loop {
+            let completions = std::mem::take(
+                &mut *self
+                    .notify
+                    .completions
+                    .lock()
+                    .expect("completion list lock"),
+            );
+            let flushes = std::mem::take(&mut *self.notify.flush.lock().expect("flush list lock"));
+            if completions.is_empty() && flushes.is_empty() {
+                break;
+            }
+            for completion in completions {
+                self.on_completion(completion, pool);
+            }
+            for token in flushes {
+                self.try_flush(token);
+            }
+        }
+    }
+
+    fn on_completion(&mut self, completion: Completion, pool: &WorkerPool) {
+        let Completion {
+            token,
+            state,
+            disposition,
+        } = completion;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            // Torn down mid-request: release the session (and its epoch
+            // mapping) now.
+            drop(state);
+            return;
+        };
+        match disposition {
+            Disposition::Close => {
+                conn.closing = true;
+                drop(state);
+                self.try_flush(token);
+            }
+            Disposition::KeepAlive => {
+                conn.state = Some(state);
+                self.pump(token, pool);
+            }
+        }
+    }
+}
+
+/// Server-side half of streaming ΔVio *during* expansion: the
+/// violation-sink callback the detect run invokes from any of its worker
+/// threads.  The first violation flushes immediately — first-violation
+/// latency is the point — then full [`VIO_CHUNK_LEN`] chunks, leftovers at
+/// [`VioStreamer::finish`].  A send failure (client gone) is remembered
+/// and later offers are dropped: the detect run completes undisturbed, and
+/// the worker tears the session down afterwards.
+#[cfg(unix)]
+struct VioStreamer<'a> {
+    io: &'a ConnIo,
+    started: Instant,
+    state: Mutex<StreamerState>,
+}
+
+#[cfg(unix)]
+#[derive(Default)]
+struct StreamerState {
+    added: Vec<Violation>,
+    removed: Vec<Violation>,
+    added_total: u64,
+    removed_total: u64,
+    sent_any: bool,
+    error: Option<ProtocolError>,
+}
+
+#[cfg(unix)]
+impl<'a> VioStreamer<'a> {
+    fn new(io: &'a ConnIo) -> VioStreamer<'a> {
+        VioStreamer {
+            io,
+            started: Instant::now(),
+            state: Mutex::new(StreamerState::default()),
+        }
+    }
+
+    /// The `VioSink` callback.  Blocking here (a full write queue) blocks
+    /// the offering detect worker — and, via this lock, this session's
+    /// other detect workers — which is the intended per-session
+    /// back-pressure.
+    fn offer(&self, side: VioSide, violation: &Violation) {
+        let mut state = self.state.lock().expect("streamer lock");
+        if state.error.is_some() {
+            return;
+        }
+        match side {
+            VioSide::Added => {
+                state.added.push(violation.clone());
+                state.added_total += 1;
+            }
+            VioSide::Removed => {
+                state.removed.push(violation.clone());
+                state.removed_total += 1;
+            }
+        }
+        let side_len = match side {
+            VioSide::Added => state.added.len(),
+            VioSide::Removed => state.removed.len(),
+        };
+        if !state.sent_any || side_len >= VIO_CHUNK_LEN {
+            if !state.sent_any {
+                FIRST_VIO_NS.record_duration(self.started.elapsed());
+            }
+            state.sent_any = true;
+            self.flush_side(&mut state, side);
+        }
+    }
+
+    fn flush_side(&self, state: &mut StreamerState, side: VioSide) {
+        let (wire_side, pending) = match side {
+            VioSide::Added => (Side::Added, std::mem::take(&mut state.added)),
+            VioSide::Removed => (Side::Removed, std::mem::take(&mut state.removed)),
+        };
+        if pending.is_empty() {
+            return;
+        }
+        let refs: Vec<&Violation> = pending.iter().collect();
+        let payload = VioChunk::encode_refs(wire_side, &refs);
+        if let Err(e) = self.io.send(frame::VIO_CHUNK, &payload) {
+            state.error = Some(e);
+        }
+    }
+
+    /// Flush leftovers and return `(added_total, removed_total)`, or the
+    /// first send error if the client died mid-stream.
+    fn finish(self) -> Result<(u64, u64), ProtocolError> {
+        {
+            let mut state = self.state.lock().expect("streamer lock");
+            if state.error.is_none() {
+                let state_ref = &mut *state;
+                self.flush_side(state_ref, VioSide::Added);
+                if state_ref.error.is_none() {
+                    self.flush_side(state_ref, VioSide::Removed);
+                }
+            }
+        }
+        let state = self.state.into_inner().expect("streamer lock");
+        match state.error {
+            Some(e) => Err(e),
+            None => Ok((state.added_total, state.removed_total)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fallback path (non-Unix): thread per connection, blocking frame I/O
+// ---------------------------------------------------------------------------
+
+#[cfg(not(unix))]
 fn accept_loop(shared: Arc<Shared>, listener: AnyListener) {
     let sessions: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -871,42 +1839,36 @@ fn accept_loop(shared: Arc<Shared>, listener: AnyListener) {
     }
 }
 
-/// Send an `ERROR` frame (best-effort — the peer may already be gone).
-fn send_error(stream: &mut impl Write, code: u32, message: String) {
-    let payload = ErrorResponse { code, message }.encode();
-    let _ = write_frame(stream, frame::ERROR, &payload);
-}
-
-/// Stream a violation iterator as bounded `VIO_CHUNK` frames, encoding
-/// each chunk straight from the borrowed set (no per-violation clones).
-fn stream_violations<'v>(
-    stream: &mut impl Write,
-    side: Side,
-    violations: impl Iterator<Item = &'v Violation>,
-) -> Result<u64, ProtocolError> {
-    let mut total = 0u64;
-    let mut chunk: Vec<&'v Violation> = Vec::with_capacity(VIO_CHUNK_LEN);
-    for violation in violations {
-        chunk.push(violation);
-        if chunk.len() == VIO_CHUNK_LEN {
-            total += chunk.len() as u64;
-            write_frame(
-                stream,
-                frame::VIO_CHUNK,
-                &VioChunk::encode_refs(side, &chunk),
-            )?;
-            chunk.clear();
+/// One connection's request loop (fallback path).
+#[cfg(not(unix))]
+fn run_session(shared: &Shared, raw: &mut AnyStream) -> Result<(), ProtocolError> {
+    // All frame I/O goes through the byte-accounting wrapper; `raw` is not
+    // touched again below.
+    let stream = &mut CountingStream { inner: raw };
+    let mut state = SessionState::new(shared);
+    loop {
+        let (kind, payload) = match read_frame(stream) {
+            Ok(frame) => frame,
+            Err(ProtocolError::Disconnected) => return Ok(()),
+            Err(e) => {
+                // Framing is broken — the stream cannot be trusted any
+                // further.  Tell the peer why (best-effort) and close.
+                let payload = ErrorResponse {
+                    code: err_code::BAD_REQUEST,
+                    message: e.to_string(),
+                }
+                .encode();
+                let _ = write_frame(stream, frame::ERROR, &payload);
+                return Err(e);
+            }
+        };
+        let _frame_timer = FrameTimer::start(kind);
+        let mut sink = FrameSink::Direct(stream);
+        match handle_request(shared, &mut state, &mut sink, kind, &payload)? {
+            Disposition::KeepAlive => {}
+            Disposition::Close => return Ok(()),
         }
     }
-    if !chunk.is_empty() {
-        total += chunk.len() as u64;
-        write_frame(
-            stream,
-            frame::VIO_CHUNK,
-            &VioChunk::encode_refs(side, &chunk),
-        )?;
-    }
-    Ok(total)
 }
 
 /// One connection's session state, owning its epoch mapping.
@@ -956,25 +1918,36 @@ impl SessionCtx {
         }
     }
 
+    /// Apply one `ΔG` batch.  With `sink`, every fresh violation is also
+    /// pushed through the callback *while the expansion runs* (the served
+    /// streaming path); without it the delta is only collected into the
+    /// returned report.
     fn apply(
         &mut self,
         sigma: &RuleSet,
         delta: &BatchUpdate,
         config: &DetectorConfig,
+        sink: Option<VioSink<'_>>,
     ) -> Result<DeltaReport, UpdateError> {
         let accumulated = std::mem::take(&mut self.accumulated);
         let cache = self.store.plan_cache();
         let (result, accumulated, batches) = match &self.store.kind {
             StoreKind::Shared(s) => {
                 let mut session = IncrementalSession::resume(s, accumulated, self.batches_applied);
-                let result = session.apply_with_cache(sigma, delta, config, cache);
+                let result = match sink {
+                    Some(sink) => session.apply_streaming(sigma, delta, config, cache, sink),
+                    None => session.apply_with_cache(sigma, delta, config, cache),
+                };
                 let (accumulated, batches) = session.into_parts();
                 (result, accumulated, batches)
             }
             StoreKind::Sharded(s) => {
                 let mut session =
                     ShardedIncrementalSession::resume(s, accumulated, self.batches_applied);
-                let result = session.apply_with_cache(sigma, delta, config, cache);
+                let result = match sink {
+                    Some(sink) => session.apply_streaming(sigma, delta, config, cache, sink),
+                    None => session.apply_with_cache(sigma, delta, config, cache),
+                };
                 let (accumulated, batches) = session.into_parts();
                 (result, accumulated, batches)
             }
@@ -1156,217 +2129,232 @@ fn compact_session(shared: &Shared, ctx: &mut SessionCtx) -> Result<EpochRespons
     })
 }
 
-/// One connection's request loop.
-fn run_session(shared: &Shared, raw: &mut AnyStream) -> Result<(), ProtocolError> {
-    // All frame I/O goes through the byte-accounting wrapper; `raw` is not
-    // touched again below.
-    let stream = &mut CountingStream { inner: raw };
-    let mut ctx = SessionCtx::new(shared.published());
-    let mut sigma: Arc<RuleSet> = Arc::clone(&shared.sigma);
-    loop {
-        let (kind, payload) = match read_frame(stream) {
-            Ok(frame) => frame,
-            Err(ProtocolError::Disconnected) => return Ok(()),
-            Err(e) => {
-                // Framing is broken — the stream cannot be trusted any
-                // further.  Tell the peer why (best-effort) and close.
-                send_error(stream, err_code::BAD_REQUEST, e.to_string());
-                return Err(e);
-            }
-        };
-        let _frame_timer = FrameTimer::start(kind);
-        // Message boundary: adopt a newly published epoch before touching
-        // the request, and announce the switch ahead of the answer.
-        ctx.maybe_reroot(shared);
-        if let Some(notice) = ctx.notice.take() {
-            SWITCH_NOTICES.inc();
-            write_frame(stream, frame::EPOCH_SWITCHED, &notice.encode())?;
+/// Serve one request frame against a session — the single dispatch shared
+/// by the reactor's worker pool and the non-Unix fallback loop.
+///
+/// A returned `Err` means the *sink* failed (the client is gone): the
+/// connection closes.  Malformed or rejected requests answer with typed
+/// `ERROR` frames and keep the session alive.
+fn handle_request(
+    shared: &Shared,
+    state: &mut SessionState,
+    sink: &mut FrameSink<'_>,
+    kind: u32,
+    payload: &[u8],
+) -> Result<Disposition, ProtocolError> {
+    let SessionState { ctx, sigma } = state;
+    // Message boundary: adopt a newly published epoch before touching
+    // the request, and announce the switch ahead of the answer.
+    ctx.maybe_reroot(shared);
+    if let Some(notice) = ctx.notice.take() {
+        SWITCH_NOTICES.inc();
+        sink.send(frame::EPOCH_SWITCHED, &notice.encode())?;
+    }
+    match kind {
+        frame::HELLO => {
+            let _hello = match HelloRequest::decode(payload) {
+                Ok(h) => h,
+                Err(e) => {
+                    sink.send_error(err_code::BAD_REQUEST, e.to_string());
+                    return Ok(Disposition::KeepAlive);
+                }
+            };
+            let response = HelloResponse {
+                server: shared.server_name.clone(),
+                node_count: ctx.store.node_count() as u64,
+                edge_count: ctx.store.edge_count() as u64,
+                fragment_count: ctx.store.fragment_count() as u32,
+                rule_count: sigma.len() as u32,
+                diameter: sigma.diameter() as u32,
+            };
+            sink.send(frame::HELLO_OK, &response.encode())?;
         }
-        match kind {
-            frame::HELLO => {
-                let _hello = match HelloRequest::decode(&payload) {
-                    Ok(h) => h,
-                    Err(e) => {
-                        send_error(stream, err_code::BAD_REQUEST, e.to_string());
-                        continue;
-                    }
-                };
-                let response = HelloResponse {
-                    server: shared.server_name.clone(),
-                    node_count: ctx.store.node_count() as u64,
-                    edge_count: ctx.store.edge_count() as u64,
-                    fragment_count: ctx.store.fragment_count() as u32,
-                    rule_count: sigma.len() as u32,
-                    diameter: sigma.diameter() as u32,
-                };
-                write_frame(stream, frame::HELLO_OK, &response.encode())?;
-            }
-            frame::RULES => {
-                let request = match RulesRequest::decode(&payload) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        send_error(stream, err_code::BAD_REQUEST, e.to_string());
-                        continue;
-                    }
-                };
-                match ngd_lang::load_rules(&request.source) {
-                    Ok(rules) => {
-                        let message = format!(
-                            "compiled {} rule(s), dΣ = {}",
-                            rules.len(),
-                            rules.diameter()
-                        );
-                        sigma = Arc::new(rules);
-                        write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
-                    }
-                    Err(e) => {
-                        send_error(stream, err_code::RULES_REJECTED, e.to_string());
-                    }
+        frame::RULES => {
+            let request = match RulesRequest::decode(payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    sink.send_error(err_code::BAD_REQUEST, e.to_string());
+                    return Ok(Disposition::KeepAlive);
+                }
+            };
+            match ngd_lang::load_rules(&request.source) {
+                Ok(rules) => {
+                    let message = format!(
+                        "compiled {} rule(s), dΣ = {}",
+                        rules.len(),
+                        rules.diameter()
+                    );
+                    *sigma = Arc::new(rules);
+                    sink.send(frame::OK, &OkResponse { message }.encode())?;
+                }
+                Err(e) => {
+                    sink.send_error(err_code::RULES_REJECTED, e.to_string());
                 }
             }
-            frame::UPDATE => {
-                let request = match UpdateRequest::decode(&payload) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        send_error(stream, err_code::BAD_REQUEST, e.to_string());
-                        continue;
-                    }
-                };
-                match ctx.apply(&sigma, &request.batch, &shared.detector) {
-                    Ok(report) => {
-                        let added =
-                            stream_violations(stream, Side::Added, report.delta.added.iter())?;
-                        let removed =
-                            stream_violations(stream, Side::Removed, report.delta.removed.iter())?;
-                        shared.updates_served.fetch_add(1, Ordering::SeqCst);
-                        shared
-                            .violations_streamed
-                            .fetch_add(added + removed, Ordering::SeqCst);
-                        let done = DoneResponse {
-                            epoch: ctx.epoch(),
-                            algorithm: report.algorithm.label().to_string(),
-                            elapsed_nanos: report.elapsed.as_nanos() as u64,
-                            processors: report.processors as u32,
-                            neighborhood_nodes: report.neighborhood_nodes as u64,
-                            added_total: added,
-                            removed_total: removed,
-                            stats: report.stats,
-                            cost: report.cost,
-                        };
-                        write_frame(stream, frame::UPDATE_DONE, &done.encode())?;
-                        // Background compaction: once the accumulated raw
-                        // op sequence crosses the threshold, fold it into
-                        // a new epoch (raw, not net — churn that nets to
-                        // nothing still inflates per-batch bookkeeping).
-                        // Other sessions keep serving and pick the epoch
-                        // up at their next message boundary.
-                        if let Some(limit) = shared.options.compact_after {
-                            if !ctx.auto_compact_disabled && ctx.accumulated.len() as u64 >= limit {
-                                if let Err(e) = compact_session(shared, &mut ctx) {
-                                    eprintln!(
-                                        "ngd-serve: auto-compaction failed (disabled for                                          this session until it re-roots or resets): {e}"
-                                    );
-                                    ctx.auto_compact_disabled = true;
-                                }
+        }
+        frame::UPDATE => {
+            let request = match UpdateRequest::decode(payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    sink.send_error(err_code::BAD_REQUEST, e.to_string());
+                    return Ok(Disposition::KeepAlive);
+                }
+            };
+            // Reactor path: stream `ΔVio` chunks *while* the expansion
+            // runs — the first VIO_CHUNK leaves the socket before the
+            // matchers finish.  An apply error happens during validation,
+            // before any detection, so no chunk precedes the ERROR frame.
+            #[cfg(unix)]
+            let (result, streamed) = {
+                let streamer = VioStreamer::new(sink.conn_io());
+                let callback =
+                    |side: VioSide, violation: &Violation| streamer.offer(side, violation);
+                let result = ctx.apply(sigma, &request.batch, &shared.detector, Some(&callback));
+                (result, streamer.finish())
+            };
+            #[cfg(not(unix))]
+            let result = ctx.apply(sigma, &request.batch, &shared.detector, None);
+            match result {
+                Ok(report) => {
+                    #[cfg(unix)]
+                    let (added, removed) = streamed?;
+                    #[cfg(not(unix))]
+                    let (added, removed) = (
+                        stream_violations(sink, Side::Added, report.delta.added.iter())?,
+                        stream_violations(sink, Side::Removed, report.delta.removed.iter())?,
+                    );
+                    shared.updates_served.fetch_add(1, Ordering::SeqCst);
+                    shared
+                        .violations_streamed
+                        .fetch_add(added + removed, Ordering::SeqCst);
+                    let done = DoneResponse {
+                        epoch: ctx.epoch(),
+                        algorithm: report.algorithm.label().to_string(),
+                        elapsed_nanos: report.elapsed.as_nanos() as u64,
+                        processors: report.processors as u32,
+                        neighborhood_nodes: report.neighborhood_nodes as u64,
+                        added_total: added,
+                        removed_total: removed,
+                        stats: report.stats,
+                        cost: report.cost,
+                    };
+                    sink.send(frame::UPDATE_DONE, &done.encode())?;
+                    // Background compaction: once the accumulated raw
+                    // op sequence crosses the threshold, fold it into
+                    // a new epoch (raw, not net — churn that nets to
+                    // nothing still inflates per-batch bookkeeping).
+                    // Other sessions keep serving and pick the epoch
+                    // up at their next message boundary.
+                    if let Some(limit) = shared.options.compact_after {
+                        if !ctx.auto_compact_disabled && ctx.accumulated.len() as u64 >= limit {
+                            if let Err(e) = compact_session(shared, ctx) {
+                                eprintln!(
+                                    "ngd-serve: auto-compaction failed (disabled for                                          this session until it re-roots or resets): {e}"
+                                );
+                                ctx.auto_compact_disabled = true;
                             }
                         }
                     }
-                    Err(e) => {
-                        send_error(stream, err_code::UPDATE_REJECTED, e.to_string());
-                    }
-                }
-            }
-            frame::QUERY => {
-                let report = ctx.detect_all(&sigma);
-                let total = stream_violations(stream, Side::Added, report.violations.iter())?;
-                shared
-                    .violations_streamed
-                    .fetch_add(total, Ordering::SeqCst);
-                let done = DoneResponse {
-                    epoch: ctx.epoch(),
-                    algorithm: report.algorithm.label().to_string(),
-                    elapsed_nanos: report.elapsed.as_nanos() as u64,
-                    processors: report.processors as u32,
-                    neighborhood_nodes: 0,
-                    added_total: total,
-                    removed_total: 0,
-                    stats: report.stats,
-                    cost: report.cost,
-                };
-                write_frame(stream, frame::QUERY_DONE, &done.encode())?;
-            }
-            frame::COMPACT => match compact_session(shared, &mut ctx) {
-                Ok(response) => {
-                    // The requester observed the switch through EPOCH_OK;
-                    // no separate notice needed.
-                    ctx.notice = None;
-                    write_frame(stream, frame::EPOCH_OK, &response.encode())?;
                 }
                 Err(e) => {
-                    send_error(stream, err_code::COMPACT_FAILED, e);
+                    // Nothing was streamed (validation precedes detection);
+                    // drop the (0, 0) totals and answer typed.
+                    #[cfg(unix)]
+                    let _ = streamed;
+                    sink.send_error(err_code::UPDATE_REJECTED, e.to_string());
                 }
-            },
-            frame::EPOCH => {
-                let response = EpochResponse {
-                    epoch: ctx.epoch(),
-                    published_epoch: shared.published().epoch(),
-                    snapshot_nodes: ctx.store.node_count() as u64,
-                    snapshot_edges: ctx.store.edge_count() as u64,
-                    compactions: shared.compactions.load(Ordering::SeqCst),
-                };
-                write_frame(stream, frame::EPOCH_OK, &response.encode())?;
-            }
-            frame::STATS => {
-                let (session_nodes, session_edges) = ctx.state_counts();
-                let (pending_nodes, pending_edge_ops) = ctx.pending();
-                let response = StatsResponse {
-                    epoch: ctx.epoch(),
-                    published_epoch: shared.published().epoch(),
-                    snapshot_nodes: ctx.store.node_count() as u64,
-                    snapshot_edges: ctx.store.edge_count() as u64,
-                    session_nodes: session_nodes as u64,
-                    session_edges: session_edges as u64,
-                    accumulated_ops: ctx.accumulated.len() as u64,
-                    pending_nodes,
-                    pending_edge_ops,
-                    batches_applied: ctx.batches_applied,
-                    fragment_count: ctx.store.fragment_count() as u32,
-                    sessions_active: shared.sessions_active.load(Ordering::SeqCst) as u32,
-                    sessions_total: shared.sessions_total.load(Ordering::SeqCst),
-                    updates_served: shared.updates_served.load(Ordering::SeqCst),
-                    violations_streamed: shared.violations_streamed.load(Ordering::SeqCst),
-                    plan_cache_hits: ctx.store.plan_cache().hits(),
-                    plan_cache_misses: ctx.store.plan_cache().misses(),
-                    uptime_secs: shared.started.elapsed().as_secs(),
-                };
-                write_frame(stream, frame::STATS_OK, &response.encode())?;
-            }
-            frame::METRICS => {
-                let response = MetricsResponse {
-                    snapshot: ngd_obs::global().snapshot(),
-                };
-                write_frame(stream, frame::METRICS_OK, &response.encode())?;
-            }
-            frame::RESET => {
-                let dropped = ctx.reset();
-                let message = format!("dropped {} accumulated unit update(s)", dropped.len());
-                write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
-            }
-            frame::SHUTDOWN => {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                let message = "shutting down: accept loop stopped, sessions draining".to_string();
-                write_frame(stream, frame::OK, &OkResponse { message }.encode())?;
-                return Ok(());
-            }
-            other => {
-                send_error(
-                    stream,
-                    err_code::BAD_REQUEST,
-                    ProtocolError::UnknownFrame { kind: other }.to_string(),
-                );
             }
         }
+        frame::QUERY => {
+            let report = ctx.detect_all(sigma);
+            let total = stream_violations(sink, Side::Added, report.violations.iter())?;
+            shared
+                .violations_streamed
+                .fetch_add(total, Ordering::SeqCst);
+            let done = DoneResponse {
+                epoch: ctx.epoch(),
+                algorithm: report.algorithm.label().to_string(),
+                elapsed_nanos: report.elapsed.as_nanos() as u64,
+                processors: report.processors as u32,
+                neighborhood_nodes: 0,
+                added_total: total,
+                removed_total: 0,
+                stats: report.stats,
+                cost: report.cost,
+            };
+            sink.send(frame::QUERY_DONE, &done.encode())?;
+        }
+        frame::COMPACT => match compact_session(shared, ctx) {
+            Ok(response) => {
+                // The requester observed the switch through EPOCH_OK;
+                // no separate notice needed.
+                ctx.notice = None;
+                sink.send(frame::EPOCH_OK, &response.encode())?;
+            }
+            Err(e) => {
+                sink.send_error(err_code::COMPACT_FAILED, e);
+            }
+        },
+        frame::EPOCH => {
+            let response = EpochResponse {
+                epoch: ctx.epoch(),
+                published_epoch: shared.published().epoch(),
+                snapshot_nodes: ctx.store.node_count() as u64,
+                snapshot_edges: ctx.store.edge_count() as u64,
+                compactions: shared.compactions.load(Ordering::SeqCst),
+            };
+            sink.send(frame::EPOCH_OK, &response.encode())?;
+        }
+        frame::STATS => {
+            let (session_nodes, session_edges) = ctx.state_counts();
+            let (pending_nodes, pending_edge_ops) = ctx.pending();
+            let response = StatsResponse {
+                epoch: ctx.epoch(),
+                published_epoch: shared.published().epoch(),
+                snapshot_nodes: ctx.store.node_count() as u64,
+                snapshot_edges: ctx.store.edge_count() as u64,
+                session_nodes: session_nodes as u64,
+                session_edges: session_edges as u64,
+                accumulated_ops: ctx.accumulated.len() as u64,
+                pending_nodes,
+                pending_edge_ops,
+                batches_applied: ctx.batches_applied,
+                fragment_count: ctx.store.fragment_count() as u32,
+                sessions_active: shared.sessions_active.load(Ordering::SeqCst) as u32,
+                sessions_total: shared.sessions_total.load(Ordering::SeqCst),
+                updates_served: shared.updates_served.load(Ordering::SeqCst),
+                violations_streamed: shared.violations_streamed.load(Ordering::SeqCst),
+                plan_cache_hits: ctx.store.plan_cache().hits(),
+                plan_cache_misses: ctx.store.plan_cache().misses(),
+                uptime_secs: shared.started.elapsed().as_secs(),
+            };
+            sink.send(frame::STATS_OK, &response.encode())?;
+        }
+        frame::METRICS => {
+            let response = MetricsResponse {
+                snapshot: ngd_obs::global().snapshot(),
+            };
+            sink.send(frame::METRICS_OK, &response.encode())?;
+        }
+        frame::RESET => {
+            let dropped = ctx.reset();
+            let message = format!("dropped {} accumulated unit update(s)", dropped.len());
+            sink.send(frame::OK, &OkResponse { message }.encode())?;
+        }
+        frame::SHUTDOWN => {
+            shared.signal_shutdown();
+            let message = "shutting down: accept loop stopped, sessions draining".to_string();
+            sink.send(frame::OK, &OkResponse { message }.encode())?;
+            return Ok(Disposition::Close);
+        }
+        other => {
+            sink.send_error(
+                err_code::BAD_REQUEST,
+                ProtocolError::UnknownFrame { kind: other }.to_string(),
+            );
+        }
     }
+    Ok(Disposition::KeepAlive)
 }
 
 #[cfg(test)]

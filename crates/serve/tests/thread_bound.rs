@@ -1,0 +1,83 @@
+//! The C10K thread-boundedness guarantee, in a test binary of its own:
+//! thread counts are process-global, so this must not share a process
+//! with other tests that start servers.
+
+#![cfg(all(unix, target_os = "linux"))]
+
+use ngd_core::{paper, RuleSet};
+use ngd_detect::DetectorConfig;
+use ngd_graph::persist::SnapshotWriter;
+use ngd_serve::{ServeAddr, ServeClient, ServeOptions, Server, SnapshotStore};
+
+/// C10K property: OS threads are bounded by the worker pool, not the
+/// connection count.  64 idle sessions on a 3-worker daemon must not add
+/// a single serving thread.
+#[test]
+fn os_threads_bounded_by_worker_pool_not_connections() {
+    let (graph, fake) = paper::figure1_g4();
+    let sigma = RuleSet::from_rules(vec![paper::phi4(1, 1, 10_000)]);
+    let _ = fake;
+    let snap_path =
+        std::env::temp_dir().join(format!("ngd-threadbound-{}.ngds", std::process::id()));
+    SnapshotWriter::new()
+        .write(&graph.freeze(), &snap_path)
+        .expect("snapshot writes");
+    let server = Server::start_with(
+        SnapshotStore::open(&snap_path).expect("snapshot maps"),
+        sigma.clone(),
+        &ServeAddr::Tcp("127.0.0.1:0".into()),
+        DetectorConfig::with_processors(2),
+        ServeOptions {
+            worker_threads: Some(3),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("server starts");
+    std::fs::remove_file(&snap_path).ok();
+    let addr = server.local_addr().clone();
+
+    let serve_threads = || {
+        let mut count = 0;
+        for entry in std::fs::read_dir("/proc/self/task").expect("task dir") {
+            let comm = entry.expect("task entry").path().join("comm");
+            if let Ok(name) = std::fs::read_to_string(comm) {
+                if name.trim_end().starts_with("ngd-serve") {
+                    count += 1;
+                }
+            }
+        }
+        count
+    };
+
+    // 1 reactor + 3 workers, before and after 64 handshaken sessions.
+    // A freshly spawned thread sets its comm name from inside its own
+    // startup shim, so wait for all four to appear rather than racing it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let baseline = loop {
+        let count = serve_threads();
+        if count == 4 {
+            break count;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "expected reactor + 3 workers, saw {count}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let mut sessions = Vec::new();
+    for i in 0..64 {
+        sessions.push(ServeClient::connect_as(&addr, &format!("idle-{i}")).expect("connect"));
+    }
+    assert_eq!(
+        serve_threads(),
+        baseline,
+        "idle connections must not cost OS threads"
+    );
+    // They are all live sessions, not just accepted sockets.
+    let stats = sessions[0].stats().expect("stats");
+    assert_eq!(stats.sessions_active, 64);
+
+    sessions[0].shutdown_server().expect("shutdown");
+    drop(sessions);
+    server.wait();
+}
